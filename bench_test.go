@@ -1,0 +1,239 @@
+package q3de
+
+// One benchmark per table and figure of the paper's evaluation (plus
+// decoder/substrate micro-benchmarks). Each experiment benchmark runs the
+// harness at its quick budget, so `go test -bench=.` regenerates every
+// result end to end; use `cmd/q3de -budget full` for paper-scale runs.
+
+import (
+	"io"
+	"testing"
+
+	"q3de/internal/anomaly"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/unionfind"
+	"q3de/internal/exp"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/sim"
+	"q3de/internal/stats"
+)
+
+func benchOptions() exp.Options {
+	o := exp.DefaultOptions()
+	o.Budget = exp.BudgetQuick
+	return o
+}
+
+// BenchmarkFig3 regenerates the logical-error-rate curves with and without
+// an MBBE (paper Fig. 3) at reduced distances and sampling.
+func BenchmarkFig3(b *testing.B) {
+	cfg := exp.DefaultFig3(benchOptions())
+	cfg.Distances = []int{5, 9}
+	cfg.Rates = []float64{6e-3, 2e-2}
+	for i := 0; i < b.N; i++ {
+		series := exp.RunFig3(cfg)
+		exp.RenderFig3(io.Discard, series)
+	}
+}
+
+// BenchmarkFig7 regenerates the anomaly-detection window/latency/position
+// curves (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) {
+	cfg := exp.DefaultFig7(benchOptions())
+	cfg.D = 11
+	cfg.Ratios = []float64{20, 100}
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig7(cfg)
+		exp.RenderFig7(io.Discard, r)
+	}
+}
+
+// BenchmarkFig8 regenerates the rollback-decoding curves and the effective
+// distance reduction (paper Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	cfg := exp.DefaultFig8(benchOptions())
+	cfg.RateDistances = []int{9}
+	cfg.EffDistances = []int{9}
+	cfg.Rates = []float64{1e-2}
+	cfg.AnomalySizes = []int{4}
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig8(cfg)
+		exp.RenderFig8(io.Discard, r)
+	}
+}
+
+// BenchmarkFig9 regenerates the chip-area/qubit-density scalability curves
+// (paper Fig. 9).
+func BenchmarkFig9(b *testing.B) {
+	cfg := exp.DefaultFig9(benchOptions())
+	cfg.MaxArea = 16
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig9(cfg)
+		exp.RenderFig9(io.Discard, r)
+	}
+}
+
+// BenchmarkFig10 regenerates the instruction-throughput curves under cosmic
+// rays (paper Fig. 10).
+func BenchmarkFig10(b *testing.B) {
+	cfg := exp.DefaultFig10(benchOptions())
+	cfg.Instructions = 500
+	cfg.Frequencies = []float64{1e-6, 1e-4}
+	for i := 0; i < b.N; i++ {
+		series := exp.RunFig10(cfg)
+		exp.RenderFig10(io.Discard, series)
+	}
+}
+
+// BenchmarkTable3 regenerates the buffer memory overheads (paper Table III).
+func BenchmarkTable3(b *testing.B) {
+	cfg := exp.DefaultTable3()
+	for i := 0; i < b.N; i++ {
+		rows := exp.RunTable3(cfg)
+		exp.RenderTable3(io.Discard, cfg, rows)
+	}
+}
+
+// BenchmarkTable4 regenerates the decoder-unit hardware model (paper
+// Table IV).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.RunTable4()
+		exp.RenderTable4(io.Discard, rows)
+	}
+}
+
+// BenchmarkHeadline regenerates the Eq. (1) effective-error-rate composition
+// (paper Sec. III-A).
+func BenchmarkHeadline(b *testing.B) {
+	cfg := exp.DefaultHeadline(benchOptions())
+	cfg.D = 9
+	for i := 0; i < b.N; i++ {
+		r := exp.RunHeadline(cfg)
+		exp.RenderHeadline(io.Discard, cfg, r)
+	}
+}
+
+// BenchmarkAblationDecoders compares the decoder families on identical
+// workloads (DESIGN.md §7).
+func BenchmarkAblationDecoders(b *testing.B) {
+	cfg := exp.DefaultAblation(benchOptions())
+	cfg.D = 7
+	cfg.Rates = []float64{2e-2}
+	for i := 0; i < b.N; i++ {
+		rows := exp.RunAblation(cfg)
+		exp.RenderAblation(io.Discard, cfg, rows)
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func drawnSamples(b *testing.B, d int, p float64, box *lattice.Box, pano float64, n int) (*lattice.Lattice, [][]lattice.Coord) {
+	b.Helper()
+	l := lattice.New(d, d)
+	model := noise.NewModel(l, p, box, pano)
+	rng := stats.NewRNG(1, 2)
+	out := make([][]lattice.Coord, n)
+	var s noise.Sample
+	for i := range out {
+		model.Draw(rng, &s)
+		cs := make([]lattice.Coord, len(s.Defects))
+		for j, id := range s.Defects {
+			cs[j] = l.NodeCoord(id)
+		}
+		out[i] = cs
+	}
+	return l, out
+}
+
+// BenchmarkNoiseSample measures error-configuration sampling throughput.
+func BenchmarkNoiseSample(b *testing.B) {
+	l := lattice.New(21, 21)
+	model := noise.NewModel(l, 1e-3, nil, 0)
+	rng := stats.NewRNG(3, 4)
+	var s noise.Sample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Draw(rng, &s)
+	}
+}
+
+// BenchmarkGreedyDecode measures the production decoder at d=21, p=1e-2.
+func BenchmarkGreedyDecode(b *testing.B) {
+	_, samples := drawnSamples(b, 21, 1e-2, nil, 0, 64)
+	dec := greedy.New(lattice.NewMetric(21, 1e-2, 0, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkGreedyDecodeWeighted measures the anomaly-aware greedy decoder.
+func BenchmarkGreedyDecodeWeighted(b *testing.B) {
+	l := lattice.New(21, 21)
+	box := l.CenteredBox(4)
+	_, samples := drawnSamples(b, 21, 1e-2, &box, 0.5, 64)
+	dec := greedy.New(lattice.NewMetric(21, 1e-2, 0.5, &box))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkMWPMDecode measures the exact blossom decoder at d=9.
+func BenchmarkMWPMDecode(b *testing.B) {
+	_, samples := drawnSamples(b, 9, 1e-2, nil, 0, 64)
+	dec := mwpm.New(lattice.NewMetric(9, 1e-2, 0, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkUnionFindDecode measures the union-find decoder at d=9.
+func BenchmarkUnionFindDecode(b *testing.B) {
+	l, samples := drawnSamples(b, 9, 1e-2, nil, 0, 64)
+	dec := unionfind.New(l, lattice.UniformMetric(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkDetectorPush measures the anomaly detection unit's per-cycle cost
+// at d=21 (420 counters).
+func BenchmarkDetectorPush(b *testing.B) {
+	det := anomaly.New(anomaly.Config{
+		Positions: 420, Window: 300, Mu: 0.006, Sigma: 0.077, Alpha: 0.01, Nth: 20,
+	})
+	rng := stats.NewRNG(5, 6)
+	layers := make([][]int32, 64)
+	for i := range layers {
+		for p := int32(0); p < 420; p++ {
+			if rng.Float64() < 0.006 {
+				layers[i] = append(layers[i], p)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Push(layers[i%len(layers)])
+	}
+}
+
+// BenchmarkMemoryShot measures one full sample+decode shot at the paper's
+// d=21 with the greedy decoder.
+func BenchmarkMemoryShot(b *testing.B) {
+	l := lattice.New(21, 21)
+	model := noise.NewModel(l, 1e-2, nil, 0)
+	dec := greedy.New(lattice.NewMetric(21, 1e-2, 0, nil))
+	rng := stats.NewRNG(7, 8)
+	var s noise.Sample
+	coords := make([]lattice.Coord, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.DecodeShot(model, dec, rng, &s, &coords)
+	}
+}

@@ -1,0 +1,106 @@
+// Command q3de-calibrate runs the pre-calibration phase a Q3DE deployment
+// needs (paper Sec. IV and VIII-D): it measures the syndrome activity
+// moments (mu, sigma) of a clean device at the given code distance and
+// physical error rate, derives the anomaly-detection thresholds, the
+// recommended window for a target inflation ratio, the matching-queue batch
+// factor, the buffer budget of Table III, and the ANQ entry size of the
+// decoding unit.
+//
+// Usage:
+//
+//	q3de-calibrate [-d 21] [-p 1e-3] [-ratio 100] [-alpha 0.01] [-target-pl 1e-15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"q3de/internal/anomaly"
+	"q3de/internal/control"
+	"q3de/internal/hw"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+func main() {
+	d := flag.Int("d", 21, "code distance")
+	p := flag.Float64("p", 1e-3, "physical error rate per cycle")
+	ratio := flag.Float64("ratio", 100, "anomalous inflation ratio pano/p to size the window for")
+	alpha := flag.Float64("alpha", 0.01, "detection confidence parameter (1-confidence)")
+	targetPL := flag.Float64("target-pl", 1e-15, "target logical error rate for ANQ sizing")
+	errTarget := flag.Float64("err-target", 0.01, "per-counter detection error target")
+	shots := flag.Int("shots", 400, "calibration shots")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	fmt.Printf("calibrating d=%d at p=%g (%d shots)...\n\n", *d, *p, *shots)
+
+	l := lattice.New(*d, *d)
+	clean := noise.NewModel(l, *p, nil, 0)
+	mu, sigma := clean.NodeActivityMoments(stats.NewRNG(*seed, *seed+1), *shots)
+
+	pano := *p * *ratio
+	if pano > 0.5 {
+		pano = 0.5
+	}
+	// Anomalous activity, measured on an injected region.
+	box := l.CenteredBox(4)
+	dirty := noise.NewModel(l, *p, &box, pano)
+	muAno, sigmaAno := anomalousMoments(l, dirty, box, *seed+2, *shots/4)
+
+	cwin := anomaly.MinWindowAnalytic(mu, sigma, muAno, sigmaAno, *alpha, *errTarget)
+	if cwin == math.MaxInt32 {
+		fmt.Fprintln(os.Stderr, "anomaly indistinguishable from calibrated noise at this ratio")
+		os.Exit(1)
+	}
+	cbat := control.OptimalBatch(cwin)
+	vth := stats.CLTThreshold(cwin, mu, sigma, *alpha)
+	loN, hiN, okN := anomaly.NthBounds(*targetPL, *alpha, 4)
+
+	mean, sd := hw.MeasureOccupancy(*d, *p, *shots/2, *seed+4)
+	perLayer := 2 * *d * (*d - 1)
+	entries := hw.RequiredEntries(mean/float64(perLayer), sd/math.Sqrt(float64(perLayer)), perLayer, *targetPL)
+
+	sizing := control.BufferSizing{D: *d, Cwin: cwin}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "activity mean mu\t%.5f per node per cycle\n", mu)
+	fmt.Fprintf(tw, "activity sd sigma\t%.5f\n", sigma)
+	fmt.Fprintf(tw, "anomalous activity (ratio %.0fx)\t%.4f\n", *ratio, muAno)
+	fmt.Fprintf(tw, "required window cwin\t%d cycles\n", cwin)
+	fmt.Fprintf(tw, "counter threshold Vth\t%.2f\n", vth)
+	if okN {
+		fmt.Fprintf(tw, "valid vote threshold nth\t(%.1f, %.1f)\n", loN, hiN)
+	} else {
+		fmt.Fprintf(tw, "valid vote threshold nth\tnone — device already MBBE-tolerant\n")
+	}
+	fmt.Fprintf(tw, "matching batch cbat\t%d cycles\n", cbat)
+	fmt.Fprintf(tw, "syndrome queue\t%.0f kbit\n", sizing.SyndromeQueueBits()/1000)
+	fmt.Fprintf(tw, "active node counters\t%.0f kbit\n", sizing.ActiveNodeCounterBits()/1000)
+	fmt.Fprintf(tw, "matching queue\t%.0f kbit\n", sizing.MatchingQueueBits()/1000)
+	fmt.Fprintf(tw, "ANQ entries (pL<%.0e)\t%d\n", *targetPL, entries)
+	tw.Flush()
+}
+
+// anomalousMoments measures the activity of nodes inside the anomalous box.
+func anomalousMoments(l *lattice.Lattice, m *noise.Model, box lattice.Box, seed uint64, shots int) (mu, sigma float64) {
+	rr := stats.NewRNG(seed, seed+1)
+	var s noise.Sample
+	var active, count float64
+	for i := 0; i < shots; i++ {
+		m.Draw(rr, &s)
+		for _, id := range s.Defects {
+			if box.ContainsNode(l.NodeCoord(id)) {
+				active++
+			}
+		}
+		count += float64((box.R1 - box.R0 + 1) * (box.C1 - box.C0 + 1) * l.Rounds)
+	}
+	mu = active / count
+	sigma = math.Sqrt(mu * (1 - mu))
+	return mu, sigma
+}

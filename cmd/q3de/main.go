@@ -1,0 +1,134 @@
+// Command q3de regenerates the tables and figures of the Q3DE paper
+// (MICRO 2022). Each subcommand reproduces one experiment and prints its
+// series/rows as tab-separated text (see EXPERIMENTS.md for the mapping).
+//
+// Usage:
+//
+//	q3de [-budget quick|standard|full] [-seed N] [-decoder greedy|mwpm|union-find] <experiment>
+//
+// Experiments: fig3, fig7, fig8, fig9, fig10, table3, table4, headline,
+// ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"q3de/internal/exp"
+	"q3de/internal/sim"
+)
+
+func main() {
+	budget := flag.String("budget", "quick", "sampling budget: quick, standard or full")
+	seed := flag.Uint64("seed", 20220101, "base RNG seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo workers (0 = all cores)")
+	decoder := flag.String("decoder", "greedy", "memory-experiment decoder: greedy, mwpm or union-find")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := exp.DefaultOptions()
+	opts.Seed = *seed
+	opts.Workers = *workers
+	switch *budget {
+	case "quick":
+		opts.Budget = exp.BudgetQuick
+	case "standard":
+		opts.Budget = exp.BudgetStandard
+	case "full":
+		opts.Budget = exp.BudgetFull
+	default:
+		fatalf("unknown budget %q", *budget)
+	}
+	switch *decoder {
+	case "greedy":
+		opts.Decoder = sim.DecoderGreedy
+	case "mwpm":
+		opts.Decoder = sim.DecoderMWPM
+	case "union-find":
+		opts.Decoder = sim.DecoderUnionFind
+	default:
+		fatalf("unknown decoder %q", *decoder)
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"fig3", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "headline", "ablation", "correlation", "threshold"} {
+			runOne(n, opts)
+			fmt.Println()
+		}
+		return
+	}
+	runOne(name, opts)
+}
+
+func runOne(name string, opts exp.Options) {
+	start := time.Now()
+	switch name {
+	case "fig3":
+		exp.RenderFig3(os.Stdout, exp.RunFig3(exp.DefaultFig3(opts)))
+	case "fig7":
+		exp.RenderFig7(os.Stdout, exp.RunFig7(exp.DefaultFig7(opts)))
+	case "fig8":
+		exp.RenderFig8(os.Stdout, exp.RunFig8(exp.DefaultFig8(opts)))
+	case "fig9":
+		exp.RenderFig9(os.Stdout, exp.RunFig9(exp.DefaultFig9(opts)))
+	case "fig10":
+		exp.RenderFig10(os.Stdout, exp.RunFig10(exp.DefaultFig10(opts)))
+	case "table3":
+		cfg := exp.DefaultTable3()
+		exp.RenderTable3(os.Stdout, cfg, exp.RunTable3(cfg))
+	case "table4":
+		exp.RenderTable4(os.Stdout, exp.RunTable4())
+	case "headline":
+		cfg := exp.DefaultHeadline(opts)
+		exp.RenderHeadline(os.Stdout, cfg, exp.RunHeadline(cfg))
+	case "ablation":
+		cfg := exp.DefaultAblation(opts)
+		exp.RenderAblation(os.Stdout, cfg, exp.RunAblation(cfg))
+	case "correlation":
+		cfg := exp.DefaultCorrelation(opts)
+		exp.RenderCorrelation(os.Stdout, cfg, exp.RunCorrelation(cfg))
+	case "threshold":
+		cfg := exp.DefaultThreshold(opts)
+		exp.RenderThreshold(os.Stdout, cfg, exp.RunThreshold(cfg))
+	default:
+		fatalf("unknown experiment %q", name)
+	}
+	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "q3de: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `q3de — reproduce the Q3DE (MICRO 2022) evaluation
+
+usage: q3de [flags] <experiment>
+
+experiments:
+  fig3      logical error rates with/without an MBBE (paper Fig. 3)
+  fig7      anomaly detection window, latency, position error (Fig. 7)
+  fig8      decoder re-execution: rates and distance reduction (Fig. 8)
+  fig9      chip area vs qubit density scalability (Fig. 9)
+  fig10     instruction throughput under cosmic rays (Fig. 10)
+  table3    Q3DE buffer memory overheads (Table III)
+  table4    decoder-unit hardware model (Table IV)
+  headline  Eq. (1) effective-error-rate inflation (Sec. III-A)
+  ablation  decoder-family comparison (DESIGN.md §7)
+  correlation  Pauli-Y correlation ablation (Sec. VII-A assumption 4)
+  threshold    threshold location with/without an MBBE (Sec. III-A)
+  all       every experiment in sequence
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,27 @@
+// Package q3de is a Go reproduction of "Q3DE: A fault-tolerant quantum
+// computer architecture for multi-bit burst errors by cosmic rays"
+// (Suzuki et al., MICRO 2022).
+//
+// The library implements, from scratch and on the standard library only:
+//
+//   - the planar surface-code decoding graph and its phenomenological Pauli
+//     noise model, with cosmic-ray (MBBE) anomalous regions (internal/lattice,
+//     internal/noise);
+//   - three decoder families: exact minimum-weight perfect matching via a
+//     from-scratch blossom algorithm, the QECOOL-style greedy decoder the
+//     paper's hardware runs, and a union-find decoder
+//     (internal/decoder/...);
+//   - the three Q3DE components: in-situ anomaly DEtection from syndrome
+//     statistics (internal/anomaly), dynamic code DEformation via op_expand
+//     (internal/deform), and optimized error DEcoding with pipeline rollback
+//     (internal/control);
+//   - the FTQC instruction set and lattice-surgery scheduler (internal/isa),
+//     the scalability model (internal/scaling) and the decoder-unit hardware
+//     model (internal/hw);
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation (internal/exp, cmd/q3de).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate each experiment at a reduced sampling budget.
+package q3de

@@ -1,0 +1,74 @@
+// burst-sources surveys the MBBE mechanisms of paper Sec. IX beyond
+// superconducting cosmic rays — atom loss, Coulomb-crystal scrambling,
+// leakage, calibration drift — and measures how each degrades a d=9 logical
+// memory and what Q3DE's appropriate reaction is.
+//
+//	go run ./examples/burst-sources
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"q3de/internal/burst"
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+func main() {
+	const (
+		d = 9
+		p = 2e-3
+	)
+	l := lattice.New(d, d)
+
+	clean := sim.RunMemory(sim.MemoryConfig{
+		D: d, P: p, Decoder: sim.DecoderGreedy, MaxShots: 8000, Seed: 31,
+	})
+	fmt.Printf("d=%d memory at p=%g: clean pL = %.3g per cycle\n\n", d, p, clean.PL)
+
+	profiles := burst.Profiles()
+	sources := make([]burst.Source, 0, len(profiles))
+	for s := range profiles {
+		sources = append(sources, s)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "source\tregion\tpano\tduty cycle\tpL during burst\tx clean\treaction")
+	for _, src := range sources {
+		prof := profiles[src]
+		// Centre the region so the comparison is placement-fair (a random
+		// placement next to a rough boundary would dominate the row: a
+		// saturated qubit one hop from the boundary forges logical chains
+		// almost for free — try prof.Region for the placement-averaged view).
+		size := prof.Size
+		if size <= 0 {
+			size = d
+		}
+		box := l.CenteredBox(size)
+		box.T1 = l.Rounds - 1 // burst spans the whole short memory window
+		r := sim.RunMemory(sim.MemoryConfig{
+			D: d, P: p, Box: &box, Pano: prof.Pano(p),
+			Decoder: sim.DecoderGreedy, MaxShots: 8000, Seed: 31,
+		})
+		region := fmt.Sprintf("%dx%d", box.R1-box.R0+1, box.C1-box.C0+1)
+		factor := "-"
+		if clean.PL > 0 {
+			factor = fmt.Sprintf("%.0fx", r.PL/clean.PL)
+		}
+		fmt.Fprintf(tw, "%v\t%s\t%.3g\t%.1e\t%.3g\t%s\t%v\n",
+			src, region, prof.Pano(p), prof.DutyCycle(), r.PL, factor, prof.Reaction)
+	}
+	tw.Flush()
+
+	fmt.Println("\nEven a single saturated site hurts while it persists (its error")
+	fmt.Println("mechanisms span three columns of the matching graph), which is why the")
+	fmt.Println("paper treats loss and leakage as burst errors too. What differs is the")
+	fmt.Println("reaction: expansion suffices for self-recovering regions (cosmic rays),")
+	fmt.Println("while atomic mechanisms need relocation so the hardware can be serviced")
+	fmt.Println("(reload / re-cool / re-calibrate). The duty-cycle column shows which")
+	fmt.Println("sources dominate the time-averaged logical rate via Eq. (1).")
+}

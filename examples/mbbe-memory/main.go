@@ -1,0 +1,51 @@
+// mbbe-memory reproduces a slice of the paper's Fig. 3 and Fig. 8 story on
+// one terminal screen: logical error rates across physical error rates for
+// several code distances, with the MBBE on or off and the decoder blind or
+// anomaly-aware.
+//
+//	go run ./examples/mbbe-memory
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"q3de/internal/core"
+)
+
+func main() {
+	distances := []int{7, 9, 11}
+	rates := []float64{4e-3, 1e-2, 2e-2}
+	const (
+		dano = 4
+		pano = 0.5
+	)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "d\tp\tpL clean\tpL MBBE (blind)\tpL MBBE (rollback)\tblind/rollback")
+	for _, d := range distances {
+		box := core.CenteredMBBE(d, d, dano, 0)
+		for _, p := range rates {
+			run := func(b *core.Box, aware bool) float64 {
+				return core.Run(core.MemoryExperiment{
+					D: d, P: p, Box: b, Pano: pano, Aware: aware,
+					Decoder: core.DecoderGreedy, MaxShots: 8000, MaxFailures: 400,
+					Seed: 42,
+				}).PL
+			}
+			clean := run(nil, false)
+			blind := run(&box, false)
+			aware := run(&box, true)
+			gain := 0.0
+			if aware > 0 {
+				gain = blind / aware
+			}
+			fmt.Fprintf(tw, "%d\t%.0e\t%.2e\t%.2e\t%.2e\t%.1fx\n", d, p, clean, blind, aware, gain)
+		}
+	}
+	tw.Flush()
+	fmt.Println("\nThe MBBE (dano=4, pano=0.5) wipes out most of the distance gain;")
+	fmt.Println("anomaly-aware re-decoding (the Q3DE rollback) recovers roughly half of")
+	fmt.Println("the lost effective distance, most visibly at low physical error rates.")
+}

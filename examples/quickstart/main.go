@@ -1,0 +1,50 @@
+// Quickstart: estimate the logical error rate of a distance-9 surface code
+// with and without a cosmic-ray MBBE, using the core facade.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"q3de/internal/core"
+)
+
+func main() {
+	fmt.Println("Q3DE quickstart: d=9 surface-code memory, greedy decoder")
+
+	// Clean memory: d cycles of idling at p = 5e-3.
+	clean := core.Run(core.MemoryExperiment{
+		D: 9, P: 5e-3,
+		Decoder:  core.DecoderGreedy,
+		MaxShots: 20000, Seed: 1,
+	})
+	fmt.Printf("  MBBE-free:        pL = %.3g per cycle (%d/%d failures)\n",
+		clean.PL, clean.Failures, clean.Shots)
+
+	// The same memory with a cosmic-ray strike: a 4x4 anomalous region at
+	// error rate 0.5 (the paper's Fig. 3 setting).
+	box := core.CenteredMBBE(9, 9, 4, 0)
+	dirty := core.Run(core.MemoryExperiment{
+		D: 9, P: 5e-3, Box: &box, Pano: 0.5,
+		Decoder:  core.DecoderGreedy,
+		MaxShots: 20000, Seed: 1,
+	})
+	fmt.Printf("  with MBBE:        pL = %.3g per cycle (%d/%d failures)\n",
+		dirty.PL, dirty.Failures, dirty.Shots)
+
+	// Q3DE's re-executed decoding: same MBBE, but the decoder knows the
+	// region and uses anomaly-weighted matching.
+	aware := core.Run(core.MemoryExperiment{
+		D: 9, P: 5e-3, Box: &box, Pano: 0.5, Aware: true,
+		Decoder:  core.DecoderGreedy,
+		MaxShots: 20000, Seed: 1,
+	})
+	fmt.Printf("  with MBBE+Q3DE:   pL = %.3g per cycle (%d/%d failures)\n",
+		aware.PL, aware.Failures, aware.Shots)
+
+	if clean.PL > 0 {
+		fmt.Printf("\n  MBBE inflates the logical rate %.0fx; Q3DE-aware decoding recovers %.1fx of it.\n",
+			dirty.PL/clean.PL, dirty.PL/aware.PL)
+	}
+}

@@ -1,0 +1,71 @@
+// throughput runs the Fig.-10-style instruction scheduling experiment: 25
+// logical qubits on an 11x11 block plane executing random meas_ZZ (lattice
+// surgery) instructions, comparing the MBBE-free, baseline
+// (doubled-default-distance) and Q3DE architectures under cosmic rays.
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"q3de/internal/deform"
+	"q3de/internal/isa"
+	"q3de/internal/stats"
+)
+
+func main() {
+	const (
+		d            = 11
+		instructions = 2000
+		strikeEvery  = 800 // cycles between strikes in the stressed scenario
+		strikeLast   = 1500
+	)
+
+	run := func(mode isa.Mode, strikes bool) (float64, int) {
+		plane := deform.NewPlane(11, 11)
+		ids, pos := plane.PlaceLogicalGrid()
+		s := isa.NewScheduler(mode, d, plane, ids, pos)
+		rng := stats.NewRNG(3, 5)
+		for i := 0; i < instructions; i++ {
+			a := rng.IntN(len(ids))
+			b := rng.IntN(len(ids) - 1)
+			if b >= a {
+				b++
+			}
+			s.Enqueue(isa.Instruction{ID: i, Op: isa.MeasZZ, Q1: ids[a], Q2: ids[b]})
+		}
+		cycles := 0
+		for s.Completed() < instructions && cycles < 100*instructions {
+			if strikes && cycles%strikeEvery == 0 {
+				s.StrikeBlock(rng.IntN(11), rng.IntN(11), cycles+strikeLast)
+			}
+			s.Step()
+			cycles++
+		}
+		return float64(s.Completed()) * d / float64(cycles), cycles
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "architecture\tstrikes\tinstructions/d-cycles\ttotal cycles")
+	for _, row := range []struct {
+		name    string
+		mode    isa.Mode
+		strikes bool
+	}{
+		{"MBBE-free", isa.ModeMBBEFree, false},
+		{"baseline (2d default)", isa.ModeBaseline, false},
+		{"Q3DE (quiet sky)", isa.ModeQ3DE, false},
+		{"Q3DE (stormy sky)", isa.ModeQ3DE, true},
+	} {
+		tput, cycles := run(row.mode, row.strikes)
+		fmt.Fprintf(tw, "%s\t%v\t%.2f\t%d\n", row.name, row.strikes, tput, cycles)
+	}
+	tw.Flush()
+
+	fmt.Println("\nThe baseline pays the doubled code distance on every instruction;")
+	fmt.Println("Q3DE pays only while rays are actually striking, so at realistic ray")
+	fmt.Println("rates its throughput approaches the MBBE-free architecture (Fig. 10).")
+}

@@ -1,0 +1,202 @@
+// Package anomaly implements the in-situ anomaly detection unit of Q3DE
+// (paper Sec. IV): MBBEs are detected purely from syndrome statistics, with
+// no extra action on the qubits. Each syndrome position keeps a sliding
+// count of its active cycles over the last cwin code cycles; a position whose
+// count exceeds the CLT-derived confidence threshold Vth (Eq. 3) votes
+// "anomalous", and an MBBE is declared once more than nth positions vote.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"q3de/internal/stats"
+)
+
+// Config parameterises a detection unit.
+type Config struct {
+	Positions int     // number of monitored syndrome positions m
+	Window    int     // cwin, the sliding window length in code cycles
+	Mu        float64 // calibrated mean of the per-cycle activity indicator
+	Sigma     float64 // calibrated std dev of the activity indicator
+	Alpha     float64 // 1 - confidence level (the paper uses 0.01)
+	Nth       int     // votes required to declare an MBBE (the paper uses 20)
+}
+
+// Detection reports a declared MBBE.
+type Detection struct {
+	// Cycle is the code cycle at which the vote threshold was crossed.
+	Cycle int
+	// OnsetEstimate is the estimated cycle of the strike: the start of the
+	// detection window, per Sec. IV-B ("their timing can be estimated from
+	// the size of the detection window cwin").
+	OnsetEstimate int
+	// Flagged lists the positions whose counters exceeded Vth.
+	Flagged []int
+}
+
+// Detector is the streaming anomaly detection unit. It consumes one layer of
+// active syndrome positions per code cycle.
+type Detector struct {
+	cfg Config
+	vth float64
+
+	counts  []int     // V_t per position
+	ring    [][]int32 // last Window layers of active positions
+	head    int
+	cycle   int
+	masked  []int // per position: cycle until which the position is masked, -1 if not
+	flagged []int // scratch
+}
+
+// New builds a detector. Vth follows paper Eq. (3).
+func New(cfg Config) *Detector {
+	if cfg.Positions <= 0 {
+		panic("anomaly: positions must be positive")
+	}
+	if cfg.Window <= 0 {
+		panic("anomaly: window must be positive")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		panic(fmt.Sprintf("anomaly: alpha=%v out of (0,1)", cfg.Alpha))
+	}
+	d := &Detector{
+		cfg:    cfg,
+		vth:    stats.CLTThreshold(cfg.Window, cfg.Mu, cfg.Sigma, cfg.Alpha),
+		counts: make([]int, cfg.Positions),
+		ring:   make([][]int32, cfg.Window),
+		masked: make([]int, cfg.Positions),
+	}
+	for i := range d.masked {
+		d.masked[i] = -1
+	}
+	return d
+}
+
+// Vth exposes the confidence threshold for inspection and tests.
+func (d *Detector) Vth() float64 { return d.vth }
+
+// Cycle returns the number of layers consumed so far.
+func (d *Detector) Cycle() int { return d.cycle }
+
+// Count returns the current window count of a position.
+func (d *Detector) Count(pos int) int { return d.counts[pos] }
+
+// Mask suppresses positions from voting until the given cycle, implementing
+// the paper's post-detection masking ("we temporally remove the detected
+// positions around the median from the count of nano for the lifetime of
+// MBBEs and continue the anomaly detection").
+func (d *Detector) Mask(positions []int, untilCycle int) {
+	for _, p := range positions {
+		if untilCycle > d.masked[p] {
+			d.masked[p] = untilCycle
+		}
+	}
+}
+
+// Push consumes one code cycle's active positions and returns a Detection
+// when the MBBE vote crosses the threshold, or nil. The slice is copied.
+func (d *Detector) Push(active []int32) *Detection {
+	// Retire the layer leaving the window.
+	old := d.ring[d.head]
+	for _, p := range old {
+		d.counts[p]--
+	}
+	layer := old[:0]
+	for _, p := range active {
+		d.counts[p]++
+		layer = append(layer, p)
+	}
+	d.ring[d.head] = layer
+	d.head = (d.head + 1) % d.cfg.Window
+	d.cycle++
+
+	// Vote.
+	d.flagged = d.flagged[:0]
+	for p, v := range d.counts {
+		if float64(v) > d.vth && d.masked[p] < d.cycle {
+			d.flagged = append(d.flagged, p)
+		}
+	}
+	if len(d.flagged) <= d.cfg.Nth {
+		return nil
+	}
+	det := &Detection{
+		Cycle:         d.cycle,
+		OnsetEstimate: d.cycle - d.cfg.Window,
+		Flagged:       append([]int(nil), d.flagged...),
+	}
+	if det.OnsetEstimate < 0 {
+		det.OnsetEstimate = 0
+	}
+	return det
+}
+
+// Reset clears the detector state while keeping the configuration.
+func (d *Detector) Reset() {
+	for i := range d.counts {
+		d.counts[i] = 0
+		d.masked[i] = -1
+	}
+	for i := range d.ring {
+		d.ring[i] = d.ring[i][:0]
+	}
+	d.head, d.cycle = 0, 0
+}
+
+// MedianPosition estimates the strike centre as the per-axis median of the
+// flagged positions, with positions laid out row-major over cols columns.
+func MedianPosition(flagged []int, cols int) (r, c int) {
+	if len(flagged) == 0 {
+		return 0, 0
+	}
+	rs := make([]int, len(flagged))
+	cs := make([]int, len(flagged))
+	for i, p := range flagged {
+		rs[i] = p / cols
+		cs[i] = p % cols
+	}
+	sort.Ints(rs)
+	sort.Ints(cs)
+	return rs[len(rs)/2], cs[len(cs)/2]
+}
+
+// NthBounds returns the paper's criterion (Sec. IV-A) for choosing the vote
+// threshold: ln(pL)/ln(alpha) < nth < dano^2 − ln(pL)/ln(alpha). The bounds
+// keep both false-positive and true-negative detection rates below the
+// logical error rate. ok reports whether a valid nth exists; when it does
+// not, the paper notes the device is already MBBE-tolerant.
+func NthBounds(pL, alpha float64, dano int) (lo, hi float64, ok bool) {
+	base := math.Log(pL) / math.Log(alpha)
+	lo = base
+	hi = float64(dano*dano) - base
+	return lo, hi, lo < hi
+}
+
+// FalseNegativeRate predicts, via the CLT, the probability that a counter of
+// an anomalous position stays below Vth after a full window at activity
+// muAno: Phi((Vth − cwin·muAno)/(sqrt(cwin)·sigmaAno)).
+func FalseNegativeRate(cfg Config, muAno, sigmaAno float64) float64 {
+	vth := stats.CLTThreshold(cfg.Window, cfg.Mu, cfg.Sigma, cfg.Alpha)
+	z := (vth - float64(cfg.Window)*muAno) / (math.Sqrt(float64(cfg.Window)) * sigmaAno)
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// MinWindowAnalytic returns the smallest window for which the per-counter
+// false-negative rate predicted by the CLT drops below target, given the
+// normal and anomalous activity moments. It mirrors the "required window
+// size" curve of Fig. 7 analytically; the experiment harness measures the
+// same quantity by simulation.
+func MinWindowAnalytic(mu, sigma, muAno, sigmaAno, alpha, target float64) int {
+	if muAno <= mu {
+		return math.MaxInt32 // indistinguishable
+	}
+	for w := 1; w <= 1<<20; w++ {
+		cfg := Config{Positions: 1, Window: w, Mu: mu, Sigma: sigma, Alpha: alpha, Nth: 0}
+		if FalseNegativeRate(cfg, muAno, sigmaAno) <= target {
+			return w
+		}
+	}
+	return math.MaxInt32
+}

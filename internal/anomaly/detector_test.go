@@ -1,0 +1,289 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"q3de/internal/stats"
+)
+
+func defaultConfig() Config {
+	return Config{Positions: 100, Window: 50, Mu: 0.05, Sigma: 0.22, Alpha: 0.01, Nth: 3}
+}
+
+func TestNoDetectionOnQuietStream(t *testing.T) {
+	d := New(defaultConfig())
+	for i := 0; i < 500; i++ {
+		if det := d.Push(nil); det != nil {
+			t.Fatalf("cycle %d: detection on empty stream: %+v", i, det)
+		}
+	}
+	if d.Cycle() != 500 {
+		t.Errorf("cycle = %d, want 500", d.Cycle())
+	}
+}
+
+func TestNoDetectionAtCalibratedRate(t *testing.T) {
+	// With the paper's realistic vote threshold (nth = 20) calibrated noise
+	// must essentially never trigger: the chance of 21 of 100 counters
+	// simultaneously exceeding their 1% tail is astronomically small.
+	cfg := defaultConfig()
+	cfg.Nth = 20
+	d := New(cfg)
+	rng := stats.NewRNG(61, 62)
+	falsePositives := 0
+	for i := 0; i < 2000; i++ {
+		var active []int32
+		for p := 0; p < cfg.Positions; p++ {
+			if rng.Float64() < cfg.Mu {
+				active = append(active, int32(p))
+			}
+		}
+		if d.Push(active) != nil {
+			falsePositives++
+		}
+	}
+	if falsePositives != 0 {
+		t.Errorf("false positives at nth=20 on calibrated noise: %d/2000", falsePositives)
+	}
+}
+
+func TestDetectsHotRegion(t *testing.T) {
+	cfg := defaultConfig()
+	d := New(cfg)
+	rng := stats.NewRNG(63, 64)
+	hot := []int32{10, 11, 12, 13, 20, 21, 22, 23}
+	onset := 200
+	var det *Detection
+	for i := 0; i < 2000 && det == nil; i++ {
+		var active []int32
+		for p := 0; p < cfg.Positions; p++ {
+			rate := cfg.Mu
+			if i >= onset && contains(hot, int32(p)) {
+				rate = 0.5
+			}
+			if rng.Float64() < rate {
+				active = append(active, int32(p))
+			}
+		}
+		det = d.Push(active)
+		if det != nil && i < onset {
+			t.Fatalf("detected before onset at cycle %d", i)
+		}
+	}
+	if det == nil {
+		t.Fatal("hot region never detected")
+	}
+	latency := det.Cycle - onset
+	if latency < 0 || latency > 3*cfg.Window {
+		t.Errorf("latency %d outside plausible range (window %d)", latency, cfg.Window)
+	}
+	// Most flagged positions should be genuinely hot.
+	hotFlags := 0
+	for _, p := range det.Flagged {
+		if contains(hot, int32(p)) {
+			hotFlags++
+		}
+	}
+	if hotFlags < len(det.Flagged)/2 {
+		t.Errorf("flagged positions mostly cold: %d/%d hot", hotFlags, len(det.Flagged))
+	}
+	if det.OnsetEstimate > det.Cycle {
+		t.Error("onset estimate after detection cycle")
+	}
+}
+
+func TestMaskSuppressesRedetection(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Nth = 3
+	cfg.Alpha = 0.001 // keep cold-counter false votes negligible for this test
+	d := New(cfg)
+	rng := stats.NewRNG(65, 66)
+	hot := []int32{40, 41, 42, 43, 44, 45}
+	detections := 0
+	for i := 0; i < 3000; i++ {
+		var active []int32
+		for p := 0; p < cfg.Positions; p++ {
+			rate := cfg.Mu
+			if contains(hot, int32(p)) {
+				rate = 0.6
+			}
+			if rng.Float64() < rate {
+				active = append(active, int32(p))
+			}
+		}
+		if det := d.Push(active); det != nil {
+			detections++
+			d.Mask(det.Flagged, i+100000) // mask for the rest of the run
+		}
+	}
+	if detections == 0 {
+		t.Fatal("no detection at all")
+	}
+	if detections > 3 {
+		t.Errorf("masking should prevent repeated detections, got %d", detections)
+	}
+}
+
+func TestMaskExpiry(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Nth = 1
+	cfg.Alpha = 0.001
+	d := New(cfg)
+	rng := stats.NewRNG(67, 68)
+	hot := []int32{5, 6, 7}
+	first, second := -1, -1
+	for i := 0; i < 4000; i++ {
+		var active []int32
+		for p := 0; p < cfg.Positions; p++ {
+			rate := cfg.Mu
+			if contains(hot, int32(p)) {
+				rate = 0.7
+			}
+			if rng.Float64() < rate {
+				active = append(active, int32(p))
+			}
+		}
+		if det := d.Push(active); det != nil {
+			if first < 0 {
+				first = i
+				d.Mask(det.Flagged, i+500)
+			} else if i > first+500 && second < 0 {
+				second = i
+			}
+		}
+	}
+	if first < 0 {
+		t.Fatal("no first detection")
+	}
+	if second < 0 {
+		t.Error("after the mask expired the still-hot region should re-trigger")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	cfg := defaultConfig()
+	d := New(cfg)
+	for i := 0; i < 100; i++ {
+		d.Push([]int32{1, 2, 3})
+	}
+	if d.Count(1) == 0 {
+		t.Fatal("expected nonzero count before reset")
+	}
+	d.Reset()
+	if d.Cycle() != 0 || d.Count(1) != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Window = 10
+	d := New(cfg)
+	// Activate position 0 for exactly 10 cycles, then go quiet: the count
+	// must rise to 10 and then fall back to 0.
+	for i := 0; i < 10; i++ {
+		d.Push([]int32{0})
+	}
+	if d.Count(0) != 10 {
+		t.Fatalf("count = %d, want 10", d.Count(0))
+	}
+	for i := 0; i < 10; i++ {
+		d.Push(nil)
+	}
+	if d.Count(0) != 0 {
+		t.Errorf("count after quiet window = %d, want 0", d.Count(0))
+	}
+}
+
+func TestVthMatchesEq3(t *testing.T) {
+	cfg := defaultConfig()
+	d := New(cfg)
+	want := float64(cfg.Window)*cfg.Mu +
+		math.Sqrt(2*float64(cfg.Window)*cfg.Sigma*cfg.Sigma)*stats.ErfInv(1-cfg.Alpha)
+	if math.Abs(d.Vth()-want) > 1e-12 {
+		t.Errorf("Vth = %v, want %v", d.Vth(), want)
+	}
+}
+
+func TestMedianPosition(t *testing.T) {
+	cols := 10
+	flagged := []int{11, 12, 21, 22, 23, 31} // rows 1..3, cols 1..3
+	r, c := MedianPosition(flagged, cols)
+	if r != 2 || c != 2 {
+		t.Errorf("median = (%d,%d), want (2,2)", r, c)
+	}
+	if r, c := MedianPosition(nil, 10); r != 0 || c != 0 {
+		t.Error("empty flag list should give origin")
+	}
+}
+
+func TestNthBounds(t *testing.T) {
+	lo, hi, ok := NthBounds(1e-10, 0.01, 4)
+	if !ok {
+		t.Fatal("expected valid nth range for realistic parameters")
+	}
+	// ln(1e-10)/ln(0.01) = 5; dano^2 - 5 = 11.
+	if math.Abs(lo-5) > 1e-9 || math.Abs(hi-11) > 1e-9 {
+		t.Errorf("bounds = (%v,%v), want (5,11)", lo, hi)
+	}
+	if _, _, ok := NthBounds(1e-10, 0.01, 2); ok {
+		t.Error("dano=2 leaves no valid nth at pL=1e-10; the paper calls this MBBE-tolerant")
+	}
+}
+
+func TestFalseNegativeRateMonotoneInWindow(t *testing.T) {
+	cfg := defaultConfig()
+	muAno, sigmaAno := 0.4, 0.49
+	prev := 1.0
+	for _, w := range []int{10, 50, 200, 800} {
+		cfg.Window = w
+		fn := FalseNegativeRate(cfg, muAno, sigmaAno)
+		if fn > prev+1e-12 {
+			t.Errorf("FN rate should fall with window: w=%d fn=%v prev=%v", w, fn, prev)
+		}
+		prev = fn
+	}
+}
+
+func TestMinWindowAnalytic(t *testing.T) {
+	w := MinWindowAnalytic(0.05, 0.22, 0.4, 0.49, 0.01, 0.01)
+	if w <= 0 || w > 1000 {
+		t.Errorf("implausible window %d for a strong anomaly", w)
+	}
+	// A weaker anomaly needs a longer window.
+	w2 := MinWindowAnalytic(0.05, 0.22, 0.08, 0.27, 0.01, 0.01)
+	if w2 <= w {
+		t.Errorf("weaker anomaly should need longer window: strong=%d weak=%d", w, w2)
+	}
+	if MinWindowAnalytic(0.05, 0.22, 0.05, 0.22, 0.01, 0.01) != math.MaxInt32 {
+		t.Error("identical rates are undetectable")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Positions: 0, Window: 10, Alpha: 0.01},
+		{Positions: 10, Window: 0, Alpha: 0.01},
+		{Positions: 10, Window: 10, Alpha: 0},
+		{Positions: 10, Window: 10, Alpha: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func contains(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

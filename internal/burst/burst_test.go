@@ -1,0 +1,161 @@
+package burst
+
+import (
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/sim"
+	"q3de/internal/stats"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	for _, s := range []Source{CosmicRay, AtomLoss, CrystalScramble, Leakage, CalibrationDrift} {
+		p, ok := ps[s]
+		if !ok {
+			t.Fatalf("missing profile for %v", s)
+		}
+		if p.Source != s {
+			t.Errorf("%v: profile source mismatch", s)
+		}
+		if p.DurationCycles <= 0 || p.MeanCyclesBetween <= 0 {
+			t.Errorf("%v: nonpositive timing", s)
+		}
+		if s.String() == "" {
+			t.Errorf("%v: empty name", s)
+		}
+	}
+}
+
+func TestReactionAssignments(t *testing.T) {
+	ps := Profiles()
+	// Per Sec. IX: rays recover by themselves (expand); atomic mechanisms
+	// need active servicing (relocate).
+	if ps[CosmicRay].Reaction != ReactExpand {
+		t.Error("cosmic rays should be handled by expansion")
+	}
+	for _, s := range []Source{AtomLoss, CrystalScramble, Leakage, CalibrationDrift} {
+		if ps[s].Reaction != ReactRelocate {
+			t.Errorf("%v should require relocation", s)
+		}
+	}
+	if ReactExpand.String() != "expand" || ReactRelocate.String() != "relocate" {
+		t.Error("reaction names wrong")
+	}
+}
+
+func TestPanoSaturation(t *testing.T) {
+	ps := Profiles()
+	if got := ps[AtomLoss].Pano(1e-3); got != 0.5 {
+		t.Errorf("saturated source pano = %v, want 0.5", got)
+	}
+	if got := ps[CosmicRay].Pano(1e-3); got != 0.1 {
+		t.Errorf("ray pano = %v, want 0.1", got)
+	}
+	if got := ps[CosmicRay].Pano(1e-2); got != 0.5 {
+		t.Errorf("ray pano should cap at 0.5, got %v", got)
+	}
+}
+
+func TestRegionGeometry(t *testing.T) {
+	l := lattice.New(11, 50)
+	rng := stats.NewRNG(1, 2)
+	ps := Profiles()
+
+	for trial := 0; trial < 50; trial++ {
+		b := ps[CosmicRay].Region(l, rng, 10)
+		if b.R1-b.R0+1 != 4 {
+			t.Fatalf("ray region rows = %d, want 4", b.R1-b.R0+1)
+		}
+		if b.R0 < 0 || b.R1 > 10 || b.C0 < 0 || b.C1 > 9 {
+			t.Fatalf("region out of bounds: %+v", b)
+		}
+		if b.T0 != 10 {
+			t.Fatalf("onset not honoured: %+v", b)
+		}
+	}
+	// Whole-patch sources cover everything.
+	b := ps[CrystalScramble].Region(l, rng, 0)
+	if b.R0 != 0 || b.R1 != 10 || b.C0 != 0 {
+		t.Errorf("scramble should cover the patch: %+v", b)
+	}
+	// Single-site sources are 1x1.
+	b = ps[AtomLoss].Region(l, rng, 0)
+	if b.R1 != b.R0 || b.C1 != b.C0 {
+		t.Errorf("atom loss should be a single site: %+v", b)
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	ps := Profiles()
+	ray := ps[CosmicRay].DutyCycle()
+	if ray <= 0 || ray >= 1 {
+		t.Errorf("ray duty cycle = %v, want in (0,1)", ray)
+	}
+	// Leakage is frequent in the long-application regime the paper warns
+	// about: its duty cycle should dominate atom loss.
+	if ps[Leakage].DutyCycle() <= ps[AtomLoss].DutyCycle() {
+		t.Error("leakage should dominate atom loss in duty cycle")
+	}
+	zero := Profile{DurationCycles: 10}
+	if zero.DutyCycle() != 0 {
+		t.Error("zero arrival rate should give zero duty")
+	}
+}
+
+func TestSingleSiteBurstIsDecodable(t *testing.T) {
+	// A 1x1 saturated region (atom loss) barely moves the logical error
+	// rate of a d=9 code: Q3DE's machinery treats it as a weak MBBE. This
+	// validates the paper's claim that single-bit bursts are the easy case.
+	d := 9
+	l := lattice.New(d, d)
+	rng := stats.NewRNG(3, 4)
+	prof := Profiles()[AtomLoss]
+	box := prof.Region(l, rng, 0)
+	box.T1 = l.Rounds - 1
+
+	clean := sim.RunMemory(sim.MemoryConfig{D: d, P: 3e-3, Decoder: sim.DecoderGreedy,
+		MaxShots: 6000, Seed: 5})
+	lost := sim.RunMemory(sim.MemoryConfig{D: d, P: 3e-3, Box: &box, Pano: prof.Pano(3e-3),
+		Decoder: sim.DecoderGreedy, MaxShots: 6000, Seed: 5})
+	big := sim.RunMemory(sim.MemoryConfig{D: d, P: 3e-3, Box: ptr(l.CenteredBox(4)), Pano: 0.5,
+		Decoder: sim.DecoderGreedy, MaxShots: 6000, Seed: 5})
+	if lost.PL >= big.PL {
+		t.Errorf("single-site burst (%v) should be far milder than a 4x4 one (%v)", lost.PL, big.PL)
+	}
+	_ = clean
+}
+
+func TestWholePatchBurstSaturates(t *testing.T) {
+	// A crystal scramble (whole patch at 50%) destroys the logical qubit:
+	// failure probability approaches 1/2 per shot.
+	d := 7
+	l := lattice.New(d, d)
+	rng := stats.NewRNG(7, 8)
+	prof := Profiles()[CrystalScramble]
+	box := prof.Region(l, rng, 0)
+	box.T1 = l.Rounds - 1
+	r := sim.RunMemory(sim.MemoryConfig{D: d, P: 1e-3, Box: &box, Pano: 0.5,
+		Decoder: sim.DecoderGreedy, MaxShots: 2000, Seed: 9})
+	if r.PShot < 0.3 {
+		t.Errorf("scrambled patch should be near-random: PShot = %v", r.PShot)
+	}
+}
+
+func ptr(b lattice.Box) *lattice.Box { return &b }
+
+func TestNoiseIntegration(t *testing.T) {
+	// Profiles plug directly into the noise model.
+	d := 7
+	l := lattice.New(d, d)
+	rng := stats.NewRNG(11, 12)
+	prof := Profiles()[CosmicRay]
+	box := prof.Region(l, rng, 0)
+	m := noise.NewModel(l, 1e-3, &box, prof.Pano(1e-3))
+	var s noise.Sample
+	m.Draw(rng, &s)
+	if m.ExpectedFlips() <= 0 {
+		t.Error("model should expect flips")
+	}
+}

@@ -1,0 +1,309 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"q3de/internal/anomaly"
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/deform"
+	"q3de/internal/lattice"
+)
+
+// Config parameterises a streaming Q3DE controller for one logical qubit's
+// syndrome lattice.
+type Config struct {
+	D         int     // code distance
+	P         float64 // calibrated physical error rate
+	PanoGuess float64 // error rate assumed inside a detected anomalous region
+
+	Cwin      int     // anomaly-detection window
+	Cbat      int     // matching-queue batch length; 0 = OptimalBatch(cwin)
+	Mu, Sigma float64 // calibrated activity moments
+	Alpha     float64 // detection confidence parameter (paper: 0.01)
+	Nth       int     // detection vote threshold (paper: 20)
+
+	// React enables the Q3DE reactions (rollback re-decode and op_expand
+	// request emission). With React false the controller degenerates to the
+	// standard architecture, which is the paper's comparison baseline.
+	React bool
+
+	// DanoGuess bounds the estimated anomalous-region size when reacting.
+	DanoGuess int
+}
+
+// Controller is the streaming control-unit pipeline: syndrome layers flow in
+// once per code cycle; decoding commits in batches of cbat layers with a
+// d-layer lookahead; the anomaly detection unit watches the same stream and,
+// on a detection, triggers the Sec. VI-C rollback: committed batches newer
+// than the estimated onset minus d are undone, the decoder switches to the
+// anomaly-weighted metric, and the affected layers are re-decoded. A
+// detection also enqueues an op_expand request on the attached stabilizer
+// map (dynamic code deformation, Sec. V).
+type Controller struct {
+	cfg Config
+
+	lat      *lattice.Lattice
+	detector *anomaly.Detector
+	dec      decoder.Decoder
+	deform   *deform.StabilizerMap // optional; receives op_expand requests
+
+	Frame    PauliFrame
+	Register ClassicalRegister
+	History  InstructionHistory
+
+	cycle      int
+	pool       []lattice.Coord // deferred (uncommitted) defects
+	batches    []batchRecord   // the matching queue
+	lastCommit int
+
+	// detection state
+	DetectedAt    int // cycle of detection, -1 before
+	OnsetAt       int // estimated onset cycle
+	RollbackDepth int // layers re-decoded by the rollback
+	box           *lattice.Box
+
+	// statistics
+	Rollbacks int
+	Aborted   int // rollbacks aborted because the CPU already read a result
+}
+
+type batchRecord struct {
+	endCycle int
+	flip     bool
+	defects  []lattice.Coord
+}
+
+// NewController builds the controller for a run horizon of maxCycles noisy
+// rounds. The lattice spans the full horizon so re-decodes can reach back.
+func NewController(cfg Config, maxCycles int, sm *deform.StabilizerMap) *Controller {
+	if cfg.Cbat == 0 {
+		cfg.Cbat = OptimalBatch(cfg.Cwin)
+	}
+	if cfg.DanoGuess == 0 {
+		cfg.DanoGuess = 4
+	}
+	lat := lattice.New(cfg.D, maxCycles)
+	det := anomaly.New(anomaly.Config{
+		Positions: lat.NodesPerLayer(),
+		Window:    cfg.Cwin,
+		Mu:        cfg.Mu,
+		Sigma:     cfg.Sigma,
+		Alpha:     cfg.Alpha,
+		Nth:       cfg.Nth,
+	})
+	c := &Controller{
+		cfg:        cfg,
+		lat:        lat,
+		detector:   det,
+		dec:        greedy.New(lattice.NewMetric(cfg.D, cfg.P, cfg.P, nil)),
+		deform:     sm,
+		DetectedAt: -1,
+		OnsetAt:    -1,
+	}
+	return c
+}
+
+// Cycle returns the number of layers consumed.
+func (c *Controller) Cycle() int { return c.cycle }
+
+// Box returns the detected anomalous region, or nil.
+func (c *Controller) Box() *lattice.Box { return c.box }
+
+// Push feeds one code cycle's active syndrome positions (node ids within the
+// layer, i.e. r*(d-1)+c). Defect coordinates are stamped with the current
+// cycle as their time index.
+func (c *Controller) Push(activePositions []int32) {
+	t := c.cycle
+	c.cycle++
+	for _, p := range activePositions {
+		cols := c.lat.D - 1
+		c.pool = append(c.pool, lattice.Coord{R: int(p) / cols, C: int(p) % cols, T: t})
+	}
+	if det := c.detector.Push(activePositions); det != nil && c.cfg.React && c.box == nil {
+		c.onDetection(det)
+	}
+	if c.cycle%c.cfg.Cbat == 0 {
+		c.commitThrough(c.cycle - c.cfg.D)
+	}
+}
+
+// onDetection implements the reaction: estimate the region, roll back, switch
+// the decoding metric, and request a code expansion.
+func (c *Controller) onDetection(det *anomaly.Detection) {
+	c.DetectedAt = det.Cycle
+	// Refine the onset estimate beyond the window-start bound: an anomalous
+	// counter accumulates activity at roughly one hit per two cycles, so it
+	// crossed Vth about 2*Vth cycles after the strike (plus a small vote
+	// margin). Being early is not free — every clean cycle wrongly inside
+	// the anomalous window degrades the re-decode — so prefer the climb
+	// model over the conservative det.OnsetEstimate.
+	climb := int(2*c.detector.Vth()) + c.cfg.Cbat
+	c.OnsetAt = maxInt(det.Cycle-climb, det.OnsetEstimate)
+
+	cols := c.lat.D - 1
+	// Estimate the spatial extent from the flagged counters using per-axis
+	// 10th/90th percentiles (robust to stray cold counters), then shrink by
+	// one ring: data qubits on the rim of the strike also raise the counters
+	// just outside the region, so the flagged extent overestimates the
+	// anomaly by about one node per side — and an oversized region estimate
+	// costs real decoding accuracy because it cheapens spurious
+	// boundary-to-boundary paths.
+	rs := make([]int, len(det.Flagged))
+	cs := make([]int, len(det.Flagged))
+	for i, p := range det.Flagged {
+		rs[i], cs[i] = p/cols, p%cols
+	}
+	sort.Ints(rs)
+	sort.Ints(cs)
+	lo := len(rs) / 10
+	hi := len(rs) - 1 - len(rs)/10
+	r0, r1 := rs[lo], rs[hi]
+	c0, c1 := cs[lo], cs[hi]
+	if r1-r0 >= 2 {
+		r0, r1 = r0+1, r1-1
+	}
+	if c1-c0 >= 2 {
+		c0, c1 = c0+1, c1-1
+	}
+	box := lattice.Box{
+		R0: clampInt(r0, 0, c.lat.D-1),
+		R1: clampInt(r1, 0, c.lat.D-1),
+		C0: clampInt(c0, 0, cols-1),
+		C1: clampInt(c1, 0, cols-1),
+		T0: maxInt(0, c.OnsetAt),
+		T1: c.lat.Rounds - 1,
+	}
+	c.box = &box
+	c.dec = greedy.New(lattice.NewMetric(c.cfg.D, c.cfg.P, c.cfg.PanoGuess, &box))
+
+	// Rollback to (t - clat - d): the estimated onset minus the decoding
+	// lookahead.
+	to := c.OnsetAt - c.cfg.D
+	if err := c.Register.Rollback(to); err != nil {
+		c.Aborted++
+		return // per Sec. VI-C the rollback is aborted
+	}
+	c.Frame.Rollback(to)
+	// Instruction-driven frame updates are not decoding state: replay them
+	// from the instruction history buffer so logical-operation effects
+	// survive the rollback.
+	for _, e := range c.History.After(to) {
+		c.Frame.Apply(e.Cycle, e.Flip)
+	}
+	// Undo every batch committed after the rollback point; the frame journal
+	// has already reverted their parity flips, so only the defects must
+	// return to the pool for re-decoding under the weighted metric.
+	for len(c.batches) > 0 {
+		last := c.batches[len(c.batches)-1]
+		if last.endCycle <= to {
+			break
+		}
+		c.pool = append(c.pool, last.defects...)
+		c.batches = c.batches[:len(c.batches)-1]
+	}
+	c.lastCommit = 0
+	c.RollbackDepth = c.cycle - to
+	c.Rollbacks++
+
+	// Dynamic code deformation: issue op_expand.
+	if c.deform != nil {
+		c.deform.Enqueue(deform.Request{
+			Qubit: 0,
+			DExp:  deform.RequiredExpandedDistance(c.cfg.D, c.cfg.DanoGuess),
+			Hold:  c.cfg.Cwin * 10, // hold for a typical MBBE lifetime
+		})
+	}
+}
+
+// commitThrough decodes the current pool and commits matches whose defects
+// all lie strictly before the given cycle; the rest stay deferred (the
+// d-layer lookahead of the decoding unit).
+func (c *Controller) commitThrough(before int) {
+	if before <= c.lastCommit || len(c.pool) == 0 {
+		return
+	}
+	res := c.dec.Decode(c.pool)
+	var committed []lattice.Coord
+	keep := c.pool[:0]
+	flip := false
+	decided := make([]bool, len(c.pool))
+	for _, m := range res.Matches {
+		if m.B == decoder.BoundaryPartner {
+			if c.pool[m.A].T < before {
+				decided[m.A] = true
+				committed = append(committed, c.pool[m.A])
+				if m.Left {
+					flip = !flip
+				}
+			}
+			continue
+		}
+		if c.pool[m.A].T < before && c.pool[m.B].T < before {
+			decided[m.A], decided[m.B] = true, true
+			committed = append(committed, c.pool[m.A], c.pool[m.B])
+		}
+	}
+	for i, cd := range c.pool {
+		if !decided[i] {
+			keep = append(keep, cd)
+		}
+	}
+	c.pool = keep
+	c.Frame.Apply(c.cycle, flip)
+	c.batches = append(c.batches, batchRecord{endCycle: c.cycle, flip: flip, defects: committed})
+	c.lastCommit = before
+}
+
+// Finish flushes the pipeline: every remaining defect is decoded and
+// committed. It returns the final accumulated correction parity.
+func (c *Controller) Finish() bool {
+	if len(c.pool) > 0 {
+		res := c.dec.Decode(c.pool)
+		c.Frame.Apply(c.cycle, res.CutParity)
+		c.batches = append(c.batches, batchRecord{endCycle: c.cycle, flip: res.CutParity, defects: c.pool})
+		c.pool = nil
+	}
+	return c.Frame.Parity()
+}
+
+// MatchingQueueLen exposes the number of stored batch records.
+func (c *Controller) MatchingQueueLen() int { return len(c.batches) }
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String summarises the controller state for logs.
+func (c *Controller) String() string {
+	return fmt.Sprintf("controller{cycle=%d pool=%d batches=%d detected=%d rollbacks=%d}",
+		c.cycle, len(c.pool), len(c.batches), c.DetectedAt, c.Rollbacks)
+}

@@ -1,0 +1,114 @@
+package control
+
+import "fmt"
+
+// PauliFrame tracks the accumulated recovery operation of one logical qubit
+// as cut-crossing parities (one bit per logical operator; we track the
+// Z-species cut, the X frame being symmetric). Every update is journaled so
+// the frame can be rolled back to any earlier cycle, which is the property
+// the paper's re-execution procedure relies on ("since all the operations on
+// the Pauli frame and classical register are reversible, we can revert them
+// by storing the update operations").
+type PauliFrame struct {
+	parity  bool
+	journal []frameUpdate
+}
+
+type frameUpdate struct {
+	cycle int
+	flip  bool
+}
+
+// Apply records a decoding update at the given cycle.
+func (f *PauliFrame) Apply(cycle int, flip bool) {
+	if flip {
+		f.parity = !f.parity
+	}
+	f.journal = append(f.journal, frameUpdate{cycle: cycle, flip: flip})
+}
+
+// Parity returns the current accumulated parity.
+func (f *PauliFrame) Parity() bool { return f.parity }
+
+// Rollback reverts every update recorded at cycles > to and returns how many
+// updates were undone.
+func (f *PauliFrame) Rollback(to int) int {
+	n := 0
+	for len(f.journal) > 0 {
+		last := f.journal[len(f.journal)-1]
+		if last.cycle <= to {
+			break
+		}
+		if last.flip {
+			f.parity = !f.parity
+		}
+		f.journal = f.journal[:len(f.journal)-1]
+		n++
+	}
+	return n
+}
+
+// JournalLen exposes the journal size (the instruction-history-buffer cost).
+func (f *PauliFrame) JournalLen() int { return len(f.journal) }
+
+// RegisterEntry is one logical measurement outcome in the classical register.
+type RegisterEntry struct {
+	Cycle     int
+	Raw       bool // raw outcome from the measurement-result extraction unit
+	Corrected bool // whether the Pauli frame has caught up ("error-corrected")
+	Value     bool // corrected value, valid once Corrected
+	ReadByCPU bool // a read instruction already consumed it
+}
+
+// ClassicalRegister holds logical measurement results awaiting correction by
+// the Pauli frame.
+type ClassicalRegister struct {
+	entries []RegisterEntry
+}
+
+// Record stores a raw outcome at the given cycle and returns its index.
+func (r *ClassicalRegister) Record(cycle int, raw bool) int {
+	r.entries = append(r.entries, RegisterEntry{Cycle: cycle, Raw: raw})
+	return len(r.entries) - 1
+}
+
+// Correct marks an entry error-corrected with its final value.
+func (r *ClassicalRegister) Correct(idx int, value bool) {
+	e := &r.entries[idx]
+	e.Corrected = true
+	e.Value = value
+}
+
+// Read returns the corrected value; ok is false while the entry is still
+// marked not-error-corrected (the read instruction must block).
+func (r *ClassicalRegister) Read(idx int) (value bool, ok bool) {
+	e := &r.entries[idx]
+	if !e.Corrected {
+		return false, false
+	}
+	e.ReadByCPU = true
+	return e.Value, true
+}
+
+// Entry returns a copy of the entry.
+func (r *ClassicalRegister) Entry(idx int) RegisterEntry { return r.entries[idx] }
+
+// Len returns the number of entries.
+func (r *ClassicalRegister) Len() int { return len(r.entries) }
+
+// Rollback marks every entry corrected at cycles > to as not-error-corrected
+// again. It returns an error if any such entry was already consumed by the
+// host CPU: per Sec. VI-C the rollback must be aborted in that case, since
+// reverting the host CPU is too costly.
+func (r *ClassicalRegister) Rollback(to int) error {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.Cycle > to && e.Corrected {
+			if e.ReadByCPU {
+				return fmt.Errorf("control: entry %d (cycle %d) already read by host CPU; rollback aborted", i, e.Cycle)
+			}
+			e.Corrected = false
+		}
+	}
+	return nil
+}

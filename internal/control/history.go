@@ -1,0 +1,62 @@
+package control
+
+// InstructionHistory is the instruction history buffer of paper Fig. 1:
+// logical instructions (e.g. op_H, lattice surgery) transform the Pauli
+// frame as they commit, and those updates — unlike decoding updates — must
+// survive a decoder rollback. The buffer therefore journals
+// instruction-driven frame updates separately so the rollback procedure can
+// first revert the frame wholesale and then replay the instruction effects
+// (Sec. VI-C: "since the Pauli frame must be updated according to the
+// execution of logical instructions, its update history is also stored in
+// the instruction history buffer").
+type InstructionHistory struct {
+	entries []HistoryEntry
+}
+
+// HistoryEntry is one instruction-driven frame update.
+type HistoryEntry struct {
+	Cycle int
+	Instr int  // instruction id, for diagnostics
+	Flip  bool // effect on the tracked logical parity
+}
+
+// Record journals one instruction effect.
+func (h *InstructionHistory) Record(cycle, instr int, flip bool) {
+	h.entries = append(h.entries, HistoryEntry{Cycle: cycle, Instr: instr, Flip: flip})
+}
+
+// After returns the entries with Cycle > cycle, in order.
+func (h *InstructionHistory) After(cycle int) []HistoryEntry {
+	// Entries are appended in cycle order; binary search would do, but the
+	// suffix is short in practice (the rollback horizon is clat+d cycles).
+	for i, e := range h.entries {
+		if e.Cycle > cycle {
+			return h.entries[i:]
+		}
+	}
+	return nil
+}
+
+// Trim drops entries with Cycle <= cycle that can no longer be needed by any
+// rollback (older than the syndrome queue horizon).
+func (h *InstructionHistory) Trim(cycle int) {
+	keep := h.entries[:0]
+	for _, e := range h.entries {
+		if e.Cycle > cycle {
+			keep = append(keep, e)
+		}
+	}
+	h.entries = keep
+}
+
+// Len returns the number of journaled entries.
+func (h *InstructionHistory) Len() int { return len(h.entries) }
+
+// ApplyInstruction records a committed logical instruction's effect on the
+// Pauli frame: it is journaled in the instruction history buffer and applied
+// to the frame. A rollback reverts the frame and then replays these entries,
+// so instruction effects persist across decoder re-execution.
+func (c *Controller) ApplyInstruction(instr int, flip bool) {
+	c.History.Record(c.cycle, instr, flip)
+	c.Frame.Apply(c.cycle, flip)
+}

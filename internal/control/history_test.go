@@ -1,0 +1,84 @@
+package control
+
+import (
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+func TestInstructionHistoryBasics(t *testing.T) {
+	var h InstructionHistory
+	h.Record(5, 1, true)
+	h.Record(9, 2, false)
+	h.Record(14, 3, true)
+	if h.Len() != 3 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	after := h.After(8)
+	if len(after) != 2 || after[0].Instr != 2 || after[1].Instr != 3 {
+		t.Errorf("After(8) = %+v", after)
+	}
+	if len(h.After(100)) != 0 {
+		t.Error("After beyond the journal should be empty")
+	}
+	h.Trim(9)
+	if h.Len() != 1 || h.entries[0].Instr != 3 {
+		t.Errorf("Trim kept %+v", h.entries)
+	}
+}
+
+func TestInstructionEffectsSurviveRollback(t *testing.T) {
+	// Apply a logical-instruction frame flip mid-stream; after an MBBE
+	// rollback the instruction's effect must persist even though all
+	// decoding updates after the rollback point were reverted.
+	d, p := 9, 0.003
+	rounds := 200
+	onset := 100
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(4)
+	box.T0 = onset
+	model := noise.NewModel(l, p, &box, 0.4)
+	rng := stats.NewRNG(83, 84)
+	var s noise.Sample
+	model.Draw(rng, &s)
+
+	run := func(withInstr bool) (bool, int) {
+		c := NewController(controllerConfig(d, p, true), rounds, nil)
+		perLayer := make([][]int32, l.Rounds)
+		for _, id := range s.Defects {
+			co := l.NodeCoord(id)
+			perLayer[co.T] = append(perLayer[co.T], int32(co.R*(l.D-1)+co.C))
+		}
+		for t2 := 0; t2 < l.Rounds; t2++ {
+			if withInstr && t2 == onset+5 {
+				// A logical operation flips the tracked frame parity just
+				// before the detection-triggered rollback reverts this era.
+				c.ApplyInstruction(42, true)
+			}
+			c.Push(perLayer[t2])
+		}
+		return c.Finish(), c.Rollbacks
+	}
+
+	plain, rb1 := run(false)
+	flipped, rb2 := run(true)
+	if rb1 != 1 || rb2 != 1 {
+		t.Fatalf("expected exactly one rollback in each run: %d, %d", rb1, rb2)
+	}
+	if plain == flipped {
+		t.Error("the instruction flip was lost across the rollback")
+	}
+}
+
+func TestApplyInstructionJournals(t *testing.T) {
+	c := NewController(controllerConfig(9, 0.003, false), 50, nil)
+	c.ApplyInstruction(7, true)
+	if c.History.Len() != 1 {
+		t.Error("instruction not journaled")
+	}
+	if !c.Frame.Parity() {
+		t.Error("instruction flip not applied to the frame")
+	}
+}

@@ -1,0 +1,63 @@
+// Package control implements the Q3DE control unit of paper Fig. 1: the
+// syndrome queue, Pauli frame, classical register, matching queue and
+// instruction history buffer, the decoder rollback / re-execution procedure
+// of Sec. VI-C, and the buffer sizing analysis of Table III.
+package control
+
+import "math"
+
+// BufferSizing evaluates the memory overheads of Table III for one logical
+// qubit: both syndrome species contribute, hence the factor 2d^2 positions.
+type BufferSizing struct {
+	D    int // code distance
+	Cwin int // anomaly-detection window length
+}
+
+// OptimalBatch returns cbat = sqrt(2*cwin), the batching factor that
+// minimises the summed syndrome-queue and matching-queue memory (Sec. VI-C).
+func OptimalBatch(cwin int) int {
+	return int(math.Round(math.Sqrt(2 * float64(cwin))))
+}
+
+// SyndromeQueueBits returns the enlarged syndrome queue size
+// 2d^2(cwin + sqrt(2*cwin)) bits: the window plus cbat extra layers kept for
+// rollback.
+func (b BufferSizing) SyndromeQueueBits() float64 {
+	return 2 * float64(b.D*b.D) * (float64(b.Cwin) + math.Sqrt(2*float64(b.Cwin)))
+}
+
+// ActiveNodeCounterBits returns 2d^2*log2(cwin) bits: one saturating counter
+// per position wide enough to count a full window.
+func (b BufferSizing) ActiveNodeCounterBits() float64 {
+	return 2 * float64(b.D*b.D) * math.Log2(float64(b.Cwin))
+}
+
+// MatchingQueueBits returns 2d^2*sqrt(cwin/2) bits: per-batch aggregated
+// matching results with cross-batch pair information.
+func (b BufferSizing) MatchingQueueBits() float64 {
+	return 2 * float64(b.D*b.D) * math.Sqrt(float64(b.Cwin)/2)
+}
+
+// BaselineSyndromeQueueBits returns the MBBE-free queue size 2d^3 bits the
+// paper compares against (d layers of both species).
+func (b BufferSizing) BaselineSyndromeQueueBits() float64 {
+	return 2 * float64(b.D) * float64(b.D) * float64(b.D)
+}
+
+// TotalBits sums the Q3DE-added buffer memory (instruction history and
+// expansion queues are negligible per Table III).
+func (b BufferSizing) TotalBits() float64 {
+	return b.SyndromeQueueBits() + b.ActiveNodeCounterBits() + b.MatchingQueueBits()
+}
+
+// RollbackMemoryBits returns the cbat-dependent part of the rollback buffers
+// for an arbitrary batching factor: the extra cbat syndrome layers kept for
+// re-decoding plus the per-batch matching records (2*cwin/cbat entries).
+// Table III instantiates this at the optimum cbat = sqrt(2*cwin).
+func RollbackMemoryBits(d, cwin, cbat int) float64 {
+	if cbat <= 0 {
+		panic("control: cbat must be positive")
+	}
+	perPos := 2 * float64(d*d)
+	return perPos * (float64(cbat) + 2*float64(cwin)/float64(cbat))
+}

@@ -1,0 +1,109 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalBatchMinimisesRollbackMemory(t *testing.T) {
+	// The paper's claim: cbat = sqrt(2*cwin) minimises the summed syndrome
+	// and matching buffer memory. Check the integer optimum over a sweep.
+	for _, cwin := range []int{50, 100, 300, 1000} {
+		best, bestC := math.Inf(1), 0
+		for c := 1; c <= 4*cwin; c++ {
+			if m := RollbackMemoryBits(31, cwin, c); m < best {
+				best, bestC = m, c
+			}
+		}
+		opt := OptimalBatch(cwin)
+		// Allow the rounding of sqrt to land one off the integer optimum.
+		if abs(bestC-opt) > 1 {
+			t.Errorf("cwin=%d: integer optimum %d, OptimalBatch %d", cwin, bestC, opt)
+		}
+		// The memory at the formula's choice is within a hair of optimal.
+		if RollbackMemoryBits(31, cwin, opt) > best*1.01 {
+			t.Errorf("cwin=%d: formula choice wastes memory", cwin)
+		}
+	}
+}
+
+func TestRollbackMemoryConvexProperty(t *testing.T) {
+	// Property: moving away from the optimum in either direction never
+	// decreases the memory (unimodality around sqrt(2*cwin)).
+	f := func(seed uint8) bool {
+		cwin := 20 + int(seed)*7
+		opt := OptimalBatch(cwin)
+		m := RollbackMemoryBits(21, cwin, opt)
+		for c := opt + 2; c < opt+20; c += 3 {
+			if RollbackMemoryBits(21, cwin, c) < m-1e-9 {
+				return false
+			}
+		}
+		for c := opt - 2; c >= 1; c -= 3 {
+			if RollbackMemoryBits(21, cwin, c) < m-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRollbackMemoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cbat <= 0")
+		}
+	}()
+	RollbackMemoryBits(31, 300, 0)
+}
+
+func TestPauliFrameRollbackProperty(t *testing.T) {
+	// Property: applying a sequence of updates and rolling back to cycle 0
+	// always restores the initial parity.
+	f := func(flips []bool) bool {
+		var fr PauliFrame
+		for i, fl := range flips {
+			fr.Apply(i+1, fl)
+		}
+		fr.Rollback(0)
+		return fr.Parity() == false && fr.JournalLen() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPauliFramePartialRollbackProperty(t *testing.T) {
+	// Property: rollback to cycle k leaves exactly the parity of the first
+	// k updates.
+	f := func(flips []bool, kRaw uint8) bool {
+		if len(flips) == 0 {
+			return true
+		}
+		k := int(kRaw) % len(flips)
+		var fr PauliFrame
+		want := false
+		for i, fl := range flips {
+			fr.Apply(i+1, fl)
+			if i < k && fl {
+				want = !want
+			}
+		}
+		fr.Rollback(k)
+		return fr.Parity() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

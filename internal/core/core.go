@@ -1,0 +1,166 @@
+// Package core is the public facade of the Q3DE library: it wires the
+// substrates (lattice geometry, noise, decoders, anomaly detection, code
+// deformation, control pipeline) into the architecture of paper Fig. 1 and
+// exposes the handful of entry points a downstream user needs:
+//
+//   - Memory experiments: MemoryExperiment / Run estimate logical error
+//     rates per cycle with or without MBBEs, with a pluggable decoder —
+//     the workhorse behind the paper's Figs. 3 and 8.
+//   - A protected logical qubit: NewLogicalQubit builds the full streaming
+//     Q3DE pipeline (syndrome queue → anomaly detection → dynamic code
+//     deformation → rollback re-decoding) around one surface-code patch.
+//   - Cosmic-ray modelling: RayParams (re-exported from noise) and the
+//     scaling/throughput models live in their own packages and are reached
+//     through the experiment harness.
+package core
+
+import (
+	"q3de/internal/control"
+	"q3de/internal/decoder"
+	"q3de/internal/deform"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/sim"
+	"q3de/internal/stats"
+)
+
+// Re-exported configuration types, so downstream code imports only core for
+// the common workflows.
+type (
+	// MemoryExperiment configures a logical-memory Monte-Carlo run.
+	MemoryExperiment = sim.MemoryConfig
+	// MemoryResult is the outcome of a memory run.
+	MemoryResult = sim.MemoryResult
+	// Box is an anomalous (MBBE) region in node coordinates.
+	Box = lattice.Box
+	// RayParams is the cosmic-ray strike process parameterisation.
+	RayParams = noise.RayParams
+)
+
+// Decoder kinds for MemoryExperiment.Decoder.
+const (
+	DecoderGreedy    = sim.DecoderGreedy
+	DecoderMWPM      = sim.DecoderMWPM
+	DecoderUnionFind = sim.DecoderUnionFind
+)
+
+// Run executes a memory experiment.
+func Run(e MemoryExperiment) MemoryResult { return sim.RunMemory(e) }
+
+// CenteredMBBE returns a dano-sized anomalous region centred on a
+// distance-d patch, active from cycle t0 on (pass 0 for the whole run).
+func CenteredMBBE(d, rounds, dano, t0 int) Box {
+	l := lattice.New(d, rounds)
+	b := l.CenteredBox(dano)
+	if t0 > 0 {
+		b.T0 = t0
+	}
+	return b
+}
+
+// LogicalQubit is one surface-code patch protected by the full Q3DE control
+// pipeline: in-situ anomaly detection, dynamic code deformation and
+// optimized (rollback) error decoding.
+type LogicalQubit struct {
+	// Controller is the streaming control unit (syndrome queue, Pauli frame,
+	// classical register, matching queue, rollback).
+	Controller *control.Controller
+	// Map is the stabilizer map holding the patch's deformation state.
+	Map *deform.StabilizerMap
+	// Patch is the deformation state machine of this qubit.
+	Patch *deform.Patch
+
+	lat *lattice.Lattice
+}
+
+// QubitConfig configures a protected logical qubit.
+type QubitConfig struct {
+	D    int     // code distance
+	P    float64 // calibrated physical error rate per cycle
+	Pano float64 // assumed anomalous error rate for re-decoding (e.g. 100*P)
+
+	Cwin  int     // detection window (cycles)
+	Alpha float64 // detection confidence parameter (paper: 0.01)
+	Nth   int     // detection vote threshold (paper: 20)
+	Dano  int     // expected anomaly size (paper: 4)
+
+	// Horizon is the maximum number of cycles the qubit will stream.
+	Horizon int
+
+	// React disables the Q3DE reactions when false (standard architecture).
+	React bool
+
+	// CalibrationShots sets how many shots estimate the activity moments
+	// (mu, sigma); 0 uses 300.
+	CalibrationShots int
+
+	Seed uint64
+}
+
+// NewLogicalQubit builds the protected qubit, running the calibration phase
+// (paper Sec. IV-B: mu and sigma are measured in advance).
+func NewLogicalQubit(cfg QubitConfig) *LogicalQubit {
+	if cfg.Horizon <= 0 {
+		panic("core: horizon must be positive")
+	}
+	shots := cfg.CalibrationShots
+	if shots == 0 {
+		shots = 300
+	}
+	calLat := lattice.New(cfg.D, cfg.D)
+	clean := noise.NewModel(calLat, cfg.P, nil, 0)
+	mu, sigma := clean.NodeActivityMoments(stats.NewRNG(cfg.Seed^0xCA11B, cfg.Seed+1), shots)
+
+	sm := deform.NewStabilizerMap()
+	patch := sm.AddPatch(0, cfg.D)
+	ctl := control.NewController(control.Config{
+		D: cfg.D, P: cfg.P, PanoGuess: cfg.Pano,
+		Cwin: cfg.Cwin, Mu: mu, Sigma: sigma,
+		Alpha: cfg.Alpha, Nth: cfg.Nth,
+		React: cfg.React, DanoGuess: cfg.Dano,
+	}, cfg.Horizon, sm)
+	return &LogicalQubit{Controller: ctl, Map: sm, Patch: patch, lat: lattice.New(cfg.D, cfg.Horizon)}
+}
+
+// Lattice exposes the decoding lattice spanning the qubit's horizon.
+func (q *LogicalQubit) Lattice() *lattice.Lattice { return q.lat }
+
+// PushCycle feeds one code cycle of active syndrome positions (layer-local
+// node ids r*(d-1)+c) and advances the deformation state machine.
+func (q *LogicalQubit) PushCycle(active []int32) {
+	q.Controller.Push(active)
+	q.Map.Step()
+}
+
+// Finish flushes the decoding pipeline and returns the final correction
+// parity, to be compared against the error's cut parity.
+func (q *LogicalQubit) Finish() bool { return q.Controller.Finish() }
+
+// Detected reports whether an MBBE was detected, and at which cycle.
+func (q *LogicalQubit) Detected() (cycle int, ok bool) {
+	return q.Controller.DetectedAt, q.Controller.DetectedAt >= 0
+}
+
+// CurrentDistance returns the patch's present code distance (raised while an
+// op_expand holds).
+func (q *LogicalQubit) CurrentDistance() int { return q.Patch.Distance() }
+
+// StreamSample replays a pre-drawn noise sample through the pipeline and
+// reports whether the shot was decoded correctly. Layers are derived from
+// the sample's defect list.
+func (q *LogicalQubit) StreamSample(s *noise.Sample) bool {
+	perLayer := make([][]int32, q.lat.Rounds)
+	cols := q.lat.D - 1
+	for _, id := range s.Defects {
+		co := q.lat.NodeCoord(id)
+		perLayer[co.T] = append(perLayer[co.T], int32(co.R*cols+co.C))
+	}
+	for t := 0; t < q.lat.Rounds; t++ {
+		q.PushCycle(perLayer[t])
+	}
+	return q.Finish() == s.CutParity
+}
+
+// Validate re-exports the decoder result validator for library users who
+// supply their own decoders.
+func Validate(r decoder.Result, n int) bool { return decoder.Validate(r, n) }

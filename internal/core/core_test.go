@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+func TestRunMemoryFacade(t *testing.T) {
+	r := Run(MemoryExperiment{D: 5, P: 0.01, Decoder: DecoderGreedy, MaxShots: 2000, Seed: 1})
+	if r.Shots != 2000 {
+		t.Fatalf("shots = %d", r.Shots)
+	}
+	if r.PL < 0 || r.PL > 1 {
+		t.Fatalf("pL = %v out of range", r.PL)
+	}
+}
+
+func TestCenteredMBBE(t *testing.T) {
+	b := CenteredMBBE(21, 21, 4, 7)
+	if b.R1-b.R0+1 != 4 || b.C1-b.C0+1 != 4 {
+		t.Errorf("box size wrong: %+v", b)
+	}
+	if b.T0 != 7 {
+		t.Errorf("T0 = %d, want 7", b.T0)
+	}
+	whole := CenteredMBBE(9, 9, 2, 0)
+	if whole.T0 != 0 {
+		t.Errorf("t0=0 should span from the start: %+v", whole)
+	}
+}
+
+func qubitConfig(react bool) QubitConfig {
+	return QubitConfig{
+		D: 11, P: 0.003, Pano: 0.4,
+		Cwin: 30, Alpha: 0.01, Nth: 12, Dano: 4,
+		Horizon: 60, React: react, Seed: 5,
+	}
+}
+
+func TestLogicalQubitCleanStream(t *testing.T) {
+	q := NewLogicalQubit(qubitConfig(true))
+	l := q.Lattice()
+	model := noise.NewModel(l, 0.003, nil, 0)
+	var s noise.Sample
+	model.Draw(stats.NewRNG(7, 8), &s)
+	ok := q.StreamSample(&s)
+	if _, detected := q.Detected(); detected {
+		t.Error("clean stream must not trigger detection")
+	}
+	_ = ok // correctness of individual shots is statistical; tested in bulk below
+	if q.CurrentDistance() != 11 {
+		t.Errorf("distance = %d, want 11", q.CurrentDistance())
+	}
+}
+
+func TestLogicalQubitDetectsAndExpands(t *testing.T) {
+	cfg := qubitConfig(true)
+	q := NewLogicalQubit(cfg)
+	l := q.Lattice()
+	box := l.CenteredBox(4)
+	box.T0 = 30
+	model := noise.NewModel(l, cfg.P, &box, 0.4)
+	var s noise.Sample
+	model.Draw(stats.NewRNG(9, 10), &s)
+	q.StreamSample(&s)
+	if _, detected := q.Detected(); !detected {
+		t.Fatal("MBBE not detected")
+	}
+	// The op_expand must have reached the stabilizer map; depending on the
+	// detection cycle the patch is expanded or still holds the raised DExp.
+	if q.Patch.DExp == 0 {
+		t.Error("op_expand never reached the patch")
+	}
+}
+
+func TestLogicalQubitReactionBeatsBaselineInBulk(t *testing.T) {
+	cfg := qubitConfig(true)
+	base := qubitConfig(false)
+	lat := lattice.New(cfg.D, cfg.Horizon)
+	box := lat.CenteredBox(4)
+	box.T0 = 45
+	model := noise.NewModel(lat, cfg.P, &box, 0.4)
+	rng := stats.NewRNG(11, 12)
+	shots := 60
+	var s noise.Sample
+	reactFails, blindFails := 0, 0
+	for i := 0; i < shots; i++ {
+		model.Draw(rng, &s)
+		if !NewLogicalQubit(cfg).StreamSample(&s) {
+			reactFails++
+		}
+		if !NewLogicalQubit(base).StreamSample(&s) {
+			blindFails++
+		}
+	}
+	if reactFails > blindFails {
+		t.Errorf("react=%d blind=%d of %d: reaction should not hurt", reactFails, blindFails, shots)
+	}
+}
+
+func TestNewLogicalQubitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero horizon should panic")
+		}
+	}()
+	NewLogicalQubit(QubitConfig{D: 5, P: 0.01})
+}

@@ -1,0 +1,89 @@
+// Package decoder defines the common interface of the error-decoding
+// strategies compared in the Q3DE paper: the exact minimum-weight perfect
+// matching decoder (Edmonds' blossom algorithm, used for the paper's
+// numerical evaluation), the greedy radius decoder (the QECOOL-style
+// hardware decoder of Sec. VI-B), and a union-find decoder (the alternative
+// family the paper cites).
+//
+// All decoders consume the set of active syndrome nodes ("defects") of one
+// 3-D lattice and produce a matching: every defect is paired with another
+// defect or with a rough boundary. The logical outcome of a shot is decided
+// by comparing the matching's cut-crossing parity with the error's.
+package decoder
+
+import (
+	"q3de/internal/lattice"
+)
+
+// BoundaryPartner marks a defect matched to a boundary rather than to
+// another defect.
+const BoundaryPartner = -1
+
+// Match pairs defect index A with defect index B, or with a boundary when
+// B == BoundaryPartner (Left tells which side, which decides cut parity).
+type Match struct {
+	A, B int
+	Left bool
+}
+
+// Result is a decoding outcome.
+type Result struct {
+	Matches []Match
+	// CutParity is the parity of logical-cut crossings implied by the
+	// correction: one crossing per defect matched to the left boundary.
+	CutParity bool
+	// Weight is the total matching cost under the decoder's metric.
+	Weight float64
+}
+
+// Decoder estimates a recovery operation from a defect set. Implementations
+// are NOT safe for concurrent use; create one per worker.
+type Decoder interface {
+	// Decode matches the given defects. The coordinate slice is not retained.
+	Decode(defects []lattice.Coord) Result
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// CutParityOf derives the correction's logical-cut parity from matches:
+// every left-boundary match crosses the cut exactly once and node-to-node
+// correction paths are internal.
+func CutParityOf(matches []Match) bool {
+	parity := false
+	for _, m := range matches {
+		if m.B == BoundaryPartner && m.Left {
+			parity = !parity
+		}
+	}
+	return parity
+}
+
+// Validate checks structural invariants of a result against the defect
+// count: every defect appears in exactly one match. It returns false when the
+// matching is not a partition of the defects.
+func Validate(r Result, n int) bool {
+	seen := make([]bool, n)
+	count := 0
+	for _, m := range r.Matches {
+		if m.A < 0 || m.A >= n {
+			return false
+		}
+		if seen[m.A] {
+			return false
+		}
+		seen[m.A] = true
+		count++
+		if m.B == BoundaryPartner {
+			continue
+		}
+		if m.B < 0 || m.B >= n || m.B == m.A {
+			return false
+		}
+		if seen[m.B] {
+			return false
+		}
+		seen[m.B] = true
+		count++
+	}
+	return count == n
+}

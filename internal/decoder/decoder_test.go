@@ -1,0 +1,182 @@
+package decoder_test
+
+import (
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+func coordsOf(l *lattice.Lattice, ids []int32) []lattice.Coord {
+	out := make([]lattice.Coord, len(ids))
+	for i, id := range ids {
+		out[i] = l.NodeCoord(id)
+	}
+	return out
+}
+
+func decoders(m *lattice.Metric) []decoder.Decoder {
+	return []decoder.Decoder{greedy.New(m), mwpm.New(m)}
+}
+
+func TestDecodersEmptyInput(t *testing.T) {
+	for _, d := range decoders(lattice.UniformMetric(5)) {
+		r := d.Decode(nil)
+		if len(r.Matches) != 0 || r.CutParity || r.Weight != 0 {
+			t.Errorf("%s: empty input should produce empty result", d.Name())
+		}
+	}
+}
+
+func TestDecodersSingleDefect(t *testing.T) {
+	// One defect must be matched to its nearest boundary.
+	m := lattice.UniformMetric(9)
+	for _, d := range decoders(m) {
+		r := d.Decode([]lattice.Coord{{R: 4, C: 0, T: 0}})
+		if !decoder.Validate(r, 1) {
+			t.Fatalf("%s: invalid matching", d.Name())
+		}
+		mt := r.Matches[0]
+		if mt.B != decoder.BoundaryPartner || !mt.Left {
+			t.Errorf("%s: defect at column 0 should match left boundary, got %+v", d.Name(), mt)
+		}
+		if !r.CutParity {
+			t.Errorf("%s: left boundary match must flip cut parity", d.Name())
+		}
+	}
+}
+
+func TestDecodersAdjacentPair(t *testing.T) {
+	// Two adjacent defects in the bulk should pair with each other.
+	m := lattice.UniformMetric(11)
+	defects := []lattice.Coord{{R: 5, C: 5, T: 3}, {R: 5, C: 6, T: 3}}
+	for _, d := range decoders(m) {
+		r := d.Decode(defects)
+		if !decoder.Validate(r, 2) {
+			t.Fatalf("%s: invalid matching", d.Name())
+		}
+		if len(r.Matches) != 1 || r.Matches[0].B == decoder.BoundaryPartner {
+			t.Errorf("%s: adjacent bulk pair should match together: %+v", d.Name(), r.Matches)
+		}
+		if r.CutParity {
+			t.Errorf("%s: internal pair must not flip cut parity", d.Name())
+		}
+	}
+}
+
+func TestDecodersValidateOnRandomSamples(t *testing.T) {
+	l := lattice.New(9, 9)
+	model := noise.NewModel(l, 0.03, nil, 0)
+	m := lattice.UniformMetric(9)
+	rng := stats.NewRNG(31, 37)
+	var s noise.Sample
+	for _, d := range decoders(m) {
+		for trial := 0; trial < 30; trial++ {
+			model.Draw(rng, &s)
+			r := d.Decode(coordsOf(l, s.Defects))
+			if !decoder.Validate(r, len(s.Defects)) {
+				t.Fatalf("%s trial %d: invalid matching for %d defects", d.Name(), trial, len(s.Defects))
+			}
+			if r.CutParity != decoder.CutParityOf(r.Matches) {
+				t.Fatalf("%s trial %d: inconsistent parity", d.Name(), trial)
+			}
+		}
+	}
+}
+
+func TestMWPMNeverHeavierThanGreedy(t *testing.T) {
+	// MWPM is exact, so its matching weight must never exceed greedy's under
+	// the same metric (up to weight quantization).
+	l := lattice.New(9, 9)
+	model := noise.NewModel(l, 0.02, nil, 0)
+	m := lattice.NewMetric(9, 0.02, 0, nil)
+	g, x := greedy.New(m), mwpm.New(m)
+	rng := stats.NewRNG(41, 43)
+	var s noise.Sample
+	for trial := 0; trial < 40; trial++ {
+		model.Draw(rng, &s)
+		defects := coordsOf(l, s.Defects)
+		rg := g.Decode(defects)
+		rx := x.Decode(defects)
+		if rx.Weight > rg.Weight+1e-6 {
+			t.Fatalf("trial %d: mwpm weight %v exceeds greedy %v (%d defects)",
+				trial, rx.Weight, rg.Weight, len(defects))
+		}
+	}
+}
+
+func TestWeightedDecodersRouteThroughAnomaly(t *testing.T) {
+	// Fig 6(a) scenario: two defects on opposite sides of a very noisy box.
+	// The weighted decoders should pair them cheaply through the box instead
+	// of sending both to boundaries.
+	d := 11
+	box := lattice.Box{R0: 0, R1: 10, C0: 3, C1: 6, T0: 0, T1: 0}
+	m := lattice.NewMetric(d, 0.001, 0.45, &box)
+	defects := []lattice.Coord{{R: 5, C: 2, T: 0}, {R: 5, C: 7, T: 0}}
+	for _, dec := range decoders(m) {
+		r := dec.Decode(defects)
+		if len(r.Matches) != 1 || r.Matches[0].B == decoder.BoundaryPartner {
+			t.Errorf("%s: defects should pair through the anomalous region: %+v", dec.Name(), r.Matches)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := decoder.Result{Matches: []decoder.Match{{A: 0, B: 1}, {A: 2, B: decoder.BoundaryPartner}}}
+	if !decoder.Validate(good, 3) {
+		t.Error("valid matching rejected")
+	}
+	for _, bad := range []decoder.Result{
+		{Matches: []decoder.Match{{A: 0, B: 1}}},                        // defect 2 missing
+		{Matches: []decoder.Match{{A: 0, B: 0}}},                        // self match
+		{Matches: []decoder.Match{{A: 0, B: 1}, {A: 1, B: 2}}},          // duplicate
+		{Matches: []decoder.Match{{A: 0, B: 5}}},                        // out of range
+		{Matches: []decoder.Match{{A: -1, B: decoder.BoundaryPartner}}}, // negative
+		{Matches: []decoder.Match{{A: 0, B: 1}, {A: 0, B: 2}}},          // reuse of A
+	} {
+		n := 3
+		if len(bad.Matches) == 1 && bad.Matches[0].B == 5 {
+			n = 3
+		}
+		if decoder.Validate(bad, n) {
+			t.Errorf("invalid matching accepted: %+v", bad.Matches)
+		}
+	}
+}
+
+func TestCutParityOf(t *testing.T) {
+	ms := []decoder.Match{
+		{A: 0, B: decoder.BoundaryPartner, Left: true},
+		{A: 1, B: decoder.BoundaryPartner, Left: false},
+		{A: 2, B: 3},
+	}
+	if !decoder.CutParityOf(ms) {
+		t.Error("one left-boundary match should give odd parity")
+	}
+	ms = append(ms, decoder.Match{A: 4, B: decoder.BoundaryPartner, Left: true})
+	if decoder.CutParityOf(ms) {
+		t.Error("two left-boundary matches should give even parity")
+	}
+}
+
+func TestGreedyRadiusFallback(t *testing.T) {
+	// With a tiny radius bound, distant pairs cannot match and must fall
+	// back to boundaries.
+	m := lattice.UniformMetric(15)
+	g := greedy.New(m)
+	g.MaxRadius = 1
+	defects := []lattice.Coord{{R: 2, C: 7, T: 0}, {R: 12, C: 7, T: 14}}
+	r := g.Decode(defects)
+	if !decoder.Validate(r, 2) {
+		t.Fatal("invalid matching")
+	}
+	for _, mt := range r.Matches {
+		if mt.B != decoder.BoundaryPartner {
+			t.Errorf("radius-bounded greedy should use boundaries, got %+v", mt)
+		}
+	}
+}

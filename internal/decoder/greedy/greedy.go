@@ -1,0 +1,143 @@
+// Package greedy implements the greedy matching decoder of paper Sec. VI-B:
+// the fastest approximated algorithm for uniform-weight graphs (the
+// QECOOL-style decoder the paper's hardware evaluation is built on), extended
+// to anomaly-weighted graphs by replacing the point-to-point distance with
+// the shortest of the constant set of candidate paths (Fig. 6(c)).
+//
+// The paper's hardware iterates a growing radius i = 1..d and matches active
+// nodes reachable within i. Processing candidate pairs in increasing metric
+// order is the same policy (a pair is matched at the radius equal to its
+// distance), so this implementation sorts the candidate edges once and scans
+// them greedily.
+package greedy
+
+import (
+	"math"
+	"slices"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// costScale quantizes metric costs into the sort key. Path costs are O(d)
+// multiples of the edge weights (themselves O(10)), so 256 sub-unit steps
+// keep the full key far below 2^32 while preserving every meaningful
+// ordering.
+const costScale = 256
+
+// Decoder is a greedy matching decoder over a fixed metric.
+type Decoder struct {
+	M *lattice.Metric
+
+	// MaxRadius bounds the pair distance considered, mirroring the paper's
+	// radius loop ending at i = d. Defects that find no partner within the
+	// bound fall back to their boundary.
+	MaxRadius float64
+
+	keys  []uint64
+	bCost []float64
+	bLeft []bool
+}
+
+// New returns a greedy decoder over the metric. The radius bound defaults to
+// d * WN (the paper's i = 1..d loop scaled to weighted units).
+func New(m *lattice.Metric) *Decoder {
+	return &Decoder{M: m, MaxRadius: float64(m.D) * m.WN}
+}
+
+// Name implements decoder.Decoder.
+func (g *Decoder) Name() string {
+	if g.M.Weighted() {
+		return "greedy-weighted"
+	}
+	return "greedy"
+}
+
+// Decode implements decoder.Decoder.
+//
+// Candidates are packed into uint64 sort keys: quantized cost in the high 32
+// bits, then the defect index, then the partner (0 = boundary, j+1 = defect
+// j). At equal cost a boundary candidate therefore sorts before pairs, which
+// makes the following pruning rule exact: a pair whose cost is not strictly
+// below both endpoints' boundary costs can never be applied, because by the
+// time the scan reaches it both endpoints have already seen their boundary
+// candidate.
+func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	n := len(defects)
+	res := decoder.Result{}
+	if n == 0 {
+		return res
+	}
+	if n >= 1<<16 {
+		panic("greedy: defect count exceeds 65535")
+	}
+
+	g.bCost = g.bCost[:0]
+	g.bLeft = g.bLeft[:0]
+	g.keys = g.keys[:0]
+	for i, c := range defects {
+		cost, left := g.M.BoundaryDist(c)
+		g.bCost = append(g.bCost, cost)
+		g.bLeft = append(g.bLeft, left)
+		g.keys = append(g.keys, packKey(cost, i, -1))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := g.M.NodeDist(defects[i], defects[j])
+			if c > g.MaxRadius {
+				continue
+			}
+			if c >= g.bCost[i] || c >= g.bCost[j] {
+				continue // boundary dominates; pair can never be applied
+			}
+			g.keys = append(g.keys, packKey(c, i, j))
+		}
+	}
+	slices.Sort(g.keys)
+
+	matched := make([]bool, n)
+	remaining := n
+	for _, k := range g.keys {
+		if remaining == 0 {
+			break
+		}
+		a, b := unpackKey(k)
+		if matched[a] {
+			continue
+		}
+		if b < 0 {
+			matched[a] = true
+			remaining--
+			res.Matches = append(res.Matches, decoder.Match{A: a, B: decoder.BoundaryPartner, Left: g.bLeft[a]})
+			res.Weight += g.bCost[a]
+			continue
+		}
+		if matched[b] {
+			continue
+		}
+		matched[a], matched[b] = true, true
+		remaining -= 2
+		res.Matches = append(res.Matches, decoder.Match{A: a, B: b})
+		res.Weight += g.M.NodeDist(defects[a], defects[b])
+	}
+	res.CutParity = decoder.CutParityOf(res.Matches)
+	return res
+}
+
+func packKey(cost float64, a, b int) uint64 {
+	q := uint64(math.Round(cost * costScale))
+	if q > math.MaxUint32 {
+		q = math.MaxUint32
+	}
+	bEnc := uint64(0) // boundary sorts first among equal (cost, a)
+	if b >= 0 {
+		bEnc = uint64(b) + 1
+	}
+	return q<<32 | uint64(a)<<16 | bEnc
+}
+
+func unpackKey(k uint64) (a, b int) {
+	a = int(k >> 16 & 0xFFFF)
+	b = int(k&0xFFFF) - 1
+	return a, b
+}

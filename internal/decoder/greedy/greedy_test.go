@@ -1,0 +1,163 @@
+package greedy
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+func randomDefects(rng *rand.Rand, d, rounds, n int) []lattice.Coord {
+	seen := map[lattice.Coord]bool{}
+	var out []lattice.Coord
+	for len(out) < n {
+		c := lattice.Coord{R: rng.IntN(d), C: rng.IntN(d - 1), T: rng.IntN(rounds)}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestDecodeAlwaysValidProperty(t *testing.T) {
+	d := 11
+	g := New(lattice.NewMetric(d, 0.01, 0, nil))
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := int(nRaw)%40 + 1
+		defects := randomDefects(rng, d, d, n)
+		r := g.Decode(defects)
+		return decoder.Validate(r, n) && r.CutParity == decoder.CutParityOf(r.Matches)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeWeightNeverExceedsAllBoundaryProperty(t *testing.T) {
+	// Greedy may be suboptimal, but it can never cost more than sending
+	// every defect to its own boundary: that assignment is always available
+	// and processed in cost order.
+	d := 11
+	m := lattice.NewMetric(d, 0.01, 0, nil)
+	g := New(m)
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := int(nRaw)%30 + 1
+		defects := randomDefects(rng, d, d, n)
+		r := g.Decode(defects)
+		var allBoundary float64
+		for _, c := range defects {
+			cost, _ := m.BoundaryDist(c)
+			allBoundary += cost
+		}
+		return r.Weight <= allBoundary+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	d := 9
+	g := New(lattice.NewMetric(d, 0.005, 0, nil))
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 30; trial++ {
+		defects := randomDefects(rng, d, d, 1+rng.IntN(25))
+		a := g.Decode(defects)
+		b := g.Decode(defects)
+		if a.CutParity != b.CutParity || a.Weight != b.Weight || len(a.Matches) != len(b.Matches) {
+			t.Fatalf("trial %d: nondeterministic decode", trial)
+		}
+	}
+}
+
+func TestDecodeShuffledInputStaysValid(t *testing.T) {
+	// Greedy tie-breaking is index-based, so permuting the input may pick a
+	// different equal-quality matching — but the result must stay a valid
+	// matching, and its weight must stay within the all-boundary upper
+	// bound. (Exact order invariance is a property of MWPM, not greedy.)
+	d := 9
+	m := lattice.NewMetric(d, 0.005, 0, nil)
+	g := New(m)
+	rng := rand.New(rand.NewPCG(8, 9))
+	for trial := 0; trial < 30; trial++ {
+		defects := randomDefects(rng, d, d, 2+rng.IntN(20))
+		shuffled := append([]lattice.Coord(nil), defects...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := g.Decode(shuffled)
+		if !decoder.Validate(r, len(shuffled)) {
+			t.Fatalf("trial %d: shuffled decode invalid", trial)
+		}
+		var allBoundary float64
+		for _, c := range shuffled {
+			cost, _ := m.BoundaryDist(c)
+			allBoundary += cost
+		}
+		if r.Weight > allBoundary+1e-9 {
+			t.Fatalf("trial %d: weight %v above all-boundary bound %v", trial, r.Weight, allBoundary)
+		}
+	}
+}
+
+func TestPackKeyOrderingProperty(t *testing.T) {
+	// Keys must order primarily by cost; at equal quantized cost, boundary
+	// candidates sort before pair candidates of the same defect.
+	f := func(c1Raw, c2Raw uint16, a1, a2 uint8) bool {
+		c1 := float64(c1Raw) / 64
+		c2 := float64(c2Raw) / 64
+		k1 := packKey(c1, int(a1), -1)
+		k2 := packKey(c2, int(a2), -1)
+		if c1 < c2-1.0/costScale {
+			return k1 < k2
+		}
+		if c2 < c1-1.0/costScale {
+			return k2 < k1
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Boundary-before-pair at identical cost and defect.
+	if packKey(3.0, 5, -1) >= packKey(3.0, 5, 7) {
+		t.Error("boundary candidate must precede pair candidate at equal cost")
+	}
+}
+
+func TestPackKeyRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ a, b int }{{0, -1}, {5, 9}, {1000, -1}, {65534, 65533}} {
+		k := packKey(1.5, tc.a, tc.b)
+		a, b := unpackKey(k)
+		if a != tc.a || b != tc.b {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", tc.a, tc.b, a, b)
+		}
+	}
+}
+
+func TestDecodePanicsOnHugeInput(t *testing.T) {
+	g := New(lattice.UniformMetric(5))
+	defects := make([]lattice.Coord, 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 2^16 defects")
+		}
+	}()
+	g.Decode(defects)
+}
+
+func TestWeightedNameAndBehaviour(t *testing.T) {
+	d := 9
+	box := lattice.Box{R0: 3, R1: 5, C0: 3, C1: 5, T0: 0, T1: 8}
+	g := New(lattice.NewMetric(d, 0.001, 0.4, &box))
+	if g.Name() != "greedy-weighted" {
+		t.Errorf("name = %q", g.Name())
+	}
+	u := New(lattice.NewMetric(d, 0.001, 0, nil))
+	if u.Name() != "greedy" {
+		t.Errorf("name = %q", u.Name())
+	}
+}

@@ -1,0 +1,87 @@
+// Package lookup implements a lookup-table decoder in the style of LILLIPUT
+// (paper ref [11]: "a lightweight low-latency lookup-table based decoder for
+// near-term quantum error correction"). For small code distances the entire
+// syndrome space of the 3-D decoding graph is enumerable, so the decoder
+// precomputes the correction parity for every possible defect pattern and
+// serves decode requests with a single memory access — the lowest-latency
+// strategy available to a control unit, at exponential memory cost.
+//
+// The table is built by exhaustively decoding every pattern with a backing
+// decoder (exact MWPM by default), so the lookup decoder inherits its
+// accuracy while shedding its latency.
+package lookup
+
+import (
+	"fmt"
+	"math/bits"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// MaxTableNodes bounds the syndrome space: 2^22 entries (one bit each,
+// 512 KiB) is the largest table that still builds in seconds.
+const MaxTableNodes = 22
+
+// Decoder is a precomputed lookup-table decoder for one small lattice.
+type Decoder struct {
+	L *lattice.Lattice
+
+	table []byte // one parity bit per syndrome pattern, bit-packed
+	name  string
+}
+
+// New builds the table by running the backing decoder over every syndrome
+// pattern of the lattice. The lattice must have at most MaxTableNodes nodes.
+func New(l *lattice.Lattice, backing decoder.Decoder) *Decoder {
+	n := l.NumNodes()
+	if n > MaxTableNodes {
+		panic(fmt.Sprintf("lookup: %d nodes exceeds the %d-node table bound", n, MaxTableNodes))
+	}
+	size := 1 << n
+	d := &Decoder{
+		L:     l,
+		table: make([]byte, (size+7)/8),
+		name:  "lookup(" + backing.Name() + ")",
+	}
+	coords := make([]lattice.Coord, 0, n)
+	for mask := 0; mask < size; mask++ {
+		coords = coords[:0]
+		m := mask
+		for m != 0 {
+			id := bits.TrailingZeros(uint(m))
+			m &= m - 1
+			coords = append(coords, l.NodeCoord(int32(id)))
+		}
+		if backing.Decode(coords).CutParity {
+			d.table[mask>>3] |= 1 << (mask & 7)
+		}
+	}
+	return d
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string { return d.name }
+
+// TableBytes returns the memory footprint of the table.
+func (d *Decoder) TableBytes() int { return len(d.table) }
+
+// Decode implements decoder.Decoder with a single table access. The Matches
+// field encodes only the parity (like the union-find decoder, the table does
+// not retain pairings).
+func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	mask := 0
+	for _, c := range defects {
+		mask |= 1 << d.L.NodeID(c)
+	}
+	parity := d.table[mask>>3]&(1<<(mask&7)) != 0
+	res := decoder.Result{CutParity: parity}
+	for i := range defects {
+		m := decoder.Match{A: i, B: decoder.BoundaryPartner}
+		if i == 0 && parity {
+			m.Left = true
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	return res
+}

@@ -1,0 +1,116 @@
+package lookup
+
+import (
+	"sync"
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+var (
+	sharedOnce    sync.Once
+	sharedLattice *lattice.Lattice
+	sharedBacking decoder.Decoder
+	sharedLookup  *Decoder
+)
+
+// smallLattice builds the 2^18-entry table once: every pattern is decoded
+// with MWPM during construction, which dominates the package's test time.
+func smallLattice() (*lattice.Lattice, decoder.Decoder, *Decoder) {
+	sharedOnce.Do(func() {
+		sharedLattice = lattice.New(3, 3) // 3*2*3 = 18 nodes, 2^18 entries
+		sharedBacking = mwpm.New(lattice.NewMetric(3, 0.01, 0, nil))
+		sharedLookup = New(sharedLattice, sharedBacking)
+	})
+	return sharedLattice, sharedBacking, sharedLookup
+}
+
+func TestAgreesWithBackingDecoder(t *testing.T) {
+	l, backing, lk := smallLattice()
+	model := noise.NewModel(l, 0.05, nil, 0)
+	rng := stats.NewRNG(61, 62)
+	var s noise.Sample
+	for trial := 0; trial < 300; trial++ {
+		model.Draw(rng, &s)
+		coords := make([]lattice.Coord, len(s.Defects))
+		for i, id := range s.Defects {
+			coords[i] = l.NodeCoord(id)
+		}
+		want := backing.Decode(coords).CutParity
+		got := lk.Decode(coords).CutParity
+		if got != want {
+			t.Fatalf("trial %d: lookup %v, backing %v (defects %v)", trial, got, want, coords)
+		}
+	}
+}
+
+func TestDecodeAccuracyMatchesBacking(t *testing.T) {
+	// End to end: the lookup decoder's logical error rate must equal the
+	// backing decoder's on identical sample streams.
+	l, backing, lk := smallLattice()
+	model := noise.NewModel(l, 0.04, nil, 0)
+	rng := stats.NewRNG(63, 64)
+	var s noise.Sample
+	shots := 2000
+	lkFails, bkFails := 0, 0
+	for i := 0; i < shots; i++ {
+		model.Draw(rng, &s)
+		coords := make([]lattice.Coord, len(s.Defects))
+		for j, id := range s.Defects {
+			coords[j] = l.NodeCoord(id)
+		}
+		if lk.Decode(coords).CutParity != s.CutParity {
+			lkFails++
+		}
+		if backing.Decode(coords).CutParity != s.CutParity {
+			bkFails++
+		}
+	}
+	if lkFails != bkFails {
+		t.Errorf("lookup fails %d, backing fails %d — must be identical", lkFails, bkFails)
+	}
+}
+
+func TestTableSize(t *testing.T) {
+	_, _, lk := smallLattice()
+	if lk.TableBytes() != (1<<18)/8 {
+		t.Errorf("table = %d bytes, want %d", lk.TableBytes(), (1<<18)/8)
+	}
+	if lk.Name() != "lookup(mwpm)" {
+		t.Errorf("name = %q", lk.Name())
+	}
+}
+
+func TestEmptySyndrome(t *testing.T) {
+	_, _, lk := smallLattice()
+	r := lk.Decode(nil)
+	if r.CutParity {
+		t.Error("empty syndrome must decode to identity")
+	}
+}
+
+func TestRejectsLargeLattice(t *testing.T) {
+	l := lattice.New(5, 5) // 100 nodes, far beyond the bound
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized lattice")
+		}
+	}()
+	New(l, mwpm.New(lattice.NewMetric(5, 0.01, 0, nil)))
+}
+
+func TestValidateShape(t *testing.T) {
+	_, _, lk := smallLattice()
+	defects := []lattice.Coord{{R: 0, C: 0, T: 0}, {R: 2, C: 1, T: 2}}
+	r := lk.Decode(defects)
+	if !decoder.Validate(r, 2) {
+		t.Error("result shape invalid")
+	}
+	if r.CutParity != decoder.CutParityOf(r.Matches) {
+		t.Error("parity encoding inconsistent")
+	}
+}

@@ -1,0 +1,448 @@
+// Package mwpm implements exact minimum-weight perfect matching and the MWPM
+// surface-code decoder built on it.
+//
+// The paper's numerical evaluation (Sec. VII-A) estimates the most probable
+// recovery operation by enumerating shortest paths between active nodes and
+// solving a minimum-weight perfect matching problem with Edmonds' blossom
+// algorithm. The authors used Kolmogorov's Blossom V, whose license does not
+// permit redistribution, so this package provides a from-scratch
+// implementation: the classical O(n^3) primal-dual blossom algorithm for
+// maximum-weight matching on a dense graph, reduced from the minimum-weight
+// perfect matching problem by weight reflection.
+package mwpm
+
+// blossomSolver holds the primal-dual state of the O(n^3) maximum-weight
+// general matching algorithm. Vertices are 1-indexed; index 0 is the "null"
+// sentinel. Indices above n denote contracted blossoms.
+type blossomSolver struct {
+	n  int // number of original vertices
+	nx int // current number of vertex slots incl. blossoms
+
+	gu, gv [][]int32 // edge endpoints as stored (blossom rows alias member edges)
+	gw     [][]int64 // edge weights (0 = absent)
+
+	lab        []int64
+	match      []int32
+	slack      []int32
+	st         []int32
+	pa         []int32
+	s          []int8 // -1 free, 0 = S (even), 1 = T (odd)
+	vis        []int32
+	visToken   int32
+	flower     [][]int32
+	flowerFrom [][]int32
+	q          []int32
+}
+
+const infWeight = int64(1) << 62
+
+func newBlossomSolver(n int) *blossomSolver {
+	sz := n + n/2 + 2
+	b := &blossomSolver{n: n, nx: n}
+	b.gu = make([][]int32, sz)
+	b.gv = make([][]int32, sz)
+	b.gw = make([][]int64, sz)
+	for i := range b.gu {
+		b.gu[i] = make([]int32, sz)
+		b.gv[i] = make([]int32, sz)
+		b.gw[i] = make([]int64, sz)
+	}
+	b.lab = make([]int64, sz)
+	b.match = make([]int32, sz)
+	b.slack = make([]int32, sz)
+	b.st = make([]int32, sz)
+	b.pa = make([]int32, sz)
+	b.s = make([]int8, sz)
+	b.vis = make([]int32, sz)
+	b.flower = make([][]int32, sz)
+	b.flowerFrom = make([][]int32, sz)
+	for i := range b.flowerFrom {
+		b.flowerFrom[i] = make([]int32, n+1)
+	}
+	return b
+}
+
+func (b *blossomSolver) eDelta(u, v int32) int64 {
+	return b.lab[b.gu[u][v]] + b.lab[b.gv[u][v]] - b.gw[u][v]*2
+}
+
+func (b *blossomSolver) updateSlack(u, x int32) {
+	if b.slack[x] == 0 || b.eDelta(u, x) < b.eDelta(b.slack[x], x) {
+		b.slack[x] = u
+	}
+}
+
+func (b *blossomSolver) setSlack(x int32) {
+	b.slack[x] = 0
+	for u := int32(1); u <= int32(b.n); u++ {
+		if b.gw[u][x] > 0 && b.st[u] != x && b.s[b.st[u]] == 0 {
+			b.updateSlack(u, x)
+		}
+	}
+}
+
+func (b *blossomSolver) qPush(x int32) {
+	if x <= int32(b.n) {
+		b.q = append(b.q, x)
+		return
+	}
+	for _, f := range b.flower[x] {
+		b.qPush(f)
+	}
+}
+
+func (b *blossomSolver) setSt(x, r int32) {
+	b.st[x] = r
+	if x > int32(b.n) {
+		for _, f := range b.flower[x] {
+			b.setSt(f, r)
+		}
+	}
+}
+
+// getPr locates xr in the flower cycle of blossom bl and orients the cycle so
+// the even-length side starts the walk; it returns the position of xr.
+func (b *blossomSolver) getPr(bl, xr int32) int {
+	pr := 0
+	for i, f := range b.flower[bl] {
+		if f == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		// Reverse flower[1:] to flip the traversal direction.
+		fl := b.flower[bl]
+		for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+			fl[i], fl[j] = fl[j], fl[i]
+		}
+		return len(fl) - pr
+	}
+	return pr
+}
+
+func (b *blossomSolver) setMatch(u, v int32) {
+	b.match[u] = b.gv[u][v]
+	if u <= int32(b.n) {
+		return
+	}
+	eu := b.gu[u][v]
+	xr := b.flowerFrom[u][eu]
+	pr := b.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		b.setMatch(b.flower[u][i], b.flower[u][i^1])
+	}
+	b.setMatch(xr, v)
+	// Rotate flower so xr leads.
+	fl := b.flower[u]
+	rotated := append(append([]int32{}, fl[pr:]...), fl[:pr]...)
+	copy(fl, rotated)
+}
+
+func (b *blossomSolver) augment(u, v int32) {
+	for {
+		xnv := b.st[b.match[u]]
+		b.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		b.setMatch(xnv, b.st[b.pa[xnv]])
+		u, v = b.st[b.pa[xnv]], xnv
+	}
+}
+
+func (b *blossomSolver) getLCA(u, v int32) int32 {
+	b.visToken++
+	t := b.visToken
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if b.vis[u] == t {
+				return u
+			}
+			b.vis[u] = t
+			u = b.st[b.match[u]]
+			if u != 0 {
+				u = b.st[b.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (b *blossomSolver) addBlossom(u, lca, v int32) {
+	bl := int32(b.n) + 1
+	for bl <= int32(b.nx) && b.st[bl] != 0 {
+		bl++
+	}
+	if bl > int32(b.nx) {
+		b.nx++
+	}
+	b.lab[bl] = 0
+	b.s[bl] = 0
+	b.match[bl] = b.match[lca]
+	b.flower[bl] = b.flower[bl][:0]
+	b.flower[bl] = append(b.flower[bl], lca)
+	for x := u; x != lca; {
+		b.flower[bl] = append(b.flower[bl], x)
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	// Reverse flower[1:].
+	fl := b.flower[bl]
+	for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+		fl[i], fl[j] = fl[j], fl[i]
+	}
+	for x := v; x != lca; {
+		b.flower[bl] = append(b.flower[bl], x)
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	b.setSt(bl, bl)
+	for x := int32(1); x <= int32(b.nx); x++ {
+		b.gw[bl][x] = 0
+		b.gw[x][bl] = 0
+	}
+	for x := int32(1); x <= int32(b.n); x++ {
+		b.flowerFrom[bl][x] = 0
+	}
+	for _, xs := range b.flower[bl] {
+		for x := int32(1); x <= int32(b.nx); x++ {
+			if b.gw[bl][x] == 0 || (b.gw[xs][x] > 0 && b.eDelta(xs, x) < b.eDelta(bl, x)) {
+				b.gu[bl][x], b.gv[bl][x], b.gw[bl][x] = b.gu[xs][x], b.gv[xs][x], b.gw[xs][x]
+				b.gu[x][bl], b.gv[x][bl], b.gw[x][bl] = b.gu[x][xs], b.gv[x][xs], b.gw[x][xs]
+			}
+		}
+		for x := int32(1); x <= int32(b.n); x++ {
+			if b.flowerFrom[xs][x] != 0 {
+				b.flowerFrom[bl][x] = xs
+			}
+		}
+	}
+	b.setSlack(bl)
+}
+
+func (b *blossomSolver) expandBlossom(bl int32) {
+	for _, f := range b.flower[bl] {
+		b.setSt(f, f)
+	}
+	xr := b.flowerFrom[bl][b.gu[bl][b.pa[bl]]]
+	pr := b.getPr(bl, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := b.flower[bl][i]
+		xns := b.flower[bl][i+1]
+		b.pa[xs] = b.gu[xns][xs]
+		b.s[xs] = 1
+		b.s[xns] = 0
+		b.slack[xs] = 0
+		b.setSlack(xns)
+		b.qPush(xns)
+	}
+	b.s[xr] = 1
+	b.pa[xr] = b.pa[bl]
+	for i := pr + 1; i < len(b.flower[bl]); i++ {
+		xs := b.flower[bl][i]
+		b.s[xs] = -1
+		b.setSlack(xs)
+	}
+	b.st[bl] = 0
+}
+
+// onFoundEdge processes a tight edge; returns true when an augmenting path
+// was applied.
+func (b *blossomSolver) onFoundEdge(eu, ev int32) bool {
+	u, v := b.st[eu], b.st[ev]
+	switch b.s[v] {
+	case -1:
+		b.pa[v] = eu
+		b.s[v] = 1
+		nu := b.st[b.match[v]]
+		b.slack[v] = 0
+		b.slack[nu] = 0
+		b.s[nu] = 0
+		b.qPush(nu)
+	case 0:
+		lca := b.getLCA(u, v)
+		if lca == 0 {
+			b.augment(u, v)
+			b.augment(v, u)
+			return true
+		}
+		b.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+// matchingPhase runs one phase: grow trees until an augmentation happens or
+// the duals prove no further matching exists.
+func (b *blossomSolver) matchingPhase() bool {
+	for i := 0; i <= b.nx; i++ {
+		b.s[i] = -1
+		b.slack[i] = 0
+	}
+	b.q = b.q[:0]
+	for x := int32(1); x <= int32(b.nx); x++ {
+		if b.st[x] == x && b.match[x] == 0 {
+			b.pa[x] = 0
+			b.s[x] = 0
+			b.qPush(x)
+		}
+	}
+	if len(b.q) == 0 {
+		return false
+	}
+	for {
+		for len(b.q) > 0 {
+			u := b.q[0]
+			b.q = b.q[1:]
+			if b.s[b.st[u]] == 1 {
+				continue
+			}
+			for v := int32(1); v <= int32(b.n); v++ {
+				if b.gw[u][v] > 0 && b.st[u] != b.st[v] {
+					if b.eDelta(u, v) == 0 {
+						if b.onFoundEdge(u, v) {
+							return true
+						}
+					} else {
+						b.updateSlack(u, b.st[v])
+					}
+				}
+			}
+		}
+		d := infWeight
+		for bl := int32(b.n) + 1; bl <= int32(b.nx); bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 {
+				if v := b.lab[bl] / 2; v < d {
+					d = v
+				}
+			}
+		}
+		for x := int32(1); x <= int32(b.nx); x++ {
+			if b.st[x] == x && b.slack[x] != 0 {
+				switch b.s[x] {
+				case -1:
+					if v := b.eDelta(b.slack[x], x); v < d {
+						d = v
+					}
+				case 0:
+					if v := b.eDelta(b.slack[x], x) / 2; v < d {
+						d = v
+					}
+				}
+			}
+		}
+		for u := int32(1); u <= int32(b.n); u++ {
+			switch b.s[b.st[u]] {
+			case 0:
+				if b.lab[u] <= d {
+					return false
+				}
+				b.lab[u] -= d
+			case 1:
+				b.lab[u] += d
+			}
+		}
+		for bl := int32(b.n) + 1; bl <= int32(b.nx); bl++ {
+			if b.st[bl] == bl {
+				switch b.s[bl] {
+				case 0:
+					b.lab[bl] += d * 2
+				case 1:
+					b.lab[bl] -= d * 2
+				}
+			}
+		}
+		b.q = b.q[:0]
+		for x := int32(1); x <= int32(b.nx); x++ {
+			if b.st[x] == x && b.slack[x] != 0 && b.st[b.slack[x]] != x && b.eDelta(b.slack[x], x) == 0 {
+				if b.onFoundEdge(b.slack[x], x) {
+					return true
+				}
+			}
+		}
+		for bl := int32(b.n) + 1; bl <= int32(b.nx); bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 && b.lab[bl] == 0 {
+				b.expandBlossom(bl)
+			}
+		}
+	}
+}
+
+// MinWeightPerfectMatching solves the minimum-weight perfect matching problem
+// on the complete graph whose costs are given by the symmetric matrix cost
+// (cost[i][i] ignored). n = len(cost) must be even. It returns mate with
+// mate[i] = j for every matched pair and the total cost of the matching.
+//
+// Costs must be non-negative and small enough that 4*n*max(cost) fits in
+// int64.
+func MinWeightPerfectMatching(cost [][]int64) ([]int, int64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	if n%2 == 1 {
+		panic("mwpm: odd number of vertices has no perfect matching")
+	}
+	var maxC int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && cost[i][j] > maxC {
+				maxC = cost[i][j]
+			}
+		}
+	}
+	b := newBlossomSolver(n)
+	// Reflect: maximize w = (maxC - cost + 1), doubled for integral duals.
+	// All weights positive, so the maximum-weight matching is perfect and
+	// minimizes the original cost.
+	var wMax int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			u, v := int32(i+1), int32(j+1)
+			b.gu[u][v], b.gv[u][v] = u, v
+			if i != j {
+				w := (maxC - cost[i][j] + 1) * 2
+				b.gw[u][v] = w
+				if w > wMax {
+					wMax = w
+				}
+			}
+		}
+	}
+	for u := 0; u <= n; u++ {
+		b.st[u] = int32(u)
+		b.flower[u] = nil
+	}
+	for u := 1; u <= n; u++ {
+		for v := 1; v <= n; v++ {
+			if u == v {
+				b.flowerFrom[u][v] = int32(u)
+			} else {
+				b.flowerFrom[u][v] = 0
+			}
+		}
+	}
+	for u := 1; u <= n; u++ {
+		b.lab[u] = wMax
+	}
+	for b.matchingPhase() {
+	}
+	mate := make([]int, n)
+	var total int64
+	for u := 1; u <= n; u++ {
+		m := int(b.match[u])
+		if m == 0 {
+			panic("mwpm: matching is not perfect")
+		}
+		mate[u-1] = m - 1
+		if m < u {
+			total += cost[u-1][m-1]
+		}
+	}
+	return mate, total
+}

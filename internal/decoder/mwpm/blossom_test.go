@@ -1,0 +1,204 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// bruteMin computes the exact minimum-weight perfect matching cost by
+// recursive enumeration. Exponential; use only for small n.
+func bruteMin(cost [][]int64, used []bool) int64 {
+	first := -1
+	for i, u := range used {
+		if !u {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		return 0
+	}
+	used[first] = true
+	best := int64(1) << 62
+	for j := first + 1; j < len(used); j++ {
+		if used[j] {
+			continue
+		}
+		used[j] = true
+		if c := cost[first][j] + bruteMin(cost, used); c < best {
+			best = c
+		}
+		used[j] = false
+	}
+	used[first] = false
+	return best
+}
+
+func randCost(rng *rand.Rand, n int, maxW int64) [][]int64 {
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := rng.Int64N(maxW)
+			cost[i][j], cost[j][i] = w, w
+		}
+	}
+	return cost
+}
+
+func TestMWPMAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		for trial := 0; trial < 40; trial++ {
+			cost := randCost(rng, n, 100)
+			mate, total := MinWeightPerfectMatching(cost)
+			want := bruteMin(cost, make([]bool, n))
+			if total != want {
+				t.Fatalf("n=%d trial=%d: blossom=%d brute=%d", n, trial, total, want)
+			}
+			checkPerfect(t, mate, cost, total)
+		}
+	}
+}
+
+func TestMWPMTriangleLikeWeights(t *testing.T) {
+	// Metric-style costs (satisfying the triangle inequality) are the actual
+	// decoding workload; stress them separately.
+	rng := rand.New(rand.NewPCG(17, 19))
+	for trial := 0; trial < 30; trial++ {
+		n := 8
+		type pt struct{ x, y int64 }
+		pts := make([]pt, n)
+		for i := range pts {
+			pts[i] = pt{rng.Int64N(50), rng.Int64N(50)}
+		}
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				cost[i][j] = dx + dy
+			}
+		}
+		mate, total := MinWeightPerfectMatching(cost)
+		want := bruteMin(cost, make([]bool, n))
+		if total != want {
+			t.Fatalf("trial=%d: blossom=%d brute=%d", trial, total, want)
+		}
+		checkPerfect(t, mate, cost, total)
+	}
+}
+
+func TestMWPMZeroAndEqualWeights(t *testing.T) {
+	// Degenerate ties exercise the blossom machinery's tie handling.
+	n := 6
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+	}
+	mate, total := MinWeightPerfectMatching(cost)
+	if total != 0 {
+		t.Errorf("all-zero costs should give total 0, got %d", total)
+	}
+	checkPerfect(t, mate, cost, total)
+}
+
+func TestMWPMForcedBlossoms(t *testing.T) {
+	// A 6-cycle with cheap cycle edges and expensive chords forces odd-cycle
+	// (blossom) handling: the optimum uses alternate cycle edges.
+	n := 6
+	const big = 1000
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = big
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cost[i][j], cost[j][i] = 1, 1
+	}
+	mate, total := MinWeightPerfectMatching(cost)
+	if total != 3 {
+		t.Errorf("6-cycle optimum = %d, want 3", total)
+	}
+	checkPerfect(t, mate, cost, total)
+}
+
+func TestMWPMTwoVertices(t *testing.T) {
+	cost := [][]int64{{0, 7}, {7, 0}}
+	mate, total := MinWeightPerfectMatching(cost)
+	if total != 7 || mate[0] != 1 || mate[1] != 0 {
+		t.Errorf("trivial pair failed: mate=%v total=%d", mate, total)
+	}
+}
+
+func TestMWPMEmptyAndOdd(t *testing.T) {
+	if mate, total := MinWeightPerfectMatching(nil); mate != nil || total != 0 {
+		t.Error("empty input should return empty matching")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd vertex count should panic")
+		}
+	}()
+	MinWeightPerfectMatching(make([][]int64, 3))
+}
+
+func TestMWPMLargeRandomConsistency(t *testing.T) {
+	// For larger n compare against a cheaper certificate: the matching must
+	// not be improvable by any single 2-swap (necessary condition for
+	// optimality) and must be perfect.
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 5; trial++ {
+		n := 40
+		cost := randCost(rng, n, 1000)
+		mate, total := MinWeightPerfectMatching(cost)
+		checkPerfect(t, mate, cost, total)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				mi, mj := mate[i], mate[j]
+				if mi == j || mi == i || mj == j {
+					continue
+				}
+				// Swap partners: (i,mi),(j,mj) -> (i,j),(mi,mj).
+				delta := cost[i][j] + cost[mi][mj] - cost[i][mi] - cost[j][mj]
+				if delta < 0 {
+					t.Fatalf("trial %d: 2-swap (%d,%d) improves matching by %d", trial, i, j, -delta)
+				}
+			}
+		}
+	}
+}
+
+func checkPerfect(t *testing.T, mate []int, cost [][]int64, total int64) {
+	t.Helper()
+	var sum int64
+	for i, m := range mate {
+		if m < 0 || m >= len(mate) || m == i {
+			t.Fatalf("mate[%d] = %d invalid", i, m)
+		}
+		if mate[m] != i {
+			t.Fatalf("matching not symmetric: mate[%d]=%d, mate[%d]=%d", i, m, m, mate[m])
+		}
+		if m > i {
+			sum += cost[i][m]
+		}
+	}
+	if sum != total {
+		t.Fatalf("reported total %d != recomputed %d", total, sum)
+	}
+}

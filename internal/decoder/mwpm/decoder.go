@@ -1,0 +1,90 @@
+package mwpm
+
+import (
+	"math"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// DefaultScale quantizes metric costs to integers for the blossom solver.
+// Path costs are small multiples of the two edge weights, so a 2^12 grid
+// keeps ties exact and stays far from overflow.
+const DefaultScale = 4096
+
+// Decoder is the exact minimum-weight perfect matching decoder over a path
+// metric. Boundary matching uses the standard virtual-mirror construction:
+// defect i may match any virtual node at its own boundary cost, and virtual
+// nodes pair up among themselves for free.
+type Decoder struct {
+	M     *lattice.Metric
+	Scale float64
+}
+
+// New returns an MWPM decoder over the metric.
+func New(m *lattice.Metric) *Decoder {
+	return &Decoder{M: m, Scale: DefaultScale}
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string {
+	if d.M.Weighted() {
+		return "mwpm-weighted"
+	}
+	return "mwpm"
+}
+
+// Decode implements decoder.Decoder.
+func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	n := len(defects)
+	res := decoder.Result{}
+	if n == 0 {
+		return res
+	}
+
+	bCost := make([]int64, n)
+	bLeft := make([]bool, n)
+	for i, c := range defects {
+		cost, left := d.M.BoundaryDist(c)
+		bCost[i] = d.quantize(cost)
+		bLeft[i] = left
+	}
+
+	size := 2 * n
+	cost := make([][]int64, size)
+	for i := range cost {
+		cost[i] = make([]int64, size)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := d.quantize(d.M.NodeDist(defects[i], defects[j]))
+			cost[i][j], cost[j][i] = w, w
+		}
+		// Any virtual node accepts defect i at its boundary cost.
+		for j := n; j < size; j++ {
+			cost[i][j], cost[j][i] = bCost[i], bCost[i]
+		}
+	}
+
+	mate, total := MinWeightPerfectMatching(cost)
+	res.Weight = float64(total) / d.Scale
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		done[i] = true
+		if mate[i] >= n {
+			res.Matches = append(res.Matches, decoder.Match{A: i, B: decoder.BoundaryPartner, Left: bLeft[i]})
+			continue
+		}
+		done[mate[i]] = true
+		res.Matches = append(res.Matches, decoder.Match{A: i, B: mate[i]})
+	}
+	res.CutParity = decoder.CutParityOf(res.Matches)
+	return res
+}
+
+func (d *Decoder) quantize(c float64) int64 {
+	return int64(math.Round(c * d.Scale))
+}

@@ -1,0 +1,274 @@
+// Package unionfind implements the union-find decoder of Delfosse and
+// Nickerson (paper refs [12][13]), the almost-linear-time decoding family the
+// paper discusses as the alternative to matching-based strategies, together
+// with a weighted extension in the spirit of Pattison et al. (ref [47])
+// needed for Q3DE's MBBE-aware re-execution.
+//
+// The algorithm grows clusters around defects by half-edges, merging clusters
+// that touch, until every cluster contains an even number of defects or
+// touches a rough boundary; a spanning-forest peeling pass then extracts a
+// correction whose logical-cut parity decides the shot.
+package unionfind
+
+import (
+	"sort"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// Decoder is a union-find decoder bound to one lattice. The metric supplies
+// the anomaly weighting: anomalous edges need fewer growth steps, so cluster
+// growth absorbs likely error locations sooner.
+type Decoder struct {
+	L *lattice.Lattice
+	M *lattice.Metric
+
+	adj [][]int32 // per node, incident edge indices
+
+	parent  []int32
+	rank    []int8
+	parityD []int32 // defect count parity accumulates at roots
+	touchB  []bool  // cluster touches a rough boundary
+	growth  []uint8
+	steps   []uint8 // growth steps needed per edge (1 anomalous, 2 normal)
+}
+
+// New builds a union-find decoder for the lattice and metric.
+func New(l *lattice.Lattice, m *lattice.Metric) *Decoder {
+	d := &Decoder{L: l, M: m}
+	d.adj = make([][]int32, l.NumNodes())
+	for i, e := range l.Edges {
+		d.adj[e.A] = append(d.adj[e.A], int32(i))
+		if e.B >= 0 {
+			d.adj[e.B] = append(d.adj[e.B], int32(i))
+		}
+	}
+	d.steps = make([]uint8, len(l.Edges))
+	for i, e := range l.Edges {
+		d.steps[i] = 2
+		if m.Box != nil && m.Weighted() && l.EdgeAnomalous(e, *m.Box) {
+			d.steps[i] = 1
+		}
+	}
+	d.parent = make([]int32, l.NumNodes())
+	d.rank = make([]int8, l.NumNodes())
+	d.parityD = make([]int32, l.NumNodes())
+	d.touchB = make([]bool, l.NumNodes())
+	d.growth = make([]uint8, len(l.Edges))
+	return d
+}
+
+// Factory adapts New to the sim package's decoder factory hook.
+func Factory(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder {
+	return New(l, m)
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string {
+	if d.M.Weighted() {
+		return "union-find-weighted"
+	}
+	return "union-find"
+}
+
+func (d *Decoder) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *Decoder) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	d.parityD[ra] += d.parityD[rb]
+	d.touchB[ra] = d.touchB[ra] || d.touchB[rb]
+}
+
+// Decode implements decoder.Decoder. Union-find produces a correction
+// directly rather than a pairing, so Matches reports each defect as
+// boundary-matched with the overall parity carried by the first entry;
+// CutParity is the decoded correction parity.
+func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	if len(defects) == 0 {
+		return decoder.Result{}
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+		d.parityD[i] = 0
+		d.touchB[i] = false
+	}
+	for i := range d.growth {
+		d.growth[i] = 0
+	}
+
+	isDefect := make(map[int32]bool, len(defects))
+	ids := make([]int32, 0, len(defects))
+	for _, c := range defects {
+		id := d.L.NodeID(c)
+		isDefect[id] = true
+		d.parityD[id] = 1
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Growth stage. An edge grows when either endpoint belongs to a live
+	// cluster (odd defect parity, no boundary contact). Nodes not yet
+	// absorbed are singleton clusters with parity 0 and never live.
+	live := func(node int32) bool {
+		r := d.find(node)
+		return d.parityD[r]%2 == 1 && !d.touchB[r]
+	}
+	maxIter := 4 * (d.L.D + d.L.Rounds)
+	for iter := 0; ; iter++ {
+		anyLive := false
+		for _, id := range ids {
+			if live(id) {
+				anyLive = true
+				break
+			}
+		}
+		if !anyLive {
+			break
+		}
+		if iter > maxIter {
+			panic("unionfind: growth failed to converge")
+		}
+		var completed []int32
+		for ei := range d.L.Edges {
+			if d.growth[ei] >= d.steps[ei] {
+				continue
+			}
+			e := d.L.Edges[ei]
+			g := uint8(0)
+			if live(e.A) {
+				g++
+			}
+			if e.B >= 0 && live(e.B) {
+				g++
+			}
+			if g == 0 {
+				continue
+			}
+			d.growth[ei] += g
+			if d.growth[ei] >= d.steps[ei] {
+				d.growth[ei] = d.steps[ei]
+				completed = append(completed, int32(ei))
+			}
+		}
+		for _, ei := range completed {
+			e := d.L.Edges[ei]
+			if e.B < 0 {
+				d.touchB[d.find(e.A)] = true
+			} else {
+				d.union(e.A, e.B)
+			}
+		}
+	}
+
+	parity := d.peel(ids, isDefect)
+	res := decoder.Result{CutParity: parity}
+	for i := range defects {
+		m := decoder.Match{A: i, B: decoder.BoundaryPartner}
+		if i == 0 && parity {
+			m.Left = true
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	return res
+}
+
+// peel extracts the correction's logical-cut parity. For each cluster it
+// builds a spanning tree over fully grown edges and peels leaf-upward: a tree
+// edge is flipped when the subtree below it holds odd defect parity, and any
+// residual odd parity at the root exits through the cluster's boundary edge.
+// Internal edges never cross the logical cut, so only boundary-edge flips
+// contribute to the parity.
+func (d *Decoder) peel(ids []int32, isDefect map[int32]bool) bool {
+	visited := make(map[int32]bool, 4*len(isDefect))
+	parity := false
+
+	type treeEdge struct {
+		child int32
+		ei    int32
+	}
+
+	for _, start := range ids {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		var order []treeEdge
+		stack := []int32{start}
+		var nodes []int32
+		rootBoundaryEdge := int32(-1)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nodes = append(nodes, u)
+			for _, ei := range d.adj[u] {
+				if d.growth[ei] < d.steps[ei] {
+					continue
+				}
+				e := d.L.Edges[ei]
+				if e.B < 0 {
+					if rootBoundaryEdge < 0 {
+						rootBoundaryEdge = ei
+					}
+					continue
+				}
+				v := e.A
+				if v == u {
+					v = e.B
+				}
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				order = append(order, treeEdge{child: v, ei: ei})
+				stack = append(stack, v)
+			}
+		}
+		sub := make(map[int32]int32, len(nodes))
+		for _, u := range nodes {
+			if isDefect[u] {
+				sub[u] = 1
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			te := order[i]
+			e := d.L.Edges[te.ei]
+			parent := e.A
+			if parent == te.child {
+				parent = e.B
+			}
+			if sub[te.child]%2 == 1 {
+				if e.CrossesCut {
+					parity = !parity
+				}
+				sub[parent]++
+			}
+		}
+		if sub[start]%2 == 1 {
+			if rootBoundaryEdge < 0 {
+				panic("unionfind: odd cluster without boundary contact after growth")
+			}
+			if d.L.Edges[rootBoundaryEdge].CrossesCut {
+				parity = !parity
+			}
+		}
+	}
+	return parity
+}

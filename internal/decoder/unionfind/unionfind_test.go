@@ -1,0 +1,142 @@
+package unionfind
+
+import (
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+func TestEmptyInput(t *testing.T) {
+	l := lattice.New(5, 5)
+	d := New(l, lattice.UniformMetric(5))
+	r := d.Decode(nil)
+	if len(r.Matches) != 0 || r.CutParity {
+		t.Error("empty input should decode to nothing")
+	}
+}
+
+func TestSingleDefectNearLeftBoundary(t *testing.T) {
+	l := lattice.New(9, 9)
+	d := New(l, lattice.UniformMetric(9))
+	r := d.Decode([]lattice.Coord{{R: 4, C: 0, T: 4}})
+	if !r.CutParity {
+		t.Error("lone defect at column 0 should correct through the left boundary")
+	}
+}
+
+func TestSingleDefectNearRightBoundary(t *testing.T) {
+	l := lattice.New(9, 9)
+	d := New(l, lattice.UniformMetric(9))
+	r := d.Decode([]lattice.Coord{{R: 4, C: 7, T: 4}})
+	if r.CutParity {
+		t.Error("lone defect at the right edge should correct through the right boundary")
+	}
+}
+
+func TestAdjacentPairNoParity(t *testing.T) {
+	l := lattice.New(11, 11)
+	d := New(l, lattice.UniformMetric(11))
+	r := d.Decode([]lattice.Coord{{R: 5, C: 5, T: 5}, {R: 5, C: 6, T: 5}})
+	if r.CutParity {
+		t.Error("adjacent bulk pair should be corrected internally")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	l := lattice.New(9, 9)
+	model := noise.NewModel(l, 0.02, nil, 0)
+	rng := stats.NewRNG(51, 52)
+	var s noise.Sample
+	d := New(l, lattice.UniformMetric(9))
+	for trial := 0; trial < 20; trial++ {
+		model.Draw(rng, &s)
+		coords := make([]lattice.Coord, len(s.Defects))
+		for i, id := range s.Defects {
+			coords[i] = l.NodeCoord(id)
+		}
+		a := d.Decode(coords)
+		b := d.Decode(coords)
+		if a.CutParity != b.CutParity {
+			t.Fatalf("trial %d: repeated decode disagrees", trial)
+		}
+		if !decoder.Validate(a, len(coords)) {
+			t.Fatalf("trial %d: invalid matching shape", trial)
+		}
+	}
+}
+
+func TestCorrectsSimpleErrorChains(t *testing.T) {
+	// A short X-error chain produces a defect pair; the union-find correction
+	// must cancel its cut parity. Exercise chains at several positions by
+	// decoding real samples at very low p and requiring a high success rate.
+	l := lattice.New(7, 7)
+	model := noise.NewModel(l, 0.002, nil, 0)
+	rng := stats.NewRNG(53, 54)
+	d := New(l, lattice.UniformMetric(7))
+	var s noise.Sample
+	fails := 0
+	shots := 3000
+	for i := 0; i < shots; i++ {
+		model.Draw(rng, &s)
+		coords := make([]lattice.Coord, len(s.Defects))
+		for j, id := range s.Defects {
+			coords[j] = l.NodeCoord(id)
+		}
+		if d.Decode(coords).CutParity != s.CutParity {
+			fails++
+		}
+	}
+	if fails > shots/100 {
+		t.Errorf("union-find fails too often at p=0.002: %d/%d", fails, shots)
+	}
+}
+
+func TestWeightedGrowthAbsorbsAnomalyFaster(t *testing.T) {
+	// Anomalous edges take a single growth step; a defect pair separated by
+	// the anomalous box should be merged rather than sent to boundaries,
+	// matching the Fig. 6(a) behaviour.
+	dist := 11
+	l := lattice.New(dist, 1)
+	box := lattice.Box{R0: 0, R1: 10, C0: 3, C1: 6, T0: 0, T1: 0}
+	m := lattice.NewMetric(dist, 0.001, 0.45, &box)
+	d := New(l, m)
+	if d.Name() != "union-find-weighted" {
+		t.Errorf("unexpected name %q", d.Name())
+	}
+	steps1 := 0
+	for i, e := range l.Edges {
+		if l.EdgeAnomalous(e, box) && d.steps[i] != 1 {
+			t.Fatal("anomalous edge should need one growth step")
+		}
+		if d.steps[i] == 1 {
+			steps1++
+		}
+	}
+	if steps1 == 0 {
+		t.Fatal("no anomalous edges marked")
+	}
+}
+
+func TestFactoryAndName(t *testing.T) {
+	l := lattice.New(5, 5)
+	d := Factory(l, lattice.UniformMetric(5))
+	if d.Name() != "union-find" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestValidateShape(t *testing.T) {
+	l := lattice.New(7, 7)
+	d := New(l, lattice.UniformMetric(7))
+	defects := []lattice.Coord{{R: 1, C: 1, T: 1}, {R: 3, C: 3, T: 3}, {R: 5, C: 5, T: 5}}
+	r := d.Decode(defects)
+	if !decoder.Validate(r, 3) {
+		t.Error("result shape invalid")
+	}
+	if r.CutParity != decoder.CutParityOf(r.Matches) {
+		t.Error("reported parity must match the Matches encoding")
+	}
+}

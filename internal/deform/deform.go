@@ -1,0 +1,167 @@
+// Package deform implements the dynamic code deformation of Q3DE (paper
+// Sec. V): the stabilizer map that records block assignments on the qubit
+// plane, the three-step op_expand procedure of Fig. 5 that temporally raises
+// a logical qubit's code distance after an MBBE detection, and the expansion
+// queue that schedules those deformations.
+package deform
+
+import "fmt"
+
+// PatchPhase is the state of one logical patch's deformation state machine.
+type PatchPhase uint8
+
+const (
+	// PhaseNormal: the patch runs at its default code distance.
+	PhaseNormal PatchPhase = iota
+	// PhaseInit: step 1 of Fig. 5 — unused data qubits around the patch are
+	// being initialised to |0>/|+> (takes one code cycle).
+	PhaseInit
+	// PhaseExpanded: step 2 — the stabilizer map now measures the expanded
+	// pattern; the patch runs at the expanded distance.
+	PhaseExpanded
+	// PhaseShrink: step 3 — expansion qubits are measured out in Pauli X/Z
+	// and the map reverts (takes one code cycle).
+	PhaseShrink
+)
+
+func (p PatchPhase) String() string {
+	switch p {
+	case PhaseNormal:
+		return "normal"
+	case PhaseInit:
+		return "init"
+	case PhaseExpanded:
+		return "expanded"
+	case PhaseShrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("PatchPhase(%d)", uint8(p))
+	}
+}
+
+// RequiredExpandedDistance returns the paper's rule for the expanded code
+// distance (Sec. V-B): the MBBE reduces the effective distance by up to
+// 2*dano, so dexp must exceed d + 2*dano to restore the original logical
+// error rate.
+func RequiredExpandedDistance(d, dano int) int { return d + 2*dano }
+
+// Patch is the deformation state of one logical qubit.
+type Patch struct {
+	ID       int
+	D        int // default code distance
+	DExp     int // expanded code distance while PhaseExpanded
+	Phase    PatchPhase
+	KeepTill int // cycle until which the expansion is held
+}
+
+// Distance returns the patch's current code distance.
+func (p *Patch) Distance() int {
+	if p.Phase == PhaseExpanded {
+		return p.DExp
+	}
+	return p.D
+}
+
+// StabilizerMap tracks the deformation state machines of all logical patches
+// and advances them cycle by cycle. It is the paper's "stabilizer map" plus
+// "expansion queue" pair: op_expand instructions enqueue requests, and the
+// map applies them as soon as the patch can start step 1.
+type StabilizerMap struct {
+	patches map[int]*Patch
+	pending []Request
+	cycle   int
+}
+
+// Request is one op_expand instruction: expand qubit Qubit to distance DExp
+// and keep it expanded for Hold cycles after the expansion completes.
+type Request struct {
+	Qubit int
+	DExp  int
+	Hold  int
+}
+
+// NewStabilizerMap creates a map with no patches registered.
+func NewStabilizerMap() *StabilizerMap {
+	return &StabilizerMap{patches: make(map[int]*Patch)}
+}
+
+// AddPatch registers a logical qubit at default distance d.
+func (m *StabilizerMap) AddPatch(id, d int) *Patch {
+	if _, dup := m.patches[id]; dup {
+		panic(fmt.Sprintf("deform: duplicate patch id %d", id))
+	}
+	p := &Patch{ID: id, D: d, Phase: PhaseNormal}
+	m.patches[id] = p
+	return p
+}
+
+// Patch returns the patch with the given id, or nil.
+func (m *StabilizerMap) Patch(id int) *Patch { return m.patches[id] }
+
+// Cycle returns the current code cycle.
+func (m *StabilizerMap) Cycle() int { return m.cycle }
+
+// Enqueue pushes an op_expand request (the expansion queue of Fig. 1).
+// Issuing op_expand on an already expanded patch extends the keep time, as
+// specified at the end of Sec. V-B.
+func (m *StabilizerMap) Enqueue(r Request) {
+	if _, ok := m.patches[r.Qubit]; !ok {
+		panic(fmt.Sprintf("deform: op_expand for unknown patch %d", r.Qubit))
+	}
+	m.pending = append(m.pending, r)
+}
+
+// Step advances one code cycle: pending requests start (step 1), init
+// completes into the expanded pattern (step 2), expirations trigger the
+// shrink measurement (step 3), and shrinks complete back to normal.
+func (m *StabilizerMap) Step() {
+	m.cycle++
+	// Phase transitions first.
+	for _, p := range m.patches {
+		switch p.Phase {
+		case PhaseInit:
+			p.Phase = PhaseExpanded
+		case PhaseExpanded:
+			if m.cycle >= p.KeepTill {
+				p.Phase = PhaseShrink
+			}
+		case PhaseShrink:
+			p.Phase = PhaseNormal
+		}
+	}
+	// Then apply pending requests.
+	rest := m.pending[:0]
+	for _, r := range m.pending {
+		p := m.patches[r.Qubit]
+		switch p.Phase {
+		case PhaseNormal:
+			p.Phase = PhaseInit
+			p.DExp = r.DExp
+			p.KeepTill = m.cycle + 1 + r.Hold // hold counts from expansion
+		case PhaseExpanded:
+			// Extend the keep time.
+			if t := m.cycle + r.Hold; t > p.KeepTill {
+				p.KeepTill = t
+			}
+			if r.DExp > p.DExp {
+				p.DExp = r.DExp
+			}
+		default:
+			// Mid-transition: retry next cycle.
+			rest = append(rest, r)
+			continue
+		}
+	}
+	m.pending = rest
+}
+
+// ExpandedCount returns how many patches currently run expanded.
+func (m *StabilizerMap) ExpandedCount() int {
+	n := 0
+	for _, p := range m.patches {
+		if p.Phase == PhaseExpanded {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package deform
+
+import "testing"
+
+func TestRequiredExpandedDistance(t *testing.T) {
+	if got := RequiredExpandedDistance(21, 4); got != 29 {
+		t.Errorf("RequiredExpandedDistance(21,4) = %d, want 29", got)
+	}
+}
+
+func TestPatchLifecycle(t *testing.T) {
+	m := NewStabilizerMap()
+	p := m.AddPatch(0, 11)
+	if p.Distance() != 11 || p.Phase != PhaseNormal {
+		t.Fatal("fresh patch should be normal at default distance")
+	}
+	m.Enqueue(Request{Qubit: 0, DExp: 22, Hold: 5})
+	m.Step() // request applied -> PhaseInit
+	if p.Phase != PhaseInit {
+		t.Fatalf("after step 1 phase = %v, want init", p.Phase)
+	}
+	if p.Distance() != 11 {
+		t.Error("distance must stay default during init")
+	}
+	m.Step() // init completes -> PhaseExpanded
+	if p.Phase != PhaseExpanded || p.Distance() != 22 {
+		t.Fatalf("phase=%v dist=%d, want expanded/22", p.Phase, p.Distance())
+	}
+	// Hold for 5 cycles from expansion.
+	for i := 0; i < 4; i++ {
+		m.Step()
+		if p.Phase != PhaseExpanded {
+			t.Fatalf("expansion ended early at hold step %d (phase %v)", i, p.Phase)
+		}
+	}
+	m.Step() // keep expires -> shrink
+	if p.Phase != PhaseShrink {
+		t.Fatalf("phase = %v, want shrink", p.Phase)
+	}
+	if p.Distance() != 11 {
+		t.Error("distance must revert during shrink")
+	}
+	m.Step()
+	if p.Phase != PhaseNormal {
+		t.Fatalf("phase = %v, want normal", p.Phase)
+	}
+}
+
+func TestReExpandExtendsKeepTime(t *testing.T) {
+	m := NewStabilizerMap()
+	p := m.AddPatch(0, 9)
+	m.Enqueue(Request{Qubit: 0, DExp: 18, Hold: 3})
+	m.Step()
+	m.Step() // expanded
+	old := p.KeepTill
+	m.Enqueue(Request{Qubit: 0, DExp: 18, Hold: 10})
+	m.Step()
+	if p.KeepTill <= old {
+		t.Errorf("re-expand should extend keep time: %d <= %d", p.KeepTill, old)
+	}
+	if p.Phase != PhaseExpanded {
+		t.Errorf("re-expand must not restart the state machine: %v", p.Phase)
+	}
+}
+
+func TestRequestDuringTransitionRetries(t *testing.T) {
+	m := NewStabilizerMap()
+	p := m.AddPatch(0, 9)
+	m.Enqueue(Request{Qubit: 0, DExp: 18, Hold: 0})
+	m.Step() // init
+	// Second request arrives while the patch is mid-init.
+	m.Enqueue(Request{Qubit: 0, DExp: 18, Hold: 8})
+	m.Step() // expanded; pending request retried and extends hold
+	if p.Phase != PhaseExpanded {
+		t.Fatalf("phase = %v", p.Phase)
+	}
+	if p.KeepTill < m.Cycle()+7 {
+		t.Errorf("retried request should extend hold: keepTill=%d cycle=%d", p.KeepTill, m.Cycle())
+	}
+}
+
+func TestExpandedCount(t *testing.T) {
+	m := NewStabilizerMap()
+	m.AddPatch(0, 9)
+	m.AddPatch(1, 9)
+	m.Enqueue(Request{Qubit: 0, DExp: 18, Hold: 100})
+	m.Step()
+	m.Step()
+	if got := m.ExpandedCount(); got != 1 {
+		t.Errorf("ExpandedCount = %d, want 1", got)
+	}
+}
+
+func TestStabilizerMapPanics(t *testing.T) {
+	m := NewStabilizerMap()
+	m.AddPatch(0, 9)
+	for _, f := range []func(){
+		func() { m.AddPatch(0, 9) },
+		func() { m.Enqueue(Request{Qubit: 99}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlaneLogicalGrid(t *testing.T) {
+	p := NewPlane(11, 11)
+	ids, pos := p.PlaceLogicalGrid()
+	// Odd rows and columns of an 11x11 grid: 5x5 = 25 logical qubits, the
+	// paper's Fig. 10 setup.
+	if len(ids) != 25 {
+		t.Fatalf("placed %d qubits, want 25", len(ids))
+	}
+	for i, pc := range pos {
+		if pc[0]%2 != 1 || pc[1]%2 != 1 {
+			t.Errorf("qubit %d at even position %v", i, pc)
+		}
+		if p.State(pc[0], pc[1]) != BlockLogical || p.Owner(pc[0], pc[1]) != ids[i] {
+			t.Errorf("qubit %d block not marked", i)
+		}
+	}
+	if p.CountState(BlockLogical) != 25 {
+		t.Error("CountState(logical) mismatch")
+	}
+}
+
+func TestExpandAtClaimsQuadrant(t *testing.T) {
+	p := NewPlane(11, 11)
+	p.PlaceLogicalGrid()
+	claimed, ok := p.ExpandAt(1, 1, 0)
+	if !ok || len(claimed) != 3 {
+		t.Fatalf("expand failed: ok=%v claimed=%v", ok, claimed)
+	}
+	for _, b := range claimed {
+		if p.State(b[0], b[1]) != BlockExpansion || p.Owner(b[0], b[1]) != 0 {
+			t.Errorf("claimed block %v not marked as expansion", b)
+		}
+	}
+	// A second expansion of the neighbouring qubit can still find a free
+	// quadrant (different direction).
+	if _, ok := p.ExpandAt(1, 3, 1); !ok {
+		t.Error("neighbour expansion should find another quadrant")
+	}
+	// Release restores vacancy.
+	p.Release(claimed)
+	for _, b := range claimed {
+		if p.State(b[0], b[1]) != BlockVacant {
+			t.Errorf("block %v not released", b)
+		}
+	}
+}
+
+func TestExpandAtFailsWhenSurrounded(t *testing.T) {
+	p := NewPlane(3, 3)
+	p.Set(1, 1, BlockLogical, 0)
+	// Fill every other block.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if r == 1 && c == 1 {
+				continue
+			}
+			p.Set(r, c, BlockRouting, 99)
+		}
+	}
+	if _, ok := p.ExpandAt(1, 1, 0); ok {
+		t.Error("expansion should fail with no vacant quadrant")
+	}
+}
+
+func TestFindPath(t *testing.T) {
+	p := NewPlane(5, 5)
+	p.Set(0, 0, BlockLogical, 0)
+	p.Set(0, 4, BlockLogical, 1)
+	path, ok := p.FindPath([2]int{0, 0}, [2]int{0, 4})
+	if !ok {
+		t.Fatal("path should exist on an empty plane")
+	}
+	if len(path) != 3 {
+		t.Errorf("shortest path should use 3 intermediate blocks, got %d: %v", len(path), path)
+	}
+	// Block the straight route; a detour should be found.
+	p.Set(0, 2, BlockRouting, 9)
+	path, ok = p.FindPath([2]int{0, 0}, [2]int{0, 4})
+	if !ok {
+		t.Fatal("detour should exist")
+	}
+	if len(path) <= 3 {
+		t.Errorf("detour should be longer than the straight path: %v", path)
+	}
+	// Wall off the destination entirely.
+	for r := 0; r < 5; r++ {
+		p.Set(r, 3, BlockAnomalous, -1)
+	}
+	p.Set(0, 2, BlockVacant, -1)
+	if _, ok := p.FindPath([2]int{0, 0}, [2]int{0, 4}); ok {
+		t.Error("no path should exist through an anomalous wall")
+	}
+}
+
+func TestFindPathAdjacentQubits(t *testing.T) {
+	p := NewPlane(3, 3)
+	path, ok := p.FindPath([2]int{1, 0}, [2]int{1, 2})
+	if !ok || len(path) != 1 {
+		t.Errorf("adjacent-with-gap path = %v ok=%v, want single block", path, ok)
+	}
+}
+
+func TestPlanePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad dimensions")
+		}
+	}()
+	NewPlane(0, 5)
+}

@@ -1,0 +1,195 @@
+package deform
+
+import "fmt"
+
+// BlockState is the occupancy of one surface-code block on the qubit plane.
+// The paper's qubit-allocation strategy (Sec. II-B, following Beverland et
+// al.) places logical qubits on odd-indexed rows and columns, leaving vacant
+// blocks for lattice surgery and for code expansion.
+type BlockState uint8
+
+const (
+	// BlockVacant is free for routing or expansion.
+	BlockVacant BlockState = iota
+	// BlockLogical holds a logical qubit patch.
+	BlockLogical
+	// BlockExpansion is vacant space claimed by an expanded patch.
+	BlockExpansion
+	// BlockRouting is temporarily used by a lattice-surgery path.
+	BlockRouting
+	// BlockAnomalous is a vacant block under an active MBBE that the
+	// scheduler must avoid (Sec. VIII-B).
+	BlockAnomalous
+)
+
+func (s BlockState) String() string {
+	switch s {
+	case BlockVacant:
+		return "vacant"
+	case BlockLogical:
+		return "logical"
+	case BlockExpansion:
+		return "expansion"
+	case BlockRouting:
+		return "routing"
+	case BlockAnomalous:
+		return "anomalous"
+	default:
+		return fmt.Sprintf("BlockState(%d)", uint8(s))
+	}
+}
+
+// Plane is the block-granularity view of the qubit plane.
+type Plane struct {
+	Rows, Cols int
+	state      []BlockState
+	owner      []int // logical qubit id or routing op id; -1 when none
+}
+
+// NewPlane builds a plane of vacant blocks.
+func NewPlane(rows, cols int) *Plane {
+	if rows <= 0 || cols <= 0 {
+		panic("deform: plane dimensions must be positive")
+	}
+	p := &Plane{Rows: rows, Cols: cols,
+		state: make([]BlockState, rows*cols),
+		owner: make([]int, rows*cols)}
+	for i := range p.owner {
+		p.owner[i] = -1
+	}
+	return p
+}
+
+// Index maps (r,c) to the dense block index.
+func (p *Plane) Index(r, c int) int { return r*p.Cols + c }
+
+// InBounds reports whether (r,c) is on the plane.
+func (p *Plane) InBounds(r, c int) bool {
+	return r >= 0 && r < p.Rows && c >= 0 && c < p.Cols
+}
+
+// State returns the state of block (r,c).
+func (p *Plane) State(r, c int) BlockState { return p.state[p.Index(r, c)] }
+
+// Owner returns the owner id of block (r,c), or -1.
+func (p *Plane) Owner(r, c int) int { return p.owner[p.Index(r, c)] }
+
+// Set assigns a block state and owner.
+func (p *Plane) Set(r, c int, s BlockState, owner int) {
+	i := p.Index(r, c)
+	p.state[i] = s
+	p.owner[i] = owner
+}
+
+// PlaceLogicalGrid places logical qubits on all odd-indexed (row, col)
+// positions — the paper's allocation with vacant blocks between qubits —
+// and returns the qubit ids in placement order alongside their positions.
+func (p *Plane) PlaceLogicalGrid() (ids []int, pos [][2]int) {
+	id := 0
+	for r := 1; r < p.Rows; r += 2 {
+		for c := 1; c < p.Cols; c += 2 {
+			p.Set(r, c, BlockLogical, id)
+			ids = append(ids, id)
+			pos = append(pos, [2]int{r, c})
+			id++
+		}
+	}
+	return ids, pos
+}
+
+// ExpandAt claims the vacant neighbours needed to double the code distance of
+// the logical qubit at (r,c) using a 2x2 block footprint (Sec. V-B: doubling
+// the code distance using 2x2 surface-code blocks is enough in practice). It
+// prefers the quadrant with free blocks and returns the claimed blocks, or
+// ok=false when no quadrant is free.
+func (p *Plane) ExpandAt(r, c, qubit int) (claimed [][2]int, ok bool) {
+	for _, q := range [][3][2]int{
+		{{r, c + 1}, {r + 1, c}, {r + 1, c + 1}},
+		{{r, c - 1}, {r + 1, c}, {r + 1, c - 1}},
+		{{r, c + 1}, {r - 1, c}, {r - 1, c + 1}},
+		{{r, c - 1}, {r - 1, c}, {r - 1, c - 1}},
+	} {
+		good := true
+		for _, b := range q {
+			if !p.InBounds(b[0], b[1]) || p.State(b[0], b[1]) != BlockVacant {
+				good = false
+				break
+			}
+		}
+		if !good {
+			continue
+		}
+		for _, b := range q {
+			p.Set(b[0], b[1], BlockExpansion, qubit)
+			claimed = append(claimed, [2]int{b[0], b[1]})
+		}
+		return claimed, true
+	}
+	return nil, false
+}
+
+// Release returns blocks to the vacant state (used after shrink or when a
+// routing path completes).
+func (p *Plane) Release(blocks [][2]int) {
+	for _, b := range blocks {
+		p.Set(b[0], b[1], BlockVacant, -1)
+	}
+}
+
+// FindPath runs a breadth-first search through vacant blocks from a block
+// adjacent to src to a block adjacent to dst, for lattice-surgery routing
+// (meas_ZZ). It returns the path of intermediate vacant blocks, or ok=false
+// when no route exists.
+func (p *Plane) FindPath(src, dst [2]int) (path [][2]int, ok bool) {
+	type node struct{ r, c int }
+	prev := make(map[node]node)
+	visited := make(map[node]bool)
+	var queue []node
+
+	start := node{src[0], src[1]}
+	goal := node{dst[0], dst[1]}
+	visited[start] = true
+	queue = append(queue, start)
+	dirs := [4][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			v := node{u.r + d[0], u.c + d[1]}
+			if visited[v] || !p.InBounds(v.r, v.c) {
+				continue
+			}
+			if v == goal {
+				// Reconstruct intermediate blocks.
+				for u != start {
+					path = append(path, [2]int{u.r, u.c})
+					u = prev[u]
+				}
+				// Reverse into src->dst order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path, true
+			}
+			if p.State(v.r, v.c) != BlockVacant {
+				continue
+			}
+			visited[v] = true
+			prev[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return nil, false
+}
+
+// CountState returns how many blocks are in the given state.
+func (p *Plane) CountState(s BlockState) int {
+	n := 0
+	for _, st := range p.state {
+		if st == s {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"q3de/internal/decoder/unionfind"
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+func init() {
+	// Make the union-find decoder selectable through the sim factory.
+	sim.UnionFindFactory = unionfind.Factory
+}
+
+// AblationConfig compares the three decoder families on identical memory
+// workloads (DESIGN.md §7): the exact MWPM decoder the paper evaluates with,
+// the greedy decoder its hardware runs, and the union-find alternative.
+type AblationConfig struct {
+	Options
+	D     int
+	Rates []float64
+	DAno  int     // 0 disables the MBBE
+	PAno  float64 // anomalous rate when DAno > 0
+	Aware bool    // weighted decoding when an MBBE is present
+}
+
+// DefaultAblation compares decoders at d=9 across the threshold region.
+func DefaultAblation(o Options) AblationConfig {
+	return AblationConfig{
+		Options: o, D: 9,
+		Rates: []float64{4e-3, 1e-2, 2e-2, 4e-2},
+	}
+}
+
+// AblationRow is one (decoder, rate) cell.
+type AblationRow struct {
+	Decoder sim.DecoderKind
+	P       float64
+	PL      float64
+	StdErr  float64
+}
+
+// RunAblation evaluates all decoder kinds on the same configuration grid.
+func RunAblation(cfg AblationConfig) []AblationRow {
+	maxShots, maxFail := cfg.Budget.shots()
+	// Union-find and MWPM are slower; cap their effort at the quick budget.
+	capShots := func(k sim.DecoderKind) int64 {
+		if k == sim.DecoderGreedy {
+			return maxShots
+		}
+		q, _ := BudgetQuick.shots()
+		if maxShots < q {
+			return maxShots
+		}
+		return q
+	}
+	var box *lattice.Box
+	if cfg.DAno > 0 {
+		b := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
+		box = &b
+	}
+	var rows []AblationRow
+	for _, kind := range []sim.DecoderKind{sim.DecoderGreedy, sim.DecoderMWPM, sim.DecoderUnionFind} {
+		for _, p := range cfg.Rates {
+			r := sim.RunMemory(sim.MemoryConfig{
+				D: cfg.D, P: p, Box: box, Pano: cfg.PAno,
+				Decoder: kind, Aware: cfg.Aware,
+				MaxShots: capShots(kind), MaxFailures: maxFail,
+				Seed: cfg.Seed ^ uint64(kind)<<40 ^ hashFloat(p), Workers: cfg.Workers,
+			})
+			rows = append(rows, AblationRow{Decoder: kind, P: p, PL: r.PL, StdErr: r.StdErr})
+		}
+	}
+	return rows
+}
+
+// RenderAblation prints the comparison.
+func RenderAblation(w io.Writer, cfg AblationConfig, rows []AblationRow) {
+	fmt.Fprintf(w, "# Decoder ablation at d=%d (MBBE dano=%d aware=%v)\n", cfg.D, cfg.DAno, cfg.Aware)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "decoder\tp\tpL/cycle\tstderr")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%.2g\n", r.Decoder, r.P, r.PL, r.StdErr)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,87 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of the paper's evaluation (Figs. 3, 7, 8, 9, 10; Tables III, IV;
+// the Eq. 1 headline), each regenerating the same rows/series the paper
+// reports. Budgets scale the Monte-Carlo effort so the full suite can run as
+// a quick smoke test, a standard laptop run, or a paper-scale run.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"q3de/internal/sim"
+)
+
+// Budget scales sampling effort.
+type Budget int
+
+const (
+	// BudgetQuick targets seconds per experiment (benchmarks, CI).
+	BudgetQuick Budget = iota
+	// BudgetStandard targets minutes per experiment.
+	BudgetStandard
+	// BudgetFull approaches the paper's 1e5+ samples per point.
+	BudgetFull
+)
+
+func (b Budget) String() string {
+	switch b {
+	case BudgetQuick:
+		return "quick"
+	case BudgetStandard:
+		return "standard"
+	case BudgetFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Budget(%d)", int(b))
+	}
+}
+
+// shots returns (maxShots, maxFailures) per data point for the budget.
+func (b Budget) shots() (int64, int64) {
+	switch b {
+	case BudgetQuick:
+		return 1500, 60
+	case BudgetStandard:
+		return 20000, 300
+	default:
+		return 100000, 1000
+	}
+}
+
+// Options configures a harness run.
+type Options struct {
+	Budget  Budget
+	Seed    uint64
+	Workers int
+	Decoder sim.DecoderKind // decoder for the memory experiments
+}
+
+// DefaultOptions uses the quick budget with the greedy decoder (the paper's
+// architecture decoder; select DecoderMWPM to match the paper's evaluation
+// decoder at higher cost).
+func DefaultOptions() Options {
+	return Options{Budget: BudgetQuick, Seed: 20220101, Decoder: sim.DecoderGreedy}
+}
+
+// Point is one (x, y) sample with uncertainty.
+type Point struct {
+	X, Y, Err float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// renderSeries prints curves in a gnuplot-friendly layout.
+func renderSeries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%.6g\t%.6g\t%.3g\n", p.X, p.Y, p.Err)
+		}
+	}
+}

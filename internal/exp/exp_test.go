@@ -1,0 +1,320 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"q3de/internal/scaling"
+	"q3de/internal/sim"
+)
+
+func quick() Options {
+	o := DefaultOptions()
+	o.Budget = BudgetQuick
+	return o
+}
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig3(quick())
+	cfg.Distances = []int{5, 9}
+	cfg.Rates = []float64{4e-3, 4e-2}
+	series := RunFig3(cfg)
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	// Below threshold (p=4e-3): the MBBE raises the rate and the larger
+	// clean code beats the smaller one.
+	clean5 := byName["d=5 without MBBE"].Points
+	clean9 := byName["d=9 without MBBE"].Points
+	dirty9 := byName["d=9 with MBBE"].Points
+	if clean9[0].Y >= clean5[0].Y {
+		t.Errorf("d=9 clean (%v) should beat d=5 clean (%v) at low p", clean9[0].Y, clean5[0].Y)
+	}
+	if dirty9[0].Y <= clean9[0].Y {
+		t.Errorf("MBBE should raise the d=9 rate: %v <= %v", dirty9[0].Y, clean9[0].Y)
+	}
+	// Near threshold (p=4e-2) the gap between clean codes collapses, i.e.
+	// the MBBE-free curves approach each other (threshold crossing).
+	loGap := clean5[0].Y / clean9[0].Y
+	hiGap := clean5[1].Y / clean9[1].Y
+	if hiGap > loGap {
+		t.Errorf("distance gap should shrink toward threshold: low=%v high=%v", loGap, hiGap)
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig3(&buf, []Series{{Name: "x", Points: []Point{{X: 1, Y: 2, Err: 0.1}}}})
+	out := buf.String()
+	if !strings.Contains(out, "Fig 3") || !strings.Contains(out, "## x") {
+		t.Errorf("render output malformed:\n%s", out)
+	}
+}
+
+func TestFig7ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig7(quick())
+	cfg.D = 11 // smaller lattice for test speed
+	cfg.Ratios = []float64{10, 100}
+	r := RunFig7(cfg)
+	if len(r.Window.Points) != 2 {
+		t.Fatalf("window points = %d", len(r.Window.Points))
+	}
+	// The required window shrinks as the anomaly gets hotter.
+	if r.Window.Points[1].Y > r.Window.Points[0].Y {
+		t.Errorf("hotter anomalies need smaller windows: %v -> %v",
+			r.Window.Points[0].Y, r.Window.Points[1].Y)
+	}
+	// Detection latency is of the order of the window.
+	for i, p := range r.Latency.Points {
+		if p.Y < 0 || p.Y > 8*r.Window.Points[i].Y+50 {
+			t.Errorf("latency %v implausible vs window %v", p.Y, r.Window.Points[i].Y)
+		}
+	}
+	// Position error is small at a high ratio (paper: < 1 node).
+	last := r.Position.Points[len(r.Position.Points)-1]
+	if last.Y > 4 {
+		t.Errorf("position error at ratio 100 = %v, want small", last.Y)
+	}
+}
+
+func TestFig8ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig8(quick())
+	cfg.RateDistances = []int{9}
+	cfg.EffDistances = []int{9}
+	cfg.Rates = []float64{6e-3}
+	cfg.AnomalySizes = []int{4}
+	r := RunFig8(cfg)
+	series := r.Rates[4]
+	if len(series) != 3 {
+		t.Fatalf("rate series = %d, want 3", len(series))
+	}
+	free, blind, aware := series[0], series[1], series[2]
+	if blind.Points[0].Y <= free.Points[0].Y {
+		t.Errorf("MBBE must raise the rate: %v <= %v", blind.Points[0].Y, free.Points[0].Y)
+	}
+	if aware.Points[0].Y > blind.Points[0].Y {
+		t.Errorf("rollback must not hurt: %v > %v", aware.Points[0].Y, blind.Points[0].Y)
+	}
+}
+
+func TestEffectiveReductionEq4(t *testing.T) {
+	// Constructed example: pL(d)=1e-6, pL(d-2)=1e-5, pLano=1e-4 gives
+	// reduction = ln(100)/(0.5 ln 10) = 4.
+	red, _, ok := EffectiveReduction(1e-6, 1e-5, 1e-4, 1e-8, 1e-7, 1e-6)
+	if !ok {
+		t.Fatal("well-conditioned inputs rejected")
+	}
+	if red < 3.9 || red > 4.1 {
+		t.Errorf("reduction = %v, want 4", red)
+	}
+	// Degenerate inputs rejected.
+	if _, _, ok := EffectiveReduction(0, 1e-5, 1e-4, 0, 0, 0); ok {
+		t.Error("zero pL must be rejected")
+	}
+	if _, _, ok := EffectiveReduction(1e-5, 1e-5, 1e-4, 0, 0, 0); ok {
+		t.Error("pL(d-2) == pL(d) must be rejected")
+	}
+	// Huge uncertainty rejected (the paper drops points with stderr > 4).
+	if _, _, ok := EffectiveReduction(1e-6, 2e-6, 2e-6, 1e-6, 2e-6, 2e-6); ok {
+		t.Error("noisy inputs should be filtered")
+	}
+}
+
+func TestFig9ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig9(quick())
+	cfg.MaxArea = 8
+	r := RunFig9(cfg)
+	if len(r.SizePanel) == 0 || len(r.DurPanel) == 0 || len(r.FreqPanel) == 0 {
+		t.Fatal("missing panels")
+	}
+	// In every panel, the Q3DE curve at baseline multipliers must need less
+	// density than the corresponding baseline curve at area 1.
+	q := r.SizePanel[0].Points
+	b := r.SizePanel[1].Points
+	if len(q) == 0 {
+		t.Fatal("empty Q3DE curve")
+	}
+	if len(b) > 0 && q[0].X == b[0].X && q[0].Y >= b[0].Y {
+		t.Errorf("Q3DE density %v should undercut baseline %v", q[0].Y, b[0].Y)
+	}
+}
+
+func TestFig10ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultFig10(quick())
+	cfg.Instructions = 400
+	cfg.Frequencies = []float64{1e-6, 1e-4}
+	series := RunFig10(cfg)
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4 (free, baseline, 2x q3de)", len(series))
+	}
+	free, base := series[0], series[1]
+	// The MBBE-free throughput is roughly double the baseline (latency 2d).
+	for i := range free.Points {
+		ratio := free.Points[i].Y / base.Points[i].Y
+		if ratio < 1.5 || ratio > 2.6 {
+			t.Errorf("free/baseline ratio = %v, want ~2", ratio)
+		}
+	}
+	// Q3DE at realistic frequencies (1e-6) is close to MBBE-free.
+	q3de := series[2]
+	if q3de.Points[0].Y < 0.8*free.Points[0].Y {
+		t.Errorf("Q3DE at low ray frequency should approach MBBE-free: %v vs %v",
+			q3de.Points[0].Y, free.Points[0].Y)
+	}
+	// Throughput should not increase with ray frequency.
+	if q3de.Points[len(q3de.Points)-1].Y > q3de.Points[0].Y*1.1 {
+		t.Error("Q3DE throughput should degrade (or hold) as rays become frequent")
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := RunTable3(DefaultTable3())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].KBits < 600 || rows[0].KBits > 650 {
+		t.Errorf("syndrome queue = %v kbit, want ~623", rows[0].KBits)
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, DefaultTable3(), rows)
+	if !strings.Contains(buf.String(), "syndrome queue") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	rows := RunTable4()
+	var buf bytes.Buffer
+	RenderTable4(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"40 – BASE", "40 – Q3DE", "80 – BASE", "80 – Q3DE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeadlineShowsLargeInflation(t *testing.T) {
+	cfg := DefaultHeadline(quick())
+	cfg.D = 9
+	cfg.P = 8e-3
+	r := RunHeadline(cfg)
+	if r.PL <= 0 {
+		t.Skip("no clean failures at quick budget; headline needs standard budget")
+	}
+	// The shape claim: an anomalous region inflates the logical rate by a
+	// large factor (the paper's ~100x holds at its p=1e-3, d=21 point, which
+	// needs paper-scale sampling; at this cheap point a >10x gap is already
+	// far outside statistical noise).
+	if r.PLAno < 10*r.PL {
+		t.Errorf("pL,ano (%v) should dwarf pL (%v)", r.PLAno, r.PL)
+	}
+	if r.Effective < r.PL || r.Effective > r.PLAno {
+		t.Errorf("Eq. (1) composition %v must lie between %v and %v", r.Effective, r.PL, r.PLAno)
+	}
+	var buf bytes.Buffer
+	RenderHeadline(&buf, cfg, r)
+	if !strings.Contains(buf.String(), "inflation") {
+		t.Error("render missing inflation factor")
+	}
+}
+
+func TestAblationOrdersDecoders(t *testing.T) {
+	cfg := DefaultAblation(quick())
+	cfg.D = 7
+	cfg.Rates = []float64{2e-2}
+	rows := RunAblation(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byKind := map[sim.DecoderKind]float64{}
+	for _, r := range rows {
+		byKind[r.Decoder] = r.PL
+	}
+	// MWPM is exact: it should not be substantially worse than greedy.
+	if byKind[sim.DecoderMWPM] > byKind[sim.DecoderGreedy]*1.5+1e-6 {
+		t.Errorf("mwpm %v much worse than greedy %v", byKind[sim.DecoderMWPM], byKind[sim.DecoderGreedy])
+	}
+	var buf bytes.Buffer
+	RenderAblation(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "union-find") {
+		t.Error("render missing union-find row")
+	}
+}
+
+func TestBudgetShots(t *testing.T) {
+	q, qf := BudgetQuick.shots()
+	s, sf := BudgetStandard.shots()
+	f, ff := BudgetFull.shots()
+	if !(q < s && s < f && qf < sf && sf < ff) {
+		t.Error("budgets must be ordered")
+	}
+	if BudgetQuick.String() != "quick" || BudgetFull.String() != "full" {
+		t.Error("budget names wrong")
+	}
+}
+
+func TestFig9DefaultParams(t *testing.T) {
+	cfg := DefaultFig9(quick())
+	if cfg.Params.D0 != scaling.DefaultParams().D0 {
+		t.Error("Fig9 must start from the paper's scaling defaults")
+	}
+}
+
+func TestCorrelationAblation(t *testing.T) {
+	cfg := DefaultCorrelation(quick())
+	cfg.D = 5
+	cfg.Rates = []float64{2e-2}
+	rows := RunCorrelation(cfg)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Independent <= 0 || r.Correlated <= 0 {
+		t.Fatalf("expected failures at p=2e-2: %+v", r)
+	}
+	// Y correlation changes the rate only mildly when decoding species
+	// independently (the architecture's approximation); allow a broad band
+	// but catch gross modelling errors.
+	ratio := r.Correlated / r.Independent
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("correlated/independent = %v, expected O(1)", ratio)
+	}
+	var buf bytes.Buffer
+	RenderCorrelation(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "Y-correlated") {
+		t.Error("render missing header")
+	}
+}
+
+func TestThresholdExperiment(t *testing.T) {
+	cfg := DefaultThreshold(quick())
+	cfg.D1, cfg.D2 = 5, 9
+	cfg.Rates = []float64{2e-2, 5e-2, 9e-2, 1.4e-1}
+	r := RunThreshold(cfg)
+	if len(r.CurvesD1) != 4 || len(r.CurvesD2) != 4 {
+		t.Fatal("missing curves")
+	}
+	var buf bytes.Buffer
+	RenderThreshold(&buf, cfg, r)
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Error("render missing content")
+	}
+	if r.CleanOK && (r.Clean < 0.01 || r.Clean > 0.15) {
+		t.Errorf("clean threshold %v outside plausible band", r.Clean)
+	}
+	// The paper's observation: a single MBBE leaves the threshold nearly
+	// unchanged. When both crossings are bracketed, they should agree
+	// within a factor ~2 even at the quick budget.
+	if r.CleanOK && r.MBBEOK {
+		ratio := r.WithMBBE / r.Clean
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("MBBE moved the threshold too much: %v vs %v", r.WithMBBE, r.Clean)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"q3de/internal/deform"
+	"q3de/internal/isa"
+	"q3de/internal/stats"
+)
+
+// Fig10Config parameterises experiment E5 (paper Fig. 10): instruction
+// throughput under cosmic rays on an 11x11 qubit plane with 25 logical
+// qubits executing random meas_ZZ instructions.
+type Fig10Config struct {
+	Options
+	D            int   // code distance (latency unit), paper uses d cycles
+	PlaneSize    int   // paper: 11
+	Instructions int   // paper: 1e4
+	Durations    []int // MBBE durations in units of d cycles (paper: 100, 1000)
+	// Frequencies are the per-block strike probabilities per d cycles
+	// (the paper's x axis d*tau_cyc*fano), swept logarithmically.
+	Frequencies []float64
+}
+
+// DefaultFig10 returns the paper's configuration.
+func DefaultFig10(o Options) Fig10Config {
+	cfg := Fig10Config{
+		Options: o, D: 11, PlaneSize: 11,
+		Instructions: 10000,
+		Durations:    []int{100, 1000},
+		Frequencies:  []float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4},
+	}
+	if o.Budget == BudgetQuick {
+		cfg.Instructions = 1500
+		cfg.Frequencies = []float64{1e-6, 1e-5, 1e-4}
+	}
+	return cfg
+}
+
+// RunFig10 simulates the scheduler for each mode and frequency and reports
+// the average number of completed instructions per d code cycles.
+func RunFig10(cfg Fig10Config) []Series {
+	free := Series{Name: "MBBE free"}
+	base := Series{Name: "baseline"}
+	var q3de []Series
+	for _, dur := range cfg.Durations {
+		q3de = append(q3de, Series{Name: fmt.Sprintf("Q3DE tau_ano/(d tau_cyc) = %d", dur)})
+	}
+
+	for _, f := range cfg.Frequencies {
+		free.Points = append(free.Points, Point{X: f, Y: cfg.throughput(isa.ModeMBBEFree, f, 0)})
+		base.Points = append(base.Points, Point{X: f, Y: cfg.throughput(isa.ModeBaseline, f, 0)})
+		for i, dur := range cfg.Durations {
+			q3de[i].Points = append(q3de[i].Points, Point{X: f, Y: cfg.throughput(isa.ModeQ3DE, f, dur)})
+		}
+	}
+	return append([]Series{free, base}, q3de...)
+}
+
+// throughput runs one scheduler simulation and returns completed
+// instructions per d cycles.
+func (cfg Fig10Config) throughput(mode isa.Mode, freqPerDCycle float64, durD int) float64 {
+	plane := deform.NewPlane(cfg.PlaneSize, cfg.PlaneSize)
+	ids, pos := plane.PlaceLogicalGrid()
+	s := isa.NewScheduler(mode, cfg.D, plane, ids, pos)
+	rng := stats.NewRNG(cfg.Seed, uint64(mode)<<32^uint64(durD)<<8^hashFloat(freqPerDCycle))
+
+	for i := 0; i < cfg.Instructions; i++ {
+		a := rng.IntN(len(ids))
+		b := rng.IntN(len(ids) - 1)
+		if b >= a {
+			b++
+		}
+		s.Enqueue(isa.Instruction{ID: i, Op: isa.MeasZZ, Q1: ids[a], Q2: ids[b]})
+	}
+
+	blocks := cfg.PlaneSize * cfg.PlaneSize
+	perCycle := freqPerDCycle / float64(cfg.D)
+	maxCycles := 40 * cfg.D * cfg.Instructions / len(ids)
+	if mode == isa.ModeQ3DE && perCycle > 0 {
+		// Start from the stationary strike population so short runs see the
+		// same anomaly load as the paper's long simulation: on average
+		// rate*duration strikes are live, with uniformly distributed
+		// residual lifetimes.
+		durCycles := durD * cfg.D
+		n0 := poissonSmall(rng, perCycle*float64(blocks)*float64(durCycles))
+		for k := 0; k < n0; k++ {
+			s.StrikeBlock(rng.IntN(cfg.PlaneSize), rng.IntN(cfg.PlaneSize), 1+rng.IntN(durCycles))
+		}
+	}
+	cycles := 0
+	for s.Completed() < cfg.Instructions && cycles < maxCycles {
+		if mode == isa.ModeQ3DE && perCycle > 0 {
+			// Expected strikes this cycle over all blocks.
+			n := poissonSmall(rng, perCycle*float64(blocks))
+			for k := 0; k < n; k++ {
+				s.StrikeBlock(rng.IntN(cfg.PlaneSize), rng.IntN(cfg.PlaneSize), s.Cycle()+durD*cfg.D)
+			}
+		}
+		s.Step()
+		cycles++
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.Completed()) * float64(cfg.D) / float64(cycles)
+}
+
+// poissonSmall draws a Poisson variate with a small mean.
+func poissonSmall(rng *statsRand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, prod := 0, 1.0
+	for {
+		prod *= rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// RenderFig10 writes the throughput curves.
+func RenderFig10(w io.Writer, series []Series) {
+	renderSeries(w, "Fig 10: instruction throughput vs cosmic ray frequency d*tau_cyc*fano", series)
+}

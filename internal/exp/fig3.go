@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+// Fig3Config parameterises experiment E1 (paper Fig. 3): logical error rates
+// with and without an MBBE as a function of the physical error rate.
+type Fig3Config struct {
+	Options
+	Distances []int     // paper: 9, 15, 21
+	Rates     []float64 // paper: 4e-3 .. 4e-2
+	DAno      int       // paper: 4
+	PAno      float64   // paper: 0.5
+}
+
+// DefaultFig3 returns the paper's configuration.
+func DefaultFig3(o Options) Fig3Config {
+	return Fig3Config{
+		Options:   o,
+		Distances: []int{9, 15, 21},
+		Rates:     []float64{4e-3, 6e-3, 1e-2, 2e-2, 3e-2, 4e-2},
+		DAno:      4,
+		PAno:      0.5,
+	}
+}
+
+// RunFig3 produces one series per (distance, with/without MBBE) pair.
+func RunFig3(cfg Fig3Config) []Series {
+	maxShots, maxFail := cfg.Budget.shots()
+	var out []Series
+	for _, mbbe := range []bool{false, true} {
+		for _, d := range cfg.Distances {
+			name := "without MBBE"
+			var box *lattice.Box
+			if mbbe {
+				name = "with MBBE"
+				b := lattice.New(d, d).CenteredBox(cfg.DAno)
+				box = &b
+			}
+			s := Series{Name: seriesName(d, name)}
+			for _, p := range cfg.Rates {
+				r := sim.RunMemory(sim.MemoryConfig{
+					D: d, P: p, Box: box, Pano: cfg.PAno,
+					Decoder: cfg.Decoder, Aware: false,
+					MaxShots: maxShots, MaxFailures: maxFail,
+					Seed: cfg.Seed ^ uint64(d)<<32 ^ hashFloat(p), Workers: cfg.Workers,
+				})
+				s.Points = append(s.Points, Point{X: p, Y: r.PL, Err: r.StdErr})
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderFig3 writes the series in the harness text format.
+func RenderFig3(w io.Writer, series []Series) {
+	renderSeries(w, "Fig 3: logical error rate vs physical error rate, with/without MBBE", series)
+}
+
+func seriesName(d int, suffix string) string {
+	return fmt.Sprintf("d=%d %s", d, suffix)
+}
+
+func hashFloat(f float64) uint64 {
+	u := uint64(f * 1e12)
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	return u
+}

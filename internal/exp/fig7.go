@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"q3de/internal/anomaly"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// Fig7Config parameterises experiment E2 (paper Fig. 7): the anomaly
+// detection unit's required window size, detection latency and position
+// error as a function of the error-rate inflation ratio pano/p.
+type Fig7Config struct {
+	Options
+	D      int       // paper: 21
+	P      float64   // paper: 1e-3
+	DAno   int       // paper: 4
+	Ratios []float64 // pano/p sweep, paper: up to 100
+	Alpha  float64   // paper: 0.01 (confidence 0.99)
+	Nth    int       // paper: 20
+	// ErrTarget is the per-counter false-positive/negative target (paper: 1%).
+	ErrTarget float64
+}
+
+// DefaultFig7 returns the paper's configuration.
+func DefaultFig7(o Options) Fig7Config {
+	ratios := []float64{2, 5, 10, 20, 50, 100}
+	if o.Budget == BudgetQuick {
+		ratios = []float64{5, 20, 100}
+	}
+	return Fig7Config{
+		Options: o, D: 21, P: 1e-3, DAno: 4,
+		Ratios: ratios, Alpha: 0.01, Nth: 20, ErrTarget: 0.01,
+	}
+}
+
+// Fig7Result carries the three curves of the figure.
+type Fig7Result struct {
+	Window   Series // required cwin vs ratio
+	Latency  Series // detection latency vs ratio
+	Position Series // position error vs ratio
+}
+
+// RunFig7 measures the detector on real syndrome streams: for each ratio it
+// finds the smallest window meeting the per-counter error target, then
+// measures latency and position error at that window with the configured
+// vote threshold.
+func RunFig7(cfg Fig7Config) Fig7Result {
+	res := Fig7Result{
+		Window:   Series{Name: "required window size"},
+		Latency:  Series{Name: "detection latency"},
+		Position: Series{Name: "position error"},
+	}
+	trials := 12
+	if cfg.Budget == BudgetStandard {
+		trials = 40
+	} else if cfg.Budget == BudgetFull {
+		trials = 200
+	}
+	rng := stats.NewRNG(cfg.Seed, 0xF16)
+
+	for _, ratio := range cfg.Ratios {
+		pano := cfg.P * ratio
+		if pano > 0.5 {
+			pano = 0.5
+		}
+		mu, sigma, muAno, sigmaAno := calibrateMoments(cfg, pano, rng)
+		cwin := requiredWindow(cfg, mu, sigma, muAno, sigmaAno)
+		res.Window.Points = append(res.Window.Points, Point{X: ratio, Y: float64(cwin)})
+
+		lat, posErr := measureDetection(cfg, pano, cwin, mu, sigma, trials, rng)
+		res.Latency.Points = append(res.Latency.Points, Point{X: ratio, Y: lat})
+		res.Position.Points = append(res.Position.Points, Point{X: ratio, Y: posErr})
+	}
+	return res
+}
+
+// calibrateMoments measures normal and anomalous per-node activity on real
+// lattice samples.
+func calibrateMoments(cfg Fig7Config, pano float64, rng *statsRand) (mu, sigma, muAno, sigmaAno float64) {
+	rounds := 40
+	l := lattice.New(cfg.D, rounds)
+	clean := noise.NewModel(l, cfg.P, nil, 0)
+	mu, sigma = clean.NodeActivityMoments(rng, 60)
+
+	box := l.CenteredBox(cfg.DAno)
+	dirty := noise.NewModel(l, cfg.P, &box, pano)
+	// Anomalous activity: measured on box nodes only.
+	var s noise.Sample
+	var active, count float64
+	for i := 0; i < 60; i++ {
+		dirty.Draw(rng, &s)
+		for _, id := range s.Defects {
+			if box.ContainsNode(l.NodeCoord(id)) {
+				active++
+			}
+		}
+		count += float64((box.R1 - box.R0 + 1) * (box.C1 - box.C0 + 1) * rounds)
+	}
+	muAno = active / count
+	sigmaAno = math.Sqrt(muAno * (1 - muAno))
+	return mu, sigma, muAno, sigmaAno
+}
+
+// requiredWindow finds the smallest cwin whose CLT false-negative rate is
+// below the target (the false-positive rate is alpha by construction of
+// Vth).
+func requiredWindow(cfg Fig7Config, mu, sigma, muAno, sigmaAno float64) int {
+	w := anomaly.MinWindowAnalytic(mu, sigma, muAno, sigmaAno, cfg.Alpha, cfg.ErrTarget)
+	if w == math.MaxInt32 {
+		return 1 << 16
+	}
+	return w
+}
+
+// measureDetection streams lattice samples with an MBBE injected mid-run and
+// measures the detection latency and the estimated-position error.
+func measureDetection(cfg Fig7Config, pano float64, cwin int, mu, sigma float64, trials int, rng *statsRand) (avgLatency, avgPosErr float64) {
+	onset := cwin + 20
+	rounds := onset + 6*cwin + 20
+	l := lattice.New(cfg.D, rounds)
+	box := l.CenteredBox(cfg.DAno)
+	box.T0 = onset
+	model := noise.NewModel(l, cfg.P, &box, pano)
+	trueR, trueC := box.Center()
+	cols := cfg.D - 1
+
+	var latAcc, posAcc stats.Running
+	var s noise.Sample
+	for trial := 0; trial < trials; trial++ {
+		model.Draw(rng, &s)
+		det := anomaly.New(anomaly.Config{
+			Positions: l.NodesPerLayer(), Window: cwin,
+			Mu: mu, Sigma: sigma, Alpha: cfg.Alpha, Nth: cfg.Nth,
+		})
+		perLayer := make([][]int32, rounds)
+		for _, id := range s.Defects {
+			co := l.NodeCoord(id)
+			perLayer[co.T] = append(perLayer[co.T], int32(co.R*cols+co.C))
+		}
+		for t := 0; t < rounds; t++ {
+			if d := det.Push(perLayer[t]); d != nil {
+				if t >= onset {
+					latAcc.Add(float64(d.Cycle - onset))
+					r, c := anomaly.MedianPosition(d.Flagged, cols)
+					posAcc.Add(math.Abs(float64(r-trueR)) + math.Abs(float64(c-trueC)))
+				}
+				break
+			}
+		}
+	}
+	return latAcc.Mean(), posAcc.Mean()
+}
+
+// RenderFig7 writes the three curves.
+func RenderFig7(w io.Writer, r Fig7Result) {
+	renderSeries(w, "Fig 7: anomaly detection window, latency, position error vs pano/p",
+		[]Series{r.Window, r.Latency, r.Position})
+}
+
+// statsRand aliases the harness RNG type to keep signatures tidy.
+type statsRand = rand.Rand

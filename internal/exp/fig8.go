@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+// Fig8Config parameterises experiment E3 (paper Fig. 8): logical error rates
+// with and without decoder rollback under an MBBE, and the effective
+// code-distance reduction of Eq. (4).
+type Fig8Config struct {
+	Options
+	RateDistances []int     // curves of the top panels (paper: 9, 15, 21)
+	EffDistances  []int     // distances for the reduction panels (paper: 9..17)
+	Rates         []float64 // physical error rates (paper: 4e-3 .. 4e-2)
+	AnomalySizes  []int     // paper: 2 and 4
+	PAno          float64   // paper: 0.5
+}
+
+// DefaultFig8 returns the paper's configuration.
+func DefaultFig8(o Options) Fig8Config {
+	cfg := Fig8Config{
+		Options:       o,
+		RateDistances: []int{9, 15, 21},
+		EffDistances:  []int{9, 11, 13, 15, 17},
+		Rates:         []float64{4e-3, 1e-2, 2e-2, 4e-2},
+		AnomalySizes:  []int{2, 4},
+		PAno:          0.5,
+	}
+	if o.Budget == BudgetQuick {
+		cfg.RateDistances = []int{9, 15}
+		cfg.EffDistances = []int{9, 11, 13}
+		cfg.Rates = []float64{1e-2, 4e-2}
+	}
+	return cfg
+}
+
+// Fig8Result holds the four panels.
+type Fig8Result struct {
+	// Rates[dano] holds the logical error curves: MBBE free, without
+	// rollback, with rollback, per distance.
+	Rates map[int][]Series
+	// Reduction[dano] holds the effective code-distance reduction curves
+	// (Eq. 4) with and without rollback, per distance.
+	Reduction map[int][]Series
+}
+
+// RunFig8 regenerates the figure.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	maxShots, maxFail := cfg.Budget.shots()
+	run := func(d int, p float64, box *lattice.Box, aware bool) sim.MemoryResult {
+		return sim.RunMemory(sim.MemoryConfig{
+			D: d, P: p, Box: box, Pano: cfg.PAno,
+			Decoder: cfg.Decoder, Aware: aware,
+			MaxShots: maxShots, MaxFailures: maxFail,
+			Seed:    cfg.Seed ^ uint64(d)<<24 ^ hashFloat(p) ^ boolBit(aware)<<60 ^ boolBit(box != nil)<<61,
+			Workers: cfg.Workers,
+		})
+	}
+
+	res := Fig8Result{Rates: map[int][]Series{}, Reduction: map[int][]Series{}}
+	for _, dano := range cfg.AnomalySizes {
+		var rateSeries []Series
+		for _, d := range cfg.RateDistances {
+			box := lattice.New(d, d).CenteredBox(dano)
+			free := Series{Name: seriesName(d, "MBBE free")}
+			blind := Series{Name: seriesName(d, "without rollback")}
+			aware := Series{Name: seriesName(d, "with rollback")}
+			for _, p := range cfg.Rates {
+				rf := run(d, p, nil, false)
+				rb := run(d, p, &box, false)
+				ra := run(d, p, &box, true)
+				free.Points = append(free.Points, Point{X: p, Y: rf.PL, Err: rf.StdErr})
+				blind.Points = append(blind.Points, Point{X: p, Y: rb.PL, Err: rb.StdErr})
+				aware.Points = append(aware.Points, Point{X: p, Y: ra.PL, Err: ra.StdErr})
+			}
+			rateSeries = append(rateSeries, free, blind, aware)
+		}
+		res.Rates[dano] = rateSeries
+
+		var redSeries []Series
+		for _, d := range cfg.EffDistances {
+			box := lattice.New(d, d).CenteredBox(dano)
+			blind := Series{Name: seriesName(d, "without rollback")}
+			aware := Series{Name: seriesName(d, "with rollback")}
+			for _, p := range cfg.Rates {
+				pl := run(d, p, nil, false)
+				plm2 := run(d-2, p, nil, false)
+				rb := run(d, p, &box, false)
+				ra := run(d, p, &box, true)
+				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, rb.PL, pl.StdErr, plm2.StdErr, rb.StdErr); ok {
+					blind.Points = append(blind.Points, Point{X: p, Y: red, Err: err})
+				}
+				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, ra.PL, pl.StdErr, plm2.StdErr, ra.StdErr); ok {
+					aware.Points = append(aware.Points, Point{X: p, Y: red, Err: err})
+				}
+			}
+			redSeries = append(redSeries, blind, aware)
+		}
+		res.Reduction[dano] = redSeries
+	}
+	return res
+}
+
+// EffectiveReduction evaluates the paper's Eq. (4):
+//
+//	d − deff = ln(pLano/pL) / (0.5 * ln(pL(d−2)/pL(d)))
+//
+// propagating relative statistical errors; ok is false when the inputs are
+// degenerate (zero rates) or, per the paper's plotting rule, the standard
+// error of the reduction exceeds four.
+func EffectiveReduction(pL, pLm2, pLano, ePL, ePLm2, ePLano float64) (reduction, stderr float64, ok bool) {
+	if pL <= 0 || pLm2 <= 0 || pLano <= 0 || pLm2 <= pL {
+		return 0, 0, false
+	}
+	den := 0.5 * math.Log(pLm2/pL)
+	num := math.Log(pLano / pL)
+	reduction = num / den
+	// First-order error propagation on the logs.
+	relAno := ePLano / pLano
+	relL := ePL / pL
+	relM2 := ePLm2 / pLm2
+	eNum := math.Sqrt(relAno*relAno + relL*relL)
+	eDen := 0.5 * math.Sqrt(relM2*relM2+relL*relL)
+	stderr = math.Abs(reduction) * math.Sqrt(math.Pow(eNum/num, 2)+math.Pow(eDen/den, 2))
+	if math.IsNaN(stderr) || stderr > 4 {
+		return reduction, stderr, false
+	}
+	return reduction, stderr, true
+}
+
+// RenderFig8 writes all panels in ascending anomaly-size order.
+func RenderFig8(w io.Writer, r Fig8Result) {
+	for _, dano := range sortedKeys(r.Rates) {
+		renderSeries(w, fmt.Sprintf("Fig 8 (top): logical error rates, anomaly size = %d", dano), r.Rates[dano])
+	}
+	for _, dano := range sortedKeys(r.Reduction) {
+		renderSeries(w, fmt.Sprintf("Fig 8 (bottom): code distance reduction, anomaly size = %d", dano), r.Reduction[dano])
+	}
+}
+
+func sortedKeys(m map[int][]Series) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"q3de/internal/scaling"
+)
+
+// Fig9Config parameterises experiment E4 (paper Fig. 9): required chip area
+// and qubit density per logical qubit for a logical error rate below 1e-10,
+// in three panels sweeping anomaly size, error duration and anomaly
+// frequency.
+type Fig9Config struct {
+	Options
+	Params  scaling.Params
+	MaxArea float64
+	// Panel sweeps (multipliers applied to the baseline parameter).
+	SizeMults []float64
+	DurMults  []float64
+	FreqMults []float64
+}
+
+// DefaultFig9 returns the paper's configuration.
+func DefaultFig9(o Options) Fig9Config {
+	cfg := Fig9Config{
+		Options:   o,
+		Params:    scaling.DefaultParams(),
+		MaxArea:   100,
+		SizeMults: []float64{1, 0.75, 0.5, 0.25},
+		DurMults:  []float64{1, 0.1, 0.01},
+		FreqMults: []float64{1, 0.1, 0.01},
+	}
+	if o.Budget == BudgetQuick {
+		cfg.MaxArea = 32
+		cfg.SizeMults = []float64{1, 0.5}
+		cfg.DurMults = []float64{1, 0.01}
+		cfg.FreqMults = []float64{1, 0.01}
+	}
+	return cfg
+}
+
+// Fig9Result carries the three panels.
+type Fig9Result struct {
+	SizePanel []Series
+	DurPanel  []Series
+	FreqPanel []Series
+}
+
+// RunFig9 evaluates the requirement curves.
+func RunFig9(cfg Fig9Config) Fig9Result {
+	var res Fig9Result
+	curve := func(p scaling.Params, arch scaling.Arch, name string) Series {
+		s := Series{Name: name}
+		for _, pt := range p.RequirementCurve(arch, cfg.MaxArea, cfg.Seed) {
+			s.Points = append(s.Points, Point{X: pt.Area, Y: pt.Density})
+		}
+		return s
+	}
+
+	// Left panel: anomaly size sweep, Q3DE vs baseline.
+	for _, m := range cfg.SizeMults {
+		p := cfg.Params
+		p.SizeMult = m
+		res.SizePanel = append(res.SizePanel,
+			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly size x%.2f", m)),
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly size x%.2f", m)))
+	}
+	// Middle panel: duration sweep; the Q3DE curve is duration-insensitive
+	// (its exposure is clat), so one Q3DE curve against baseline durations.
+	res.DurPanel = append(res.DurPanel, curve(cfg.Params, scaling.ArchQ3DE, "Q3DE"))
+	for _, m := range cfg.DurMults {
+		p := cfg.Params
+		p.DurMult = m
+		res.DurPanel = append(res.DurPanel,
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline error duration x%.2g", m)))
+	}
+	// Right panel: frequency sweep for both architectures.
+	for _, m := range cfg.FreqMults {
+		p := cfg.Params
+		p.FreqMult = m
+		res.FreqPanel = append(res.FreqPanel,
+			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly freq x%.2g", m)),
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly freq x%.2g", m)))
+	}
+	return res
+}
+
+// RenderFig9 writes the three panels.
+func RenderFig9(w io.Writer, r Fig9Result) {
+	renderSeries(w, "Fig 9 (left): anomaly size sweep — area ratio vs required density ratio", r.SizePanel)
+	renderSeries(w, "Fig 9 (middle): error duration sweep", r.DurPanel)
+	renderSeries(w, "Fig 9 (right): anomaly frequency sweep", r.FreqPanel)
+}

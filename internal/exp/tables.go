@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"q3de/internal/control"
+	"q3de/internal/hw"
+)
+
+// Table3Config parameterises experiment E6 (paper Table III): the memory
+// overheads of Q3DE's buffers per logical qubit.
+type Table3Config struct {
+	D    int // paper: 31
+	Cwin int // paper: 300
+}
+
+// DefaultTable3 returns the paper's configuration.
+func DefaultTable3() Table3Config { return Table3Config{D: 31, Cwin: 300} }
+
+// Table3Row is one line of Table III.
+type Table3Row struct {
+	Unit    string
+	Formula string
+	KBits   float64
+}
+
+// RunTable3 evaluates the sizing formulas.
+func RunTable3(cfg Table3Config) []Table3Row {
+	b := control.BufferSizing{D: cfg.D, Cwin: cfg.Cwin}
+	return []Table3Row{
+		{Unit: "syndrome queue", Formula: "2d^2(cwin + sqrt(2 cwin))", KBits: b.SyndromeQueueBits() / 1000},
+		{Unit: "active node counter", Formula: "2d^2 log2 cwin", KBits: b.ActiveNodeCounterBits() / 1000},
+		{Unit: "matching queue", Formula: "2d^2 sqrt(cwin/2)", KBits: b.MatchingQueueBits() / 1000},
+		{Unit: "inst. hist. buffer", Formula: "negligible", KBits: 0},
+		{Unit: "expansion queue", Formula: "negligible", KBits: 0},
+		{Unit: "(baseline 2d^3 queue)", Formula: "2d^3", KBits: b.BaselineSyndromeQueueBits() / 1000},
+	}
+}
+
+// RenderTable3 prints the table.
+func RenderTable3(w io.Writer, cfg Table3Config, rows []Table3Row) {
+	fmt.Fprintf(w, "# Table III: memory overheads of Q3DE (d=%d, cwin=%d)\n", cfg.D, cfg.Cwin)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Unit\tOrder\tSize")
+	for _, r := range rows {
+		if r.KBits == 0 {
+			fmt.Fprintf(tw, "%s\t%s\t–\n", r.Unit, r.Formula)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f kbit\n", r.Unit, r.Formula, r.KBits)
+	}
+	tw.Flush()
+}
+
+// RunTable4 evaluates the decoder-unit hardware model (experiment E7).
+func RunTable4() []hw.Row { return hw.TableIV() }
+
+// RenderTable4 prints Table IV.
+func RenderTable4(w io.Writer, rows []hw.Row) {
+	fmt.Fprintln(w, "# Table IV: FPGA implementation model of the greedy-based decoder")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Configuration\tFF (%)\tLUT (%)\tthroughput (match/us)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d (%.0f)\t%d (%.0f)\t%.2f\n",
+			r.Config, r.FF, r.FFPct, r.LUT, r.LUTPct, r.Throughput)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,136 @@
+// Package isa implements the succinct FTQC instruction set of paper Table II
+// and the instruction scheduling machinery of Sec. II-B and VIII-B: a FIFO
+// instruction queue whose entries commit as soon as they commute with every
+// preceding uncommitted instruction and the qubit plane has room, with
+// lattice-surgery routing through vacant blocks and latencies proportional to
+// the code distance.
+package isa
+
+import "fmt"
+
+// Opcode enumerates the instruction set of Table II.
+type Opcode uint8
+
+const (
+	// InitZero initialises a logical qubit in |0>.
+	InitZero Opcode = iota
+	// InitA initialises a logical qubit in a noisy |A> magic state.
+	InitA
+	// InitY initialises a logical qubit in a noisy |Y> state.
+	InitY
+	// OpH performs a logical Hadamard.
+	OpH
+	// MeasZ measures a logical qubit in the Z basis.
+	MeasZ
+	// MeasZZ measures two logical qubits jointly in the ZZ basis via lattice
+	// surgery through vacant blocks.
+	MeasZZ
+	// Read sends an error-corrected measurement value to the host CPU; it
+	// requests no action on the qubit plane.
+	Read
+	// OpExpand is Q3DE's extension: temporally expand a code distance to
+	// mitigate an MBBE.
+	OpExpand
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case InitZero:
+		return "init_zero"
+	case InitA:
+		return "init_A"
+	case InitY:
+		return "init_Y"
+	case OpH:
+		return "op_H"
+	case MeasZ:
+		return "meas_Z"
+	case MeasZZ:
+		return "meas_ZZ"
+	case Read:
+		return "read"
+	case OpExpand:
+		return "op_expand"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// NumQubits returns how many logical-qubit operands the opcode takes.
+func (o Opcode) NumQubits() int {
+	switch o {
+	case MeasZZ:
+		return 2
+	case Read:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Instruction is one entry of the instruction queue.
+type Instruction struct {
+	ID int
+	Op Opcode
+	Q1 int // first operand (qubit id)
+	Q2 int // second operand for meas_ZZ
+	// Reg is the classical register index for meas_*/read.
+	Reg int
+}
+
+// Qubits returns the operand qubits.
+func (in Instruction) Qubits() []int {
+	switch in.Op.NumQubits() {
+	case 0:
+		return nil
+	case 1:
+		return []int{in.Q1}
+	default:
+		return []int{in.Q1, in.Q2}
+	}
+}
+
+// Commutes reports whether two instructions act on disjoint qubit sets, the
+// commutation rule the queue uses for out-of-order commit. (Physically,
+// commuting logical operations are exactly those touching disjoint patches
+// under this instruction set, plus reads, which touch no patch.)
+func Commutes(a, b Instruction) bool {
+	for _, qa := range a.Qubits() {
+		for _, qb := range b.Qubits() {
+			if qa == qb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Mode selects the architecture variant for the throughput comparison of
+// Fig. 10.
+type Mode int
+
+const (
+	// ModeMBBEFree: no cosmic rays; latency d.
+	ModeMBBEFree Mode = iota
+	// ModeBaseline: MBBEs are tolerated by doubling the default code
+	// distance, so every instruction runs at latency 2d and rays need no
+	// reaction.
+	ModeBaseline
+	// ModeQ3DE: default distance d; MBBEs are detected, affected patches
+	// expand (2x2 blocks, latency 2d while expanded) and anomalous vacant
+	// blocks are avoided by the router.
+	ModeQ3DE
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMBBEFree:
+		return "mbbe-free"
+	case ModeBaseline:
+		return "baseline"
+	case ModeQ3DE:
+		return "q3de"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}

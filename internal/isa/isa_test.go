@@ -1,0 +1,251 @@
+package isa
+
+import (
+	"testing"
+
+	"q3de/internal/deform"
+	"q3de/internal/stats"
+)
+
+func TestOpcodeProperties(t *testing.T) {
+	if MeasZZ.NumQubits() != 2 || Read.NumQubits() != 0 || OpH.NumQubits() != 1 {
+		t.Error("operand counts wrong")
+	}
+	names := map[Opcode]string{
+		InitZero: "init_zero", InitA: "init_A", InitY: "init_Y", OpH: "op_H",
+		MeasZ: "meas_Z", MeasZZ: "meas_ZZ", Read: "read", OpExpand: "op_expand",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	a := Instruction{Op: MeasZZ, Q1: 0, Q2: 1}
+	b := Instruction{Op: MeasZZ, Q1: 2, Q2: 3}
+	c := Instruction{Op: MeasZ, Q1: 1}
+	r := Instruction{Op: Read}
+	if !Commutes(a, b) {
+		t.Error("disjoint meas_ZZ should commute")
+	}
+	if Commutes(a, c) {
+		t.Error("shared qubit should not commute")
+	}
+	if !Commutes(a, r) || !Commutes(r, r) {
+		t.Error("read touches no qubits and commutes with everything")
+	}
+}
+
+func newSched(mode Mode) (*Scheduler, []int) {
+	plane := deform.NewPlane(11, 11)
+	ids, pos := plane.PlaceLogicalGrid()
+	return NewScheduler(mode, 11, plane, ids, pos), ids
+}
+
+func TestSingleMeasZZCompletes(t *testing.T) {
+	s, ids := newSched(ModeMBBEFree)
+	s.Enqueue(Instruction{ID: 1, Op: MeasZZ, Q1: ids[0], Q2: ids[1]})
+	for i := 0; i < 3*s.D; i++ {
+		s.Step()
+	}
+	if s.Completed() != 1 {
+		t.Fatalf("completed = %d, want 1", s.Completed())
+	}
+	if s.Plane.CountState(deform.BlockRouting) != 0 {
+		t.Error("routing blocks not released after completion")
+	}
+}
+
+func TestLatencyProportionalToDistance(t *testing.T) {
+	s, ids := newSched(ModeMBBEFree)
+	s.Enqueue(Instruction{ID: 1, Op: MeasZ, Q1: ids[0]})
+	steps := 0
+	for s.Completed() == 0 {
+		s.Step()
+		steps++
+		if steps > 100 {
+			t.Fatal("instruction never completed")
+		}
+	}
+	// Starts on the first step, runs for D cycles.
+	if steps != s.D+1 {
+		t.Errorf("meas_Z took %d steps, want D+1 = %d", steps, s.D+1)
+	}
+}
+
+func TestBaselineDoublesLatency(t *testing.T) {
+	s, ids := newSched(ModeBaseline)
+	s.Enqueue(Instruction{ID: 1, Op: MeasZ, Q1: ids[0]})
+	steps := 0
+	for s.Completed() == 0 {
+		s.Step()
+		steps++
+		if steps > 100 {
+			t.Fatal("instruction never completed")
+		}
+	}
+	if steps != 2*s.D+1 {
+		t.Errorf("baseline meas_Z took %d steps, want 2D+1 = %d", steps, 2*s.D+1)
+	}
+}
+
+func TestDisjointInstructionsRunConcurrently(t *testing.T) {
+	s, ids := newSched(ModeMBBEFree)
+	s.Enqueue(
+		Instruction{ID: 1, Op: MeasZZ, Q1: ids[0], Q2: ids[1]},
+		Instruction{ID: 2, Op: MeasZZ, Q1: ids[2], Q2: ids[3]},
+	)
+	for i := 0; i < s.D+2; i++ {
+		s.Step()
+	}
+	if s.Completed() != 2 {
+		t.Errorf("disjoint instructions should finish together: %d done", s.Completed())
+	}
+}
+
+func TestConflictingInstructionsSerialize(t *testing.T) {
+	s, ids := newSched(ModeMBBEFree)
+	s.Enqueue(
+		Instruction{ID: 1, Op: MeasZZ, Q1: ids[0], Q2: ids[1]},
+		Instruction{ID: 2, Op: MeasZZ, Q1: ids[1], Q2: ids[2]}, // shares ids[1]
+	)
+	for i := 0; i < s.D+2; i++ {
+		s.Step()
+	}
+	if s.Completed() != 1 {
+		t.Errorf("conflicting second instruction should wait: %d done", s.Completed())
+	}
+	for i := 0; i < s.D+2; i++ {
+		s.Step()
+	}
+	if s.Completed() != 2 {
+		t.Errorf("second instruction should finish eventually: %d done", s.Completed())
+	}
+}
+
+func TestFenceBlocksNonCommutingBypass(t *testing.T) {
+	// Instruction 3 commutes with neither 1 nor 2; even when 2 is stuck,
+	// 3 must not start before 2.
+	s, ids := newSched(ModeMBBEFree)
+	s.Enqueue(
+		Instruction{ID: 1, Op: MeasZZ, Q1: ids[0], Q2: ids[1]},
+		Instruction{ID: 2, Op: MeasZ, Q1: ids[1]},              // stuck behind 1
+		Instruction{ID: 3, Op: MeasZZ, Q1: ids[1], Q2: ids[2]}, // stuck behind 2
+		Instruction{ID: 4, Op: MeasZ, Q1: ids[5]},              // independent, may bypass
+	)
+	s.Step()
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (instructions 2 and 3 fenced)", s.Pending())
+	}
+}
+
+func TestQ3DEStrikeOnLogicalBlockExpands(t *testing.T) {
+	s, ids := newSched(ModeQ3DE)
+	q := s.qubits[ids[0]]
+	s.StrikeBlock(q.r, q.c, 50)
+	if !q.expanded {
+		t.Fatal("strike on logical block should expand the patch")
+	}
+	if s.Plane.CountState(deform.BlockExpansion) != 3 {
+		t.Errorf("expansion should claim 3 blocks, got %d", s.Plane.CountState(deform.BlockExpansion))
+	}
+	// Latency of operations on the expanded qubit doubles.
+	s.Enqueue(Instruction{ID: 1, Op: MeasZ, Q1: ids[0]})
+	steps := 0
+	for s.Completed() == 0 {
+		s.Step()
+		steps++
+		if steps > 200 {
+			t.Fatal("never completed")
+		}
+	}
+	if steps != 2*s.D+1 {
+		t.Errorf("expanded-qubit op took %d steps, want %d", steps, 2*s.D+1)
+	}
+	// Expansion expires and blocks return.
+	for s.Cycle() < 60 {
+		s.Step()
+	}
+	if q.expanded || s.Plane.CountState(deform.BlockExpansion) != 0 {
+		t.Error("expansion should expire at the given cycle")
+	}
+}
+
+func TestQ3DEStrikeOnVacantBlockAvoided(t *testing.T) {
+	s, _ := newSched(ModeQ3DE)
+	s.StrikeBlock(0, 0, 10)
+	if s.Plane.State(0, 0) != deform.BlockAnomalous {
+		t.Fatal("vacant block should be marked anomalous")
+	}
+	for s.Cycle() < 12 {
+		s.Step()
+	}
+	if s.Plane.State(0, 0) != deform.BlockVacant {
+		t.Error("anomalous block should recover after the duration")
+	}
+}
+
+func TestBaselineIgnoresStrikes(t *testing.T) {
+	s, ids := newSched(ModeBaseline)
+	q := s.qubits[ids[0]]
+	s.StrikeBlock(q.r, q.c, 1000)
+	if q.expanded || s.Plane.CountState(deform.BlockExpansion) != 0 {
+		t.Error("baseline must not react to strikes")
+	}
+}
+
+func TestRepeatedStrikeExtendsExpansion(t *testing.T) {
+	s, ids := newSched(ModeQ3DE)
+	q := s.qubits[ids[0]]
+	s.StrikeBlock(q.r, q.c, 50)
+	s.StrikeBlock(q.r, q.c, 120)
+	if q.expandUntil != 120 {
+		t.Errorf("second strike should extend expansion to 120, got %d", q.expandUntil)
+	}
+}
+
+func TestThroughputOrderingAcrossModes(t *testing.T) {
+	// With random meas_ZZ workloads, MBBE-free >= Q3DE >= baseline in
+	// completed instructions over a fixed horizon (Q3DE only pays when rays
+	// strike; the baseline always pays double latency).
+	run := func(mode Mode, strike bool) int {
+		plane := deform.NewPlane(11, 11)
+		ids, pos := plane.PlaceLogicalGrid()
+		s := NewScheduler(mode, 11, plane, ids, pos)
+		rng := stats.NewRNG(71, 72)
+		for i := 0; i < 500; i++ {
+			a, b := ids[rng.IntN(len(ids))], ids[rng.IntN(len(ids))]
+			if a == b {
+				b = ids[(rng.IntN(len(ids)-1)+1+indexOf(ids, a))%len(ids)]
+			}
+			s.Enqueue(Instruction{ID: i, Op: MeasZZ, Q1: a, Q2: b})
+		}
+		for i := 0; i < 1500; i++ {
+			if strike && mode == ModeQ3DE && i%300 == 0 {
+				s.StrikeBlock(rng.IntN(11), rng.IntN(11), i+100)
+			}
+			s.Step()
+		}
+		return s.Completed()
+	}
+	free := run(ModeMBBEFree, false)
+	q3de := run(ModeQ3DE, true)
+	base := run(ModeBaseline, false)
+	if !(free >= q3de && q3de >= base) {
+		t.Errorf("ordering violated: free=%d q3de=%d baseline=%d", free, q3de, base)
+	}
+	if base == 0 || free == 0 {
+		t.Error("schedulers completed nothing")
+	}
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

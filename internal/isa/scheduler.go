@@ -1,0 +1,235 @@
+package isa
+
+import (
+	"fmt"
+
+	"q3de/internal/deform"
+)
+
+// Scheduler executes the instruction stream on a block-granularity qubit
+// plane using the greedy policy of Sec. VIII-B: walk the queue in order, skip
+// (but fence the operands of) instructions that cannot start, and start every
+// instruction that commutes with all fenced predecessors and finds resources.
+type Scheduler struct {
+	Mode  Mode
+	D     int // default code distance
+	Plane *deform.Plane
+
+	queue     []Instruction
+	qubits    map[int]*qubitState
+	running   []*running
+	anomalous []anomalousBlock
+	cycle     int
+	done      int
+
+	// ExpandHold is how long (in cycles) an MBBE-triggered expansion is kept;
+	// mirrors the MBBE duration.
+	ExpandHold int
+}
+
+type qubitState struct {
+	id          int
+	r, c        int
+	busy        bool
+	expanded    bool
+	expandUntil int
+	claimed     [][2]int
+}
+
+type running struct {
+	in       Instruction
+	until    int
+	path     [][2]int
+	operands []int
+}
+
+// NewScheduler builds a scheduler over a plane with logical qubits already
+// placed (deform.Plane.PlaceLogicalGrid).
+func NewScheduler(mode Mode, d int, plane *deform.Plane, ids []int, pos [][2]int) *Scheduler {
+	if len(ids) != len(pos) {
+		panic("isa: ids and positions must align")
+	}
+	s := &Scheduler{Mode: mode, D: d, Plane: plane, qubits: make(map[int]*qubitState)}
+	for i, id := range ids {
+		s.qubits[id] = &qubitState{id: id, r: pos[i][0], c: pos[i][1]}
+	}
+	return s
+}
+
+// Enqueue appends instructions to the FIFO queue.
+func (s *Scheduler) Enqueue(ins ...Instruction) { s.queue = append(s.queue, ins...) }
+
+// Pending returns the number of queued (not yet started) instructions.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Completed returns the number of finished instructions.
+func (s *Scheduler) Completed() int { return s.done }
+
+// Cycle returns the current code cycle.
+func (s *Scheduler) Cycle() int { return s.cycle }
+
+// latency returns the instruction latency for the involved qubits: the
+// paper's rule that most instructions take time proportional to the code
+// distance, doubled for the baseline architecture or for expanded patches.
+func (s *Scheduler) latency(operands []int) int {
+	d := s.D
+	if s.Mode == ModeBaseline {
+		return 2 * d
+	}
+	for _, q := range operands {
+		if s.qubits[q].expanded {
+			return 2 * d
+		}
+	}
+	return d
+}
+
+// StrikeBlock reacts to an MBBE on block (r,c) lasting until the given
+// cycle. In Q3DE mode a strike on a logical patch triggers op_expand; a
+// strike on a vacant block marks it anomalous so the router avoids it
+// (Sec. VIII-B: "MBBEs on unused blocks are detected via direct measurements
+// of data qubits and the instruction scheduler avoids using these blocks").
+// Other modes ignore strikes (the baseline tolerates them by distance).
+func (s *Scheduler) StrikeBlock(r, c, until int) {
+	if s.Mode != ModeQ3DE {
+		return
+	}
+	switch s.Plane.State(r, c) {
+	case deform.BlockLogical:
+		q := s.qubits[s.Plane.Owner(r, c)]
+		if q == nil {
+			panic(fmt.Sprintf("isa: logical block (%d,%d) without qubit", r, c))
+		}
+		if q.expanded {
+			if until > q.expandUntil {
+				q.expandUntil = until
+			}
+			return
+		}
+		claimed, ok := s.Plane.ExpandAt(q.r, q.c, q.id)
+		if !ok {
+			// No room: the qubit stays unexpanded and simply rides out the
+			// MBBE at higher error rate (throughput unaffected).
+			return
+		}
+		q.expanded = true
+		q.expandUntil = until
+		q.claimed = claimed
+	case deform.BlockVacant:
+		s.Plane.Set(r, c, deform.BlockAnomalous, -1)
+		s.anomalous = append(s.anomalous, anomalousBlock{r: r, c: c, until: until})
+	case deform.BlockExpansion:
+		// Striking the claimed expansion space of a patch extends its
+		// expansion: the region stays hot.
+		if q := s.qubits[s.Plane.Owner(r, c)]; q != nil && q.expanded && until > q.expandUntil {
+			q.expandUntil = until
+		}
+	case deform.BlockRouting:
+		// The block is busy with lattice surgery; remember the strike so the
+		// block is quarantined once released (Step applies pending marks).
+		s.anomalous = append(s.anomalous, anomalousBlock{r: r, c: c, until: until})
+	}
+}
+
+type anomalousBlock struct {
+	r, c, until int
+}
+
+// Step advances one code cycle: completes finished instructions, expires
+// expansions and anomalous blocks, then starts every startable instruction
+// under the greedy in-order policy.
+func (s *Scheduler) Step() {
+	s.cycle++
+
+	// Complete running instructions.
+	kept := s.running[:0]
+	for _, r := range s.running {
+		if s.cycle >= r.until {
+			s.done++
+			s.Plane.Release(r.path)
+			for _, q := range r.operands {
+				s.qubits[q].busy = false
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.running = kept
+
+	// Expire expansions.
+	for _, q := range s.qubits {
+		if q.expanded && s.cycle >= q.expandUntil {
+			s.Plane.Release(q.claimed)
+			q.claimed = nil
+			q.expanded = false
+		}
+	}
+	// Expire anomalous blocks and quarantine released blocks with pending
+	// strike marks.
+	keptA := s.anomalous[:0]
+	for _, a := range s.anomalous {
+		if s.cycle >= a.until {
+			if s.Plane.State(a.r, a.c) == deform.BlockAnomalous {
+				s.Plane.Set(a.r, a.c, deform.BlockVacant, -1)
+			}
+			continue
+		}
+		if s.Plane.State(a.r, a.c) == deform.BlockVacant {
+			s.Plane.Set(a.r, a.c, deform.BlockAnomalous, -1)
+		}
+		keptA = append(keptA, a)
+	}
+	s.anomalous = keptA
+
+	// Greedy in-order start.
+	var fenced []Instruction
+	rest := s.queue[:0]
+	for _, in := range s.queue {
+		ok := true
+		for _, f := range fenced {
+			if !Commutes(in, f) {
+				ok = false
+				break
+			}
+		}
+		if ok && s.tryStart(in) {
+			continue
+		}
+		fenced = append(fenced, in)
+		rest = append(rest, in)
+	}
+	s.queue = rest
+}
+
+// tryStart attempts to allocate resources and start the instruction.
+func (s *Scheduler) tryStart(in Instruction) bool {
+	operands := in.Qubits()
+	for _, q := range operands {
+		st, ok := s.qubits[q]
+		if !ok {
+			panic(fmt.Sprintf("isa: unknown qubit %d", q))
+		}
+		if st.busy {
+			return false
+		}
+	}
+	var path [][2]int
+	if in.Op == MeasZZ {
+		a, b := s.qubits[in.Q1], s.qubits[in.Q2]
+		p, ok := s.Plane.FindPath([2]int{a.r, a.c}, [2]int{b.r, b.c})
+		if !ok {
+			return false
+		}
+		path = p
+		for _, blk := range path {
+			s.Plane.Set(blk[0], blk[1], deform.BlockRouting, in.ID)
+		}
+	}
+	for _, q := range operands {
+		s.qubits[q].busy = true
+	}
+	s.running = append(s.running, &running{
+		in: in, until: s.cycle + s.latency(operands), path: path, operands: operands,
+	})
+	return true
+}

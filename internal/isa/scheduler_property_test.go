@@ -1,0 +1,95 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"q3de/internal/deform"
+	"q3de/internal/stats"
+)
+
+// TestSchedulerConservesInstructions checks the bookkeeping invariant:
+// enqueued = completed + pending + in-flight at every step, for random
+// workloads, strike patterns and modes.
+func TestSchedulerConservesInstructions(t *testing.T) {
+	f := func(seed uint64, modeRaw, nRaw uint8) bool {
+		mode := Mode(int(modeRaw) % 3)
+		n := int(nRaw)%60 + 1
+		plane := deform.NewPlane(11, 11)
+		ids, pos := plane.PlaceLogicalGrid()
+		s := NewScheduler(mode, 7, plane, ids, pos)
+		rng := stats.NewRNG(seed, 77)
+		for i := 0; i < n; i++ {
+			a := rng.IntN(len(ids))
+			b := rng.IntN(len(ids) - 1)
+			if b >= a {
+				b++
+			}
+			s.Enqueue(Instruction{ID: i, Op: MeasZZ, Q1: ids[a], Q2: ids[b]})
+		}
+		for cycle := 0; cycle < 300; cycle++ {
+			if rng.IntN(40) == 0 {
+				s.StrikeBlock(rng.IntN(11), rng.IntN(11), cycle+30)
+			}
+			s.Step()
+			inFlight := len(s.running)
+			if s.Completed()+s.Pending()+inFlight != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedulerEventuallyDrains checks liveness: every random workload
+// completes within a generous horizon in every mode.
+func TestSchedulerEventuallyDrains(t *testing.T) {
+	for _, mode := range []Mode{ModeMBBEFree, ModeBaseline, ModeQ3DE} {
+		plane := deform.NewPlane(11, 11)
+		ids, pos := plane.PlaceLogicalGrid()
+		s := NewScheduler(mode, 7, plane, ids, pos)
+		rng := stats.NewRNG(123, uint64(mode))
+		n := 120
+		for i := 0; i < n; i++ {
+			a := rng.IntN(len(ids))
+			b := rng.IntN(len(ids) - 1)
+			if b >= a {
+				b++
+			}
+			s.Enqueue(Instruction{ID: i, Op: MeasZZ, Q1: ids[a], Q2: ids[b]})
+		}
+		for cycle := 0; cycle < 20000 && s.Completed() < n; cycle++ {
+			s.Step()
+		}
+		if s.Completed() != n {
+			t.Errorf("%v: drained only %d of %d", mode, s.Completed(), n)
+		}
+		if got := plane.CountState(deform.BlockRouting); got != 0 {
+			t.Errorf("%v: %d routing blocks leaked", mode, got)
+		}
+	}
+}
+
+// TestSchedulerBlocksNeverLeakAfterStrikes checks that expansion and
+// anomalous blocks always return to vacancy after their deadlines.
+func TestSchedulerBlocksNeverLeakAfterStrikes(t *testing.T) {
+	plane := deform.NewPlane(11, 11)
+	ids, pos := plane.PlaceLogicalGrid()
+	s := NewScheduler(ModeQ3DE, 7, plane, ids, pos)
+	rng := stats.NewRNG(9, 9)
+	for cycle := 0; cycle < 400; cycle++ {
+		if cycle < 200 && cycle%11 == 0 {
+			s.StrikeBlock(rng.IntN(11), rng.IntN(11), cycle+50)
+		}
+		s.Step()
+	}
+	if got := plane.CountState(deform.BlockAnomalous); got != 0 {
+		t.Errorf("%d anomalous blocks leaked", got)
+	}
+	if got := plane.CountState(deform.BlockExpansion); got != 0 {
+		t.Errorf("%d expansion blocks leaked", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package lattice models the three-dimensional decoding graph of a planar
+// surface code, exactly as introduced in Sec. II-A and Fig. 2 of the Q3DE
+// paper: syndrome values extracted every code cycle are XOR-ed between
+// consecutive cycles and stacked into a 3-D lattice whose nodes are detection
+// events ("active nodes") and whose edges are spatially and temporally local
+// Pauli error mechanisms.
+//
+// Conventions (documented in DESIGN.md §5):
+//
+//   - We model one syndrome species (say the Z lattice, which detects Pauli-X
+//     errors). The X lattice is an independent, identically distributed copy
+//     under the paper's symmetric noise model, so experiments simulate two
+//     independent lattices when both species matter.
+//   - A distance-d planar code has d rows × (d−1) columns of syndrome nodes
+//     per time layer. Horizontal space edges (including one boundary edge at
+//     each end of every row) and vertical space edges are data-qubit errors;
+//     time edges are syndrome-measurement errors.
+//   - A memory experiment over T noisy rounds closes with one perfect round,
+//     which is represented by the absence of time edges after layer T−1.
+//   - A logical X failure is the odd homology class: the parity of flipped
+//     (error ⊕ correction) edges crossing the cut at the left boundary.
+package lattice
+
+import "fmt"
+
+// Boundary sentinels used as the second endpoint of boundary edges.
+const (
+	BoundaryLeft  = -1
+	BoundaryRight = -2
+)
+
+// EdgeKind classifies the error mechanism an edge represents.
+type EdgeKind uint8
+
+const (
+	// EdgeHorizontal is a data-qubit error linking two nodes in the same row
+	// (or a node to the left/right boundary).
+	EdgeHorizontal EdgeKind = iota
+	// EdgeVertical is a data-qubit error linking two nodes in the same column.
+	EdgeVertical
+	// EdgeTime is a syndrome-measurement error linking the same spatial node
+	// in consecutive time layers.
+	EdgeTime
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeHorizontal:
+		return "horizontal"
+	case EdgeVertical:
+		return "vertical"
+	case EdgeTime:
+		return "time"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Coord addresses a syndrome node: row R ∈ [0,d), column C ∈ [0,d−1),
+// time layer T ∈ [0,rounds).
+type Coord struct {
+	R, C, T int
+}
+
+// Edge is one error mechanism in the decoding graph. A is always a valid node
+// index; B is a node index or a Boundary* sentinel.
+type Edge struct {
+	A, B       int32
+	Kind       EdgeKind
+	CrossesCut bool // true for left-boundary edges: they cross the logical cut
+}
+
+// Lattice is the decoding graph of one syndrome species for a distance-D
+// planar surface code over Rounds noisy code cycles (plus a final perfect
+// round).
+type Lattice struct {
+	D      int // code distance
+	Rounds int // noisy rounds; node layers are 0..Rounds-1
+
+	rows, cols int // rows = D, cols = D-1
+	Edges      []Edge
+}
+
+// New constructs the lattice for code distance d over rounds noisy cycles.
+// d must be at least 2 and rounds at least 1.
+func New(d, rounds int) *Lattice {
+	if d < 2 {
+		panic(fmt.Sprintf("lattice: distance %d < 2", d))
+	}
+	if rounds < 1 {
+		panic(fmt.Sprintf("lattice: rounds %d < 1", rounds))
+	}
+	l := &Lattice{D: d, Rounds: rounds, rows: d, cols: d - 1}
+	l.buildEdges()
+	return l
+}
+
+// NumNodes returns the number of syndrome nodes in the graph.
+func (l *Lattice) NumNodes() int { return l.rows * l.cols * l.Rounds }
+
+// NodesPerLayer returns the number of syndrome nodes in one time layer.
+func (l *Lattice) NodesPerLayer() int { return l.rows * l.cols }
+
+// NodeID maps a coordinate to its dense node index.
+func (l *Lattice) NodeID(c Coord) int32 {
+	return int32((c.T*l.rows+c.R)*l.cols + c.C)
+}
+
+// NodeCoord inverts NodeID.
+func (l *Lattice) NodeCoord(id int32) Coord {
+	i := int(id)
+	c := i % l.cols
+	i /= l.cols
+	r := i % l.rows
+	t := i / l.rows
+	return Coord{R: r, C: c, T: t}
+}
+
+// InBounds reports whether c addresses a node of this lattice.
+func (l *Lattice) InBounds(c Coord) bool {
+	return c.R >= 0 && c.R < l.rows && c.C >= 0 && c.C < l.cols && c.T >= 0 && c.T < l.Rounds
+}
+
+func (l *Lattice) buildEdges() {
+	d := l.D
+	// Per layer: horizontal internal (d-2 per row * d rows) + boundary (2 per
+	// row * d rows) + vertical ((d-1)*(d-1)). Time: nodesPerLayer per
+	// inter-layer gap.
+	perLayer := d*(d-2) + 2*d + (d-1)*(d-1)
+	total := perLayer*l.Rounds + l.NodesPerLayer()*(l.Rounds-1)
+	l.Edges = make([]Edge, 0, total)
+
+	for t := 0; t < l.Rounds; t++ {
+		for r := 0; r < l.rows; r++ {
+			// Left boundary edge: crosses the logical cut.
+			l.Edges = append(l.Edges, Edge{
+				A: l.NodeID(Coord{r, 0, t}), B: BoundaryLeft,
+				Kind: EdgeHorizontal, CrossesCut: true,
+			})
+			// Internal horizontal edges.
+			for c := 0; c < l.cols-1; c++ {
+				l.Edges = append(l.Edges, Edge{
+					A: l.NodeID(Coord{r, c, t}), B: l.NodeID(Coord{r, c + 1, t}),
+					Kind: EdgeHorizontal,
+				})
+			}
+			// Right boundary edge.
+			l.Edges = append(l.Edges, Edge{
+				A: l.NodeID(Coord{r, l.cols - 1, t}), B: BoundaryRight,
+				Kind: EdgeHorizontal,
+			})
+		}
+		// Vertical edges.
+		for r := 0; r < l.rows-1; r++ {
+			for c := 0; c < l.cols; c++ {
+				l.Edges = append(l.Edges, Edge{
+					A: l.NodeID(Coord{r, c, t}), B: l.NodeID(Coord{r + 1, c, t}),
+					Kind: EdgeVertical,
+				})
+			}
+		}
+	}
+	// Time edges (the final round is perfect, so none after Rounds-1).
+	for t := 0; t < l.Rounds-1; t++ {
+		for r := 0; r < l.rows; r++ {
+			for c := 0; c < l.cols; c++ {
+				l.Edges = append(l.Edges, Edge{
+					A: l.NodeID(Coord{r, c, t}), B: l.NodeID(Coord{r, c, t + 1}),
+					Kind: EdgeTime,
+				})
+			}
+		}
+	}
+}
+
+// Box is an axis-aligned anomalous region in node coordinates, inclusive on
+// all bounds. It models the region of qubits affected by a cosmic-ray strike
+// (the paper's "anomalous region" of size dano), optionally bounded in time.
+type Box struct {
+	R0, R1 int // rows, inclusive
+	C0, C1 int // columns, inclusive
+	T0, T1 int // time layers, inclusive
+}
+
+// CenteredBox returns a box of size dano × dano nodes centred on the lattice,
+// spanning all time layers. This is the paper's default MBBE placement for
+// the Fig. 3 and Fig. 8 experiments.
+func (l *Lattice) CenteredBox(dano int) Box {
+	r0 := (l.rows - dano) / 2
+	c0 := (l.cols - dano) / 2
+	return Box{
+		R0: max(0, r0), R1: min(l.rows-1, r0+dano-1),
+		C0: max(0, c0), C1: min(l.cols-1, c0+dano-1),
+		T0: 0, T1: l.Rounds - 1,
+	}
+}
+
+// ContainsNode reports whether the node coordinate lies inside the box.
+func (b Box) ContainsNode(c Coord) bool {
+	return c.R >= b.R0 && c.R <= b.R1 &&
+		c.C >= b.C0 && c.C <= b.C1 &&
+		c.T >= b.T0 && c.T <= b.T1
+}
+
+// Center returns the spatial centre of the box (rounded down).
+func (b Box) Center() (r, c int) {
+	return (b.R0 + b.R1) / 2, (b.C0 + b.C1) / 2
+}
+
+// EdgeAnomalous reports whether the edge represents an error mechanism of an
+// anomalous qubit: any edge with at least one endpoint node inside the box.
+// Data qubits on the rim of the strike region are degraded too, which this
+// one-endpoint rule captures.
+func (l *Lattice) EdgeAnomalous(e Edge, b Box) bool {
+	if b.ContainsNode(l.NodeCoord(e.A)) {
+		return true
+	}
+	if e.B >= 0 && b.ContainsNode(l.NodeCoord(e.B)) {
+		return true
+	}
+	return false
+}
+
+// SplitEdges partitions edge indices into normal and anomalous groups for the
+// given box. Noise sampling uses the groups to draw flips at two different
+// physical error rates efficiently.
+func (l *Lattice) SplitEdges(b *Box) (normal, anomalous []int32) {
+	if b == nil {
+		normal = make([]int32, len(l.Edges))
+		for i := range normal {
+			normal[i] = int32(i)
+		}
+		return normal, nil
+	}
+	for i, e := range l.Edges {
+		if l.EdgeAnomalous(e, *b) {
+			anomalous = append(anomalous, int32(i))
+		} else {
+			normal = append(normal, int32(i))
+		}
+	}
+	return normal, anomalous
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,242 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeCount(t *testing.T) {
+	for _, tc := range []struct{ d, rounds int }{
+		{2, 1}, {3, 3}, {5, 5}, {9, 9}, {21, 21}, {4, 7},
+	} {
+		l := New(tc.d, tc.rounds)
+		d := tc.d
+		perLayer := d*(d-1) + 1*d + (d-1)*(d-1) // horizontal incl. 2 boundary = d per row
+		// horizontal edges per row: (d-2) internal + 2 boundary = d; so per
+		// layer horizontal = d*d. Recompute directly:
+		perLayer = d*d + (d-1)*(d-1)
+		want := perLayer*tc.rounds + d*(d-1)*(tc.rounds-1)
+		if got := len(l.Edges); got != want {
+			t.Errorf("d=%d rounds=%d: %d edges, want %d", tc.d, tc.rounds, got, want)
+		}
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	l := New(7, 5)
+	for id := int32(0); id < int32(l.NumNodes()); id++ {
+		c := l.NodeCoord(id)
+		if !l.InBounds(c) {
+			t.Fatalf("NodeCoord(%d) = %+v out of bounds", id, c)
+		}
+		if back := l.NodeID(c); back != id {
+			t.Fatalf("NodeID(NodeCoord(%d)) = %d", id, back)
+		}
+	}
+}
+
+func TestNodeIDRoundTripProperty(t *testing.T) {
+	l := New(11, 9)
+	f := func(r, c, tt uint8) bool {
+		co := Coord{R: int(r) % 11, C: int(c) % 10, T: int(tt) % 9}
+		return l.NodeCoord(l.NodeID(co)) == co
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesWellFormed(t *testing.T) {
+	l := New(5, 4)
+	leftCount, rightCount := 0, 0
+	for i, e := range l.Edges {
+		if e.A < 0 || int(e.A) >= l.NumNodes() {
+			t.Fatalf("edge %d: endpoint A=%d out of range", i, e.A)
+		}
+		switch {
+		case e.B == BoundaryLeft:
+			leftCount++
+			if !e.CrossesCut {
+				t.Errorf("edge %d: left boundary edge must cross the cut", i)
+			}
+			if c := l.NodeCoord(e.A); c.C != 0 {
+				t.Errorf("edge %d: left boundary edge attached to column %d", i, c.C)
+			}
+		case e.B == BoundaryRight:
+			rightCount++
+			if e.CrossesCut {
+				t.Errorf("edge %d: right boundary edge must not cross the cut", i)
+			}
+			if c := l.NodeCoord(e.A); c.C != l.D-2 {
+				t.Errorf("edge %d: right boundary edge attached to column %d", i, c.C)
+			}
+		case e.B >= 0 && int(e.B) < l.NumNodes():
+			if e.CrossesCut {
+				t.Errorf("edge %d: internal edge marked as crossing the cut", i)
+			}
+			a, b := l.NodeCoord(e.A), l.NodeCoord(e.B)
+			if Manhattan(a, b) != 1 {
+				t.Errorf("edge %d: endpoints %+v-%+v not adjacent", i, a, b)
+			}
+			switch e.Kind {
+			case EdgeHorizontal:
+				if a.R != b.R || a.T != b.T {
+					t.Errorf("edge %d: horizontal edge moves rows/time", i)
+				}
+			case EdgeVertical:
+				if a.C != b.C || a.T != b.T {
+					t.Errorf("edge %d: vertical edge moves cols/time", i)
+				}
+			case EdgeTime:
+				if a.R != b.R || a.C != b.C {
+					t.Errorf("edge %d: time edge moves space", i)
+				}
+			}
+		default:
+			t.Fatalf("edge %d: bad endpoint B=%d", i, e.B)
+		}
+	}
+	wantPerSide := l.D * l.Rounds // one per row per layer
+	if leftCount != wantPerSide || rightCount != wantPerSide {
+		t.Errorf("boundary edges: left=%d right=%d, want %d each", leftCount, rightCount, wantPerSide)
+	}
+}
+
+func TestNodeDegrees(t *testing.T) {
+	l := New(5, 5)
+	deg := make(map[int32]int)
+	for _, e := range l.Edges {
+		deg[e.A]++
+		if e.B >= 0 {
+			deg[e.B]++
+		}
+	}
+	// Interior node (not on lattice rim, not first/last layer): 4 space + 2 time.
+	interior := l.NodeID(Coord{2, 2, 2})
+	if deg[interior] != 6 {
+		t.Errorf("interior degree = %d, want 6", deg[interior])
+	}
+	// First-layer interior node: 4 space + 1 time.
+	first := l.NodeID(Coord{2, 2, 0})
+	if deg[first] != 5 {
+		t.Errorf("first-layer degree = %d, want 5", deg[first])
+	}
+	// Corner node mid-time: 2 space internal + 1 boundary + 1 vertical? Row 0,
+	// col 0: left boundary + right neighbour + vertical down + 2 time = 5.
+	corner := l.NodeID(Coord{0, 0, 2})
+	if deg[corner] != 5 {
+		t.Errorf("corner degree = %d, want 5", deg[corner])
+	}
+}
+
+func TestCenteredBox(t *testing.T) {
+	l := New(21, 21)
+	b := l.CenteredBox(4)
+	if b.R1-b.R0+1 != 4 || b.C1-b.C0+1 != 4 {
+		t.Errorf("centered box size wrong: %+v", b)
+	}
+	cr, cc := b.Center()
+	if cr < 8 || cr > 12 || cc < 7 || cc > 11 {
+		t.Errorf("box not centered: center=(%d,%d) box=%+v", cr, cc, b)
+	}
+	if b.T0 != 0 || b.T1 != l.Rounds-1 {
+		t.Errorf("box should span all time: %+v", b)
+	}
+	// Oversized box is clipped to the lattice.
+	small := New(3, 3)
+	big := small.CenteredBox(10)
+	if big.R0 != 0 || big.R1 != 2 || big.C0 != 0 || big.C1 != 1 {
+		t.Errorf("oversized box not clipped: %+v", big)
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := Box{R0: 2, R1: 4, C0: 1, C1: 3, T0: 0, T1: 5}
+	if !b.ContainsNode(Coord{2, 1, 0}) || !b.ContainsNode(Coord{4, 3, 5}) {
+		t.Error("box should contain its corners")
+	}
+	for _, c := range []Coord{{1, 1, 0}, {5, 1, 0}, {2, 0, 0}, {2, 4, 0}, {2, 1, 6}} {
+		if b.ContainsNode(c) {
+			t.Errorf("box should not contain %+v", c)
+		}
+	}
+}
+
+func TestSplitEdgesPartition(t *testing.T) {
+	l := New(9, 9)
+	box := l.CenteredBox(3)
+	normal, anom := l.SplitEdges(&box)
+	if len(normal)+len(anom) != len(l.Edges) {
+		t.Fatalf("partition sizes %d+%d != %d", len(normal), len(anom), len(l.Edges))
+	}
+	seen := make(map[int32]bool)
+	for _, i := range normal {
+		if l.EdgeAnomalous(l.Edges[i], box) {
+			t.Errorf("edge %d classified normal but is anomalous", i)
+		}
+		seen[i] = true
+	}
+	for _, i := range anom {
+		if !l.EdgeAnomalous(l.Edges[i], box) {
+			t.Errorf("edge %d classified anomalous but is normal", i)
+		}
+		if seen[i] {
+			t.Errorf("edge %d in both groups", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != len(l.Edges) {
+		t.Errorf("partition misses edges: %d of %d", len(seen), len(l.Edges))
+	}
+	if len(anom) == 0 {
+		t.Error("centered box should produce anomalous edges")
+	}
+}
+
+func TestSplitEdgesNilBox(t *testing.T) {
+	l := New(5, 3)
+	normal, anom := l.SplitEdges(nil)
+	if len(anom) != 0 || len(normal) != len(l.Edges) {
+		t.Errorf("nil box should classify all edges normal")
+	}
+}
+
+func TestEdgeAnomalousOneEndpointRule(t *testing.T) {
+	l := New(9, 3)
+	box := Box{R0: 4, R1: 5, C0: 4, C1: 5, T0: 0, T1: 2}
+	// Edge from inside to outside the box is anomalous.
+	inside := l.NodeID(Coord{4, 4, 0})
+	found := false
+	for _, e := range l.Edges {
+		if e.A == inside || e.B == inside {
+			if !l.EdgeAnomalous(e, box) {
+				t.Errorf("edge touching box node should be anomalous: %+v", e)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no edges touching the box node found")
+	}
+	// Edge far away is normal.
+	far := Edge{A: l.NodeID(Coord{0, 0, 0}), B: l.NodeID(Coord{0, 1, 0}), Kind: EdgeHorizontal}
+	if l.EdgeAnomalous(far, box) {
+		t.Error("distant edge should not be anomalous")
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(1, 3) },
+		func() { New(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

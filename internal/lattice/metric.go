@@ -1,0 +1,241 @@
+package lattice
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Weight returns the matching-graph edge weight −log(p/(1−p)) for a physical
+// error probability p, the standard log-likelihood weight used by MWPM
+// decoders (paper Sec. VI-B).
+func Weight(p float64) float64 {
+	return -math.Log(p / (1 - p))
+}
+
+// Metric computes path costs between syndrome nodes (and node-to-boundary)
+// on the 3-D lattice. With Box == nil all edges have weight WN and the cost
+// is the Manhattan distance times WN. With a Box, edges incident to the box
+// have weight WA < WN and the cost is the minimum over the candidate paths of
+// paper Fig. 6(c): the direct path, and paths routed through the anomalous
+// region. The candidate rule is exactly the constant-time diagnosis the paper
+// proposes for its hardware decoder; tests cross-check it against Dijkstra.
+type Metric struct {
+	D   int     // code distance (columns = D-1)
+	WN  float64 // weight of normal edges
+	WA  float64 // weight of anomalous edges
+	Box *Box    // anomalous region, nil for the uniform metric
+}
+
+// UniformMetric returns a metric with all edges at weight 1, which makes
+// costs equal to graph (Manhattan) distances.
+func UniformMetric(d int) *Metric { return &Metric{D: d, WN: 1, WA: 1} }
+
+// NewMetric builds a metric from physical error rates. box may be nil.
+func NewMetric(d int, p, pano float64, box *Box) *Metric {
+	m := &Metric{D: d, WN: Weight(p), WA: Weight(p), Box: box}
+	if box != nil {
+		m.WA = Weight(pano)
+	}
+	return m
+}
+
+// Weighted reports whether the metric carries an anomalous region with a
+// discounted weight.
+func (m *Metric) Weighted() bool { return m.Box != nil && m.WA != m.WN }
+
+// Manhattan is the unweighted graph distance between two nodes.
+func Manhattan(a, b Coord) int {
+	return abs(a.R-b.R) + abs(a.C-b.C) + abs(a.T-b.T)
+}
+
+// ManhattanToBoundary returns the unweighted distance from a node to its
+// nearest rough boundary and which side it is (left = crosses the logical
+// cut).
+func ManhattanToBoundary(d int, a Coord) (dist int, left bool) {
+	l := a.C + 1
+	r := d - 1 - a.C
+	if l <= r {
+		return l, true
+	}
+	return r, false
+}
+
+// NodeDist returns the metric cost between two nodes.
+func (m *Metric) NodeDist(a, b Coord) float64 {
+	direct := float64(Manhattan(a, b)) * m.WN
+	if !m.Weighted() {
+		return direct
+	}
+	return math.Min(direct, m.viaBox(a, b))
+}
+
+// BoundaryDist returns the metric cost from a node to the cheaper rough
+// boundary, and whether that boundary is the left one.
+func (m *Metric) BoundaryDist(a Coord) (cost float64, left bool) {
+	lSteps := a.C + 1
+	rSteps := m.D - 1 - a.C
+	lCost := float64(lSteps) * m.WN
+	rCost := float64(rSteps) * m.WN
+	if m.Weighted() {
+		// Candidate paths through the anomalous box toward each boundary.
+		b := *m.Box
+		lCost = math.Min(lCost, m.viaBoxToBoundary(a, true, b))
+		rCost = math.Min(rCost, m.viaBoxToBoundary(a, false, b))
+	}
+	if lCost <= rCost {
+		return lCost, true
+	}
+	return rCost, false
+}
+
+// clampToBox returns the L1 projection of c onto the box.
+func clampToBox(c Coord, b Box) Coord {
+	return Coord{
+		R: clamp(c.R, b.R0, b.R1),
+		C: clamp(c.C, b.C0, b.C1),
+		T: clamp(c.T, b.T0, b.T1),
+	}
+}
+
+// approachCost returns the cost of walking steps normal-weight hops toward
+// the box, discounting the final hop which lands on a box node (that edge has
+// one endpoint inside the box and is therefore anomalous).
+func (m *Metric) approachCost(steps int) float64 {
+	if steps <= 0 {
+		return 0
+	}
+	return float64(steps-1)*m.WN + m.WA
+}
+
+// viaBox is the candidate path a → (enter box) → (walk inside) → (exit) → b.
+func (m *Metric) viaBox(a, b Coord) float64 {
+	box := *m.Box
+	pa := clampToBox(a, box)
+	pb := clampToBox(b, box)
+	enter := Manhattan(a, pa)
+	exit := Manhattan(pb, b)
+	inside := Manhattan(pa, pb)
+	// Hops strictly inside the box, plus the edges that leave the box on each
+	// side, are anomalous (one endpoint in the box).
+	return m.approachCost(enter) + float64(inside)*m.WA + m.approachCost(exit)
+}
+
+// viaBoxToBoundary routes a through the box and then to the requested
+// boundary side.
+func (m *Metric) viaBoxToBoundary(a Coord, left bool, box Box) float64 {
+	pa := clampToBox(a, box)
+	enter := Manhattan(a, pa)
+	// Inside the box, walk to the column nearest the target boundary.
+	var exitCol, boundarySteps int
+	if left {
+		exitCol = box.C0
+		boundarySteps = exitCol + 1 // hops from column exitCol to the left boundary
+	} else {
+		exitCol = box.C1
+		boundarySteps = m.D - 1 - exitCol
+	}
+	inside := abs(pa.C - exitCol)
+	return m.approachCost(enter) + float64(inside)*m.WA + m.approachCost(boundarySteps)
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// --- Exact Dijkstra reference -----------------------------------------------
+
+// Dijkstra computes exact shortest-path costs from a source node to every
+// node of the lattice under the metric's edge weights, plus the exact cost to
+// each boundary side. It is the reference implementation the candidate-path
+// metric is validated against, and is also usable as an exact (but slow)
+// distance oracle for the MWPM decoder on small lattices.
+func (m *Metric) Dijkstra(l *Lattice, src int32) (dist []float64, leftB, rightB float64) {
+	n := l.NumNodes()
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	leftB, rightB = math.Inf(1), math.Inf(1)
+
+	adj := l.adjacency(m)
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, cost: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.cost > dist[it.node] {
+			continue
+		}
+		for _, a := range adj[it.node] {
+			c := it.cost + a.w
+			switch {
+			case a.to == BoundaryLeft:
+				if c < leftB {
+					leftB = c
+				}
+			case a.to == BoundaryRight:
+				if c < rightB {
+					rightB = c
+				}
+			default:
+				if c < dist[a.to] {
+					dist[a.to] = c
+					heap.Push(pq, nodeItem{node: a.to, cost: c})
+				}
+			}
+		}
+	}
+	return dist, leftB, rightB
+}
+
+type arc struct {
+	to int32
+	w  float64
+}
+
+// adjacency builds the weighted adjacency list for Dijkstra.
+func (l *Lattice) adjacency(m *Metric) [][]arc {
+	adj := make([][]arc, l.NumNodes())
+	for _, e := range l.Edges {
+		w := m.WN
+		if m.Box != nil && l.EdgeAnomalous(e, *m.Box) {
+			w = m.WA
+		}
+		adj[e.A] = append(adj[e.A], arc{to: e.B, w: w})
+		if e.B >= 0 {
+			adj[e.B] = append(adj[e.B], arc{to: e.A, w: w})
+		}
+	}
+	return adj
+}
+
+type nodeItem struct {
+	node int32
+	cost float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

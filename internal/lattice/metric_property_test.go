@@ -1,0 +1,84 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// metricUnderTest builds a weighted metric with a mid-lattice box.
+func metricUnderTest() *Metric {
+	box := Box{R0: 4, R1: 7, C0: 3, C1: 6, T0: 2, T1: 9}
+	return NewMetric(13, 0.002, 0.35, &box)
+}
+
+func coordFrom(r, c, tt uint8, d, rounds int) Coord {
+	return Coord{R: int(r) % d, C: int(c) % (d - 1), T: int(tt) % rounds}
+}
+
+func TestWeightedMetricSymmetryProperty(t *testing.T) {
+	m := metricUnderTest()
+	f := func(r1, c1, t1, r2, c2, t2 uint8) bool {
+		a := coordFrom(r1, c1, t1, m.D, 12)
+		b := coordFrom(r2, c2, t2, m.D, 12)
+		return math.Abs(m.NodeDist(a, b)-m.NodeDist(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMetricIdentityProperty(t *testing.T) {
+	m := metricUnderTest()
+	f := func(r, c, tt uint8) bool {
+		a := coordFrom(r, c, tt, m.D, 12)
+		return m.NodeDist(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMetricNonNegativeAndBounded(t *testing.T) {
+	m := metricUnderTest()
+	f := func(r1, c1, t1, r2, c2, t2 uint8) bool {
+		a := coordFrom(r1, c1, t1, m.D, 12)
+		b := coordFrom(r2, c2, t2, m.D, 12)
+		v := m.NodeDist(a, b)
+		direct := float64(Manhattan(a, b)) * m.WN
+		return v >= 0 && v <= direct+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryDistBoundsProperty(t *testing.T) {
+	m := metricUnderTest()
+	f := func(r, c, tt uint8) bool {
+		a := coordFrom(r, c, tt, m.D, 12)
+		cost, _ := m.BoundaryDist(a)
+		if cost <= 0 {
+			return false
+		}
+		// Never cheaper than one anomalous hop, never pricier than walking
+		// the whole width at normal cost.
+		return cost >= math.Min(m.WA, m.WN)-1e-12 && cost <= float64(m.D)*m.WN+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricWeightsOrdering(t *testing.T) {
+	m := metricUnderTest()
+	if !(m.WA < m.WN) {
+		t.Fatal("anomalous edges must be cheaper than normal ones")
+	}
+	if !m.Weighted() {
+		t.Fatal("metric with box should report Weighted")
+	}
+	if UniformMetric(9).Weighted() {
+		t.Fatal("uniform metric must not report Weighted")
+	}
+}

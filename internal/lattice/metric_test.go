@@ -1,0 +1,193 @@
+package lattice
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeight(t *testing.T) {
+	// Weight decreases as p grows: likelier errors are cheaper to traverse.
+	if !(Weight(0.5) < Weight(0.1) && Weight(0.1) < Weight(0.001)) {
+		t.Error("Weight should decrease with p")
+	}
+	if w := Weight(0.5); math.Abs(w) > 1e-12 {
+		t.Errorf("Weight(0.5) = %v, want 0", w)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	a := Coord{1, 2, 3}
+	b := Coord{4, 0, 3}
+	if got := Manhattan(a, b); got != 5 {
+		t.Errorf("Manhattan = %d, want 5", got)
+	}
+	if Manhattan(a, a) != 0 {
+		t.Error("distance to self should be 0")
+	}
+}
+
+func TestManhattanSymmetryProperty(t *testing.T) {
+	f := func(r1, c1, t1, r2, c2, t2 int8) bool {
+		a := Coord{int(r1), int(c1), int(t1)}
+		b := Coord{int(r2), int(c2), int(t2)}
+		return Manhattan(a, b) == Manhattan(b, a) && Manhattan(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanToBoundary(t *testing.T) {
+	d := 9 // columns 0..7
+	dist, left := ManhattanToBoundary(d, Coord{0, 0, 0})
+	if dist != 1 || !left {
+		t.Errorf("col 0: dist=%d left=%v, want 1/left", dist, left)
+	}
+	dist, left = ManhattanToBoundary(d, Coord{0, 7, 0})
+	if dist != 1 || left {
+		t.Errorf("col 7: dist=%d left=%v, want 1/right", dist, left)
+	}
+	dist, _ = ManhattanToBoundary(d, Coord{0, 3, 0})
+	if dist != 4 {
+		t.Errorf("col 3: dist=%d, want 4", dist)
+	}
+}
+
+func TestUniformMetricMatchesManhattan(t *testing.T) {
+	m := UniformMetric(9)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		a := Coord{rng.IntN(9), rng.IntN(8), rng.IntN(9)}
+		b := Coord{rng.IntN(9), rng.IntN(8), rng.IntN(9)}
+		if got, want := m.NodeDist(a, b), float64(Manhattan(a, b)); got != want {
+			t.Fatalf("NodeDist(%+v,%+v) = %v, want %v", a, b, got, want)
+		}
+		cost, left := m.BoundaryDist(a)
+		wantD, wantL := ManhattanToBoundary(9, a)
+		if cost != float64(wantD) || left != wantL {
+			t.Fatalf("BoundaryDist(%+v) = (%v,%v), want (%v,%v)", a, cost, left, wantD, wantL)
+		}
+	}
+}
+
+func TestWeightedMetricInsideBox(t *testing.T) {
+	d := 9
+	box := Box{R0: 3, R1: 5, C0: 3, C1: 5, T0: 0, T1: 8}
+	m := NewMetric(d, 0.01, 0.5, &box)
+	a := Coord{3, 3, 0}
+	b := Coord{5, 5, 0}
+	want := 4 * m.WA // fully inside the box
+	if got := m.NodeDist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("inside-box dist = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedMetricUpperBoundsExact(t *testing.T) {
+	// The candidate-path metric must never report a cost below the exact
+	// shortest path (it is a restricted minimum), and never above the direct
+	// Manhattan cost.
+	d, rounds := 7, 5
+	l := New(d, rounds)
+	box := Box{R0: 2, R1: 4, C0: 2, C1: 4, T0: 1, T1: 3}
+	m := NewMetric(d, 0.01, 0.4, &box)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 20; trial++ {
+		src := int32(rng.IntN(l.NumNodes()))
+		dist, lB, rB := m.Dijkstra(l, src)
+		a := l.NodeCoord(src)
+		for probe := 0; probe < 30; probe++ {
+			dst := int32(rng.IntN(l.NumNodes()))
+			b := l.NodeCoord(dst)
+			got := m.NodeDist(a, b)
+			exact := dist[dst]
+			direct := float64(Manhattan(a, b)) * m.WN
+			if got < exact-1e-9 {
+				t.Fatalf("candidate dist %v below exact %v for %+v->%+v", got, exact, a, b)
+			}
+			if got > direct+1e-9 {
+				t.Fatalf("candidate dist %v above direct %v for %+v->%+v", got, direct, a, b)
+			}
+		}
+		cost, left := m.BoundaryDist(a)
+		exactB := math.Min(lB, rB)
+		if cost < exactB-1e-9 {
+			t.Fatalf("boundary candidate %v below exact %v for %+v", cost, exactB, a)
+		}
+		if left && lB > rB+1e-9 && cost > lB+1e-9 {
+			t.Fatalf("boundary side inconsistent for %+v", a)
+		}
+	}
+}
+
+func TestWeightedMetricFarFromBoxIsDirect(t *testing.T) {
+	d := 15
+	box := Box{R0: 6, R1: 8, C0: 6, C1: 8, T0: 0, T1: 0}
+	m := NewMetric(d, 0.01, 0.5, &box)
+	a := Coord{0, 0, 10}
+	b := Coord{1, 1, 10}
+	want := float64(Manhattan(a, b)) * m.WN
+	if got := m.NodeDist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("far-from-box dist = %v, want direct %v", got, want)
+	}
+}
+
+func TestWeightedMetricPrefersBoxDetour(t *testing.T) {
+	// Nodes on opposite sides of a cheap box: the via-box path must win over
+	// the direct path when the box discount is large.
+	d := 11
+	box := Box{R0: 0, R1: 10, C0: 4, C1: 6, T0: 0, T1: 0}
+	m := NewMetric(d, 0.001, 0.5, &box)
+	a := Coord{5, 2, 0}
+	b := Coord{5, 8, 0}
+	direct := float64(Manhattan(a, b)) * m.WN
+	got := m.NodeDist(a, b)
+	if got >= direct {
+		t.Errorf("via-box path should beat direct: got %v, direct %v", got, direct)
+	}
+	// The box spans the whole column range 4..6; crossing it costs at most
+	// 2 normal-ish approach hops each side plus cheap interior hops.
+	if got > 4*m.WN+6*m.WA {
+		t.Errorf("via-box cost unexpectedly high: %v", got)
+	}
+}
+
+func TestDijkstraUniformEqualsManhattan(t *testing.T) {
+	d, rounds := 5, 4
+	l := New(d, rounds)
+	m := UniformMetric(d)
+	src := l.NodeID(Coord{2, 1, 1})
+	dist, lB, rB := m.Dijkstra(l, src)
+	for id := int32(0); id < int32(l.NumNodes()); id++ {
+		want := float64(Manhattan(l.NodeCoord(src), l.NodeCoord(id)))
+		if math.Abs(dist[id]-want) > 1e-12 {
+			t.Fatalf("dijkstra[%d] = %v, want %v", id, dist[id], want)
+		}
+	}
+	wantL, _ := 2.0, 0
+	_ = wantL
+	if lB != 2 { // column 1 -> 2 hops to left boundary
+		t.Errorf("left boundary dist = %v, want 2", lB)
+	}
+	if rB != 3 { // column 1 -> 3 hops to right boundary (cols 0..3)
+		t.Errorf("right boundary dist = %v, want 3", rB)
+	}
+}
+
+func TestBoundaryDistWeightedThroughBox(t *testing.T) {
+	// A node sitting just right of a cheap box that spans to the left edge
+	// should find the left boundary cheaper through the box.
+	d := 11
+	box := Box{R0: 0, R1: 10, C0: 0, C1: 4, T0: 0, T1: 0}
+	m := NewMetric(d, 0.001, 0.5, &box)
+	a := Coord{5, 5, 0}
+	cost, left := m.BoundaryDist(a)
+	if !left {
+		t.Fatalf("expected left boundary via box, got right (cost %v)", cost)
+	}
+	directLeft := float64(a.C+1) * m.WN
+	if cost >= directLeft {
+		t.Errorf("via-box boundary cost %v should beat direct %v", cost, directLeft)
+	}
+}

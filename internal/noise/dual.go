@@ -1,0 +1,147 @@
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"q3de/internal/lattice"
+)
+
+// DualModel samples correlated error configurations for both syndrome
+// species of one code patch. The paper's evaluation (Sec. VII-A, assumption
+// 4) decodes X and Z independently and ignores the correlation that Pauli-Y
+// errors induce between the species; this model makes that correlation
+// explicit so the approximation can be quantified: at each error location a
+// Pauli X, Y or Z is drawn with probability p/2 each, where X flips only the
+// Z-species edge, Z only the X-species edge, and Y flips both.
+//
+// The two species use identically shaped lattices; edge i of the Z lattice
+// is paired with edge i of the X lattice (the same physical qubit and cycle).
+type DualModel struct {
+	L    *lattice.Lattice
+	P    float64 // per-Pauli-term probability parameter (X, Y, Z at P/2 each)
+	Pano float64
+	Box  *lattice.Box
+
+	normal    []int32
+	anomalous []int32
+}
+
+// NewDualModel builds the correlated sampler. The per-species marginal flip
+// probability of every edge is p (= p/2 for the dedicated term plus p/2 for
+// Y), matching the single-species Model at rate p so results are directly
+// comparable.
+func NewDualModel(l *lattice.Lattice, p float64, box *lattice.Box, pano float64) *DualModel {
+	if p < 0 || p > 2.0/3 {
+		panic("noise: dual model needs 3*(p/2) <= 1")
+	}
+	m := &DualModel{L: l, P: p, Pano: pano, Box: box}
+	m.normal, m.anomalous = l.SplitEdges(box)
+	return m
+}
+
+// DualSample holds one correlated draw for both species.
+type DualSample struct {
+	Z, X Sample
+}
+
+// Draw samples Pauli terms per location and scatters the flips to the two
+// species. Correlated means: whenever a Y is drawn, the same location index
+// flips in both species.
+func (m *DualModel) Draw(rng *rand.Rand, s *DualSample) *DualSample {
+	if s == nil {
+		s = &DualSample{}
+	}
+	zFlips := s.Z.Flipped[:0]
+	xFlips := s.X.Flipped[:0]
+
+	draw := func(group []int32, p float64) {
+		if p <= 0 {
+			return
+		}
+		// Three disjoint outcomes per location: X, Y, Z at p/2 each.
+		// Sample the "any error" event at 3p/2 with geometric skipping, then
+		// attribute the term uniformly.
+		idx := sampleIndices(rng, len(group), 1.5*p)
+		for _, i := range idx {
+			e := group[i]
+			switch rng.IntN(3) {
+			case 0: // X error: flips the Z-species edge
+				zFlips = append(zFlips, e)
+			case 1: // Z error: flips the X-species edge
+				xFlips = append(xFlips, e)
+			default: // Y error: flips both
+				zFlips = append(zFlips, e)
+				xFlips = append(xFlips, e)
+			}
+		}
+	}
+	draw(m.normal, m.P)
+	if m.Box != nil {
+		draw(m.anomalous, m.Pano)
+	}
+
+	s.Z.Flipped = zFlips
+	s.X.Flipped = xFlips
+	m.finish(&s.Z)
+	m.finish(&s.X)
+	return s
+}
+
+// finish recomputes defects and cut parity of one species from its flips
+// (same bookkeeping as Model.Draw).
+func (m *DualModel) finish(s *Sample) {
+	s.Defects = s.Defects[:0]
+	s.CutParity = false
+	if len(s.parity) < m.L.NumNodes() {
+		s.parity = make([]bool, m.L.NumNodes())
+	}
+	s.touched = s.touched[:0]
+	for _, ei := range s.Flipped {
+		e := m.L.Edges[ei]
+		s.parity[e.A] = !s.parity[e.A]
+		s.touched = append(s.touched, e.A)
+		if e.B >= 0 {
+			s.parity[e.B] = !s.parity[e.B]
+			s.touched = append(s.touched, e.B)
+		}
+		if e.CrossesCut {
+			s.CutParity = !s.CutParity
+		}
+	}
+	for _, id := range s.touched {
+		if s.parity[id] {
+			s.parity[id] = false
+			s.Defects = append(s.Defects, id)
+		}
+	}
+	sort.Slice(s.Defects, func(i, j int) bool { return s.Defects[i] < s.Defects[j] })
+}
+
+// sampleIndices draws the positions of successes among n Bernoulli(p) trials
+// using geometric skipping; it returns indices in increasing order.
+func sampleIndices(rng *rand.Rand, n int, p float64) []int32 {
+	var out []int32
+	if p <= 0 || n == 0 {
+		return out
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	logq := math.Log1p(-p)
+	i := 0
+	for {
+		u := rng.Float64()
+		gap := int(math.Floor(math.Log(1-u) / logq))
+		i += gap
+		if i >= n {
+			return out
+		}
+		out = append(out, int32(i))
+		i++
+	}
+}

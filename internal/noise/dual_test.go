@@ -1,0 +1,157 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/stats"
+)
+
+func TestDualModelMarginalsMatchSingleSpecies(t *testing.T) {
+	// Each species' marginal per-edge flip probability must be p (p/2 for
+	// its dedicated Pauli term plus p/2 for Y), matching the single-species
+	// Model so comparisons are apples to apples.
+	l := lattice.New(7, 7)
+	p := 0.02
+	m := NewDualModel(l, p, nil, 0)
+	rng := stats.NewRNG(41, 42)
+	shots := 4000
+	var zTotal, xTotal int
+	var s DualSample
+	for i := 0; i < shots; i++ {
+		m.Draw(rng, &s)
+		zTotal += len(s.Z.Flipped)
+		xTotal += len(s.X.Flipped)
+	}
+	want := p * float64(len(l.Edges))
+	zMean := float64(zTotal) / float64(shots)
+	xMean := float64(xTotal) / float64(shots)
+	tol := 6 * math.Sqrt(want/float64(shots)) * math.Sqrt(want)
+	_ = tol
+	sd := math.Sqrt(want) / math.Sqrt(float64(shots)) * 6
+	if math.Abs(zMean-want) > 6*sd*math.Sqrt(want)+want*0.05 {
+		t.Errorf("Z marginal %v, want %v", zMean, want)
+	}
+	if math.Abs(xMean-want) > 6*sd*math.Sqrt(want)+want*0.05 {
+		t.Errorf("X marginal %v, want %v", xMean, want)
+	}
+}
+
+func TestDualModelSpeciesAreCorrelated(t *testing.T) {
+	// Y errors flip the same location in both species, so the number of
+	// shared flipped locations must far exceed the independent expectation.
+	l := lattice.New(7, 7)
+	p := 0.03
+	m := NewDualModel(l, p, nil, 0)
+	rng := stats.NewRNG(43, 44)
+	shots := 1500
+	shared, zCount := 0, 0
+	var s DualSample
+	for i := 0; i < shots; i++ {
+		m.Draw(rng, &s)
+		set := make(map[int32]bool, len(s.Z.Flipped))
+		for _, e := range s.Z.Flipped {
+			set[e] = true
+		}
+		zCount += len(s.Z.Flipped)
+		for _, e := range s.X.Flipped {
+			if set[e] {
+				shared++
+			}
+		}
+	}
+	// Under correlation, a third of error locations are Y's: shared ≈
+	// (p/2)/(3p/2) = 1/3 of each species' flips. Independent models would
+	// share only ~p of them.
+	frac := float64(shared) / float64(zCount)
+	if frac < 0.2 {
+		t.Errorf("shared-flip fraction %v, want ~1/3 (correlated)", frac)
+	}
+}
+
+func TestDualModelDefectConsistency(t *testing.T) {
+	l := lattice.New(7, 7)
+	m := NewDualModel(l, 0.03, nil, 0)
+	rng := stats.NewRNG(45, 46)
+	var s DualSample
+	for trial := 0; trial < 30; trial++ {
+		m.Draw(rng, &s)
+		for _, sp := range []*Sample{&s.Z, &s.X} {
+			parity := map[int32]int{}
+			cut := false
+			for _, ei := range sp.Flipped {
+				e := l.Edges[ei]
+				parity[e.A]++
+				if e.B >= 0 {
+					parity[e.B]++
+				}
+				if e.CrossesCut {
+					cut = !cut
+				}
+			}
+			odd := 0
+			for _, c := range parity {
+				if c%2 == 1 {
+					odd++
+				}
+			}
+			if len(sp.Defects) != odd || sp.CutParity != cut {
+				t.Fatalf("trial %d: species bookkeeping inconsistent", trial)
+			}
+		}
+	}
+}
+
+func TestDualModelWithAnomaly(t *testing.T) {
+	l := lattice.New(9, 9)
+	box := l.CenteredBox(3)
+	m := NewDualModel(l, 0.002, &box, 0.3)
+	rng := stats.NewRNG(47, 48)
+	var s DualSample
+	var total int
+	for i := 0; i < 200; i++ {
+		m.Draw(rng, &s)
+		total += len(s.Z.Flipped) + len(s.X.Flipped)
+	}
+	clean := NewDualModel(l, 0.002, nil, 0)
+	var cleanTotal int
+	for i := 0; i < 200; i++ {
+		clean.Draw(rng, &s)
+		cleanTotal += len(s.Z.Flipped) + len(s.X.Flipped)
+	}
+	if total <= cleanTotal {
+		t.Error("anomalous region should add flips to both species")
+	}
+}
+
+func TestDualModelPanics(t *testing.T) {
+	l := lattice.New(5, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 2/3")
+		}
+	}()
+	NewDualModel(l, 0.7, nil, 0)
+}
+
+func TestSampleIndices(t *testing.T) {
+	rng := stats.NewRNG(49, 50)
+	// p=1 selects everything, in order.
+	all := sampleIndices(rng, 5, 1)
+	if len(all) != 5 || all[0] != 0 || all[4] != 4 {
+		t.Errorf("p=1 selection wrong: %v", all)
+	}
+	if got := sampleIndices(rng, 5, 0); len(got) != 0 {
+		t.Error("p=0 should select nothing")
+	}
+	// Statistical check.
+	total := 0
+	for i := 0; i < 2000; i++ {
+		total += len(sampleIndices(rng, 100, 0.1))
+	}
+	mean := float64(total) / 2000
+	if math.Abs(mean-10) > 0.5 {
+		t.Errorf("selection mean %v, want 10", mean)
+	}
+}

@@ -1,0 +1,104 @@
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RayParams describes the cosmic-ray strike process with the parameters
+// observed by McEwen et al. on Google's Sycamore chip, which the paper adopts
+// as its realistic assumption (Sec. III-A): strikes arrive as a Poisson
+// process with frequency Fano (per second, per chip), their effect lasts
+// TauAno seconds, degrades qubits in a region of linear size DAno, and the
+// code cycle takes TauCycle seconds.
+type RayParams struct {
+	Fano      float64 // strike frequency [Hz]
+	TauAno    float64 // effect duration [s]
+	DAno      int     // anomaly size [qubits]
+	PanoOverP float64 // error-rate inflation of anomalous qubits
+	TauCycle  float64 // code cycle period [s]
+}
+
+// SycamoreRays returns the paper's baseline parameter set: fano = 0.1 Hz
+// (the observed 0.01 Hz per 26-qubit patch scaled ×10 for the several-hundred
+// qubit logical patch, as the paper's footnote 3 does for Fig. 9; Fig. 3 uses
+// 1 Hz), tau = 25 ms, dano = 4, pano/p = 100, 1 µs cycles.
+func SycamoreRays() RayParams {
+	return RayParams{Fano: 0.1, TauAno: 25e-3, DAno: 4, PanoOverP: 100, TauCycle: 1e-6}
+}
+
+// CyclesPerStrike returns the mean number of code cycles between strikes.
+func (r RayParams) CyclesPerStrike() float64 {
+	return 1 / (r.Fano * r.TauCycle)
+}
+
+// DurationCycles returns the strike effect duration in code cycles.
+func (r RayParams) DurationCycles() int {
+	return int(math.Round(r.TauAno / r.TauCycle))
+}
+
+// EffectiveRate composes pL and pL,ano into the paper's Eq. (1): the
+// time-averaged logical error rate per cycle under strikes, assuming strikes
+// do not overlap.
+func (r RayParams) EffectiveRate(pL, pLAno float64) float64 {
+	frac := r.Fano * r.TauAno
+	if frac > 1 {
+		frac = 1
+	}
+	return (1-frac)*pL + frac*pLAno
+}
+
+// InflationRatio returns the paper's MBBE contribution factor
+// fano*tauano*pLano/pL (the "about 100×" headline of Sec. III-A).
+func (r RayParams) InflationRatio(pL, pLAno float64) float64 {
+	if pL == 0 {
+		return math.Inf(1)
+	}
+	return r.Fano * r.TauAno * pLAno / pL
+}
+
+// Event is one cosmic-ray strike on a chip, in code-cycle time units and
+// chip (block/qubit) coordinates.
+type Event struct {
+	Start, End int // cycle interval [Start, End)
+	R, C       int // strike centre
+}
+
+// EventProcess draws a Poisson arrival sequence of strike events over a
+// horizon of cycles on an area of rows×cols positions. durCycles is the
+// per-event effect duration. Strikes are uniform over the area.
+func EventProcess(rng *rand.Rand, ratePerCycle float64, durCycles, horizon, rows, cols int) []Event {
+	var events []Event
+	if ratePerCycle <= 0 {
+		return events
+	}
+	t := 0.0
+	for {
+		// Exponential inter-arrival time in cycles.
+		t += rng.ExpFloat64() / ratePerCycle
+		if t >= float64(horizon) {
+			return events
+		}
+		start := int(t)
+		events = append(events, Event{
+			Start: start,
+			End:   start + durCycles,
+			R:     rng.IntN(rows),
+			C:     rng.IntN(cols),
+		})
+	}
+}
+
+// DecayedRate models the gradual recovery of anomalous qubits: the error
+// rate at dt cycles after the strike, decaying exponentially from pano to p
+// with the given decay constant (the paper quotes ~25 ms for Sycamore).
+func DecayedRate(p, pano float64, dt, decayCycles int) float64 {
+	if dt < 0 {
+		return p
+	}
+	if decayCycles <= 0 {
+		return pano
+	}
+	f := math.Exp(-float64(dt) / float64(decayCycles))
+	return p + (pano-p)*f
+}

@@ -1,0 +1,197 @@
+// Package noise implements the error models of the Q3DE paper (Sec. VII-A):
+// stochastic Pauli noise inserted at the beginning of every code cycle on
+// data and ancillary qubits, with normal qubits at physical rate p and
+// anomalous qubits (inside an MBBE region) at rate pano.
+//
+// In the decoding-graph picture each error mechanism is one lattice edge, so
+// a noise sample is a set of flipped edges. Because the X and Z species are
+// decoded independently (paper assumption 4), the per-edge flip probability
+// of one species equals the physical rate parameter used throughout the
+// paper's plots.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"q3de/internal/lattice"
+)
+
+// Model samples error configurations on a lattice. A Model is bound to one
+// lattice and one anomalous-region configuration; it precomputes the edge
+// groups so a sample costs O(expected flips) rather than O(edges) via
+// geometric skipping.
+type Model struct {
+	L    *lattice.Lattice
+	P    float64      // physical error rate of normal qubits per cycle
+	Pano float64      // physical error rate of anomalous qubits
+	Box  *lattice.Box // anomalous region, nil when no MBBE is present
+
+	normal    []int32 // edge indices at rate P
+	anomalous []int32 // edge indices at rate Pano
+}
+
+// NewModel builds a sampler for the lattice with normal rate p. box may be
+// nil (no MBBE); pano is ignored in that case.
+func NewModel(l *lattice.Lattice, p float64, box *lattice.Box, pano float64) *Model {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("noise: p=%v out of [0,1)", p))
+	}
+	if box != nil && (pano < 0 || pano > 1) {
+		panic(fmt.Sprintf("noise: pano=%v out of [0,1]", pano))
+	}
+	m := &Model{L: l, P: p, Pano: pano, Box: box}
+	m.normal, m.anomalous = l.SplitEdges(box)
+	return m
+}
+
+// Sample holds one drawn error configuration.
+type Sample struct {
+	// Flipped lists the indices of flipped edges, in no particular order.
+	Flipped []int32
+	// Defects lists the node ids with odd incident flip parity — the active
+	// syndrome nodes the decoder sees — in ascending id order.
+	Defects []int32
+	// CutParity is the parity of flipped edges crossing the logical cut. The
+	// decoder's correction must reproduce this parity, otherwise the shot is
+	// a logical error.
+	CutParity bool
+
+	// scratch reused across draws
+	parity  []bool
+	touched []int32
+}
+
+// Draw samples a fresh error configuration. The scratch sample may be passed
+// back in to reuse allocations.
+func (m *Model) Draw(rng *rand.Rand, s *Sample) *Sample {
+	if s == nil {
+		s = &Sample{}
+	}
+	s.Flipped = s.Flipped[:0]
+	s.Defects = s.Defects[:0]
+	s.CutParity = false
+
+	s.Flipped = appendFlips(rng, s.Flipped, m.normal, m.P)
+	if m.Box != nil {
+		s.Flipped = appendFlips(rng, s.Flipped, m.anomalous, m.Pano)
+	}
+
+	// Defect parity per node, tracked in a dense scratch buffer so only
+	// touched entries need resetting and the defect order is deterministic.
+	if len(s.parity) < m.L.NumNodes() {
+		s.parity = make([]bool, m.L.NumNodes())
+	}
+	s.touched = s.touched[:0]
+	flip := func(id int32) {
+		s.parity[id] = !s.parity[id]
+		s.touched = append(s.touched, id)
+	}
+	for _, ei := range s.Flipped {
+		e := m.L.Edges[ei]
+		flip(e.A)
+		if e.B >= 0 {
+			flip(e.B)
+		}
+		if e.CrossesCut {
+			s.CutParity = !s.CutParity
+		}
+	}
+	for _, id := range s.touched {
+		if s.parity[id] {
+			s.parity[id] = false
+			s.Defects = append(s.Defects, id)
+		}
+	}
+	sort.Slice(s.Defects, func(i, j int) bool { return s.Defects[i] < s.Defects[j] })
+	return s
+}
+
+// appendFlips flips each edge in group with probability p using geometric
+// skipping: the index of the next flip is drawn directly, costing O(flips)
+// instead of O(len(group)).
+func appendFlips(rng *rand.Rand, dst []int32, group []int32, p float64) []int32 {
+	if p <= 0 || len(group) == 0 {
+		return dst
+	}
+	if p >= 1 {
+		return append(dst, group...)
+	}
+	logq := math.Log1p(-p)
+	i := 0
+	for {
+		// Geometric gap: number of non-flips before the next flip.
+		u := rng.Float64()
+		gap := int(math.Floor(math.Log(1-u) / logq))
+		i += gap
+		if i >= len(group) {
+			return dst
+		}
+		dst = append(dst, group[i])
+		i++
+	}
+}
+
+// ExpectedFlips returns the expected number of flipped edges per sample,
+// useful for sizing buffers and sanity checks.
+func (m *Model) ExpectedFlips() float64 {
+	return float64(len(m.normal))*m.P + float64(len(m.anomalous))*m.Pano
+}
+
+// NodeActivityMoments estimates, by Monte-Carlo over shots samples, the mean
+// and standard deviation of the per-node activity indicator v_{i,t} for
+// normal qubits (paper Sec. IV-A: mu and sigma are determined in the
+// calibration process). Only nodes outside any anomalous region contribute.
+func (m *Model) NodeActivityMoments(rng *rand.Rand, shots int) (mu, sigma float64) {
+	if shots <= 0 {
+		panic("noise: shots must be positive")
+	}
+	totalNodes := m.L.NumNodes()
+	var active, count float64
+	var s Sample
+	for i := 0; i < shots; i++ {
+		m.Draw(rng, &s)
+		a := 0
+		for _, id := range s.Defects {
+			if m.Box != nil && m.Box.ContainsNode(m.L.NodeCoord(id)) {
+				continue
+			}
+			a++
+		}
+		n := totalNodes
+		if m.Box != nil {
+			n -= boxNodeCount(*m.Box, m.L)
+		}
+		active += float64(a)
+		count += float64(n)
+	}
+	mu = active / count
+	sigma = math.Sqrt(mu * (1 - mu)) // Bernoulli indicator
+	return mu, sigma
+}
+
+func boxNodeCount(b lattice.Box, l *lattice.Lattice) int {
+	rows := b.R1 - b.R0 + 1
+	cols := b.C1 - b.C0 + 1
+	ts := min(b.T1, l.Rounds-1) - max(b.T0, 0) + 1
+	if rows < 0 || cols < 0 || ts < 0 {
+		return 0
+	}
+	return rows * cols * ts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

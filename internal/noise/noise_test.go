@@ -1,0 +1,235 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/stats"
+)
+
+func TestDrawDefectParity(t *testing.T) {
+	// Every flipped edge toggles exactly its endpoints, so recomputing the
+	// defects from the flip list must reproduce the sample's defect set.
+	l := lattice.New(7, 7)
+	m := NewModel(l, 0.05, nil, 0)
+	rng := stats.NewRNG(1, 1)
+	var s Sample
+	for trial := 0; trial < 50; trial++ {
+		m.Draw(rng, &s)
+		parity := make(map[int32]int)
+		cut := false
+		for _, ei := range s.Flipped {
+			e := l.Edges[ei]
+			parity[e.A]++
+			if e.B >= 0 {
+				parity[e.B]++
+			}
+			if e.CrossesCut {
+				cut = !cut
+			}
+		}
+		want := 0
+		for _, c := range parity {
+			if c%2 == 1 {
+				want++
+			}
+		}
+		if len(s.Defects) != want {
+			t.Fatalf("trial %d: %d defects, want %d", trial, len(s.Defects), want)
+		}
+		if s.CutParity != cut {
+			t.Fatalf("trial %d: cut parity mismatch", trial)
+		}
+		for _, id := range s.Defects {
+			if parity[id]%2 == 0 {
+				t.Fatalf("trial %d: node %d reported defect with even parity", trial, id)
+			}
+		}
+	}
+}
+
+func TestDrawZeroRate(t *testing.T) {
+	l := lattice.New(5, 5)
+	m := NewModel(l, 0, nil, 0)
+	rng := stats.NewRNG(2, 2)
+	s := m.Draw(rng, nil)
+	if len(s.Flipped) != 0 || len(s.Defects) != 0 || s.CutParity {
+		t.Error("zero rate should produce empty samples")
+	}
+}
+
+func TestDrawFullRate(t *testing.T) {
+	l := lattice.New(3, 2)
+	box := l.CenteredBox(1)
+	m := NewModel(l, 0, &box, 1)
+	rng := stats.NewRNG(3, 3)
+	s := m.Draw(rng, nil)
+	_, anom := l.SplitEdges(&box)
+	if len(s.Flipped) != len(anom) {
+		t.Errorf("pano=1 should flip all %d anomalous edges, got %d", len(anom), len(s.Flipped))
+	}
+}
+
+func TestFlipRateStatistics(t *testing.T) {
+	l := lattice.New(9, 9)
+	p := 0.02
+	m := NewModel(l, p, nil, 0)
+	rng := stats.NewRNG(4, 4)
+	var total int
+	shots := 2000
+	var s Sample
+	for i := 0; i < shots; i++ {
+		m.Draw(rng, &s)
+		total += len(s.Flipped)
+	}
+	got := float64(total) / float64(shots)
+	want := m.ExpectedFlips()
+	// 5-sigma band for the mean of `shots` Poisson-ish counts.
+	sigma := math.Sqrt(want / float64(shots))
+	if math.Abs(got-want) > 5*sigma*math.Sqrt(want) {
+		t.Errorf("mean flips %v, want %v ± %v", got, want, 5*sigma*math.Sqrt(want))
+	}
+}
+
+func TestAnomalousRegionRaisesActivity(t *testing.T) {
+	l := lattice.New(15, 15)
+	box := l.CenteredBox(4)
+	clean := NewModel(l, 0.001, nil, 0)
+	dirty := NewModel(l, 0.001, &box, 0.3)
+	rng := stats.NewRNG(5, 5)
+	count := func(m *Model) int {
+		var s Sample
+		tot := 0
+		for i := 0; i < 300; i++ {
+			m.Draw(rng, &s)
+			tot += len(s.Defects)
+		}
+		return tot
+	}
+	if c, d := count(clean), count(dirty); d <= c {
+		t.Errorf("MBBE should raise defect counts: clean=%d dirty=%d", c, d)
+	}
+}
+
+func TestNodeActivityMoments(t *testing.T) {
+	l := lattice.New(9, 9)
+	p := 0.01
+	m := NewModel(l, p, nil, 0)
+	rng := stats.NewRNG(6, 6)
+	mu, sigma := m.NodeActivityMoments(rng, 400)
+	// Each interior node has ~6 incident edges; activity ≈ odd-parity prob of
+	// ~6 Bernoulli(p) flips ≈ 6p for small p. Accept a generous band.
+	if mu < 2*p || mu > 8*p {
+		t.Errorf("mu = %v, expected around 4-6 p = %v", mu, 6*p)
+	}
+	if math.Abs(sigma-math.Sqrt(mu*(1-mu))) > 1e-12 {
+		t.Errorf("sigma should be Bernoulli sd of mu")
+	}
+}
+
+func TestSampleReuse(t *testing.T) {
+	l := lattice.New(5, 5)
+	m := NewModel(l, 0.1, nil, 0)
+	rng := stats.NewRNG(7, 7)
+	s := m.Draw(rng, nil)
+	first := len(s.Flipped)
+	_ = first
+	s2 := m.Draw(rng, s)
+	if s2 != s {
+		t.Error("Draw should reuse the provided sample")
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	l := lattice.New(3, 3)
+	for _, f := range []func(){
+		func() { NewModel(l, -0.1, nil, 0) },
+		func() { NewModel(l, 1.0, nil, 0) },
+		func() { box := l.CenteredBox(1); NewModel(l, 0.1, &box, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRayParams(t *testing.T) {
+	r := SycamoreRays()
+	if got := r.DurationCycles(); got != 25000 {
+		t.Errorf("DurationCycles = %d, want 25000", got)
+	}
+	if got := r.CyclesPerStrike(); math.Abs(got-1e7) > 1 {
+		t.Errorf("CyclesPerStrike = %v, want 1e7", got)
+	}
+}
+
+func TestEffectiveRateEq1(t *testing.T) {
+	r := RayParams{Fano: 1, TauAno: 25e-3, TauCycle: 1e-6}
+	pL, pLAno := 1e-8, 1e-4
+	got := r.EffectiveRate(pL, pLAno)
+	want := (1-0.025)*pL + 0.025*pLAno
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("EffectiveRate = %v, want %v", got, want)
+	}
+	// The paper's ~100x headline: with pLAno/pL = 1e4 and fano*tau = 0.025
+	// the inflation ratio is 250; with ratio 4e3 it is 100.
+	ratio := r.InflationRatio(pL, pLAno)
+	if math.Abs(ratio-250) > 1e-9 {
+		t.Errorf("InflationRatio = %v, want 250", ratio)
+	}
+	if !math.IsInf(r.InflationRatio(0, 1), 1) {
+		t.Error("zero pL should give infinite ratio")
+	}
+}
+
+func TestEventProcess(t *testing.T) {
+	rng := stats.NewRNG(8, 8)
+	rate := 0.001
+	horizon := 200000
+	ev := EventProcess(rng, rate, 50, horizon, 10, 10)
+	want := rate * float64(horizon)
+	if len(ev) == 0 {
+		t.Fatal("expected events")
+	}
+	if math.Abs(float64(len(ev))-want) > 6*math.Sqrt(want) {
+		t.Errorf("event count %d far from Poisson mean %v", len(ev), want)
+	}
+	for _, e := range ev {
+		if e.Start < 0 || e.Start >= horizon || e.End != e.Start+50 {
+			t.Fatalf("bad event interval %+v", e)
+		}
+		if e.R < 0 || e.R >= 10 || e.C < 0 || e.C >= 10 {
+			t.Fatalf("bad event position %+v", e)
+		}
+	}
+	if got := EventProcess(rng, 0, 5, 100, 3, 3); got != nil {
+		t.Error("zero rate should produce no events")
+	}
+}
+
+func TestDecayedRate(t *testing.T) {
+	p, pano := 0.001, 0.5
+	if got := DecayedRate(p, pano, 0, 1000); math.Abs(got-pano) > 1e-12 {
+		t.Errorf("at dt=0 rate should be pano, got %v", got)
+	}
+	if got := DecayedRate(p, pano, 1000000, 1000); math.Abs(got-p) > 1e-6 {
+		t.Errorf("long after strike rate should recover to p, got %v", got)
+	}
+	if got := DecayedRate(p, pano, -5, 1000); got != p {
+		t.Errorf("before strike rate should be p, got %v", got)
+	}
+	mid := DecayedRate(p, pano, 1000, 1000)
+	want := p + (pano-p)*math.Exp(-1)
+	if math.Abs(mid-want) > 1e-12 {
+		t.Errorf("one decay constant: %v, want %v", mid, want)
+	}
+	if got := DecayedRate(p, pano, 10, 0); got != pano {
+		t.Errorf("zero decay constant should hold pano, got %v", got)
+	}
+}

@@ -1,0 +1,234 @@
+// Package scaling implements the qubit-count scalability model of paper
+// Sec. VIII-A (Fig. 9): the required chip area and qubit density per logical
+// qubit to reach a target logical error rate, with cosmic-ray strikes
+// arriving as a Poisson process and each strike temporarily reducing the
+// effective code distance.
+//
+// Model conventions (see DESIGN.md):
+//
+//   - A logical patch at chip-area ratio A and qubit-density ratio Dq holds
+//     A*Dq times the reference qubit count, so its code distance is
+//     d = floor(d0 * sqrt(A*Dq)) with d0 = 11, the paper's starting point.
+//   - The strike frequency grows linearly with the chip area (more area,
+//     more rays): fano(A) = fano0 * A.
+//   - The anomaly's qubit count grows linearly with density (fixed physical
+//     phonon radius covers more qubits when they are packed tighter), so its
+//     linear size grows with sqrt(density): dano(Dq) = dano0 * sqrt(Dq).
+//   - A strike at a uniform random column offset reduces the minimum number
+//     of normal edges in a logical operator by the column overlap c of the
+//     anomalous square with the patch. Per Sec. VI, the effective distance
+//     during the exposure is d − 2c without Q3DE and d − c with it, and
+//     Q3DE's exposure lasts only the detection latency clat because the code
+//     expansion then restores the full distance.
+//   - pL(deff) = 0.1 * (p/pth)^floor((deff+1)/2), the standard sub-threshold
+//     scaling law the paper uses, saturating at 1/2 when deff vanishes.
+package scaling
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"q3de/internal/stats"
+)
+
+// Arch selects the compared architecture.
+type Arch int
+
+const (
+	// ArchBaseline mitigates MBBEs only by its (searched) default distance;
+	// strikes reduce the effective distance by 2c for their full duration.
+	ArchBaseline Arch = iota
+	// ArchQ3DE detects strikes and expands the code: the penalty is d−c and
+	// lasts only the detection latency.
+	ArchQ3DE
+	// ArchNoRays is the cosmic-ray-free reference.
+	ArchNoRays
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchBaseline:
+		return "baseline"
+	case ArchQ3DE:
+		return "q3de"
+	case ArchNoRays:
+		return "no-rays"
+	default:
+		return "unknown"
+	}
+}
+
+// Params holds the model parameters, defaulting to the paper's Fig. 9
+// baseline setting.
+type Params struct {
+	POverPth float64 // physical error rate over threshold (paper: 0.1)
+	TauCycle float64 // code cycle period [s] (paper: 1e-6)
+	Fano0    float64 // strike rate at area ratio 1 [Hz] (paper: 0.1)
+	TauAno0  float64 // strike duration [s] (paper: 25e-3)
+	DAno0    int     // anomaly size at density ratio 1 (paper: 4)
+	Clat     int     // detection latency in cycles (paper: 30)
+	D0       int     // code distance at ratio (1,1) (paper: 11)
+	TargetPL float64 // target logical rate per cycle (paper: 1e-10)
+	Horizon  int64   // simulated cycles per evaluation (paper: 1e8)
+
+	// Sweep multipliers for the three panels of Fig. 9.
+	SizeMult float64 // anomaly size multiplier
+	DurMult  float64 // error duration multiplier
+	FreqMult float64 // anomaly frequency multiplier
+}
+
+// DefaultParams returns the paper's baseline setting.
+func DefaultParams() Params {
+	return Params{
+		POverPth: 0.1, TauCycle: 1e-6,
+		Fano0: 0.1, TauAno0: 25e-3, DAno0: 4, Clat: 30,
+		D0: 11, TargetPL: 1e-10, Horizon: 100_000_000,
+		SizeMult: 1, DurMult: 1, FreqMult: 1,
+	}
+}
+
+// Distance returns the code distance at the given area and density ratios.
+func (p Params) Distance(area, density float64) int {
+	return int(float64(p.D0) * math.Sqrt(area*density))
+}
+
+// AnomalySize returns the anomaly's linear size at a density ratio.
+func (p Params) AnomalySize(density float64) int {
+	s := float64(p.DAno0) * p.SizeMult * math.Sqrt(density)
+	if s < 1 {
+		return 1
+	}
+	return int(math.Round(s))
+}
+
+// LogicalRate returns pL(deff) under the scaling law.
+func (p Params) LogicalRate(deff int) float64 {
+	if deff < 1 {
+		return 0.5
+	}
+	k := (deff + 1) / 2
+	return 0.1 * math.Pow(p.POverPth, float64(k))
+}
+
+// columnOverlap draws the column overlap of an anomaly square of side dano
+// dropped at a uniform offset such that it intersects the patch of width d.
+func columnOverlap(rng *rand.Rand, d, dano int) int {
+	// Offsets from -(dano-1) to d-1 all intersect.
+	off := rng.IntN(d+dano-1) - (dano - 1)
+	lo := max(0, off)
+	hi := min(d, off+dano)
+	return hi - lo
+}
+
+// AvgLogicalRate simulates the strike process over the horizon and returns
+// the time-averaged logical error rate per cycle for the architecture at the
+// given ratios.
+func (p Params) AvgLogicalRate(arch Arch, area, density float64, seed uint64) float64 {
+	d := p.Distance(area, density)
+	clean := p.LogicalRate(d)
+	if arch == ArchNoRays {
+		return clean
+	}
+	dano := p.AnomalySize(density)
+	ratePerCycle := p.Fano0 * p.FreqMult * area * p.TauCycle
+	durCycles := int(p.TauAno0 * p.DurMult / p.TauCycle)
+	exposure := durCycles
+	if arch == ArchQ3DE {
+		if p.Clat < exposure {
+			exposure = p.Clat
+		}
+	}
+
+	rng := stats.NewRNG(seed, 0x9e3779b97f4a7c15)
+	expected := ratePerCycle * float64(p.Horizon)
+	// Draw the Poisson event count, then each event's overlap.
+	n := poisson(rng, expected)
+	var exposedCycles, weighted float64
+	for i := 0; i < n; i++ {
+		c := columnOverlap(rng, d, dano)
+		deff := d - c
+		if arch == ArchBaseline {
+			deff = d - 2*c
+		}
+		exposedCycles += float64(exposure)
+		weighted += float64(exposure) * p.LogicalRate(deff)
+	}
+	h := float64(p.Horizon)
+	if exposedCycles > h {
+		// Saturated: the chip is effectively always under an anomaly.
+		return weighted / exposedCycles
+	}
+	return (h-exposedCycles)/h*clean + weighted/h
+}
+
+// RequiredDensity returns the minimum qubit-density ratio at which the
+// architecture reaches the target logical rate for the given chip-area
+// ratio, searching a geometric grid. ok is false when no density up to
+// maxDensity suffices.
+func (p Params) RequiredDensity(arch Arch, area float64, seed uint64) (density float64, ok bool) {
+	// Densities below 1 are physically meaningful (sparser than the
+	// reference chip); Fig. 9 clips its axis at 1 but the search must not.
+	const maxDensity = 1e4
+	for dq := 0.01; dq <= maxDensity; dq *= 1.1 {
+		if p.AvgLogicalRate(arch, area, dq, seed) < p.TargetPL {
+			return dq, true
+		}
+	}
+	return 0, false
+}
+
+// Curve computes the (area, density) requirement curve over a geometric area
+// grid, skipping infeasible points.
+type CurvePoint struct {
+	Area    float64
+	Density float64
+}
+
+// RequirementCurve evaluates RequiredDensity over areas in [1, maxArea].
+func (p Params) RequirementCurve(arch Arch, maxArea float64, seed uint64) []CurvePoint {
+	var out []CurvePoint
+	for a := 1.0; a <= maxArea; a *= math.Sqrt2 {
+		if dq, ok := p.RequiredDensity(arch, a, seed); ok {
+			out = append(out, CurvePoint{Area: a, Density: dq})
+		}
+	}
+	return out
+}
+
+// poisson draws a Poisson variate; for large means it uses the normal
+// approximation (exact shape is irrelevant at that scale).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		n := int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, prod := 0, 1.0
+	for {
+		prod *= rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+
+	"q3de/internal/stats"
+)
+
+func TestLogicalRateScalingLaw(t *testing.T) {
+	p := DefaultParams()
+	// pL(11) = 0.1 * 0.1^6 = 1e-7.
+	if got := p.LogicalRate(11); math.Abs(got-1e-7) > 1e-12 {
+		t.Errorf("pL(11) = %v, want 1e-7", got)
+	}
+	// Saturation below distance 1.
+	if p.LogicalRate(0) != 0.5 || p.LogicalRate(-3) != 0.5 {
+		t.Error("vanishing distance should saturate at 1/2")
+	}
+	// Monotone decreasing in distance.
+	prev := 1.0
+	for d := 1; d < 40; d++ {
+		r := p.LogicalRate(d)
+		if r > prev {
+			t.Fatalf("pL not monotone at d=%d", d)
+		}
+		prev = r
+	}
+}
+
+func TestDistanceAndAnomalyScaling(t *testing.T) {
+	p := DefaultParams()
+	if p.Distance(1, 1) != 11 {
+		t.Errorf("reference distance = %d, want 11", p.Distance(1, 1))
+	}
+	if p.Distance(4, 1) != 22 || p.Distance(1, 4) != 22 {
+		t.Error("distance should scale with sqrt(area*density)")
+	}
+	if p.AnomalySize(1) != 4 {
+		t.Errorf("reference anomaly size = %d, want 4", p.AnomalySize(1))
+	}
+	if p.AnomalySize(4) != 8 {
+		t.Errorf("anomaly size at density 4 = %d, want 8", p.AnomalySize(4))
+	}
+	if p.AnomalySize(0.001) != 1 {
+		t.Error("anomaly size floors at 1")
+	}
+}
+
+func TestNoRaysDensityInverseToArea(t *testing.T) {
+	// The paper: without cosmic rays the required density is proportional to
+	// the inverse of the chip area (d is fixed by the target, so A*Dq is
+	// constant).
+	p := DefaultParams()
+	d1, ok1 := p.RequiredDensity(ArchNoRays, 1, 1)
+	d4, ok4 := p.RequiredDensity(ArchNoRays, 4, 1)
+	d16, ok16 := p.RequiredDensity(ArchNoRays, 16, 1)
+	if !ok1 || !ok4 || !ok16 {
+		t.Fatal("no-rays should always be feasible")
+	}
+	if r := d1 / d4; r < 3 || r > 5.5 {
+		t.Errorf("density ratio for 4x area = %v, want ~4", r)
+	}
+	if r := d1 / d16; r < 11 || r > 22 {
+		t.Errorf("density ratio for 16x area = %v, want ~16", r)
+	}
+}
+
+func TestQ3DENeedsLessDensityThanBaseline(t *testing.T) {
+	// The headline of Fig. 9: Q3DE reaches the target with much lower qubit
+	// density (up to ~10x fewer qubits) than the increase-default-distance
+	// baseline.
+	p := DefaultParams()
+	q, okQ := p.RequiredDensity(ArchQ3DE, 1, 2)
+	b, okB := p.RequiredDensity(ArchBaseline, 1, 2)
+	if !okQ {
+		t.Fatal("Q3DE should be feasible at area ratio 1")
+	}
+	if !okB {
+		t.Skip("baseline infeasible at area 1 under this parameterisation")
+	}
+	if q >= b {
+		t.Errorf("Q3DE density %v should be below baseline %v", q, b)
+	}
+	if b/q < 3 {
+		t.Errorf("expected a large density gap, got baseline/q3de = %v", b/q)
+	}
+}
+
+func TestQubitCountReductionHeadline(t *testing.T) {
+	// "the reduction of qubit count is up to about ten times in the baseline
+	// settings": qubit count ∝ area * density at the same area.
+	p := DefaultParams()
+	q, okQ := p.RequiredDensity(ArchQ3DE, 1, 3)
+	b, okB := p.RequiredDensity(ArchBaseline, 1, 3)
+	if !okQ || !okB {
+		t.Skip("point infeasible; headline checked at area 1 in the harness")
+	}
+	ratio := b / q
+	if ratio < 3 || ratio > 100 {
+		t.Errorf("qubit-count reduction = %v, expected order ~10", ratio)
+	}
+}
+
+func TestSmallerAnomaliesNeedLessDensity(t *testing.T) {
+	p := DefaultParams()
+	var prev float64 = -1
+	for _, mult := range []float64{1, 0.75, 0.5, 0.25} {
+		p.SizeMult = mult
+		dq, ok := p.RequiredDensity(ArchQ3DE, 1, 3)
+		if !ok {
+			t.Fatalf("infeasible at size mult %v", mult)
+		}
+		if prev > 0 && dq > prev*1.3 {
+			t.Errorf("smaller anomalies should not need much more density: mult=%v dq=%v prev=%v", mult, dq, prev)
+		}
+		prev = dq
+	}
+}
+
+func TestShorterDurationHelpsBaselineOnly(t *testing.T) {
+	// Q3DE's exposure is capped at clat, so shrinking the ray duration mostly
+	// helps the baseline (Fig. 9 middle panel).
+	p := DefaultParams()
+	bFull, okF := p.RequiredDensity(ArchBaseline, 4, 4)
+	p.DurMult = 0.01
+	bShort, okS := p.RequiredDensity(ArchBaseline, 4, 4)
+	if okF && okS && bShort > bFull {
+		t.Errorf("shorter rays should not hurt the baseline: %v > %v", bShort, bFull)
+	}
+	q := DefaultParams()
+	qFull, ok1 := q.RequiredDensity(ArchQ3DE, 4, 4)
+	q.DurMult = 0.5 // still above clat worth of cycles
+	qHalf, ok2 := q.RequiredDensity(ArchQ3DE, 4, 4)
+	if ok1 && ok2 && math.Abs(qFull-qHalf)/qFull > 0.3 {
+		t.Errorf("duration above clat should barely affect Q3DE: %v vs %v", qFull, qHalf)
+	}
+}
+
+func TestLowerFrequencyHelps(t *testing.T) {
+	p := DefaultParams()
+	base, ok1 := p.RequiredDensity(ArchBaseline, 4, 5)
+	p.FreqMult = 0.01
+	rare, ok2 := p.RequiredDensity(ArchBaseline, 4, 5)
+	if ok1 && ok2 && rare > base {
+		t.Errorf("rarer rays should not need more density: %v > %v", rare, base)
+	}
+}
+
+func TestAvgLogicalRateBounds(t *testing.T) {
+	p := DefaultParams()
+	for _, arch := range []Arch{ArchNoRays, ArchBaseline, ArchQ3DE} {
+		r := p.AvgLogicalRate(arch, 2, 10, 7)
+		if r < 0 || r > 0.5 {
+			t.Errorf("%v: rate %v outside [0, 0.5]", arch, r)
+		}
+	}
+	// Q3DE average should never exceed the baseline average at equal ratios.
+	for _, area := range []float64{1.0, 4.0, 16.0} {
+		for _, dq := range []float64{4.0, 16.0, 64.0} {
+			b := p.AvgLogicalRate(ArchBaseline, area, dq, 9)
+			q := p.AvgLogicalRate(ArchQ3DE, area, dq, 9)
+			if q > b*1.01 {
+				t.Errorf("area=%v dq=%v: q3de %v worse than baseline %v", area, dq, q, b)
+			}
+		}
+	}
+}
+
+func TestRequirementCurveShape(t *testing.T) {
+	p := DefaultParams()
+	curve := p.RequirementCurve(ArchQ3DE, 64, 11)
+	if len(curve) < 5 {
+		t.Fatalf("curve too short: %d points", len(curve))
+	}
+	// Density requirement must not grow with area (more area = more room).
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Density > curve[i-1].Density*1.25 {
+			t.Errorf("density should fall (or stay) with area: %+v -> %+v", curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := stats.NewRNG(13, 17)
+	for _, mean := range []float64{0.5, 5, 50, 800} {
+		var acc stats.Running
+		for i := 0; i < 4000; i++ {
+			acc.Add(float64(poisson(rng, mean)))
+		}
+		if math.Abs(acc.Mean()-mean) > 6*math.Sqrt(mean/4000)*math.Sqrt(mean)+0.5 {
+			t.Errorf("poisson mean %v measured %v", mean, acc.Mean())
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("nonpositive mean should give 0")
+	}
+}
+
+func TestColumnOverlapDistribution(t *testing.T) {
+	rng := stats.NewRNG(19, 23)
+	d, dano := 20, 4
+	for i := 0; i < 2000; i++ {
+		c := columnOverlap(rng, d, dano)
+		if c < 1 || c > dano {
+			t.Fatalf("overlap %d outside [1,%d]", c, dano)
+		}
+	}
+	// Anomaly wider than the patch: overlap capped at d.
+	for i := 0; i < 100; i++ {
+		c := columnOverlap(rng, 3, 10)
+		if c < 1 || c > 3 {
+			t.Fatalf("overlap %d outside [1,3]", c)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunDualMemoryComposes(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 4000, Seed: 21}
+	r := RunDualMemory(cfg)
+	want := 1 - (1-r.Z.PL)*(1-r.X.PL)
+	if math.Abs(r.PLEither-want) > 1e-15 {
+		t.Errorf("composition wrong: %v vs %v", r.PLEither, want)
+	}
+	if r.PLEither < r.Z.PL || r.PLEither < r.X.PL {
+		t.Error("either-species rate must dominate each species")
+	}
+	if r.Z.Failures == r.X.Failures && r.Z.Shots == r.X.Shots {
+		// Not impossible, but with different seeds it is overwhelmingly
+		// unlikely for thousands of shots; treat as a seed-split bug.
+		t.Error("species runs look identical; seed split failed")
+	}
+	if r.StdErr <= 0 {
+		t.Error("missing propagated standard error")
+	}
+}
+
+func TestDualSpeciesAreStatisticallyConsistent(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy, MaxShots: 8000, Seed: 23}
+	r := RunDualMemory(cfg)
+	// The species are i.i.d.: their estimates must agree within ~5 sigma.
+	diff := math.Abs(r.Z.PL - r.X.PL)
+	tol := 5 * math.Sqrt(r.Z.StdErr*r.Z.StdErr+r.X.StdErr*r.X.StdErr)
+	if diff > tol {
+		t.Errorf("species disagree: z=%v x=%v (tol %v)", r.Z.PL, r.X.PL, tol)
+	}
+}
+
+func TestLambdaFactor(t *testing.T) {
+	if got := LambdaFactor(1e-4, 1e-5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("lambda = %v, want 10", got)
+	}
+	if !math.IsInf(LambdaFactor(1e-4, 0), 1) {
+		t.Error("zero denominator should give +inf")
+	}
+}
+
+func TestThresholdEstimate(t *testing.T) {
+	rates := []float64{0.01, 0.02, 0.03, 0.04}
+	// Bigger code wins at low p, loses at high p; crossing near 0.025.
+	pL1 := []float64{1e-3, 4e-3, 1.2e-2, 3e-2}
+	pL2 := []float64{1e-4, 2e-3, 1.5e-2, 5e-2}
+	pth, ok := ThresholdEstimate(rates, pL1, pL2)
+	if !ok {
+		t.Fatal("crossing not found")
+	}
+	if pth < 0.02 || pth > 0.03 {
+		t.Errorf("threshold estimate %v outside bracketing interval", pth)
+	}
+	// No crossing when the bigger code always wins.
+	if _, ok := ThresholdEstimate(rates, []float64{1, 1, 1, 1}, []float64{0.1, 0.1, 0.1, 0.1}); ok {
+		t.Error("non-crossing curves should report no threshold")
+	}
+}
+
+func TestThresholdEstimatePanicsOnMisalignedInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ThresholdEstimate([]float64{1}, []float64{1, 2}, []float64{1})
+}
+
+func TestEffectiveRateUnderRays(t *testing.T) {
+	r := DualResult{PLEither: 1e-7}
+	got := r.EffectiveRateUnderRays(1, 25e-3, 1e-3)
+	want := (1-0.025)*1e-7 + 0.025*1e-3
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("effective rate = %v, want %v", got, want)
+	}
+	if r.EffectiveRateUnderRays(100, 1, 1e-3) != 1e-3 {
+		t.Error("saturated duty cycle should clamp at the anomalous rate")
+	}
+}
+
+func TestWilsonEitherBrackets(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 3000, Seed: 29}
+	r := RunDualMemory(cfg)
+	lo, hi := r.WilsonEither(1.96)
+	if lo > r.PLEither || hi < r.PLEither {
+		t.Errorf("interval [%v,%v] does not bracket %v", lo, hi, r.PLEither)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("interval out of range: [%v,%v]", lo, hi)
+	}
+}

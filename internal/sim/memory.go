@@ -1,0 +1,200 @@
+// Package sim runs the Monte-Carlo memory experiments of paper Sec. VII:
+// logical error rates per code cycle for d-cycle idling of a distance-d
+// planar surface code, with or without an anomalous (MBBE) region, decoded
+// by a pluggable decoding strategy that may or may not be aware of the
+// region (the paper's "with rollback" / "without rollback" comparison).
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// DecoderKind selects the decoding strategy.
+type DecoderKind int
+
+const (
+	// DecoderGreedy is the QECOOL-style greedy decoder the paper's control
+	// hardware runs (Sec. VI-B, VIII-D).
+	DecoderGreedy DecoderKind = iota
+	// DecoderMWPM is the exact minimum-weight perfect matching decoder used
+	// for the paper's numerical evaluation.
+	DecoderMWPM
+	// DecoderUnionFind is the union-find decoder family the paper cites as
+	// the alternative implementable strategy.
+	DecoderUnionFind
+)
+
+func (k DecoderKind) String() string {
+	switch k {
+	case DecoderGreedy:
+		return "greedy"
+	case DecoderMWPM:
+		return "mwpm"
+	case DecoderUnionFind:
+		return "union-find"
+	default:
+		return fmt.Sprintf("DecoderKind(%d)", int(k))
+	}
+}
+
+// UnionFindFactory is installed by the unionfind package's Register (called
+// from the experiment harness) to avoid a package dependency cycle.
+var UnionFindFactory func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder
+
+// MemoryConfig parameterises one memory-experiment data point.
+type MemoryConfig struct {
+	D      int     // code distance
+	Rounds int     // noisy rounds; 0 means D (the paper's d-cycle idling)
+	P      float64 // physical error rate per cycle
+
+	Box  *lattice.Box // anomalous region, nil for MBBE-free
+	Pano float64      // anomalous physical rate
+
+	Decoder DecoderKind
+	// Aware makes the decoder use the anomaly-weighted metric, modelling the
+	// re-executed decoding that knows the MBBE position (Sec. VI).
+	Aware bool
+
+	MaxShots    int64 // hard cap on samples (default 1e5, the paper's floor)
+	MaxFailures int64 // stop early after this many failures (0 = no early stop)
+	Seed        uint64
+	Workers     int // 0 = GOMAXPROCS
+}
+
+// MemoryResult is the estimate for one data point.
+type MemoryResult struct {
+	Config   MemoryConfig
+	Shots    int64
+	Failures int64
+	PShot    float64 // logical failure probability per shot
+	PL       float64 // logical error rate per cycle
+	StdErr   float64 // standard error of PL
+}
+
+// rounds returns the effective number of noisy rounds.
+func (c MemoryConfig) rounds() int {
+	if c.Rounds > 0 {
+		return c.Rounds
+	}
+	return c.D
+}
+
+// NewDecoder builds a decoder matching the config for the given lattice.
+func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
+	var box *lattice.Box
+	pano := c.P
+	if c.Aware && c.Box != nil {
+		box = c.Box
+		pano = c.Pano
+	}
+	m := lattice.NewMetric(c.D, c.P, pano, box)
+	switch c.Decoder {
+	case DecoderGreedy:
+		return greedy.New(m)
+	case DecoderMWPM:
+		return mwpm.New(m)
+	case DecoderUnionFind:
+		if UnionFindFactory == nil {
+			panic("sim: union-find decoder not linked in; call unionfind.Register first")
+		}
+		return UnionFindFactory(l, m)
+	default:
+		panic(fmt.Sprintf("sim: unknown decoder kind %d", int(c.Decoder)))
+	}
+}
+
+// RunMemory estimates the logical error rate for one configuration by
+// parallel Monte-Carlo sampling. Workers draw independent RNG streams from
+// the seed, so results are reproducible for a fixed seed (up to the early
+// stop point, which depends on scheduling).
+func RunMemory(cfg MemoryConfig) MemoryResult {
+	if cfg.MaxShots <= 0 {
+		cfg.MaxShots = 100000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rounds := cfg.rounds()
+	l := lattice.New(cfg.D, rounds)
+	model := noise.NewModel(l, cfg.P, cfg.Box, cfg.Pano)
+
+	const batch = 64
+	var reserved, shots, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.WorkerRNG(cfg.Seed, w)
+			dec := cfg.NewDecoder(l)
+			var s noise.Sample
+			coords := make([]lattice.Coord, 0, 64)
+			for {
+				if cfg.MaxFailures > 0 && failures.Load() >= cfg.MaxFailures {
+					return
+				}
+				start := reserved.Add(batch) - batch
+				if start >= cfg.MaxShots {
+					return
+				}
+				n := min64(batch, cfg.MaxShots-start)
+				var fails int64
+				for i := int64(0); i < n; i++ {
+					if DecodeShot(model, dec, rng, &s, &coords) {
+						fails++
+					}
+				}
+				shots.Add(n)
+				failures.Add(fails)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := MemoryResult{Config: cfg, Shots: shots.Load(), Failures: failures.Load()}
+	var prop stats.Proportion
+	prop.Add(res.Failures, res.Shots)
+	res.PShot = prop.Mean()
+	res.PL = stats.PerCycleRate(res.PShot, rounds)
+	// Propagate the binomial standard error through the per-cycle transform.
+	if res.PShot > 0 && res.PShot < 1 {
+		deriv := (1 - res.PL) / (float64(rounds) * (1 - res.PShot))
+		res.StdErr = prop.StdErr() * deriv
+	} else {
+		res.StdErr = stats.PerCycleRate(prop.StdErr(), rounds)
+	}
+	return res
+}
+
+// DecodeShot draws one error sample and decodes it, returning true on a
+// logical failure (error and correction disagree on the cut parity). The
+// sample and coordinate buffers are reused across calls.
+func DecodeShot(model *noise.Model, dec decoder.Decoder, rng *rand.Rand, s *noise.Sample, coords *[]lattice.Coord) bool {
+	model.Draw(rng, s)
+	cs := (*coords)[:0]
+	for _, id := range s.Defects {
+		cs = append(cs, model.L.NodeCoord(id))
+	}
+	*coords = cs
+	res := dec.Decode(cs)
+	return res.CutParity != s.CutParity
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

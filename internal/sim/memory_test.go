@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"q3de/internal/lattice"
+)
+
+func TestRunMemoryDeterministicSingleWorker(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 2000, Seed: 1, Workers: 1}
+	a := RunMemory(cfg)
+	b := RunMemory(cfg)
+	if a.Failures != b.Failures || a.Shots != b.Shots {
+		t.Errorf("same seed should reproduce: %+v vs %+v", a, b)
+	}
+	if a.Shots != 2000 {
+		t.Errorf("shots = %d, want 2000", a.Shots)
+	}
+}
+
+func TestRunMemoryParallelMatchesShotCount(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 1000, Seed: 2, Workers: 4}
+	r := RunMemory(cfg)
+	if r.Shots != 1000 {
+		t.Errorf("shots = %d, want 1000", r.Shots)
+	}
+}
+
+func TestRunMemoryEarlyStop(t *testing.T) {
+	// At p=0.2 (way above threshold) failures are common, so the early stop
+	// should kick in long before MaxShots.
+	cfg := MemoryConfig{D: 5, P: 0.2, Decoder: DecoderGreedy,
+		MaxShots: 1000000, MaxFailures: 50, Seed: 3, Workers: 2}
+	r := RunMemory(cfg)
+	if r.Failures < 50 {
+		t.Errorf("early stop should collect at least 50 failures, got %d", r.Failures)
+	}
+	if r.Shots >= 1000000 {
+		t.Error("early stop did not trigger")
+	}
+}
+
+func TestLogicalRateDecreasesWithDistanceBelowThreshold(t *testing.T) {
+	// The defining property of a working QEC simulation: below threshold,
+	// increasing d suppresses the logical error rate.
+	p := 0.005
+	var rates []float64
+	for _, d := range []int{3, 5, 7} {
+		r := RunMemory(MemoryConfig{D: d, P: p, Decoder: DecoderGreedy,
+			MaxShots: 30000, Seed: 4})
+		rates = append(rates, r.PL)
+	}
+	if !(rates[0] > rates[1] && rates[1] > rates[2]) {
+		t.Errorf("logical rate should fall with distance below threshold: %v", rates)
+	}
+	if rates[2] == 0 {
+		t.Log("d=7 saw no failures; acceptable but uninformative")
+	}
+}
+
+func TestLogicalRateSaturatesAboveThreshold(t *testing.T) {
+	// Above threshold, increasing the distance must stop helping: the
+	// per-shot failure probability of the bigger code is at least comparable
+	// (it saturates toward 1/2 while below threshold it would collapse by
+	// orders of magnitude).
+	p := 0.12 // far above any matching threshold
+	r3 := RunMemory(MemoryConfig{D: 3, P: p, Decoder: DecoderGreedy, MaxShots: 10000, Seed: 5})
+	r7 := RunMemory(MemoryConfig{D: 7, P: p, Decoder: DecoderGreedy, MaxShots: 10000, Seed: 5})
+	if r7.PShot < 0.8*r3.PShot {
+		t.Errorf("above threshold larger codes should not help: d3=%v d7=%v", r3.PShot, r7.PShot)
+	}
+	if r7.PShot < 0.3 {
+		t.Errorf("d7 at p=0.12 should be near saturation, got %v", r7.PShot)
+	}
+}
+
+func TestMBBERaisesLogicalRate(t *testing.T) {
+	d, p := 9, 0.004
+	clean := RunMemory(MemoryConfig{D: d, P: p, Decoder: DecoderGreedy, MaxShots: 8000, Seed: 6})
+	l := lattice.New(d, d)
+	box := l.CenteredBox(4)
+	dirty := RunMemory(MemoryConfig{D: d, P: p, Box: &box, Pano: 0.5,
+		Decoder: DecoderGreedy, MaxShots: 8000, Seed: 6})
+	if dirty.PL <= clean.PL {
+		t.Errorf("MBBE should raise the logical rate: clean=%v dirty=%v", clean.PL, dirty.PL)
+	}
+	// The paper's headline: the increase is large (orders of magnitude at low
+	// p). At this moderate p demand at least 3x.
+	if clean.PL > 0 && dirty.PL/clean.PL < 3 {
+		t.Errorf("MBBE inflation looks too small: %v", dirty.PL/clean.PL)
+	}
+}
+
+func TestAwareDecodingImprovesUnderMBBE(t *testing.T) {
+	// The Fig. 8 effect: a decoder that knows the anomalous region achieves
+	// a lower logical rate than one that does not.
+	d, p := 11, 0.004
+	l := lattice.New(d, d)
+	box := l.CenteredBox(4)
+	blind := RunMemory(MemoryConfig{D: d, P: p, Box: &box, Pano: 0.5,
+		Decoder: DecoderGreedy, Aware: false, MaxShots: 6000, Seed: 7})
+	aware := RunMemory(MemoryConfig{D: d, P: p, Box: &box, Pano: 0.5,
+		Decoder: DecoderGreedy, Aware: true, MaxShots: 6000, Seed: 7})
+	if aware.PL >= blind.PL {
+		t.Errorf("aware decoding should improve under MBBE: blind=%v aware=%v", blind.PL, aware.PL)
+	}
+}
+
+func TestMWPMBeatsGreedyNearThreshold(t *testing.T) {
+	// Exact matching should never be substantially worse than greedy.
+	d, p := 7, 0.02
+	g := RunMemory(MemoryConfig{D: d, P: p, Decoder: DecoderGreedy, MaxShots: 8000, Seed: 8})
+	m := RunMemory(MemoryConfig{D: d, P: p, Decoder: DecoderMWPM, MaxShots: 8000, Seed: 8})
+	if m.PL > g.PL*1.3+1e-6 {
+		t.Errorf("mwpm (%v) should not be worse than greedy (%v)", m.PL, g.PL)
+	}
+}
+
+func TestStdErrPropagation(t *testing.T) {
+	r := RunMemory(MemoryConfig{D: 3, P: 0.05, Decoder: DecoderGreedy, MaxShots: 5000, Seed: 9})
+	if r.PShot > 0 && r.StdErr <= 0 {
+		t.Error("nonzero estimate should carry a nonzero standard error")
+	}
+	if r.StdErr > r.PShot && r.Failures > 10 {
+		t.Errorf("std err %v implausibly large vs pshot %v", r.StdErr, r.PShot)
+	}
+	if math.IsNaN(r.StdErr) {
+		t.Error("std err is NaN")
+	}
+}
+
+func TestDecoderKindString(t *testing.T) {
+	if DecoderGreedy.String() != "greedy" || DecoderMWPM.String() != "mwpm" ||
+		DecoderUnionFind.String() != "union-find" {
+		t.Error("DecoderKind.String broken")
+	}
+	if DecoderKind(99).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestRoundsDefault(t *testing.T) {
+	c := MemoryConfig{D: 7}
+	if c.rounds() != 7 {
+		t.Errorf("rounds default = %d, want 7", c.rounds())
+	}
+	c.Rounds = 3
+	if c.rounds() != 3 {
+		t.Errorf("explicit rounds = %d, want 3", c.rounds())
+	}
+}

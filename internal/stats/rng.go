@@ -1,0 +1,27 @@
+package stats
+
+import "math/rand/v2"
+
+// NewRNG returns a deterministic PCG random source for the given seed pair.
+// Every Monte-Carlo component takes an explicit *rand.Rand so experiments are
+// reproducible and parallel workers can be given independent streams.
+func NewRNG(seed1, seed2 uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed1, seed2))
+}
+
+// WorkerRNG derives an independent stream for worker i from a base seed.
+// The mixing uses splitmix64 so adjacent worker indices produce uncorrelated
+// PCG initialisation vectors.
+func WorkerRNG(baseSeed uint64, worker int) *rand.Rand {
+	s := splitmix64(baseSeed + uint64(worker)*0x9e3779b97f4a7c15)
+	t := splitmix64(s)
+	return NewRNG(s, t)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

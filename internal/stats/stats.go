@@ -1,0 +1,271 @@
+// Package stats provides the statistical substrate used across the Q3DE
+// reproduction: the inverse Gauss error function needed for the CLT-based
+// anomaly-detection threshold (paper Eq. 3), confidence intervals for
+// Monte-Carlo estimates, and streaming moment accumulators.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErfInv returns the inverse of the Gauss error function erf.
+//
+// The anomaly-detection threshold of the paper (Eq. 3) is
+//
+//	Vth = cwin*mu + sqrt(2*cwin*sigma^2) * erfinv(1-alpha)
+//
+// so erfinv must be accurate in the tail region (arguments close to 1).
+// The implementation uses the rational initial guess by Giles ("Approximating
+// the erfinv function", 2012-style split) refined with two Newton iterations
+// against math.Erf, giving ~1e-15 relative accuracy over (-1, 1).
+func ErfInv(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	switch {
+	case x <= -1:
+		if x == -1 {
+			return math.Inf(-1)
+		}
+		return math.NaN()
+	case x >= 1:
+		if x == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+
+	// Initial approximation.
+	var r float64
+	w := -math.Log((1 - x) * (1 + x))
+	if w < 6.25 {
+		w -= 3.125
+		r = -3.6444120640178196996e-21
+		r = -1.685059138182016589e-19 + r*w
+		r = 1.2858480715256400167e-18 + r*w
+		r = 1.115787767802518096e-17 + r*w
+		r = -1.333171662854620906e-16 + r*w
+		r = 2.0972767875968561637e-17 + r*w
+		r = 6.6376381343583238325e-15 + r*w
+		r = -4.0545662729752068639e-14 + r*w
+		r = -8.1519341976054721522e-14 + r*w
+		r = 2.6335093153082322977e-12 + r*w
+		r = -1.2975133253453532498e-11 + r*w
+		r = -5.4154120542946279317e-11 + r*w
+		r = 1.051212273321532285e-09 + r*w
+		r = -4.1126339803469836976e-09 + r*w
+		r = -2.9070369957882005086e-08 + r*w
+		r = 4.2347877827932403518e-07 + r*w
+		r = -1.3654692000834678645e-06 + r*w
+		r = -1.3882523362786468719e-05 + r*w
+		r = 0.0001867342080340571352 + r*w
+		r = -0.00074070253416626697512 + r*w
+		r = -0.0060336708714301490533 + r*w
+		r = 0.24015818242558961693 + r*w
+		r = 1.6536545626831027356 + r*w
+	} else if w < 16 {
+		w = math.Sqrt(w) - 3.25
+		r = 2.2137376921775787049e-09
+		r = 9.0756561938885390979e-08 + r*w
+		r = -2.7517406297064545428e-07 + r*w
+		r = 1.8239629214389227755e-08 + r*w
+		r = 1.5027403968909827627e-06 + r*w
+		r = -4.013867526981545969e-06 + r*w
+		r = 2.9234449089955446044e-06 + r*w
+		r = 1.2475304481671778723e-05 + r*w
+		r = -4.7318229009055733981e-05 + r*w
+		r = 6.8284851459573175448e-05 + r*w
+		r = 2.4031110387097893999e-05 + r*w
+		r = -0.0003550375203628474796 + r*w
+		r = 0.00095328937973738049703 + r*w
+		r = -0.0016882755560235047313 + r*w
+		r = 0.0024914420961078508066 + r*w
+		r = -0.0037512085075692412107 + r*w
+		r = 0.005370914553590063617 + r*w
+		r = 1.0052589676941592334 + r*w
+		r = 3.0838856104922207635 + r*w
+	} else {
+		w = math.Sqrt(w) - 5
+		r = -2.7109920616438573243e-11
+		r = -2.5556418169965252055e-10 + r*w
+		r = 1.5076572693500548083e-09 + r*w
+		r = -3.7894654401267369937e-09 + r*w
+		r = 7.6157012080783393804e-09 + r*w
+		r = -1.4960026627149240478e-08 + r*w
+		r = 2.9147953450901080826e-08 + r*w
+		r = -6.7711997758452339498e-08 + r*w
+		r = 2.2900482228026654717e-07 + r*w
+		r = -9.9298272942317002539e-07 + r*w
+		r = 4.5260625972231537039e-06 + r*w
+		r = -1.9681778105531670567e-05 + r*w
+		r = 7.5995277030017761139e-05 + r*w
+		r = -0.00021503011930044477347 + r*w
+		r = -0.00013871931833623122026 + r*w
+		r = 1.0103004648645343977 + r*w
+		r = 4.849906401408584002 + r*w
+	}
+	y := r * x
+
+	// Two Newton refinement steps: solve erf(y) = x.
+	// d/dy erf(y) = 2/sqrt(pi) * exp(-y^2).
+	for i := 0; i < 2; i++ {
+		e := math.Erf(y) - x
+		y -= e / (2 / math.SqrtPi * math.Exp(-y*y))
+	}
+	return y
+}
+
+// NormalQuantile returns the quantile z such that a standard normal variable
+// is below z with probability prob. prob must lie in (0, 1).
+func NormalQuantile(prob float64) float64 {
+	return math.Sqrt2 * ErfInv(2*prob-1)
+}
+
+// CLTThreshold computes the anomaly-detection threshold Vth of paper Eq. (3):
+// with confidence level 1-alpha, a window count of cwin samples with per-cycle
+// mean mu and standard deviation sigma stays below the returned value when no
+// MBBE is present.
+func CLTThreshold(cwin int, mu, sigma, alpha float64) float64 {
+	return float64(cwin)*mu + math.Sqrt(2*float64(cwin)*sigma*sigma)*ErfInv(1-alpha)
+}
+
+// ErrNoSamples is returned by estimators that were given zero samples.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Proportion is a streaming estimator of a Bernoulli success probability.
+type Proportion struct {
+	Successes int64
+	Trials    int64
+}
+
+// Add records n trials with k successes.
+func (p *Proportion) Add(k, n int64) {
+	p.Successes += k
+	p.Trials += n
+}
+
+// Mean returns the point estimate k/n (0 when no trials were recorded).
+func (p *Proportion) Mean() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// StdErr returns the binomial standard error sqrt(q(1-q)/n).
+func (p *Proportion) StdErr() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	q := p.Mean()
+	return math.Sqrt(q * (1 - q) / float64(p.Trials))
+}
+
+// Wilson returns the Wilson score interval at the given z value
+// (z = NormalQuantile(1-alpha/2) for a two-sided 1-alpha interval).
+// The Wilson interval behaves sensibly for the rare-event estimates that
+// dominate QEC simulation (few failures out of many shots).
+func (p *Proportion) Wilson(z float64) (lo, hi float64) {
+	n := float64(p.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	q := p.Mean()
+	den := 1 + z*z/n
+	center := (q + z*z/(2*n)) / den
+	half := z / den * math.Sqrt(q*(1-q)/n+z*z/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Running accumulates a stream of float64 observations and reports mean,
+// variance and standard error using Welford's numerically stable update.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of recorded observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Merge folds another accumulator into r (parallel reduction).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	mean := r.mean + delta*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// PerCycleRate converts a per-shot failure probability over cycles rounds into
+// a per-cycle logical error rate: pc = 1 - (1-P)^(1/cycles). This is the
+// normalisation the paper uses when reporting "logical error rate per cycle"
+// for d-cycle idling.
+func PerCycleRate(pShot float64, cycles int) float64 {
+	if cycles <= 0 {
+		return pShot
+	}
+	if pShot >= 1 {
+		return 1
+	}
+	if pShot <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-pShot, 1/float64(cycles))
+}
+
+// ShotRate inverts PerCycleRate: the failure probability over cycles rounds
+// given a per-cycle rate.
+func ShotRate(perCycle float64, cycles int) float64 {
+	if cycles <= 0 {
+		return perCycle
+	}
+	return 1 - math.Pow(1-perCycle, float64(cycles))
+}

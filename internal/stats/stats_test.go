@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErfInvRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.999999, -0.99, -0.5, -0.1, -1e-8, 0, 1e-8, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999999} {
+		y := ErfInv(x)
+		back := math.Erf(y)
+		if math.Abs(back-x) > 1e-12 {
+			t.Errorf("erf(erfinv(%v)) = %v, want %v", x, back, x)
+		}
+	}
+}
+
+func TestErfInvKnownValues(t *testing.T) {
+	// Reference values computed with mpmath to 15 digits.
+	cases := []struct{ x, want float64 }{
+		{0.5, 0.476936276204470},
+		{0.9, 1.163087153676674},
+		{0.99, 1.821386367718481}, // used by the 1-alpha=0.99 detector setting
+		{0.999, 2.326753765513524},
+		{-0.5, -0.476936276204470},
+	}
+	for _, c := range cases {
+		got := ErfInv(c.x)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ErfInv(%v) = %.15f, want %.15f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestErfInvEdges(t *testing.T) {
+	if !math.IsInf(ErfInv(1), 1) {
+		t.Error("ErfInv(1) should be +Inf")
+	}
+	if !math.IsInf(ErfInv(-1), -1) {
+		t.Error("ErfInv(-1) should be -Inf")
+	}
+	if !math.IsNaN(ErfInv(1.5)) || !math.IsNaN(ErfInv(-1.5)) {
+		t.Error("ErfInv outside [-1,1] should be NaN")
+	}
+	if !math.IsNaN(ErfInv(math.NaN())) {
+		t.Error("ErfInv(NaN) should be NaN")
+	}
+	if ErfInv(0) != 0 {
+		t.Error("ErfInv(0) should be 0")
+	}
+}
+
+func TestErfInvPropertyRoundTrip(t *testing.T) {
+	f := func(u float64) bool {
+		// Map arbitrary float into (-1, 1).
+		x := math.Tanh(u)
+		if math.Abs(x) >= 1 {
+			return true
+		}
+		return math.Abs(math.Erf(ErfInv(x))-x) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErfInvMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for x := -0.9999; x < 0.9999; x += 0.0001 {
+		y := ErfInv(x)
+		if y <= prev {
+			t.Fatalf("ErfInv not strictly increasing at x=%v: %v <= %v", x, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.575829303548901},
+		{0.99, 2.326347874040841},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCLTThreshold(t *testing.T) {
+	// With alpha -> 1 the threshold collapses to the mean term.
+	got := CLTThreshold(100, 0.1, 0.3, 1)
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("alpha=1 threshold = %v, want 10", got)
+	}
+	// Larger confidence -> larger threshold.
+	a := CLTThreshold(100, 0.1, 0.3, 0.05)
+	b := CLTThreshold(100, 0.1, 0.3, 0.01)
+	if b <= a {
+		t.Errorf("threshold should grow with confidence: %v <= %v", b, a)
+	}
+	// Threshold grows like cwin in the mean term.
+	c1 := CLTThreshold(100, 0.1, 0.3, 0.01)
+	c2 := CLTThreshold(400, 0.1, 0.3, 0.01)
+	if c2 <= c1 {
+		t.Errorf("threshold should grow with window: %v <= %v", c2, c1)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if p.Mean() != 0 || p.StdErr() != 0 {
+		t.Error("empty proportion should report zeros")
+	}
+	p.Add(3, 10)
+	p.Add(1, 10)
+	if got := p.Mean(); math.Abs(got-0.2) > 1e-15 {
+		t.Errorf("Mean = %v, want 0.2", got)
+	}
+	want := math.Sqrt(0.2 * 0.8 / 20)
+	if got := p.StdErr(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	var p Proportion
+	p.Add(0, 1000)
+	lo, hi := p.Wilson(1.96)
+	if lo != 0 {
+		t.Errorf("Wilson lower bound with zero successes = %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.01 {
+		t.Errorf("Wilson upper bound with 0/1000 = %v, want small positive", hi)
+	}
+	var q Proportion
+	q.Add(500, 1000)
+	lo, hi = q.Wilson(1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("Wilson interval should bracket 0.5: [%v, %v]", lo, hi)
+	}
+	var empty Proportion
+	lo, hi = empty.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty Wilson = [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Add(x)
+	}
+	if r.N() != 5 {
+		t.Fatalf("N = %d, want 5", r.N())
+	}
+	if math.Abs(r.Mean()-3) > 1e-15 {
+		t.Errorf("Mean = %v, want 3", r.Mean())
+	}
+	if math.Abs(r.Variance()-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", r.Variance())
+	}
+	if math.Abs(r.StdErr()-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Errorf("StdErr = %v", r.StdErr())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	xs := []float64{0.3, 1.7, -2.5, 4.1, 0, 9.9, -3.2, 5.5}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Running
+	for _, x := range xs[:3] {
+		a.Add(x)
+	}
+	for _, x := range xs[3:] {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-12 {
+		t.Errorf("merged Variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	b.Add(2)
+	b.Add(4)
+	a.Merge(b)
+	if a.Mean() != 3 || a.N() != 2 {
+		t.Errorf("merge into empty failed: mean=%v n=%d", a.Mean(), a.N())
+	}
+	before := a
+	var empty Running
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging an empty accumulator should be a no-op")
+	}
+}
+
+func TestPerCycleRate(t *testing.T) {
+	// Round trip with ShotRate.
+	for _, p := range []float64{1e-6, 1e-3, 0.1, 0.5} {
+		for _, d := range []int{1, 5, 21} {
+			pc := PerCycleRate(p, d)
+			back := ShotRate(pc, d)
+			if math.Abs(back-p) > 1e-12 {
+				t.Errorf("round trip p=%v d=%d: got %v", p, d, back)
+			}
+		}
+	}
+	if PerCycleRate(0, 5) != 0 || PerCycleRate(1, 5) != 1 {
+		t.Error("PerCycleRate edge cases wrong")
+	}
+	// For small p, per-cycle ~ p/d.
+	pc := PerCycleRate(1e-6, 10)
+	if math.Abs(pc-1e-7) > 1e-12 {
+		t.Errorf("small-p approximation: %v, want ~1e-7", pc)
+	}
+	if got := PerCycleRate(0.5, 0); got != 0.5 {
+		t.Errorf("cycles=0 should pass through, got %v", got)
+	}
+}
+
+func TestWorkerRNGIndependence(t *testing.T) {
+	a := WorkerRNG(42, 0)
+	b := WorkerRNG(42, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("worker streams look correlated: %d/100 identical draws", same)
+	}
+	// Determinism.
+	c := WorkerRNG(42, 0)
+	d := WorkerRNG(42, 0)
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same seed/worker should reproduce the stream")
+		}
+	}
+}

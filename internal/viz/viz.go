@@ -1,0 +1,118 @@
+// Package viz renders terminal diagrams of the simulator state: qubit-plane
+// block maps (Fig. 10's layout), anomaly-detector counter heatmaps, and
+// anomalous-region overlays. The examples use it to make the architecture's
+// behaviour visible without plotting tools.
+package viz
+
+import (
+	"strings"
+
+	"q3de/internal/deform"
+	"q3de/internal/lattice"
+)
+
+// PlaneString renders the block states of a qubit plane, one character per
+// block: 'Q' logical qubit, '+' expansion, '*' routing, 'x' anomalous,
+// '.' vacant.
+func PlaneString(p *deform.Plane) string {
+	var b strings.Builder
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			switch p.State(r, c) {
+			case deform.BlockLogical:
+				b.WriteByte('Q')
+			case deform.BlockExpansion:
+				b.WriteByte('+')
+			case deform.BlockRouting:
+				b.WriteByte('*')
+			case deform.BlockAnomalous:
+				b.WriteByte('x')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Heatmap renders per-position counts laid out row-major over cols columns
+// using a density ramp, marking positions above the threshold with '#'.
+func Heatmap(counts []int, cols int, threshold float64) string {
+	if cols <= 0 {
+		panic("viz: cols must be positive")
+	}
+	ramp := []byte(" .:-=+*%")
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		if float64(c) > threshold {
+			b.WriteByte('#')
+		} else {
+			idx := c * (len(ramp) - 1) / maxC
+			b.WriteByte(ramp[idx])
+		}
+		if (i+1)%cols == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	if len(counts)%cols != 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BoxOverlay renders the spatial footprint of an anomalous region on the
+// d x (d-1) syndrome-node grid: '#' inside, '.' outside.
+func BoxOverlay(d int, box lattice.Box) string {
+	var b strings.Builder
+	for r := 0; r < d; r++ {
+		for c := 0; c < d-1; c++ {
+			if r >= box.R0 && r <= box.R1 && c >= box.C0 && c <= box.C1 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SideBySide joins two multi-line blocks horizontally with a gutter, for
+// before/after comparisons in example output.
+func SideBySide(left, right, gutter string) string {
+	ls := strings.Split(strings.TrimRight(left, "\n"), "\n")
+	rs := strings.Split(strings.TrimRight(right, "\n"), "\n")
+	width := 0
+	for _, l := range ls {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	n := len(ls)
+	if len(rs) > n {
+		n = len(rs)
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		var l, r string
+		if i < len(ls) {
+			l = ls[i]
+		}
+		if i < len(rs) {
+			r = rs[i]
+		}
+		b.WriteString(l)
+		b.WriteString(strings.Repeat(" ", width-len(l)))
+		b.WriteString(gutter)
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"q3de/internal/deform"
+	"q3de/internal/lattice"
+)
+
+func TestPlaneString(t *testing.T) {
+	p := deform.NewPlane(3, 3)
+	p.Set(1, 1, deform.BlockLogical, 0)
+	p.Set(0, 0, deform.BlockAnomalous, -1)
+	p.Set(2, 2, deform.BlockRouting, 1)
+	p.Set(1, 2, deform.BlockExpansion, 0)
+	got := PlaneString(p)
+	want := "x..\n.Q+\n..*\n"
+	if got != want {
+		t.Errorf("PlaneString:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	counts := []int{0, 1, 2, 8, 0, 0}
+	got := Heatmap(counts, 3, 5)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(got, "#") {
+		t.Error("count above threshold should render '#'")
+	}
+	if got[0] != ' ' {
+		t.Error("zero count should render blank")
+	}
+	// Ragged layouts still terminate with a newline.
+	if r := Heatmap([]int{1, 2, 3, 4}, 3, 10); !strings.HasSuffix(r, "\n") {
+		t.Error("ragged heatmap must end with newline")
+	}
+}
+
+func TestHeatmapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cols <= 0")
+		}
+	}()
+	Heatmap([]int{1}, 0, 1)
+}
+
+func TestBoxOverlay(t *testing.T) {
+	box := lattice.Box{R0: 1, R1: 2, C0: 0, C1: 1}
+	got := BoxOverlay(4, box)
+	want := "...\n##.\n##.\n...\n"
+	if got != want {
+		t.Errorf("BoxOverlay:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	got := SideBySide("ab\nc\n", "XY\nZW\nV\n", " | ")
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "ab | XY" || lines[1] != "c  | ZW" || lines[2] != "   | V" {
+		t.Errorf("SideBySide:\n%s", got)
+	}
+}
