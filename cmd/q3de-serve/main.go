@@ -1,0 +1,85 @@
+// Command q3de-serve exposes the Q3DE simulation engine as a long-running
+// HTTP service (stdlib only). Jobs — raw memory experiments, dual-species
+// runs, or whole paper figures — are submitted as JSON, executed as
+// seed-sharded chunks on a bounded worker pool, and can be polled, streamed
+// for progress, and cancelled. Estimates are deterministic per seed: the
+// service returns exactly what `q3de` prints for the same configuration.
+//
+// Usage:
+//
+//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N]
+//
+// API (see README.md for curl examples):
+//
+//	POST   /v1/jobs             submit {"kind":"memory"|"dual"|"figure",...}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + partial results
+//	GET    /v1/jobs/{id}/result final result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             engine counters (Prometheus text format)
+//	GET    /healthz             liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"q3de/internal/engine"
+	"q3de/internal/exp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shard worker pool size (0 = all cores)")
+	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
+	cache := flag.Int("cache", 64, "workspace cache capacity (per-config lattices/metrics)")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		Workers:       *workers,
+		MaxJobs:       *maxJobs,
+		CacheCapacity: *cache,
+	})
+	exp.RegisterJobs(eng)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(engine.NewHandler(eng)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	go func() {
+		log.Printf("q3de-serve listening on %s (%d workers, %d job slots)",
+			*addr, eng.Workers(), *maxJobs)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("listen: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	eng.Close()
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"q3de/internal/engine"
 	"q3de/internal/exp"
 	"q3de/internal/sim"
 )
@@ -36,30 +37,27 @@ func main() {
 	opts := exp.DefaultOptions()
 	opts.Seed = *seed
 	opts.Workers = *workers
-	switch *budget {
-	case "quick":
-		opts.Budget = exp.BudgetQuick
-	case "standard":
-		opts.Budget = exp.BudgetStandard
-	case "full":
-		opts.Budget = exp.BudgetFull
-	default:
-		fatalf("unknown budget %q", *budget)
+	b, err := exp.ParseBudget(*budget)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	switch *decoder {
-	case "greedy":
-		opts.Decoder = sim.DecoderGreedy
-	case "mwpm":
-		opts.Decoder = sim.DecoderMWPM
-	case "union-find":
-		opts.Decoder = sim.DecoderUnionFind
-	default:
-		fatalf("unknown decoder %q", *decoder)
+	opts.Budget = b
+	kind, err := sim.ParseDecoderKind(*decoder)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	opts.Decoder = kind
+
+	// The batch CLI runs through the same execution engine as the serving
+	// path (cmd/q3de-serve): seed-sharded chunks on a bounded pool with the
+	// per-configuration workspaces cached across experiments.
+	eng := engine.New(engine.Config{Workers: *workers})
+	defer eng.Close()
+	opts.Engine = eng
 
 	name := flag.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"fig3", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "headline", "ablation", "correlation", "threshold"} {
+		for _, n := range exp.ExperimentNames() {
 			runOne(n, opts)
 			fmt.Println()
 		}
@@ -70,36 +68,8 @@ func main() {
 
 func runOne(name string, opts exp.Options) {
 	start := time.Now()
-	switch name {
-	case "fig3":
-		exp.RenderFig3(os.Stdout, exp.RunFig3(exp.DefaultFig3(opts)))
-	case "fig7":
-		exp.RenderFig7(os.Stdout, exp.RunFig7(exp.DefaultFig7(opts)))
-	case "fig8":
-		exp.RenderFig8(os.Stdout, exp.RunFig8(exp.DefaultFig8(opts)))
-	case "fig9":
-		exp.RenderFig9(os.Stdout, exp.RunFig9(exp.DefaultFig9(opts)))
-	case "fig10":
-		exp.RenderFig10(os.Stdout, exp.RunFig10(exp.DefaultFig10(opts)))
-	case "table3":
-		cfg := exp.DefaultTable3()
-		exp.RenderTable3(os.Stdout, cfg, exp.RunTable3(cfg))
-	case "table4":
-		exp.RenderTable4(os.Stdout, exp.RunTable4())
-	case "headline":
-		cfg := exp.DefaultHeadline(opts)
-		exp.RenderHeadline(os.Stdout, cfg, exp.RunHeadline(cfg))
-	case "ablation":
-		cfg := exp.DefaultAblation(opts)
-		exp.RenderAblation(os.Stdout, cfg, exp.RunAblation(cfg))
-	case "correlation":
-		cfg := exp.DefaultCorrelation(opts)
-		exp.RenderCorrelation(os.Stdout, cfg, exp.RunCorrelation(cfg))
-	case "threshold":
-		cfg := exp.DefaultThreshold(opts)
-		exp.RenderThreshold(os.Stdout, cfg, exp.RunThreshold(cfg))
-	default:
-		fatalf("unknown experiment %q", name)
+	if err := exp.RunNamed(os.Stdout, name, opts); err != nil {
+		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 }

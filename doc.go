@@ -19,7 +19,11 @@
 //     the scalability model (internal/scaling) and the decoder-unit hardware
 //     model (internal/hw);
 //   - an experiment harness regenerating every table and figure of the
-//     paper's evaluation (internal/exp, cmd/q3de).
+//     paper's evaluation (internal/exp, cmd/q3de);
+//   - a concurrent simulation job engine — seed-sharded Monte-Carlo chunks
+//     on a bounded worker pool with cached per-configuration workspaces —
+//     shared by the batch CLI and the HTTP service front-end
+//     (internal/engine, cmd/q3de-serve).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in

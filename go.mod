@@ -1,0 +1,3 @@
+module q3de
+
+go 1.24

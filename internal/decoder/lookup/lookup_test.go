@@ -18,11 +18,18 @@ var (
 	sharedLookup  *Decoder
 )
 
-// smallLattice builds the 2^18-entry table once: every pattern is decoded
-// with MWPM during construction, which dominates the package's test time.
+// smallLattice builds the lookup table once: every pattern is decoded with
+// MWPM during construction, which dominates the package's test time. The
+// full-size table (18 nodes, 2^18 entries, ~8s) is reserved for long runs;
+// -short drops one time layer (12 nodes, 2^12 entries) so CI still exercises
+// every code path in well under a second.
 func smallLattice() (*lattice.Lattice, decoder.Decoder, *Decoder) {
 	sharedOnce.Do(func() {
-		sharedLattice = lattice.New(3, 3) // 3*2*3 = 18 nodes, 2^18 entries
+		rounds := 3
+		if testing.Short() {
+			rounds = 2
+		}
+		sharedLattice = lattice.New(3, rounds)
 		sharedBacking = mwpm.New(lattice.NewMetric(3, 0.01, 0, nil))
 		sharedLookup = New(sharedLattice, sharedBacking)
 	})
@@ -76,9 +83,10 @@ func TestDecodeAccuracyMatchesBacking(t *testing.T) {
 }
 
 func TestTableSize(t *testing.T) {
-	_, _, lk := smallLattice()
-	if lk.TableBytes() != (1<<18)/8 {
-		t.Errorf("table = %d bytes, want %d", lk.TableBytes(), (1<<18)/8)
+	l, _, lk := smallLattice()
+	want := (1 << l.NumNodes()) / 8
+	if lk.TableBytes() != want {
+		t.Errorf("table = %d bytes, want %d", lk.TableBytes(), want)
 	}
 	if lk.Name() != "lookup(mwpm)" {
 		t.Errorf("name = %q", lk.Name())
@@ -105,7 +113,7 @@ func TestRejectsLargeLattice(t *testing.T) {
 
 func TestValidateShape(t *testing.T) {
 	_, _, lk := smallLattice()
-	defects := []lattice.Coord{{R: 0, C: 0, T: 0}, {R: 2, C: 1, T: 2}}
+	defects := []lattice.Coord{{R: 0, C: 0, T: 0}, {R: 2, C: 1, T: 1}}
 	r := lk.Decode(defects)
 	if !decoder.Validate(r, 2) {
 		t.Error("result shape invalid")

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"sync"
+
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+// cacheKey identifies the expensive per-configuration structures (lattice,
+// noise-model edge partition, path metric). Sampling parameters — seed, shot
+// and failure budgets — deliberately do not participate, and neither does
+// the decoder kind (decoders are built per shard from the cached metric), so
+// repeated jobs and decoder sweeps at the same physical point reuse one
+// Workspace. Awareness stays in the key because it changes the metric.
+type cacheKey struct {
+	d, rounds int
+	p, pano   float64
+	hasBox    bool
+	box       lattice.Box
+	aware     bool
+}
+
+func keyOf(cfg sim.MemoryConfig) cacheKey {
+	k := cacheKey{
+		d:      cfg.D,
+		rounds: cfg.EffectiveRounds(),
+		p:      cfg.P,
+		aware:  cfg.Aware,
+	}
+	if cfg.Box != nil {
+		k.hasBox = true
+		k.box = *cfg.Box
+		k.pano = cfg.Pano
+	}
+	return k
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	ws      *sim.Workspace
+	lastUse uint64
+}
+
+// workspaceCache is a keyed LRU cache of sim.Workspace values. Lookups that
+// race on the same key build the workspace once (sync.Once) while holding no
+// cache-wide lock, so a slow lattice build never blocks unrelated jobs.
+type workspaceCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[cacheKey]*cacheEntry
+}
+
+func newWorkspaceCache(capacity int) *workspaceCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &workspaceCache{cap: capacity, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// get returns the cached workspace for the configuration, building it on
+// first use, and reports whether it was a hit.
+func (c *workspaceCache) get(cfg sim.MemoryConfig) (*sim.Workspace, bool) {
+	key := keyOf(cfg)
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.evictLocked(e)
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	e.once.Do(func() { e.ws = sim.NewWorkspace(cfg) })
+	return e.ws, hit
+}
+
+// evictLocked drops least-recently-used entries (never the one just
+// inserted) until the cache fits its capacity.
+func (c *workspaceCache) evictLocked(keep *cacheEntry) {
+	for len(c.entries) > c.cap {
+		var oldestKey cacheKey
+		var oldest *cacheEntry
+		for k, e := range c.entries {
+			if e == keep {
+				continue
+			}
+			if oldest == nil || e.lastUse < oldest.lastUse {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(c.entries, oldestKey)
+	}
+}
+
+// len reports the number of cached workspaces.
+func (c *workspaceCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

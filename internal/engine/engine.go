@@ -1,0 +1,443 @@
+// Package engine is the shared execution core of the Q3DE reproduction: a
+// concurrent job scheduler that splits Monte-Carlo decoding work into
+// seed-sharded chunks, executes them on a bounded worker pool, caches the
+// expensive per-configuration structures (lattice, noise-model edge
+// partition, path metric) across jobs, and reports progress and counters.
+//
+// Both entry points run through the same core — the batch CLI (cmd/q3de, via
+// internal/exp) and the HTTP service (cmd/q3de-serve) — so an estimate served
+// over the API is bit-identical to the one the CLI prints for the same seed:
+// sharding is static (shard i always draws RNG stream i) and the MaxFailures
+// early stop truncates on the shard-index prefix, independent of scheduling.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"q3de/internal/sim"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers is the shard worker pool size; 0 means GOMAXPROCS.
+	Workers int
+	// MaxJobs bounds concurrently running jobs; 0 means 4. Queued jobs wait
+	// for a slot in submission order. Jobs orchestrate only — shards do the
+	// work — so this bounds memory and fairness, not parallelism.
+	MaxJobs int
+	// QueueDepth is the shard task queue buffer; 0 means 4×Workers.
+	QueueDepth int
+	// CacheCapacity bounds the workspace cache; 0 means 64 entries.
+	CacheCapacity int
+	// MaxHistory bounds the job registry; 0 means 1024. Once exceeded, the
+	// oldest *finished* jobs are dropped at submission time — running and
+	// queued jobs are never pruned, so a long-lived service cannot leak
+	// result payloads without bound.
+	MaxHistory int
+}
+
+// RunnerFunc executes one registered job kind. It receives the job's
+// cancellation context (carrying the job for progress attribution — inner
+// Engine.RunMemory calls report shard completions automatically), the raw
+// params block of the submission, and returns the job result.
+type RunnerFunc func(ctx context.Context, e *Engine, params json.RawMessage, job *Job) (any, error)
+
+// Engine schedules simulation jobs onto a bounded shard worker pool.
+type Engine struct {
+	workers    int
+	maxJobs    int
+	maxHistory int
+
+	tasks   chan func()
+	poolWG  sync.WaitGroup // shard pool workers
+	jobsWG  sync.WaitGroup // job orchestrators and direct RunMemory calls
+	jobSem  chan struct{}
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]*Job
+	order   []string
+	runners map[string]RunnerFunc
+
+	nextID  atomic.Uint64
+	cache   *workspaceCache
+	metrics metrics
+}
+
+// ErrClosed is returned by submissions to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// New starts an engine with its worker pool running.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		workers:    cfg.Workers,
+		maxJobs:    cfg.MaxJobs,
+		maxHistory: cfg.MaxHistory,
+		tasks:      make(chan func(), cfg.QueueDepth),
+		jobSem:     make(chan struct{}, cfg.MaxJobs),
+		baseCtx:    ctx,
+		stopAll:    cancel,
+		jobs:       make(map[string]*Job),
+		runners:    make(map[string]RunnerFunc),
+		cache:      newWorkspaceCache(cfg.CacheCapacity),
+	}
+	e.metrics.start = time.Now()
+	for i := 0; i < cfg.Workers; i++ {
+		e.poolWG.Add(1)
+		go func() {
+			defer e.poolWG.Done()
+			for f := range e.tasks {
+				f()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the shard pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// RegisterKind installs a runner for a custom job kind (e.g. the experiment
+// harness registers "figure"). Registering a built-in kind panics.
+func (e *Engine) RegisterKind(kind string, fn RunnerFunc) {
+	if kind == KindMemory || kind == KindDual {
+		panic("engine: cannot override built-in kind " + kind)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runners[kind] = fn
+}
+
+// Close cancels all jobs, drains the pool and releases the workers. Pending
+// and running jobs finish in the cancelled state.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.stopAll()
+	e.jobsWG.Wait()
+	close(e.tasks)
+	e.poolWG.Wait()
+}
+
+// register joins the engine's lifecycle; the returned release must be called
+// when the caller's work is finished. Fails once the engine is closed.
+func (e *Engine) register() (release func(), err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.jobsWG.Add(1)
+	return e.jobsWG.Done, nil
+}
+
+// jobCtxKey carries the owning Job through contexts so nested RunMemory
+// calls attribute shard progress to it.
+type jobCtxKey struct{}
+
+func jobFrom(ctx context.Context) *Job {
+	j, _ := ctx.Value(jobCtxKey{}).(*Job)
+	return j
+}
+
+// RunMemory executes one memory experiment on the engine's pool, sharing the
+// cached workspace for the configuration. The result is identical to
+// sim.RunMemory for the same configuration and seed, independent of pool
+// size. It blocks until the estimate is complete or ctx is cancelled.
+func (e *Engine) RunMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.MemoryResult, error) {
+	release, err := e.register()
+	if err != nil {
+		return sim.MemoryResult{}, err
+	}
+	defer release()
+	return e.runMemory(ctx, cfg)
+}
+
+// RunDualMemory runs both syndrome species (the X lattice as an independent
+// replica seeded with sim.SplitSeed) and combines them.
+func (e *Engine) RunDualMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.DualResult, error) {
+	release, err := e.register()
+	if err != nil {
+		return sim.DualResult{}, err
+	}
+	defer release()
+	z, err := e.runMemory(ctx, cfg)
+	if err != nil {
+		return sim.DualResult{}, err
+	}
+	xcfg := cfg
+	xcfg.Seed = sim.SplitSeed(cfg.Seed)
+	x, err := e.runMemory(ctx, xcfg)
+	if err != nil {
+		return sim.DualResult{}, err
+	}
+	return sim.CombineDual(z, x), nil
+}
+
+// runMemory is the sharded execution loop: claim shard indices in order,
+// enqueue them on the pool, stop claiming at cancellation or when the
+// observed failures reach the early-stop budget, then aggregate the
+// completed contiguous prefix deterministically.
+func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.MemoryResult, error) {
+	ws, hit := e.cache.get(cfg)
+	if hit {
+		e.metrics.cacheHits.Add(1)
+	} else {
+		e.metrics.cacheMisses.Add(1)
+	}
+	shards := cfg.NumShards()
+	job := jobFrom(ctx)
+	if job != nil {
+		job.addShardsTotal(shards)
+	}
+
+	var (
+		taskWG   sync.WaitGroup
+		mu       sync.Mutex
+		results  = make([]sim.ShardResult, 0, shards)
+		failures atomic.Int64
+		panicErr atomic.Value
+	)
+	stop := ctx.Done()
+feed:
+	for i := 0; i < shards; i++ {
+		if cfg.MaxFailures > 0 && failures.Load() >= cfg.MaxFailures {
+			break
+		}
+		if panicErr.Load() != nil {
+			break
+		}
+		i := i
+		task := func() {
+			defer taskWG.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					panicErr.CompareAndSwap(nil, fmt.Errorf("engine: shard %d panicked: %v", i, r))
+				}
+			}()
+			r := sim.RunShard(ws, cfg, i)
+			failures.Add(r.Failures)
+			e.metrics.shardsExecuted.Add(1)
+			e.metrics.shotsExecuted.Add(r.Shots)
+			if job != nil {
+				job.observeShard(r)
+			}
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}
+		taskWG.Add(1)
+		select {
+		case e.tasks <- task:
+		case <-stop:
+			taskWG.Done()
+			break feed
+		}
+	}
+	taskWG.Wait()
+	if err := ctx.Err(); err != nil {
+		return sim.MemoryResult{}, err
+	}
+	if err, _ := panicErr.Load().(error); err != nil {
+		return sim.MemoryResult{}, err
+	}
+	return sim.AggregateShards(cfg, results), nil
+}
+
+// Submit validates and enqueues a job, returning immediately. The job runs
+// as soon as a run slot frees up, in submission order.
+func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	run, err := e.plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	release, err := e.register()
+	if err != nil {
+		return nil, err
+	}
+
+	id := fmt.Sprintf("job-%06d", e.nextID.Add(1))
+	jobCtx, cancel := context.WithCancel(e.baseCtx)
+	job := &Job{
+		id: id, spec: spec,
+		state: StateQueued, created: time.Now(),
+		cancel: cancel, doneCh: make(chan struct{}),
+	}
+	job.ctx = context.WithValue(jobCtx, jobCtxKey{}, job)
+
+	e.mu.Lock()
+	e.jobs[id] = job
+	e.order = append(e.order, id)
+	e.pruneLocked()
+	e.mu.Unlock()
+	e.metrics.jobsSubmitted.Add(1)
+
+	go func() {
+		defer release()
+		defer cancel()
+		select {
+		case e.jobSem <- struct{}{}:
+			defer func() { <-e.jobSem }()
+		case <-job.ctx.Done():
+			e.finalize(job, nil, job.ctx.Err())
+			return
+		}
+		job.setRunning()
+		result, err := func() (result any, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					// Cancellation may surface as a panic from deep inside a
+					// registered runner; keep it recognisable as such.
+					if perr, ok := r.(error); ok && (errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded)) {
+						err = perr
+						return
+					}
+					err = fmt.Errorf("job panicked: %v", r)
+				}
+			}()
+			return run(job.ctx, job)
+		}()
+		e.finalize(job, result, err)
+	}()
+	return job, nil
+}
+
+// plan resolves the spec into an executable closure, validating it so bad
+// submissions fail synchronously.
+func (e *Engine) plan(spec JobSpec) (func(context.Context, *Job) (any, error), error) {
+	switch spec.Kind {
+	case KindMemory:
+		cfg, err := spec.Memory.Config()
+		if err != nil {
+			return nil, fmt.Errorf("memory job: %w", err)
+		}
+		return func(ctx context.Context, _ *Job) (any, error) {
+			return e.runMemory(ctx, cfg)
+		}, nil
+	case KindDual:
+		cfg, err := spec.Memory.Config()
+		if err != nil {
+			return nil, fmt.Errorf("dual job: %w", err)
+		}
+		return func(ctx context.Context, _ *Job) (any, error) {
+			z, err := e.runMemory(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			xcfg := cfg
+			xcfg.Seed = sim.SplitSeed(cfg.Seed)
+			x, err := e.runMemory(ctx, xcfg)
+			if err != nil {
+				return nil, err
+			}
+			return sim.CombineDual(z, x), nil
+		}, nil
+	default:
+		e.mu.Lock()
+		fn, ok := e.runners[spec.Kind]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+		}
+		params := spec.Params
+		return func(ctx context.Context, j *Job) (any, error) {
+			return fn(ctx, e, params, j)
+		}, nil
+	}
+}
+
+// finalize records the job outcome and bumps the counters.
+func (e *Engine) finalize(job *Job, result any, err error) {
+	switch {
+	case job.ctx.Err() != nil && (err == nil || errors.Is(err, context.Canceled) || job.cancelRequested.Load()):
+		job.finish(StateCancelled, nil, context.Canceled)
+		e.metrics.jobsCancelled.Add(1)
+	case err != nil:
+		job.finish(StateFailed, nil, err)
+		e.metrics.jobsFailed.Add(1)
+	default:
+		job.finish(StateDone, result, nil)
+		e.metrics.jobsDone.Add(1)
+	}
+}
+
+// pruneLocked drops the oldest finished jobs once the registry exceeds the
+// retention bound. Running and queued jobs are never dropped. Called with
+// e.mu held.
+func (e *Engine) pruneLocked() {
+	if len(e.jobs) <= e.maxHistory {
+		return
+	}
+	excess := len(e.jobs) - e.maxHistory
+	kept := e.order[:0]
+	for _, id := range e.order {
+		if excess > 0 && e.jobs[id].State().Terminal() {
+			delete(e.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Job looks up a job by id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. It reports whether the job exists;
+// cancelling a finished job is a no-op.
+func (e *Engine) Cancel(id string) bool {
+	j, ok := e.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancelRequested.Store(true)
+	j.cancel()
+	return true
+}

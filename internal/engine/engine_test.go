@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"q3de/internal/sim"
+)
+
+func testConfig(seed uint64) sim.MemoryConfig {
+	return sim.MemoryConfig{D: 5, P: 0.01, Decoder: sim.DecoderGreedy,
+		MaxShots: 4000, Seed: seed}
+}
+
+func waitJob(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish: state=%s", j.ID(), j.State())
+	}
+}
+
+func TestRunMemoryMatchesDirectSim(t *testing.T) {
+	e := New(Config{Workers: 3})
+	defer e.Close()
+	cfg := testConfig(42)
+	got, err := e.RunMemory(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.RunMemory(cfg)
+	if got.Shots != want.Shots || got.Failures != want.Failures {
+		t.Errorf("engine result diverges from direct sim: got %d/%d, want %d/%d",
+			got.Failures, got.Shots, want.Failures, want.Shots)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.MaxFailures = 10 // exercise the early-stop truncation too
+	cfg.P = 0.05
+	var base sim.MemoryResult
+	for i, workers := range []int{1, 2, 8} {
+		e := New(Config{Workers: workers})
+		res, err := e.RunMemory(context.Background(), cfg)
+		e.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res.Shots != base.Shots || res.Failures != base.Failures {
+			t.Errorf("workers=%d: got %d/%d, want %d/%d (workers=1)",
+				workers, res.Failures, res.Shots, base.Failures, base.Shots)
+		}
+	}
+}
+
+func TestConcurrentJobSubmission(t *testing.T) {
+	e := New(Config{Workers: 4, MaxJobs: 3})
+	defer e.Close()
+	const n = 8
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+				D: 5, P: 0.02, MaxShots: 2000, Seed: uint64(i)}})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		waitJob(t, j)
+		if j.State() != StateDone {
+			t.Errorf("job %d: state=%s err=%q", i, j.State(), j.Err())
+			continue
+		}
+		res, _ := j.Result()
+		mr, ok := res.(sim.MemoryResult)
+		if !ok {
+			t.Fatalf("job %d: result type %T", i, res)
+		}
+		want := sim.RunMemory(sim.MemoryConfig{D: 5, P: 0.02,
+			Decoder: sim.DecoderGreedy, MaxShots: 2000, Seed: uint64(i)})
+		if mr.Failures != want.Failures || mr.Shots != want.Shots {
+			t.Errorf("job %d: got %d/%d, want %d/%d", i,
+				mr.Failures, mr.Shots, want.Failures, want.Shots)
+		}
+	}
+	m := e.Metrics()
+	if m.JobsDone != n {
+		t.Errorf("jobs_done = %d, want %d", m.JobsDone, n)
+	}
+}
+
+func TestCancelMidJob(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	// A big high-distance job that cannot finish instantly.
+	j, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+		D: 15, P: 0.02, MaxShots: 5_000_000, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running and has made some progress.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := j.Status()
+		if st.State == StateRunning && st.Progress.ShardsDone > 0 {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job finished before it could be cancelled: %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !e.Cancel(j.ID()) {
+		t.Fatal("cancel reported unknown job")
+	}
+	waitJob(t, j)
+	if j.State() != StateCancelled {
+		t.Errorf("state = %s, want cancelled (err=%q)", j.State(), j.Err())
+	}
+	if _, ok := j.Result(); ok {
+		t.Error("cancelled job should not expose a result")
+	}
+	if m := e.Metrics(); m.JobsCancelled != 1 {
+		t.Errorf("jobs_cancelled = %d, want 1", m.JobsCancelled)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	e := New(Config{Workers: 1, MaxJobs: 1})
+	defer e.Close()
+	blocker, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+		D: 13, P: 0.02, MaxShots: 2_000_000, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+		D: 5, P: 0.02, MaxShots: 1000, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != StateQueued {
+		t.Fatalf("second job should be queued behind the slot, got %s", st)
+	}
+	e.Cancel(queued.ID())
+	waitJob(t, queued)
+	if queued.State() != StateCancelled {
+		t.Errorf("queued job state = %s, want cancelled", queued.State())
+	}
+	e.Cancel(blocker.ID())
+	waitJob(t, blocker)
+}
+
+func TestWorkspaceCacheAccounting(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	cfg := testConfig(1)
+	if _, err := e.RunMemory(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.CacheMisses != 1 || m.CacheHits != 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0/1", m.CacheHits, m.CacheMisses)
+	}
+	// Same physical configuration, different seed: must hit.
+	cfg2 := cfg
+	cfg2.Seed = 999
+	if _, err := e.RunMemory(context.Background(), cfg2); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.CacheHits != 1 {
+		t.Errorf("same config different seed: hits=%d, want 1", m.CacheHits)
+	}
+	// Different distance: must miss.
+	cfg3 := cfg
+	cfg3.D = 7
+	if _, err := e.RunMemory(context.Background(), cfg3); err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.CacheMisses != 2 {
+		t.Errorf("different d: misses=%d, want 2", m.CacheMisses)
+	}
+	if m.CacheEntries != 2 {
+		t.Errorf("cache entries = %d, want 2", m.CacheEntries)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newWorkspaceCache(2)
+	a := testConfig(0)
+	b := a
+	b.D = 7
+	d := a
+	d.D = 9
+	c.get(a)
+	c.get(b)
+	c.get(a) // refresh a
+	c.get(d) // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	if _, hit := c.get(a); !hit {
+		t.Error("recently used entry was evicted")
+	}
+	if _, hit := c.get(b); hit {
+		t.Error("least recently used entry survived eviction")
+	}
+}
+
+func TestDualJobMatchesDirectSim(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	j, err := e.Submit(JobSpec{Kind: KindDual, Memory: &MemorySpec{
+		D: 5, P: 0.02, MaxShots: 2000, Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("state=%s err=%q", j.State(), j.Err())
+	}
+	res, _ := j.Result()
+	dr, ok := res.(sim.DualResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	want := sim.RunDualMemory(sim.MemoryConfig{D: 5, P: 0.02,
+		Decoder: sim.DecoderGreedy, MaxShots: 2000, Seed: 11})
+	if dr.Z.Failures != want.Z.Failures || dr.X.Failures != want.X.Failures {
+		t.Errorf("dual job diverges: got Z=%d X=%d, want Z=%d X=%d",
+			dr.Z.Failures, dr.X.Failures, want.Z.Failures, want.X.Failures)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	cases := []JobSpec{
+		{Kind: "nope"},
+		{Kind: KindMemory}, // missing params
+		{Kind: KindMemory, Memory: &MemorySpec{D: 4, P: 0.01}},          // even distance
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0}},             // bad rate
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 2}},             // bad rate
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0.01, DAno: 2}}, // box without p_ano
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0.01, Decoder: "magic"}},
+		{Kind: KindMemory, Memory: &MemorySpec{D: 9999, P: 0.01}},                 // oversized lattice
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0.01, Rounds: 99999}},     // oversized rounds
+		{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0.01, MaxShots: 1 << 62}}, // oversized budget
+	}
+	for i, spec := range cases {
+		if _, err := e.Submit(spec); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+	if m := e.Metrics(); m.JobsSubmitted != 0 {
+		t.Errorf("invalid submissions must not count: %d", m.JobsSubmitted)
+	}
+}
+
+func TestRegisteredKind(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	e.RegisterKind("echo", func(ctx context.Context, e *Engine, params json.RawMessage, j *Job) (any, error) {
+		// Inner engine runs attribute progress to the job via its context.
+		res, err := e.RunMemory(ctx, testConfig(3))
+		if err != nil {
+			return nil, err
+		}
+		return fmt.Sprintf("pl=%g params=%s", res.PL, params), nil
+	})
+	j, err := e.Submit(JobSpec{Kind: "echo", Params: []byte(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("state=%s err=%q", j.State(), j.Err())
+	}
+	if st := j.Status(); st.Progress.ShardsDone == 0 {
+		t.Error("nested RunMemory should attribute shard progress to the job")
+	}
+}
+
+func TestJobHistoryRetention(t *testing.T) {
+	e := New(Config{Workers: 2, MaxHistory: 3})
+	defer e.Close()
+	var last *Job
+	for i := 0; i < 6; i++ {
+		j, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+			D: 3, P: 0.02, MaxShots: 100, Seed: uint64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+		last = j
+	}
+	if n := len(e.Jobs()); n > 4 { // 3 retained + the one just submitted
+		t.Errorf("registry holds %d jobs, want <= 4 with MaxHistory=3", n)
+	}
+	if _, ok := e.Job(last.ID()); !ok {
+		t.Error("most recent job must survive pruning")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Close()
+	if _, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{D: 5, P: 0.01}}); err == nil {
+		t.Error("submit after close should fail")
+	}
+	if _, err := e.RunMemory(context.Background(), testConfig(1)); err == nil {
+		t.Error("run after close should fail")
+	}
+	e.Close() // idempotent
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes the engine over HTTP:
+//
+//	POST   /v1/jobs             submit a job (202 + status)
+//	GET    /v1/jobs             list job statuses
+//	GET    /v1/jobs/{id}        status, including partial results while running
+//	GET    /v1/jobs/{id}/result final result (409 until the job is done)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             engine counters (Prometheus text format)
+//	GET    /healthz             liveness
+//
+// See README.md for curl examples.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			return
+		}
+		job, err := e.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, job.Status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := e.Jobs()
+		statuses := make([]JobStatus, 0, len(jobs))
+		for _, j := range jobs {
+			statuses = append(statuses, j.Status())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		result, ok := job.Result()
+		if !ok {
+			st := job.Status()
+			if st.State == StateFailed || st.State == StateCancelled {
+				writeJSON(w, http.StatusGone, st)
+				return
+			}
+			writeJSON(w, http.StatusConflict, st)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":     job.ID(),
+			"kind":   job.Spec().Kind,
+			"result": result,
+		})
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !e.Cancel(id) {
+			httpError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		job, _ := e.Job(id)
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.Metrics().WriteProm(w)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"q3de/internal/sim"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, body string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, buf.String())
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"memory","memory":{"d":5,"p":0.02,"max_shots":3000,"seed":77}}`)
+	if st.ID == "" || st.Kind != "memory" {
+		t.Fatalf("bad submit status: %+v", st)
+	}
+
+	// Poll status until done.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &st) != http.StatusOK {
+			t.Fatal("status endpoint failed")
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state=%s error=%q", st.State, st.Error)
+	}
+	if st.Progress.Shots != 3000 {
+		t.Errorf("progress shots = %d, want 3000", st.Progress.Shots)
+	}
+
+	// The served result must match a direct simulator run with the same seed.
+	var out struct {
+		Result sim.MemoryResult `json:"result"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", &out); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	want := sim.RunMemory(sim.MemoryConfig{D: 5, P: 0.02,
+		Decoder: sim.DecoderGreedy, MaxShots: 3000, Seed: 77})
+	if out.Result.Failures != want.Failures || out.Result.Shots != want.Shots {
+		t.Errorf("served result %d/%d, direct sim %d/%d",
+			out.Result.Failures, out.Result.Shots, want.Failures, want.Shots)
+	}
+	if out.Result.PL != want.PL {
+		t.Errorf("served PL %v != direct %v", out.Result.PL, want.PL)
+	}
+
+	// Listing includes the job.
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if getJSON(t, srv.URL+"/v1/jobs", &list) != http.StatusOK || len(list.Jobs) != 1 {
+		t.Errorf("list: %+v", list)
+	}
+}
+
+func TestHTTPResultBeforeDone(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"memory","memory":{"d":13,"p":0.02,"max_shots":2000000,"seed":1}}`)
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", nil); code != http.StatusConflict {
+		t.Errorf("result before done: status %d, want 409", code)
+	}
+
+	// Cancel over HTTP.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	j, _ := e.Job(st.ID)
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancel did not take effect")
+	}
+	if j.State() != StateCancelled {
+		t.Errorf("state=%s, want cancelled", j.State())
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", nil); code != http.StatusGone {
+		t.Errorf("result of cancelled job: status %d, want 410", code)
+	}
+}
+
+func TestHTTPValidationAndNotFound(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"memory","memory":{"d":4,"p":0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+
+	if code := getJSON(t, srv.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/job-999999", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job: status %d, want 404", dresp.StatusCode)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"memory","memory":{"d":5,"p":0.02,"max_shots":1000,"seed":5}}`)
+	j, _ := e.Job(st.ID)
+	<-j.Done()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"q3de_jobs_done_total 1",
+		"q3de_shots_executed_total 1000",
+		"q3de_workspace_cache_misses_total 1",
+		fmt.Sprintf("q3de_workers %d", e.Workers()),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}

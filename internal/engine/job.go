@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+// Built-in job kinds. Further kinds (e.g. the experiment-harness figures) are
+// added with Engine.RegisterKind.
+const (
+	KindMemory = "memory" // one memory experiment, Z species only
+	KindDual   = "dual"   // both syndrome species, combined rate
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the submission payload. Exactly one parameter block applies:
+// Memory for the built-in memory/dual kinds, Params for registered kinds.
+type JobSpec struct {
+	Kind   string          `json:"kind"`
+	Memory *MemorySpec     `json:"memory,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// BoxSpec is the JSON shape of an anomalous region (inclusive bounds, node
+// coordinates, matching lattice.Box).
+type BoxSpec struct {
+	R0 int `json:"r0"`
+	R1 int `json:"r1"`
+	C0 int `json:"c0"`
+	C1 int `json:"c1"`
+	T0 int `json:"t0"`
+	T1 int `json:"t1"`
+}
+
+// Submission bounds: a decoding lattice costs O(d²·rounds) memory and lives
+// in the workspace cache for the engine's lifetime, so the service refuses
+// configurations that would pin pathological allocations.
+const (
+	MaxDistance   = 101
+	MaxRounds     = 1024
+	MaxShotBudget = int64(1_000_000_000)
+)
+
+// MemorySpec is the JSON shape of a memory-experiment configuration. Either
+// Box places the anomalous region explicitly, or DAno > 0 places the paper's
+// centred dano×dano region spanning all time layers.
+type MemorySpec struct {
+	D           int      `json:"d"`
+	Rounds      int      `json:"rounds,omitempty"`
+	P           float64  `json:"p"`
+	Box         *BoxSpec `json:"box,omitempty"`
+	DAno        int      `json:"d_ano,omitempty"`
+	PAno        float64  `json:"p_ano,omitempty"`
+	Decoder     string   `json:"decoder,omitempty"` // greedy (default), mwpm, union-find
+	Aware       bool     `json:"aware,omitempty"`
+	MaxShots    int64    `json:"max_shots,omitempty"`
+	MaxFailures int64    `json:"max_failures,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+}
+
+// Config converts the wire spec into a simulator configuration.
+func (m *MemorySpec) Config() (sim.MemoryConfig, error) {
+	var cfg sim.MemoryConfig
+	if m == nil {
+		return cfg, fmt.Errorf("missing memory parameters")
+	}
+	if m.D < 3 || m.D%2 == 0 || m.D > MaxDistance {
+		return cfg, fmt.Errorf("d must be an odd distance in [3, %d], got %d", MaxDistance, m.D)
+	}
+	if m.Rounds < 0 || m.Rounds > MaxRounds {
+		return cfg, fmt.Errorf("rounds must lie in [0, %d], got %d", MaxRounds, m.Rounds)
+	}
+	if m.P <= 0 || m.P >= 1 {
+		return cfg, fmt.Errorf("p must lie in (0, 1), got %g", m.P)
+	}
+	if m.MaxShots < 0 || m.MaxShots > MaxShotBudget {
+		return cfg, fmt.Errorf("max_shots must lie in [0, %d], got %d", int64(MaxShotBudget), m.MaxShots)
+	}
+	if m.MaxFailures < 0 {
+		return cfg, fmt.Errorf("max_failures must be >= 0, got %d", m.MaxFailures)
+	}
+	kind, err := sim.ParseDecoderKind(m.Decoder)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = sim.MemoryConfig{
+		D: m.D, Rounds: m.Rounds, P: m.P,
+		Pano: m.PAno, Decoder: kind, Aware: m.Aware,
+		MaxShots: m.MaxShots, MaxFailures: m.MaxFailures, Seed: m.Seed,
+	}
+	switch {
+	case m.Box != nil:
+		cfg.Box = &lattice.Box{
+			R0: m.Box.R0, R1: m.Box.R1,
+			C0: m.Box.C0, C1: m.Box.C1,
+			T0: m.Box.T0, T1: m.Box.T1,
+		}
+	case m.DAno > 0:
+		b := lattice.New(cfg.D, cfg.EffectiveRounds()).CenteredBox(m.DAno)
+		cfg.Box = &b
+	}
+	if cfg.Box != nil && (m.PAno <= 0 || m.PAno > 1) {
+		return cfg, fmt.Errorf("p_ano must lie in (0, 1] when a box is set, got %g", m.PAno)
+	}
+	return cfg, nil
+}
+
+// Progress is the shard-level completion state of a running job.
+type Progress struct {
+	ShardsDone  int     `json:"shards_done"`
+	ShardsTotal int     `json:"shards_total,omitempty"`
+	Shots       int64   `json:"shots"`
+	Failures    int64   `json:"failures"`
+	Fraction    float64 `json:"fraction"`
+}
+
+// PartialEstimate is the running logical-rate estimate included in status
+// responses while a memory job is still executing.
+type PartialEstimate struct {
+	Shots    int64   `json:"shots"`
+	Failures int64   `json:"failures"`
+	PShot    float64 `json:"p_shot"`
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID       string           `json:"id"`
+	Kind     string           `json:"kind"`
+	State    JobState         `json:"state"`
+	Error    string           `json:"error,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+	Progress Progress         `json:"progress"`
+	Partial  *PartialEstimate `json:"partial,omitempty"`
+}
+
+// Job is one scheduled unit of work. All fields behind mu; snapshots are
+// taken for reporting.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress Progress
+
+	ctx             context.Context
+	cancel          context.CancelFunc
+	cancelRequested atomic.Bool
+	doneCh          chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submission spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Context returns the job's cancellation context.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job result once the job is done.
+func (j *Job) Result() (any, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Err returns the failure message, if any.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Status returns a wire snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Error:    j.err,
+		Created:  j.created,
+		Progress: j.progress,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state == StateRunning && j.progress.Shots > 0 {
+		st.Partial = &PartialEstimate{
+			Shots:    j.progress.Shots,
+			Failures: j.progress.Failures,
+			PShot:    float64(j.progress.Failures) / float64(j.progress.Shots),
+		}
+	}
+	return st
+}
+
+// setRunning transitions queued -> running.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+// finish records the terminal state.
+func (j *Job) finish(state JobState, result any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	close(j.doneCh)
+}
+
+// observeShard accumulates shard completions into the progress counters.
+func (j *Job) observeShard(r sim.ShardResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.ShardsDone++
+	j.progress.Shots += r.Shots
+	j.progress.Failures += r.Failures
+	if j.progress.ShardsTotal > 0 {
+		j.progress.Fraction = float64(j.progress.ShardsDone) / float64(j.progress.ShardsTotal)
+	}
+}
+
+// addShardsTotal grows the planned shard count (dual jobs plan two sweeps;
+// registered kinds accumulate as their inner runs start).
+func (j *Job) addShardsTotal(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.ShardsTotal += n
+	if j.progress.ShardsTotal > 0 {
+		j.progress.Fraction = float64(j.progress.ShardsDone) / float64(j.progress.ShardsTotal)
+	}
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the engine's monotonic counters. Gauges (queued/running) are
+// derived from the job registry at snapshot time.
+type metrics struct {
+	start          time.Time
+	jobsSubmitted  atomic.Int64
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsCancelled  atomic.Int64
+	shardsExecuted atomic.Int64
+	shotsExecuted  atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+}
+
+// MetricsSnapshot is the wire form of the engine counters.
+type MetricsSnapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Workers        int     `json:"workers"`
+	JobsSubmitted  int64   `json:"jobs_submitted"`
+	JobsQueued     int64   `json:"jobs_queued"`
+	JobsRunning    int64   `json:"jobs_running"`
+	JobsDone       int64   `json:"jobs_done"`
+	JobsFailed     int64   `json:"jobs_failed"`
+	JobsCancelled  int64   `json:"jobs_cancelled"`
+	ShardsExecuted int64   `json:"shards_executed"`
+	ShotsExecuted  int64   `json:"shots_executed"`
+	ShotsPerSec    float64 `json:"shots_per_sec"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEntries   int64   `json:"cache_entries"`
+}
+
+// Metrics snapshots the engine counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	var queued, running int64
+	e.mu.Lock()
+	for _, j := range e.jobs {
+		switch j.State() {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	e.mu.Unlock()
+	up := time.Since(e.metrics.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds:  up,
+		Workers:        e.workers,
+		JobsSubmitted:  e.metrics.jobsSubmitted.Load(),
+		JobsQueued:     queued,
+		JobsRunning:    running,
+		JobsDone:       e.metrics.jobsDone.Load(),
+		JobsFailed:     e.metrics.jobsFailed.Load(),
+		JobsCancelled:  e.metrics.jobsCancelled.Load(),
+		ShardsExecuted: e.metrics.shardsExecuted.Load(),
+		ShotsExecuted:  e.metrics.shotsExecuted.Load(),
+		CacheHits:      e.metrics.cacheHits.Load(),
+		CacheMisses:    e.metrics.cacheMisses.Load(),
+		CacheEntries:   int64(e.cache.len()),
+	}
+	if up > 0 {
+		snap.ShotsPerSec = float64(snap.ShotsExecuted) / up
+	}
+	return snap
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format.
+func (s MetricsSnapshot) WriteProm(w io.Writer) {
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(w, "# HELP q3de_%s %s\n# TYPE q3de_%s gauge\n", name, help, name)
+		fmt.Fprintf(w, "q3de_%s %g\n", name, v)
+	}
+	counter := func(name string, v int64, help string) {
+		fmt.Fprintf(w, "# HELP q3de_%s %s\n# TYPE q3de_%s counter\n", name, help, name)
+		fmt.Fprintf(w, "q3de_%s %d\n", name, v)
+	}
+	gauge("uptime_seconds", s.UptimeSeconds, "Engine uptime in seconds.")
+	gauge("workers", float64(s.Workers), "Size of the shard worker pool.")
+	counter("jobs_submitted_total", s.JobsSubmitted, "Jobs accepted for execution.")
+	gauge("jobs_queued", float64(s.JobsQueued), "Jobs waiting for a run slot.")
+	gauge("jobs_running", float64(s.JobsRunning), "Jobs currently executing.")
+	counter("jobs_done_total", s.JobsDone, "Jobs finished successfully.")
+	counter("jobs_failed_total", s.JobsFailed, "Jobs finished with an error.")
+	counter("jobs_cancelled_total", s.JobsCancelled, "Jobs cancelled before completion.")
+	counter("shards_executed_total", s.ShardsExecuted, "Seed-sharded chunks executed.")
+	counter("shots_executed_total", s.ShotsExecuted, "Monte-Carlo shots executed.")
+	gauge("shots_per_second", s.ShotsPerSec, "Lifetime average decoding throughput.")
+	counter("workspace_cache_hits_total", s.CacheHits, "Workspace cache hits.")
+	counter("workspace_cache_misses_total", s.CacheMisses, "Workspace cache misses.")
+	gauge("workspace_cache_entries", float64(s.CacheEntries), "Cached (lattice, metric) workspaces.")
+}

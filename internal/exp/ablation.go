@@ -65,7 +65,7 @@ func RunAblation(cfg AblationConfig) []AblationRow {
 	var rows []AblationRow
 	for _, kind := range []sim.DecoderKind{sim.DecoderGreedy, sim.DecoderMWPM, sim.DecoderUnionFind} {
 		for _, p := range cfg.Rates {
-			r := sim.RunMemory(sim.MemoryConfig{
+			r := cfg.runMemory(sim.MemoryConfig{
 				D: cfg.D, P: p, Box: box, Pano: cfg.PAno,
 				Decoder: kind, Aware: cfg.Aware,
 				MaxShots: capShots(kind), MaxFailures: maxFail,

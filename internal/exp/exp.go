@@ -6,9 +6,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
+	"q3de/internal/engine"
 	"q3de/internal/sim"
 )
 
@@ -55,6 +58,13 @@ type Options struct {
 	Seed    uint64
 	Workers int
 	Decoder sim.DecoderKind // decoder for the memory experiments
+
+	// Engine executes the Monte-Carlo work. When nil a process-wide shared
+	// engine is used, so consecutive experiments reuse cached workspaces.
+	Engine *engine.Engine
+	// Context cancels in-flight experiment work (the serve path sets the
+	// job's context). Nil means context.Background().
+	Context context.Context
 }
 
 // DefaultOptions uses the quick budget with the greedy decoder (the paper's
@@ -62,6 +72,54 @@ type Options struct {
 // decoder at higher cost).
 func DefaultOptions() Options {
 	return Options{Budget: BudgetQuick, Seed: 20220101, Decoder: sim.DecoderGreedy}
+}
+
+var (
+	sharedOnce   sync.Once
+	sharedEngine *engine.Engine
+)
+
+// defaultEngine returns the process-wide engine batch runs share.
+func defaultEngine() *engine.Engine {
+	sharedOnce.Do(func() { sharedEngine = engine.New(engine.Config{}) })
+	return sharedEngine
+}
+
+func (o Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return defaultEngine()
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// runMemory executes one memory configuration through the engine, falling
+// back to the direct simulator only if the engine has been closed under us.
+// Both paths produce identical estimates for a fixed seed (the sharding is
+// static), so the harness output does not depend on which one ran.
+// Cancellation propagates as a panic that the engine's job runner converts
+// back into a cancelled job.
+func (o Options) runMemory(cfg sim.MemoryConfig) sim.MemoryResult {
+	// An explicit worker bound without an explicit engine runs direct: the
+	// shared default engine is sized at GOMAXPROCS and cannot honor it.
+	// Static sharding keeps the estimate identical either way.
+	if o.Engine == nil && o.Workers > 0 {
+		return sim.RunMemory(cfg)
+	}
+	res, err := o.engine().RunMemory(o.ctx(), cfg)
+	if err == nil {
+		return res
+	}
+	if ctxErr := o.ctx().Err(); ctxErr != nil {
+		panic(ctxErr)
+	}
+	return sim.RunMemory(cfg)
 }
 
 // Point is one (x, y) sample with uncertainty.

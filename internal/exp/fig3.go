@@ -44,7 +44,7 @@ func RunFig3(cfg Fig3Config) []Series {
 			}
 			s := Series{Name: seriesName(d, name)}
 			for _, p := range cfg.Rates {
-				r := sim.RunMemory(sim.MemoryConfig{
+				r := cfg.runMemory(sim.MemoryConfig{
 					D: d, P: p, Box: box, Pano: cfg.PAno,
 					Decoder: cfg.Decoder, Aware: false,
 					MaxShots: maxShots, MaxFailures: maxFail,

@@ -54,7 +54,7 @@ type Fig8Result struct {
 func RunFig8(cfg Fig8Config) Fig8Result {
 	maxShots, maxFail := cfg.Budget.shots()
 	run := func(d int, p float64, box *lattice.Box, aware bool) sim.MemoryResult {
-		return sim.RunMemory(sim.MemoryConfig{
+		return cfg.runMemory(sim.MemoryConfig{
 			D: d, P: p, Box: box, Pano: cfg.PAno,
 			Decoder: cfg.Decoder, Aware: aware,
 			MaxShots: maxShots, MaxFailures: maxFail,

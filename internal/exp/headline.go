@@ -43,12 +43,12 @@ type HeadlineResult struct {
 // RunHeadline measures pL and pL,ano and composes Eq. (1).
 func RunHeadline(cfg HeadlineConfig) HeadlineResult {
 	maxShots, maxFail := cfg.Budget.shots()
-	clean := sim.RunMemory(sim.MemoryConfig{
+	clean := cfg.runMemory(sim.MemoryConfig{
 		D: cfg.D, P: cfg.P, Decoder: cfg.Decoder,
 		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
 	box := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
-	dirty := sim.RunMemory(sim.MemoryConfig{
+	dirty := cfg.runMemory(sim.MemoryConfig{
 		D: cfg.D, P: cfg.P, Box: &box, Pano: cfg.PAno, Decoder: cfg.Decoder,
 		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed + 1, Workers: cfg.Workers,
 	})

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"q3de/internal/engine"
+	"q3de/internal/sim"
+)
+
+// ExperimentNames lists every named experiment of the harness, in the order
+// `q3de all` runs them.
+func ExperimentNames() []string {
+	return []string{"fig3", "fig7", "fig8", "fig9", "fig10",
+		"table3", "table4", "headline", "ablation", "correlation", "threshold"}
+}
+
+// RunNamed runs one named experiment with the given options and writes its
+// rendered output. This is the single dispatch point shared by the batch CLI
+// (cmd/q3de) and the service's "figure" jobs (cmd/q3de-serve).
+func RunNamed(w io.Writer, name string, opts Options) error {
+	switch name {
+	case "fig3":
+		RenderFig3(w, RunFig3(DefaultFig3(opts)))
+	case "fig7":
+		RenderFig7(w, RunFig7(DefaultFig7(opts)))
+	case "fig8":
+		RenderFig8(w, RunFig8(DefaultFig8(opts)))
+	case "fig9":
+		RenderFig9(w, RunFig9(DefaultFig9(opts)))
+	case "fig10":
+		RenderFig10(w, RunFig10(DefaultFig10(opts)))
+	case "table3":
+		cfg := DefaultTable3()
+		RenderTable3(w, cfg, RunTable3(cfg))
+	case "table4":
+		RenderTable4(w, RunTable4())
+	case "headline":
+		cfg := DefaultHeadline(opts)
+		RenderHeadline(w, cfg, RunHeadline(cfg))
+	case "ablation":
+		cfg := DefaultAblation(opts)
+		RenderAblation(w, cfg, RunAblation(cfg))
+	case "correlation":
+		cfg := DefaultCorrelation(opts)
+		RenderCorrelation(w, cfg, RunCorrelation(cfg))
+	case "threshold":
+		cfg := DefaultThreshold(opts)
+		RenderThreshold(w, cfg, RunThreshold(cfg))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// ParseBudget maps the CLI/API budget names to Budget values.
+func ParseBudget(s string) (Budget, error) {
+	switch s {
+	case "", "quick":
+		return BudgetQuick, nil
+	case "standard":
+		return BudgetStandard, nil
+	case "full":
+		return BudgetFull, nil
+	default:
+		return 0, fmt.Errorf("unknown budget %q", s)
+	}
+}
+
+// FigureParams is the params block of a "figure" job: one named experiment
+// of the harness, run at the requested budget.
+type FigureParams struct {
+	Name    string `json:"name"`
+	Budget  string `json:"budget,omitempty"`  // quick (default), standard, full
+	Seed    uint64 `json:"seed,omitempty"`    // 0 means the harness default
+	Decoder string `json:"decoder,omitempty"` // greedy (default), mwpm, union-find
+}
+
+// FigureResult is the rendered text output of a figure job, exactly what the
+// CLI would print for the same options.
+type FigureResult struct {
+	Name   string `json:"name"`
+	Budget string `json:"budget"`
+	Text   string `json:"text"`
+}
+
+// RegisterJobs installs the experiment-harness job kinds on an engine. The
+// serve front-end calls this so paper figures can be scheduled next to raw
+// memory jobs, sharing the same shard pool and workspace cache.
+func RegisterJobs(e *engine.Engine) {
+	e.RegisterKind("figure", runFigureJob)
+}
+
+func runFigureJob(ctx context.Context, e *engine.Engine, params json.RawMessage, _ *engine.Job) (any, error) {
+	var p FigureParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("figure job: %w", err)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Engine = e
+	opts.Context = ctx
+	budget, err := ParseBudget(p.Budget)
+	if err != nil {
+		return nil, err
+	}
+	opts.Budget = budget
+	if p.Seed != 0 {
+		opts.Seed = p.Seed
+	}
+	if p.Decoder != "" {
+		kind, err := sim.ParseDecoderKind(p.Decoder)
+		if err != nil {
+			return nil, err
+		}
+		opts.Decoder = kind
+	}
+	// Run the experiment on its own goroutine so cancellation is responsive
+	// even for experiments that do not route their sampling through the
+	// engine (fig7, fig9/10, tables): the job reports cancelled immediately
+	// and the abandoned computation drains in the background.
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok {
+					done <- err
+					return
+				}
+				done <- fmt.Errorf("figure job panicked: %v", r)
+			}
+		}()
+		done <- RunNamed(&buf, p.Name, opts)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, err
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return FigureResult{Name: p.Name, Budget: budget.String(), Text: buf.String()}, nil
+}

@@ -47,7 +47,7 @@ func RunThreshold(cfg ThresholdConfig) ThresholdResult {
 	measure := func(d int, box *lattice.Box) []float64 {
 		var out []float64
 		for _, p := range cfg.Rates {
-			r := sim.RunMemory(sim.MemoryConfig{
+			r := cfg.runMemory(sim.MemoryConfig{
 				D: d, P: p, Box: box, Pano: cfg.PAno,
 				Decoder: cfg.Decoder, MaxShots: maxShots, MaxFailures: maxFail,
 				Seed: cfg.Seed ^ uint64(d)<<20 ^ hashFloat(p), Workers: cfg.Workers,

@@ -24,16 +24,25 @@ type DualResult struct {
 func RunDualMemory(cfg MemoryConfig) DualResult {
 	z := RunMemory(cfg)
 	xcfg := cfg
-	xcfg.Seed = splitSeed(cfg.Seed)
+	xcfg.Seed = SplitSeed(cfg.Seed)
 	x := RunMemory(xcfg)
+	return CombineDual(z, x)
+}
+
+// CombineDual composes the Z- and X-species estimates into the combined
+// per-cycle rate with first-order error propagation:
+// d(either) = (1-x.PL)dz + (1-z.PL)dx.
+func CombineDual(z, x MemoryResult) DualResult {
 	either := 1 - (1-z.PL)*(1-x.PL)
-	// Error propagation: d(either) = (1-x.PL)dz + (1-z.PL)dx.
 	se := math.Sqrt(math.Pow((1-x.PL)*z.StdErr, 2) + math.Pow((1-z.PL)*x.StdErr, 2))
 	return DualResult{Z: z, X: x, PLEither: either, StdErr: se}
 }
 
-func splitSeed(s uint64) uint64 {
-	return s ^ 0xA5A5A5A55A5A5A5A + 0x1234
+// SplitSeed derives the X-species seed from the Z-species seed. The XOR must
+// apply before the additive offset; an unparenthesized `s ^ C + 0x1234` would
+// bind as `s ^ (C + 0x1234)` because Go gives + higher precedence than ^.
+func SplitSeed(s uint64) uint64 {
+	return (s ^ 0xA5A5A5A55A5A5A5A) + 0x1234
 }
 
 // LambdaFactor computes the error-suppression factor Λ = pL(d)/pL(d+2), the

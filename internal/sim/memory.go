@@ -17,7 +17,6 @@ import (
 	"q3de/internal/decoder/mwpm"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
-	"q3de/internal/stats"
 )
 
 // DecoderKind selects the decoding strategy.
@@ -90,6 +89,24 @@ func (c MemoryConfig) rounds() int {
 	return c.D
 }
 
+// EffectiveRounds exposes the effective noisy-round count (Rounds, or D when
+// Rounds is zero) for callers outside the package, e.g. cache keying.
+func (c MemoryConfig) EffectiveRounds() int { return c.rounds() }
+
+// ParseDecoderKind maps the CLI/API decoder names to kinds.
+func ParseDecoderKind(name string) (DecoderKind, error) {
+	switch name {
+	case "", "greedy":
+		return DecoderGreedy, nil
+	case "mwpm":
+		return DecoderMWPM, nil
+	case "union-find", "unionfind":
+		return DecoderUnionFind, nil
+	default:
+		return 0, fmt.Errorf("unknown decoder %q", name)
+	}
+}
+
 // NewDecoder builds a decoder matching the config for the given lattice.
 func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
 	var box *lattice.Box
@@ -115,67 +132,58 @@ func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
 }
 
 // RunMemory estimates the logical error rate for one configuration by
-// parallel Monte-Carlo sampling. Workers draw independent RNG streams from
-// the seed, so results are reproducible for a fixed seed (up to the early
-// stop point, which depends on scheduling).
+// parallel Monte-Carlo sampling over seed-sharded chunks (see shard.go).
+// Each shard draws from its own deterministic RNG stream and the MaxFailures
+// early stop is applied on the shard-index prefix, so the result for a fixed
+// seed is identical regardless of worker count and scheduling.
 func RunMemory(cfg MemoryConfig) MemoryResult {
-	if cfg.MaxShots <= 0 {
-		cfg.MaxShots = 100000
-	}
+	cfg = cfg.withShotDefaults()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rounds := cfg.rounds()
-	l := lattice.New(cfg.D, rounds)
-	model := noise.NewModel(l, cfg.P, cfg.Box, cfg.Pano)
+	ws := NewWorkspace(cfg)
+	return RunMemoryOn(ws, cfg, workers)
+}
 
-	const batch = 64
-	var reserved, shots, failures atomic.Int64
+// RunMemoryOn runs the sharded experiment on an existing (possibly cached)
+// workspace with a local goroutine pool. The engine package provides the same
+// loop on its long-lived shared pool; both paths produce identical results.
+func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
+	cfg = cfg.withShotDefaults()
+	shards := cfg.NumShards()
+	if workers > shards {
+		workers = shards
+	}
+	var next, failures atomic.Int64
+	results := make([]ShardResult, 0, shards)
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			rng := stats.WorkerRNG(cfg.Seed, w)
-			dec := cfg.NewDecoder(l)
-			var s noise.Sample
-			coords := make([]lattice.Coord, 0, 64)
 			for {
+				// Shards are claimed in index order, so when claiming stops
+				// the completed set is a contiguous prefix and AggregateShards
+				// can truncate deterministically.
 				if cfg.MaxFailures > 0 && failures.Load() >= cfg.MaxFailures {
 					return
 				}
-				start := reserved.Add(batch) - batch
-				if start >= cfg.MaxShots {
+				i := int(next.Add(1) - 1)
+				if i >= shards {
 					return
 				}
-				n := min64(batch, cfg.MaxShots-start)
-				var fails int64
-				for i := int64(0); i < n; i++ {
-					if DecodeShot(model, dec, rng, &s, &coords) {
-						fails++
-					}
-				}
-				shots.Add(n)
-				failures.Add(fails)
+				r := RunShard(ws, cfg, i)
+				failures.Add(r.Failures)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-
-	res := MemoryResult{Config: cfg, Shots: shots.Load(), Failures: failures.Load()}
-	var prop stats.Proportion
-	prop.Add(res.Failures, res.Shots)
-	res.PShot = prop.Mean()
-	res.PL = stats.PerCycleRate(res.PShot, rounds)
-	// Propagate the binomial standard error through the per-cycle transform.
-	if res.PShot > 0 && res.PShot < 1 {
-		deriv := (1 - res.PL) / (float64(rounds) * (1 - res.PShot))
-		res.StdErr = prop.StdErr() * deriv
-	} else {
-		res.StdErr = stats.PerCycleRate(prop.StdErr(), rounds)
-	}
-	return res
+	return AggregateShards(cfg, results)
 }
 
 // DecodeShot draws one error sample and decodes it, returning true on a

@@ -93,6 +93,9 @@ func TestMBBERaisesLogicalRate(t *testing.T) {
 }
 
 func TestAwareDecodingImprovesUnderMBBE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("d=11 Monte-Carlo comparison (~7s); skipped in -short runs")
+	}
 	// The Fig. 8 effect: a decoder that knows the anomalous region achieves
 	// a lower logical rate than one that does not.
 	d, p := 11, 0.004
@@ -108,6 +111,9 @@ func TestAwareDecodingImprovesUnderMBBE(t *testing.T) {
 }
 
 func TestMWPMBeatsGreedyNearThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MWPM Monte-Carlo comparison (~4s); skipped in -short runs")
+	}
 	// Exact matching should never be substantially worse than greedy.
 	d, p := 7, 0.02
 	g := RunMemory(MemoryConfig{D: d, P: p, Decoder: DecoderGreedy, MaxShots: 8000, Seed: 8})

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// ShardSize is the number of shots per shard. A memory experiment is split
+// into ceil(MaxShots/ShardSize) shards; shard i always draws from the RNG
+// stream stats.WorkerRNG(Seed, i), so the estimate for a fixed seed is a pure
+// function of the configuration — independent of how many workers execute the
+// shards or in which order they finish.
+const ShardSize int64 = 512
+
+// Workspace holds the expensive read-only structures shared by every shard of
+// one configuration: the decoding lattice, the noise model (with its edge
+// partition), and the path metric the decoders run on. All three are immutable
+// after construction, so a Workspace may be shared freely across goroutines
+// and cached across jobs that agree on SharedKey.
+type Workspace struct {
+	L      *lattice.Lattice
+	Model  *noise.Model
+	Metric *lattice.Metric
+}
+
+// NewWorkspace builds the shared structures for a configuration.
+func NewWorkspace(cfg MemoryConfig) *Workspace {
+	rounds := cfg.rounds()
+	l := lattice.New(cfg.D, rounds)
+	var box *lattice.Box
+	pano := cfg.P
+	if cfg.Aware && cfg.Box != nil {
+		box = cfg.Box
+		pano = cfg.Pano
+	}
+	return &Workspace{
+		L:      l,
+		Model:  noise.NewModel(l, cfg.P, cfg.Box, cfg.Pano),
+		Metric: lattice.NewMetric(cfg.D, cfg.P, pano, box),
+	}
+}
+
+// NewDecoderOn builds a decoder for the configuration on the workspace's
+// cached metric. Decoders are cheap to construct and carry per-goroutine
+// scratch state, so each worker (or shard) gets its own.
+func (c MemoryConfig) NewDecoderOn(ws *Workspace) decoder.Decoder {
+	switch c.Decoder {
+	case DecoderGreedy:
+		return greedy.New(ws.Metric)
+	case DecoderMWPM:
+		return mwpm.New(ws.Metric)
+	case DecoderUnionFind:
+		if UnionFindFactory == nil {
+			panic("sim: union-find decoder not linked in; call unionfind.Register first")
+		}
+		return UnionFindFactory(ws.L, ws.Metric)
+	default:
+		panic("sim: unknown decoder kind")
+	}
+}
+
+// withShotDefaults normalises the sampling budget.
+func (c MemoryConfig) withShotDefaults() MemoryConfig {
+	if c.MaxShots <= 0 {
+		c.MaxShots = 100000
+	}
+	return c
+}
+
+// NumShards returns the shard count for the configuration's shot budget.
+func (c MemoryConfig) NumShards() int {
+	c = c.withShotDefaults()
+	return int((c.MaxShots + ShardSize - 1) / ShardSize)
+}
+
+// ShardShots returns how many shots shard i runs (the last shard may be
+// short).
+func (c MemoryConfig) ShardShots(shard int) int64 {
+	c = c.withShotDefaults()
+	start := int64(shard) * ShardSize
+	if start >= c.MaxShots {
+		return 0
+	}
+	return min64(ShardSize, c.MaxShots-start)
+}
+
+// ShardResult is the outcome of one seed-sharded chunk.
+type ShardResult struct {
+	Index    int   `json:"index"`
+	Shots    int64 `json:"shots"`
+	Failures int64 `json:"failures"`
+}
+
+// RunShard executes shard i of the configuration on the shared workspace,
+// single-threaded, drawing from the shard's own deterministic RNG stream.
+func RunShard(ws *Workspace, cfg MemoryConfig, shard int) ShardResult {
+	n := cfg.ShardShots(shard)
+	res := ShardResult{Index: shard, Shots: n}
+	if n == 0 {
+		return res
+	}
+	rng := stats.WorkerRNG(cfg.Seed, shard)
+	dec := cfg.NewDecoderOn(ws)
+	var s noise.Sample
+	coords := make([]lattice.Coord, 0, 64)
+	for i := int64(0); i < n; i++ {
+		if DecodeShot(ws.Model, dec, rng, &s, &coords) {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// AggregateShards folds shard results into a MemoryResult. Shards are
+// consumed in index order and, when MaxFailures is set, aggregation stops
+// after the first shard at which the cumulative failure count reaches the
+// budget — so the estimate is deterministic even when the executing pool
+// over-ran the early-stop point before all workers noticed it. The slice may
+// arrive in any order but must contain a contiguous prefix of shard indices.
+func AggregateShards(cfg MemoryConfig, shards []ShardResult) MemoryResult {
+	cfg = cfg.withShotDefaults()
+	byIndex := make([]ShardResult, len(shards))
+	for _, s := range shards {
+		if s.Index < 0 || s.Index >= len(shards) {
+			panic("sim: shard results are not a contiguous prefix")
+		}
+		byIndex[s.Index] = s
+	}
+	res := MemoryResult{Config: cfg}
+	for _, s := range byIndex {
+		res.Shots += s.Shots
+		res.Failures += s.Failures
+		if cfg.MaxFailures > 0 && res.Failures >= cfg.MaxFailures {
+			break
+		}
+	}
+	finishMemoryResult(&res, cfg.rounds())
+	return res
+}
+
+// finishMemoryResult derives the rate estimates from the raw counts.
+func finishMemoryResult(res *MemoryResult, rounds int) {
+	var prop stats.Proportion
+	prop.Add(res.Failures, res.Shots)
+	res.PShot = prop.Mean()
+	res.PL = stats.PerCycleRate(res.PShot, rounds)
+	// Propagate the binomial standard error through the per-cycle transform.
+	if res.PShot > 0 && res.PShot < 1 {
+		deriv := (1 - res.PL) / (float64(rounds) * (1 - res.PShot))
+		res.StdErr = prop.StdErr() * deriv
+	} else {
+		res.StdErr = stats.PerCycleRate(prop.StdErr(), rounds)
+	}
+}

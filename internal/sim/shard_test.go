@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSplitSeedRegression(t *testing.T) {
+	// Regression lock for an operator-precedence bug: Go parses
+	// `s ^ C + 0x1234` as `s ^ (C + 0x1234)` because + binds tighter than ^.
+	// The intended derivation XORs first, then offsets.
+	if got, want := SplitSeed(0), uint64(0xA5A5A5A55A5A6C8E); got != want {
+		t.Errorf("SplitSeed(0) = %#x, want %#x", got, want)
+	}
+	if got, want := SplitSeed(0xFFFFFFFFFFFFFFFF), uint64(0x5A5A5A5AA5A5B7D9); got != want {
+		t.Errorf("SplitSeed(max) = %#x, want %#x", got, want)
+	}
+	// The buggy grouping differs on any seed whose XOR with the constant
+	// carries into bits the +0x1234 would have touched; make sure we did not
+	// silently keep it.
+	s := uint64(0x1234)
+	buggy := s ^ (0xA5A5A5A55A5A5A5A + 0x1234)
+	if SplitSeed(s) == buggy {
+		t.Error("SplitSeed still uses the unparenthesized grouping")
+	}
+}
+
+func TestShardPlanCoversBudget(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, MaxShots: 3*ShardSize + 100}
+	n := cfg.NumShards()
+	if n != 4 {
+		t.Fatalf("NumShards = %d, want 4", n)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += cfg.ShardShots(i)
+	}
+	if total != cfg.MaxShots {
+		t.Errorf("shard shots sum to %d, want %d", total, cfg.MaxShots)
+	}
+	if cfg.ShardShots(n-1) != 100 {
+		t.Errorf("last shard = %d shots, want 100", cfg.ShardShots(n-1))
+	}
+	if cfg.ShardShots(n) != 0 {
+		t.Error("out-of-range shard should have zero shots")
+	}
+}
+
+func TestShardDefaultBudget(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02}
+	if got := cfg.NumShards(); got != int((100000+ShardSize-1)/ShardSize) {
+		t.Errorf("default NumShards = %d", got)
+	}
+}
+
+func TestRunMemoryDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy,
+		MaxShots: 6000, Seed: 99}
+	want := RunMemory(withWorkers(base, 1))
+	for _, w := range []int{2, 3, 8} {
+		got := RunMemory(withWorkers(base, w))
+		if got.Shots != want.Shots || got.Failures != want.Failures {
+			t.Errorf("workers=%d: %d/%d, want %d/%d",
+				w, got.Failures, got.Shots, want.Failures, want.Shots)
+		}
+	}
+}
+
+func TestRunMemoryEarlyStopDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := MemoryConfig{D: 5, P: 0.15, Decoder: DecoderGreedy,
+		MaxShots: 500000, MaxFailures: 40, Seed: 123}
+	want := RunMemory(withWorkers(base, 1))
+	if want.Failures < 40 {
+		t.Fatalf("early stop not reached: %d failures", want.Failures)
+	}
+	for _, w := range []int{2, 7} {
+		got := RunMemory(withWorkers(base, w))
+		if got.Shots != want.Shots || got.Failures != want.Failures {
+			t.Errorf("workers=%d: %d/%d, want %d/%d",
+				w, got.Failures, got.Shots, want.Failures, want.Shots)
+		}
+	}
+}
+
+func TestShardedRunMatchesManualShardAggregation(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy,
+		MaxShots: 2000, Seed: 55, Workers: 4}
+	ws := NewWorkspace(cfg)
+	var shards []ShardResult
+	for i := 0; i < cfg.NumShards(); i++ {
+		shards = append(shards, RunShard(ws, cfg, i))
+	}
+	manual := AggregateShards(cfg, shards)
+	auto := RunMemory(cfg)
+	if manual.Failures != auto.Failures || manual.Shots != auto.Shots || manual.PL != auto.PL {
+		t.Errorf("manual aggregation %d/%d (pl=%v) != RunMemory %d/%d (pl=%v)",
+			manual.Failures, manual.Shots, manual.PL, auto.Failures, auto.Shots, auto.PL)
+	}
+}
+
+func TestAggregateShardsTruncatesOnFailureBudget(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, MaxShots: 4 * ShardSize, MaxFailures: 10}
+	shards := []ShardResult{
+		{Index: 2, Shots: ShardSize, Failures: 9}, // arrival order must not matter
+		{Index: 0, Shots: ShardSize, Failures: 4},
+		{Index: 1, Shots: ShardSize, Failures: 6}, // budget reached here
+		{Index: 3, Shots: ShardSize, Failures: 1},
+	}
+	res := AggregateShards(cfg, shards)
+	if res.Shots != 2*ShardSize || res.Failures != 10 {
+		t.Errorf("truncated aggregate = %d/%d, want %d/%d",
+			res.Failures, res.Shots, 10, 2*ShardSize)
+	}
+}
+
+func TestWorkspaceSharedAcrossShards(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 1024, Seed: 3}
+	ws := NewWorkspace(cfg)
+	a := RunShard(ws, cfg, 0)
+	b := RunShard(ws, cfg, 0)
+	if a != b {
+		t.Errorf("same shard on same workspace must reproduce: %+v vs %+v", a, b)
+	}
+	c := RunShard(NewWorkspace(cfg), cfg, 0)
+	if a != c {
+		t.Errorf("fresh workspace must not change the estimate: %+v vs %+v", a, c)
+	}
+}
+
+func withWorkers(c MemoryConfig, w int) MemoryConfig {
+	c.Workers = w
+	return c
+}
