@@ -1,0 +1,50 @@
+package q3de
+
+// Decoder micro-benchmark suite: the decoding hot path dominates every
+// Monte-Carlo data point (one Decode per shot, ≥100k shots per
+// configuration), so these benchmarks pin its throughput and its
+// steady-state allocation behaviour at the paper's operating points.
+// The case matrix — 3 decoder families × d ∈ {5, 9, 13} × {clean, mbbe} —
+// is defined once in internal/benchmatrix and shared with
+// `go run ./cmd/q3de-bench`, which records the same cells to
+// BENCH_decoders.json for the perf trajectory (see README.md).
+
+import (
+	"testing"
+
+	"q3de/internal/benchmatrix"
+)
+
+func benchDecoder(b *testing.B, fam benchmatrix.Family) {
+	for _, c := range benchmatrix.Cases() {
+		b.Run(c.Name(), func(b *testing.B) {
+			l, m, samples := c.Setup(64)
+			dec := fam.New(l, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec.Decode(samples[i%len(samples)])
+			}
+		})
+	}
+}
+
+func benchFamily(b *testing.B, name string) {
+	b.Helper()
+	for _, fam := range benchmatrix.Families() {
+		if fam.Name == name {
+			benchDecoder(b, fam)
+			return
+		}
+	}
+	b.Fatalf("unknown decoder family %q", name)
+}
+
+// BenchmarkDecodeMWPM measures the exact blossom decoder across the matrix.
+func BenchmarkDecodeMWPM(b *testing.B) { benchFamily(b, "mwpm") }
+
+// BenchmarkDecodeGreedy measures the hardware-model greedy decoder.
+func BenchmarkDecodeGreedy(b *testing.B) { benchFamily(b, "greedy") }
+
+// BenchmarkDecodeUnionFind measures the union-find decoder.
+func BenchmarkDecodeUnionFind(b *testing.B) { benchFamily(b, "union-find") }

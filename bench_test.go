@@ -11,8 +11,6 @@ import (
 
 	"q3de/internal/anomaly"
 	"q3de/internal/decoder/greedy"
-	"q3de/internal/decoder/mwpm"
-	"q3de/internal/decoder/unionfind"
 	"q3de/internal/exp"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
@@ -130,8 +128,8 @@ func BenchmarkAblationDecoders(b *testing.B) {
 
 // --- substrate micro-benchmarks ---------------------------------------------
 
-func drawnSamples(b *testing.B, d int, p float64, box *lattice.Box, pano float64, n int) (*lattice.Lattice, [][]lattice.Coord) {
-	b.Helper()
+func drawnSamples(tb testing.TB, d int, p float64, box *lattice.Box, pano float64, n int) (*lattice.Lattice, [][]lattice.Coord) {
+	tb.Helper()
 	l := lattice.New(d, d)
 	model := noise.NewModel(l, p, box, pano)
 	rng := stats.NewRNG(1, 2)
@@ -161,41 +159,11 @@ func BenchmarkNoiseSample(b *testing.B) {
 }
 
 // BenchmarkGreedyDecode measures the production decoder at d=21, p=1e-2.
+// (The per-distance decoder matrix lives in bench_decoders_test.go.)
 func BenchmarkGreedyDecode(b *testing.B) {
 	_, samples := drawnSamples(b, 21, 1e-2, nil, 0, 64)
 	dec := greedy.New(lattice.NewMetric(21, 1e-2, 0, nil))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dec.Decode(samples[i%len(samples)])
-	}
-}
-
-// BenchmarkGreedyDecodeWeighted measures the anomaly-aware greedy decoder.
-func BenchmarkGreedyDecodeWeighted(b *testing.B) {
-	l := lattice.New(21, 21)
-	box := l.CenteredBox(4)
-	_, samples := drawnSamples(b, 21, 1e-2, &box, 0.5, 64)
-	dec := greedy.New(lattice.NewMetric(21, 1e-2, 0.5, &box))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dec.Decode(samples[i%len(samples)])
-	}
-}
-
-// BenchmarkMWPMDecode measures the exact blossom decoder at d=9.
-func BenchmarkMWPMDecode(b *testing.B) {
-	_, samples := drawnSamples(b, 9, 1e-2, nil, 0, 64)
-	dec := mwpm.New(lattice.NewMetric(9, 1e-2, 0, nil))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dec.Decode(samples[i%len(samples)])
-	}
-}
-
-// BenchmarkUnionFindDecode measures the union-find decoder at d=9.
-func BenchmarkUnionFindDecode(b *testing.B) {
-	l, samples := drawnSamples(b, 9, 1e-2, nil, 0, 64)
-	dec := unionfind.New(l, lattice.UniformMetric(9))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dec.Decode(samples[i%len(samples)])

@@ -1,0 +1,89 @@
+// Command q3de-bench runs the decoder micro-benchmark matrix — the three
+// decoder families at d ∈ {5, 9, 13}, with and without an MBBE region — and
+// writes the results to BENCH_decoders.json so the repository's perf
+// trajectory records decoding throughput over time.
+//
+// Usage:
+//
+//	go run ./cmd/q3de-bench [-o BENCH_decoders.json]
+//
+// The matrix definition lives in internal/benchmatrix and is shared with
+// the `go test -bench` suite (BenchmarkDecode{MWPM,Greedy,UnionFind} in
+// bench_decoders_test.go), so the recorded trajectory measures exactly what
+// the benchmarks run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"q3de/internal/benchmatrix"
+)
+
+type benchResult struct {
+	Decoder     string  `json:"decoder"`
+	D           int     `json:"d"`
+	MBBE        bool    `json:"mbbe"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ShotsPerSec float64 `json:"shots_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_decoders.json", "output path")
+	flag.Parse()
+
+	file := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, fam := range benchmatrix.Families() {
+		for _, c := range benchmatrix.Cases() {
+			l, m, samples := c.Setup(64)
+			dec := fam.New(l, m)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dec.Decode(samples[i%len(samples)])
+				}
+			})
+			ns := float64(r.NsPerOp())
+			res := benchResult{
+				Decoder: fam.Name, D: c.D, MBBE: c.MBBE,
+				NsPerOp:     ns,
+				ShotsPerSec: 1e9 / ns,
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			file.Results = append(file.Results, res)
+			fmt.Fprintf(os.Stderr, "%-11s d=%-2d mbbe=%-5v %12.0f ns/op %10.0f shots/s %6d B/op %4d allocs/op\n",
+				fam.Name, c.D, c.MBBE, res.NsPerOp, res.ShotsPerSec, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

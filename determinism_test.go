@@ -1,0 +1,64 @@
+package q3de
+
+// Golden determinism tests: the decoder scratch-reuse refactor must not
+// change a single decoding decision. These expectations were captured from
+// the allocate-per-shot implementation (PR 1) and pin shot-level failure
+// counts — any drift in matching choices, shard RNG layout or aggregation
+// shows up as a changed count.
+
+import (
+	"context"
+	"testing"
+
+	"q3de/internal/decoder/unionfind"
+	"q3de/internal/engine"
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+func TestRunMemoryGoldenVsPR1(t *testing.T) {
+	sim.UnionFindFactory = unionfind.Factory
+	l := lattice.New(7, 7)
+	box := l.CenteredBox(3)
+	cases := []struct {
+		name     string
+		cfg      sim.MemoryConfig
+		failures int64
+		pShot    float64
+	}{
+		{"greedy-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderGreedy, MaxShots: 3000, Seed: 11}, 375, 0.125},
+		{"mwpm-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPM, MaxShots: 3000, Seed: 11}, 79, 0.026333333333333334},
+		{"unionfind-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderUnionFind, MaxShots: 3000, Seed: 11}, 100, 0.033333333333333333},
+		{"mwpm-d7-mbbe-aware", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Aware: true, Decoder: sim.DecoderMWPM, MaxShots: 2000, Seed: 12}, 236, 0.11799999999999999},
+		{"greedy-d7-mbbe", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Decoder: sim.DecoderGreedy, MaxShots: 2000, Seed: 12}, 1017, 0.50849999999999995},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := sim.RunMemory(c.cfg)
+			if r.Failures != c.failures {
+				t.Errorf("failures = %d, want %d (PR 1 golden)", r.Failures, c.failures)
+			}
+			if r.PShot != c.pShot {
+				t.Errorf("pshot = %.17g, want %.17g (bit-identical)", r.PShot, c.pShot)
+			}
+		})
+	}
+}
+
+func TestRunDualMemoryGoldenVsPR1(t *testing.T) {
+	// Same configuration as the mwpm-d5 case above, run through the engine's
+	// cached-workspace path: the served estimate must match PR 1 bit for bit.
+	e := engine.New(engine.Config{Workers: 3})
+	defer e.Close()
+	dr, err := e.RunDualMemory(context.Background(),
+		sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPM, MaxShots: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Z.Failures != 79 || dr.X.Failures != 77 {
+		t.Errorf("dual failures = %d/%d, want 79/77 (PR 1 golden)", dr.Z.Failures, dr.X.Failures)
+	}
+	if got, want := dr.PLEither, 0.010482287416236025; got != want {
+		t.Errorf("PLEither = %.17g, want %.17g (bit-identical)", got, want)
+	}
+}

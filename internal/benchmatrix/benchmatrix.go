@@ -1,0 +1,86 @@
+// Package benchmatrix defines the decoder benchmark matrix — the decoder
+// families and (distance, MBBE) cells — in one place, shared by the
+// `go test -bench` suite (bench_decoders_test.go) and the perf-trajectory
+// recorder (cmd/q3de-bench). A single definition keeps BENCH_decoders.json
+// measuring exactly the configuration the benchmarks run.
+package benchmatrix
+
+import (
+	"fmt"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/unionfind"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// P is the physical error rate every cell samples at.
+const P = 1e-2
+
+// Case is one (distance, MBBE) cell. The MBBE variant places the paper's
+// centred 4×4 anomalous region at pano=0.5 and uses the anomaly-weighted
+// (aware) metric, exercising the weighted decoding path.
+type Case struct {
+	D    int
+	MBBE bool
+}
+
+// Cases returns the full matrix: d ∈ {5, 9, 13} × {clean, mbbe}.
+func Cases() []Case {
+	var cases []Case
+	for _, d := range []int{5, 9, 13} {
+		cases = append(cases, Case{D: d}, Case{D: d, MBBE: true})
+	}
+	return cases
+}
+
+// Name is the benchmark sub-name for the cell.
+func (c Case) Name() string {
+	if c.MBBE {
+		return fmt.Sprintf("d=%d/mbbe", c.D)
+	}
+	return fmt.Sprintf("d=%d/clean", c.D)
+}
+
+// Setup builds the lattice, metric and a deterministic stream of n defect
+// coordinate sets for the cell.
+func (c Case) Setup(n int) (*lattice.Lattice, *lattice.Metric, [][]lattice.Coord) {
+	var box *lattice.Box
+	pano := 0.0
+	if c.MBBE {
+		b := lattice.New(c.D, c.D).CenteredBox(4)
+		box, pano = &b, 0.5
+	}
+	l := lattice.New(c.D, c.D)
+	model := noise.NewModel(l, P, box, pano)
+	rng := stats.NewRNG(1, 2)
+	out := make([][]lattice.Coord, n)
+	var s noise.Sample
+	for i := range out {
+		model.Draw(rng, &s)
+		cs := make([]lattice.Coord, len(s.Defects))
+		for j, id := range s.Defects {
+			cs[j] = l.NodeCoord(id)
+		}
+		out[i] = cs
+	}
+	return l, lattice.NewMetric(c.D, P, pano, box), out
+}
+
+// Family is one decoder family under benchmark.
+type Family struct {
+	Name string
+	New  func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder
+}
+
+// Families returns the three decoder families compared in the paper.
+func Families() []Family {
+	return []Family{
+		{"mwpm", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return mwpm.New(m) }},
+		{"greedy", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return greedy.New(m) }},
+		{"union-find", func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return unionfind.New(l, m) }},
+	}
+}

@@ -1,0 +1,78 @@
+package decoder_test
+
+// Steady-state allocation regression tests for the decoding hot path: after
+// a warm-up call sizes the scratch arenas, Decode on a fixed defect set must
+// not allocate (the Monte-Carlo loop calls Decode ≥100k times per data
+// point). testing.AllocsPerRun averages over many runs, so any per-call
+// allocation shows up as a fractional count.
+
+import (
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/unionfind"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// fixedDefects draws a deterministic non-trivial defect set at d=9, p=2e-2.
+func fixedDefects(t *testing.T) (*lattice.Lattice, []lattice.Coord) {
+	t.Helper()
+	l := lattice.New(9, 9)
+	model := noise.NewModel(l, 2e-2, nil, 0)
+	rng := stats.NewRNG(99, 7)
+	var s noise.Sample
+	for {
+		model.Draw(rng, &s)
+		if len(s.Defects) >= 8 {
+			cs := make([]lattice.Coord, len(s.Defects))
+			for i, id := range s.Defects {
+				cs[i] = l.NodeCoord(id)
+			}
+			return l, cs
+		}
+	}
+}
+
+func assertNoSteadyStateAllocs(t *testing.T, name string, dec decoder.Decoder, defects []lattice.Coord) {
+	t.Helper()
+	// Warm up: let every arena reach its high-water size for this input.
+	for i := 0; i < 3; i++ {
+		dec.Decode(defects)
+	}
+	if avg := testing.AllocsPerRun(100, func() { dec.Decode(defects) }); avg > 0 {
+		t.Errorf("%s: %.2f allocs per steady-state Decode, want 0", name, avg)
+	}
+}
+
+func TestDecodeSteadyStateAllocFree(t *testing.T) {
+	l, defects := fixedDefects(t)
+	m := lattice.NewMetric(9, 2e-2, 0, nil)
+	assertNoSteadyStateAllocs(t, "mwpm", mwpm.New(m), defects)
+	assertNoSteadyStateAllocs(t, "greedy", greedy.New(m), defects)
+	assertNoSteadyStateAllocs(t, "union-find", unionfind.New(l, m), defects)
+}
+
+func TestDecodeSteadyStateAllocFreeWeighted(t *testing.T) {
+	// The anomaly-aware (weighted-metric) path must be allocation-free too.
+	l := lattice.New(9, 9)
+	box := l.CenteredBox(4)
+	model := noise.NewModel(l, 1e-2, &box, 0.5)
+	rng := stats.NewRNG(3, 5)
+	var s noise.Sample
+	var defects []lattice.Coord
+	for len(defects) < 8 {
+		model.Draw(rng, &s)
+		defects = defects[:0]
+		for _, id := range s.Defects {
+			defects = append(defects, l.NodeCoord(id))
+		}
+	}
+	m := lattice.NewMetric(9, 1e-2, 0.5, &box)
+	assertNoSteadyStateAllocs(t, "mwpm-weighted", mwpm.New(m), defects)
+	assertNoSteadyStateAllocs(t, "greedy-weighted", greedy.New(m), defects)
+	assertNoSteadyStateAllocs(t, "union-find-weighted", unionfind.New(l, m), defects)
+}

@@ -37,9 +37,18 @@ type Result struct {
 }
 
 // Decoder estimates a recovery operation from a defect set. Implementations
-// are NOT safe for concurrent use; create one per worker.
+// are NOT safe for concurrent use; create one per worker (goroutine).
+//
+// Implementations follow a scratch-reuse convention (DESIGN.md §9): a
+// decoder owns an internal arena sized to the high-water mark of past calls,
+// so the decoding hot path — one Decode per Monte-Carlo shot, ≥100k shots
+// per configuration — performs no steady-state heap allocation. The returned
+// Result, including its Matches slice, may alias that arena and is only
+// valid until the next Decode call on the same decoder; callers that retain
+// a result across shots must copy it.
 type Decoder interface {
 	// Decode matches the given defects. The coordinate slice is not retained.
+	// The result is valid until the next Decode call (see above).
 	Decode(defects []lattice.Coord) Result
 	// Name identifies the strategy in experiment output.
 	Name() string

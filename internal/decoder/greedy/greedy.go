@@ -25,7 +25,11 @@ import (
 // ordering.
 const costScale = 256
 
-// Decoder is a greedy matching decoder over a fixed metric.
+// Decoder is a greedy matching decoder over a fixed metric. Per the
+// decoder.Decoder scratch-reuse convention all working buffers (sort keys,
+// boundary costs, matched flags, result matches) are retained between calls
+// sized to the high-water defect count, so steady-state Decode performs no
+// heap allocation; the returned Result aliases those buffers.
 type Decoder struct {
 	M *lattice.Metric
 
@@ -34,9 +38,11 @@ type Decoder struct {
 	// bound fall back to their boundary.
 	MaxRadius float64
 
-	keys  []uint64
-	bCost []float64
-	bLeft []bool
+	keys    []uint64
+	bCost   []float64
+	bLeft   []bool
+	matched []bool
+	matches []decoder.Match
 }
 
 // New returns a greedy decoder over the metric. The radius bound defaults to
@@ -95,7 +101,14 @@ func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	}
 	slices.Sort(g.keys)
 
-	matched := make([]bool, n)
+	if cap(g.matched) < n {
+		g.matched = make([]bool, n)
+	}
+	matched := g.matched[:n]
+	for i := range matched {
+		matched[i] = false
+	}
+	g.matches = g.matches[:0]
 	remaining := n
 	for _, k := range g.keys {
 		if remaining == 0 {
@@ -108,7 +121,7 @@ func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 		if b < 0 {
 			matched[a] = true
 			remaining--
-			res.Matches = append(res.Matches, decoder.Match{A: a, B: decoder.BoundaryPartner, Left: g.bLeft[a]})
+			g.matches = append(g.matches, decoder.Match{A: a, B: decoder.BoundaryPartner, Left: g.bLeft[a]})
 			res.Weight += g.bCost[a]
 			continue
 		}
@@ -117,9 +130,10 @@ func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 		}
 		matched[a], matched[b] = true, true
 		remaining -= 2
-		res.Matches = append(res.Matches, decoder.Match{A: a, B: b})
+		g.matches = append(g.matches, decoder.Match{A: a, B: b})
 		res.Weight += g.M.NodeDist(defects[a], defects[b])
 	}
+	res.Matches = g.matches
 	res.CutParity = decoder.CutParityOf(res.Matches)
 	return res
 }

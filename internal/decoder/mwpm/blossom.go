@@ -11,9 +11,20 @@
 // perfect matching problem by weight reflection.
 package mwpm
 
+import (
+	"fmt"
+	"math"
+)
+
 // blossomSolver holds the primal-dual state of the O(n^3) maximum-weight
 // general matching algorithm. Vertices are 1-indexed; index 0 is the "null"
 // sentinel. Indices above n denote contracted blossoms.
+//
+// A solver is a reusable arena: reset re-arms it for a new problem without
+// reallocating as long as the vertex count fits the high-water capacity.
+// Dense matrix cells outside the fresh 1..n block are never read before
+// being rewritten (addBlossom clears a blossom slot's rows and columns when
+// it claims the slot), so reset only has to wipe the 1-D state arrays.
 type blossomSolver struct {
 	n  int // number of original vertices
 	nx int // current number of vertex slots incl. blossoms
@@ -24,6 +35,7 @@ type blossomSolver struct {
 	lab        []int64
 	match      []int32
 	slack      []int32
+	slackD     []int64 // cached eDelta(slack[x], x), maintained across dual updates
 	st         []int32
 	pa         []int32
 	s          []int8 // -1 free, 0 = S (even), 1 = T (odd)
@@ -32,6 +44,8 @@ type blossomSolver struct {
 	flower     [][]int32
 	flowerFrom [][]int32
 	q          []int32
+	qh         int     // queue head index (q[qh:] is the pending set)
+	rot        []int32 // flower-rotation scratch
 }
 
 const infWeight = int64(1) << 62
@@ -50,6 +64,7 @@ func newBlossomSolver(n int) *blossomSolver {
 	b.lab = make([]int64, sz)
 	b.match = make([]int32, sz)
 	b.slack = make([]int32, sz)
+	b.slackD = make([]int64, sz)
 	b.st = make([]int32, sz)
 	b.pa = make([]int32, sz)
 	b.s = make([]int8, sz)
@@ -62,14 +77,49 @@ func newBlossomSolver(n int) *blossomSolver {
 	return b
 }
 
+// reset re-arms the solver for an n-vertex problem, growing the arena only
+// when n exceeds the high-water mark of past problems. The caller (Solve)
+// refills the original-vertex block of the dense matrices; blossom rows and
+// columns are cleared by addBlossom when a slot is claimed, and a previous
+// problem's slot writes all land in rows/columns the next problem either
+// refills or re-clears — except the diagonal, which the fill loops skip, so
+// it is restored to the fresh-solver zero state here.
+func (b *blossomSolver) reset(n int) {
+	if sz := n + n/2 + 2; len(b.lab) < sz {
+		*b = *newBlossomSolver(n)
+		return
+	}
+	b.n, b.nx = n, n
+	b.visToken = 0
+	clear(b.lab)
+	clear(b.match)
+	clear(b.slack)
+	clear(b.slackD)
+	clear(b.st)
+	clear(b.pa)
+	clear(b.s)
+	clear(b.vis)
+	for i := range b.gw {
+		b.gw[i][i] = 0
+	}
+}
+
 func (b *blossomSolver) eDelta(u, v int32) int64 {
 	return b.lab[b.gu[u][v]] + b.lab[b.gv[u][v]] - b.gw[u][v]*2
 }
 
-func (b *blossomSolver) updateSlack(u, x int32) {
-	if b.slack[x] == 0 || b.eDelta(u, x) < b.eDelta(b.slack[x], x) {
+// updateSlackD offers u as x's slack source with du = eDelta(u, x) already
+// computed. slackD caches the incumbent's delta so the comparison costs no
+// matrix loads; dual updates keep the cache exact (see matchingPhase).
+func (b *blossomSolver) updateSlackD(u, x int32, du int64) {
+	if b.slack[x] == 0 || du < b.slackD[x] {
 		b.slack[x] = u
+		b.slackD[x] = du
 	}
+}
+
+func (b *blossomSolver) updateSlack(u, x int32) {
+	b.updateSlackD(u, x, b.eDelta(u, x))
 }
 
 func (b *blossomSolver) setSlack(x int32) {
@@ -133,10 +183,13 @@ func (b *blossomSolver) setMatch(u, v int32) {
 		b.setMatch(b.flower[u][i], b.flower[u][i^1])
 	}
 	b.setMatch(xr, v)
-	// Rotate flower so xr leads.
+	// Rotate flower so xr leads (through the shared scratch buffer; setMatch
+	// recursion never interleaves two rotations because the recursive calls
+	// above complete before this point).
 	fl := b.flower[u]
-	rotated := append(append([]int32{}, fl[pr:]...), fl[:pr]...)
-	copy(fl, rotated)
+	b.rot = append(b.rot[:0], fl[pr:]...)
+	b.rot = append(b.rot, fl[:pr]...)
+	copy(fl, b.rot)
 }
 
 func (b *blossomSolver) augment(u, v int32) {
@@ -285,6 +338,7 @@ func (b *blossomSolver) matchingPhase() bool {
 		b.slack[i] = 0
 	}
 	b.q = b.q[:0]
+	b.qh = 0
 	for x := int32(1); x <= int32(b.nx); x++ {
 		if b.st[x] == x && b.match[x] == 0 {
 			b.pa[x] = 0
@@ -295,27 +349,42 @@ func (b *blossomSolver) matchingPhase() bool {
 	if len(b.q) == 0 {
 		return false
 	}
+	n32 := int32(b.n)
 	for {
-		for len(b.q) > 0 {
-			u := b.q[0]
-			b.q = b.q[1:]
+		for b.qh < len(b.q) {
+			u := b.q[b.qh]
+			b.qh++
 			if b.s[b.st[u]] == 1 {
 				continue
 			}
-			for v := int32(1); v <= int32(b.n); v++ {
-				if b.gw[u][v] > 0 && b.st[u] != b.st[v] {
-					if b.eDelta(u, v) == 0 {
-						if b.onFoundEdge(u, v) {
-							return true
-						}
-					} else {
-						b.updateSlack(u, b.st[v])
+			// Queue entries are always original vertices, and for an
+			// original pair the stored endpoints are the pair itself
+			// (gu[u][v] == u, gv[u][v] == v — blossom contraction only
+			// rewrites blossom rows/columns), so the tight-edge check needs
+			// only the gw row and the label array. lab[u] is constant for
+			// the whole sweep: duals move only between sweeps, and blossom
+			// creation touches slot labels, not vertex labels.
+			gwu := b.gw[u]
+			labU := b.lab[u]
+			for v := int32(1); v <= n32; v++ {
+				w := gwu[v]
+				if w <= 0 || b.st[u] == b.st[v] {
+					continue
+				}
+				delta := labU + b.lab[v] - w*2
+				if delta == 0 {
+					if b.onFoundEdge(u, v) {
+						return true
 					}
+				} else if x := b.st[v]; x == v {
+					b.updateSlackD(u, v, delta)
+				} else {
+					b.updateSlack(u, x)
 				}
 			}
 		}
 		d := infWeight
-		for bl := int32(b.n) + 1; bl <= int32(b.nx); bl++ {
+		for bl := n32 + 1; bl <= int32(b.nx); bl++ {
 			if b.st[bl] == bl && b.s[bl] == 1 {
 				if v := b.lab[bl] / 2; v < d {
 					d = v
@@ -326,17 +395,17 @@ func (b *blossomSolver) matchingPhase() bool {
 			if b.st[x] == x && b.slack[x] != 0 {
 				switch b.s[x] {
 				case -1:
-					if v := b.eDelta(b.slack[x], x); v < d {
+					if v := b.slackD[x]; v < d {
 						d = v
 					}
 				case 0:
-					if v := b.eDelta(b.slack[x], x) / 2; v < d {
+					if v := b.slackD[x] / 2; v < d {
 						d = v
 					}
 				}
 			}
 		}
-		for u := int32(1); u <= int32(b.n); u++ {
+		for u := int32(1); u <= n32; u++ {
 			switch b.s[b.st[u]] {
 			case 0:
 				if b.lab[u] <= d {
@@ -347,7 +416,7 @@ func (b *blossomSolver) matchingPhase() bool {
 				b.lab[u] += d
 			}
 		}
-		for bl := int32(b.n) + 1; bl <= int32(b.nx); bl++ {
+		for bl := n32 + 1; bl <= int32(b.nx); bl++ {
 			if b.st[bl] == bl {
 				switch b.s[bl] {
 				case 0:
@@ -357,9 +426,23 @@ func (b *blossomSolver) matchingPhase() bool {
 				}
 			}
 		}
-		b.q = b.q[:0]
+		// Keep the slack caches exact under the dual adjustment: a slack
+		// edge's source is an S-vertex (label -d); its target side moves by
+		// 0 (free root) or -d (S root).
 		for x := int32(1); x <= int32(b.nx); x++ {
-			if b.st[x] == x && b.slack[x] != 0 && b.st[b.slack[x]] != x && b.eDelta(b.slack[x], x) == 0 {
+			if b.st[x] == x && b.slack[x] != 0 {
+				switch b.s[x] {
+				case -1:
+					b.slackD[x] -= d
+				case 0:
+					b.slackD[x] -= d * 2
+				}
+			}
+		}
+		b.q = b.q[:0]
+		b.qh = 0
+		for x := int32(1); x <= int32(b.nx); x++ {
+			if b.st[x] == x && b.slack[x] != 0 && b.st[b.slack[x]] != x && b.slackD[x] == 0 {
 				if b.onFoundEdge(b.slack[x], x) {
 					return true
 				}
@@ -373,14 +456,20 @@ func (b *blossomSolver) matchingPhase() bool {
 	}
 }
 
-// MinWeightPerfectMatching solves the minimum-weight perfect matching problem
-// on the complete graph whose costs are given by the symmetric matrix cost
-// (cost[i][i] ignored). n = len(cost) must be even. It returns mate with
-// mate[i] = j for every matched pair and the total cost of the matching.
-//
-// Costs must be non-negative and small enough that 4*n*max(cost) fits in
-// int64.
-func MinWeightPerfectMatching(cost [][]int64) ([]int, int64) {
+// Matcher is a reusable minimum-weight perfect-matching solver. The zero
+// value is ready to use. A Matcher keeps its primal-dual arena (three dense
+// (3n/2+2)² matrices plus side arrays) sized to the high-water vertex count
+// of past problems, so repeated Solve calls of comparable size perform no
+// steady-state heap allocation. A Matcher is NOT safe for concurrent use.
+type Matcher struct {
+	b    blossomSolver
+	mate []int
+}
+
+// Solve computes the minimum-weight perfect matching for the cost matrix
+// (see MinWeightPerfectMatching). The returned mate slice aliases the
+// Matcher's arena and is only valid until the next Solve call.
+func (m *Matcher) Solve(cost [][]int64) ([]int, int64) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0
@@ -396,18 +485,34 @@ func MinWeightPerfectMatching(cost [][]int64) ([]int, int64) {
 			}
 		}
 	}
-	b := newBlossomSolver(n)
+	// Enforce the documented precondition before the weight reflection can
+	// silently wrap: dual adjustments accumulate sums bounded by
+	// 4*n*max(cost), so reject inputs where that product overflows int64.
+	if maxC > 0 && maxC > math.MaxInt64/int64(4*n) {
+		panic(fmt.Sprintf(
+			"mwpm: cost matrix out of range: 4*n*max(cost) = 4*%d*%d overflows int64; rescale the costs",
+			n, maxC))
+	}
+	m.b.reset(n)
+	b := &m.b
+	for u := 1; u <= n; u++ {
+		gu, gv, ff := b.gu[u], b.gv[u], b.flowerFrom[u]
+		for v := 1; v <= n; v++ {
+			gu[v], gv[v] = int32(u), int32(v)
+			ff[v] = 0
+		}
+		ff[u] = int32(u)
+	}
 	// Reflect: maximize w = (maxC - cost + 1), doubled for integral duals.
 	// All weights positive, so the maximum-weight matching is perfect and
 	// minimizes the original cost.
 	var wMax int64
 	for i := 0; i < n; i++ {
+		gw, ci := b.gw[i+1], cost[i]
 		for j := 0; j < n; j++ {
-			u, v := int32(i+1), int32(j+1)
-			b.gu[u][v], b.gv[u][v] = u, v
 			if i != j {
-				w := (maxC - cost[i][j] + 1) * 2
-				b.gw[u][v] = w
+				w := (maxC - ci[j] + 1) * 2
+				gw[j+1] = w
 				if w > wMax {
 					wMax = w
 				}
@@ -419,30 +524,44 @@ func MinWeightPerfectMatching(cost [][]int64) ([]int, int64) {
 		b.flower[u] = nil
 	}
 	for u := 1; u <= n; u++ {
-		for v := 1; v <= n; v++ {
-			if u == v {
-				b.flowerFrom[u][v] = int32(u)
-			} else {
-				b.flowerFrom[u][v] = 0
-			}
-		}
-	}
-	for u := 1; u <= n; u++ {
 		b.lab[u] = wMax
 	}
 	for b.matchingPhase() {
 	}
-	mate := make([]int, n)
+	if cap(m.mate) < n {
+		m.mate = make([]int, n)
+	}
+	mate := m.mate[:n]
 	var total int64
 	for u := 1; u <= n; u++ {
-		m := int(b.match[u])
-		if m == 0 {
+		mu := int(b.match[u])
+		if mu == 0 {
 			panic("mwpm: matching is not perfect")
 		}
-		mate[u-1] = m - 1
-		if m < u {
-			total += cost[u-1][m-1]
+		mate[u-1] = mu - 1
+		if mu < u {
+			total += cost[u-1][mu-1]
 		}
 	}
 	return mate, total
+}
+
+// MinWeightPerfectMatching solves the minimum-weight perfect matching problem
+// on the complete graph whose costs are given by the symmetric matrix cost
+// (cost[i][i] ignored). n = len(cost) must be even. It returns mate with
+// mate[i] = j for every matched pair and the total cost of the matching.
+//
+// Costs must be non-negative and small enough that 4*n*max(cost) fits in
+// int64; out-of-range inputs panic rather than silently corrupting the
+// matching. The returned slice is freshly allocated; hot paths should hold a
+// Matcher and call Solve to reuse the arena across problems.
+func MinWeightPerfectMatching(cost [][]int64) ([]int, int64) {
+	var m Matcher
+	mate, total := m.Solve(cost)
+	if mate == nil {
+		return nil, 0
+	}
+	out := make([]int, len(mate))
+	copy(out, mate)
+	return out, total
 }

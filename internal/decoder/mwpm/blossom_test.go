@@ -1,7 +1,9 @@
 package mwpm
 
 import (
+	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 )
 
@@ -156,6 +158,48 @@ func TestMWPMEmptyAndOdd(t *testing.T) {
 		}
 	}()
 	MinWeightPerfectMatching(make([][]int64, 3))
+}
+
+func TestMWPMOverflowPreconditionPanics(t *testing.T) {
+	// Costs where 4*n*max(cost) exceeds int64 used to silently corrupt the
+	// weight reflection; the solver must refuse them loudly instead.
+	n := 4
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = math.MaxInt64 / int64(4*n) // just past the documented bound
+			}
+		}
+	}
+	cost[0][1], cost[1][0] = cost[0][1]+1, cost[1][0]+1
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overflowing cost range should panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overflows int64") {
+			t.Fatalf("panic message should explain the overflow, got %v", r)
+		}
+	}()
+	MinWeightPerfectMatching(cost)
+}
+
+func TestMWPMMaxInRangeCostsSolve(t *testing.T) {
+	// Exactly at the documented bound the solver must still work.
+	big := math.MaxInt64 / int64(4*4)
+	cost := [][]int64{
+		{0, big, big, big},
+		{big, 0, big, big},
+		{big, big, 0, big},
+		{big, big, big, 0},
+	}
+	mate, total := MinWeightPerfectMatching(cost)
+	if total != 2*big {
+		t.Errorf("total = %d, want %d", total, 2*big)
+	}
+	checkPerfect(t, mate, cost, total)
 }
 
 func TestMWPMLargeRandomConsistency(t *testing.T) {

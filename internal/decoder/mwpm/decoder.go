@@ -16,9 +16,22 @@ const DefaultScale = 4096
 // metric. Boundary matching uses the standard virtual-mirror construction:
 // defect i may match any virtual node at its own boundary cost, and virtual
 // nodes pair up among themselves for free.
+//
+// Per the decoder.Decoder scratch-reuse convention the cost matrix, blossom
+// arena and result buffers are all retained between calls, sized to the
+// high-water defect count, so steady-state Decode performs no heap
+// allocation; the returned Result aliases those buffers.
 type Decoder struct {
 	M     *lattice.Metric
 	Scale float64
+
+	matcher Matcher
+	costBuf []int64
+	cost    [][]int64
+	bCost   []int64
+	bLeft   []bool
+	done    []bool
+	matches []decoder.Match
 }
 
 // New returns an MWPM decoder over the metric.
@@ -42,8 +55,12 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 		return res
 	}
 
-	bCost := make([]int64, n)
-	bLeft := make([]bool, n)
+	if cap(d.bCost) < n {
+		d.bCost = make([]int64, n)
+		d.bLeft = make([]bool, n)
+		d.done = make([]bool, n)
+	}
+	bCost, bLeft, done := d.bCost[:n], d.bLeft[:n], d.done[:n]
 	for i, c := range defects {
 		cost, left := d.M.BoundaryDist(c)
 		bCost[i] = d.quantize(cost)
@@ -51,10 +68,7 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	}
 
 	size := 2 * n
-	cost := make([][]int64, size)
-	for i := range cost {
-		cost[i] = make([]int64, size)
-	}
+	cost := d.costMatrix(size)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			w := d.quantize(d.M.NodeDist(defects[i], defects[j]))
@@ -65,24 +79,52 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 			cost[i][j], cost[j][i] = bCost[i], bCost[i]
 		}
 	}
+	// Virtual nodes pair among themselves for free; the reused backing array
+	// may hold stale weights in this block.
+	for i := n; i < size; i++ {
+		clear(cost[i][n:size])
+	}
 
-	mate, total := MinWeightPerfectMatching(cost)
+	mate, total := d.matcher.Solve(cost)
 	res.Weight = float64(total) / d.Scale
-	done := make([]bool, n)
+	d.matches = d.matches[:0]
+	for i := range done {
+		done[i] = false
+	}
 	for i := 0; i < n; i++ {
 		if done[i] {
 			continue
 		}
 		done[i] = true
 		if mate[i] >= n {
-			res.Matches = append(res.Matches, decoder.Match{A: i, B: decoder.BoundaryPartner, Left: bLeft[i]})
+			d.matches = append(d.matches, decoder.Match{A: i, B: decoder.BoundaryPartner, Left: bLeft[i]})
 			continue
 		}
 		done[mate[i]] = true
-		res.Matches = append(res.Matches, decoder.Match{A: i, B: mate[i]})
+		d.matches = append(d.matches, decoder.Match{A: i, B: mate[i]})
 	}
+	res.Matches = d.matches
 	res.CutParity = decoder.CutParityOf(res.Matches)
 	return res
+}
+
+// costMatrix returns a size×size matrix whose rows share one flat backing
+// array, reused (and grown to the high-water size) across calls. Cells in
+// the defect block are fully overwritten by the caller; the virtual-virtual
+// block is cleared there too.
+func (d *Decoder) costMatrix(size int) [][]int64 {
+	if cap(d.costBuf) < size*size {
+		d.costBuf = make([]int64, size*size)
+	}
+	if cap(d.cost) < size {
+		d.cost = make([][]int64, size)
+	}
+	buf := d.costBuf[:size*size]
+	rows := d.cost[:size]
+	for i := range rows {
+		rows[i] = buf[i*size : (i+1)*size]
+	}
+	return rows
 }
 
 func (d *Decoder) quantize(c float64) int64 {

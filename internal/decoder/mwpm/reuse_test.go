@@ -1,0 +1,54 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMatcherReuseMatchesFresh drives one Matcher across many problems of
+// fluctuating size — the decoding hot path's usage pattern — and demands
+// that every solution be identical (same mate array, same total) to a fresh
+// solver's and optimal against brute force. This pins the arena-reset
+// invariants: a stale cell surviving reset would steer the matching off the
+// fresh solver's deterministic choice.
+func TestMatcherReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	var m Matcher
+	for trial := 0; trial < 300; trial++ {
+		n := 2 * (1 + rng.IntN(7)) // 2..14, fluctuating to stress shrink/grow
+		cost := randCost(rng, n, 60)
+		mate, total := m.Solve(cost)
+		fresh, freshTotal := MinWeightPerfectMatching(cost)
+		if total != freshTotal {
+			t.Fatalf("trial %d n=%d: reused total %d != fresh %d", trial, n, total, freshTotal)
+		}
+		for i := range mate {
+			if mate[i] != fresh[i] {
+				t.Fatalf("trial %d n=%d: reused mate %v != fresh %v", trial, n, mate, fresh)
+			}
+		}
+		if n <= 10 {
+			if want := bruteMin(cost, make([]bool, n)); total != want {
+				t.Fatalf("trial %d n=%d: total %d != brute %d", trial, n, total, want)
+			}
+		}
+		checkPerfect(t, mate, cost, total)
+	}
+}
+
+// TestMatcherReuseDegenerateTies stresses the blossom-heavy regime (many
+// equal weights) under reuse, where stale dual or slack state is most likely
+// to surface as a wrong or non-terminating phase.
+func TestMatcherReuseDegenerateTies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 53))
+	var m Matcher
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (2 + rng.IntN(5)) // 4..12
+		cost := randCost(rng, n, 4) // tiny weight range forces ties and blossoms
+		mate, total := m.Solve(cost)
+		if want := bruteMin(cost, make([]bool, n)); total != want {
+			t.Fatalf("trial %d n=%d: total %d != brute %d", trial, n, total, want)
+		}
+		checkPerfect(t, mate, cost, total)
+	}
+}

@@ -11,7 +11,7 @@
 package unionfind
 
 import (
-	"sort"
+	"slices"
 
 	"q3de/internal/decoder"
 	"q3de/internal/lattice"
@@ -20,6 +20,12 @@ import (
 // Decoder is a union-find decoder bound to one lattice. The metric supplies
 // the anomaly weighting: anomalous edges need fewer growth steps, so cluster
 // growth absorbs likely error locations sooner.
+//
+// Per the decoder.Decoder scratch-reuse convention every working structure —
+// the union-find arrays, dense per-node defect/visited/subtree-parity maps
+// and the peeling stacks — is allocated once (sized by the lattice) and
+// reused, so steady-state Decode performs no heap allocation; the returned
+// Result aliases the retained match buffer.
 type Decoder struct {
 	L *lattice.Lattice
 	M *lattice.Metric
@@ -32,6 +38,25 @@ type Decoder struct {
 	touchB  []bool  // cluster touches a rough boundary
 	growth  []uint8
 	steps   []uint8 // growth steps needed per edge (1 anomalous, 2 normal)
+
+	// dense per-node scratch, cleared at the top of every Decode
+	isDefect []bool
+	visited  []bool
+	sub      []int32 // subtree defect parity during peeling
+
+	ids       []int32 // defect node ids, sorted
+	completed []int32 // edges completing growth this iteration
+	stack     []int32
+	nodes     []int32
+	order     []treeEdge
+	matches   []decoder.Match
+}
+
+// treeEdge records one spanning-tree edge of the peeling pass, oriented
+// parent→child by discovery order.
+type treeEdge struct {
+	child int32
+	ei    int32
 }
 
 // New builds a union-find decoder for the lattice and metric.
@@ -56,6 +81,9 @@ func New(l *lattice.Lattice, m *lattice.Metric) *Decoder {
 	d.parityD = make([]int32, l.NumNodes())
 	d.touchB = make([]bool, l.NumNodes())
 	d.growth = make([]uint8, len(l.Edges))
+	d.isDefect = make([]bool, l.NumNodes())
+	d.visited = make([]bool, l.NumNodes())
+	d.sub = make([]int32, l.NumNodes())
 	return d
 }
 
@@ -109,20 +137,23 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 		d.rank[i] = 0
 		d.parityD[i] = 0
 		d.touchB[i] = false
+		d.isDefect[i] = false
+		d.visited[i] = false
+		d.sub[i] = 0
 	}
 	for i := range d.growth {
 		d.growth[i] = 0
 	}
 
-	isDefect := make(map[int32]bool, len(defects))
-	ids := make([]int32, 0, len(defects))
+	d.ids = d.ids[:0]
 	for _, c := range defects {
 		id := d.L.NodeID(c)
-		isDefect[id] = true
+		d.isDefect[id] = true
 		d.parityD[id] = 1
-		ids = append(ids, id)
+		d.ids = append(d.ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := d.ids
+	slices.Sort(ids)
 
 	// Growth stage. An edge grows when either endpoint belongs to a live
 	// cluster (odd defect parity, no boundary contact). Nodes not yet
@@ -146,7 +177,7 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 		if iter > maxIter {
 			panic("unionfind: growth failed to converge")
 		}
-		var completed []int32
+		completed := d.completed[:0]
 		for ei := range d.L.Edges {
 			if d.growth[ei] >= d.steps[ei] {
 				continue
@@ -176,17 +207,20 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 				d.union(e.A, e.B)
 			}
 		}
+		d.completed = completed[:0]
 	}
 
-	parity := d.peel(ids, isDefect)
+	parity := d.peel(ids)
 	res := decoder.Result{CutParity: parity}
+	d.matches = d.matches[:0]
 	for i := range defects {
 		m := decoder.Match{A: i, B: decoder.BoundaryPartner}
 		if i == 0 && parity {
 			m.Left = true
 		}
-		res.Matches = append(res.Matches, m)
+		d.matches = append(d.matches, m)
 	}
+	res.Matches = d.matches
 	return res
 }
 
@@ -196,23 +230,17 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 // residual odd parity at the root exits through the cluster's boundary edge.
 // Internal edges never cross the logical cut, so only boundary-edge flips
 // contribute to the parity.
-func (d *Decoder) peel(ids []int32, isDefect map[int32]bool) bool {
-	visited := make(map[int32]bool, 4*len(isDefect))
+func (d *Decoder) peel(ids []int32) bool {
 	parity := false
 
-	type treeEdge struct {
-		child int32
-		ei    int32
-	}
-
 	for _, start := range ids {
-		if visited[start] {
+		if d.visited[start] {
 			continue
 		}
-		visited[start] = true
-		var order []treeEdge
-		stack := []int32{start}
-		var nodes []int32
+		d.visited[start] = true
+		order := d.order[:0]
+		stack := append(d.stack[:0], start)
+		nodes := d.nodes[:0]
 		rootBoundaryEdge := int32(-1)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
@@ -233,18 +261,17 @@ func (d *Decoder) peel(ids []int32, isDefect map[int32]bool) bool {
 				if v == u {
 					v = e.B
 				}
-				if visited[v] {
+				if d.visited[v] {
 					continue
 				}
-				visited[v] = true
+				d.visited[v] = true
 				order = append(order, treeEdge{child: v, ei: ei})
 				stack = append(stack, v)
 			}
 		}
-		sub := make(map[int32]int32, len(nodes))
 		for _, u := range nodes {
-			if isDefect[u] {
-				sub[u] = 1
+			if d.isDefect[u] {
+				d.sub[u] = 1
 			}
 		}
 		for i := len(order) - 1; i >= 0; i-- {
@@ -254,14 +281,14 @@ func (d *Decoder) peel(ids []int32, isDefect map[int32]bool) bool {
 			if parent == te.child {
 				parent = e.B
 			}
-			if sub[te.child]%2 == 1 {
+			if d.sub[te.child]%2 == 1 {
 				if e.CrossesCut {
 					parity = !parity
 				}
-				sub[parent]++
+				d.sub[parent]++
 			}
 		}
-		if sub[start]%2 == 1 {
+		if d.sub[start]%2 == 1 {
 			if rootBoundaryEdge < 0 {
 				panic("unionfind: odd cluster without boundary contact after growth")
 			}
@@ -269,6 +296,7 @@ func (d *Decoder) peel(ids []int32, isDefect map[int32]bool) bool {
 				parity = !parity
 			}
 		}
+		d.order, d.stack, d.nodes = order[:0], stack[:0], nodes[:0]
 	}
 	return parity
 }

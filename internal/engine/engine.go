@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/decoder"
 	"q3de/internal/sim"
 )
 
@@ -218,6 +219,12 @@ func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.Memor
 		job.addShardsTotal(shards)
 	}
 
+	// Decoders for this configuration are pooled across the run's shards so
+	// a pool worker that executes several of them reuses one scratch arena
+	// (decoders are per-goroutine, never shared concurrently: each task
+	// holds its decoder for the duration of the shard).
+	decoders := sync.Pool{New: func() any { return cfg.NewDecoderOn(ws) }}
+
 	var (
 		taskWG   sync.WaitGroup
 		mu       sync.Mutex
@@ -245,7 +252,9 @@ feed:
 					panicErr.CompareAndSwap(nil, fmt.Errorf("engine: shard %d panicked: %v", i, r))
 				}
 			}()
-			r := sim.RunShard(ws, cfg, i)
+			dec := decoders.Get().(decoder.Decoder)
+			r := sim.RunShardOn(ws, cfg, i, dec)
+			decoders.Put(dec)
 			failures.Add(r.Failures)
 			e.metrics.shardsExecuted.Add(1)
 			e.metrics.shotsExecuted.Add(r.Shots)
@@ -437,7 +446,15 @@ func (e *Engine) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
+	e.CancelJob(j)
+	return true
+}
+
+// CancelJob requests cancellation of a job already in hand. Unlike Cancel it
+// cannot miss: a handler that has looked a job up keeps a usable reference
+// even if the bounded history evicts the entry concurrently, so
+// lookup-then-cancel races never dereference a nil job.
+func (e *Engine) CancelJob(j *Job) {
 	j.cancelRequested.Store(true)
 	j.cancel()
-	return true
 }

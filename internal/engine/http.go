@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 )
 
@@ -84,12 +86,16 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if !e.Cancel(id) {
+		// Look the job up exactly once and cancel through the reference:
+		// between a successful Cancel(id) and a second Job(id) lookup the
+		// bounded history may evict the (now terminal) job, which used to
+		// leave job nil and panic on job.Status().
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
 			httpError(w, http.StatusNotFound, errors.New("no such job"))
 			return
 		}
-		job, _ := e.Job(id)
+		e.CancelJob(job)
 		writeJSON(w, http.StatusOK, job.Status())
 	})
 
@@ -105,12 +111,24 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
+// writeJSON encodes v into a buffer before touching the response, so an
+// encode failure can still surface as a 500 instead of being dropped after
+// the status line has gone out.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("engine: encode %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Headers are gone; the client likely disconnected. Log and move on.
+		log.Printf("engine: write response: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,6 +169,78 @@ func TestHTTPValidationAndNotFound(t *testing.T) {
 	dresp.Body.Close()
 	if dresp.StatusCode != http.StatusNotFound {
 		t.Errorf("cancel unknown job: status %d, want 404", dresp.StatusCode)
+	}
+}
+
+func TestHTTPCancelEvictionRace(t *testing.T) {
+	// Regression for the DELETE /v1/jobs/{id} nil-pointer race: the handler
+	// used to Cancel(id) and then look the job up a second time; when the
+	// bounded history evicted the (terminal) job between the two steps the
+	// lookup missed and job.Status() panicked on a nil job. With MaxHistory=1
+	// every submission evicts aggressively, so concurrent cancels constantly
+	// race eviction; each response must be 200 or 404 — a handler panic kills
+	// the connection and surfaces as a client error here.
+	e := New(Config{Workers: 2, MaxJobs: 2, MaxHistory: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	ids := make(chan string, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				for k := 0; k < 3; k++ {
+					req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						t.Errorf("cancel %s: %v", id, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						t.Errorf("cancel %s: status %d", id, resp.StatusCode)
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 60; i++ {
+		st := postJob(t, srv, `{"kind":"memory","memory":{"d":3,"p":0.02,"max_shots":64,"seed":9}}`)
+		ids <- st.ID
+	}
+	close(ids)
+	wg.Wait()
+}
+
+func TestCancelJobSurvivesEviction(t *testing.T) {
+	// A handler that has resolved a job keeps a usable reference even after
+	// the registry drops the entry: CancelJob and Status must work on an
+	// evicted job instead of requiring a second (missable) lookup.
+	e := New(Config{Workers: 1, MaxHistory: 1})
+	defer e.Close()
+
+	first, err := e.Submit(JobSpec{Kind: KindMemory,
+		Memory: &MemorySpec{D: 3, P: 0.02, MaxShots: 64, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.Done()
+	// Submitting past MaxHistory evicts the finished first job.
+	second, err := e.Submit(JobSpec{Kind: KindMemory,
+		Memory: &MemorySpec{D: 3, P: 0.02, MaxShots: 64, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-second.Done()
+	if _, ok := e.Job(first.ID()); ok {
+		t.Fatalf("first job should have been evicted from history")
+	}
+	e.CancelJob(first) // no-op on a finished job; must not panic
+	if st := first.Status(); st.State != StateDone {
+		t.Errorf("evicted finished job state = %s, want done", st.State)
 	}
 }
 

@@ -163,6 +163,10 @@ func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One decoder per worker: its scratch arena reaches the
+			// high-water defect count within a few shots and every later
+			// shard of this worker decodes allocation-free.
+			dec := cfg.NewDecoderOn(ws)
 			for {
 				// Shards are claimed in index order, so when claiming stops
 				// the completed set is a contiguous prefix and AggregateShards
@@ -174,7 +178,7 @@ func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 				if i >= shards {
 					return
 				}
-				r := RunShard(ws, cfg, i)
+				r := RunShardOn(ws, cfg, i, dec)
 				failures.Add(r.Failures)
 				mu.Lock()
 				results = append(results, r)

@@ -98,13 +98,21 @@ type ShardResult struct {
 // RunShard executes shard i of the configuration on the shared workspace,
 // single-threaded, drawing from the shard's own deterministic RNG stream.
 func RunShard(ws *Workspace, cfg MemoryConfig, shard int) ShardResult {
+	return RunShardOn(ws, cfg, shard, cfg.NewDecoderOn(ws))
+}
+
+// RunShardOn is RunShard with a caller-supplied decoder, so a worker that
+// executes many shards of one configuration shares a single decoder scratch
+// arena across them (decoders grow to a high-water mark and then stop
+// allocating; see decoder.Decoder). The decoder must have been built for the
+// workspace's metric/lattice and must not be used concurrently.
+func RunShardOn(ws *Workspace, cfg MemoryConfig, shard int, dec decoder.Decoder) ShardResult {
 	n := cfg.ShardShots(shard)
 	res := ShardResult{Index: shard, Shots: n}
 	if n == 0 {
 		return res
 	}
 	rng := stats.WorkerRNG(cfg.Seed, shard)
-	dec := cfg.NewDecoderOn(ws)
 	var s noise.Sample
 	coords := make([]lattice.Coord, 0, 64)
 	for i := int64(0); i < n; i++ {
