@@ -11,6 +11,7 @@ package q3de
 
 import (
 	"testing"
+	"time"
 
 	"q3de/internal/benchmatrix"
 )
@@ -40,11 +41,49 @@ func benchFamily(b *testing.B, name string) {
 	b.Fatalf("unknown decoder family %q", name)
 }
 
-// BenchmarkDecodeMWPM measures the exact blossom decoder across the matrix.
+// BenchmarkDecodeMWPM measures the exact sparse (component-decomposed)
+// blossom decoder across the matrix.
 func BenchmarkDecodeMWPM(b *testing.B) { benchFamily(b, "mwpm") }
+
+// BenchmarkDecodeMWPMDense measures the dense all-pairs reference
+// construction the sparse pipeline replaced (weight-equivalent; kept for the
+// perf trajectory's speedup baseline).
+func BenchmarkDecodeMWPMDense(b *testing.B) { benchFamily(b, "mwpm-dense") }
 
 // BenchmarkDecodeGreedy measures the hardware-model greedy decoder.
 func BenchmarkDecodeGreedy(b *testing.B) { benchFamily(b, "greedy") }
 
 // BenchmarkDecodeUnionFind measures the union-find decoder.
 func BenchmarkDecodeUnionFind(b *testing.B) { benchFamily(b, "union-find") }
+
+// TestMWPMDecodeWallClock is the CI guard for the sparse pipeline's headline
+// win: 64 pre-drawn d=13 MBBE shots decode in ~50 ms sparse but ~4.4 s
+// through the dense construction (64 × ~68 ms/shot). The ceiling is generous
+// — ~40× the expected sparse cost, so a loaded CI runner cannot trip it —
+// but an accidental reintroduction of a dense-shaped path blows straight
+// through it.
+func TestMWPMDecodeWallClock(t *testing.T) {
+	if testing.Short() {
+		// The -short CI lanes include the race build, where the instrumented
+		// slowdown (~10×) would need a ceiling loose enough to be useless;
+		// the dedicated un-instrumented CI step runs this test instead.
+		t.Skip("wall-clock ceiling runs in its own un-instrumented CI step")
+	}
+	const ceiling = 2 * time.Second
+	c := benchmatrix.Case{D: 13, MBBE: true}
+	l, m, samples := c.Setup(64)
+	for _, fam := range benchmatrix.Families() {
+		if fam.Name != "mwpm" {
+			continue
+		}
+		dec := fam.New(l, m)
+		start := time.Now()
+		for _, s := range samples {
+			dec.Decode(s)
+		}
+		if elapsed := time.Since(start); elapsed > ceiling {
+			t.Errorf("mwpm decoded %d d=13 MBBE shots in %v, ceiling %v — dense-shaped path reintroduced?",
+				len(samples), elapsed, ceiling)
+		}
+	}
+}

@@ -1,16 +1,19 @@
-// Command q3de-bench runs the decoder micro-benchmark matrix — the three
-// decoder families at d ∈ {5, 9, 13}, with and without an MBBE region — and
-// writes the results to BENCH_decoders.json so the repository's perf
-// trajectory records decoding throughput over time.
+// Command q3de-bench runs the decoder micro-benchmark matrix — the paper's
+// three decoder families plus the dense MWPM reference construction, at
+// d ∈ {5, 9, 13}, with and without an MBBE region — and writes the results
+// to BENCH_decoders.json so the repository's perf trajectory records
+// decoding throughput over time. The mwpm (sparse) and mwpm-dense rows are
+// weight-equivalent solvers (DESIGN.md §10); their ratio is the sparse
+// pipeline's recorded speedup.
 //
 // Usage:
 //
 //	go run ./cmd/q3de-bench [-o BENCH_decoders.json]
 //
 // The matrix definition lives in internal/benchmatrix and is shared with
-// the `go test -bench` suite (BenchmarkDecode{MWPM,Greedy,UnionFind} in
-// bench_decoders_test.go), so the recorded trajectory measures exactly what
-// the benchmarks run.
+// the `go test -bench` suite (BenchmarkDecode{MWPM,MWPMDense,Greedy,
+// UnionFind} in bench_decoders_test.go), so the recorded trajectory
+// measures exactly what the benchmarks run.
 package main
 
 import (

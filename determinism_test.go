@@ -1,22 +1,36 @@
 package q3de
 
-// Golden determinism tests: the decoder scratch-reuse refactor must not
-// change a single decoding decision. These expectations were captured from
-// the allocate-per-shot implementation (PR 1) and pin shot-level failure
-// counts — any drift in matching choices, shard RNG layout or aggregation
-// shows up as a changed count.
+// Golden determinism tests. The PR-1 goldens pinned shot-level failure
+// counts of the allocate-per-shot implementation; the PR-2 arena refactor
+// reproduced them bit for bit. PR 3 replaced the default MWPM pipeline with
+// the sparse component-decomposed solver, which is weight-equivalent to the
+// dense construction but may break exact-weight ties differently (a pruned
+// pair decodes as two boundary matches where the dense solver picked the
+// equal-cost internal path, flipping the logical cut parity of a correction
+// that was degenerate anyway). The MWPM rows were therefore re-baselined —
+// legitimacy is demonstrated, not assumed:
+//
+//   - The dense construction remains reachable (sim.DecoderMWPMDense) and
+//     still reproduces the PR-1 goldens bit for bit (rows below).
+//   - TestGoldenDriftIsTieBreakOnly replays the golden configuration shot by
+//     shot and requires every decision flip between the two pipelines to
+//     occur at exactly equal total matching weight.
+//   - Greedy and union-find rows are untouched from PR 1.
 
 import (
 	"context"
 	"testing"
 
+	"q3de/internal/decoder/mwpm"
 	"q3de/internal/decoder/unionfind"
 	"q3de/internal/engine"
 	"q3de/internal/lattice"
+	"q3de/internal/noise"
 	"q3de/internal/sim"
+	"q3de/internal/stats"
 )
 
-func TestRunMemoryGoldenVsPR1(t *testing.T) {
+func TestRunMemoryGolden(t *testing.T) {
 	sim.UnionFindFactory = unionfind.Factory
 	l := lattice.New(7, 7)
 	box := l.CenteredBox(3)
@@ -26,17 +40,23 @@ func TestRunMemoryGoldenVsPR1(t *testing.T) {
 		failures int64
 		pShot    float64
 	}{
+		// PR-1 goldens, unchanged paths.
 		{"greedy-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderGreedy, MaxShots: 3000, Seed: 11}, 375, 0.125},
-		{"mwpm-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPM, MaxShots: 3000, Seed: 11}, 79, 0.026333333333333334},
 		{"unionfind-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderUnionFind, MaxShots: 3000, Seed: 11}, 100, 0.033333333333333333},
-		{"mwpm-d7-mbbe-aware", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Aware: true, Decoder: sim.DecoderMWPM, MaxShots: 2000, Seed: 12}, 236, 0.11799999999999999},
 		{"greedy-d7-mbbe", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Decoder: sim.DecoderGreedy, MaxShots: 2000, Seed: 12}, 1017, 0.50849999999999995},
+		// PR-1 goldens, now served by the dense reference construction.
+		{"mwpm-dense-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPMDense, MaxShots: 3000, Seed: 11}, 79, 0.026333333333333334},
+		{"mwpm-dense-d7-mbbe-aware", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Aware: true, Decoder: sim.DecoderMWPMDense, MaxShots: 2000, Seed: 12}, 236, 0.11799999999999999},
+		// PR-3 goldens for the sparse pipeline (tie-break re-baseline; see
+		// TestGoldenDriftIsTieBreakOnly for the demonstration).
+		{"mwpm-d5", sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPM, MaxShots: 3000, Seed: 11}, 75, 0.025000000000000001},
+		{"mwpm-d7-mbbe-aware", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Aware: true, Decoder: sim.DecoderMWPM, MaxShots: 2000, Seed: 12}, 235, 0.11749999999999999},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			r := sim.RunMemory(c.cfg)
 			if r.Failures != c.failures {
-				t.Errorf("failures = %d, want %d (PR 1 golden)", r.Failures, c.failures)
+				t.Errorf("failures = %d, want %d (golden)", r.Failures, c.failures)
 			}
 			if r.PShot != c.pShot {
 				t.Errorf("pshot = %.17g, want %.17g (bit-identical)", r.PShot, c.pShot)
@@ -45,20 +65,90 @@ func TestRunMemoryGoldenVsPR1(t *testing.T) {
 	}
 }
 
-func TestRunDualMemoryGoldenVsPR1(t *testing.T) {
+func TestRunDualMemoryGolden(t *testing.T) {
 	// Same configuration as the mwpm-d5 case above, run through the engine's
-	// cached-workspace path: the served estimate must match PR 1 bit for bit.
+	// cached-workspace path. The dense kind must still match PR 1 bit for
+	// bit; the sparse kind is pinned to its re-baselined values.
 	e := engine.New(engine.Config{Workers: 3})
 	defer e.Close()
-	dr, err := e.RunDualMemory(context.Background(),
+
+	dense, err := e.RunDualMemory(context.Background(),
+		sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPMDense, MaxShots: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Z.Failures != 79 || dense.X.Failures != 77 {
+		t.Errorf("dense dual failures = %d/%d, want 79/77 (PR 1 golden)", dense.Z.Failures, dense.X.Failures)
+	}
+	if got, want := dense.PLEither, 0.010482287416236025; got != want {
+		t.Errorf("dense PLEither = %.17g, want %.17g (bit-identical)", got, want)
+	}
+
+	sparse, err := e.RunDualMemory(context.Background(),
 		sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderMWPM, MaxShots: 3000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dr.Z.Failures != 79 || dr.X.Failures != 77 {
-		t.Errorf("dual failures = %d/%d, want 79/77 (PR 1 golden)", dr.Z.Failures, dr.X.Failures)
+	if sparse.Z.Failures != 75 || sparse.X.Failures != 89 {
+		t.Errorf("sparse dual failures = %d/%d, want 75/89 (PR 3 golden)", sparse.Z.Failures, sparse.X.Failures)
 	}
-	if got, want := dr.PLEither, 0.010482287416236025; got != want {
-		t.Errorf("PLEither = %.17g, want %.17g (bit-identical)", got, want)
+	if got, want := sparse.PLEither, 0.011025455561553765; got != want {
+		t.Errorf("sparse PLEither = %.17g, want %.17g (bit-identical)", got, want)
+	}
+}
+
+// TestGoldenDriftIsTieBreakOnly is the documented demonstration behind the
+// MWPM golden re-baseline: replaying the golden configurations' exact shot
+// streams, every shot where the sparse and dense pipelines disagree on the
+// failure decision must carry *exactly* equal total matching weight — i.e.
+// the correction was degenerate and either optimum is a legitimate decode.
+// It also requires at least one such tie in the replay, so the test fails
+// loudly if a future change makes the re-baseline unnecessary (at which
+// point the goldens should be re-unified).
+func TestGoldenDriftIsTieBreakOnly(t *testing.T) {
+	type golden struct {
+		name string
+		cfg  sim.MemoryConfig
+	}
+	l7 := lattice.New(7, 7)
+	box := l7.CenteredBox(3)
+	cases := []golden{
+		{"d5", sim.MemoryConfig{D: 5, P: 0.02, MaxShots: 3000, Seed: 11}},
+		{"d7-mbbe-aware", sim.MemoryConfig{D: 7, P: 0.01, Box: &box, Pano: 0.4, Aware: true, MaxShots: 2000, Seed: 12}},
+	}
+	totalFlips := 0
+	for _, g := range cases {
+		t.Run(g.name, func(t *testing.T) {
+			ws := sim.NewWorkspace(g.cfg)
+			sparse, dense := mwpm.New(ws.Metric), mwpm.NewDense(ws.Metric)
+			shards := g.cfg.NumShards()
+			var s noise.Sample
+			coords := make([]lattice.Coord, 0, 64)
+			for shard := 0; shard < shards; shard++ {
+				rng := stats.WorkerRNG(g.cfg.Seed, shard)
+				for i := int64(0); i < g.cfg.ShardShots(shard); i++ {
+					ws.Model.Draw(rng, &s)
+					coords = coords[:0]
+					for _, id := range s.Defects {
+						coords = append(coords, ws.L.NodeCoord(id))
+					}
+					sres := sparse.Decode(coords)
+					sParity, sWeight := sres.CutParity, sres.Weight
+					dres := dense.Decode(coords)
+					if sWeight != dres.Weight {
+						t.Fatalf("shard %d shot %d: sparse weight %v != dense %v — NOT a tie break",
+							shard, i, sWeight, dres.Weight)
+					}
+					if sParity != dres.CutParity {
+						totalFlips++
+					}
+				}
+			}
+		})
+	}
+	if totalFlips == 0 {
+		t.Error("no tie-break flips in the golden replay; goldens could be re-unified")
+	} else {
+		t.Logf("%d decision flips, all at exactly equal matching weight", totalFlips)
 	}
 }

@@ -76,10 +76,15 @@ type Family struct {
 	New  func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder
 }
 
-// Families returns the three decoder families compared in the paper.
+// Families returns the decoder families under benchmark: the paper's three
+// strategies plus the dense all-pairs MWPM construction, kept as the
+// reference row so BENCH_decoders.json records the sparse pipeline's speedup
+// against the exact solver it replaced (the two are weight-equivalent;
+// see mwpm.NewDense).
 func Families() []Family {
 	return []Family{
 		{"mwpm", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return mwpm.New(m) }},
+		{"mwpm-dense", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return mwpm.NewDense(m) }},
 		{"greedy", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return greedy.New(m) }},
 		{"union-find", func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return unionfind.New(l, m) }},
 	}

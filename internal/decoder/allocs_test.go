@@ -52,6 +52,7 @@ func TestDecodeSteadyStateAllocFree(t *testing.T) {
 	l, defects := fixedDefects(t)
 	m := lattice.NewMetric(9, 2e-2, 0, nil)
 	assertNoSteadyStateAllocs(t, "mwpm", mwpm.New(m), defects)
+	assertNoSteadyStateAllocs(t, "mwpm-dense", mwpm.NewDense(m), defects)
 	assertNoSteadyStateAllocs(t, "greedy", greedy.New(m), defects)
 	assertNoSteadyStateAllocs(t, "union-find", unionfind.New(l, m), defects)
 }
@@ -73,6 +74,7 @@ func TestDecodeSteadyStateAllocFreeWeighted(t *testing.T) {
 	}
 	m := lattice.NewMetric(9, 1e-2, 0.5, &box)
 	assertNoSteadyStateAllocs(t, "mwpm-weighted", mwpm.New(m), defects)
+	assertNoSteadyStateAllocs(t, "mwpm-dense-weighted", mwpm.NewDense(m), defects)
 	assertNoSteadyStateAllocs(t, "greedy-weighted", greedy.New(m), defects)
 	assertNoSteadyStateAllocs(t, "union-find-weighted", unionfind.New(l, m), defects)
 }

@@ -32,8 +32,18 @@ type Result struct {
 	// CutParity is the parity of logical-cut crossings implied by the
 	// correction: one crossing per defect matched to the left boundary.
 	CutParity bool
-	// Weight is the total matching cost under the decoder's metric.
+	// Weight is the total matching cost under the decoder's metric. Decoders
+	// that decompose the problem (the sparse MWPM pipeline solves each
+	// defect-graph component with its own blossom instance) report the sum of
+	// the per-component totals, which for an exact decoder equals the global
+	// optimum.
 	Weight float64
+	// Components is the number of independently solved sub-problems behind
+	// this result. Only the MWPM pipelines populate it: the sparse decoder
+	// reports its connected-component count (singletons included) and the
+	// dense construction reports 1; other decoder families and an empty
+	// syndrome leave it 0. Diagnostic only — it never affects the correction.
+	Components int
 }
 
 // Decoder estimates a recovery operation from a defect set. Implementations

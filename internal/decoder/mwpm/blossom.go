@@ -9,6 +9,12 @@
 // implementation: the classical O(n^3) primal-dual blossom algorithm for
 // maximum-weight matching on a dense graph, reduced from the minimum-weight
 // perfect matching problem by weight reflection.
+//
+// The decoder built on top runs a sparse, component-decomposed pipeline by
+// default (sparse.go, DESIGN.md §10): boundary-pruned candidate edges from a
+// spatial defect index, union-find decomposition, and one small warm-started
+// blossom per component — weight-equivalent to the dense all-pairs
+// construction (NewDense), which is retained as the cross-check reference.
 package mwpm
 
 import (
@@ -470,6 +476,22 @@ type Matcher struct {
 // (see MinWeightPerfectMatching). The returned mate slice aliases the
 // Matcher's arena and is only valid until the next Solve call.
 func (m *Matcher) Solve(cost [][]int64) ([]int, int64) {
+	return m.solve(cost, false)
+}
+
+// SolveJumpStart is Solve with a greedy tight-edge warm start: before the
+// first phase it pre-matches a maximal greedy set of globally-cheapest pairs
+// (cost equal to the matrix minimum), which are exactly the edges tight under
+// the initial duals, so the warm start is a valid primal-dual state and the
+// result stays an exact optimum. Each pre-matched pair saves one full
+// augmentation phase; on the sparse decoder's degenerate MBBE clusters —
+// where most pairs cost exactly zero — this removes the vast majority of the
+// phases. Tie-breaks may differ from Solve, the total never does.
+func (m *Matcher) SolveJumpStart(cost [][]int64) ([]int, int64) {
+	return m.solve(cost, true)
+}
+
+func (m *Matcher) solve(cost [][]int64, jumpStart bool) ([]int, int64) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0
@@ -525,6 +547,33 @@ func (m *Matcher) Solve(cost [][]int64) ([]int, int64) {
 	}
 	for u := 1; u <= n; u++ {
 		b.lab[u] = wMax
+	}
+	if jumpStart {
+		// With lab[u] = wMax everywhere, edge (u,v) is tight exactly when its
+		// reflected weight is wMax, i.e. its cost is the matrix minimum.
+		// Greedily matching such pairs (in deterministic index order) is a
+		// valid warm start — matched edges must be tight, and these are — and
+		// each pre-matched pair removes one full augmentation phase. On the
+		// decoder's degenerate MBBE clusters, where most pairs cost exactly
+		// zero (the matrix minimum), this removes the vast majority of the
+		// phases. Tie-breaks may differ from Solve, the total never does
+		// (TestSolveJumpStartMatchesSolve). Note per-vertex initial duals
+		// (lab[u] = row max), the classical stronger warm start, are NOT
+		// valid here: matchingPhase treats any label reaching zero as global
+		// optimality proof and would abort with the matching imperfect.
+		for u := 1; u <= n; u++ {
+			if b.match[u] != 0 {
+				continue
+			}
+			gw := b.gw[u]
+			for v := u + 1; v <= n; v++ {
+				if b.match[v] == 0 && gw[v] == wMax {
+					b.match[u] = int32(v)
+					b.match[v] = int32(u)
+					break
+				}
+			}
+		}
 	}
 	for b.matchingPhase() {
 	}

@@ -13,17 +13,28 @@ import (
 const DefaultScale = 4096
 
 // Decoder is the exact minimum-weight perfect matching decoder over a path
-// metric. Boundary matching uses the standard virtual-mirror construction:
-// defect i may match any virtual node at its own boundary cost, and virtual
-// nodes pair up among themselves for free.
+// metric.
 //
-// Per the decoder.Decoder scratch-reuse convention the cost matrix, blossom
-// arena and result buffers are all retained between calls, sized to the
-// high-water defect count, so steady-state Decode performs no heap
-// allocation; the returned Result aliases those buffers.
+// The default (New) construction runs the sparse, component-decomposed
+// pipeline of sparse.go: boundary-pruned candidate edges from a spatial
+// defect index, union-find component decomposition, and one small blossom
+// solve per component — weight-equivalent to the dense construction but
+// orders of magnitude faster when defects cluster, as they do at the paper's
+// physical error rates (DESIGN.md §10). NewDense selects the classical dense
+// virtual-mirror construction (a 2n×2n cost matrix where defect i may match
+// any virtual node at its boundary cost and virtual nodes pair freely),
+// retained as the reference implementation the sparse pipeline is
+// cross-checked against.
+//
+// Per the decoder.Decoder scratch-reuse convention all cost matrices, the
+// blossom arena, the spatial index and result buffers are retained between
+// calls, sized to the high-water defect count, so steady-state Decode
+// performs no heap allocation; the returned Result aliases those buffers.
 type Decoder struct {
 	M     *lattice.Metric
 	Scale float64
+
+	dense bool
 
 	matcher Matcher
 	costBuf []int64
@@ -32,40 +43,72 @@ type Decoder struct {
 	bLeft   []bool
 	done    []bool
 	matches []decoder.Match
+
+	sp sparseScratch
 }
 
-// New returns an MWPM decoder over the metric.
+// New returns an MWPM decoder over the metric, using the sparse
+// component-decomposed pipeline.
 func New(m *lattice.Metric) *Decoder {
 	return &Decoder{M: m, Scale: DefaultScale}
 }
 
+// NewDense returns an MWPM decoder that always runs the dense all-pairs
+// virtual-mirror construction. It computes the same total matching weight as
+// New (property-tested in sparse_test.go) at O(n³) in the full defect count;
+// it exists as the cross-check reference and the benchmark baseline.
+func NewDense(m *lattice.Metric) *Decoder {
+	return &Decoder{M: m, Scale: DefaultScale, dense: true}
+}
+
 // Name implements decoder.Decoder.
 func (d *Decoder) Name() string {
-	if d.M.Weighted() {
-		return "mwpm-weighted"
+	name := "mwpm"
+	if d.dense {
+		name = "mwpm-dense"
 	}
-	return "mwpm"
+	if d.M.Weighted() {
+		return name + "-weighted"
+	}
+	return name
 }
 
 // Decode implements decoder.Decoder.
 func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
-	n := len(defects)
-	res := decoder.Result{}
-	if n == 0 {
-		return res
+	if len(defects) == 0 {
+		return decoder.Result{}
 	}
+	if d.dense || !d.sparseSupported() {
+		return d.decodeDense(defects)
+	}
+	return d.decodeSparse(defects)
+}
 
-	if cap(d.bCost) < n {
-		d.bCost = make([]int64, n)
-		d.bLeft = make([]bool, n)
+// sparseSupported reports whether the metric admits the sparse pipeline's
+// lower bounds: candidate enumeration divides by WN and bounds box routes by
+// approach costs, which requires finite, strictly positive normal weights
+// and finite, non-negative anomalous weights (WA < 0 arises only for
+// pano > 1/2, where box-internal paths have negative cost and no spatial
+// bound holds; infinite weights come from degenerate rates like pano = 0 and
+// overflow the quantizer). Out of range, Decode falls back to the dense
+// construction so both modes stay behaviour-identical.
+func (d *Decoder) sparseSupported() bool {
+	if !(d.M.WN > 0) || math.IsInf(d.M.WN, 1) {
+		return false
+	}
+	return !d.M.Weighted() || (d.M.WA >= 0 && !math.IsInf(d.M.WA, 1))
+}
+
+// decodeDense is the dense all-pairs virtual-mirror path.
+func (d *Decoder) decodeDense(defects []lattice.Coord) decoder.Result {
+	n := len(defects)
+	res := decoder.Result{Components: 1}
+
+	bCost, bLeft := d.boundaryCosts(defects)
+	if cap(d.done) < n {
 		d.done = make([]bool, n)
 	}
-	bCost, bLeft, done := d.bCost[:n], d.bLeft[:n], d.done[:n]
-	for i, c := range defects {
-		cost, left := d.M.BoundaryDist(c)
-		bCost[i] = d.quantize(cost)
-		bLeft[i] = left
-	}
+	done := d.done[:n]
 
 	size := 2 * n
 	cost := d.costMatrix(size)
@@ -106,6 +149,23 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	res.Matches = d.matches
 	res.CutParity = decoder.CutParityOf(res.Matches)
 	return res
+}
+
+// boundaryCosts fills the quantized boundary cost and side for every defect
+// into the reusable bCost/bLeft arenas.
+func (d *Decoder) boundaryCosts(defects []lattice.Coord) ([]int64, []bool) {
+	n := len(defects)
+	if cap(d.bCost) < n {
+		d.bCost = make([]int64, n)
+		d.bLeft = make([]bool, n)
+	}
+	bCost, bLeft := d.bCost[:n], d.bLeft[:n]
+	for i, c := range defects {
+		cost, left := d.M.BoundaryDist(c)
+		bCost[i] = d.quantize(cost)
+		bLeft[i] = left
+	}
+	return bCost, bLeft
 }
 
 // costMatrix returns a size×size matrix whose rows share one flat backing

@@ -1,0 +1,168 @@
+package mwpm
+
+// Union-find component decomposition over the surviving candidate edges
+// (sparse.go). Defects connected by kept edges must be solved together; every
+// cross-component pair is pruned, i.e. provably no cheaper than sending both
+// endpoints to the boundary, so the matching problem decomposes exactly into
+// one independent blossom solve per component (correctness argument in
+// DESIGN.md §10).
+
+// unionFind is an arena-reused disjoint-set forest over defect indices, with
+// union by size and path halving.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// reset re-arms the forest for n singleton sets.
+func (u *unionFind) reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.size = make([]int32, n)
+	}
+	u.parent, u.size = u.parent[:n], u.size[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// components groups defect indices by connected component. Component ids are
+// assigned in order of each component's smallest defect index, members are
+// listed in ascending defect order within a component, and edges are bucketed
+// per component — all deterministic, so the per-component solve order (and
+// with it every tie-break) is a pure function of the input.
+type components struct {
+	uf      unionFind
+	compOf  []int32 // defect -> component id
+	local   []int32 // defect -> position within its component
+	start   []int32 // component id -> offset into members (len = count+1)
+	members []int32
+
+	edgeStart []int32    // component id -> offset into edges (len = count+1)
+	edges     []candEdge // kept edges bucketed by component (may alias build's input)
+	edgesBuf  []candEdge // arena for the bucketed copy when sorting is needed
+	count     int
+}
+
+// grow sizes the per-defect arrays for n defects and resets the forest.
+func (c *components) grow(n int) {
+	c.uf.reset(n)
+	if cap(c.compOf) < n {
+		c.compOf = make([]int32, n)
+		c.local = make([]int32, n)
+		c.members = make([]int32, n)
+	}
+	c.compOf, c.local, c.members = c.compOf[:n], c.local[:n], c.members[:n]
+}
+
+// build assigns component ids and buckets the kept edges per component.
+// rawEdges may contain duplicates (a pair found by two enumeration channels);
+// duplicates carry identical weights and are harmless downstream.
+func (c *components) build(n int, rawEdges []candEdge) {
+	// First-touch id assignment scanning defects in ascending order, so a
+	// component's id is decided by its smallest member, not by whichever
+	// member the union-by-size heuristic left as root. local serves as the
+	// root->id scratch map until the real local positions are computed below.
+	rootID := c.local
+	for i := range rootID {
+		rootID[i] = -1
+	}
+	c.count = 0
+	for i := int32(0); i < int32(n); i++ {
+		r := c.uf.find(i)
+		if rootID[r] < 0 {
+			rootID[r] = int32(c.count)
+			c.count++
+		}
+		c.compOf[i] = rootID[r]
+	}
+	if cap(c.start) < c.count+1 {
+		c.start = make([]int32, c.count+1)
+		c.edgeStart = make([]int32, c.count+1)
+	}
+	c.start, c.edgeStart = c.start[:c.count+1], c.edgeStart[:c.count+1]
+
+	clear(c.start)
+	for i := int32(0); i < int32(n); i++ {
+		c.start[c.compOf[i]+1]++
+	}
+	for k := 1; k <= c.count; k++ {
+		c.start[k] += c.start[k-1]
+	}
+	fill := c.start
+	for i := int32(0); i < int32(n); i++ {
+		id := c.compOf[i]
+		c.members[fill[id]] = i
+		fill[id]++
+	}
+	// fill bumped every begin by the component size; shift back.
+	copy(c.start[1:], c.start[:c.count])
+	c.start[0] = 0
+	for id := 0; id < c.count; id++ {
+		for pos, m := range c.members[c.start[id]:c.start[id+1]] {
+			c.local[m] = int32(pos)
+		}
+	}
+
+	// Bucket edges per component. With a single component (the usual MBBE
+	// shape: the anomalous cluster chains everything together) the bucketing
+	// is the identity, so alias the raw list — valid because the caller does
+	// not touch it until the per-component solves finish. Otherwise scatter
+	// into a dedicated arena (never the raw list itself: the scatter would
+	// read and write the same backing array).
+	if c.count == 1 {
+		c.edges = rawEdges
+		c.edgeStart[0], c.edgeStart[1] = 0, int32(len(rawEdges))
+		return
+	}
+	if cap(c.edgesBuf) < len(rawEdges) {
+		c.edgesBuf = make([]candEdge, len(rawEdges))
+	}
+	c.edges = c.edgesBuf[:len(rawEdges)]
+	clear(c.edgeStart)
+	for _, e := range rawEdges {
+		c.edgeStart[c.compOf[e.i]+1]++
+	}
+	for k := 1; k <= c.count; k++ {
+		c.edgeStart[k] += c.edgeStart[k-1]
+	}
+	efill := c.edgeStart
+	for _, e := range rawEdges {
+		id := c.compOf[e.i]
+		c.edges[efill[id]] = e
+		efill[id]++
+	}
+	copy(c.edgeStart[1:], c.edgeStart[:c.count])
+	c.edgeStart[0] = 0
+}
+
+// compMembers returns component id's defect indices in ascending order.
+func (c *components) compMembers(id int) []int32 {
+	return c.members[c.start[id]:c.start[id+1]]
+}
+
+// compEdges returns component id's kept edges.
+func (c *components) compEdges(id int) []candEdge {
+	return c.edges[c.edgeStart[id]:c.edgeStart[id+1]]
+}

@@ -36,6 +36,43 @@ func TestMatcherReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestSolveJumpStartMatchesSolve pins the warm start's exactness: across
+// random problems — including the tie-saturated regime the MBBE clusters
+// produce — SolveJumpStart must report the same minimum total as Solve (and
+// brute force where feasible), with a valid perfect matching. Mates may
+// differ: the warm start legitimately breaks ties differently.
+func TestSolveJumpStartMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 67))
+	var plain, jump Matcher
+	for trial := 0; trial < 400; trial++ {
+		n := 2 * (1 + rng.IntN(8)) // 2..16
+		maxW := int64(3)           // mostly ties
+		if trial%3 == 0 {
+			maxW = 200
+		}
+		cost := randCost(rng, n, maxW)
+		if trial%4 == 0 {
+			// Zero-clique prefix, the MBBE shape: the first half pairs at 0.
+			for i := 0; i < n/2; i++ {
+				for j := i + 1; j < n/2; j++ {
+					cost[i][j], cost[j][i] = 0, 0
+				}
+			}
+		}
+		mate, total := jump.SolveJumpStart(cost)
+		_, plainTotal := plain.Solve(cost)
+		if total != plainTotal {
+			t.Fatalf("trial %d n=%d: jump-start total %d != plain %d", trial, n, total, plainTotal)
+		}
+		if n <= 10 {
+			if want := bruteMin(cost, make([]bool, n)); total != want {
+				t.Fatalf("trial %d n=%d: jump-start total %d != brute %d", trial, n, total, want)
+			}
+		}
+		checkPerfect(t, mate, cost, total)
+	}
+}
+
 // TestMatcherReuseDegenerateTies stresses the blossom-heavy regime (many
 // equal weights) under reuse, where stale dual or slack state is most likely
 // to surface as a wrong or non-terminating phase.
@@ -43,7 +80,7 @@ func TestMatcherReuseDegenerateTies(t *testing.T) {
 	rng := rand.New(rand.NewPCG(47, 53))
 	var m Matcher
 	for trial := 0; trial < 200; trial++ {
-		n := 2 * (2 + rng.IntN(5)) // 4..12
+		n := 2 * (2 + rng.IntN(5))  // 4..12
 		cost := randCost(rng, n, 4) // tiny weight range forces ties and blossoms
 		mate, total := m.Solve(cost)
 		if want := bruteMin(cost, make([]bool, n)); total != want {

@@ -1,0 +1,292 @@
+package mwpm
+
+// Sparse, component-decomposed MWPM (DESIGN.md §10).
+//
+// The dense construction solves one O((2n)³) blossom over all defects plus n
+// virtual mirrors. At the paper's error rates defects cluster into many
+// small, well-separated groups, and two observations make the problem
+// decompose:
+//
+//  1. Boundary pruning. For any pair (i,j) with
+//     NodeDist(i,j) >= BoundaryDist(i)+BoundaryDist(j), matching both
+//     defects to the boundary is never worse than matching them to each
+//     other, so the pair edge can be priced at the boundary-cost sum without
+//     changing the optimal total weight: every pair cost becomes
+//     min(NodeDist, bI+bJ), evaluated exactly only for "kept" pairs
+//     (NodeDist strictly below the sum), which a spatial index enumerates
+//     without touching the O(n²) far pairs.
+//  2. Boundary folding. With pair costs already folded to
+//     min(NodeDist, bI+bJ), a matching over the defects alone encodes every
+//     boundary decision: a pair priced at bI+bJ decodes as two boundary
+//     matches. Only an odd component needs one extra virtual node (edge cost
+//     bI) for the single defect that goes to the boundary alone. This halves
+//     the blossom size from 2k to k(+1).
+//
+// Kept edges connect defects into union-find components; cross-component
+// pairs are all pruned, so each component solves independently on its own
+// small matrix (reusing one Matcher arena sequentially) and the totals sum
+// to exactly the dense optimum in quantized integer weights — property- and
+// fuzz-tested against decodeDense in sparse_test.go.
+
+import (
+	"slices"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// candEdge is a surviving (kept) candidate pair: quantized NodeDist strictly
+// below the endpoints' boundary-cost sum. i < j.
+type candEdge struct {
+	i, j int32
+	w    int64
+}
+
+// sparseScratch holds the sparse pipeline's arenas, grown to high-water
+// sizes and reused across Decode calls.
+type sparseScratch struct {
+	idx      lattice.DefectIndex
+	dist     lattice.DistBatch
+	near     []int32  // spatial-query result buffer
+	seen     []uint64 // pair-tested bitset (i*n+j), dedups the two channels
+	zero     []bool   // zero-clique membership (WA == 0 and touching the box)
+	edges    []candEdge
+	comps    components
+	boxOrder []int64 // packed (boxScore<<shift | defect) keys, sorted
+}
+
+// boxOrderShift packs a defect index into the low bits of its sort key; the
+// score occupies the high bits, so sorting the packed keys orders by
+// (score, index) even for negative scores.
+const boxOrderShift = 24
+
+// decodeSparse runs the sparse pipeline. Preconditions (sparseSupported):
+// WN > 0, and WA >= 0 when the metric is weighted.
+func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
+	n := len(defects)
+	sp := &d.sp
+	bCost, bLeft := d.boundaryCosts(defects)
+
+	// Single defect: straight to the boundary, no graphs, no blossom.
+	if n == 1 {
+		d.matches = append(d.matches[:0], decoder.Match{A: 0, B: decoder.BoundaryPartner, Left: bLeft[0]})
+		return decoder.Result{
+			Matches:    d.matches,
+			CutParity:  decoder.CutParityOf(d.matches),
+			Weight:     float64(bCost[0]) / d.Scale,
+			Components: 1,
+		}
+	}
+
+	sp.comps.grow(n)
+	sp.edges = sp.edges[:0]
+	sp.dist.Bind(d.M, defects)
+	words := (n*n + 63) / 64
+	if cap(sp.seen) < words {
+		sp.seen = make([]uint64, words)
+	}
+	sp.seen = sp.seen[:words]
+	clear(sp.seen)
+
+	// Zero clique: with WA == 0, every pair of defects touching the box costs
+	// exactly 0 (paths run through the free anomalous region), so the whole
+	// clique needs no per-pair evaluation: union its members in one pass,
+	// skip its pairs in both channels, and let the matrix fill price them 0.
+	if cap(sp.zero) < n {
+		sp.zero = make([]bool, n)
+	}
+	sp.zero = sp.zero[:n]
+	zeroClique := d.M.Weighted() && d.M.WA == 0
+	first := int32(-1)
+	for i := range sp.zero {
+		sp.zero[i] = zeroClique && sp.dist.ZeroApproach(i)
+		if sp.zero[i] {
+			if first >= 0 {
+				sp.comps.uf.union(first, int32(i))
+			}
+			first = int32(i)
+		}
+	}
+
+	bMax := bCost[0]
+	for _, b := range bCost[1:] {
+		if b > bMax {
+			bMax = b
+		}
+	}
+
+	// Channel 1: direct paths. A pair can only beat its boundary-cost sum
+	// directly if Manhattan(i,j)*WN < bI+bJ (+ quantization slack), so
+	// enumerate neighbours within radius (bI+bMax)/(Scale*WN), rounded up.
+	// The radius bound is symmetric, so without a zero clique NearAfter's
+	// j>i half-enumeration visits every candidate pair once. With a zero
+	// clique, query only from non-clique defects: clique-internal pairs need
+	// no edge at all, and a mixed pair is always found from its non-clique
+	// endpoint (whose radius covers it, since bMax ≥ the clique member's
+	// boundary cost) — that skips the clique's O(|clique|·n) scan work, the
+	// bulk of the MBBE candidate phase.
+	sp.idx.Build(defects)
+	scaleWN := d.Scale * d.M.WN
+	hasZero := first >= 0
+	for i := 0; i < n; i++ {
+		if hasZero && sp.zero[i] {
+			continue
+		}
+		r := int((float64(bCost[i]+bMax) + 3) / scaleWN)
+		if hasZero {
+			sp.near = sp.idx.Near(sp.near[:0], i, r)
+			for _, j := range sp.near {
+				if int(j) < i {
+					d.tryEdge(bCost, j, int32(i))
+				} else {
+					d.tryEdge(bCost, int32(i), j)
+				}
+			}
+			continue
+		}
+		sp.near = sp.idx.NearAfter(sp.near[:0], i, r)
+		for _, j := range sp.near {
+			d.tryEdge(bCost, int32(i), j)
+		}
+	}
+
+	// Channel 2: box-routed paths (weighted metric only). Any path through
+	// the anomalous region costs at least BoxApproach(i)+BoxApproach(j), so
+	// only pairs with (qBox(i)-bI)+(qBox(j)-bJ) below the quantization slack
+	// can beat the boundary sum through the box. Sorting defects by that
+	// score turns the candidate set into a prefix-bounded double loop with
+	// early exit.
+	if d.M.Weighted() {
+		sp.boxOrder = sp.boxOrder[:0]
+		for i := range defects {
+			score := d.quantize(sp.dist.ApproachCost(i)) - bCost[i]
+			sp.boxOrder = append(sp.boxOrder, score<<boxOrderShift|int64(i))
+		}
+		slices.Sort(sp.boxOrder)
+		const slack = 4
+		for a := 0; a < n; a++ {
+			sa := sp.boxOrder[a] >> boxOrderShift
+			for b := a + 1; b < n; b++ {
+				if sa+(sp.boxOrder[b]>>boxOrderShift) >= slack {
+					break
+				}
+				i := int32(sp.boxOrder[a] & (1<<boxOrderShift - 1))
+				j := int32(sp.boxOrder[b] & (1<<boxOrderShift - 1))
+				if i > j {
+					i, j = j, i
+				}
+				d.tryEdge(bCost, i, j)
+			}
+		}
+	}
+
+	sp.comps.build(n, sp.edges)
+	return d.solveComponents(defects, bCost, bLeft)
+}
+
+// tryEdge evaluates the exact pruning rule for an enumerated pair (i < j)
+// and, when the pair survives, records the edge and unions the component
+// structure. A pair-tested bitset makes the call idempotent, so the two
+// enumeration channels never evaluate (or record) a pair twice.
+func (d *Decoder) tryEdge(bCost []int64, i, j int32) {
+	if d.sp.zero[i] && d.sp.zero[j] {
+		return // zero-clique pair: already unioned, priced 0 by the fill
+	}
+	bit := int(i)*len(bCost) + int(j)
+	if d.sp.seen[bit>>6]&(1<<(bit&63)) != 0 {
+		return
+	}
+	d.sp.seen[bit>>6] |= 1 << (bit & 63)
+	w := d.quantize(d.sp.dist.NodeDist(int(i), int(j)))
+	if w < bCost[i]+bCost[j] {
+		d.sp.edges = append(d.sp.edges, candEdge{i: i, j: j, w: w})
+		d.sp.comps.uf.union(i, j)
+	}
+}
+
+// solveComponents runs one blossom per component and assembles the global
+// result. Matches are emitted component by component (components ordered by
+// smallest member, members in ascending defect order), so the output — and
+// every tie-break inside the reused Matcher — is deterministic.
+func (d *Decoder) solveComponents(defects []lattice.Coord, bCost []int64, bLeft []bool) decoder.Result {
+	sp := &d.sp
+	d.matches = d.matches[:0]
+	var total int64
+	for id := 0; id < sp.comps.count; id++ {
+		members := sp.comps.compMembers(id)
+		k := len(members)
+
+		if k == 1 {
+			g := members[0]
+			total += bCost[g]
+			d.matches = append(d.matches, decoder.Match{A: int(g), B: decoder.BoundaryPartner, Left: bLeft[g]})
+			continue
+		}
+
+		// Pair fast path: a two-defect component is connected by a kept edge
+		// or is a zero-clique pair; either way the pair match beats (or, at
+		// zero, costs no more than) the boundary sum.
+		edges := sp.comps.compEdges(id)
+		if k == 2 {
+			if len(edges) > 0 {
+				total += edges[0].w
+			} // else: zero-clique pair, weight 0
+			d.matches = append(d.matches, decoder.Match{A: int(members[0]), B: int(members[1])})
+			continue
+		}
+
+		matSize := k + (k & 1) // one virtual boundary node when k is odd
+		cost := d.costMatrix(matSize)
+		for a := 0; a < k; a++ {
+			ga := members[a]
+			row := cost[a]
+			za := sp.zero[ga]
+			for b := a + 1; b < k; b++ {
+				gb := members[b]
+				w := bCost[ga] + bCost[gb]
+				if za && sp.zero[gb] {
+					w = 0
+				}
+				row[b], cost[b][a] = w, w
+			}
+			if matSize > k {
+				row[k], cost[k][a] = bCost[ga], bCost[ga]
+			}
+		}
+		for _, e := range edges {
+			la, lb := sp.comps.local[e.i], sp.comps.local[e.j]
+			cost[la][lb], cost[lb][la] = e.w, e.w
+		}
+
+		mate, sub := d.matcher.SolveJumpStart(cost)
+		total += sub
+		for a := 0; a < k; a++ {
+			b := mate[a]
+			if b < a {
+				continue // emitted from the other side
+			}
+			ga := members[a]
+			switch {
+			case b == k: // virtual boundary node (odd component)
+				d.matches = append(d.matches, decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]})
+			case cost[a][b] < bCost[ga]+bCost[members[b]]:
+				// Strictly below the boundary-cost sum ⇔ a kept pair edge
+				// (pruned entries equal the sum exactly): an internal match.
+				d.matches = append(d.matches, decoder.Match{A: int(ga), B: int(members[b])})
+			default:
+				// Pruned pair priced at the boundary-cost sum: decode as two
+				// independent boundary matches.
+				gb := members[b]
+				d.matches = append(d.matches,
+					decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]},
+					decoder.Match{A: int(gb), B: decoder.BoundaryPartner, Left: bLeft[gb]})
+			}
+		}
+	}
+	return decoder.Result{
+		Matches:    d.matches,
+		CutParity:  decoder.CutParityOf(d.matches),
+		Weight:     float64(total) / d.Scale,
+		Components: sp.comps.count,
+	}
+}

@@ -1,0 +1,307 @@
+package mwpm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// randomDefects draws a uniformly random defect set of the requested size
+// (distinct nodes) on the lattice.
+func randomDefects(rng *rand.Rand, l *lattice.Lattice, n int) []lattice.Coord {
+	seen := make(map[int32]bool, n)
+	out := make([]lattice.Coord, 0, n)
+	for len(out) < n {
+		id := int32(rng.IntN(l.NumNodes()))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, l.NodeCoord(id))
+	}
+	return out
+}
+
+// clusteredDefects draws defect sets shaped like the decoding workload:
+// a few tight clusters (error chains) plus isolated singles.
+func clusteredDefects(rng *rand.Rand, l *lattice.Lattice, clusters, spread int) []lattice.Coord {
+	seen := make(map[int32]bool)
+	var out []lattice.Coord
+	for c := 0; c < clusters; c++ {
+		centre := l.NodeCoord(int32(rng.IntN(l.NumNodes())))
+		size := 1 + rng.IntN(4)
+		for s := 0; s < size; s++ {
+			co := lattice.Coord{
+				R: centre.R + rng.IntN(2*spread+1) - spread,
+				C: centre.C + rng.IntN(2*spread+1) - spread,
+				T: centre.T + rng.IntN(2*spread+1) - spread,
+			}
+			if !l.InBounds(co) {
+				continue
+			}
+			if id := l.NodeID(co); !seen[id] {
+				seen[id] = true
+				out = append(out, co)
+			}
+		}
+	}
+	return out
+}
+
+type metricShape struct {
+	name string
+	mk   func(d, rounds int) *lattice.Metric
+}
+
+func metricShapes() []metricShape {
+	return []metricShape{
+		{"uniform", func(d, rounds int) *lattice.Metric {
+			return lattice.UniformMetric(d)
+		}},
+		{"weighted", func(d, rounds int) *lattice.Metric {
+			return lattice.NewMetric(d, 1e-2, 1e-3, nil) // weighted edges, no box
+		}},
+		{"mbbe-box", func(d, rounds int) *lattice.Metric {
+			box := lattice.New(d, rounds).CenteredBox(min(4, d-1))
+			return lattice.NewMetric(d, 1e-2, 0.5, &box) // WA = 0: degenerate ties
+		}},
+		{"mbbe-box-mild", func(d, rounds int) *lattice.Metric {
+			box := lattice.New(d, rounds).CenteredBox(3)
+			return lattice.NewMetric(d, 1e-2, 0.2, &box) // 0 < WA < WN
+		}},
+		{"mbbe-box-penalty", func(d, rounds int) *lattice.Metric {
+			// pano < p makes WA > WN: box routing is a penalty, never a
+			// shortcut. sparseSupported admits this regime, so it needs its
+			// own equivalence coverage.
+			box := lattice.New(d, rounds).CenteredBox(3)
+			return lattice.NewMetric(d, 1e-2, 1e-3, &box)
+		}},
+	}
+}
+
+// checkEquivalent decodes the defect set with both pipelines on fresh-warm
+// shared decoders and checks the sparse invariants: identical total matching
+// weight (exact in quantized integers, hence exact in float), a valid
+// partition of the defects, and a sane component count. It reports whether
+// the logical cut parities agreed (ties may legitimately break differently).
+func checkEquivalent(t *testing.T, sparse, dense *Decoder, defects []lattice.Coord) bool {
+	t.Helper()
+	sres := sparse.Decode(defects)
+	sMatches := append([]decoder.Match(nil), sres.Matches...)
+	dres := dense.Decode(defects)
+
+	if sres.Weight != dres.Weight {
+		t.Fatalf("n=%d: sparse weight %v != dense weight %v\ndefects: %v\nsparse: %v\ndense: %v",
+			len(defects), sres.Weight, dres.Weight, defects, sMatches, dres.Matches)
+	}
+	if !decoder.Validate(decoder.Result{Matches: sMatches}, len(defects)) {
+		t.Fatalf("n=%d: sparse matching is not a partition: %v", len(defects), sMatches)
+	}
+	if len(defects) > 0 && sres.Components < 1 {
+		t.Fatalf("n=%d: sparse components = %d", len(defects), sres.Components)
+	}
+	if dres.Components != 1 && len(defects) > 0 {
+		t.Fatalf("dense components = %d, want 1", dres.Components)
+	}
+	return sres.CutParity == dres.CutParity
+}
+
+// bruteParityOptima brute-forces the decoding model both pipelines share —
+// every defect pairs with another (cost = quantized NodeDist) or goes to its
+// cheaper boundary (cost = quantized BoundaryDist, parity ^= left) — and
+// returns the minimum total weight achieving even and odd cut parity
+// (infWeight when a parity is unreachable). Exponential; small n only.
+func bruteParityOptima(m *lattice.Metric, scale float64, defects []lattice.Coord) [2]int64 {
+	n := len(defects)
+	q := func(c float64) int64 { return int64(math.Round(c * scale)) }
+	bCost := make([]int64, n)
+	bLeft := make([]bool, n)
+	for i, c := range defects {
+		cost, left := m.BoundaryDist(c)
+		bCost[i], bLeft[i] = q(cost), left
+	}
+	used := make([]bool, n)
+	var rec func() [2]int64
+	rec = func() [2]int64 {
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		if first == -1 {
+			return [2]int64{0, infWeight}
+		}
+		used[first] = true
+		best := [2]int64{infWeight, infWeight}
+		consider := func(cost int64, flip bool, sub [2]int64) {
+			for p := 0; p < 2; p++ {
+				if sub[p] == infWeight {
+					continue
+				}
+				tp := p
+				if flip {
+					tp ^= 1
+				}
+				if v := cost + sub[p]; v < best[tp] {
+					best[tp] = v
+				}
+			}
+		}
+		consider(bCost[first], bLeft[first], rec())
+		for j := first + 1; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			consider(q(m.NodeDist(defects[first], defects[j])), false, rec())
+			used[j] = false
+		}
+		used[first] = false
+		return best
+	}
+	return rec()
+}
+
+// TestSparseWeightEqualsDense is the headline property test: across all
+// metric shapes and many randomized defect sets, the sparse pipeline's total
+// matching weight must equal the dense blossom's exactly. When the two
+// pipelines disagree on the logical cut parity, the disagreement must be a
+// demonstrated tie: brute force (small n) has to confirm both parities reach
+// the same minimum weight.
+func TestSparseWeightEqualsDense(t *testing.T) {
+	for _, shape := range metricShapes() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(0xC0FFEE, 0xD00D))
+			parityTies, tiesVerified, trials := 0, 0, 0
+			for _, d := range []int{3, 5, 7, 9} {
+				rounds := d
+				l := lattice.New(d, rounds)
+				m := shape.mk(d, rounds)
+				sparse, dense := New(m), NewDense(m)
+				for trial := 0; trial < 60; trial++ {
+					var defects []lattice.Coord
+					if trial%2 == 0 {
+						defects = randomDefects(rng, l, rng.IntN(min(24, l.NumNodes())))
+					} else {
+						defects = clusteredDefects(rng, l, 1+rng.IntN(6), 2)
+					}
+					trials++
+					if !checkEquivalent(t, sparse, dense, defects) {
+						parityTies++
+						if len(defects) <= 10 {
+							opt := bruteParityOptima(m, DefaultScale, defects)
+							if opt[0] != opt[1] {
+								t.Fatalf("n=%d: parity mismatch without a weight tie: optima %v, defects %v",
+									len(defects), opt, defects)
+							}
+							tiesVerified++
+						}
+					}
+				}
+			}
+			t.Logf("%d/%d trials broke parity ties differently (%d verified tied by brute force)",
+				parityTies, trials, tiesVerified)
+		})
+	}
+}
+
+// TestSparseSmallEdgeCases pins the fast paths: empty syndrome, a single
+// defect (straight to boundary), a two-defect component, and an all-pruned
+// set where every defect goes to the boundary.
+func TestSparseSmallEdgeCases(t *testing.T) {
+	m := lattice.UniformMetric(9)
+	sparse, dense := New(m), NewDense(m)
+
+	if res := sparse.Decode(nil); len(res.Matches) != 0 || res.Weight != 0 || res.Components != 0 {
+		t.Errorf("empty syndrome: %+v", res)
+	}
+
+	one := []lattice.Coord{{R: 4, C: 3, T: 2}}
+	res := sparse.Decode(one)
+	if len(res.Matches) != 1 || res.Matches[0].B != decoder.BoundaryPartner || res.Components != 1 {
+		t.Errorf("single defect: %+v", res)
+	}
+	if dres := dense.Decode(one); dres.Weight != res.Weight || dres.CutParity != res.CutParity {
+		t.Errorf("single defect disagrees with dense: %+v vs %+v", res, dres)
+	}
+
+	// Adjacent pair in the bulk: must match internally, one component.
+	pair := []lattice.Coord{{R: 4, C: 3, T: 4}, {R: 4, C: 4, T: 4}}
+	res = sparse.Decode(pair)
+	if len(res.Matches) != 1 || res.Matches[0].B == decoder.BoundaryPartner || res.Components != 1 {
+		t.Errorf("adjacent pair: %+v", res)
+	}
+	checkEquivalent(t, sparse, dense, pair)
+
+	// Two defects hugging opposite boundaries: the pair edge is pruned
+	// (NodeDist across the lattice ≥ both boundary costs), so two components
+	// and two boundary matches.
+	far := []lattice.Coord{{R: 0, C: 0, T: 0}, {R: 8, C: 7, T: 8}}
+	res = sparse.Decode(far)
+	if len(res.Matches) != 2 || res.Components != 2 {
+		t.Errorf("far pair should decompose: %+v", res)
+	}
+	for _, mt := range res.Matches {
+		if mt.B != decoder.BoundaryPartner {
+			t.Errorf("far pair should match boundary: %+v", res.Matches)
+		}
+	}
+	checkEquivalent(t, sparse, dense, far)
+}
+
+// TestSparseFallsBackOutsideSupportedWeights pins the guard: pano > 1/2
+// makes WA negative, where the spatial lower bounds do not hold, so Decode
+// must route to the dense construction (and still succeed).
+func TestSparseFallsBackOutsideSupportedWeights(t *testing.T) {
+	d := 7
+	box := lattice.New(d, d).CenteredBox(3)
+	m := lattice.NewMetric(d, 1e-2, 0.8, &box) // WA < 0
+	dec := New(m)
+	if dec.sparseSupported() {
+		t.Fatal("WA < 0 should not be sparse-supported")
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	l := lattice.New(d, d)
+	defects := randomDefects(rng, l, 10)
+	res := dec.Decode(defects)
+	want := NewDense(m).Decode(defects)
+	if res.Weight != want.Weight || res.Components != 1 {
+		t.Errorf("fallback decode = %+v, want dense-equivalent %+v", res, want)
+	}
+}
+
+// FuzzSparseMatchesDense drives the equivalence property from fuzzed inputs:
+// the fuzzer picks the lattice size, metric shape and a defect-set seed, and
+// the sparse and dense pipelines must agree on the total matching weight.
+func FuzzSparseMatchesDense(f *testing.F) {
+	f.Add(uint64(1), 5, false, uint8(50), 8)
+	f.Add(uint64(2), 7, true, uint8(50), 16)
+	f.Add(uint64(3), 9, true, uint8(20), 24)
+	f.Add(uint64(4), 3, false, uint8(0), 3)
+	f.Fuzz(func(t *testing.T, seed uint64, d int, mbbe bool, panoPct uint8, n int) {
+		if d < 2 || d > 11 || n < 0 || n > 40 {
+			t.Skip()
+		}
+		rounds := d
+		l := lattice.New(d, rounds)
+		if n > l.NumNodes() {
+			t.Skip()
+		}
+		var m *lattice.Metric
+		if mbbe {
+			pano := float64(panoPct%51) / 100 // 0.00..0.50 keeps WA >= 0
+			box := l.CenteredBox(min(3, d-1))
+			m = lattice.NewMetric(d, 1e-2, pano, &box)
+		} else {
+			m = lattice.UniformMetric(d)
+		}
+		rng := rand.New(rand.NewPCG(seed, 0x5EED))
+		defects := randomDefects(rng, l, n)
+		checkEquivalent(t, New(m), NewDense(m), defects)
+	})
+}

@@ -258,6 +258,7 @@ feed:
 			failures.Add(r.Failures)
 			e.metrics.shardsExecuted.Add(1)
 			e.metrics.shotsExecuted.Add(r.Shots)
+			e.metrics.decodeNs.Add(r.DecodeNs)
 			if job != nil {
 				job.observeShard(r)
 			}

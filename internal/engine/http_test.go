@@ -266,10 +266,17 @@ func TestHTTPMetrics(t *testing.T) {
 		"q3de_jobs_done_total 1",
 		"q3de_shots_executed_total 1000",
 		"q3de_workspace_cache_misses_total 1",
+		"q3de_decode_ns_total",
+		"q3de_decode_shots_per_second",
 		fmt.Sprintf("q3de_workers %d", e.Workers()),
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q\n%s", want, body)
 		}
+	}
+	// The job executed real shards, so the cumulative decode time must be
+	// positive and the implied throughput finite and positive.
+	if m := e.Metrics(); m.DecodeNs <= 0 || m.DecodeShotsPerSec <= 0 {
+		t.Errorf("decode metrics not populated: ns=%d shots/s=%g", m.DecodeNs, m.DecodeShotsPerSec)
 	}
 }

@@ -73,7 +73,7 @@ type MemorySpec struct {
 	Box         *BoxSpec `json:"box,omitempty"`
 	DAno        int      `json:"d_ano,omitempty"`
 	PAno        float64  `json:"p_ano,omitempty"`
-	Decoder     string   `json:"decoder,omitempty"` // greedy (default), mwpm, union-find
+	Decoder     string   `json:"decoder,omitempty"` // greedy (default), mwpm, mwpm-dense, union-find
 	Aware       bool     `json:"aware,omitempty"`
 	MaxShots    int64    `json:"max_shots,omitempty"`
 	MaxFailures int64    `json:"max_failures,omitempty"`

@@ -17,6 +17,7 @@ type metrics struct {
 	jobsCancelled  atomic.Int64
 	shardsExecuted atomic.Int64
 	shotsExecuted  atomic.Int64
+	decodeNs       atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 }
@@ -34,9 +35,18 @@ type MetricsSnapshot struct {
 	ShardsExecuted int64   `json:"shards_executed"`
 	ShotsExecuted  int64   `json:"shots_executed"`
 	ShotsPerSec    float64 `json:"shots_per_sec"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEntries   int64   `json:"cache_entries"`
+	// DecodeNs is the cumulative wall-clock time shard workers spent inside
+	// their sample-and-decode loops, summed across workers (so it can exceed
+	// uptime on a multi-worker engine). DecodeShotsPerSec is the decoder
+	// throughput implied by it: shots executed per second of decode-loop
+	// time, the number a serving deployment watches to see decoder
+	// optimisations (or regressions) directly, undiluted by queueing or idle
+	// time.
+	DecodeNs          int64   `json:"decode_ns_total"`
+	DecodeShotsPerSec float64 `json:"decode_shots_per_sec"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheEntries      int64   `json:"cache_entries"`
 }
 
 // Metrics snapshots the engine counters.
@@ -64,12 +74,16 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		JobsCancelled:  e.metrics.jobsCancelled.Load(),
 		ShardsExecuted: e.metrics.shardsExecuted.Load(),
 		ShotsExecuted:  e.metrics.shotsExecuted.Load(),
+		DecodeNs:       e.metrics.decodeNs.Load(),
 		CacheHits:      e.metrics.cacheHits.Load(),
 		CacheMisses:    e.metrics.cacheMisses.Load(),
 		CacheEntries:   int64(e.cache.len()),
 	}
 	if up > 0 {
 		snap.ShotsPerSec = float64(snap.ShotsExecuted) / up
+	}
+	if snap.DecodeNs > 0 {
+		snap.DecodeShotsPerSec = float64(snap.ShotsExecuted) / (float64(snap.DecodeNs) / 1e9)
 	}
 	return snap
 }
@@ -95,6 +109,8 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("shards_executed_total", s.ShardsExecuted, "Seed-sharded chunks executed.")
 	counter("shots_executed_total", s.ShotsExecuted, "Monte-Carlo shots executed.")
 	gauge("shots_per_second", s.ShotsPerSec, "Lifetime average decoding throughput.")
+	counter("decode_ns_total", s.DecodeNs, "Cumulative wall-clock nanoseconds spent in shard sample-and-decode loops (summed across workers).")
+	gauge("decode_shots_per_second", s.DecodeShotsPerSec, "Decoder throughput: shots per second of decode-loop time.")
 	counter("workspace_cache_hits_total", s.CacheHits, "Workspace cache hits.")
 	counter("workspace_cache_misses_total", s.CacheMisses, "Workspace cache misses.")
 	gauge("workspace_cache_entries", float64(s.CacheEntries), "Cached (lattice, metric) workspaces.")

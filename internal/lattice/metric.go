@@ -88,6 +88,92 @@ func (m *Metric) BoundaryDist(a Coord) (cost float64, left bool) {
 	return rCost, false
 }
 
+// BoxApproach returns the cost for a node to reach the anomalous box (the
+// approach-path cost of the node's L1 projection onto the box), or 0 for a
+// node already inside it or when the metric carries no box. Because every
+// box-routed path costs at least BoxApproach(a) + BoxApproach(b), the value
+// is a cheap per-node lower-bound component: candidate enumeration uses it to
+// bound which distant pairs could still beat their boundary-cost sum through
+// the box without evaluating NodeDist.
+func (m *Metric) BoxApproach(c Coord) float64 {
+	if m.Box == nil {
+		return 0
+	}
+	return m.approachCost(Manhattan(c, clampToBox(c, *m.Box)))
+}
+
+// DistBatch is a batched pair-distance oracle over one defect set: it
+// precomputes each coordinate's L1 projection onto the anomalous box and its
+// approach cost, so a NodeDist query costs two Manhattan evaluations instead
+// of re-deriving the box geometry per pair. Results are bit-identical to
+// Metric.NodeDist (same operations in the same order), which the sparse MWPM
+// pipeline relies on for exact weight equality with the dense reference.
+// Arenas are reused across Bind calls per the scratch-reuse convention.
+type DistBatch struct {
+	m      *Metric
+	coords []Coord
+	proj   []Coord   // L1 projection onto the box (weighted metrics only)
+	app    []float64 // approachCost(Manhattan(c, proj))
+}
+
+// Bind points the batch at a defect set, precomputing the per-coordinate box
+// data. The slice is aliased until the next Bind.
+func (b *DistBatch) Bind(m *Metric, coords []Coord) {
+	b.m = m
+	b.coords = coords
+	if !m.Weighted() {
+		return
+	}
+	if cap(b.proj) < len(coords) {
+		b.proj = make([]Coord, len(coords))
+		b.app = make([]float64, len(coords))
+	}
+	b.proj, b.app = b.proj[:len(coords)], b.app[:len(coords)]
+	box := *m.Box
+	for i, c := range coords {
+		p := clampToBox(c, box)
+		b.proj[i] = p
+		b.app[i] = m.approachCost(Manhattan(c, p))
+	}
+}
+
+// NodeDist returns the metric cost between defects i and j of the bound
+// batch, bit-identical to b.m.NodeDist(coords[i], coords[j]).
+func (b *DistBatch) NodeDist(i, j int) float64 {
+	m := b.m
+	direct := float64(Manhattan(b.coords[i], b.coords[j])) * m.WN
+	if !m.Weighted() {
+		return direct
+	}
+	// Same association order as Metric.viaBox: (enter + inside) + exit. The
+	// explicit comparison returns the same value as the math.Min the Metric
+	// path uses (costs are never NaN) without the call overhead.
+	via := b.app[i] + float64(Manhattan(b.proj[i], b.proj[j]))*m.WA + b.app[j]
+	if via < direct {
+		return via
+	}
+	return direct
+}
+
+// ApproachCost returns defect i's cached box-approach cost — the value
+// BoxApproach(coords[i]) would recompute — or 0 when the metric carries no
+// box.
+func (b *DistBatch) ApproachCost(i int) float64 {
+	if !b.m.Weighted() {
+		return 0
+	}
+	return b.app[i]
+}
+
+// ZeroApproach reports whether defect i touches the anomalous box: its
+// approach cost is exactly zero (inside the box, or one hop away — that hop
+// is an anomalous edge). When additionally WA == 0, any two such defects are
+// at NodeDist exactly 0, which the sparse MWPM pipeline exploits to skip
+// per-pair work across the whole zero clique.
+func (b *DistBatch) ZeroApproach(i int) bool {
+	return b.m.Weighted() && b.app[i] == 0
+}
+
 // clampToBox returns the L1 projection of c onto the box.
 func clampToBox(c Coord, b Box) Coord {
 	return Coord{

@@ -1,0 +1,190 @@
+package lattice
+
+// DefectIndex is a reusable grid-bucketed spatial index over one batch of
+// defect coordinates. Defects are bucketed into axis-aligned cubic cells of
+// side CellSize; Near then enumerates every defect within a given Manhattan
+// radius of a query defect by walking only the cells that intersect the
+// radius-r diamond, so the expected cost per query is O(1) for the small
+// radii the sparse MWPM pruning rule produces (radius ~ boundary distance,
+// not lattice size). When the diamond covers more cells than there are
+// defects, Near degrades gracefully to a filtered scan of the whole batch, so
+// a query is never asymptotically worse than O(n).
+//
+// The index follows the decoder scratch-reuse convention (DESIGN.md §9): all
+// internal arrays are retained between Build calls and grown only past their
+// high-water sizes, so steady-state Build+Near performs no heap allocation.
+// The coordinate slice passed to Build is aliased, not copied, and must stay
+// unchanged until the next Build.
+type DefectIndex struct {
+	// CellSize is the cell edge length; 0 means DefaultCellSize.
+	CellSize int
+
+	coords     []Coord
+	r0, c0, t0 int // minimum coordinate per axis (cell-grid origin)
+	nr, nc, nt int // grid dimensions in cells
+	diameter   int // upper bound on any pairwise Manhattan distance
+	starts     []int32
+	items      []int32
+	cellOf     []int32
+}
+
+// DefaultCellSize balances cell-walk overhead against per-cell scan length
+// for the defect densities of the paper's operating points (p ≈ 1e-2, MBBE
+// clusters): a 3³ cell holds O(1) defects in the clean bulk and a handful
+// inside an anomalous box.
+const DefaultCellSize = 3
+
+func (ix *DefectIndex) cellSize() int {
+	if ix.CellSize > 0 {
+		return ix.CellSize
+	}
+	return DefaultCellSize
+}
+
+// Build (re)indexes the batch. The slice is aliased until the next Build.
+func (ix *DefectIndex) Build(coords []Coord) {
+	ix.coords = coords
+	n := len(coords)
+	if n == 0 {
+		ix.nr, ix.nc, ix.nt = 0, 0, 0
+		return
+	}
+	cs := ix.cellSize()
+	ix.r0, ix.c0, ix.t0 = coords[0].R, coords[0].C, coords[0].T
+	rM, cM, tM := coords[0].R, coords[0].C, coords[0].T
+	for _, c := range coords[1:] {
+		ix.r0, rM = min(ix.r0, c.R), max(rM, c.R)
+		ix.c0, cM = min(ix.c0, c.C), max(cM, c.C)
+		ix.t0, tM = min(ix.t0, c.T), max(tM, c.T)
+	}
+	ix.nr = (rM-ix.r0)/cs + 1
+	ix.nc = (cM-ix.c0)/cs + 1
+	ix.nt = (tM-ix.t0)/cs + 1
+	ix.diameter = (rM - ix.r0) + (cM - ix.c0) + (tM - ix.t0)
+
+	cells := ix.nr * ix.nc * ix.nt
+	if cap(ix.starts) < cells+1 {
+		ix.starts = make([]int32, cells+1)
+	}
+	if cap(ix.items) < n {
+		ix.items = make([]int32, n)
+		ix.cellOf = make([]int32, n)
+	}
+	starts, items, cellOf := ix.starts[:cells+1], ix.items[:n], ix.cellOf[:n]
+	ix.starts, ix.items, ix.cellOf = starts, items, cellOf
+
+	// Counting sort of defects into cells.
+	clear(starts)
+	for i, c := range coords {
+		id := ix.cellID((c.R-ix.r0)/cs, (c.C-ix.c0)/cs, (c.T-ix.t0)/cs)
+		cellOf[i] = id
+		starts[id+1]++
+	}
+	for i := 1; i <= cells; i++ {
+		starts[i] += starts[i-1]
+	}
+	// starts now holds begin offsets; scatter, bumping each begin, then the
+	// bumped values are the next cell's begins — restore by shifting back.
+	for i := range coords {
+		id := cellOf[i]
+		items[starts[id]] = int32(i)
+		starts[id]++
+	}
+	copy(starts[1:], starts[:cells])
+	starts[0] = 0
+}
+
+func (ix *DefectIndex) cellID(cr, cc, ct int) int32 {
+	return int32((ct*ix.nc+cc)*ix.nr + cr)
+}
+
+// Near appends to dst the indices of every defect j ≠ i whose Manhattan
+// distance to defect i is at most radius, in unspecified order, and returns
+// the extended slice. Passing a reused dst[:0] keeps the query
+// allocation-free.
+func (ix *DefectIndex) Near(dst []int32, i, radius int) []int32 {
+	return ix.near(dst, i, radius, -1)
+}
+
+// NearAfter is Near restricted to indices j > i: the query shape for
+// unordered pair enumeration, where issuing NearAfter from every defect
+// visits each candidate pair exactly once (valid whenever the pair predicate
+// and the radius bound are symmetric).
+func (ix *DefectIndex) NearAfter(dst []int32, i, radius int) []int32 {
+	return ix.near(dst, i, radius, int32(i))
+}
+
+func (ix *DefectIndex) near(dst []int32, i, radius int, after int32) []int32 {
+	if radius < 0 || len(ix.coords) == 0 {
+		return dst
+	}
+	a := ix.coords[i]
+	cs := ix.cellSize()
+	crLo, crHi := ix.cellRange((a.R-ix.r0-radius)/cs, a.R-ix.r0+radius, cs, ix.nr)
+	ccLo, ccHi := ix.cellRange((a.C-ix.c0-radius)/cs, a.C-ix.c0+radius, cs, ix.nc)
+	ctLo, ctHi := ix.cellRange((a.T-ix.t0-radius)/cs, a.T-ix.t0+radius, cs, ix.nt)
+	// A diamond covering more cells than there are defects is cheaper to
+	// answer by scanning the batch.
+	if (crHi-crLo+1)*(ccHi-ccLo+1)*(ctHi-ctLo+1) >= len(ix.coords) {
+		if radius >= ix.diameter {
+			// The radius covers the whole batch; skip the distance filter.
+			for j := int(after) + 1; j < len(ix.coords); j++ {
+				if j != i {
+					dst = append(dst, int32(j))
+				}
+			}
+			return dst
+		}
+		for j := int(after) + 1; j < len(ix.coords); j++ {
+			if j != i && Manhattan(a, ix.coords[j]) <= radius {
+				dst = append(dst, int32(j))
+			}
+		}
+		return dst
+	}
+	for ct := ctLo; ct <= ctHi; ct++ {
+		dT := axisDist(a.T, ix.t0+ct*cs, cs)
+		for cc := ccLo; cc <= ccHi; cc++ {
+			dC := axisDist(a.C, ix.c0+cc*cs, cs)
+			if dT+dC > radius {
+				continue
+			}
+			for cr := crLo; cr <= crHi; cr++ {
+				if dT+dC+axisDist(a.R, ix.r0+cr*cs, cs) > radius {
+					continue
+				}
+				id := ix.cellID(cr, cc, ct)
+				for _, j := range ix.items[ix.starts[id]:ix.starts[id+1]] {
+					if j > after && int(j) != i && Manhattan(a, ix.coords[j]) <= radius {
+						dst = append(dst, j)
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// cellRange clamps a cell-coordinate window to the grid.
+func (ix *DefectIndex) cellRange(lo, hiPoint, cs, dim int) (int, int) {
+	hi := hiPoint / cs
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= dim {
+		hi = dim - 1
+	}
+	return lo, hi
+}
+
+// axisDist is the 1-D distance from point x to the interval
+// [lo, lo+cs-1] (zero when x lies inside it).
+func axisDist(x, lo, cs int) int {
+	if x < lo {
+		return lo - x
+	}
+	if hi := lo + cs - 1; x > hi {
+		return x - hi
+	}
+	return 0
+}

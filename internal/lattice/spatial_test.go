@@ -1,0 +1,123 @@
+package lattice
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// bruteNear is the reference for DefectIndex.Near: scan everything.
+func bruteNear(coords []Coord, i, radius int) []int32 {
+	var out []int32
+	for j, c := range coords {
+		if j != i && Manhattan(coords[i], c) <= radius {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+func TestDefectIndexNearMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	var ix DefectIndex
+	for trial := 0; trial < 200; trial++ {
+		n := rng.IntN(60)
+		coords := make([]Coord, n)
+		for i := range coords {
+			coords[i] = Coord{R: rng.IntN(13), C: rng.IntN(12), T: rng.IntN(13)}
+		}
+		ix.Build(coords) // reused across trials: exercises arena shrink/grow
+		var buf []int32
+		for i := 0; i < n; i++ {
+			for _, radius := range []int{0, 1, 2, 5, 11, 40} {
+				buf = ix.Near(buf[:0], i, radius)
+				got := append([]int32(nil), buf...)
+				want := bruteNear(coords, i, radius)
+				slices.Sort(got)
+				if !slices.Equal(got, want) {
+					t.Fatalf("trial %d i=%d r=%d: got %v want %v (coords %v)", trial, i, radius, got, want, coords)
+				}
+				buf = ix.NearAfter(buf[:0], i, radius)
+				got = append(got[:0], buf...)
+				slices.Sort(got)
+				var wantAfter []int32
+				for _, j := range want {
+					if int(j) > i {
+						wantAfter = append(wantAfter, j)
+					}
+				}
+				if !slices.Equal(got, wantAfter) {
+					t.Fatalf("trial %d i=%d r=%d: NearAfter got %v want %v", trial, i, radius, got, wantAfter)
+				}
+			}
+		}
+	}
+}
+
+func TestDefectIndexDuplicateCoords(t *testing.T) {
+	// Defect sets never repeat nodes, but the index must not care.
+	coords := []Coord{{1, 1, 1}, {1, 1, 1}, {4, 1, 1}}
+	var ix DefectIndex
+	ix.Build(coords)
+	got := ix.Near(nil, 0, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("duplicate at radius 0: %v", got)
+	}
+	got = ix.Near(got[:0], 2, 3)
+	slices.Sort(got)
+	if !slices.Equal(got, []int32{0, 1}) {
+		t.Errorf("radius 3 from outlier: %v", got)
+	}
+}
+
+func TestDefectIndexSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	coords := make([]Coord, 48)
+	for i := range coords {
+		coords[i] = Coord{R: rng.IntN(13), C: rng.IntN(12), T: rng.IntN(13)}
+	}
+	var ix DefectIndex
+	buf := make([]int32, 0, len(coords))
+	ix.Build(coords)
+	if avg := testing.AllocsPerRun(100, func() {
+		ix.Build(coords)
+		for i := range coords {
+			buf = ix.Near(buf[:0], i, 6)
+		}
+	}); avg > 0 {
+		t.Errorf("steady-state Build+Near allocates %.2f per run, want 0", avg)
+	}
+}
+
+// TestDistBatchMatchesMetric pins the bit-identity contract: the batched
+// oracle must reproduce Metric.NodeDist and Metric.BoxApproach exactly —
+// not approximately — across metric shapes, since the sparse MWPM pipeline's
+// weight equality with the dense solver depends on identical floats.
+func TestDistBatchMatchesMetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 33))
+	box := Box{R0: 2, R1: 5, C0: 2, C1: 5, T0: 0, T1: 8}
+	metrics := []*Metric{
+		UniformMetric(9),
+		NewMetric(9, 1e-2, 0.5, &box),  // WA = 0
+		NewMetric(9, 1e-2, 0.2, &box),  // 0 < WA < WN
+		NewMetric(9, 1e-2, 1e-3, &box), // WA > WN
+	}
+	var b DistBatch
+	for _, m := range metrics {
+		coords := make([]Coord, 40)
+		for i := range coords {
+			coords[i] = Coord{R: rng.IntN(9), C: rng.IntN(8), T: rng.IntN(9)}
+		}
+		b.Bind(m, coords)
+		for i := range coords {
+			if got, want := b.ApproachCost(i), m.BoxApproach(coords[i]); got != want {
+				t.Fatalf("ApproachCost(%d) = %v, want %v", i, got, want)
+			}
+			for j := i + 1; j < len(coords); j++ {
+				if got, want := b.NodeDist(i, j), m.NodeDist(coords[i], coords[j]); got != want {
+					t.Fatalf("NodeDist(%d,%d) = %v, want %v (WA=%v)", i, j, got, want, m.WA)
+				}
+			}
+		}
+	}
+}

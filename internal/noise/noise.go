@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"q3de/internal/lattice"
 )
@@ -105,7 +105,9 @@ func (m *Model) Draw(rng *rand.Rand, s *Sample) *Sample {
 			s.Defects = append(s.Defects, id)
 		}
 	}
-	sort.Slice(s.Defects, func(i, j int) bool { return s.Defects[i] < s.Defects[j] })
+	// slices.Sort rather than sort.Slice: same order, but no per-draw
+	// comparator closure — the last allocation on the sampling hot path.
+	slices.Sort(s.Defects)
 	return s
 }
 
@@ -148,26 +150,24 @@ func (m *Model) NodeActivityMoments(rng *rand.Rand, shots int) (mu, sigma float6
 	if shots <= 0 {
 		panic("noise: shots must be positive")
 	}
-	totalNodes := m.L.NumNodes()
-	var active, count float64
+	// The normal-node count is a property of the lattice and box, not of the
+	// sample; hoist it out of the per-shot loop.
+	normalNodes := m.L.NumNodes()
+	if m.Box != nil {
+		normalNodes -= boxNodeCount(*m.Box, m.L)
+	}
+	var active float64
 	var s Sample
 	for i := 0; i < shots; i++ {
 		m.Draw(rng, &s)
-		a := 0
 		for _, id := range s.Defects {
 			if m.Box != nil && m.Box.ContainsNode(m.L.NodeCoord(id)) {
 				continue
 			}
-			a++
+			active++
 		}
-		n := totalNodes
-		if m.Box != nil {
-			n -= boxNodeCount(*m.Box, m.L)
-		}
-		active += float64(a)
-		count += float64(n)
 	}
-	mu = active / count
+	mu = active / (float64(normalNodes) * float64(shots))
 	sigma = math.Sqrt(mu * (1 - mu)) // Bernoulli indicator
 	return mu, sigma
 }

@@ -32,6 +32,11 @@ const (
 	// DecoderUnionFind is the union-find decoder family the paper cites as
 	// the alternative implementable strategy.
 	DecoderUnionFind
+	// DecoderMWPMDense is the dense all-pairs MWPM construction the sparse
+	// pipeline replaced: weight-equivalent and kept as the cross-check
+	// reference (it still reproduces the PR-1 decision goldens bit for bit),
+	// but O(n³) in the full defect count.
+	DecoderMWPMDense
 )
 
 func (k DecoderKind) String() string {
@@ -42,6 +47,8 @@ func (k DecoderKind) String() string {
 		return "mwpm"
 	case DecoderUnionFind:
 		return "union-find"
+	case DecoderMWPMDense:
+		return "mwpm-dense"
 	default:
 		return fmt.Sprintf("DecoderKind(%d)", int(k))
 	}
@@ -102,6 +109,8 @@ func ParseDecoderKind(name string) (DecoderKind, error) {
 		return DecoderMWPM, nil
 	case "union-find", "unionfind":
 		return DecoderUnionFind, nil
+	case "mwpm-dense":
+		return DecoderMWPMDense, nil
 	default:
 		return 0, fmt.Errorf("unknown decoder %q", name)
 	}
@@ -121,6 +130,8 @@ func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
 		return greedy.New(m)
 	case DecoderMWPM:
 		return mwpm.New(m)
+	case DecoderMWPMDense:
+		return mwpm.NewDense(m)
 	case DecoderUnionFind:
 		if UnionFindFactory == nil {
 			panic("sim: union-find decoder not linked in; call unionfind.Register first")
@@ -195,6 +206,14 @@ func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 // sample and coordinate buffers are reused across calls.
 func DecodeShot(model *noise.Model, dec decoder.Decoder, rng *rand.Rand, s *noise.Sample, coords *[]lattice.Coord) bool {
 	model.Draw(rng, s)
+	// Empty-syndrome early-out: with no defects every decoder returns the
+	// identity correction (parity false), so the shot fails exactly when the
+	// error itself crossed the cut — skip the coordinate build and the
+	// Decode call entirely. At low physical rates this is a large fraction
+	// of all shots.
+	if len(s.Defects) == 0 {
+		return s.CutParity
+	}
 	cs := (*coords)[:0]
 	for _, id := range s.Defects {
 		cs = append(cs, model.L.NodeCoord(id))

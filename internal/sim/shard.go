@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"time"
+
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
 	"q3de/internal/decoder/mwpm"
@@ -53,6 +55,8 @@ func (c MemoryConfig) NewDecoderOn(ws *Workspace) decoder.Decoder {
 		return greedy.New(ws.Metric)
 	case DecoderMWPM:
 		return mwpm.New(ws.Metric)
+	case DecoderMWPMDense:
+		return mwpm.NewDense(ws.Metric)
 	case DecoderUnionFind:
 		if UnionFindFactory == nil {
 			panic("sim: union-find decoder not linked in; call unionfind.Register first")
@@ -93,6 +97,11 @@ type ShardResult struct {
 	Index    int   `json:"index"`
 	Shots    int64 `json:"shots"`
 	Failures int64 `json:"failures"`
+	// DecodeNs is the wall-clock nanoseconds this shard spent in its
+	// sample-and-decode loop (diagnostic; excluded from aggregation
+	// determinism — the engine surfaces the cumulative value in /metrics so
+	// serving deployments can watch decoder throughput directly).
+	DecodeNs int64 `json:"decode_ns,omitempty"`
 }
 
 // RunShard executes shard i of the configuration on the shared workspace,
@@ -115,11 +124,13 @@ func RunShardOn(ws *Workspace, cfg MemoryConfig, shard int, dec decoder.Decoder)
 	rng := stats.WorkerRNG(cfg.Seed, shard)
 	var s noise.Sample
 	coords := make([]lattice.Coord, 0, 64)
+	start := time.Now()
 	for i := int64(0); i < n; i++ {
 		if DecodeShot(ws.Model, dec, rng, &s, &coords) {
 			res.Failures++
 		}
 	}
+	res.DecodeNs = time.Since(start).Nanoseconds()
 	return res
 }
 
