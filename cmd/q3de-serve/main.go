@@ -1,9 +1,12 @@
 // Command q3de-serve exposes the Q3DE simulation engine as a long-running
 // HTTP service (stdlib only). Jobs — raw memory experiments, dual-species
-// runs, or whole paper figures — are submitted as JSON, executed as
-// seed-sharded chunks on a bounded worker pool, and can be polled, streamed
-// for progress, and cancelled. Estimates are deterministic per seed: the
-// service returns exactly what `q3de` prints for the same configuration.
+// runs, streaming Q3DE control runs (kind "stream": cycle-by-cycle anomaly
+// detection, rollback re-decode and op_expand deformation, with rollback and
+// detection-latency counters on /metrics), or whole paper figures — are
+// submitted as JSON, executed as seed-sharded chunks on a bounded worker
+// pool, and can be polled, streamed for progress, and cancelled. Estimates
+// are deterministic per seed: the service returns exactly what `q3de` prints
+// for the same configuration.
 //
 // Usage:
 //
@@ -11,7 +14,7 @@
 //
 // API (see README.md for curl examples):
 //
-//	POST   /v1/jobs             submit {"kind":"memory"|"dual"|"figure",...}
+//	POST   /v1/jobs             submit {"kind":"memory"|"dual"|"stream"|"figure",...}
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + partial results
 //	GET    /v1/jobs/{id}/result final result

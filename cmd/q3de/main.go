@@ -7,7 +7,7 @@
 //	q3de [-budget quick|standard|full] [-seed N] [-decoder greedy|mwpm|union-find] <experiment>
 //
 // Experiments: fig3, fig7, fig8, fig9, fig10, table3, table4, headline,
-// ablation, all.
+// ablation, correlation, threshold, stream, all.
 package main
 
 import (
@@ -96,6 +96,8 @@ experiments:
   ablation  decoder-family comparison (DESIGN.md §7)
   correlation  Pauli-Y correlation ablation (Sec. VII-A assumption 4)
   threshold    threshold location with/without an MBBE (Sec. III-A)
+  stream    streaming control-run reaction ablation (detection + rollback
+            on/off over a burst strike; DESIGN.md §11)
   all       every experiment in sequence
 
 flags:

@@ -13,6 +13,7 @@ import (
 	"math/rand/v2"
 
 	"q3de/internal/lattice"
+	"q3de/internal/stats"
 )
 
 // Source enumerates the MBBE mechanisms of paper Sec. IX.
@@ -51,6 +52,24 @@ func (s Source) String() string {
 		return "calibration-drift"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// ParseSource maps the CLI/API burst-source names to Sources.
+func ParseSource(name string) (Source, error) {
+	switch name {
+	case "cosmic-ray":
+		return CosmicRay, nil
+	case "atom-loss":
+		return AtomLoss, nil
+	case "crystal-scramble":
+		return CrystalScramble, nil
+	case "leakage":
+		return Leakage, nil
+	case "calibration-drift":
+		return CalibrationDrift, nil
+	default:
+		return 0, fmt.Errorf("unknown burst source %q", name)
 	}
 }
 
@@ -151,6 +170,16 @@ func (p Profile) Region(l *lattice.Lattice, rng *rand.Rand, onset int) lattice.B
 	return b
 }
 
+// SeededRegion places the burst deterministically from a run seed: the
+// placement RNG derives from (seed, source), so a (spec, seed) pair maps to
+// exactly one region. The engine's stream jobs and the CLI's stream ablation
+// share this derivation, so the same seed strikes the same qubits on both
+// paths.
+func (p Profile) SeededRegion(l *lattice.Lattice, seed uint64, onset int) lattice.Box {
+	rng := stats.NewRNG(seed^0xB1A5_75EED, uint64(p.Source))
+	return p.Region(l, rng, onset)
+}
+
 // Pano returns the in-region physical error rate for a base rate p.
 func (p Profile) Pano(base float64) float64 {
 	if p.Saturated {
@@ -174,11 +203,4 @@ func (p Profile) DutyCycle() float64 {
 		return 1
 	}
 	return f
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

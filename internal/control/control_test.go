@@ -107,21 +107,6 @@ func TestClassicalRegisterRollback(t *testing.T) {
 	}
 }
 
-// streamShot drives a controller with one full memory shot and returns
-// whether the final correction parity matches the error parity.
-func streamShot(c *Controller, l *lattice.Lattice, s *noise.Sample) bool {
-	perLayer := make([][]int32, l.Rounds)
-	for _, id := range s.Defects {
-		co := l.NodeCoord(id)
-		pos := int32(co.R*(l.D-1) + co.C)
-		perLayer[co.T] = append(perLayer[co.T], pos)
-	}
-	for t := 0; t < l.Rounds; t++ {
-		c.Push(perLayer[t])
-	}
-	return c.Finish() == s.CutParity
-}
-
 // calibrate measures the clean-noise activity moments, mirroring the paper's
 // pre-calibration phase ("we assume that mu and sigma are known in the
 // calibration process in advance").
@@ -150,10 +135,10 @@ func TestControllerCleanStreamMatchesBatchDecoding(t *testing.T) {
 	rng := stats.NewRNG(81, 82)
 	shots, fails := 300, 0
 	var s noise.Sample
+	drv := NewDriver(controllerConfig(d, p, false), l, false)
 	for i := 0; i < shots; i++ {
 		model.Draw(rng, &s)
-		c := NewController(controllerConfig(d, p, false), rounds, nil)
-		if !streamShot(c, l, &s) {
+		if drv.RunShot(&s).Failure {
 			fails++
 		}
 	}
@@ -175,8 +160,9 @@ func TestControllerDetectsInjectedMBBE(t *testing.T) {
 	rng := stats.NewRNG(83, 84)
 	var s noise.Sample
 	model.Draw(rng, &s)
-	c := NewController(controllerConfig(d, p, true), rounds, nil)
-	streamShot(c, l, &s)
+	drv := NewDriver(controllerConfig(d, p, true), l, false)
+	drv.RunShot(&s)
+	c := drv.Controller()
 	if c.DetectedAt < 0 {
 		t.Fatal("controller failed to detect the injected MBBE")
 	}
@@ -218,14 +204,14 @@ func TestControllerReactionImprovesLogicalRate(t *testing.T) {
 	shots := 150
 	blindFails, reactFails := 0, 0
 	var s noise.Sample
+	blind := NewDriver(controllerConfig(d, p, false), l, false)
+	react := NewDriver(controllerConfig(d, p, true), l, false)
 	for i := 0; i < shots; i++ {
 		model.Draw(rng, &s)
-		blind := NewController(controllerConfig(d, p, false), rounds, nil)
-		if !streamShot(blind, l, &s) {
+		if blind.RunShot(&s).Failure {
 			blindFails++
 		}
-		react := NewController(controllerConfig(d, p, true), rounds, nil)
-		if !streamShot(react, l, &s) {
+		if react.RunShot(&s).Failure {
 			reactFails++
 		}
 	}
@@ -245,26 +231,15 @@ func TestControllerEmitsOpExpand(t *testing.T) {
 	var s noise.Sample
 	model.Draw(rng, &s)
 
-	sm := deform.NewStabilizerMap()
-	patch := sm.AddPatch(0, d)
-	c := NewController(controllerConfig(d, p, true), rounds, sm)
-
-	perLayer := make([][]int32, l.Rounds)
-	for _, id := range s.Defects {
-		co := l.NodeCoord(id)
-		perLayer[co.T] = append(perLayer[co.T], int32(co.R*(l.D-1)+co.C))
-	}
-	for t2 := 0; t2 < l.Rounds; t2++ {
-		c.Push(perLayer[t2])
-		sm.Step()
-	}
-	if c.DetectedAt < 0 {
+	drv := NewDriver(controllerConfig(d, p, true), l, true)
+	out := drv.RunShot(&s)
+	if drv.Controller().DetectedAt < 0 {
 		t.Skip("MBBE not detected in this sample; detection tested elsewhere")
 	}
-	if patch.Phase == deform.PhaseNormal && patch.DExp == 0 {
+	if !out.Expanded {
 		t.Error("detection should have driven the stabilizer map to expand the patch")
 	}
-	if patch.DExp != deform.RequiredExpandedDistance(d, 4) {
+	if patch := drv.Patch(); patch.DExp != deform.RequiredExpandedDistance(d, 4) {
 		t.Errorf("expanded distance = %d, want %d", patch.DExp, deform.RequiredExpandedDistance(d, 4))
 	}
 }
@@ -277,9 +252,35 @@ func TestControllerMatchingQueueGrowsAndRollsBack(t *testing.T) {
 	rng := stats.NewRNG(89, 90)
 	var s noise.Sample
 	model.Draw(rng, &s)
-	c := NewController(controllerConfig(d, p, false), rounds, nil)
-	streamShot(c, l, &s)
-	if c.MatchingQueueLen() == 0 {
+	drv := NewDriver(controllerConfig(d, p, false), l, false)
+	drv.RunShot(&s)
+	if drv.Controller().MatchingQueueLen() == 0 {
 		t.Error("matching queue should hold committed batches")
+	}
+}
+
+func TestDriverReuseMatchesFreshController(t *testing.T) {
+	// Reset completeness: a driver reused across shots must be decision- and
+	// counter-identical to building everything fresh per shot, on both clean
+	// and MBBE streams — otherwise leaked state would break the stream
+	// scenario's bit-identical-across-worker-counts guarantee (workers see
+	// different shot subsequences, so any cross-shot leakage diverges).
+	d, p := 7, 0.01
+	rounds := 80
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(3)
+	box.T0 = 40
+	model := noise.NewModel(l, p, &box, 0.4)
+	rng := stats.NewRNG(91, 92)
+	cfg := controllerConfig(d, p, true)
+	reused := NewDriver(cfg, l, true)
+	var s noise.Sample
+	for i := 0; i < 40; i++ {
+		model.Draw(rng, &s)
+		got := reused.RunShot(&s)
+		want := NewDriver(cfg, l, true).RunShot(&s)
+		if got != want {
+			t.Fatalf("shot %d: reused driver %+v != fresh %+v", i, got, want)
+		}
 	}
 }

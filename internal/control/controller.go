@@ -47,6 +47,7 @@ type Controller struct {
 	lat      *lattice.Lattice
 	detector *anomaly.Detector
 	dec      decoder.Decoder
+	cleanDec decoder.Decoder       // the calibrated-metric decoder Reset restores
 	deform   *deform.StabilizerMap // optional; receives op_expand requests
 
 	Frame    PauliFrame
@@ -78,13 +79,23 @@ type batchRecord struct {
 // NewController builds the controller for a run horizon of maxCycles noisy
 // rounds. The lattice spans the full horizon so re-decodes can reach back.
 func NewController(cfg Config, maxCycles int, sm *deform.StabilizerMap) *Controller {
+	return NewControllerOn(cfg, lattice.New(cfg.D, maxCycles), sm)
+}
+
+// NewControllerOn builds the controller on a caller-supplied lattice (which
+// must match cfg.D and span the run horizon). Drivers that stream many
+// independent shots share one read-only lattice across controllers instead of
+// rebuilding the edge set per shot.
+func NewControllerOn(cfg Config, lat *lattice.Lattice, sm *deform.StabilizerMap) *Controller {
 	if cfg.Cbat == 0 {
 		cfg.Cbat = OptimalBatch(cfg.Cwin)
 	}
 	if cfg.DanoGuess == 0 {
 		cfg.DanoGuess = 4
 	}
-	lat := lattice.New(cfg.D, maxCycles)
+	if lat.D != cfg.D {
+		panic("control: lattice distance does not match the controller config")
+	}
 	det := anomaly.New(anomaly.Config{
 		Positions: lat.NodesPerLayer(),
 		Window:    cfg.Cwin,
@@ -93,16 +104,49 @@ func NewController(cfg Config, maxCycles int, sm *deform.StabilizerMap) *Control
 		Alpha:     cfg.Alpha,
 		Nth:       cfg.Nth,
 	})
+	clean := greedy.New(lattice.NewMetric(cfg.D, cfg.P, cfg.P, nil))
 	c := &Controller{
 		cfg:        cfg,
 		lat:        lat,
 		detector:   det,
-		dec:        greedy.New(lattice.NewMetric(cfg.D, cfg.P, cfg.P, nil)),
+		dec:        clean,
+		cleanDec:   clean,
 		deform:     sm,
 		DetectedAt: -1,
 		OnsetAt:    -1,
 	}
 	return c
+}
+
+// Reset returns the controller to its initial state for a fresh shot: the
+// detector window, the Pauli frame, the classical register, the instruction
+// history, the matching queue and the detection state are all cleared, and
+// decoding reverts to the clean calibrated metric. The expensive structures
+// — the lattice, the detector, the clean decoder's scratch arena, the
+// frame/register/history backing arrays — are retained across shots. (The
+// defect pool is not: Finish hands its backing array to the final batch
+// record, and per-batch bookkeeping still allocates; what Reset avoids is
+// rebuilding the edge set, the metric and the detector per shot.) The
+// attached stabilizer map (if any) is reset too.
+func (c *Controller) Reset() {
+	c.detector.Reset()
+	c.dec = c.cleanDec
+	c.Frame.Reset()
+	c.Register.Reset()
+	c.History.Reset()
+	c.cycle = 0
+	c.pool = c.pool[:0]
+	c.batches = c.batches[:0]
+	c.lastCommit = 0
+	c.DetectedAt = -1
+	c.OnsetAt = -1
+	c.RollbackDepth = 0
+	c.box = nil
+	c.Rollbacks = 0
+	c.Aborted = 0
+	if c.deform != nil {
+		c.deform.Reset()
+	}
 }
 
 // Cycle returns the number of layers consumed.
@@ -140,7 +184,7 @@ func (c *Controller) onDetection(det *anomaly.Detection) {
 	// the anomalous window degrades the re-decode — so prefer the climb
 	// model over the conservative det.OnsetEstimate.
 	climb := int(2*c.detector.Vth()) + c.cfg.Cbat
-	c.OnsetAt = maxInt(det.Cycle-climb, det.OnsetEstimate)
+	c.OnsetAt = max(det.Cycle-climb, det.OnsetEstimate)
 
 	cols := c.lat.D - 1
 	// Estimate the spatial extent from the flagged counters using per-axis
@@ -168,11 +212,11 @@ func (c *Controller) onDetection(det *anomaly.Detection) {
 		c0, c1 = c0+1, c1-1
 	}
 	box := lattice.Box{
-		R0: clampInt(r0, 0, c.lat.D-1),
-		R1: clampInt(r1, 0, c.lat.D-1),
-		C0: clampInt(c0, 0, cols-1),
-		C1: clampInt(c1, 0, cols-1),
-		T0: maxInt(0, c.OnsetAt),
+		R0: min(max(r0, 0), c.lat.D-1),
+		R1: min(max(r1, 0), c.lat.D-1),
+		C0: min(max(c0, 0), cols-1),
+		C1: min(max(c1, 0), cols-1),
+		T0: max(0, c.OnsetAt),
 		T1: c.lat.Rounds - 1,
 	}
 	c.box = &box
@@ -270,37 +314,6 @@ func (c *Controller) Finish() bool {
 
 // MatchingQueueLen exposes the number of stored batch records.
 func (c *Controller) MatchingQueueLen() int { return len(c.batches) }
-
-func clampInt(x, lo, hi int) int {
-	if x < lo {
-		return lo
-	}
-	if x > hi {
-		return hi
-	}
-	return x
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func absInt(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
 
 // String summarises the controller state for logs.
 func (c *Controller) String() string {

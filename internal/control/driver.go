@@ -1,0 +1,106 @@
+package control
+
+import (
+	"q3de/internal/deform"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+)
+
+// Driver streams whole memory shots through one reusable Controller: it
+// slices a drawn noise sample into per-cycle syndrome layers, pushes them in
+// time order, optionally steps an attached stabilizer map each cycle (so
+// op_expand requests emitted on detection actually deform the patch), and
+// reports the shot outcome with the controller's detection and rollback
+// counters.
+//
+// A Driver is the reusable form of the shot loop the controller unit tests
+// originally inlined: the expensive per-shot construction — lattice edge
+// set, clean metric and decoder, detector — happens once, and the per-layer
+// push buffers are retained across shots (per-shot batch bookkeeping inside
+// the controller still allocates modestly). Reset completeness is pinned by
+// TestDriverReuseMatchesFreshController: a reused driver must be decision-
+// and counter-identical to building a fresh controller per shot. A Driver is
+// not safe for concurrent use; scenario runners build one per worker.
+type Driver struct {
+	ctrl     *Controller
+	lat      *lattice.Lattice
+	sm       *deform.StabilizerMap // nil unless deformation is driven
+	patch    *deform.Patch
+	perLayer [][]int32
+}
+
+// ShotOutcome is the result of streaming one full shot.
+type ShotOutcome struct {
+	// Failure reports a logical error: the final correction parity disagrees
+	// with the sample's error parity.
+	Failure bool
+	// DetectedAt is the cycle at which the anomaly detection unit declared an
+	// MBBE, -1 if it never fired.
+	DetectedAt int
+	// OnsetAt is the controller's refined onset estimate, -1 without a
+	// detection.
+	OnsetAt int
+	// Rollbacks and Aborted count the Sec. VI-C reactions: re-decodes
+	// triggered and rollbacks abandoned because the host CPU had already
+	// consumed a result.
+	Rollbacks, Aborted int
+	// Expanded reports whether the attached stabilizer map ran the patch at
+	// an expanded distance at any point during the shot (always false without
+	// deformation).
+	Expanded bool
+}
+
+// NewDriver builds a driver for the controller configuration on a shared
+// read-only lattice (which fixes both the code distance and the shot
+// horizon). With withDeform true the driver attaches a stabilizer map with a
+// single patch (qubit 0) at the configured distance, so detections exercise
+// the full op_expand path.
+func NewDriver(cfg Config, lat *lattice.Lattice, withDeform bool) *Driver {
+	d := &Driver{lat: lat, perLayer: make([][]int32, lat.Rounds)}
+	if withDeform {
+		d.sm = deform.NewStabilizerMap()
+		d.patch = d.sm.AddPatch(0, cfg.D)
+	}
+	d.ctrl = NewControllerOn(cfg, lat, d.sm)
+	return d
+}
+
+// Controller exposes the underlying controller for inspection between shots.
+func (d *Driver) Controller() *Controller { return d.ctrl }
+
+// Patch returns the deformation patch the driver steps, or nil when the
+// driver was built without deformation.
+func (d *Driver) Patch() *deform.Patch { return d.patch }
+
+// RunShot resets the controller and streams the sample through it cycle by
+// cycle. The sample must have been drawn on a lattice with the driver's
+// distance and horizon.
+func (d *Driver) RunShot(s *noise.Sample) ShotOutcome {
+	d.ctrl.Reset()
+	for i := range d.perLayer {
+		d.perLayer[i] = d.perLayer[i][:0]
+	}
+	cols := d.lat.D - 1
+	for _, id := range s.Defects {
+		co := d.lat.NodeCoord(id)
+		d.perLayer[co.T] = append(d.perLayer[co.T], int32(co.R*cols+co.C))
+	}
+	expanded := false
+	for t := 0; t < d.lat.Rounds; t++ {
+		d.ctrl.Push(d.perLayer[t])
+		if d.sm != nil {
+			d.sm.Step()
+			if d.patch.Phase == deform.PhaseExpanded {
+				expanded = true
+			}
+		}
+	}
+	return ShotOutcome{
+		Failure:    d.ctrl.Finish() != s.CutParity,
+		DetectedAt: d.ctrl.DetectedAt,
+		OnsetAt:    d.ctrl.OnsetAt,
+		Rollbacks:  d.ctrl.Rollbacks,
+		Aborted:    d.ctrl.Aborted,
+		Expanded:   expanded,
+	}
+}

@@ -51,6 +51,14 @@ func (f *PauliFrame) Rollback(to int) int {
 // JournalLen exposes the journal size (the instruction-history-buffer cost).
 func (f *PauliFrame) JournalLen() int { return len(f.journal) }
 
+// Reset clears the frame for a fresh shot, keeping the journal's backing
+// storage so a reused frame stops allocating once it has seen its deepest
+// shot.
+func (f *PauliFrame) Reset() {
+	f.parity = false
+	f.journal = f.journal[:0]
+}
+
 // RegisterEntry is one logical measurement outcome in the classical register.
 type RegisterEntry struct {
 	Cycle     int
@@ -92,6 +100,9 @@ func (r *ClassicalRegister) Read(idx int) (value bool, ok bool) {
 
 // Entry returns a copy of the entry.
 func (r *ClassicalRegister) Entry(idx int) RegisterEntry { return r.entries[idx] }
+
+// Reset drops all entries for a fresh shot, keeping the backing storage.
+func (r *ClassicalRegister) Reset() { r.entries = r.entries[:0] }
 
 // Len returns the number of entries.
 func (r *ClassicalRegister) Len() int { return len(r.entries) }

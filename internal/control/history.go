@@ -52,6 +52,9 @@ func (h *InstructionHistory) Trim(cycle int) {
 // Len returns the number of journaled entries.
 func (h *InstructionHistory) Len() int { return len(h.entries) }
 
+// Reset drops all entries for a fresh shot, keeping the backing storage.
+func (h *InstructionHistory) Reset() { h.entries = h.entries[:0] }
+
 // ApplyInstruction records a committed logical instruction's effect on the
 // Pauli frame: it is journaled in the instruction history buffer and applied
 // to the frame. A rollback reverts the frame and then replays these entries,

@@ -155,6 +155,19 @@ func (m *StabilizerMap) Step() {
 	m.pending = rest
 }
 
+// Reset reverts the map to cycle zero with every registered patch back at its
+// default distance and no pending requests, so one map can be reused across
+// independent streamed shots without reallocating the patch registry.
+func (m *StabilizerMap) Reset() {
+	m.cycle = 0
+	m.pending = m.pending[:0]
+	for _, p := range m.patches {
+		p.Phase = PhaseNormal
+		p.DExp = 0
+		p.KeepTill = 0
+	}
+}
+
 // ExpandedCount returns how many patches currently run expanded.
 func (m *StabilizerMap) ExpandedCount() int {
 	n := 0

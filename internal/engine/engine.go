@@ -21,7 +21,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"q3de/internal/decoder"
 	"q3de/internal/sim"
 )
 
@@ -123,7 +122,7 @@ func (e *Engine) Workers() int { return e.workers }
 // RegisterKind installs a runner for a custom job kind (e.g. the experiment
 // harness registers "figure"). Registering a built-in kind panics.
 func (e *Engine) RegisterKind(kind string, fn RunnerFunc) {
-	if kind == KindMemory || kind == KindDual {
+	if kind == KindMemory || kind == KindDual || kind == KindStream {
 		panic("engine: cannot override built-in kind " + kind)
 	}
 	e.mu.Lock()
@@ -189,41 +188,80 @@ func (e *Engine) RunDualMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.D
 		return sim.DualResult{}, err
 	}
 	defer release()
-	z, err := e.runMemory(ctx, cfg)
+	dual := sim.DualMemoryScenario{Config: cfg}
+	z, err := e.runMemory(ctx, dual.Z().Config)
 	if err != nil {
 		return sim.DualResult{}, err
 	}
-	xcfg := cfg
-	xcfg.Seed = sim.SplitSeed(cfg.Seed)
-	x, err := e.runMemory(ctx, xcfg)
+	x, err := e.runMemory(ctx, dual.X().Config)
 	if err != nil {
 		return sim.DualResult{}, err
 	}
 	return sim.CombineDual(z, x), nil
 }
 
-// runMemory is the sharded execution loop: claim shard indices in order,
-// enqueue them on the pool, stop claiming at cancellation or when the
-// observed failures reach the early-stop budget, then aggregate the
-// completed contiguous prefix deterministically.
+// RunStream executes one streaming control workload on the engine's pool,
+// sharing the cached workspace for the configuration's noise physics. The
+// result is identical to sim.RunStream for the same configuration and seed,
+// independent of pool size. It blocks until the estimate is complete or ctx
+// is cancelled.
+func (e *Engine) RunStream(ctx context.Context, cfg sim.StreamConfig) (sim.StreamResult, error) {
+	release, err := e.register()
+	if err != nil {
+		return sim.StreamResult{}, err
+	}
+	defer release()
+	return e.runStream(ctx, cfg)
+}
+
+// runMemory executes one memory configuration as a scenario sweep on the
+// shared pool and finishes it into a MemoryResult.
 func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.MemoryResult, error) {
-	ws, hit := e.cache.get(cfg)
+	results, err := e.runShards(ctx, cfg, sim.MemoryScenario{Config: cfg}, cfg.Plan(), false)
+	if err != nil {
+		return sim.MemoryResult{}, err
+	}
+	return sim.AggregateShards(cfg, results), nil
+}
+
+// runStream resolves the stream scenario (running the calibration pass if
+// the spec left the activity moments unset) and executes it on the shared
+// pool. The workspace is cached under the stream's noise physics, so batch
+// and stream jobs at the same physical point share one lattice and edge
+// partition.
+func (e *Engine) runStream(ctx context.Context, cfg sim.StreamConfig) (sim.StreamResult, error) {
+	sc := sim.NewStreamScenario(cfg)
+	cfg = sc.Config()
+	results, err := e.runShards(ctx, cfg.MemoryBase(), sc, cfg.Plan(), true)
+	if err != nil {
+		return sim.StreamResult{}, err
+	}
+	return sim.AggregateStream(cfg, results), nil
+}
+
+// runShards is the generic sharded execution loop every scenario kind runs
+// through: look up (or build) the cached workspace for the noise
+// configuration, claim shard indices in order, enqueue them on the pool,
+// stop claiming at cancellation or when the observed failures reach the
+// early-stop budget, and return the completed shard set for deterministic
+// prefix aggregation. Shot runners are pooled across the run's shards so a
+// pool worker that executes several of them reuses one scratch arena
+// (runners are per-goroutine, never shared concurrently: each task holds its
+// runner for the duration of the shard).
+func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.Scenario, plan sim.ShardPlan, stream bool) ([]sim.ShardResult, error) {
+	ws, hit := e.cache.get(wsCfg)
 	if hit {
 		e.metrics.cacheHits.Add(1)
 	} else {
 		e.metrics.cacheMisses.Add(1)
 	}
-	shards := cfg.NumShards()
+	shards := plan.NumShards()
 	job := jobFrom(ctx)
 	if job != nil {
 		job.addShardsTotal(shards)
 	}
 
-	// Decoders for this configuration are pooled across the run's shards so
-	// a pool worker that executes several of them reuses one scratch arena
-	// (decoders are per-goroutine, never shared concurrently: each task
-	// holds its decoder for the duration of the shard).
-	decoders := sync.Pool{New: func() any { return cfg.NewDecoderOn(ws) }}
+	runners := sync.Pool{New: func() any { return sc.NewShotRunner(ws) }}
 
 	var (
 		taskWG   sync.WaitGroup
@@ -235,7 +273,7 @@ func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.Memor
 	stop := ctx.Done()
 feed:
 	for i := 0; i < shards; i++ {
-		if cfg.MaxFailures > 0 && failures.Load() >= cfg.MaxFailures {
+		if plan.MaxFailures > 0 && failures.Load() >= plan.MaxFailures {
 			break
 		}
 		if panicErr.Load() != nil {
@@ -252,13 +290,11 @@ feed:
 					panicErr.CompareAndSwap(nil, fmt.Errorf("engine: shard %d panicked: %v", i, r))
 				}
 			}()
-			dec := decoders.Get().(decoder.Decoder)
-			r := sim.RunShardOn(ws, cfg, i, dec)
-			decoders.Put(dec)
+			runner := runners.Get().(sim.ShotRunner)
+			r := sim.RunShardWith(plan, i, runner)
+			runners.Put(runner)
 			failures.Add(r.Failures)
-			e.metrics.shardsExecuted.Add(1)
-			e.metrics.shotsExecuted.Add(r.Shots)
-			e.metrics.decodeNs.Add(r.DecodeNs)
+			e.metrics.observeShard(r, stream)
 			if job != nil {
 				job.observeShard(r)
 			}
@@ -276,12 +312,12 @@ feed:
 	}
 	taskWG.Wait()
 	if err := ctx.Err(); err != nil {
-		return sim.MemoryResult{}, err
+		return nil, err
 	}
 	if err, _ := panicErr.Load().(error); err != nil {
-		return sim.MemoryResult{}, err
+		return nil, err
 	}
-	return sim.AggregateShards(cfg, results), nil
+	return results, nil
 }
 
 // Submit validates and enqueues a job, returning immediately. The job runs
@@ -360,17 +396,24 @@ func (e *Engine) plan(spec JobSpec) (func(context.Context, *Job) (any, error), e
 			return nil, fmt.Errorf("dual job: %w", err)
 		}
 		return func(ctx context.Context, _ *Job) (any, error) {
-			z, err := e.runMemory(ctx, cfg)
+			dual := sim.DualMemoryScenario{Config: cfg}
+			z, err := e.runMemory(ctx, dual.Z().Config)
 			if err != nil {
 				return nil, err
 			}
-			xcfg := cfg
-			xcfg.Seed = sim.SplitSeed(cfg.Seed)
-			x, err := e.runMemory(ctx, xcfg)
+			x, err := e.runMemory(ctx, dual.X().Config)
 			if err != nil {
 				return nil, err
 			}
 			return sim.CombineDual(z, x), nil
+		}, nil
+	case KindStream:
+		cfg, err := spec.Stream.Config()
+		if err != nil {
+			return nil, fmt.Errorf("stream job: %w", err)
+		}
+		return func(ctx context.Context, _ *Job) (any, error) {
+			return e.runStream(ctx, cfg)
 		}, nil
 	default:
 		e.mu.Lock()

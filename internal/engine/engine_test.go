@@ -63,6 +63,53 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func testStreamConfig(seed uint64) sim.StreamConfig {
+	return sim.StreamConfig{
+		D: 5, Rounds: 40, P: 0.004, React: true,
+		MaxShots: 1024, Seed: seed,
+	}
+}
+
+func TestRunStreamMatchesDirectSim(t *testing.T) {
+	// The streaming workload through the engine's long-lived pool must be
+	// bit-identical to the local sim loop, pool size notwithstanding.
+	cfg := testStreamConfig(42)
+	want := sim.RunStream(cfg)
+	for _, workers := range []int{1, 3} {
+		e := New(Config{Workers: workers})
+		got, err := e.RunStream(context.Background(), cfg)
+		e.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shots != want.Shots || got.Failures != want.Failures || got.Stats != want.Stats {
+			t.Errorf("workers=%d: engine stream %d/%d %+v, direct sim %d/%d %+v",
+				workers, got.Failures, got.Shots, got.Stats,
+				want.Failures, want.Shots, want.Stats)
+		}
+	}
+}
+
+func TestStreamSharesWorkspaceWithMemory(t *testing.T) {
+	// A stream job and a memory job at the same physical point must share one
+	// cached workspace: the stream's noise physics is keyed by its memory
+	// base configuration.
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	scfg := testStreamConfig(7)
+	if _, err := e.RunStream(context.Background(), scfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunMemory(context.Background(), scfg.MemoryBase()); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.CacheEntries != 1 || m.CacheHits != 1 {
+		t.Errorf("expected one shared workspace (entries=1 hits=1), got entries=%d hits=%d",
+			m.CacheEntries, m.CacheHits)
+	}
+}
+
 func TestConcurrentJobSubmission(t *testing.T) {
 	e := New(Config{Workers: 4, MaxJobs: 3})
 	defer e.Close()

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"q3de/internal/lattice"
 	"q3de/internal/sim"
 )
 
@@ -138,6 +139,127 @@ func TestHTTPResultBeforeDone(t *testing.T) {
 	}
 	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", nil); code != http.StatusGone {
 		t.Errorf("result of cancelled job: status %d, want 410", code)
+	}
+}
+
+func TestHTTPStreamJobLifecycle(t *testing.T) {
+	// Full lifecycle of the streaming control kind: submit → poll (progress
+	// must carry the stream counters) → result → delete. The served result
+	// must match a direct simulator run bit for bit, and the stream metrics
+	// must reach /metrics.
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"stream","stream":{
+		"d":5,"rounds":50,"p":0.003,"d_ano":3,"onset":20,"p_ano":0.4,
+		"react":true,"deform":true,"max_shots":96,"seed":4242}}`)
+	if st.Kind != KindStream {
+		t.Fatalf("bad submit status: %+v", st)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &st) != http.StatusOK {
+			t.Fatal("status endpoint failed")
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state=%s error=%q", st.State, st.Error)
+	}
+	if st.Progress.Shots != 96 {
+		t.Errorf("progress shots = %d, want 96", st.Progress.Shots)
+	}
+	if st.Progress.Detections == 0 || st.Progress.Rollbacks == 0 {
+		t.Errorf("stream progress must carry the scenario counters: %+v", st.Progress)
+	}
+
+	var out struct {
+		Result sim.StreamResult `json:"result"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", &out); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	l := lattice.New(5, 50)
+	box := l.CenteredBox(3)
+	box.T0 = 20
+	want := sim.RunStream(sim.StreamConfig{
+		D: 5, Rounds: 50, P: 0.003, Box: &box, Pano: 0.4,
+		React: true, Deform: true, MaxShots: 96, Seed: 4242,
+	})
+	if out.Result.Failures != want.Failures || out.Result.Shots != want.Shots || out.Result.Stats != want.Stats {
+		t.Errorf("served stream result %d/%d %+v, direct sim %d/%d %+v",
+			out.Result.Failures, out.Result.Shots, out.Result.Stats,
+			want.Failures, want.Shots, want.Stats)
+	}
+	if out.Result.DetectionRate <= 0 {
+		t.Errorf("detection rate = %v, want > 0 over an injected MBBE", out.Result.DetectionRate)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, wantLine := range []string{
+		"q3de_stream_shots_total 96",
+		"q3de_stream_rollbacks_total",
+		"q3de_stream_detections_total",
+		"q3de_stream_detection_latency_cycles_total",
+		"q3de_stream_mean_detection_latency_cycles",
+	} {
+		if !strings.Contains(body, wantLine) {
+			t.Errorf("metrics output missing %q", wantLine)
+		}
+	}
+	if m := e.Metrics(); m.StreamRollbacks <= 0 || m.StreamDetections <= 0 || m.MeanDetectionLatency <= 0 {
+		t.Errorf("stream metrics not populated: %+v", m)
+	}
+
+	// Delete is idempotent on a finished job.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete finished stream job: status %d", dresp.StatusCode)
+	}
+}
+
+func TestHTTPStreamValidation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	for name, body := range map[string]string{
+		"missing params":     `{"kind":"stream"}`,
+		"even distance":      `{"kind":"stream","stream":{"d":4,"p":0.01}}`,
+		"no p_ano with box":  `{"kind":"stream","stream":{"d":5,"p":0.01,"d_ano":3}}`,
+		"onset past horizon": `{"kind":"stream","stream":{"d":5,"rounds":40,"p":0.01,"d_ano":3,"onset":60,"p_ano":0.4}}`,
+		"two placements":     `{"kind":"stream","stream":{"d":5,"p":0.01,"d_ano":3,"p_ano":0.4,"burst":{"source":"cosmic-ray","onset":5}}}`,
+		"unknown source":     `{"kind":"stream","stream":{"d":5,"p":0.01,"burst":{"source":"meteor","onset":5}}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/burst"
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
 )
@@ -17,6 +18,7 @@ import (
 const (
 	KindMemory = "memory" // one memory experiment, Z species only
 	KindDual   = "dual"   // both syndrome species, combined rate
+	KindStream = "stream" // streaming Q3DE control runs (detection + rollback)
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -36,10 +38,12 @@ func (s JobState) Terminal() bool {
 }
 
 // JobSpec is the submission payload. Exactly one parameter block applies:
-// Memory for the built-in memory/dual kinds, Params for registered kinds.
+// Memory for the built-in memory/dual kinds, Stream for the streaming control
+// kind, Params for registered kinds.
 type JobSpec struct {
 	Kind   string          `json:"kind"`
 	Memory *MemorySpec     `json:"memory,omitempty"`
+	Stream *StreamSpec     `json:"stream,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
 }
 
@@ -80,26 +84,35 @@ type MemorySpec struct {
 	Seed        uint64   `json:"seed,omitempty"`
 }
 
+// validateSampling checks the submission bounds shared by every scenario
+// spec (see the Submission bounds constants above).
+func validateSampling(d, rounds int, p float64, maxShots, maxFailures int64) error {
+	if d < 3 || d%2 == 0 || d > MaxDistance {
+		return fmt.Errorf("d must be an odd distance in [3, %d], got %d", MaxDistance, d)
+	}
+	if rounds < 0 || rounds > MaxRounds {
+		return fmt.Errorf("rounds must lie in [0, %d], got %d", MaxRounds, rounds)
+	}
+	if p <= 0 || p >= 1 {
+		return fmt.Errorf("p must lie in (0, 1), got %g", p)
+	}
+	if maxShots < 0 || maxShots > MaxShotBudget {
+		return fmt.Errorf("max_shots must lie in [0, %d], got %d", MaxShotBudget, maxShots)
+	}
+	if maxFailures < 0 {
+		return fmt.Errorf("max_failures must be >= 0, got %d", maxFailures)
+	}
+	return nil
+}
+
 // Config converts the wire spec into a simulator configuration.
 func (m *MemorySpec) Config() (sim.MemoryConfig, error) {
 	var cfg sim.MemoryConfig
 	if m == nil {
 		return cfg, fmt.Errorf("missing memory parameters")
 	}
-	if m.D < 3 || m.D%2 == 0 || m.D > MaxDistance {
-		return cfg, fmt.Errorf("d must be an odd distance in [3, %d], got %d", MaxDistance, m.D)
-	}
-	if m.Rounds < 0 || m.Rounds > MaxRounds {
-		return cfg, fmt.Errorf("rounds must lie in [0, %d], got %d", MaxRounds, m.Rounds)
-	}
-	if m.P <= 0 || m.P >= 1 {
-		return cfg, fmt.Errorf("p must lie in (0, 1), got %g", m.P)
-	}
-	if m.MaxShots < 0 || m.MaxShots > MaxShotBudget {
-		return cfg, fmt.Errorf("max_shots must lie in [0, %d], got %d", int64(MaxShotBudget), m.MaxShots)
-	}
-	if m.MaxFailures < 0 {
-		return cfg, fmt.Errorf("max_failures must be >= 0, got %d", m.MaxFailures)
+	if err := validateSampling(m.D, m.Rounds, m.P, m.MaxShots, m.MaxFailures); err != nil {
+		return cfg, err
 	}
 	kind, err := sim.ParseDecoderKind(m.Decoder)
 	if err != nil {
@@ -127,12 +140,131 @@ func (m *MemorySpec) Config() (sim.MemoryConfig, error) {
 	return cfg, nil
 }
 
-// Progress is the shard-level completion state of a running job.
+// BurstSpec schedules the MBBE of a stream job from one of the Sec. IX
+// burst-source profiles (cosmic-ray, atom-loss, crystal-scramble, leakage,
+// calibration-drift): the region geometry, anomalous rate and duration derive
+// from the profile, Onset places the strike in time, and the placement RNG
+// derives from the job seed — so a spec maps to exactly one region and the
+// job stays deterministic.
+type BurstSpec struct {
+	Source string `json:"source"`
+	Onset  int    `json:"onset"`
+}
+
+// StreamSpec is the JSON shape of a streaming control-run configuration
+// (engine kind "stream"). The MBBE schedule is one of: an explicit Box, a
+// centred DAno×DAno region striking at Onset, a Burst profile, or nothing (a
+// clean stream — the detection false-positive baseline).
+type StreamSpec struct {
+	D      int     `json:"d"`
+	Rounds int     `json:"rounds,omitempty"`
+	P      float64 `json:"p"`
+
+	Box   *BoxSpec   `json:"box,omitempty"`
+	DAno  int        `json:"d_ano,omitempty"`
+	Onset int        `json:"onset,omitempty"` // strike cycle for d_ano placement
+	PAno  float64    `json:"p_ano,omitempty"`
+	Burst *BurstSpec `json:"burst,omitempty"`
+
+	React  bool `json:"react,omitempty"`
+	Deform bool `json:"deform,omitempty"`
+
+	PanoGuess float64 `json:"pano_guess,omitempty"`
+	DanoGuess int     `json:"dano_guess,omitempty"`
+
+	Cwin  int     `json:"cwin,omitempty"`
+	Cbat  int     `json:"cbat,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	Nth   int     `json:"nth,omitempty"`
+
+	// Calibration: explicit activity moments, or the sample count for the
+	// deterministic calibration pass (see sim.StreamConfig).
+	Mu         float64 `json:"mu,omitempty"`
+	Sigma      float64 `json:"sigma,omitempty"`
+	CalibShots int     `json:"calib_shots,omitempty"`
+
+	MaxShots    int64  `json:"max_shots,omitempty"`
+	MaxFailures int64  `json:"max_failures,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+}
+
+// Config converts the wire spec into a simulator stream configuration.
+func (m *StreamSpec) Config() (sim.StreamConfig, error) {
+	var cfg sim.StreamConfig
+	if m == nil {
+		return cfg, fmt.Errorf("missing stream parameters")
+	}
+	if err := validateSampling(m.D, m.Rounds, m.P, m.MaxShots, m.MaxFailures); err != nil {
+		return cfg, err
+	}
+	placements := 0
+	for _, set := range []bool{m.Box != nil, m.DAno > 0, m.Burst != nil} {
+		if set {
+			placements++
+		}
+	}
+	if placements > 1 {
+		return cfg, fmt.Errorf("at most one of box, d_ano and burst may schedule the MBBE")
+	}
+	cfg = sim.StreamConfig{
+		D: m.D, Rounds: m.Rounds, P: m.P, Pano: m.PAno,
+		React: m.React, Deform: m.Deform,
+		PanoGuess: m.PanoGuess, DanoGuess: m.DanoGuess,
+		Cwin: m.Cwin, Cbat: m.Cbat, Alpha: m.Alpha, Nth: m.Nth,
+		Mu: m.Mu, Sigma: m.Sigma, CalibShots: m.CalibShots,
+		MaxShots: m.MaxShots, MaxFailures: m.MaxFailures, Seed: m.Seed,
+	}
+	rounds := cfg.EffectiveRounds()
+	if rounds > MaxRounds {
+		return cfg, fmt.Errorf("effective rounds %d exceed the limit %d; set rounds explicitly", rounds, MaxRounds)
+	}
+	switch {
+	case m.Box != nil:
+		cfg.Box = &lattice.Box{
+			R0: m.Box.R0, R1: m.Box.R1,
+			C0: m.Box.C0, C1: m.Box.C1,
+			T0: m.Box.T0, T1: m.Box.T1,
+		}
+	case m.DAno > 0:
+		if m.Onset < 0 || m.Onset >= rounds {
+			return cfg, fmt.Errorf("onset must lie in [0, %d), got %d", rounds, m.Onset)
+		}
+		b := lattice.New(cfg.D, rounds).CenteredBox(m.DAno)
+		b.T0 = m.Onset
+		cfg.Box = &b
+	case m.Burst != nil:
+		src, err := burst.ParseSource(m.Burst.Source)
+		if err != nil {
+			return cfg, err
+		}
+		if m.Burst.Onset < 0 || m.Burst.Onset >= rounds {
+			return cfg, fmt.Errorf("burst onset must lie in [0, %d), got %d", rounds, m.Burst.Onset)
+		}
+		prof := burst.Profiles()[src]
+		b := prof.SeededRegion(lattice.New(cfg.D, rounds), m.Seed, m.Burst.Onset)
+		cfg.Box = &b
+		if cfg.Pano == 0 {
+			cfg.Pano = prof.Pano(cfg.P)
+		}
+	}
+	if cfg.Box != nil && (cfg.Pano <= 0 || cfg.Pano > 1) {
+		return cfg, fmt.Errorf("p_ano must lie in (0, 1] when an MBBE is scheduled, got %g", cfg.Pano)
+	}
+	return cfg, nil
+}
+
+// Progress is the shard-level completion state of a running job. Beyond the
+// memory-shaped counters every kind reports (shards, shots, failures), it
+// carries the per-kind scenario counters: stream jobs accumulate rollbacks
+// and detections as their shards complete, so a poll of /v1/jobs/{id} shows
+// the reaction machinery working long before the final estimate lands.
 type Progress struct {
 	ShardsDone  int     `json:"shards_done"`
 	ShardsTotal int     `json:"shards_total,omitempty"`
 	Shots       int64   `json:"shots"`
 	Failures    int64   `json:"failures"`
+	Rollbacks   int64   `json:"rollbacks,omitempty"`
+	Detections  int64   `json:"detections,omitempty"`
 	Fraction    float64 `json:"fraction"`
 }
 
@@ -275,6 +407,8 @@ func (j *Job) observeShard(r sim.ShardResult) {
 	j.progress.ShardsDone++
 	j.progress.Shots += r.Shots
 	j.progress.Failures += r.Failures
+	j.progress.Rollbacks += r.Stats.Rollbacks
+	j.progress.Detections += r.Stats.Detections
 	if j.progress.ShardsTotal > 0 {
 		j.progress.Fraction = float64(j.progress.ShardsDone) / float64(j.progress.ShardsTotal)
 	}

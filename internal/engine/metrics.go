@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"q3de/internal/sim"
 )
 
 // metrics holds the engine's monotonic counters. Gauges (queued/running) are
@@ -20,6 +22,29 @@ type metrics struct {
 	decodeNs       atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+
+	// Streaming control counters (kind "stream" shards only).
+	streamShots            atomic.Int64
+	streamRollbacks        atomic.Int64
+	streamRollbacksAborted atomic.Int64
+	streamDetections       atomic.Int64
+	streamDetectionLatency atomic.Int64 // summed cycles over detected shots
+}
+
+// observeShard folds one completed shard into the counters; stream marks
+// shards of streaming control jobs, whose scenario counters feed the
+// q3de_stream_* series.
+func (m *metrics) observeShard(r sim.ShardResult, stream bool) {
+	m.shardsExecuted.Add(1)
+	m.shotsExecuted.Add(r.Shots)
+	m.decodeNs.Add(r.DecodeNs)
+	if stream {
+		m.streamShots.Add(r.Shots)
+		m.streamRollbacks.Add(r.Stats.Rollbacks)
+		m.streamRollbacksAborted.Add(r.Stats.RollbacksAborted)
+		m.streamDetections.Add(r.Stats.Detections)
+		m.streamDetectionLatency.Add(r.Stats.DetectionLatencyCycles)
+	}
 }
 
 // MetricsSnapshot is the wire form of the engine counters.
@@ -47,6 +72,19 @@ type MetricsSnapshot struct {
 	CacheHits         int64   `json:"cache_hits"`
 	CacheMisses       int64   `json:"cache_misses"`
 	CacheEntries      int64   `json:"cache_entries"`
+
+	// Streaming control counters: shots streamed through the Q3DE controller,
+	// Sec. VI-C rollback re-decodes triggered (and aborted), MBBE detections,
+	// and the cumulative detection latency in code cycles. The derived
+	// MeanDetectionLatency (cycles per detection) is the number a serving
+	// deployment alarms on: a climbing mean means the detector thresholds no
+	// longer fit the calibrated noise.
+	StreamShots            int64   `json:"stream_shots"`
+	StreamRollbacks        int64   `json:"stream_rollbacks"`
+	StreamRollbacksAborted int64   `json:"stream_rollbacks_aborted"`
+	StreamDetections       int64   `json:"stream_detections"`
+	StreamDetectionLatency int64   `json:"stream_detection_latency_cycles"`
+	MeanDetectionLatency   float64 `json:"stream_mean_detection_latency_cycles"`
 }
 
 // Metrics snapshots the engine counters.
@@ -79,11 +117,19 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		CacheMisses:    e.metrics.cacheMisses.Load(),
 		CacheEntries:   int64(e.cache.len()),
 	}
+	snap.StreamShots = e.metrics.streamShots.Load()
+	snap.StreamRollbacks = e.metrics.streamRollbacks.Load()
+	snap.StreamRollbacksAborted = e.metrics.streamRollbacksAborted.Load()
+	snap.StreamDetections = e.metrics.streamDetections.Load()
+	snap.StreamDetectionLatency = e.metrics.streamDetectionLatency.Load()
 	if up > 0 {
 		snap.ShotsPerSec = float64(snap.ShotsExecuted) / up
 	}
 	if snap.DecodeNs > 0 {
 		snap.DecodeShotsPerSec = float64(snap.ShotsExecuted) / (float64(snap.DecodeNs) / 1e9)
+	}
+	if snap.StreamDetections > 0 {
+		snap.MeanDetectionLatency = float64(snap.StreamDetectionLatency) / float64(snap.StreamDetections)
 	}
 	return snap
 }
@@ -114,4 +160,10 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("workspace_cache_hits_total", s.CacheHits, "Workspace cache hits.")
 	counter("workspace_cache_misses_total", s.CacheMisses, "Workspace cache misses.")
 	gauge("workspace_cache_entries", float64(s.CacheEntries), "Cached (lattice, metric) workspaces.")
+	counter("stream_shots_total", s.StreamShots, "Shots streamed through the Q3DE controller (kind \"stream\").")
+	counter("stream_rollbacks_total", s.StreamRollbacks, "Rollback re-decodes triggered by MBBE detections.")
+	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")
+	counter("stream_detections_total", s.StreamDetections, "MBBE detections declared by the anomaly detection unit.")
+	counter("stream_detection_latency_cycles_total", s.StreamDetectionLatency, "Cumulative detection latency in code cycles over detected shots.")
+	gauge("stream_mean_detection_latency_cycles", s.MeanDetectionLatency, "Mean detection latency in code cycles per detection.")
 }

@@ -122,6 +122,23 @@ func (o Options) runMemory(cfg sim.MemoryConfig) sim.MemoryResult {
 	return sim.RunMemory(cfg)
 }
 
+// runStream executes one streaming control configuration through the engine,
+// with the same fallback and determinism properties as runMemory: static
+// sharding keeps the estimate identical whichever path ran.
+func (o Options) runStream(cfg sim.StreamConfig) sim.StreamResult {
+	if o.Engine == nil && o.Workers > 0 {
+		return sim.RunStream(cfg)
+	}
+	res, err := o.engine().RunStream(o.ctx(), cfg)
+	if err == nil {
+		return res
+	}
+	if ctxErr := o.ctx().Err(); ctxErr != nil {
+		panic(ctxErr)
+	}
+	return sim.RunStream(cfg)
+}
+
 // Point is one (x, y) sample with uncertainty.
 type Point struct {
 	X, Y, Err float64

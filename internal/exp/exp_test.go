@@ -247,6 +247,38 @@ func TestAblationOrdersDecoders(t *testing.T) {
 	}
 }
 
+func TestStreamAblationPairsReaction(t *testing.T) {
+	cfg := DefaultStreamAblation(quick())
+	cfg.D = 5
+	cfg.Rounds = 50
+	cfg.Onset = 20
+	rows := RunStreamAblation(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	blind, react := rows[0], rows[1]
+	if blind.React || !react.React {
+		t.Fatalf("row order must be baseline then Q3DE: %+v", rows)
+	}
+	// Paired comparison: identical shot sets.
+	if blind.Result.Shots != react.Result.Shots {
+		t.Errorf("rows must run identical shots: %d vs %d", blind.Result.Shots, react.Result.Shots)
+	}
+	// The baseline never reacts; Q3DE detects the cosmic-ray strike.
+	if blind.Result.Stats.Rollbacks != 0 {
+		t.Errorf("baseline rolled back %d times", blind.Result.Stats.Rollbacks)
+	}
+	if react.Result.Stats.Detections == 0 {
+		t.Errorf("Q3DE row detected nothing over a cosmic-ray strike: %+v", react.Result.Stats)
+	}
+	var buf bytes.Buffer
+	RenderStreamAblation(&buf, cfg, rows)
+	out := buf.String()
+	if !strings.Contains(out, "on (Q3DE)") || !strings.Contains(out, "off (baseline)") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
 func TestBudgetShots(t *testing.T) {
 	q, qf := BudgetQuick.shots()
 	s, sf := BudgetStandard.shots()

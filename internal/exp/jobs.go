@@ -15,7 +15,8 @@ import (
 // `q3de all` runs them.
 func ExperimentNames() []string {
 	return []string{"fig3", "fig7", "fig8", "fig9", "fig10",
-		"table3", "table4", "headline", "ablation", "correlation", "threshold"}
+		"table3", "table4", "headline", "ablation", "correlation", "threshold",
+		"stream"}
 }
 
 // RunNamed runs one named experiment with the given options and writes its
@@ -50,6 +51,9 @@ func RunNamed(w io.Writer, name string, opts Options) error {
 	case "threshold":
 		cfg := DefaultThreshold(opts)
 		RenderThreshold(w, cfg, RunThreshold(cfg))
+	case "stream":
+		cfg := DefaultStreamAblation(opts)
+		RenderStreamAblation(w, cfg, RunStreamAblation(cfg))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

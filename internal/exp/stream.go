@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"q3de/internal/burst"
+	"q3de/internal/lattice"
+	"q3de/internal/sim"
+)
+
+// StreamAblationConfig is the reaction-on/off ablation of the paper's actual
+// system: one burst profile strikes mid-stream and the streaming controller
+// runs once as the standard architecture (no reaction) and once as Q3DE
+// (detection + rollback re-decode + op_expand). Both runs share the seed, so
+// they face bit-identical sample streams and the comparison is paired.
+type StreamAblationConfig struct {
+	Options
+	D      int
+	P      float64
+	Rounds int
+	Source burst.Source // burst mechanism (Sec. IX profile)
+	Onset  int          // strike cycle
+}
+
+// DefaultStreamAblation runs a cosmic-ray strike on a d=9 stream.
+func DefaultStreamAblation(o Options) StreamAblationConfig {
+	return StreamAblationConfig{
+		Options: o, D: 9, P: 3e-3, Rounds: 60,
+		Source: burst.CosmicRay, Onset: 40,
+	}
+}
+
+// StreamAblationRow is one (reaction setting) result.
+type StreamAblationRow struct {
+	React  bool
+	Result sim.StreamResult
+}
+
+// streamShots caps the per-row shot budget: a streamed shot costs a full
+// controller pass (many incremental decodes), so the full budget is trimmed
+// to the standard tier.
+func (c StreamAblationConfig) streamShots() int64 {
+	shots, _ := c.Budget.shots()
+	std, _ := BudgetStandard.shots()
+	return min(shots, std)
+}
+
+// Region places the burst deterministically from the run seed, via the same
+// derivation the engine's stream jobs use for the same spec.
+func (c StreamAblationConfig) Region() (lattice.Box, float64) {
+	prof := burst.Profiles()[c.Source]
+	box := prof.SeededRegion(lattice.New(c.D, c.Rounds), c.Seed, c.Onset)
+	return box, prof.Pano(c.P)
+}
+
+// RunStreamAblation evaluates the reaction ablation. No early stop is
+// applied: both rows must run the identical shot set for the pairing to
+// hold.
+func RunStreamAblation(cfg StreamAblationConfig) []StreamAblationRow {
+	box, pano := cfg.Region()
+	rows := make([]StreamAblationRow, 0, 2)
+	for _, react := range []bool{false, true} {
+		res := cfg.runStream(sim.StreamConfig{
+			D: cfg.D, Rounds: cfg.Rounds, P: cfg.P,
+			Box: &box, Pano: pano,
+			React: react, Deform: react,
+			MaxShots: cfg.streamShots(), Seed: cfg.Seed,
+			Workers: cfg.Workers,
+		})
+		rows = append(rows, StreamAblationRow{React: react, Result: res})
+	}
+	return rows
+}
+
+// RenderStreamAblation prints the paired comparison.
+func RenderStreamAblation(w io.Writer, cfg StreamAblationConfig, rows []StreamAblationRow) {
+	fmt.Fprintf(w, "# Stream reaction ablation: %s strike at cycle %d on d=%d, p=%.3g, %d rounds\n",
+		cfg.Source, cfg.Onset, cfg.D, cfg.P, cfg.Rounds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "reaction\tshots\tpShot\tpL/cycle\tstderr\tdetect rate\tmean latency\trollbacks/shot\taborted")
+	for _, r := range rows {
+		mode := "off (baseline)"
+		if r.React {
+			mode = "on (Q3DE)"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.2g\t%.3g\t%.3g\t%.3g\t%d\n",
+			mode, r.Result.Shots, r.Result.PShot, r.Result.PL, r.Result.StdErr,
+			r.Result.DetectionRate, r.Result.MeanDetectionLatency,
+			r.Result.RollbacksPerShot, r.Result.Stats.RollbacksAborted)
+	}
+	tw.Flush()
+}

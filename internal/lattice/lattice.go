@@ -241,17 +241,3 @@ func (l *Lattice) SplitEdges(b *Box) (normal, anomalous []int32) {
 	}
 	return normal, anomalous
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

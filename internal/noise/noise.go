@@ -181,17 +181,3 @@ func boxNodeCount(b lattice.Box, l *lattice.Lattice) int {
 	}
 	return rows * cols * ts
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

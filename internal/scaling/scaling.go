@@ -218,17 +218,3 @@ func poisson(rng *rand.Rand, mean float64) int {
 		k++
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

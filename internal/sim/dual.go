@@ -17,15 +17,36 @@ type DualResult struct {
 	StdErr   float64
 }
 
-// RunDualMemory runs the memory experiment for both species: the Z lattice
-// with the given seed and the X lattice as an independent replica. The
-// anomalous region applies to both (a cosmic ray degrades every qubit in the
-// region, hence both species' error mechanisms).
+// DualMemoryScenario is the two-species memory workload: the Z lattice with
+// the configured seed and the X lattice as an independent replica seeded with
+// SplitSeed. Because the species are independent lattices with their own RNG
+// stream layouts, the composite is executed as two scenario sweeps rather
+// than one ShotRunner — folding both species into a single shot would change
+// the per-shard RNG consumption and break the committed decision goldens.
+// The Z and X accessors expose the per-species scenarios for callers (like
+// the engine) that schedule the sweeps themselves.
+type DualMemoryScenario struct {
+	Config MemoryConfig
+}
+
+// Z returns the Z-species scenario (the configured seed).
+func (d DualMemoryScenario) Z() MemoryScenario { return MemoryScenario{Config: d.Config} }
+
+// X returns the X-species scenario (the split seed). The anomalous region
+// applies to both species: a cosmic ray degrades every qubit in the region,
+// hence both species' error mechanisms.
+func (d DualMemoryScenario) X() MemoryScenario {
+	cfg := d.Config
+	cfg.Seed = SplitSeed(cfg.Seed)
+	return MemoryScenario{Config: cfg}
+}
+
+// RunDualMemory runs the memory experiment for both species and combines
+// them.
 func RunDualMemory(cfg MemoryConfig) DualResult {
-	z := RunMemory(cfg)
-	xcfg := cfg
-	xcfg.Seed = SplitSeed(cfg.Seed)
-	x := RunMemory(xcfg)
+	dual := DualMemoryScenario{Config: cfg}
+	z := RunMemory(dual.Z().Config)
+	x := RunMemory(dual.X().Config)
 	return CombineDual(z, x)
 }
 

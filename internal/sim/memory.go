@@ -9,8 +9,6 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
@@ -142,11 +140,45 @@ func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
 	}
 }
 
+// MemoryScenario is the whole-history batch-decode workload: every shot
+// draws one error configuration and decodes it in a single pass (the
+// Sec. VII memory experiment). It is the scenario the seed-sharded machinery
+// originally hard-coded; re-expressed through the Scenario interface it is
+// bit-identical to that hard-coded loop (pinned by the goldens in
+// determinism_test.go).
+type MemoryScenario struct {
+	Config MemoryConfig
+}
+
+// NewShotRunner implements Scenario: each worker gets its own decoder scratch
+// arena, sample buffer and coordinate buffer.
+func (m MemoryScenario) NewShotRunner(ws *Workspace) ShotRunner {
+	return newMemoryShotRunner(ws, m.Config.NewDecoderOn(ws))
+}
+
+// memoryShotRunner is the per-worker state of the batch memory scenario.
+type memoryShotRunner struct {
+	model  *noise.Model
+	dec    decoder.Decoder
+	s      noise.Sample
+	coords []lattice.Coord
+}
+
+func newMemoryShotRunner(ws *Workspace, dec decoder.Decoder) *memoryShotRunner {
+	return &memoryShotRunner{model: ws.Model, dec: dec, coords: make([]lattice.Coord, 0, 64)}
+}
+
+// RunShot implements ShotRunner.
+func (r *memoryShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
+	return DecodeShot(r.model, r.dec, rng, &r.s, &r.coords), ShotStats{}
+}
+
 // RunMemory estimates the logical error rate for one configuration by
-// parallel Monte-Carlo sampling over seed-sharded chunks (see shard.go).
-// Each shard draws from its own deterministic RNG stream and the MaxFailures
-// early stop is applied on the shard-index prefix, so the result for a fixed
-// seed is identical regardless of worker count and scheduling.
+// parallel Monte-Carlo sampling over seed-sharded chunks (see shard.go and
+// scenario.go). Each shard draws from its own deterministic RNG stream and
+// the MaxFailures early stop is applied on the shard-index prefix, so the
+// result for a fixed seed is identical regardless of worker count and
+// scheduling.
 func RunMemory(cfg MemoryConfig) MemoryResult {
 	cfg = cfg.withShotDefaults()
 	workers := cfg.Workers
@@ -158,47 +190,15 @@ func RunMemory(cfg MemoryConfig) MemoryResult {
 }
 
 // RunMemoryOn runs the sharded experiment on an existing (possibly cached)
-// workspace with a local goroutine pool. The engine package provides the same
-// loop on its long-lived shared pool; both paths produce identical results.
+// workspace with a local goroutine pool, by executing the memory scenario on
+// the generic shard machinery. The engine package provides the same loop on
+// its long-lived shared pool; both paths produce identical results.
 func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 	cfg = cfg.withShotDefaults()
-	shards := cfg.NumShards()
-	if workers > shards {
-		workers = shards
-	}
-	var next, failures atomic.Int64
-	results := make([]ShardResult, 0, shards)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One decoder per worker: its scratch arena reaches the
-			// high-water defect count within a few shots and every later
-			// shard of this worker decodes allocation-free.
-			dec := cfg.NewDecoderOn(ws)
-			for {
-				// Shards are claimed in index order, so when claiming stops
-				// the completed set is a contiguous prefix and AggregateShards
-				// can truncate deterministically.
-				if cfg.MaxFailures > 0 && failures.Load() >= cfg.MaxFailures {
-					return
-				}
-				i := int(next.Add(1) - 1)
-				if i >= shards {
-					return
-				}
-				r := RunShardOn(ws, cfg, i, dec)
-				failures.Add(r.Failures)
-				mu.Lock()
-				results = append(results, r)
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	return AggregateShards(cfg, results)
+	agg := RunScenarioOn(ws, MemoryScenario{Config: cfg}, cfg.Plan(), workers)
+	res := MemoryResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures}
+	finishMemoryResult(&res, cfg.rounds())
+	return res
 }
 
 // DecodeShot draws one error sample and decodes it, returning true on a
@@ -221,11 +221,4 @@ func DecodeShot(model *noise.Model, dec decoder.Decoder, rng *rand.Rand, s *nois
 	*coords = cs
 	res := dec.Decode(cs)
 	return res.CutParity != s.CutParity
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"q3de/internal/stats"
+)
+
+// Scenario is a pluggable per-shot workload the seed-sharded machinery
+// executes generically: the shard loop, the worker pool, the deterministic
+// RNG-stream layout and the MaxFailures early stop live here in the sim
+// package, while what a "shot" means — a whole-history batch decode, a
+// streamed Q3DE control run, anything one RNG stream can drive — lives in the
+// scenario.
+//
+// The contract a Scenario must honour for the bit-identical-across-worker-
+// counts guarantee to hold:
+//
+//   - A ShotRunner consumes randomness only from the *rand.Rand handed to
+//     RunShot. Shard i always runs on stats.WorkerRNG(plan.Seed, i), so the
+//     shot stream of a shard is a pure function of the plan.
+//   - Shots are independent: a runner may keep scratch arenas across calls
+//     (that is the point of per-worker runners), but no state that affects
+//     decisions may leak from one shot into the next — different worker
+//     counts execute different shot subsequences per runner.
+//   - NewShotRunner may read the Workspace freely but must treat it as
+//     immutable; the workspace is shared by every concurrent runner.
+type Scenario interface {
+	// NewShotRunner builds a per-goroutine runner on the shared workspace.
+	// Runners are cheap relative to the workspace and carry all mutable
+	// scratch state, so each worker gets its own and reuses it across every
+	// shard it executes.
+	NewShotRunner(ws *Workspace) ShotRunner
+}
+
+// ShotRunner executes shots one at a time. Implementations are not safe for
+// concurrent use; the shard machinery never shares a runner across
+// goroutines.
+type ShotRunner interface {
+	// RunShot draws and decodes one shot from rng, reporting whether it was a
+	// logical failure plus any per-shot counters.
+	RunShot(rng *rand.Rand) (failure bool, stats ShotStats)
+}
+
+// ShotStats are the per-shot counters a scenario may report beyond the
+// failure bit. All fields are summable integers, so shard aggregation is
+// order-independent and the totals are bit-identical across worker counts.
+// The zero value is the correct report for scenarios without counters.
+type ShotStats struct {
+	// Rollbacks counts Sec. VI-C rollback re-decodes triggered by MBBE
+	// detections; RollbacksAborted counts rollbacks abandoned because the
+	// host CPU had already consumed a result.
+	Rollbacks        int64 `json:"rollbacks,omitempty"`
+	RollbacksAborted int64 `json:"rollbacks_aborted,omitempty"`
+	// Detections counts shots on which the anomaly detection unit fired.
+	Detections int64 `json:"detections,omitempty"`
+	// DetectionLatencyCycles sums, over detected shots, the code cycles
+	// between the true burst onset and the detection.
+	DetectionLatencyCycles int64 `json:"detection_latency_cycles,omitempty"`
+}
+
+// Add accumulates counters from another report.
+func (s *ShotStats) Add(o ShotStats) {
+	s.Rollbacks += o.Rollbacks
+	s.RollbacksAborted += o.RollbacksAborted
+	s.Detections += o.Detections
+	s.DetectionLatencyCycles += o.DetectionLatencyCycles
+}
+
+// ShardPlan is the sampling plan the shard machinery executes for any
+// scenario: a shot budget split into ShardSize chunks, a base seed the
+// per-shard RNG streams derive from, and an optional early stop applied on
+// the shard-index prefix.
+type ShardPlan struct {
+	MaxShots    int64 // total shot budget (default 1e5)
+	MaxFailures int64 // stop early after this many failures (0 = no early stop)
+	Seed        uint64
+}
+
+// withDefaults normalises the sampling budget.
+func (p ShardPlan) withDefaults() ShardPlan {
+	if p.MaxShots <= 0 {
+		p.MaxShots = 100000
+	}
+	return p
+}
+
+// NumShards returns the shard count for the plan's shot budget.
+func (p ShardPlan) NumShards() int {
+	p = p.withDefaults()
+	return int((p.MaxShots + ShardSize - 1) / ShardSize)
+}
+
+// ShardShots returns how many shots shard i runs (the last shard may be
+// short).
+func (p ShardPlan) ShardShots(shard int) int64 {
+	p = p.withDefaults()
+	start := int64(shard) * ShardSize
+	if start >= p.MaxShots {
+		return 0
+	}
+	return min(ShardSize, p.MaxShots-start)
+}
+
+// RunScenarioShard executes shard i of the plan single-threaded with a fresh
+// runner, drawing from the shard's own deterministic RNG stream.
+func RunScenarioShard(ws *Workspace, sc Scenario, plan ShardPlan, shard int) ShardResult {
+	return RunShardWith(plan, shard, sc.NewShotRunner(ws))
+}
+
+// RunShardWith is RunScenarioShard with a caller-supplied runner, so a worker
+// that executes many shards of one plan shares a single runner (and its
+// scratch arenas) across them.
+func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
+	n := plan.withDefaults().ShardShots(shard)
+	res := ShardResult{Index: shard, Shots: n}
+	if n == 0 {
+		return res
+	}
+	rng := stats.WorkerRNG(plan.Seed, shard)
+	start := time.Now()
+	for i := int64(0); i < n; i++ {
+		fail, st := runner.RunShot(rng)
+		if fail {
+			res.Failures++
+		}
+		res.Stats.Add(st)
+	}
+	res.DecodeNs = time.Since(start).Nanoseconds()
+	return res
+}
+
+// ScenarioResult is the aggregated outcome of one scenario sweep: the raw
+// counts the deterministic prefix retained, plus the cumulative decode-loop
+// time of every executed shard (diagnostic only).
+type ScenarioResult struct {
+	Shots    int64     `json:"shots"`
+	Failures int64     `json:"failures"`
+	Stats    ShotStats `json:"stats"`
+	DecodeNs int64     `json:"decode_ns,omitempty"`
+}
+
+// RunScenarioOn runs the sharded sweep on an existing workspace with a local
+// goroutine pool: workers claim shard indices in order (so the completed set
+// is a contiguous prefix), each worker builds one ShotRunner and reuses it
+// across its shards, and aggregation truncates on the failure budget
+// deterministically. The result for a fixed plan is identical regardless of
+// worker count and scheduling. The engine package provides the same loop on
+// its long-lived shared pool; both paths produce identical results.
+func RunScenarioOn(ws *Workspace, sc Scenario, plan ShardPlan, workers int) ScenarioResult {
+	plan = plan.withDefaults()
+	shards := plan.NumShards()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	var next, failures atomic.Int64
+	results := make([]ShardResult, 0, shards)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One runner per worker: its scratch arenas reach the high-water
+			// mark within a few shots and every later shard of this worker
+			// runs allocation-free.
+			runner := sc.NewShotRunner(ws)
+			for {
+				// Shards are claimed in index order, so when claiming stops
+				// the completed set is a contiguous prefix and aggregation
+				// can truncate deterministically.
+				if plan.MaxFailures > 0 && failures.Load() >= plan.MaxFailures {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= shards {
+					return
+				}
+				r := RunShardWith(plan, i, runner)
+				failures.Add(r.Failures)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return AggregateScenarioShards(plan, results)
+}
+
+// AggregateScenarioShards folds shard results deterministically: shards are
+// consumed in index order and, when MaxFailures is set, aggregation stops
+// after the first shard at which the cumulative failure count reaches the
+// budget — so the totals are identical even when the executing pool over-ran
+// the early-stop point before all workers noticed it. The slice may arrive in
+// any order but must contain a contiguous prefix of shard indices. DecodeNs
+// sums over every executed shard (it is diagnostic and excluded from the
+// determinism guarantee).
+func AggregateScenarioShards(plan ShardPlan, shards []ShardResult) ScenarioResult {
+	plan = plan.withDefaults()
+	byIndex := make([]ShardResult, len(shards))
+	for _, s := range shards {
+		if s.Index < 0 || s.Index >= len(shards) {
+			panic("sim: shard results are not a contiguous prefix")
+		}
+		byIndex[s.Index] = s
+	}
+	var res ScenarioResult
+	for _, s := range byIndex {
+		res.DecodeNs += s.DecodeNs
+		res.Shots += s.Shots
+		res.Failures += s.Failures
+		res.Stats.Add(s.Stats)
+		if plan.MaxFailures > 0 && res.Failures >= plan.MaxFailures {
+			break
+		}
+	}
+	return res
+}

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"time"
-
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
 	"q3de/internal/decoder/mwpm"
@@ -75,28 +73,27 @@ func (c MemoryConfig) withShotDefaults() MemoryConfig {
 	return c
 }
 
-// NumShards returns the shard count for the configuration's shot budget.
-func (c MemoryConfig) NumShards() int {
-	c = c.withShotDefaults()
-	return int((c.MaxShots + ShardSize - 1) / ShardSize)
+// Plan returns the sampling plan the shard machinery executes for this
+// configuration.
+func (c MemoryConfig) Plan() ShardPlan {
+	return ShardPlan{MaxShots: c.MaxShots, MaxFailures: c.MaxFailures, Seed: c.Seed}.withDefaults()
 }
+
+// NumShards returns the shard count for the configuration's shot budget.
+func (c MemoryConfig) NumShards() int { return c.Plan().NumShards() }
 
 // ShardShots returns how many shots shard i runs (the last shard may be
 // short).
-func (c MemoryConfig) ShardShots(shard int) int64 {
-	c = c.withShotDefaults()
-	start := int64(shard) * ShardSize
-	if start >= c.MaxShots {
-		return 0
-	}
-	return min64(ShardSize, c.MaxShots-start)
-}
+func (c MemoryConfig) ShardShots(shard int) int64 { return c.Plan().ShardShots(shard) }
 
-// ShardResult is the outcome of one seed-sharded chunk.
+// ShardResult is the outcome of one seed-sharded chunk of any scenario.
 type ShardResult struct {
 	Index    int   `json:"index"`
 	Shots    int64 `json:"shots"`
 	Failures int64 `json:"failures"`
+	// Stats carries the scenario's per-shot counters summed over the shard
+	// (all zero for the batch memory scenario).
+	Stats ShotStats `json:"stats"`
 	// DecodeNs is the wall-clock nanoseconds this shard spent in its
 	// sample-and-decode loop (diagnostic; excluded from aggregation
 	// determinism — the engine surfaces the cumulative value in /metrics so
@@ -107,7 +104,7 @@ type ShardResult struct {
 // RunShard executes shard i of the configuration on the shared workspace,
 // single-threaded, drawing from the shard's own deterministic RNG stream.
 func RunShard(ws *Workspace, cfg MemoryConfig, shard int) ShardResult {
-	return RunShardOn(ws, cfg, shard, cfg.NewDecoderOn(ws))
+	return RunScenarioShard(ws, MemoryScenario{Config: cfg}, cfg.Plan(), shard)
 }
 
 // RunShardOn is RunShard with a caller-supplied decoder, so a worker that
@@ -116,62 +113,37 @@ func RunShard(ws *Workspace, cfg MemoryConfig, shard int) ShardResult {
 // allocating; see decoder.Decoder). The decoder must have been built for the
 // workspace's metric/lattice and must not be used concurrently.
 func RunShardOn(ws *Workspace, cfg MemoryConfig, shard int, dec decoder.Decoder) ShardResult {
-	n := cfg.ShardShots(shard)
-	res := ShardResult{Index: shard, Shots: n}
-	if n == 0 {
-		return res
-	}
-	rng := stats.WorkerRNG(cfg.Seed, shard)
-	var s noise.Sample
-	coords := make([]lattice.Coord, 0, 64)
-	start := time.Now()
-	for i := int64(0); i < n; i++ {
-		if DecodeShot(ws.Model, dec, rng, &s, &coords) {
-			res.Failures++
-		}
-	}
-	res.DecodeNs = time.Since(start).Nanoseconds()
-	return res
+	return RunShardWith(cfg.Plan(), shard, newMemoryShotRunner(ws, dec))
 }
 
-// AggregateShards folds shard results into a MemoryResult. Shards are
-// consumed in index order and, when MaxFailures is set, aggregation stops
-// after the first shard at which the cumulative failure count reaches the
-// budget — so the estimate is deterministic even when the executing pool
-// over-ran the early-stop point before all workers noticed it. The slice may
-// arrive in any order but must contain a contiguous prefix of shard indices.
+// AggregateShards folds shard results into a MemoryResult with the
+// deterministic shard-index-prefix truncation of AggregateScenarioShards.
 func AggregateShards(cfg MemoryConfig, shards []ShardResult) MemoryResult {
 	cfg = cfg.withShotDefaults()
-	byIndex := make([]ShardResult, len(shards))
-	for _, s := range shards {
-		if s.Index < 0 || s.Index >= len(shards) {
-			panic("sim: shard results are not a contiguous prefix")
-		}
-		byIndex[s.Index] = s
-	}
-	res := MemoryResult{Config: cfg}
-	for _, s := range byIndex {
-		res.Shots += s.Shots
-		res.Failures += s.Failures
-		if cfg.MaxFailures > 0 && res.Failures >= cfg.MaxFailures {
-			break
-		}
-	}
+	agg := AggregateScenarioShards(cfg.Plan(), shards)
+	res := MemoryResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures}
 	finishMemoryResult(&res, cfg.rounds())
 	return res
 }
 
 // finishMemoryResult derives the rate estimates from the raw counts.
 func finishMemoryResult(res *MemoryResult, rounds int) {
+	res.PShot, res.PL, res.StdErr = rateEstimates(res.Failures, res.Shots, rounds)
+}
+
+// rateEstimates converts raw failure counts into the per-shot and per-cycle
+// rates with the binomial standard error propagated through the per-cycle
+// transform. Shared by every scenario's result finishing.
+func rateEstimates(failures, shots int64, rounds int) (pShot, pL, stdErr float64) {
 	var prop stats.Proportion
-	prop.Add(res.Failures, res.Shots)
-	res.PShot = prop.Mean()
-	res.PL = stats.PerCycleRate(res.PShot, rounds)
-	// Propagate the binomial standard error through the per-cycle transform.
-	if res.PShot > 0 && res.PShot < 1 {
-		deriv := (1 - res.PL) / (float64(rounds) * (1 - res.PShot))
-		res.StdErr = prop.StdErr() * deriv
+	prop.Add(failures, shots)
+	pShot = prop.Mean()
+	pL = stats.PerCycleRate(pShot, rounds)
+	if pShot > 0 && pShot < 1 {
+		deriv := (1 - pL) / (float64(rounds) * (1 - pShot))
+		stdErr = prop.StdErr() * deriv
 	} else {
-		res.StdErr = stats.PerCycleRate(prop.StdErr(), rounds)
+		stdErr = stats.PerCycleRate(prop.StdErr(), rounds)
 	}
+	return pShot, pL, stdErr
 }

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"runtime"
+
+	"q3de/internal/control"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// Calibration RNG seeds: the paper assumes mu and sigma "are known in the
+// calibration process in advance", so the calibration draw is a fixed-seed
+// pure function of (D, P, CalibShots) — independent of the run seed, so two
+// runs of the same physics at different seeds share identical thresholds.
+const calibSeed1, calibSeed2 = 991, 992
+
+// StreamConfig parameterises the streaming Q3DE control workload: every shot
+// drives a control.Controller cycle by cycle through one full memory run —
+// syndrome layers are pushed as they are "measured", the anomaly detection
+// unit watches the stream, and (with React) a detection triggers the
+// Sec. VI-C rollback re-decode and the Sec. V op_expand deformation.
+type StreamConfig struct {
+	D      int     // code distance
+	Rounds int     // streamed noisy rounds; 0 means 10*D (long enough to detect)
+	P      float64 // physical error rate per cycle
+
+	Box  *lattice.Box // injected anomalous region, nil for a clean stream
+	Pano float64      // anomalous physical rate
+
+	// React enables the Q3DE reactions (rollback re-decode and op_expand);
+	// false is the paper's standard-architecture baseline.
+	React bool
+	// Deform attaches a stabilizer map so detections drive the op_expand
+	// state machine (Sec. V) alongside the rollback.
+	Deform bool
+
+	PanoGuess float64 // reaction metric's in-region rate guess; 0 means 0.4
+	DanoGuess int     // reaction region-size bound; 0 means 4
+
+	Cwin  int     // anomaly-detection window; 0 means 30
+	Cbat  int     // matching-queue batch length; 0 means control.OptimalBatch(Cwin)
+	Alpha float64 // detection confidence parameter; 0 means 0.01
+	Nth   int     // detection vote threshold; 0 means 12
+
+	// Mu/Sigma are the calibrated clean-noise activity moments. Zero values
+	// trigger the deterministic calibration pass (CalibShots draws on a d×d
+	// clean lattice with the fixed calibration seeds).
+	Mu, Sigma  float64
+	CalibShots int // calibration sample count; 0 means 300
+
+	MaxShots    int64 // shot budget (default 1e5)
+	MaxFailures int64 // early stop (0 = none)
+	Seed        uint64
+	Workers     int // 0 = GOMAXPROCS
+}
+
+// withDefaults normalises the streaming parameters.
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 10 * c.D
+	}
+	if c.PanoGuess == 0 {
+		c.PanoGuess = 0.4
+	}
+	if c.DanoGuess == 0 {
+		c.DanoGuess = 4
+	}
+	if c.Cwin == 0 {
+		c.Cwin = 30
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.Nth == 0 {
+		c.Nth = 12
+	}
+	if c.CalibShots == 0 {
+		c.CalibShots = 300
+	}
+	if c.MaxShots <= 0 {
+		c.MaxShots = 100000
+	}
+	return c
+}
+
+// EffectiveRounds exposes the streamed horizon (Rounds, or 10*D when Rounds
+// is zero).
+func (c StreamConfig) EffectiveRounds() int { return c.withDefaults().Rounds }
+
+// MemoryBase returns the memory configuration describing the stream's noise
+// physics: the workspace (lattice + noise model) for the stream scenario is
+// exactly the workspace of this configuration, so the engine's workspace
+// cache is shared between batch and stream jobs at the same physical point.
+func (c StreamConfig) MemoryBase() MemoryConfig {
+	c = c.withDefaults()
+	return MemoryConfig{
+		D: c.D, Rounds: c.Rounds, P: c.P,
+		Box: c.Box, Pano: c.Pano,
+		Decoder:  DecoderGreedy, // the control hardware's decoder (Sec. VI-B)
+		MaxShots: c.MaxShots, MaxFailures: c.MaxFailures, Seed: c.Seed,
+	}
+}
+
+// Plan returns the sampling plan the shard machinery executes.
+func (c StreamConfig) Plan() ShardPlan {
+	c = c.withDefaults()
+	return ShardPlan{MaxShots: c.MaxShots, MaxFailures: c.MaxFailures, Seed: c.Seed}
+}
+
+// Calibrate returns the clean-noise activity moments the controller's
+// detection thresholds are built from: the configured Mu/Sigma when set, or
+// the deterministic fixed-seed Monte-Carlo calibration otherwise.
+func (c StreamConfig) Calibrate() (mu, sigma float64) {
+	c = c.withDefaults()
+	if c.Mu != 0 || c.Sigma != 0 {
+		return c.Mu, c.Sigma
+	}
+	l := lattice.New(c.D, c.D)
+	clean := noise.NewModel(l, c.P, nil, 0)
+	return clean.NodeActivityMoments(stats.NewRNG(calibSeed1, calibSeed2), c.CalibShots)
+}
+
+// ControlConfig resolves the controller configuration, running the
+// calibration pass if the moments are unset.
+func (c StreamConfig) ControlConfig() control.Config {
+	c = c.withDefaults()
+	mu, sigma := c.Calibrate()
+	return control.Config{
+		D: c.D, P: c.P, PanoGuess: c.PanoGuess,
+		Cwin: c.Cwin, Cbat: c.Cbat, Mu: mu, Sigma: sigma,
+		Alpha: c.Alpha, Nth: c.Nth,
+		React: c.React, DanoGuess: c.DanoGuess,
+	}
+}
+
+// StreamScenario implements Scenario for the streaming control workload. A
+// scenario value resolves the calibration once and is then shared read-only
+// by every worker; each worker's ShotRunner owns a control.Driver whose
+// lattice is the shared workspace's.
+type StreamScenario struct {
+	cfg StreamConfig
+	ctl control.Config
+}
+
+// NewStreamScenario resolves the configuration (defaults + calibration) into
+// a runnable scenario.
+func NewStreamScenario(cfg StreamConfig) *StreamScenario {
+	cfg = cfg.withDefaults()
+	return &StreamScenario{cfg: cfg, ctl: cfg.ControlConfig()}
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (s *StreamScenario) Config() StreamConfig { return s.cfg }
+
+// NewShotRunner implements Scenario.
+func (s *StreamScenario) NewShotRunner(ws *Workspace) ShotRunner {
+	onset := 0
+	if s.cfg.Box != nil {
+		onset = max(0, s.cfg.Box.T0)
+	}
+	return &streamShotRunner{
+		model: ws.Model,
+		drv:   control.NewDriver(s.ctl, ws.L, s.cfg.Deform),
+		onset: onset,
+	}
+}
+
+// streamShotRunner is the per-worker state of the stream scenario: one
+// reusable driver (controller, detector, decoder arenas) plus the sample
+// buffer.
+type streamShotRunner struct {
+	model *noise.Model
+	drv   *control.Driver
+	s     noise.Sample
+	onset int // true burst onset cycle; 0 for clean streams
+}
+
+// RunShot implements ShotRunner: draw one full-horizon error history, stream
+// it through the controller, and translate the driver outcome into the
+// scenario counters.
+func (r *streamShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
+	r.model.Draw(rng, &r.s)
+	out := r.drv.RunShot(&r.s)
+	st := ShotStats{
+		Rollbacks:        int64(out.Rollbacks),
+		RollbacksAborted: int64(out.Aborted),
+	}
+	if out.DetectedAt >= 0 {
+		st.Detections = 1
+		if lat := out.DetectedAt - r.onset; lat > 0 {
+			st.DetectionLatencyCycles = int64(lat)
+		}
+	}
+	return out.Failure, st
+}
+
+// StreamResult is the estimate for one streaming configuration.
+type StreamResult struct {
+	Config   StreamConfig `json:"config"`
+	Shots    int64        `json:"shots"`
+	Failures int64        `json:"failures"`
+	Stats    ShotStats    `json:"stats"`
+
+	PShot  float64 `json:"p_shot"` // logical failure probability per shot
+	PL     float64 `json:"p_l"`    // logical error rate per cycle
+	StdErr float64 `json:"std_err"`
+
+	// DetectionRate is the fraction of shots on which the detection unit
+	// fired; MeanDetectionLatency is the mean detection latency in code
+	// cycles over those shots (0 when none fired).
+	DetectionRate        float64 `json:"detection_rate"`
+	MeanDetectionLatency float64 `json:"mean_detection_latency_cycles"`
+	// RollbacksPerShot is the mean number of rollback re-decodes per shot.
+	RollbacksPerShot float64 `json:"rollbacks_per_shot"`
+}
+
+// AggregateStream folds shard results into a StreamResult with the same
+// deterministic shard-index-prefix truncation every scenario uses.
+func AggregateStream(cfg StreamConfig, shards []ShardResult) StreamResult {
+	cfg = cfg.withDefaults()
+	return finishStreamResult(cfg, AggregateScenarioShards(cfg.Plan(), shards))
+}
+
+// finishStreamResult derives the rate and counter estimates.
+func finishStreamResult(cfg StreamConfig, agg ScenarioResult) StreamResult {
+	res := StreamResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures, Stats: agg.Stats}
+	res.PShot, res.PL, res.StdErr = rateEstimates(res.Failures, res.Shots, cfg.Rounds)
+	if res.Shots > 0 {
+		res.DetectionRate = float64(res.Stats.Detections) / float64(res.Shots)
+		res.RollbacksPerShot = float64(res.Stats.Rollbacks) / float64(res.Shots)
+	}
+	if res.Stats.Detections > 0 {
+		res.MeanDetectionLatency = float64(res.Stats.DetectionLatencyCycles) / float64(res.Stats.Detections)
+	}
+	return res
+}
+
+// RunStream estimates the streaming workload for one configuration with the
+// same seed-sharded determinism guarantee as RunMemory: the result for a
+// fixed seed is identical regardless of worker count and scheduling.
+func RunStream(cfg StreamConfig) StreamResult {
+	sc := NewStreamScenario(cfg)
+	workers := sc.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ws := NewWorkspace(sc.cfg.MemoryBase())
+	return RunStreamOn(ws, sc, workers)
+}
+
+// RunStreamOn runs the stream scenario on an existing (possibly cached)
+// workspace with a local goroutine pool.
+func RunStreamOn(ws *Workspace, sc *StreamScenario, workers int) StreamResult {
+	agg := RunScenarioOn(ws, sc, sc.cfg.Plan(), workers)
+	return finishStreamResult(sc.cfg, agg)
+}

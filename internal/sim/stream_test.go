@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"q3de/internal/lattice"
+)
+
+// streamMBBEConfig is the shared small-but-real streaming configuration: a
+// d=5 stream with a 3×3 MBBE striking mid-run, reactions on, deformation
+// driven.
+func streamMBBEConfig() StreamConfig {
+	l := lattice.New(5, 50)
+	box := l.CenteredBox(3)
+	box.T0 = 20
+	return StreamConfig{
+		D: 5, Rounds: 50, P: 0.003,
+		Box: &box, Pano: 0.4,
+		React: true, Deform: true,
+		MaxShots: 3 * ShardSize, Seed: 4242,
+	}
+}
+
+func TestStreamScenarioDeterministicAcrossWorkers(t *testing.T) {
+	cfg := streamMBBEConfig()
+	cfg.Workers = 1
+	want := RunStream(cfg)
+	if want.Shots != cfg.MaxShots {
+		t.Fatalf("shots = %d, want %d", want.Shots, cfg.MaxShots)
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		cfg.Workers = w
+		got := RunStream(cfg)
+		if got.Shots != want.Shots || got.Failures != want.Failures || got.Stats != want.Stats {
+			t.Errorf("workers=%d: shots/failures/stats %d/%d/%+v, want %d/%d/%+v",
+				w, got.Shots, got.Failures, got.Stats, want.Shots, want.Failures, want.Stats)
+		}
+	}
+}
+
+func TestStreamScenarioGolden(t *testing.T) {
+	// Golden pin for the stream scenario's full counter set: any change to
+	// the controller, detector, driver reset, calibration, or shard machinery
+	// that alters streaming decisions must show up here and be re-baselined
+	// deliberately.
+	r := RunStream(streamMBBEConfig())
+	if r.Failures != 755 {
+		t.Errorf("failures = %d, want 755 (golden)", r.Failures)
+	}
+	want := ShotStats{Rollbacks: 1536, Detections: 1536, DetectionLatencyCycles: 10329}
+	if r.Stats != want {
+		t.Errorf("stats = %+v, want %+v (golden)", r.Stats, want)
+	}
+}
+
+func TestStreamScenarioEarlyStopDeterministicAcrossWorkers(t *testing.T) {
+	cfg := streamMBBEConfig()
+	cfg.MaxShots = 8 * ShardSize
+	cfg.MaxFailures = 120
+	cfg.Workers = 1
+	want := RunStream(cfg)
+	if want.Failures < cfg.MaxFailures {
+		t.Fatalf("early stop not reached: %d failures", want.Failures)
+	}
+	for _, w := range []int{3, 7} {
+		cfg.Workers = w
+		got := RunStream(cfg)
+		if got.Shots != want.Shots || got.Failures != want.Failures || got.Stats != want.Stats {
+			t.Errorf("workers=%d: %d/%d %+v, want %d/%d %+v",
+				w, got.Failures, got.Shots, got.Stats, want.Failures, want.Shots, want.Stats)
+		}
+	}
+}
+
+func TestStreamCleanMatchesBatchMemoryDecisions(t *testing.T) {
+	// Generalizes the control package's clean-stream regression to the sim
+	// layer, and strengthens it from a rate bound to exact equality: with
+	// reactions off and a batch length longer than the stream (so the whole
+	// pool is decoded once at Finish), the streamed controller performs
+	// exactly the batch whole-history greedy decode — node ids are t-major,
+	// so pushing defects layer by layer reproduces the batch decoder's
+	// ascending-id input order. The failure decisions must therefore match
+	// RunMemory shot for shot, which the aggregate counts pin.
+	mem := MemoryConfig{D: 5, P: 0.02, Decoder: DecoderGreedy, MaxShots: 4 * ShardSize, Seed: 77}
+	stream := StreamConfig{
+		D: 5, Rounds: 5, P: 0.02, React: false,
+		Cbat:     64, // > Rounds: no mid-stream commits
+		MaxShots: mem.MaxShots, Seed: mem.Seed,
+	}
+	if got, want := stream.MemoryBase().EffectiveRounds(), mem.EffectiveRounds(); got != want {
+		t.Fatalf("rounds mismatch: stream %d, memory %d", got, want)
+	}
+	m := RunMemory(mem)
+	s := RunStream(stream)
+	if s.Shots != m.Shots || s.Failures != m.Failures {
+		t.Errorf("clean stream %d/%d != batch memory %d/%d",
+			s.Failures, s.Shots, m.Failures, m.Shots)
+	}
+	if s.Stats.Rollbacks != 0 || s.Stats.RollbacksAborted != 0 {
+		t.Errorf("non-reactive stream must not roll back: %+v", s.Stats)
+	}
+}
+
+func TestStreamScenarioDetectsInjectedMBBE(t *testing.T) {
+	// CI smoke (run under -race): a short reactive stream over an injected
+	// MBBE must produce at least one detection with plausible latency and
+	// rollback accounting.
+	cfg := streamMBBEConfig()
+	cfg.MaxShots = 32
+	r := RunStream(cfg)
+	if r.Stats.Detections < 1 {
+		t.Fatalf("no detections in %d shots over an injected MBBE: %+v", r.Shots, r.Stats)
+	}
+	if r.Stats.Rollbacks+r.Stats.RollbacksAborted < r.Stats.Detections {
+		t.Errorf("every detection must trigger a rollback attempt: %+v", r.Stats)
+	}
+	if r.MeanDetectionLatency <= 0 {
+		t.Errorf("mean detection latency = %v, want > 0 (onset is mid-stream)", r.MeanDetectionLatency)
+	}
+	if r.MeanDetectionLatency > float64(3*30) {
+		t.Errorf("mean detection latency = %v cycles, implausibly large for cwin=30", r.MeanDetectionLatency)
+	}
+}
+
+func TestStreamReactionReducesFailures(t *testing.T) {
+	// The paper's headline property, now at the scenario layer: on identical
+	// sample streams (same seed → same per-shard RNG), the reactive
+	// controller must fail less often than the standard-architecture
+	// baseline. d=9 with dano=3 leaves the aware decoder real headroom.
+	if testing.Short() {
+		t.Skip("reaction comparison needs a d=9 stream sweep")
+	}
+	l := lattice.New(9, 60)
+	box := l.CenteredBox(3)
+	box.T0 = 40
+	base := StreamConfig{
+		D: 9, Rounds: 60, P: 0.003,
+		Box: &box, Pano: 0.4,
+		MaxShots: 600, Seed: 99,
+	}
+	blind := base
+	blind.React = false
+	react := base
+	react.React = true
+	b := RunStream(blind)
+	r := RunStream(react)
+	if r.Failures >= b.Failures {
+		t.Errorf("reaction should help: blind=%d react=%d of %d shots",
+			b.Failures, r.Failures, b.Shots)
+	}
+	if b.Stats.Rollbacks != 0 {
+		t.Errorf("blind stream rolled back %d times", b.Stats.Rollbacks)
+	}
+}
