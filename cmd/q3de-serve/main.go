@@ -2,19 +2,22 @@
 // HTTP service (stdlib only). Jobs — raw memory experiments, dual-species
 // runs, streaming Q3DE control runs (kind "stream": cycle-by-cycle anomaly
 // detection, rollback re-decode and op_expand deformation, with rollback and
-// detection-latency counters on /metrics), or whole paper figures — are
-// submitted as JSON, executed as seed-sharded chunks on a bounded worker
-// pool, and can be polled, streamed for progress, and cancelled. Estimates
-// are deterministic per seed: the service returns exactly what `q3de` prints
-// for the same configuration.
+// detection-latency counters on /metrics), declarative parameter grids (kind
+// "sweep": one sub-run per grid point with bounded fan-out, per-point
+// progress and a canonical-spec point cache that lets overlapping sweeps
+// reuse finished points), or whole paper figures — are submitted as JSON,
+// executed as seed-sharded chunks on a bounded worker pool, and can be
+// polled, streamed for progress, and cancelled. Estimates are deterministic
+// per seed: the service returns exactly what `q3de` prints for the same
+// configuration.
 //
 // Usage:
 //
-//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N]
+//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N] [-point-cache N]
 //
 // API (see README.md for curl examples):
 //
-//	POST   /v1/jobs             submit {"kind":"memory"|"dual"|"stream"|"figure",...}
+//	POST   /v1/jobs             submit {"kind":"memory"|"dual"|"stream"|"sweep"|"figure",...}
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + partial results
 //	GET    /v1/jobs/{id}/result final result
@@ -43,12 +46,14 @@ func main() {
 	workers := flag.Int("workers", 0, "shard worker pool size (0 = all cores)")
 	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
 	cache := flag.Int("cache", 64, "workspace cache capacity (per-config lattices/metrics)")
+	pointCache := flag.Int("point-cache", 1024, "sweep point-result cache capacity")
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
-		Workers:       *workers,
-		MaxJobs:       *maxJobs,
-		CacheCapacity: *cache,
+		Workers:            *workers,
+		MaxJobs:            *maxJobs,
+		CacheCapacity:      *cache,
+		PointCacheCapacity: *pointCache,
 	})
 	exp.RegisterJobs(eng)
 

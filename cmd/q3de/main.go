@@ -5,20 +5,29 @@
 // Usage:
 //
 //	q3de [-budget quick|standard|full] [-seed N] [-decoder greedy|mwpm|union-find] <experiment>
+//	q3de sweep -scenario memory|dual|stream -base JSON -axis name=v1,v2,... [flags]
+//	q3de sweep -list
 //
 // Experiments: fig3, fig7, fig8, fig9, fig10, table3, table4, headline,
-// ablation, correlation, threshold, stream, all.
+// ablation, correlation, threshold, stream, all. The sweep verb runs an
+// ad-hoc declarative parameter grid through the same engine machinery the
+// canned figures use (engine kind "sweep").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"strconv"
+	"strings"
 	"time"
 
 	"q3de/internal/engine"
 	"q3de/internal/exp"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 func main() {
@@ -28,6 +37,11 @@ func main() {
 	decoder := flag.String("decoder", "greedy", "memory-experiment decoder: greedy, mwpm or union-find")
 	flag.Usage = usage
 	flag.Parse()
+
+	if flag.NArg() >= 1 && flag.Arg(0) == "sweep" {
+		runSweepVerb(flag.Args()[1:], *workers)
+		return
+	}
 
 	if flag.NArg() != 1 {
 		usage()
@@ -66,6 +80,157 @@ func main() {
 	runOne(name, opts)
 }
 
+// axisFlags collects repeated -axis name=v1,v2,... flags.
+type axisFlags []engine.AxisSpec
+
+func (a *axisFlags) String() string { return fmt.Sprintf("%v", []engine.AxisSpec(*a)) }
+
+func (a *axisFlags) Set(s string) error {
+	name, list, ok := strings.Cut(s, "=")
+	if !ok || name == "" || list == "" {
+		return fmt.Errorf("axis must look like name=v1,v2,..., got %q", s)
+	}
+	spec := engine.AxisSpec{Name: name}
+	for _, tok := range strings.Split(list, ",") {
+		spec.Values = append(spec.Values, parseAxisValue(tok))
+	}
+	*a = append(*a, spec)
+	return nil
+}
+
+// parseAxisValue maps a CLI token onto the JSON scalar it would be in a
+// sweep job body: numbers (integers parsed exactly, so a seed axis above
+// 2^53 survives), exact booleans, else a string.
+func parseAxisValue(tok string) any {
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return i
+	}
+	if u, err := strconv.ParseUint(tok, 10, 64); err == nil {
+		return u
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f
+	}
+	if tok == "true" || tok == "false" {
+		return tok == "true"
+	}
+	return tok
+}
+
+// runSweepVerb runs an ad-hoc declarative grid (engine kind "sweep") from
+// the command line, the CLI twin of POST /v1/jobs {"kind":"sweep"}.
+func runSweepVerb(args []string, workers int) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	scenario := fs.String("scenario", "memory", "underlying scenario per grid point: memory, dual or stream")
+	base := fs.String("base", "", "base spec JSON for the scenario (the fixed parameters)")
+	var axes axisFlags
+	fs.Var(&axes, "axis", "one grid axis as name=v1,v2,... (repeatable; names are spec JSON fields)")
+	x := fs.String("x", "", "axis plotted on x to reduce points into series")
+	y := fs.String("y", "PL", "result field plotted on y (with -x)")
+	errField := fs.String("err", "StdErr", "result field used as the error bar (with -x; empty disables)")
+	groupBy := fs.String("group-by", "", "comma-separated axes identifying each series (with -x)")
+	conc := fs.Int("concurrency", 0, "max grid points in flight (0 = engine default)")
+	asJSON := fs.Bool("json", false, "print the raw sweep result as JSON instead of series text")
+	list := fs.Bool("list", false, "list the sweepable axes of each scenario and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `q3de sweep — run an ad-hoc parameter grid through the engine
+
+Every grid point overlays its axis values onto the base spec by JSON field
+name, runs as one %s/%s/%s sub-run on the shared shard pool, and lands in
+the engine's point cache under its canonical spec. Example:
+
+  q3de sweep -scenario memory -base '{"p":0.02,"max_shots":2000}' \
+      -axis d=3,5,7 -axis p=0.004,0.01,0.02 -x p -group-by d
+
+flags:
+`, engine.KindMemory, engine.KindDual, engine.KindStream)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *list {
+		listSweepAxes(os.Stdout)
+		return
+	}
+	if len(axes) == 0 {
+		fatalf("sweep needs at least one -axis (try -list)")
+	}
+
+	spec := &engine.SweepSpec{
+		Scenario:         *scenario,
+		Axes:             axes,
+		PointConcurrency: *conc,
+	}
+	if *base != "" {
+		spec.Base = json.RawMessage(*base)
+	}
+	if *x != "" {
+		ss := &sweep.SeriesSpec{X: *x, Y: *y, Err: *errField}
+		if *groupBy != "" {
+			ss.GroupBy = strings.Split(*groupBy, ",")
+		}
+		spec.Series = ss
+	}
+
+	eng := engine.New(engine.Config{Workers: workers})
+	defer eng.Close()
+	job, err := eng.Submit(engine.JobSpec{Kind: engine.KindSweep, Sweep: spec})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	<-job.Done()
+	if msg := job.Err(); msg != "" {
+		fatalf("sweep failed: %s", msg)
+	}
+	v, _ := job.Result()
+	res := v.(engine.SweepJobResult)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else if len(res.Series) > 0 {
+		sweep.RenderSeries(os.Stdout, fmt.Sprintf("sweep %s: %s vs %s", res.Scenario, *y, *x), res.Series)
+	} else {
+		for _, pt := range res.Points {
+			b, err := json.Marshal(pt)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println(string(b))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[sweep completed in %v: %d points, %d from the point cache]\n",
+		time.Since(start).Round(time.Millisecond), len(res.Points), res.CacheHits)
+}
+
+// listSweepAxes prints the sweepable JSON fields per scenario, derived from
+// the wire spec structs so the listing never drifts from the API.
+func listSweepAxes(w *os.File) {
+	print := func(scenario string, spec any) {
+		fmt.Fprintf(w, "%s:\n", scenario)
+		t := reflect.TypeOf(spec)
+		for i := 0; i < t.NumField(); i++ {
+			tag := t.Field(i).Tag.Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name == "" || name == "-" {
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s %s\n", name, t.Field(i).Type)
+		}
+	}
+	fmt.Fprintln(w, "Sweepable axes (JSON fields of each scenario's base spec):")
+	print(engine.KindMemory+" (and "+engine.KindDual+")", engine.MemorySpec{})
+	print(engine.KindStream, engine.StreamSpec{})
+	fmt.Fprintln(w, "\nNested fields (box, burst) can be set in -base but not swept as axes.")
+}
+
 func runOne(name string, opts exp.Options) {
 	start := time.Now()
 	if err := exp.RunNamed(os.Stdout, name, opts); err != nil {
@@ -83,6 +248,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `q3de — reproduce the Q3DE (MICRO 2022) evaluation
 
 usage: q3de [flags] <experiment>
+       q3de sweep [sweep flags]   (see q3de sweep -h)
 
 experiments:
   fig3      logical error rates with/without an MBBE (paper Fig. 3)
@@ -99,6 +265,8 @@ experiments:
   stream    streaming control-run reaction ablation (detection + rollback
             on/off over a burst strike; DESIGN.md §11)
   all       every experiment in sequence
+  sweep     ad-hoc declarative parameter grid (any axis × any scenario;
+            DESIGN.md §12)
 
 flags:
 `)

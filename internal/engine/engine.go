@@ -36,6 +36,10 @@ type Config struct {
 	QueueDepth int
 	// CacheCapacity bounds the workspace cache; 0 means 64 entries.
 	CacheCapacity int
+	// PointCacheCapacity bounds the sweep point-result cache; 0 means 1024
+	// entries. Finished grid points are cached under their canonical spec, so
+	// overlapping sweeps reuse each other's completed points.
+	PointCacheCapacity int
 	// MaxHistory bounds the job registry; 0 means 1024. Once exceeded, the
 	// oldest *finished* jobs are dropped at submission time — running and
 	// queued jobs are never pruned, so a long-lived service cannot leak
@@ -70,6 +74,7 @@ type Engine struct {
 
 	nextID  atomic.Uint64
 	cache   *workspaceCache
+	points  *pointCache
 	metrics metrics
 }
 
@@ -102,6 +107,7 @@ func New(cfg Config) *Engine {
 		jobs:       make(map[string]*Job),
 		runners:    make(map[string]RunnerFunc),
 		cache:      newWorkspaceCache(cfg.CacheCapacity),
+		points:     newPointCache(cfg.PointCacheCapacity),
 	}
 	e.metrics.start = time.Now()
 	for i := 0; i < cfg.Workers; i++ {
@@ -122,7 +128,7 @@ func (e *Engine) Workers() int { return e.workers }
 // RegisterKind installs a runner for a custom job kind (e.g. the experiment
 // harness registers "figure"). Registering a built-in kind panics.
 func (e *Engine) RegisterKind(kind string, fn RunnerFunc) {
-	if kind == KindMemory || kind == KindDual || kind == KindStream {
+	if kind == KindMemory || kind == KindDual || kind == KindStream || kind == KindSweep {
 		panic("engine: cannot override built-in kind " + kind)
 	}
 	e.mu.Lock()
@@ -188,16 +194,7 @@ func (e *Engine) RunDualMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.D
 		return sim.DualResult{}, err
 	}
 	defer release()
-	dual := sim.DualMemoryScenario{Config: cfg}
-	z, err := e.runMemory(ctx, dual.Z().Config)
-	if err != nil {
-		return sim.DualResult{}, err
-	}
-	x, err := e.runMemory(ctx, dual.X().Config)
-	if err != nil {
-		return sim.DualResult{}, err
-	}
-	return sim.CombineDual(z, x), nil
+	return e.runDual(ctx, cfg)
 }
 
 // RunStream executes one streaming control workload on the engine's pool,
@@ -396,16 +393,19 @@ func (e *Engine) plan(spec JobSpec) (func(context.Context, *Job) (any, error), e
 			return nil, fmt.Errorf("dual job: %w", err)
 		}
 		return func(ctx context.Context, _ *Job) (any, error) {
-			dual := sim.DualMemoryScenario{Config: cfg}
-			z, err := e.runMemory(ctx, dual.Z().Config)
+			return e.runDual(ctx, cfg)
+		}, nil
+	case KindSweep:
+		sw, err := e.planSweep(spec.Sweep)
+		if err != nil {
+			return nil, fmt.Errorf("sweep job: %w", err)
+		}
+		return func(ctx context.Context, _ *Job) (any, error) {
+			res, err := e.runSweep(ctx, sw)
 			if err != nil {
 				return nil, err
 			}
-			x, err := e.runMemory(ctx, dual.X().Config)
-			if err != nil {
-				return nil, err
-			}
-			return sim.CombineDual(z, x), nil
+			return res.Reduced, nil
 		}, nil
 	case KindStream:
 		cfg, err := spec.Stream.Config()

@@ -27,6 +27,10 @@ func NewHandler(e *Engine) http.Handler {
 		var spec JobSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
+		// UseNumber keeps sweep axis values exact: a seed axis above 2^53
+		// must not be rounded through float64 on its way into the merged
+		// point spec (typed fields are unaffected).
+		dec.UseNumber()
 		if err := dec.Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return

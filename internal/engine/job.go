@@ -19,6 +19,8 @@ const (
 	KindMemory = "memory" // one memory experiment, Z species only
 	KindDual   = "dual"   // both syndrome species, combined rate
 	KindStream = "stream" // streaming Q3DE control runs (detection + rollback)
+	// KindSweep is declared in sweep.go: a declarative parameter grid fanned
+	// out as one sub-run per point.
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -39,11 +41,12 @@ func (s JobState) Terminal() bool {
 
 // JobSpec is the submission payload. Exactly one parameter block applies:
 // Memory for the built-in memory/dual kinds, Stream for the streaming control
-// kind, Params for registered kinds.
+// kind, Sweep for declarative parameter grids, Params for registered kinds.
 type JobSpec struct {
 	Kind   string          `json:"kind"`
 	Memory *MemorySpec     `json:"memory,omitempty"`
 	Stream *StreamSpec     `json:"stream,omitempty"`
+	Sweep  *SweepSpec      `json:"sweep,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
 }
 
@@ -259,13 +262,20 @@ func (m *StreamSpec) Config() (sim.StreamConfig, error) {
 // and detections as their shards complete, so a poll of /v1/jobs/{id} shows
 // the reaction machinery working long before the final estimate lands.
 type Progress struct {
-	ShardsDone  int     `json:"shards_done"`
-	ShardsTotal int     `json:"shards_total,omitempty"`
-	Shots       int64   `json:"shots"`
-	Failures    int64   `json:"failures"`
-	Rollbacks   int64   `json:"rollbacks,omitempty"`
-	Detections  int64   `json:"detections,omitempty"`
-	Fraction    float64 `json:"fraction"`
+	ShardsDone  int   `json:"shards_done"`
+	ShardsTotal int   `json:"shards_total,omitempty"`
+	Shots       int64 `json:"shots"`
+	Failures    int64 `json:"failures"`
+	Rollbacks   int64 `json:"rollbacks,omitempty"`
+	Detections  int64 `json:"detections,omitempty"`
+	// Sweep jobs additionally report grid-point completion and the most
+	// recently started point, so a poll shows which cell of the parameter
+	// grid is executing.
+	PointsDone   int    `json:"points_done,omitempty"`
+	PointsTotal  int    `json:"points_total,omitempty"`
+	CurrentPoint string `json:"current_point,omitempty"`
+
+	Fraction float64 `json:"fraction"`
 }
 
 // PartialEstimate is the running logical-rate estimate included in status
@@ -422,5 +432,34 @@ func (j *Job) addShardsTotal(n int) {
 	j.progress.ShardsTotal += n
 	if j.progress.ShardsTotal > 0 {
 		j.progress.Fraction = float64(j.progress.ShardsDone) / float64(j.progress.ShardsTotal)
+	}
+}
+
+// addPointsTotal records the planned grid size of a sweep job.
+func (j *Job) addPointsTotal(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.PointsTotal += n
+}
+
+// startPoint records the most recently started grid point.
+func (j *Job) startPoint(canon string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.CurrentPoint = canon
+}
+
+// observePoint accumulates one completed grid point. When the job has no
+// shard plan of its own (a sweep of custom evaluators), the fraction tracks
+// points instead of shards.
+func (j *Job) observePoint() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.PointsDone++
+	if j.progress.PointsDone >= j.progress.PointsTotal {
+		j.progress.CurrentPoint = ""
+	}
+	if j.progress.ShardsTotal == 0 && j.progress.PointsTotal > 0 {
+		j.progress.Fraction = float64(j.progress.PointsDone) / float64(j.progress.PointsTotal)
 	}
 }

@@ -23,6 +23,11 @@ type metrics struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 
+	// Sweep counters: grid points completed (cache hits included) and the
+	// subset served from the point-result cache.
+	sweepPoints         atomic.Int64
+	sweepPointCacheHits atomic.Int64
+
 	// Streaming control counters (kind "stream" shards only).
 	streamShots            atomic.Int64
 	streamRollbacks        atomic.Int64
@@ -73,6 +78,14 @@ type MetricsSnapshot struct {
 	CacheMisses       int64   `json:"cache_misses"`
 	CacheEntries      int64   `json:"cache_entries"`
 
+	// Sweep counters: grid points completed across all sweep runs (cache
+	// hits included), the subset served from the per-point result cache, and
+	// the cache's current size. A high hit share on a serving deployment
+	// means overlapping parameter studies are reusing each other's work.
+	SweepPoints         int64 `json:"sweep_points"`
+	SweepPointCacheHits int64 `json:"sweep_point_cache_hits"`
+	PointCacheEntries   int64 `json:"point_cache_entries"`
+
 	// Streaming control counters: shots streamed through the Q3DE controller,
 	// Sec. VI-C rollback re-decodes triggered (and aborted), MBBE detections,
 	// and the cumulative detection latency in code cycles. The derived
@@ -116,6 +129,10 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		CacheHits:      e.metrics.cacheHits.Load(),
 		CacheMisses:    e.metrics.cacheMisses.Load(),
 		CacheEntries:   int64(e.cache.len()),
+
+		SweepPoints:         e.metrics.sweepPoints.Load(),
+		SweepPointCacheHits: e.metrics.sweepPointCacheHits.Load(),
+		PointCacheEntries:   int64(e.points.len()),
 	}
 	snap.StreamShots = e.metrics.streamShots.Load()
 	snap.StreamRollbacks = e.metrics.streamRollbacks.Load()
@@ -160,6 +177,9 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("workspace_cache_hits_total", s.CacheHits, "Workspace cache hits.")
 	counter("workspace_cache_misses_total", s.CacheMisses, "Workspace cache misses.")
 	gauge("workspace_cache_entries", float64(s.CacheEntries), "Cached (lattice, metric) workspaces.")
+	counter("sweep_points_total", s.SweepPoints, "Sweep grid points completed (point-cache hits included).")
+	counter("sweep_point_cache_hits_total", s.SweepPointCacheHits, "Sweep grid points served from the point-result cache.")
+	gauge("sweep_point_cache_entries", float64(s.PointCacheEntries), "Cached sweep point results.")
 	counter("stream_shots_total", s.StreamShots, "Shots streamed through the Q3DE controller (kind \"stream\").")
 	counter("stream_rollbacks_total", s.StreamRollbacks, "Rollback re-decodes triggered by MBBE detections.")
 	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")

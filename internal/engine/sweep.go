@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"q3de/internal/sim"
+	"q3de/internal/sweep"
+)
+
+// KindSweep executes a declarative parameter grid as one engine job: one
+// sub-run per grid point fanned out through the same runShards/workspace-cache
+// machinery as standalone jobs, with a bounded point-concurrency limit,
+// per-point progress, and per-point result caching keyed by the canonical
+// point spec (an overlapping re-submission reuses every finished point).
+const KindSweep = "sweep"
+
+// MaxSweepPoints bounds a sweep submission's grid size: grids validate every
+// point synchronously and hold all results in memory, so the service refuses
+// pathological cross products.
+const MaxSweepPoints = 4096
+
+// AxisSpec is the wire form of one sweep axis: the JSON field of the base
+// spec it overrides, and the values it takes.
+type AxisSpec struct {
+	Name   string `json:"name"`
+	Values []any  `json:"values"`
+}
+
+// SweepSpec is the JSON shape of a sweep job. Scenario names the underlying
+// engine kind executed at each grid point (memory, dual or stream); Base is
+// that kind's spec providing the fixed parameters; each axis overlays one of
+// the spec's JSON fields across its values. The full cross product is
+// validated synchronously at submission, so a bad cell fails the POST rather
+// than a point mid-run.
+type SweepSpec struct {
+	Scenario string          `json:"scenario"`
+	Base     json.RawMessage `json:"base,omitempty"`
+	Axes     []AxisSpec      `json:"axes"`
+	// Series optionally reduces the points into curves (see sweep.SeriesSpec).
+	Series *sweep.SeriesSpec `json:"series,omitempty"`
+	// PointConcurrency bounds concurrently evaluating points; 0 means the
+	// engine default (min(4, workers)).
+	PointConcurrency int `json:"point_concurrency,omitempty"`
+}
+
+// SweepPointResult is the wire form of one completed grid point.
+type SweepPointResult struct {
+	Params sweep.Point `json:"params"`
+	Cached bool        `json:"cached"`
+	Result any         `json:"result"`
+}
+
+// SweepJobResult is the wire result of a sweep job.
+type SweepJobResult struct {
+	Scenario  string             `json:"scenario"`
+	Points    []SweepPointResult `json:"points"`
+	Series    []sweep.Series     `json:"series,omitempty"`
+	CacheHits int                `json:"cache_hits"`
+}
+
+// mergePoint overlays one grid point onto the scenario's base spec by JSON
+// field name, strictly: an axis naming an unknown field fails validation.
+func mergePoint[T any](base json.RawMessage, pt sweep.Point) (*T, error) {
+	spec := new(T)
+	if len(base) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(base))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(spec); err != nil {
+			return nil, fmt.Errorf("base spec: %w", err)
+		}
+	}
+	overlay, err := json.Marshal(pt)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(overlay))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("point %s: %w", pt.Canon(), err)
+	}
+	return spec, nil
+}
+
+// canonConfigKey renders a resolved simulator configuration as a canonical
+// cache key, namespaced by the scenario kind (a dual result must never be
+// served where a memory result is expected). Marshaling the struct (not the
+// wire spec) normalises spelling — a field set to its default and an omitted
+// field key identically — and struct field order makes the rendering
+// deterministic.
+func canonConfigKey(kind string, cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Configs are plain data; a marshal failure is a programming error.
+		panic(fmt.Sprintf("engine: marshal %s point config: %v", kind, err))
+	}
+	return kind + "|" + string(b)
+}
+
+// MemoryPointKey is the canonical point-cache key of one memory-scenario
+// evaluation. Workers is zeroed: results are bit-identical across worker
+// counts (the sharding is static), so the pool size must not fragment the
+// cache.
+func MemoryPointKey(cfg sim.MemoryConfig) (string, bool) {
+	cfg.Workers = 0
+	return canonConfigKey(KindMemory, cfg), true
+}
+
+// DualPointKey is the canonical point-cache key of one dual-species
+// evaluation.
+func DualPointKey(cfg sim.MemoryConfig) (string, bool) {
+	cfg.Workers = 0
+	return canonConfigKey(KindDual, cfg), true
+}
+
+// StreamPointKey is the canonical point-cache key of one streaming-control
+// evaluation.
+func StreamPointKey(cfg sim.StreamConfig) (string, bool) {
+	cfg.Workers = 0
+	return canonConfigKey(KindStream, cfg), true
+}
+
+// planSweep validates a sweep spec into an executable sweep.Sweep. Every grid
+// cell's merged spec is resolved here, synchronously, so submissions fail
+// fast; the per-point evaluator closures capture the resolved configurations.
+func (e *Engine) planSweep(spec *SweepSpec) (*sweep.Sweep, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("missing sweep parameters")
+	}
+	grid := sweep.Grid{Axes: make([]sweep.Axis, len(spec.Axes))}
+	for i, a := range spec.Axes {
+		grid.Axes[i] = sweep.Axis{Name: a.Name, Values: a.Values}
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if n := grid.Size(); n > MaxSweepPoints {
+		return nil, fmt.Errorf("sweep grid has %d points, limit %d", n, MaxSweepPoints)
+	}
+	if spec.Series != nil {
+		if err := spec.Series.Validate(grid); err != nil {
+			return nil, err
+		}
+	}
+
+	scenario := spec.Scenario
+	if scenario == "" {
+		scenario = KindMemory
+	}
+	sw := &sweep.Sweep{
+		Name:             "sweep:" + scenario,
+		Kind:             scenario,
+		Grid:             grid,
+		PointConcurrency: spec.PointConcurrency,
+	}
+
+	switch scenario {
+	case KindMemory, KindDual:
+		cfgs := make(map[string]sim.MemoryConfig, grid.Size())
+		for _, pt := range grid.Enumerate() {
+			ms, err := mergePoint[MemorySpec](spec.Base, pt)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := ms.Config()
+			if err != nil {
+				return nil, fmt.Errorf("point %s: %w", pt.Canon(), err)
+			}
+			cfgs[pt.Canon()] = cfg
+		}
+		keyOf := MemoryPointKey
+		if scenario == KindDual {
+			keyOf = DualPointKey
+		}
+		sw.Key = func(pt sweep.Point) (string, bool) { return keyOf(cfgs[pt.Canon()]) }
+		sw.Eval = func(ctx context.Context, pt sweep.Point) (any, error) {
+			cfg := cfgs[pt.Canon()]
+			if scenario == KindDual {
+				return e.runDual(ctx, cfg)
+			}
+			return e.runMemory(ctx, cfg)
+		}
+	case KindStream:
+		cfgs := make(map[string]sim.StreamConfig, grid.Size())
+		for _, pt := range grid.Enumerate() {
+			ss, err := mergePoint[StreamSpec](spec.Base, pt)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := ss.Config()
+			if err != nil {
+				return nil, fmt.Errorf("point %s: %w", pt.Canon(), err)
+			}
+			cfgs[pt.Canon()] = cfg
+		}
+		sw.Key = func(pt sweep.Point) (string, bool) { return StreamPointKey(cfgs[pt.Canon()]) }
+		sw.Eval = func(ctx context.Context, pt sweep.Point) (any, error) {
+			return e.runStream(ctx, cfgs[pt.Canon()])
+		}
+	default:
+		return nil, fmt.Errorf("unknown sweep scenario %q (want %s, %s or %s)",
+			scenario, KindMemory, KindDual, KindStream)
+	}
+
+	series := spec.Series
+	sw.Reduce = func(rs []sweep.PointResult) (any, error) {
+		out := SweepJobResult{Scenario: scenario, Points: make([]SweepPointResult, len(rs))}
+		for i, r := range rs {
+			out.Points[i] = SweepPointResult{Params: r.Point, Cached: r.Cached, Result: r.Value}
+			if r.Cached {
+				out.CacheHits++
+			}
+		}
+		if series != nil {
+			s, err := series.BuildSeries(rs)
+			if err != nil {
+				return nil, err
+			}
+			out.Series = s
+		}
+		return out, nil
+	}
+	return sw, nil
+}
+
+// RunSweep executes a declarative sweep on the engine: grid points fan out on
+// a bounded number of orchestration slots (each point's shards run on the
+// shared shard pool as usual), finished points land in the engine's point
+// cache under their canonical spec, and cached points are served without
+// re-execution. Point results are deterministic per point spec, so the
+// output is independent of concurrency, scheduling and cache state; Serial
+// sweeps additionally pin grid-order evaluation for stateful evaluators.
+func (e *Engine) RunSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, error) {
+	release, err := e.register()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return e.runSweep(ctx, sw)
+}
+
+// runSweep is the engine's sweep executor.
+func (e *Engine) runSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, error) {
+	pts := sw.Grid.Enumerate()
+	job := jobFrom(ctx)
+	if job != nil {
+		job.addPointsTotal(len(pts))
+	}
+
+	conc := sw.PointConcurrency
+	if sw.Serial {
+		conc = 1
+	}
+	if conc <= 0 {
+		conc = min(4, e.workers)
+	}
+	conc = max(1, min(conc, len(pts)))
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		results  = make([]sweep.PointResult, len(pts))
+		hits     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	// Workers claim point indices in order; with conc == 1 this degenerates
+	// to exact grid-order evaluation, which Serial sweeps rely on.
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(pts) || sctx.Err() != nil {
+					return
+				}
+				pt := pts[i]
+				if job != nil {
+					job.startPoint(pt.Canon())
+				}
+				key, cacheable := sw.KeyFor(pt)
+				if cacheable {
+					if v, ok := e.points.get(key); ok {
+						results[i] = sweep.PointResult{Index: i, Point: pt, Value: v, Cached: true}
+						mu.Lock()
+						hits++
+						mu.Unlock()
+						e.metrics.sweepPoints.Add(1)
+						e.metrics.sweepPointCacheHits.Add(1)
+						if job != nil {
+							job.observePoint()
+						}
+						continue
+					}
+				}
+				v, err := evalPoint(sctx, sw, pt)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if cacheable {
+					e.points.put(key, v)
+				}
+				results[i] = sweep.PointResult{Index: i, Point: pt, Value: v}
+				e.metrics.sweepPoints.Add(1)
+				if job != nil {
+					job.observePoint()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &sweep.Result{Points: results, CacheHits: hits}
+	if sw.Reduce != nil {
+		reduced, err := sw.Reduce(results)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s reduce: %w", sw.Name, err)
+		}
+		res.Reduced = reduced
+	}
+	return res, nil
+}
+
+// evalPoint runs one evaluator call, converting panics (the harness signals
+// cancellation by panicking with the context error) back into errors so a
+// sweep worker goroutine never crashes the process.
+func evalPoint(ctx context.Context, sw *sweep.Sweep, pt sweep.Point) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if perr, ok := r.(error); ok {
+				err = perr
+				return
+			}
+			err = fmt.Errorf("sweep %s point %s panicked: %v", sw.Name, pt.Canon(), r)
+		}
+	}()
+	return sw.Eval(ctx, pt)
+}
+
+// runDual executes both syndrome species of one configuration (the body of
+// the built-in dual kind, shared with dual sweep points).
+func (e *Engine) runDual(ctx context.Context, cfg sim.MemoryConfig) (sim.DualResult, error) {
+	dual := sim.DualMemoryScenario{Config: cfg}
+	z, err := e.runMemory(ctx, dual.Z().Config)
+	if err != nil {
+		return sim.DualResult{}, err
+	}
+	x, err := e.runMemory(ctx, dual.X().Config)
+	if err != nil {
+		return sim.DualResult{}, err
+	}
+	return sim.CombineDual(z, x), nil
+}
+
+// pointCache is a keyed LRU cache of finished sweep-point results. Values are
+// immutable once stored (the simulator returns value structs), so hits hand
+// out the stored value directly. Concurrent misses on one key may evaluate
+// twice — results are deterministic per key, so last-write-wins is safe.
+type pointCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[string]*pointEntry
+}
+
+type pointEntry struct {
+	value   any
+	lastUse uint64
+}
+
+func newPointCache(capacity int) *pointCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &pointCache{cap: capacity, entries: make(map[string]*pointEntry)}
+}
+
+func (c *pointCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.tick++
+	e.lastUse = c.tick
+	return e.value, true
+}
+
+func (c *pointCache) put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	e, ok := c.entries[key]
+	if !ok {
+		e = &pointEntry{}
+		c.entries[key] = e
+	}
+	e.value = v
+	e.lastUse = c.tick
+	for len(c.entries) > c.cap {
+		var oldestKey string
+		var oldest *pointEntry
+		for k, cand := range c.entries {
+			if cand == e {
+				continue
+			}
+			if oldest == nil || cand.lastUse < oldest.lastUse {
+				oldestKey, oldest = k, cand
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(c.entries, oldestKey)
+	}
+}
+
+func (c *pointCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

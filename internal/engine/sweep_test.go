@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"q3de/internal/sim"
+	"q3de/internal/sweep"
+)
+
+// waitDone polls a job to a terminal state.
+func waitDone(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s stuck in %s", j.ID(), j.State())
+	}
+	return j.Status()
+}
+
+func TestRunSweepMatchesPerPointRuns(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	base := sim.MemoryConfig{P: 0.02, MaxShots: 2000, Seed: 42}
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		cfg := base
+		cfg.D = pt.Int("d")
+		return cfg
+	}
+	sw := &sweep.Sweep{
+		Name: "t", Kind: KindMemory,
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "d", Values: []any{3, 5, 7}}}},
+		Key:  func(pt sweep.Point) (string, bool) { return MemoryPointKey(cfgOf(pt)) },
+		Eval: func(ctx context.Context, pt sweep.Point) (any, error) {
+			return e.runMemory(ctx, cfgOf(pt))
+		},
+	}
+	res, err := e.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for _, r := range res.Points {
+		want, err := e.RunMemory(context.Background(), cfgOf(r.Point))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.Value.(sim.MemoryResult)
+		if got.PShot != want.PShot || got.Shots != want.Shots || got.Failures != want.Failures {
+			t.Errorf("point %s: sweep %+v != standalone %+v", r.Point.Canon(), got, want)
+		}
+	}
+}
+
+func TestRunSweepPointCacheReuse(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	var evals atomic.Int64
+	mkSweep := func(values []any) *sweep.Sweep {
+		return &sweep.Sweep{
+			Name: "c", Kind: "custom",
+			Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "i", Values: values}}},
+			Key:  func(pt sweep.Point) (string, bool) { return pt.Canon(), true },
+			Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+				evals.Add(1)
+				return pt.Int("i") * 10, nil
+			},
+		}
+	}
+	if _, err := e.RunSweep(context.Background(), mkSweep([]any{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	if evals.Load() != 3 {
+		t.Fatalf("first sweep evaluated %d points, want 3", evals.Load())
+	}
+	// Overlapping grid: only the new point evaluates; shared points are
+	// cache hits carrying identical values.
+	res, err := e.RunSweep(context.Background(), mkSweep([]any{2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals.Load() != 4 {
+		t.Errorf("second sweep evaluated %d new points, want 1", evals.Load()-3)
+	}
+	if res.CacheHits != 2 {
+		t.Errorf("CacheHits = %d, want 2", res.CacheHits)
+	}
+	for _, r := range res.Points {
+		if r.Value.(int) != r.Point.Int("i")*10 {
+			t.Errorf("point %s value %v corrupted by caching", r.Point.Canon(), r.Value)
+		}
+		if wantCached := r.Point.Int("i") != 4; r.Cached != wantCached {
+			t.Errorf("point %s cached = %v, want %v", r.Point.Canon(), r.Cached, wantCached)
+		}
+	}
+	m := e.Metrics()
+	if m.SweepPoints != 6 || m.SweepPointCacheHits != 2 {
+		t.Errorf("metrics points=%d hits=%d, want 6 and 2", m.SweepPoints, m.SweepPointCacheHits)
+	}
+}
+
+func TestRunSweepSerialOrder(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	var order []int
+	sw := &sweep.Sweep{
+		Name: "serial", Kind: "scan", Serial: true,
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "i", Values: []any{0, 1, 2, 3, 4}}}},
+		// A Key on a Serial sweep must be ignored: caching would corrupt a
+		// stateful scan.
+		Key: func(pt sweep.Point) (string, bool) { return pt.Canon(), true },
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			order = append(order, pt.Int("i")) // no mutex: serial means no races
+			return nil, nil
+		},
+	}
+	for run := 0; run < 2; run++ {
+		order = order[:0]
+		if _, err := e.RunSweep(context.Background(), sw); err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("run %d evaluation order %v not grid order", run, order)
+			}
+		}
+		if len(order) != 5 {
+			t.Fatalf("run %d evaluated %d points (cache must be off for serial sweeps)", run, len(order))
+		}
+	}
+}
+
+func TestRunSweepEvalErrorAndPanic(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	boom := errors.New("boom")
+	sw := &sweep.Sweep{
+		Name: "err", Kind: "custom",
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "i", Values: []any{0, 1, 2, 3}}}},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			if pt.Int("i") == 1 {
+				return nil, boom
+			}
+			return nil, nil
+		},
+	}
+	if _, err := e.RunSweep(context.Background(), sw); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+
+	sw.Eval = func(_ context.Context, pt sweep.Point) (any, error) {
+		if pt.Int("i") == 2 {
+			panic("kaput")
+		}
+		return nil, nil
+	}
+	_, err := e.RunSweep(context.Background(), sw)
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("panic not converted to error: %v", err)
+	}
+}
+
+func TestSweepJobLifecycleAndProgress(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	spec := JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		Scenario: KindMemory,
+		Base:     json.RawMessage(`{"p":0.02,"max_shots":1500,"seed":9}`),
+		Axes: []AxisSpec{
+			{Name: "d", Values: []any{3, 5}},
+			{Name: "p", Values: []any{0.01, 0.02}},
+		},
+		Series: &sweep.SeriesSpec{X: "p", Y: "PL", Err: "StdErr", GroupBy: []string{"d"}},
+	}}
+	job, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, job)
+	if st.State != StateDone {
+		t.Fatalf("state=%s err=%q", st.State, st.Error)
+	}
+	if st.Progress.PointsTotal != 4 || st.Progress.PointsDone != 4 {
+		t.Errorf("points progress = %d/%d, want 4/4", st.Progress.PointsDone, st.Progress.PointsTotal)
+	}
+	if st.Progress.Shots != 4*1500 {
+		t.Errorf("shots = %d, want %d", st.Progress.Shots, 4*1500)
+	}
+	v, ok := job.Result()
+	if !ok {
+		t.Fatal("no result")
+	}
+	res := v.(SweepJobResult)
+	if res.Scenario != KindMemory || len(res.Points) != 4 {
+		t.Fatalf("result malformed: %+v", res)
+	}
+	if len(res.Series) != 2 || len(res.Series[0].Points) != 2 {
+		t.Fatalf("series malformed: %+v", res.Series)
+	}
+	// Each point matches the standalone run of the same spec.
+	first := res.Points[0].Result.(sim.MemoryResult)
+	want, err := e.RunMemory(context.Background(), sim.MemoryConfig{
+		D: 3, P: 0.01, MaxShots: 1500, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PShot != want.PShot || first.Shots != want.Shots {
+		t.Errorf("sweep point %+v != standalone %+v", first, want)
+	}
+}
+
+func TestSweepJobValidation(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+
+	cases := []struct {
+		name string
+		spec *SweepSpec
+		want string
+	}{
+		{"missing block", nil, "missing sweep"},
+		{"no axes", &SweepSpec{Scenario: KindMemory}, "at least one axis"},
+		{"unknown scenario", &SweepSpec{Scenario: "nope",
+			Axes: []AxisSpec{{Name: "d", Values: []any{3}}}}, "unknown sweep scenario"},
+		{"unknown axis field", &SweepSpec{Scenario: KindMemory,
+			Base: json.RawMessage(`{"p":0.01}`),
+			Axes: []AxisSpec{{Name: "dd", Values: []any{3}}}}, "unknown field"},
+		{"invalid cell", &SweepSpec{Scenario: KindMemory,
+			Base: json.RawMessage(`{"p":0.01}`),
+			Axes: []AxisSpec{{Name: "d", Values: []any{3, 4}}}}, "odd distance"},
+		{"bad series axis", &SweepSpec{Scenario: KindMemory,
+			Base:   json.RawMessage(`{"p":0.01}`),
+			Axes:   []AxisSpec{{Name: "d", Values: []any{3}}},
+			Series: &sweep.SeriesSpec{X: "q"}}, "not a sweep axis"},
+	}
+	for _, c := range cases {
+		_, err := e.Submit(JobSpec{Kind: KindSweep, Sweep: c.spec})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+
+	// Grid size cap.
+	big := &SweepSpec{Scenario: KindMemory, Base: json.RawMessage(`{"p":0.01}`)}
+	var seeds []any
+	for i := 0; i < 70; i++ {
+		seeds = append(seeds, i)
+	}
+	big.Axes = []AxisSpec{{Name: "seed", Values: seeds}, {Name: "max_shots", Values: seeds}}
+	if _, err := e.Submit(JobSpec{Kind: KindSweep, Sweep: big}); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized grid accepted: %v", err)
+	}
+
+	// A cross product overflowing int must saturate and hit the same limit,
+	// not wrap past it (and must not hang enumerating 2^72 cells).
+	overflow := &SweepSpec{Scenario: KindMemory, Base: json.RawMessage(`{"p":0.01}`)}
+	var wide []any
+	for i := 0; i < 256; i++ {
+		wide = append(wide, i)
+	}
+	for i := 0; i < 9; i++ {
+		overflow.Axes = append(overflow.Axes, AxisSpec{Name: string(rune('a' + i)), Values: wide})
+	}
+	if _, err := e.Submit(JobSpec{Kind: KindSweep, Sweep: overflow}); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Errorf("overflowing grid accepted: %v", err)
+	}
+}
+
+// TestSweepJobLargeSeedAxisExact pins that integer axis values above 2^53
+// survive the wire: the HTTP decoder keeps them as json.Number, so two
+// adjacent huge seeds stay distinct points with distinct results.
+func TestSweepJobLargeSeedAxisExact(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"sweep","sweep":{
+		"scenario":"memory",
+		"base":{"d":3,"p":0.05,"max_shots":2000},
+		"axes":[{"name":"seed","values":[9007199254740993,9007199254740995]}]
+	}}`)
+	deadline := time.Now().Add(60 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state=%s err=%q", st.State, st.Error)
+	}
+	var out struct {
+		Result struct {
+			Points []struct {
+				Params map[string]any   `json:"params"`
+				Result sim.MemoryResult `json:"result"`
+			} `json:"points"`
+			CacheHits int `json:"cache_hits"`
+		} `json:"result"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", &out); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	pts := out.Result.Points
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	s0, s1 := pts[0].Result.Config.Seed, pts[1].Result.Config.Seed
+	if s0 != 9007199254740993 || s1 != 9007199254740995 {
+		t.Errorf("seeds rounded through float64: %d, %d", s0, s1)
+	}
+	if out.Result.CacheHits != 0 {
+		t.Errorf("distinct seeds collapsed onto one cache key: %d hits", out.Result.CacheHits)
+	}
+	if pts[0].Result.Failures == pts[1].Result.Failures && pts[0].Result.PShot == pts[1].Result.PShot {
+		t.Logf("warning: identical estimates for distinct seeds (possible but unlikely): %+v", pts)
+	}
+}
+
+func TestSweepJobCancelPromptly(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	// A long sweep: many points with a real shot budget each.
+	var values []any
+	for i := 0; i < 64; i++ {
+		values = append(values, 1000+i)
+	}
+	job, err := e.Submit(JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		Scenario: KindMemory,
+		Base:     json.RawMessage(`{"d":9,"p":0.02,"max_shots":200000}`),
+		Axes:     []AxisSpec{{Name: "seed", Values: values}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job.State() == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	e.CancelJob(job)
+	st := waitDone(t, job)
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if wait := time.Since(start); wait > 10*time.Second {
+		t.Errorf("cancellation took %v", wait)
+	}
+}
+
+// TestSweepJobHTTPCacheReuse is the CI sweep smoke test: a quick-budget grid
+// over d ∈ {3, 5} served over HTTP, re-POSTed to demonstrate per-point cache
+// reuse on /metrics (q3de_sweep_point_cache_hits_total) and in the result's
+// cached flags.
+func TestSweepJobHTTPCacheReuse(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	body := `{"kind":"sweep","sweep":{
+		"scenario":"memory",
+		"base":{"p":0.02,"max_shots":1500,"seed":7},
+		"axes":[{"name":"d","values":[3,5]}],
+		"series":{"x":"d","y":"PL","err":"StdErr"}
+	}}`
+	run := func() (JobStatus, SweepJobResult) {
+		st := postJob(t, srv, body)
+		deadline := time.Now().Add(60 * time.Second)
+		for !st.State.Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("sweep stuck in %s", st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+			getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &st)
+		}
+		if st.State != StateDone {
+			t.Fatalf("state=%s err=%q", st.State, st.Error)
+		}
+		var out struct {
+			Result SweepJobResult `json:"result"`
+		}
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", &out); code != http.StatusOK {
+			t.Fatalf("result status %d", code)
+		}
+		return st, out.Result
+	}
+
+	_, first := run()
+	if first.CacheHits != 0 || len(first.Points) != 2 || len(first.Series) != 1 {
+		t.Fatalf("first run: %+v", first)
+	}
+	_, second := run()
+	if second.CacheHits != 2 {
+		t.Fatalf("repeated POST reused %d points, want 2", second.CacheHits)
+	}
+	for i := range first.Points {
+		a, _ := json.Marshal(first.Points[i].Result)
+		b, _ := json.Marshal(second.Points[i].Result)
+		if string(a) != string(b) {
+			t.Errorf("point %d drifted across cache reuse: %s vs %s", i, a, b)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	metricsText := buf.String()
+	for _, want := range []string{
+		"q3de_sweep_points_total 4",
+		"q3de_sweep_point_cache_hits_total 2",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+func TestRegisterKindRejectsSweep(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("overriding the sweep kind must panic")
+		}
+	}()
+	e.RegisterKind(KindSweep, nil)
+}
+
+func TestPointCacheLRUEviction(t *testing.T) {
+	c := newPointCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if _, ok := c.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b (LRU)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Error("a should survive")
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Error("c should be present")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}

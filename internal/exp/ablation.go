@@ -8,6 +8,7 @@ import (
 	"q3de/internal/decoder/unionfind"
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 func init() {
@@ -43,38 +44,52 @@ type AblationRow struct {
 	StdErr  float64
 }
 
-// RunAblation evaluates all decoder kinds on the same configuration grid.
-func RunAblation(cfg AblationConfig) []AblationRow {
+// sweep declares the grid — decoder family × rate — with the per-family shot
+// cap (union-find and MWPM are slower, so their effort stays at the quick
+// tier) and the reducer flattening points into rows.
+func (cfg AblationConfig) sweep() *sweep.Sweep {
 	maxShots, maxFail := cfg.Budget.shots()
-	// Union-find and MWPM are slower; cap their effort at the quick budget.
-	capShots := func(k sim.DecoderKind) int64 {
-		if k == sim.DecoderGreedy {
-			return maxShots
-		}
-		q, _ := BudgetQuick.shots()
-		if maxShots < q {
-			return maxShots
-		}
-		return q
-	}
+	kinds := []string{sim.DecoderGreedy.String(), sim.DecoderMWPM.String(), sim.DecoderUnionFind.String()}
+	grid := sweep.Grid{Axes: []sweep.Axis{
+		{Name: "decoder", Values: sweep.Values(kinds...)},
+		{Name: "p", Values: sweep.Values(cfg.Rates...)},
+	}}
 	var box *lattice.Box
 	if cfg.DAno > 0 {
 		b := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
 		box = &b
 	}
-	var rows []AblationRow
-	for _, kind := range []sim.DecoderKind{sim.DecoderGreedy, sim.DecoderMWPM, sim.DecoderUnionFind} {
-		for _, p := range cfg.Rates {
-			r := cfg.runMemory(sim.MemoryConfig{
-				D: cfg.D, P: p, Box: box, Pano: cfg.PAno,
-				Decoder: kind, Aware: cfg.Aware,
-				MaxShots: capShots(kind), MaxFailures: maxFail,
-				Seed: cfg.Seed ^ uint64(kind)<<40 ^ hashFloat(p), Workers: cfg.Workers,
-			})
-			rows = append(rows, AblationRow{Decoder: kind, P: p, PL: r.PL, StdErr: r.StdErr})
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		kind, err := sim.ParseDecoderKind(pt.Str("decoder"))
+		if err != nil {
+			panic(err) // the axis enumerates valid names
+		}
+		p := pt.Float("p")
+		shots := maxShots
+		if kind != sim.DecoderGreedy {
+			shots = cfg.Budget.CapShots(BudgetQuick)
+		}
+		return sim.MemoryConfig{
+			D: cfg.D, P: p, Box: box, Pano: cfg.PAno,
+			Decoder: kind, Aware: cfg.Aware,
+			MaxShots: shots, MaxFailures: maxFail,
+			Seed: cfg.Seed ^ uint64(kind)<<40 ^ hashFloat(p), Workers: cfg.Workers,
 		}
 	}
-	return rows
+	reduce := func(rs []sweep.PointResult) (any, error) {
+		rows := make([]AblationRow, 0, len(rs))
+		for _, r := range rs {
+			m := memOf(r)
+			rows = append(rows, AblationRow{Decoder: m.Config.Decoder, P: r.Point.Float("p"), PL: m.PL, StdErr: m.StdErr})
+		}
+		return rows, nil
+	}
+	return cfg.memorySweep("ablation", grid, cfgOf, reduce)
+}
+
+// RunAblation evaluates all decoder kinds on the same configuration grid.
+func RunAblation(cfg AblationConfig) []AblationRow {
+	return cfg.runSweep(cfg.sweep()).Reduced.([]AblationRow)
 }
 
 // RenderAblation prints the comparison.

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"q3de/internal/sweep"
+)
+
+// TestBudgetScaleTable pins the shared Budget→effort scaling rules that used
+// to be duplicated as per-figure switches.
+func TestBudgetScaleTable(t *testing.T) {
+	cases := []struct {
+		name                  string
+		budget                Budget
+		quick, standard, full int
+		want                  int
+	}{
+		{"fig7 trials quick", BudgetQuick, 12, 40, 200, 12},
+		{"fig7 trials standard", BudgetStandard, 12, 40, 200, 40},
+		{"fig7 trials full", BudgetFull, 12, 40, 200, 200},
+		{"unknown budget falls to full", Budget(99), 1, 2, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.budget.Scale(c.quick, c.standard, c.full); got != c.want {
+			t.Errorf("%s: Scale = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBudgetCapShotsTable pins the shot-cap rule (slow decoders stay at the
+// quick tier, stream rows at the standard tier).
+func TestBudgetCapShotsTable(t *testing.T) {
+	quickShots, _ := BudgetQuick.shots()
+	stdShots, _ := BudgetStandard.shots()
+	fullShots, _ := BudgetFull.shots()
+	cases := []struct {
+		name   string
+		budget Budget
+		tier   Budget
+		want   int64
+	}{
+		{"quick capped at quick", BudgetQuick, BudgetQuick, quickShots},
+		{"standard capped at quick", BudgetStandard, BudgetQuick, quickShots},
+		{"full capped at quick", BudgetFull, BudgetQuick, quickShots},
+		{"quick capped at standard", BudgetQuick, BudgetStandard, quickShots},
+		{"standard capped at standard", BudgetStandard, BudgetStandard, stdShots},
+		{"full capped at standard", BudgetFull, BudgetStandard, stdShots},
+		{"full capped at full", BudgetFull, BudgetFull, fullShots},
+	}
+	for _, c := range cases {
+		if got := c.budget.CapShots(c.tier); got != c.want {
+			t.Errorf("%s: CapShots = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestParseBudgetRoundTrip checks every budget name survives a
+// String→ParseBudget round trip, plus the default and error cases.
+func TestParseBudgetRoundTrip(t *testing.T) {
+	for _, b := range []Budget{BudgetQuick, BudgetStandard, BudgetFull} {
+		got, err := ParseBudget(b.String())
+		if err != nil {
+			t.Errorf("ParseBudget(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Errorf("ParseBudget(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+	if b, err := ParseBudget(""); err != nil || b != BudgetQuick {
+		t.Errorf("empty budget = %v, %v; want quick default", b, err)
+	}
+	if _, err := ParseBudget("paper-scale"); err == nil {
+		t.Error("unknown budget accepted")
+	}
+	if _, err := ParseBudget("Quick"); err == nil {
+		t.Error("budget names are case-sensitive")
+	}
+}
+
+// TestRenderSeriesFormatting pins the harness text format: a title line, a
+// per-series header, and one x<TAB>y<TAB>err line per point with %.6g/%.6g/
+// %.3g formatting.
+func TestRenderSeriesFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	renderSeries(&buf, "demo title", []Series{
+		{Name: "curve a", Points: []Point{
+			{X: 0.004, Y: 1.23456789e-3, Err: 0.000123456},
+			{X: 100, Y: 0, Err: 0},
+		}},
+		{Name: "curve b"}, // headers render even for empty curves
+	})
+	want := "# demo title\n" +
+		"## curve a\n" +
+		"0.004\t0.00123457\t0.000123\n" +
+		"100\t0\t0\n" +
+		"## curve b\n"
+	if buf.String() != want {
+		t.Errorf("renderSeries output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestRunSweepDirectPathHonorsContext covers the harness fallback executor: a
+// worker-bounded run without an engine must still stop between grid points
+// when the options context is cancelled (the cancellation surfaces as the
+// panic convention the engine's job runner recovers).
+func TestRunSweepDirectPathHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := DefaultOptions()
+	o.Workers = 1 // no explicit engine + worker bound => direct serial path
+	o.Context = ctx
+
+	evals := 0
+	sw := &sweep.Sweep{
+		Name: "direct",
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "i", Values: []any{0, 1, 2}}}},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			evals++
+			cancel()
+			return nil, nil
+		},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cancelled direct sweep must panic with the context error")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("panic payload = %v, want context.Canceled", r)
+		}
+		if evals != 1 {
+			t.Errorf("evaluated %d points after cancellation, want 1", evals)
+		}
+	}()
+	o.runSweep(sw)
+}

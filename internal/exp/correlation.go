@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -10,6 +11,7 @@ import (
 	"q3de/internal/noise"
 	"q3de/internal/sim"
 	"q3de/internal/stats"
+	"q3de/internal/sweep"
 )
 
 // CorrelationConfig quantifies the paper's assumption 4 (Sec. VII-A):
@@ -36,49 +38,94 @@ type CorrelationRow struct {
 	Correlated  float64 // same, with Y-correlated noise
 }
 
+// Correlation noise-model axis values.
+const (
+	corrCorrelated  = "correlated"
+	corrIndependent = "independent"
+)
+
+// sweep declares the grid — rate × noise model — where each point decodes the
+// species separately (as the architecture does) over its own deterministic
+// sample stream: the correlated model draws dual samples carrying the
+// Y-induced correlation, the independent model draws two species with the
+// same marginals from an offset seed.
+func (cfg CorrelationConfig) sweep() *sweep.Sweep {
+	maxShots, _ := cfg.Budget.shots()
+	shots := int(maxShots)
+	grid := sweep.Grid{Axes: []sweep.Axis{
+		{Name: "p", Values: sweep.Values(cfg.Rates...)},
+		{Name: "model", Values: []any{corrCorrelated, corrIndependent}},
+	}}
+	return &sweep.Sweep{
+		Name: "correlation", Kind: "correlation", Grid: grid,
+		Key: func(pt sweep.Point) (string, bool) {
+			return canonJSON(struct {
+				D, Shots int
+				P        float64
+				Model    string
+				Decoder  int
+				Seed     uint64
+			}{cfg.D, shots, pt.Float("p"), pt.Str("model"), int(cfg.Decoder), cfg.Seed}), true
+		},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			p := pt.Float("p")
+			l := lattice.New(cfg.D, cfg.D)
+			mcfg := sim.MemoryConfig{D: cfg.D, P: p, Decoder: cfg.Decoder}
+			dec := mcfg.NewDecoder(l)
+			coords := make([]lattice.Coord, 0, 64)
+			fails := 0
+			if pt.Str("model") == corrCorrelated {
+				corr := noise.NewDualModel(l, p, nil, 0)
+				rng := stats.NewRNG(cfg.Seed, hashFloat(p))
+				var ds noise.DualSample
+				for i := 0; i < shots; i++ {
+					corr.Draw(rng, &ds)
+					zBad := decodeOne(l, dec, &ds.Z, &coords)
+					xBad := decodeOne(l, dec, &ds.X, &coords)
+					if zBad || xBad {
+						fails++
+					}
+				}
+			} else {
+				indep := noise.NewModel(l, p, nil, 0)
+				rng := stats.NewRNG(cfg.Seed+1, hashFloat(p))
+				var s1, s2 noise.Sample
+				for i := 0; i < shots; i++ {
+					indep.Draw(rng, &s1)
+					indep.Draw(rng, &s2)
+					zBad := decodeOne(l, dec, &s1, &coords)
+					xBad := decodeOne(l, dec, &s2, &coords)
+					if zBad || xBad {
+						fails++
+					}
+				}
+			}
+			return float64(fails) / float64(shots), nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			rows := make([]CorrelationRow, len(cfg.Rates))
+			byP := make(map[float64]*CorrelationRow, len(rows))
+			for i, p := range cfg.Rates {
+				rows[i].P = p
+				byP[p] = &rows[i]
+			}
+			for _, r := range rs {
+				row := byP[r.Point.Float("p")]
+				if r.Point.Str("model") == corrCorrelated {
+					row.Correlated = r.Value.(float64)
+				} else {
+					row.Independent = r.Value.(float64)
+				}
+			}
+			return rows, nil
+		},
+	}
+}
+
 // RunCorrelation draws correlated samples, decodes each species separately
 // (as the architecture does), and compares against independent draws.
 func RunCorrelation(cfg CorrelationConfig) []CorrelationRow {
-	maxShots, _ := cfg.Budget.shots()
-	shots := int(maxShots)
-	var rows []CorrelationRow
-	for _, p := range cfg.Rates {
-		l := lattice.New(cfg.D, cfg.D)
-		mcfg := sim.MemoryConfig{D: cfg.D, P: p, Decoder: cfg.Decoder}
-		dec := mcfg.NewDecoder(l)
-
-		corr := noise.NewDualModel(l, p, nil, 0)
-		rng := stats.NewRNG(cfg.Seed, hashFloat(p))
-		var ds noise.DualSample
-		coords := make([]lattice.Coord, 0, 64)
-		fails := 0
-		for i := 0; i < shots; i++ {
-			corr.Draw(rng, &ds)
-			zBad := decodeOne(l, dec, &ds.Z, &coords)
-			xBad := decodeOne(l, dec, &ds.X, &coords)
-			if zBad || xBad {
-				fails++
-			}
-		}
-		correlated := float64(fails) / float64(shots)
-
-		indep := noise.NewModel(l, p, nil, 0)
-		rng2 := stats.NewRNG(cfg.Seed+1, hashFloat(p))
-		var s1, s2 noise.Sample
-		fails = 0
-		for i := 0; i < shots; i++ {
-			indep.Draw(rng2, &s1)
-			indep.Draw(rng2, &s2)
-			zBad := decodeOne(l, dec, &s1, &coords)
-			xBad := decodeOne(l, dec, &s2, &coords)
-			if zBad || xBad {
-				fails++
-			}
-		}
-		independent := float64(fails) / float64(shots)
-		rows = append(rows, CorrelationRow{P: p, Independent: independent, Correlated: correlated})
-	}
-	return rows
+	return cfg.runSweep(cfg.sweep()).Reduced.([]CorrelationRow)
 }
 
 // decodeOne decodes one species' sample and reports logical failure.

@@ -3,16 +3,25 @@
 // the Eq. 1 headline), each regenerating the same rows/series the paper
 // reports. Budgets scale the Monte-Carlo effort so the full suite can run as
 // a quick smoke test, a standard laptop run, or a paper-scale run.
+//
+// Every experiment is declared as a sweep.Sweep — a parameter grid plus a
+// reducer — and executes through the engine's sweep runner (internal/sweep,
+// engine.RunSweep), which fans grid points out with bounded concurrency,
+// caches finished points under their canonical spec, and reports per-point
+// progress. The harness owns only the grid definitions and the reducers that
+// fold point results back into the paper's series and tables.
 package exp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
 
 	"q3de/internal/engine"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // Budget scales sampling effort.
@@ -50,6 +59,28 @@ func (b Budget) shots() (int64, int64) {
 	default:
 		return 100000, 1000
 	}
+}
+
+// Scale selects a per-budget effort level — the single place the harness
+// maps budgets to trial counts (each figure used to carry its own switch).
+func (b Budget) Scale(quick, standard, full int) int {
+	switch b {
+	case BudgetQuick:
+		return quick
+	case BudgetStandard:
+		return standard
+	default:
+		return full
+	}
+}
+
+// CapShots returns the budget's shot count capped at another tier's — used
+// where a workload is too expensive for the full budget (slow decoders, the
+// per-shot controller pass of stream runs).
+func (b Budget) CapShots(tier Budget) int64 {
+	shots, _ := b.shots()
+	capAt, _ := tier.shots()
+	return min(shots, capAt)
 }
 
 // Options configures a harness run.
@@ -139,24 +170,77 @@ func (o Options) runStream(cfg sim.StreamConfig) sim.StreamResult {
 	return sim.RunStream(cfg)
 }
 
-// Point is one (x, y) sample with uncertainty.
-type Point struct {
-	X, Y, Err float64
-}
+// Point is one (x, y) sample with uncertainty (the sweep layer's curve
+// sample; aliased so figure reducers and their callers share one type).
+type Point = sweep.Sample
 
 // Series is a named curve.
-type Series struct {
-	Name   string
-	Points []Point
-}
+type Series = sweep.Series
 
 // renderSeries prints curves in a gnuplot-friendly layout.
 func renderSeries(w io.Writer, title string, series []Series) {
-	fmt.Fprintf(w, "# %s\n", title)
-	for _, s := range series {
-		fmt.Fprintf(w, "## %s\n", s.Name)
-		for _, p := range s.Points {
-			fmt.Fprintf(w, "%.6g\t%.6g\t%.3g\n", p.X, p.Y, p.Err)
-		}
+	sweep.RenderSeries(w, title, series)
+}
+
+// runSweep executes one declarative experiment sweep. The engine path fans
+// points out with bounded concurrency, reuses finished points from the
+// engine's point cache, and attributes per-point progress to the enclosing
+// job; the direct path (an explicit worker bound without an explicit engine,
+// mirroring runMemory's rule) runs the points serially in-process. Both paths
+// honor ctx between grid points and produce identical results: points are
+// independent and deterministic per spec, and Serial sweeps pin grid order
+// everywhere. Cancellation propagates as a panic that the engine's job
+// runner converts back into a cancelled job.
+func (o Options) runSweep(sw *sweep.Sweep) *sweep.Result {
+	if o.Engine == nil && o.Workers > 0 {
+		return o.runSweepDirect(sw)
 	}
+	res, err := o.engine().RunSweep(o.ctx(), sw)
+	if err == nil {
+		return res
+	}
+	if ctxErr := o.ctx().Err(); ctxErr != nil {
+		panic(ctxErr)
+	}
+	return o.runSweepDirect(sw)
+}
+
+func (o Options) runSweepDirect(sw *sweep.Sweep) *sweep.Result {
+	res, err := sweep.Run(o.ctx(), sw)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// memorySweep declares a sweep whose every grid point resolves to one memory
+// configuration: the engine executes each point through the shared
+// runShards/workspace-cache machinery and caches its result under the
+// canonical config.
+func (o Options) memorySweep(name string, grid sweep.Grid, cfgOf func(sweep.Point) sim.MemoryConfig, reduce sweep.Reducer) *sweep.Sweep {
+	return &sweep.Sweep{
+		Name: name,
+		Kind: engine.KindMemory,
+		Grid: grid,
+		Key:  func(pt sweep.Point) (string, bool) { return engine.MemoryPointKey(cfgOf(pt)) },
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			return o.runMemory(cfgOf(pt)), nil
+		},
+		Reduce: reduce,
+	}
+}
+
+// memOf extracts the memory result of one completed sweep point.
+func memOf(r sweep.PointResult) sim.MemoryResult {
+	return r.Value.(sim.MemoryResult)
+}
+
+// canonJSON renders a resolved evaluation input as a canonical cache-key
+// fragment for custom-evaluator sweeps (struct field order is deterministic).
+func canonJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("exp: marshal sweep key: %v", err))
+	}
+	return string(b)
 }

@@ -291,6 +291,39 @@ func TestBudgetShots(t *testing.T) {
 	}
 }
 
+func TestFig9EmptyDurMults(t *testing.T) {
+	// The pre-refactor loop tolerated an empty duration sweep (it still
+	// plotted the lone duration-insensitive Q3DE curve); the grid must too.
+	cfg := DefaultFig9(quick())
+	cfg.MaxArea = 8
+	cfg.DurMults = nil
+	r := RunFig9(cfg)
+	if len(r.DurPanel) != 1 || r.DurPanel[0].Name != "Q3DE" || len(r.DurPanel[0].Points) == 0 {
+		t.Errorf("duration panel with no baseline mults = %+v, want the lone Q3DE curve", r.DurPanel)
+	}
+	if len(r.SizePanel) == 0 || len(r.FreqPanel) == 0 {
+		t.Error("other panels must be unaffected")
+	}
+}
+
+func TestFig10EmptyDurations(t *testing.T) {
+	// The pre-refactor loop tolerated an empty duration list (no Q3DE
+	// curves, but real free/baseline throughputs); the grid must too.
+	cfg := DefaultFig10(quick())
+	cfg.Instructions = 200
+	cfg.Frequencies = []float64{1e-6}
+	cfg.Durations = nil
+	series := RunFig10(cfg)
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want free + baseline only", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Errorf("series %q lost its throughput: %+v", s.Name, s.Points)
+		}
+	}
+}
+
 func TestFig9DefaultParams(t *testing.T) {
 	cfg := DefaultFig9(quick())
 	if cfg.Params.D0 != scaling.DefaultParams().D0 {

@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"q3de/internal/deform"
 	"q3de/internal/isa"
 	"q3de/internal/stats"
+	"q3de/internal/sweep"
 )
 
 // Fig10Config parameterises experiment E5 (paper Fig. 10): instruction
@@ -39,24 +42,102 @@ func DefaultFig10(o Options) Fig10Config {
 	return cfg
 }
 
+// Fig10 scheduler-mode axis values.
+const (
+	fig10Free = "free"
+	fig10Base = "baseline"
+	fig10Q3DE = "q3de"
+)
+
+// fig10Inputs resolves one grid point into the scheduler mode and MBBE
+// duration (zero outside the Q3DE mode, matching the original loop).
+func fig10Inputs(pt sweep.Point) (isa.Mode, int) {
+	switch pt.Str("mode") {
+	case fig10Free:
+		return isa.ModeMBBEFree, 0
+	case fig10Base:
+		return isa.ModeBaseline, 0
+	default:
+		return isa.ModeQ3DE, pt.Int("dur")
+	}
+}
+
+// sweep declares the grid — scheduler mode × duration × frequency, with the
+// duration axis collapsed for the modes that ignore it — and the reducer
+// ordering the throughput samples into the paper's curves.
+func (cfg Fig10Config) sweep() *sweep.Sweep {
+	// The free and baseline modes ignore the duration, so they ride on one
+	// anchor cell; with no durations configured at all the anchor keeps the
+	// axis non-empty (no Q3DE points survive Keep, matching the
+	// pre-refactor loop, but free/baseline still evaluate).
+	durAxis := cfg.Durations
+	if len(durAxis) == 0 {
+		durAxis = []int{0}
+	}
+	anchor := durAxis[0]
+	grid := sweep.Grid{
+		Axes: []sweep.Axis{
+			{Name: "mode", Values: []any{fig10Free, fig10Base, fig10Q3DE}},
+			{Name: "dur", Values: sweep.Values(durAxis...)},
+			{Name: "f", Values: sweep.Values(cfg.Frequencies...)},
+		},
+		Keep: func(pt sweep.Point) bool {
+			if pt.Str("mode") == fig10Q3DE {
+				return slices.Contains(cfg.Durations, pt.Int("dur"))
+			}
+			return pt.Int("dur") == anchor
+		},
+	}
+	type fig10Key struct {
+		mode string
+		dur  int
+		f    float64
+	}
+	return &sweep.Sweep{
+		Name: "fig10", Kind: "fig10", Grid: grid,
+		Key: func(pt sweep.Point) (string, bool) {
+			mode, dur := fig10Inputs(pt)
+			return canonJSON(struct {
+				Mode, Dur, D, Plane, Instr int
+				F                          float64
+				Seed                       uint64
+			}{int(mode), dur, cfg.D, cfg.PlaneSize, cfg.Instructions, pt.Float("f"), cfg.Seed}), true
+		},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			mode, dur := fig10Inputs(pt)
+			return cfg.throughput(mode, pt.Float("f"), dur), nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			byKey := make(map[fig10Key]float64, len(rs))
+			for _, r := range rs {
+				k := fig10Key{mode: r.Point.Str("mode"), f: r.Point.Float("f")}
+				if k.mode == fig10Q3DE {
+					k.dur = r.Point.Int("dur")
+				}
+				byKey[k] = r.Value.(float64)
+			}
+			free := Series{Name: "MBBE free"}
+			base := Series{Name: "baseline"}
+			var q3de []Series
+			for _, dur := range cfg.Durations {
+				q3de = append(q3de, Series{Name: fmt.Sprintf("Q3DE tau_ano/(d tau_cyc) = %d", dur)})
+			}
+			for _, f := range cfg.Frequencies {
+				free.Points = append(free.Points, Point{X: f, Y: byKey[fig10Key{mode: fig10Free, f: f}]})
+				base.Points = append(base.Points, Point{X: f, Y: byKey[fig10Key{mode: fig10Base, f: f}]})
+				for i, dur := range cfg.Durations {
+					q3de[i].Points = append(q3de[i].Points, Point{X: f, Y: byKey[fig10Key{mode: fig10Q3DE, dur: dur, f: f}]})
+				}
+			}
+			return append([]Series{free, base}, q3de...), nil
+		},
+	}
+}
+
 // RunFig10 simulates the scheduler for each mode and frequency and reports
 // the average number of completed instructions per d code cycles.
 func RunFig10(cfg Fig10Config) []Series {
-	free := Series{Name: "MBBE free"}
-	base := Series{Name: "baseline"}
-	var q3de []Series
-	for _, dur := range cfg.Durations {
-		q3de = append(q3de, Series{Name: fmt.Sprintf("Q3DE tau_ano/(d tau_cyc) = %d", dur)})
-	}
-
-	for _, f := range cfg.Frequencies {
-		free.Points = append(free.Points, Point{X: f, Y: cfg.throughput(isa.ModeMBBEFree, f, 0)})
-		base.Points = append(base.Points, Point{X: f, Y: cfg.throughput(isa.ModeBaseline, f, 0)})
-		for i, dur := range cfg.Durations {
-			q3de[i].Points = append(q3de[i].Points, Point{X: f, Y: cfg.throughput(isa.ModeQ3DE, f, dur)})
-		}
-	}
-	return append([]Series{free, base}, q3de...)
+	return cfg.runSweep(cfg.sweep()).Reduced.([]Series)
 }
 
 // throughput runs one scheduler simulation and returns completed

@@ -6,6 +6,7 @@ import (
 
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // Fig3Config parameterises experiment E1 (paper Fig. 3): logical error rates
@@ -29,33 +30,53 @@ func DefaultFig3(o Options) Fig3Config {
 	}
 }
 
-// RunFig3 produces one series per (distance, with/without MBBE) pair.
-func RunFig3(cfg Fig3Config) []Series {
+// sweep declares the figure's grid — mbbe × distance × rate — with the memory
+// configuration each point resolves to and the reducer grouping points into
+// one series per (mbbe, distance) curve.
+func (cfg Fig3Config) sweep() *sweep.Sweep {
 	maxShots, maxFail := cfg.Budget.shots()
-	var out []Series
-	for _, mbbe := range []bool{false, true} {
-		for _, d := range cfg.Distances {
-			name := "without MBBE"
-			var box *lattice.Box
-			if mbbe {
-				name = "with MBBE"
-				b := lattice.New(d, d).CenteredBox(cfg.DAno)
-				box = &b
-			}
-			s := Series{Name: seriesName(d, name)}
-			for _, p := range cfg.Rates {
-				r := cfg.runMemory(sim.MemoryConfig{
-					D: d, P: p, Box: box, Pano: cfg.PAno,
-					Decoder: cfg.Decoder, Aware: false,
-					MaxShots: maxShots, MaxFailures: maxFail,
-					Seed: cfg.Seed ^ uint64(d)<<32 ^ hashFloat(p), Workers: cfg.Workers,
-				})
-				s.Points = append(s.Points, Point{X: p, Y: r.PL, Err: r.StdErr})
-			}
-			out = append(out, s)
+	grid := sweep.Grid{Axes: []sweep.Axis{
+		{Name: "mbbe", Values: sweep.Values(false, true)},
+		{Name: "d", Values: sweep.Values(cfg.Distances...)},
+		{Name: "p", Values: sweep.Values(cfg.Rates...)},
+	}}
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		d, p := pt.Int("d"), pt.Float("p")
+		var box *lattice.Box
+		if pt.Bool("mbbe") {
+			b := lattice.New(d, d).CenteredBox(cfg.DAno)
+			box = &b
+		}
+		return sim.MemoryConfig{
+			D: d, P: p, Box: box, Pano: cfg.PAno,
+			Decoder: cfg.Decoder, Aware: false,
+			MaxShots: maxShots, MaxFailures: maxFail,
+			Seed: cfg.Seed ^ uint64(d)<<32 ^ hashFloat(p), Workers: cfg.Workers,
 		}
 	}
-	return out
+	reduce := func(rs []sweep.PointResult) (any, error) {
+		var out []Series
+		for _, r := range rs {
+			suffix := "without MBBE"
+			if r.Point.Bool("mbbe") {
+				suffix = "with MBBE"
+			}
+			name := seriesName(r.Point.Int("d"), suffix)
+			if len(out) == 0 || out[len(out)-1].Name != name {
+				out = append(out, Series{Name: name})
+			}
+			m := memOf(r)
+			s := &out[len(out)-1]
+			s.Points = append(s.Points, Point{X: r.Point.Float("p"), Y: m.PL, Err: m.StdErr})
+		}
+		return out, nil
+	}
+	return cfg.memorySweep("fig3", grid, cfgOf, reduce)
+}
+
+// RunFig3 produces one series per (distance, with/without MBBE) pair.
+func RunFig3(cfg Fig3Config) []Series {
+	return cfg.runSweep(cfg.sweep()).Reduced.([]Series)
 }
 
 // RenderFig3 writes the series in the harness text format.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"math"
 	"math/rand/v2"
@@ -9,6 +10,7 @@ import (
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
 	"q3de/internal/stats"
+	"q3de/internal/sweep"
 )
 
 // Fig7Config parameterises experiment E2 (paper Fig. 7): the anomaly
@@ -45,38 +47,59 @@ type Fig7Result struct {
 	Position Series // position error vs ratio
 }
 
+// fig7Point is one completed ratio of the scan.
+type fig7Point struct {
+	Cwin     int
+	Latency  float64
+	PosError float64
+}
+
+// sweep declares the ratio scan. The evaluator threads one RNG across the
+// grid — each ratio's calibration consumes draws the next ratio's depends on
+// — so the sweep is Serial: points evaluate one at a time in grid order and
+// never enter the point cache (a cache hit would skip draws and corrupt
+// every later point).
+func (cfg Fig7Config) sweep() *sweep.Sweep {
+	trials := cfg.Budget.Scale(12, 40, 200)
+	rng := stats.NewRNG(cfg.Seed, 0xF16)
+	return &sweep.Sweep{
+		Name: "fig7", Kind: "fig7", Serial: true,
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "ratio", Values: sweep.Values(cfg.Ratios...)}}},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			ratio := pt.Float("ratio")
+			pano := cfg.P * ratio
+			if pano > 0.5 {
+				pano = 0.5
+			}
+			mu, sigma, muAno, sigmaAno := calibrateMoments(cfg, pano, rng)
+			cwin := requiredWindow(cfg, mu, sigma, muAno, sigmaAno)
+			lat, posErr := measureDetection(cfg, pano, cwin, mu, sigma, trials, rng)
+			return fig7Point{Cwin: cwin, Latency: lat, PosError: posErr}, nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			res := Fig7Result{
+				Window:   Series{Name: "required window size"},
+				Latency:  Series{Name: "detection latency"},
+				Position: Series{Name: "position error"},
+			}
+			for _, r := range rs {
+				ratio := r.Point.Float("ratio")
+				p := r.Value.(fig7Point)
+				res.Window.Points = append(res.Window.Points, Point{X: ratio, Y: float64(p.Cwin)})
+				res.Latency.Points = append(res.Latency.Points, Point{X: ratio, Y: p.Latency})
+				res.Position.Points = append(res.Position.Points, Point{X: ratio, Y: p.PosError})
+			}
+			return res, nil
+		},
+	}
+}
+
 // RunFig7 measures the detector on real syndrome streams: for each ratio it
 // finds the smallest window meeting the per-counter error target, then
 // measures latency and position error at that window with the configured
 // vote threshold.
 func RunFig7(cfg Fig7Config) Fig7Result {
-	res := Fig7Result{
-		Window:   Series{Name: "required window size"},
-		Latency:  Series{Name: "detection latency"},
-		Position: Series{Name: "position error"},
-	}
-	trials := 12
-	if cfg.Budget == BudgetStandard {
-		trials = 40
-	} else if cfg.Budget == BudgetFull {
-		trials = 200
-	}
-	rng := stats.NewRNG(cfg.Seed, 0xF16)
-
-	for _, ratio := range cfg.Ratios {
-		pano := cfg.P * ratio
-		if pano > 0.5 {
-			pano = 0.5
-		}
-		mu, sigma, muAno, sigmaAno := calibrateMoments(cfg, pano, rng)
-		cwin := requiredWindow(cfg, mu, sigma, muAno, sigmaAno)
-		res.Window.Points = append(res.Window.Points, Point{X: ratio, Y: float64(cwin)})
-
-		lat, posErr := measureDetection(cfg, pano, cwin, mu, sigma, trials, rng)
-		res.Latency.Points = append(res.Latency.Points, Point{X: ratio, Y: lat})
-		res.Position.Points = append(res.Position.Points, Point{X: ratio, Y: posErr})
-	}
-	return res
+	return cfg.runSweep(cfg.sweep()).Reduced.(Fig7Result)
 }
 
 // calibrateMoments measures normal and anomalous per-node activity on real

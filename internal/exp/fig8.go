@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
 
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // Fig8Config parameterises experiment E3 (paper Fig. 8): logical error rates
@@ -50,61 +52,138 @@ type Fig8Result struct {
 	Reduction map[int][]Series
 }
 
-// RunFig8 regenerates the figure.
-func RunFig8(cfg Fig8Config) Fig8Result {
+// Fig8 sweep variants: the MBBE-free reference (no box, dano-independent),
+// and the boxed runs without/with the rollback-aware metric.
+const (
+	fig8Free  = "free"
+	fig8Blind = "blind"
+	fig8Aware = "aware"
+)
+
+// fig8Key addresses one completed point in the reducer. Free points are
+// dano-agnostic and stored under dano = 0.
+type fig8Key struct {
+	dano, d int
+	variant string
+	p       float64
+}
+
+// sweep declares the figure's point set. The panels do not form a rectangle —
+// the reduction panel needs MBBE-free references at d−2 that the rate panel
+// never plots, and the free runs do not depend on the anomaly size — so the
+// grid is the maximal cross product with a Keep filter trimming the cells no
+// panel reads. Identical configurations reachable from several panels (the
+// free run at a shared distance feeds both) resolve to one canonical point
+// spec and therefore one execution via the engine's point cache.
+func (cfg Fig8Config) sweep() *sweep.Sweep {
 	maxShots, maxFail := cfg.Budget.shots()
-	run := func(d int, p float64, box *lattice.Box, aware bool) sim.MemoryResult {
-		return cfg.runMemory(sim.MemoryConfig{
+
+	boxed := make([]int, 0, len(cfg.RateDistances)+len(cfg.EffDistances))
+	boxed = append(boxed, cfg.RateDistances...)
+	boxed = append(boxed, cfg.EffDistances...)
+	all := slices.Clone(boxed)
+	for _, d := range cfg.EffDistances {
+		all = append(all, d-2)
+	}
+	slices.Sort(all)
+	all = slices.Compact(all)
+
+	grid := sweep.Grid{
+		Axes: []sweep.Axis{
+			{Name: "dano", Values: sweep.Values(cfg.AnomalySizes...)},
+			{Name: "d", Values: sweep.Values(all...)},
+			{Name: "variant", Values: []any{fig8Free, fig8Blind, fig8Aware}},
+			{Name: "p", Values: sweep.Values(cfg.Rates...)},
+		},
+		Keep: func(pt sweep.Point) bool {
+			d, variant := pt.Int("d"), pt.Str("variant")
+			if variant == fig8Free {
+				// One dano-independent free run per (d, p).
+				return pt.Int("dano") == cfg.AnomalySizes[0]
+			}
+			return slices.Contains(boxed, d)
+		},
+	}
+
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		d, p, variant := pt.Int("d"), pt.Float("p"), pt.Str("variant")
+		var box *lattice.Box
+		aware := false
+		if variant != fig8Free {
+			b := lattice.New(d, d).CenteredBox(pt.Int("dano"))
+			box = &b
+			aware = variant == fig8Aware
+		}
+		return sim.MemoryConfig{
 			D: d, P: p, Box: box, Pano: cfg.PAno,
 			Decoder: cfg.Decoder, Aware: aware,
 			MaxShots: maxShots, MaxFailures: maxFail,
 			Seed:    cfg.Seed ^ uint64(d)<<24 ^ hashFloat(p) ^ boolBit(aware)<<60 ^ boolBit(box != nil)<<61,
 			Workers: cfg.Workers,
-		})
+		}
 	}
 
-	res := Fig8Result{Rates: map[int][]Series{}, Reduction: map[int][]Series{}}
-	for _, dano := range cfg.AnomalySizes {
-		var rateSeries []Series
-		for _, d := range cfg.RateDistances {
-			box := lattice.New(d, d).CenteredBox(dano)
-			free := Series{Name: seriesName(d, "MBBE free")}
-			blind := Series{Name: seriesName(d, "without rollback")}
-			aware := Series{Name: seriesName(d, "with rollback")}
-			for _, p := range cfg.Rates {
-				rf := run(d, p, nil, false)
-				rb := run(d, p, &box, false)
-				ra := run(d, p, &box, true)
-				free.Points = append(free.Points, Point{X: p, Y: rf.PL, Err: rf.StdErr})
-				blind.Points = append(blind.Points, Point{X: p, Y: rb.PL, Err: rb.StdErr})
-				aware.Points = append(aware.Points, Point{X: p, Y: ra.PL, Err: ra.StdErr})
+	reduce := func(rs []sweep.PointResult) (any, error) {
+		byKey := make(map[fig8Key]sim.MemoryResult, len(rs))
+		for _, r := range rs {
+			k := fig8Key{dano: r.Point.Int("dano"), d: r.Point.Int("d"),
+				variant: r.Point.Str("variant"), p: r.Point.Float("p")}
+			if k.variant == fig8Free {
+				k.dano = 0
 			}
-			rateSeries = append(rateSeries, free, blind, aware)
+			byKey[k] = memOf(r)
 		}
-		res.Rates[dano] = rateSeries
+		free := func(d int, p float64) sim.MemoryResult {
+			return byKey[fig8Key{d: d, variant: fig8Free, p: p}]
+		}
+		res := Fig8Result{Rates: map[int][]Series{}, Reduction: map[int][]Series{}}
+		for _, dano := range cfg.AnomalySizes {
+			var rateSeries []Series
+			for _, d := range cfg.RateDistances {
+				freeS := Series{Name: seriesName(d, "MBBE free")}
+				blindS := Series{Name: seriesName(d, "without rollback")}
+				awareS := Series{Name: seriesName(d, "with rollback")}
+				for _, p := range cfg.Rates {
+					rf := free(d, p)
+					rb := byKey[fig8Key{dano: dano, d: d, variant: fig8Blind, p: p}]
+					ra := byKey[fig8Key{dano: dano, d: d, variant: fig8Aware, p: p}]
+					freeS.Points = append(freeS.Points, Point{X: p, Y: rf.PL, Err: rf.StdErr})
+					blindS.Points = append(blindS.Points, Point{X: p, Y: rb.PL, Err: rb.StdErr})
+					awareS.Points = append(awareS.Points, Point{X: p, Y: ra.PL, Err: ra.StdErr})
+				}
+				rateSeries = append(rateSeries, freeS, blindS, awareS)
+			}
+			res.Rates[dano] = rateSeries
 
-		var redSeries []Series
-		for _, d := range cfg.EffDistances {
-			box := lattice.New(d, d).CenteredBox(dano)
-			blind := Series{Name: seriesName(d, "without rollback")}
-			aware := Series{Name: seriesName(d, "with rollback")}
-			for _, p := range cfg.Rates {
-				pl := run(d, p, nil, false)
-				plm2 := run(d-2, p, nil, false)
-				rb := run(d, p, &box, false)
-				ra := run(d, p, &box, true)
-				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, rb.PL, pl.StdErr, plm2.StdErr, rb.StdErr); ok {
-					blind.Points = append(blind.Points, Point{X: p, Y: red, Err: err})
+			var redSeries []Series
+			for _, d := range cfg.EffDistances {
+				blindS := Series{Name: seriesName(d, "without rollback")}
+				awareS := Series{Name: seriesName(d, "with rollback")}
+				for _, p := range cfg.Rates {
+					pl := free(d, p)
+					plm2 := free(d-2, p)
+					rb := byKey[fig8Key{dano: dano, d: d, variant: fig8Blind, p: p}]
+					ra := byKey[fig8Key{dano: dano, d: d, variant: fig8Aware, p: p}]
+					if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, rb.PL, pl.StdErr, plm2.StdErr, rb.StdErr); ok {
+						blindS.Points = append(blindS.Points, Point{X: p, Y: red, Err: err})
+					}
+					if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, ra.PL, pl.StdErr, plm2.StdErr, ra.StdErr); ok {
+						awareS.Points = append(awareS.Points, Point{X: p, Y: red, Err: err})
+					}
 				}
-				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, ra.PL, pl.StdErr, plm2.StdErr, ra.StdErr); ok {
-					aware.Points = append(aware.Points, Point{X: p, Y: red, Err: err})
-				}
+				redSeries = append(redSeries, blindS, awareS)
 			}
-			redSeries = append(redSeries, blind, aware)
+			res.Reduction[dano] = redSeries
 		}
-		res.Reduction[dano] = redSeries
+		return res, nil
 	}
-	return res
+
+	return cfg.memorySweep("fig8", grid, cfgOf, reduce)
+}
+
+// RunFig8 regenerates the figure.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	return cfg.runSweep(cfg.sweep()).Reduced.(Fig8Result)
 }
 
 // EffectiveReduction evaluates the paper's Eq. (4):

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"slices"
 
 	"q3de/internal/scaling"
+	"q3de/internal/sweep"
 )
 
 // Fig9Config parameterises experiment E4 (paper Fig. 9): required chip area
@@ -47,43 +50,151 @@ type Fig9Result struct {
 	FreqPanel []Series
 }
 
-// RunFig9 evaluates the requirement curves.
-func RunFig9(cfg Fig9Config) Fig9Result {
-	var res Fig9Result
-	curve := func(p scaling.Params, arch scaling.Arch, name string) Series {
-		s := Series{Name: name}
-		for _, pt := range p.RequirementCurve(arch, cfg.MaxArea, cfg.Seed) {
-			s.Points = append(s.Points, Point{X: pt.Area, Y: pt.Density})
+// Fig9 panel and architecture axis values.
+const (
+	fig9Size = "size"
+	fig9Dur  = "dur"
+	fig9Freq = "freq"
+
+	fig9Q3DE = "q3de"
+	fig9Base = "baseline"
+)
+
+// fig9Inputs resolves one grid point into the scaling-model inputs: the
+// multiplied parameters and the architecture. Duration and frequency panels
+// apply their multiplier to one knob; the Q3DE duration curve is
+// duration-insensitive (its exposure is clat) so its panel point uses the
+// unmodified parameters.
+func (cfg Fig9Config) fig9Inputs(pt sweep.Point) (scaling.Params, scaling.Arch) {
+	p := cfg.Params
+	arch := scaling.ArchBaseline
+	if pt.Str("arch") == fig9Q3DE {
+		arch = scaling.ArchQ3DE
+	}
+	mult := pt.Float("mult")
+	switch pt.Str("panel") {
+	case fig9Size:
+		p.SizeMult = mult
+	case fig9Dur:
+		if arch == scaling.ArchBaseline {
+			p.DurMult = mult
 		}
-		return s
+	case fig9Freq:
+		p.FreqMult = mult
+	}
+	return p, arch
+}
+
+// sweep declares the three panels as one grid — panel × architecture ×
+// multiplier — with a Keep filter matching each panel's multiplier list (the
+// duration panel plots a single Q3DE curve against the baseline sweep). Each
+// point evaluates one whole requirement curve; the reducer orders them into
+// the paper's panels.
+func (cfg Fig9Config) sweep() *sweep.Sweep {
+	mults := slices.Clone(cfg.SizeMults)
+	mults = append(mults, cfg.DurMults...)
+	mults = append(mults, cfg.FreqMults...)
+	slices.Sort(mults)
+	mults = slices.Compact(mults)
+	if len(mults) == 0 {
+		// No panel sweeps at all: keep one cell so the duration-insensitive
+		// Q3DE curve (which ignores its multiplier) still evaluates.
+		mults = []float64{1}
+	}
+	// durAnchor is the multiplier cell carrying that Q3DE curve; any value
+	// works since the evaluator ignores it for (dur, q3de) points.
+	durAnchor := mults[0]
+	if len(cfg.DurMults) > 0 {
+		durAnchor = cfg.DurMults[0]
 	}
 
-	// Left panel: anomaly size sweep, Q3DE vs baseline.
-	for _, m := range cfg.SizeMults {
-		p := cfg.Params
-		p.SizeMult = m
-		res.SizePanel = append(res.SizePanel,
-			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly size x%.2f", m)),
-			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly size x%.2f", m)))
+	grid := sweep.Grid{
+		Axes: []sweep.Axis{
+			{Name: "panel", Values: []any{fig9Size, fig9Dur, fig9Freq}},
+			{Name: "arch", Values: []any{fig9Q3DE, fig9Base}},
+			{Name: "mult", Values: sweep.Values(mults...)},
+		},
+		Keep: func(pt sweep.Point) bool {
+			mult := pt.Float("mult")
+			switch pt.Str("panel") {
+			case fig9Size:
+				return slices.Contains(cfg.SizeMults, mult)
+			case fig9Dur:
+				if pt.Str("arch") == fig9Q3DE {
+					// One duration-insensitive Q3DE curve.
+					return mult == durAnchor
+				}
+				return slices.Contains(cfg.DurMults, mult)
+			default:
+				return slices.Contains(cfg.FreqMults, mult)
+			}
+		},
 	}
-	// Middle panel: duration sweep; the Q3DE curve is duration-insensitive
-	// (its exposure is clat), so one Q3DE curve against baseline durations.
-	res.DurPanel = append(res.DurPanel, curve(cfg.Params, scaling.ArchQ3DE, "Q3DE"))
-	for _, m := range cfg.DurMults {
-		p := cfg.Params
-		p.DurMult = m
-		res.DurPanel = append(res.DurPanel,
-			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline error duration x%.2g", m)))
+
+	type fig9Key struct {
+		panel, arch string
+		mult        float64
 	}
-	// Right panel: frequency sweep for both architectures.
-	for _, m := range cfg.FreqMults {
-		p := cfg.Params
-		p.FreqMult = m
-		res.FreqPanel = append(res.FreqPanel,
-			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly freq x%.2g", m)),
-			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly freq x%.2g", m)))
+	return &sweep.Sweep{
+		Name: "fig9", Kind: "fig9", Grid: grid,
+		// The key captures the resolved model inputs, not the grid cell:
+		// points from different panels that resolve to the same parameters
+		// (every panel's x1 multiplier is the default setting) share one
+		// evaluation through the point cache.
+		Key: func(pt sweep.Point) (string, bool) {
+			p, arch := cfg.fig9Inputs(pt)
+			return canonJSON(struct {
+				Params  scaling.Params
+				Arch    int
+				MaxArea float64
+				Seed    uint64
+			}{p, int(arch), cfg.MaxArea, cfg.Seed}), true
+		},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			p, arch := cfg.fig9Inputs(pt)
+			var s Series
+			for _, c := range p.RequirementCurve(arch, cfg.MaxArea, cfg.Seed) {
+				s.Points = append(s.Points, Point{X: c.Area, Y: c.Density})
+			}
+			return s, nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			curves := make(map[fig9Key][]Point, len(rs))
+			for _, r := range rs {
+				k := fig9Key{panel: r.Point.Str("panel"), arch: r.Point.Str("arch"), mult: r.Point.Float("mult")}
+				curves[k] = r.Value.(Series).Points
+			}
+			named := func(panel, arch string, mult float64, name string) Series {
+				return Series{Name: name, Points: curves[fig9Key{panel: panel, arch: arch, mult: mult}]}
+			}
+			var res Fig9Result
+			// Left panel: anomaly size sweep, Q3DE vs baseline.
+			for _, m := range cfg.SizeMults {
+				res.SizePanel = append(res.SizePanel,
+					named(fig9Size, fig9Q3DE, m, fmt.Sprintf("Q3DE anomaly size x%.2f", m)),
+					named(fig9Size, fig9Base, m, fmt.Sprintf("baseline anomaly size x%.2f", m)))
+			}
+			// Middle panel: one duration-insensitive Q3DE curve against the
+			// baseline durations.
+			res.DurPanel = append(res.DurPanel, named(fig9Dur, fig9Q3DE, durAnchor, "Q3DE"))
+			for _, m := range cfg.DurMults {
+				res.DurPanel = append(res.DurPanel,
+					named(fig9Dur, fig9Base, m, fmt.Sprintf("baseline error duration x%.2g", m)))
+			}
+			// Right panel: frequency sweep for both architectures.
+			for _, m := range cfg.FreqMults {
+				res.FreqPanel = append(res.FreqPanel,
+					named(fig9Freq, fig9Q3DE, m, fmt.Sprintf("Q3DE anomaly freq x%.2g", m)),
+					named(fig9Freq, fig9Base, m, fmt.Sprintf("baseline anomaly freq x%.2g", m)))
+			}
+			return res, nil
+		},
 	}
-	return res
+}
+
+// RunFig9 evaluates the requirement curves.
+func RunFig9(cfg Fig9Config) Fig9Result {
+	return cfg.runSweep(cfg.sweep()).Reduced.(Fig9Result)
 }
 
 // RenderFig9 writes the three panels.

@@ -1,0 +1,479 @@
+package exp
+
+// Golden equivalence tests for the sweep refactor: every experiment's
+// pre-refactor bespoke loop is preserved here verbatim (legacy*) and the
+// sweep-based implementation must reproduce its output bit for bit at fixed
+// seeds. The legacy loops run the same Options.runMemory/runStream calls with
+// the same seed derivations, so any drift — a reordered grid, a wrong seed
+// formula, a cache hit leaking state — fails DeepEqual on exact floats.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"q3de/internal/isa"
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/scaling"
+	"q3de/internal/sim"
+	"q3de/internal/stats"
+)
+
+// legacyRunFig3 is the pre-refactor Fig. 3 loop.
+func legacyRunFig3(cfg Fig3Config) []Series {
+	maxShots, maxFail := cfg.Budget.shots()
+	var out []Series
+	for _, mbbe := range []bool{false, true} {
+		for _, d := range cfg.Distances {
+			name := "without MBBE"
+			var box *lattice.Box
+			if mbbe {
+				name = "with MBBE"
+				b := lattice.New(d, d).CenteredBox(cfg.DAno)
+				box = &b
+			}
+			s := Series{Name: seriesName(d, name)}
+			for _, p := range cfg.Rates {
+				r := cfg.runMemory(sim.MemoryConfig{
+					D: d, P: p, Box: box, Pano: cfg.PAno,
+					Decoder: cfg.Decoder, Aware: false,
+					MaxShots: maxShots, MaxFailures: maxFail,
+					Seed: cfg.Seed ^ uint64(d)<<32 ^ hashFloat(p), Workers: cfg.Workers,
+				})
+				s.Points = append(s.Points, Point{X: p, Y: r.PL, Err: r.StdErr})
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestGoldenFig3MatchesLegacy(t *testing.T) {
+	cfg := DefaultFig3(quick())
+	cfg.Distances = []int{5, 9}
+	cfg.Rates = []float64{4e-3, 4e-2}
+	if got, want := RunFig3(cfg), legacyRunFig3(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("fig3 drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunFig7 is the pre-refactor Fig. 7 loop: one RNG threaded across the
+// ratio scan, calibration and measurement drawing from it in sequence.
+func legacyRunFig7(cfg Fig7Config) Fig7Result {
+	res := Fig7Result{
+		Window:   Series{Name: "required window size"},
+		Latency:  Series{Name: "detection latency"},
+		Position: Series{Name: "position error"},
+	}
+	trials := 12
+	if cfg.Budget == BudgetStandard {
+		trials = 40
+	} else if cfg.Budget == BudgetFull {
+		trials = 200
+	}
+	rng := stats.NewRNG(cfg.Seed, 0xF16)
+
+	for _, ratio := range cfg.Ratios {
+		pano := cfg.P * ratio
+		if pano > 0.5 {
+			pano = 0.5
+		}
+		mu, sigma, muAno, sigmaAno := calibrateMoments(cfg, pano, rng)
+		cwin := requiredWindow(cfg, mu, sigma, muAno, sigmaAno)
+		res.Window.Points = append(res.Window.Points, Point{X: ratio, Y: float64(cwin)})
+
+		lat, posErr := measureDetection(cfg, pano, cwin, mu, sigma, trials, rng)
+		res.Latency.Points = append(res.Latency.Points, Point{X: ratio, Y: lat})
+		res.Position.Points = append(res.Position.Points, Point{X: ratio, Y: posErr})
+	}
+	return res
+}
+
+func TestGoldenFig7MatchesLegacy(t *testing.T) {
+	cfg := DefaultFig7(quick())
+	cfg.D = 11
+	cfg.Ratios = []float64{10, 100}
+	if got, want := RunFig7(cfg), legacyRunFig7(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("fig7 drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunFig8 is the pre-refactor Fig. 8 loop, including its re-execution
+// of the MBBE-free reference runs per panel and anomaly size.
+func legacyRunFig8(cfg Fig8Config) Fig8Result {
+	maxShots, maxFail := cfg.Budget.shots()
+	run := func(d int, p float64, box *lattice.Box, aware bool) sim.MemoryResult {
+		return cfg.runMemory(sim.MemoryConfig{
+			D: d, P: p, Box: box, Pano: cfg.PAno,
+			Decoder: cfg.Decoder, Aware: aware,
+			MaxShots: maxShots, MaxFailures: maxFail,
+			Seed:    cfg.Seed ^ uint64(d)<<24 ^ hashFloat(p) ^ boolBit(aware)<<60 ^ boolBit(box != nil)<<61,
+			Workers: cfg.Workers,
+		})
+	}
+
+	res := Fig8Result{Rates: map[int][]Series{}, Reduction: map[int][]Series{}}
+	for _, dano := range cfg.AnomalySizes {
+		var rateSeries []Series
+		for _, d := range cfg.RateDistances {
+			box := lattice.New(d, d).CenteredBox(dano)
+			free := Series{Name: seriesName(d, "MBBE free")}
+			blind := Series{Name: seriesName(d, "without rollback")}
+			aware := Series{Name: seriesName(d, "with rollback")}
+			for _, p := range cfg.Rates {
+				rf := run(d, p, nil, false)
+				rb := run(d, p, &box, false)
+				ra := run(d, p, &box, true)
+				free.Points = append(free.Points, Point{X: p, Y: rf.PL, Err: rf.StdErr})
+				blind.Points = append(blind.Points, Point{X: p, Y: rb.PL, Err: rb.StdErr})
+				aware.Points = append(aware.Points, Point{X: p, Y: ra.PL, Err: ra.StdErr})
+			}
+			rateSeries = append(rateSeries, free, blind, aware)
+		}
+		res.Rates[dano] = rateSeries
+
+		var redSeries []Series
+		for _, d := range cfg.EffDistances {
+			box := lattice.New(d, d).CenteredBox(dano)
+			blind := Series{Name: seriesName(d, "without rollback")}
+			aware := Series{Name: seriesName(d, "with rollback")}
+			for _, p := range cfg.Rates {
+				pl := run(d, p, nil, false)
+				plm2 := run(d-2, p, nil, false)
+				rb := run(d, p, &box, false)
+				ra := run(d, p, &box, true)
+				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, rb.PL, pl.StdErr, plm2.StdErr, rb.StdErr); ok {
+					blind.Points = append(blind.Points, Point{X: p, Y: red, Err: err})
+				}
+				if red, err, ok := EffectiveReduction(pl.PL, plm2.PL, ra.PL, pl.StdErr, plm2.StdErr, ra.StdErr); ok {
+					aware.Points = append(aware.Points, Point{X: p, Y: red, Err: err})
+				}
+			}
+			redSeries = append(redSeries, blind, aware)
+		}
+		res.Reduction[dano] = redSeries
+	}
+	return res
+}
+
+func TestGoldenFig8MatchesLegacy(t *testing.T) {
+	cfg := DefaultFig8(quick())
+	cfg.RateDistances = []int{7}
+	cfg.EffDistances = []int{5, 7}
+	cfg.Rates = []float64{1e-2, 4e-2}
+	cfg.AnomalySizes = []int{2, 4}
+	if got, want := RunFig8(cfg), legacyRunFig8(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("fig8 drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunFig9 is the pre-refactor Fig. 9 loop.
+func legacyRunFig9(cfg Fig9Config) Fig9Result {
+	var res Fig9Result
+	curve := func(p scaling.Params, arch scaling.Arch, name string) Series {
+		s := Series{Name: name}
+		for _, pt := range p.RequirementCurve(arch, cfg.MaxArea, cfg.Seed) {
+			s.Points = append(s.Points, Point{X: pt.Area, Y: pt.Density})
+		}
+		return s
+	}
+
+	for _, m := range cfg.SizeMults {
+		p := cfg.Params
+		p.SizeMult = m
+		res.SizePanel = append(res.SizePanel,
+			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly size x%.2f", m)),
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly size x%.2f", m)))
+	}
+	res.DurPanel = append(res.DurPanel, curve(cfg.Params, scaling.ArchQ3DE, "Q3DE"))
+	for _, m := range cfg.DurMults {
+		p := cfg.Params
+		p.DurMult = m
+		res.DurPanel = append(res.DurPanel,
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline error duration x%.2g", m)))
+	}
+	for _, m := range cfg.FreqMults {
+		p := cfg.Params
+		p.FreqMult = m
+		res.FreqPanel = append(res.FreqPanel,
+			curve(p, scaling.ArchQ3DE, fmt.Sprintf("Q3DE anomaly freq x%.2g", m)),
+			curve(p, scaling.ArchBaseline, fmt.Sprintf("baseline anomaly freq x%.2g", m)))
+	}
+	return res
+}
+
+func TestGoldenFig9MatchesLegacy(t *testing.T) {
+	cfg := DefaultFig9(quick())
+	cfg.MaxArea = 8
+	if got, want := RunFig9(cfg), legacyRunFig9(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("fig9 drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunFig10 is the pre-refactor Fig. 10 loop.
+func legacyRunFig10(cfg Fig10Config) []Series {
+	free := Series{Name: "MBBE free"}
+	base := Series{Name: "baseline"}
+	var q3de []Series
+	for _, dur := range cfg.Durations {
+		q3de = append(q3de, Series{Name: fmt.Sprintf("Q3DE tau_ano/(d tau_cyc) = %d", dur)})
+	}
+
+	for _, f := range cfg.Frequencies {
+		free.Points = append(free.Points, Point{X: f, Y: cfg.throughput(isa.ModeMBBEFree, f, 0)})
+		base.Points = append(base.Points, Point{X: f, Y: cfg.throughput(isa.ModeBaseline, f, 0)})
+		for i, dur := range cfg.Durations {
+			q3de[i].Points = append(q3de[i].Points, Point{X: f, Y: cfg.throughput(isa.ModeQ3DE, f, dur)})
+		}
+	}
+	return append([]Series{free, base}, q3de...)
+}
+
+func TestGoldenFig10MatchesLegacy(t *testing.T) {
+	cfg := DefaultFig10(quick())
+	cfg.Instructions = 400
+	cfg.Frequencies = []float64{1e-6, 1e-4}
+	if got, want := RunFig10(cfg), legacyRunFig10(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("fig10 drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunHeadline is the pre-refactor Eq. (1) composition.
+func legacyRunHeadline(cfg HeadlineConfig) HeadlineResult {
+	maxShots, maxFail := cfg.Budget.shots()
+	clean := cfg.runMemory(sim.MemoryConfig{
+		D: cfg.D, P: cfg.P, Decoder: cfg.Decoder,
+		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	box := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
+	dirty := cfg.runMemory(sim.MemoryConfig{
+		D: cfg.D, P: cfg.P, Box: &box, Pano: cfg.PAno, Decoder: cfg.Decoder,
+		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed + 1, Workers: cfg.Workers,
+	})
+	return HeadlineResult{
+		PL:        clean.PL,
+		PLAno:     dirty.PL,
+		Effective: cfg.Rays.EffectiveRate(clean.PL, dirty.PL),
+		Inflation: cfg.Rays.InflationRatio(clean.PL, dirty.PL),
+	}
+}
+
+func TestGoldenHeadlineMatchesLegacy(t *testing.T) {
+	cfg := DefaultHeadline(quick())
+	cfg.D = 9
+	cfg.P = 8e-3
+	if got, want := RunHeadline(cfg), legacyRunHeadline(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("headline drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunAblation is the pre-refactor decoder comparison loop.
+func legacyRunAblation(cfg AblationConfig) []AblationRow {
+	maxShots, maxFail := cfg.Budget.shots()
+	capShots := func(k sim.DecoderKind) int64 {
+		if k == sim.DecoderGreedy {
+			return maxShots
+		}
+		q, _ := BudgetQuick.shots()
+		if maxShots < q {
+			return maxShots
+		}
+		return q
+	}
+	var box *lattice.Box
+	if cfg.DAno > 0 {
+		b := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
+		box = &b
+	}
+	var rows []AblationRow
+	for _, kind := range []sim.DecoderKind{sim.DecoderGreedy, sim.DecoderMWPM, sim.DecoderUnionFind} {
+		for _, p := range cfg.Rates {
+			r := cfg.runMemory(sim.MemoryConfig{
+				D: cfg.D, P: p, Box: box, Pano: cfg.PAno,
+				Decoder: kind, Aware: cfg.Aware,
+				MaxShots: capShots(kind), MaxFailures: maxFail,
+				Seed: cfg.Seed ^ uint64(kind)<<40 ^ hashFloat(p), Workers: cfg.Workers,
+			})
+			rows = append(rows, AblationRow{Decoder: kind, P: p, PL: r.PL, StdErr: r.StdErr})
+		}
+	}
+	return rows
+}
+
+func TestGoldenAblationMatchesLegacy(t *testing.T) {
+	cfg := DefaultAblation(quick())
+	cfg.D = 7
+	cfg.Rates = []float64{2e-2}
+	if got, want := RunAblation(cfg), legacyRunAblation(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("ablation drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunCorrelation is the pre-refactor Y-correlation loop (one decoder
+// shared across both model loops; decode results are input-deterministic, so
+// the per-point decoders of the sweep must reproduce it exactly).
+func legacyRunCorrelation(cfg CorrelationConfig) []CorrelationRow {
+	maxShots, _ := cfg.Budget.shots()
+	shots := int(maxShots)
+	var rows []CorrelationRow
+	for _, p := range cfg.Rates {
+		l := lattice.New(cfg.D, cfg.D)
+		mcfg := sim.MemoryConfig{D: cfg.D, P: p, Decoder: cfg.Decoder}
+		dec := mcfg.NewDecoder(l)
+
+		corr := noise.NewDualModel(l, p, nil, 0)
+		rng := stats.NewRNG(cfg.Seed, hashFloat(p))
+		var ds noise.DualSample
+		coords := make([]lattice.Coord, 0, 64)
+		fails := 0
+		for i := 0; i < shots; i++ {
+			corr.Draw(rng, &ds)
+			zBad := decodeOne(l, dec, &ds.Z, &coords)
+			xBad := decodeOne(l, dec, &ds.X, &coords)
+			if zBad || xBad {
+				fails++
+			}
+		}
+		correlated := float64(fails) / float64(shots)
+
+		indep := noise.NewModel(l, p, nil, 0)
+		rng2 := stats.NewRNG(cfg.Seed+1, hashFloat(p))
+		var s1, s2 noise.Sample
+		fails = 0
+		for i := 0; i < shots; i++ {
+			indep.Draw(rng2, &s1)
+			indep.Draw(rng2, &s2)
+			zBad := decodeOne(l, dec, &s1, &coords)
+			xBad := decodeOne(l, dec, &s2, &coords)
+			if zBad || xBad {
+				fails++
+			}
+		}
+		independent := float64(fails) / float64(shots)
+		rows = append(rows, CorrelationRow{P: p, Independent: independent, Correlated: correlated})
+	}
+	return rows
+}
+
+func TestGoldenCorrelationMatchesLegacy(t *testing.T) {
+	cfg := DefaultCorrelation(quick())
+	cfg.D = 5
+	cfg.Rates = []float64{1e-2, 2e-2}
+	if got, want := RunCorrelation(cfg), legacyRunCorrelation(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("correlation drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunThreshold is the pre-refactor crossing measurement.
+func legacyRunThreshold(cfg ThresholdConfig) ThresholdResult {
+	maxShots, maxFail := cfg.Budget.shots()
+	measure := func(d int, box *lattice.Box) []float64 {
+		var out []float64
+		for _, p := range cfg.Rates {
+			r := cfg.runMemory(sim.MemoryConfig{
+				D: d, P: p, Box: box, Pano: cfg.PAno,
+				Decoder: cfg.Decoder, MaxShots: maxShots, MaxFailures: maxFail,
+				Seed: cfg.Seed ^ uint64(d)<<20 ^ hashFloat(p), Workers: cfg.Workers,
+			})
+			out = append(out, r.PShot)
+		}
+		return out
+	}
+	c1 := measure(cfg.D1, nil)
+	c2 := measure(cfg.D2, nil)
+	b1 := lattice.New(cfg.D1, cfg.D1).CenteredBox(cfg.DAno)
+	b2 := lattice.New(cfg.D2, cfg.D2).CenteredBox(cfg.DAno)
+	m1 := measure(cfg.D1, &b1)
+	m2 := measure(cfg.D2, &b2)
+
+	var res ThresholdResult
+	res.Clean, res.CleanOK = sim.ThresholdEstimate(cfg.Rates, c1, c2)
+	res.WithMBBE, res.MBBEOK = sim.ThresholdEstimate(cfg.Rates, m1, m2)
+	for i, p := range cfg.Rates {
+		res.CurvesD1 = append(res.CurvesD1, Point{X: p, Y: c1[i]})
+		res.CurvesD2 = append(res.CurvesD2, Point{X: p, Y: c2[i]})
+	}
+	return res
+}
+
+func TestGoldenThresholdMatchesLegacy(t *testing.T) {
+	cfg := DefaultThreshold(quick())
+	cfg.D1, cfg.D2 = 5, 9
+	cfg.Rates = []float64{2e-2, 5e-2, 9e-2}
+	if got, want := RunThreshold(cfg), legacyRunThreshold(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("threshold drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// legacyRunStreamAblation is the pre-refactor reaction on/off loop.
+func legacyRunStreamAblation(cfg StreamAblationConfig) []StreamAblationRow {
+	box, pano := cfg.Region()
+	rows := make([]StreamAblationRow, 0, 2)
+	for _, react := range []bool{false, true} {
+		res := cfg.runStream(sim.StreamConfig{
+			D: cfg.D, Rounds: cfg.Rounds, P: cfg.P,
+			Box: &box, Pano: pano,
+			React: react, Deform: react,
+			MaxShots: cfg.streamShots(), Seed: cfg.Seed,
+			Workers: cfg.Workers,
+		})
+		rows = append(rows, StreamAblationRow{React: react, Result: res})
+	}
+	return rows
+}
+
+func TestGoldenStreamAblationMatchesLegacy(t *testing.T) {
+	cfg := DefaultStreamAblation(quick())
+	cfg.D = 5
+	cfg.Rounds = 50
+	cfg.Onset = 20
+	if got, want := RunStreamAblation(cfg), legacyRunStreamAblation(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("stream ablation drifted from the pre-refactor loop:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestGoldenFig7LegacyTrialScaling pins the dedicated Budget.Scale values to
+// the trial counts the pre-refactor fig7 switch used.
+func TestGoldenFig7LegacyTrialScaling(t *testing.T) {
+	for _, c := range []struct {
+		b    Budget
+		want int
+	}{{BudgetQuick, 12}, {BudgetStandard, 40}, {BudgetFull, 200}} {
+		if got := c.b.Scale(12, 40, 200); got != c.want {
+			t.Errorf("Scale(%s) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+// TestGoldenTablesMatchLegacy pins the (static) tables: the sweep-based rows
+// must equal the direct formula evaluation in the paper's row order.
+func TestGoldenTablesMatchLegacy(t *testing.T) {
+	cfg := DefaultTable3()
+	want := []Table3Row{
+		{Unit: "syndrome queue", Formula: "2d^2(cwin + sqrt(2 cwin))"},
+		{Unit: "active node counter", Formula: "2d^2 log2 cwin"},
+		{Unit: "matching queue", Formula: "2d^2 sqrt(cwin/2)"},
+		{Unit: "inst. hist. buffer", Formula: "negligible"},
+		{Unit: "expansion queue", Formula: "negligible"},
+		{Unit: "(baseline 2d^3 queue)", Formula: "2d^3"},
+	}
+	got := RunTable3(cfg)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Unit != want[i].Unit || got[i].Formula != want[i].Formula {
+			t.Errorf("row %d = %+v, want unit %q formula %q", i, got[i], want[i].Unit, want[i].Formula)
+		}
+		if math.IsNaN(got[i].KBits) {
+			t.Errorf("row %d has NaN size", i)
+		}
+	}
+	// Table IV rows come straight from the hardware model, in model order.
+	t4 := RunTable4()
+	if len(t4) != 4 {
+		t.Fatalf("table4 rows = %d, want 4", len(t4))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // HeadlineConfig parameterises experiment E8: the Sec. III-A composition of
@@ -40,24 +41,39 @@ type HeadlineResult struct {
 	Inflation float64 // fano*tau*pLano/pL
 }
 
+// sweep declares the two-point grid — the clean reference and the anomalous
+// region — and the reducer composing Eq. (1) from the pair.
+func (cfg HeadlineConfig) sweep() *sweep.Sweep {
+	maxShots, maxFail := cfg.Budget.shots()
+	grid := sweep.Grid{Axes: []sweep.Axis{{Name: "mbbe", Values: sweep.Values(false, true)}}}
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		mc := sim.MemoryConfig{
+			D: cfg.D, P: cfg.P, Decoder: cfg.Decoder,
+			MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed, Workers: cfg.Workers,
+		}
+		if pt.Bool("mbbe") {
+			b := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
+			mc.Box = &b
+			mc.Pano = cfg.PAno
+			mc.Seed = cfg.Seed + 1
+		}
+		return mc
+	}
+	reduce := func(rs []sweep.PointResult) (any, error) {
+		clean, dirty := memOf(rs[0]), memOf(rs[1])
+		return HeadlineResult{
+			PL:        clean.PL,
+			PLAno:     dirty.PL,
+			Effective: cfg.Rays.EffectiveRate(clean.PL, dirty.PL),
+			Inflation: cfg.Rays.InflationRatio(clean.PL, dirty.PL),
+		}, nil
+	}
+	return cfg.memorySweep("headline", grid, cfgOf, reduce)
+}
+
 // RunHeadline measures pL and pL,ano and composes Eq. (1).
 func RunHeadline(cfg HeadlineConfig) HeadlineResult {
-	maxShots, maxFail := cfg.Budget.shots()
-	clean := cfg.runMemory(sim.MemoryConfig{
-		D: cfg.D, P: cfg.P, Decoder: cfg.Decoder,
-		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed, Workers: cfg.Workers,
-	})
-	box := lattice.New(cfg.D, cfg.D).CenteredBox(cfg.DAno)
-	dirty := cfg.runMemory(sim.MemoryConfig{
-		D: cfg.D, P: cfg.P, Box: &box, Pano: cfg.PAno, Decoder: cfg.Decoder,
-		MaxShots: maxShots, MaxFailures: maxFail, Seed: cfg.Seed + 1, Workers: cfg.Workers,
-	})
-	return HeadlineResult{
-		PL:        clean.PL,
-		PLAno:     dirty.PL,
-		Effective: cfg.Rays.EffectiveRate(clean.PL, dirty.PL),
-		Inflation: cfg.Rays.InflationRatio(clean.PL, dirty.PL),
-	}
+	return cfg.runSweep(cfg.sweep()).Reduced.(HeadlineResult)
 }
 
 // RenderHeadline prints the composition.

@@ -36,9 +36,9 @@ func RunNamed(w io.Writer, name string, opts Options) error {
 		RenderFig10(w, RunFig10(DefaultFig10(opts)))
 	case "table3":
 		cfg := DefaultTable3()
-		RenderTable3(w, cfg, RunTable3(cfg))
+		RenderTable3(w, cfg, runTable3(opts, cfg))
 	case "table4":
-		RenderTable4(w, RunTable4())
+		RenderTable4(w, runTable4(opts))
 	case "headline":
 		cfg := DefaultHeadline(opts)
 		RenderHeadline(w, cfg, RunHeadline(cfg))
@@ -124,9 +124,10 @@ func runFigureJob(ctx context.Context, e *engine.Engine, params json.RawMessage,
 		opts.Decoder = kind
 	}
 	// Run the experiment on its own goroutine so cancellation is responsive
-	// even for experiments that do not route their sampling through the
-	// engine (fig7, fig9/10, tables): the job reports cancelled immediately
-	// and the abandoned computation drains in the background.
+	// even inside a single long grid point (every experiment honors ctx
+	// between sweep points, but a fig7 calibration or fig10 scheduler run is
+	// one uninterruptible point): the job reports cancelled immediately and
+	// the abandoned point drains in the background.
 	var buf bytes.Buffer
 	done := make(chan error, 1)
 	go func() {

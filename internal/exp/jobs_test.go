@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"q3de/internal/engine"
+)
+
+// TestFigureJobRunsThroughSweeps submits a figure job to an engine and checks
+// the full stack: the harness experiment executes as an engine sweep (point
+// progress on JobStatus, sweep counters on the metrics snapshot) and renders
+// the same text the CLI prints.
+func TestFigureJobRunsThroughSweeps(t *testing.T) {
+	e := engine.New(engine.Config{Workers: 4})
+	defer e.Close()
+	RegisterJobs(e)
+
+	job, err := e.Submit(engine.JobSpec{Kind: "figure",
+		Params: []byte(`{"name":"table3"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("figure job stuck in %s", job.State())
+	}
+	st := job.Status()
+	if st.State != engine.StateDone {
+		t.Fatalf("state=%s err=%q", st.State, st.Error)
+	}
+	if st.Progress.PointsTotal == 0 || st.Progress.PointsDone != st.Progress.PointsTotal {
+		t.Errorf("figure job reported no sweep point progress: %+v", st.Progress)
+	}
+	v, ok := job.Result()
+	if !ok {
+		t.Fatal("no result")
+	}
+	res := v.(FigureResult)
+	if res.Name != "table3" || !strings.Contains(res.Text, "syndrome queue") {
+		t.Errorf("figure result malformed: %+v", res)
+	}
+	if m := e.Metrics(); m.SweepPoints == 0 {
+		t.Errorf("figure job executed no sweep points: %+v", m)
+	}
+}
+
+// TestFigureJobUnknownName pins the validation error path.
+func TestFigureJobUnknownName(t *testing.T) {
+	e := engine.New(engine.Config{Workers: 1})
+	defer e.Close()
+	RegisterJobs(e)
+	job, err := e.Submit(engine.JobSpec{Kind: "figure", Params: []byte(`{"name":"fig99"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if job.State() != engine.StateFailed || !strings.Contains(job.Err(), "unknown experiment") {
+		t.Errorf("state=%s err=%q, want failed/unknown experiment", job.State(), job.Err())
+	}
+}

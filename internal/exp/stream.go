@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"q3de/internal/burst"
+	"q3de/internal/engine"
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // StreamAblationConfig is the reaction-on/off ablation of the paper's actual
@@ -42,9 +45,7 @@ type StreamAblationRow struct {
 // controller pass (many incremental decodes), so the full budget is trimmed
 // to the standard tier.
 func (c StreamAblationConfig) streamShots() int64 {
-	shots, _ := c.Budget.shots()
-	std, _ := BudgetStandard.shots()
-	return min(shots, std)
+	return c.Budget.CapShots(BudgetStandard)
 }
 
 // Region places the burst deterministically from the run seed, via the same
@@ -55,23 +56,41 @@ func (c StreamAblationConfig) Region() (lattice.Box, float64) {
 	return box, prof.Pano(c.P)
 }
 
-// RunStreamAblation evaluates the reaction ablation. No early stop is
-// applied: both rows must run the identical shot set for the pairing to
-// hold.
-func RunStreamAblation(cfg StreamAblationConfig) []StreamAblationRow {
+// sweep declares the paired two-point grid over the reaction switch. No
+// early stop is applied: both rows must run the identical shot set (and the
+// identical seed) for the pairing to hold.
+func (cfg StreamAblationConfig) sweep() *sweep.Sweep {
 	box, pano := cfg.Region()
-	rows := make([]StreamAblationRow, 0, 2)
-	for _, react := range []bool{false, true} {
-		res := cfg.runStream(sim.StreamConfig{
+	cfgOf := func(pt sweep.Point) sim.StreamConfig {
+		react := pt.Bool("react")
+		return sim.StreamConfig{
 			D: cfg.D, Rounds: cfg.Rounds, P: cfg.P,
 			Box: &box, Pano: pano,
 			React: react, Deform: react,
 			MaxShots: cfg.streamShots(), Seed: cfg.Seed,
 			Workers: cfg.Workers,
-		})
-		rows = append(rows, StreamAblationRow{React: react, Result: res})
+		}
 	}
-	return rows
+	return &sweep.Sweep{
+		Name: "stream", Kind: engine.KindStream,
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "react", Values: sweep.Values(false, true)}}},
+		Key:  func(pt sweep.Point) (string, bool) { return engine.StreamPointKey(cfgOf(pt)) },
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			return cfg.runStream(cfgOf(pt)), nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			rows := make([]StreamAblationRow, 0, len(rs))
+			for _, r := range rs {
+				rows = append(rows, StreamAblationRow{React: r.Point.Bool("react"), Result: r.Value.(sim.StreamResult)})
+			}
+			return rows, nil
+		},
+	}
+}
+
+// RunStreamAblation evaluates the reaction ablation.
+func RunStreamAblation(cfg StreamAblationConfig) []StreamAblationRow {
+	return cfg.runSweep(cfg.sweep()).Reduced.([]StreamAblationRow)
 }
 
 // RenderStreamAblation prints the paired comparison.

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"q3de/internal/control"
 	"q3de/internal/hw"
+	"q3de/internal/sweep"
 )
 
 // Table3Config parameterises experiment E6 (paper Table III): the memory
@@ -26,17 +28,64 @@ type Table3Row struct {
 	KBits   float64
 }
 
+// table3Units enumerates the buffer-unit axis in the paper's row order.
+var table3Units = []string{
+	"syndrome queue", "active node counter", "matching queue",
+	"inst. hist. buffer", "expansion queue", "(baseline 2d^3 queue)",
+}
+
+// table3Row evaluates one buffer unit's sizing formula.
+func table3Row(cfg Table3Config, unit string) Table3Row {
+	b := control.BufferSizing{D: cfg.D, Cwin: cfg.Cwin}
+	switch unit {
+	case "syndrome queue":
+		return Table3Row{Unit: unit, Formula: "2d^2(cwin + sqrt(2 cwin))", KBits: b.SyndromeQueueBits() / 1000}
+	case "active node counter":
+		return Table3Row{Unit: unit, Formula: "2d^2 log2 cwin", KBits: b.ActiveNodeCounterBits() / 1000}
+	case "matching queue":
+		return Table3Row{Unit: unit, Formula: "2d^2 sqrt(cwin/2)", KBits: b.MatchingQueueBits() / 1000}
+	case "(baseline 2d^3 queue)":
+		return Table3Row{Unit: unit, Formula: "2d^3", KBits: b.BaselineSyndromeQueueBits() / 1000}
+	default: // inst. hist. buffer, expansion queue
+		return Table3Row{Unit: unit, Formula: "negligible", KBits: 0}
+	}
+}
+
+// Table3Sweep declares Table III as a sweep over the buffer-unit axis: the
+// tables are grids too, just with formula evaluators instead of Monte-Carlo
+// runs, so they schedule, cache and report like every other experiment.
+func Table3Sweep(cfg Table3Config) *sweep.Sweep {
+	return &sweep.Sweep{
+		Name: "table3", Kind: "table3",
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "unit", Values: sweep.Values(table3Units...)}}},
+		Key: func(pt sweep.Point) (string, bool) {
+			return canonJSON(struct {
+				Table3Config
+				Unit string
+			}{cfg, pt.Str("unit")}), true
+		},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			return table3Row(cfg, pt.Str("unit")), nil
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			rows := make([]Table3Row, 0, len(rs))
+			for _, r := range rs {
+				rows = append(rows, r.Value.(Table3Row))
+			}
+			return rows, nil
+		},
+	}
+}
+
 // RunTable3 evaluates the sizing formulas.
 func RunTable3(cfg Table3Config) []Table3Row {
-	b := control.BufferSizing{D: cfg.D, Cwin: cfg.Cwin}
-	return []Table3Row{
-		{Unit: "syndrome queue", Formula: "2d^2(cwin + sqrt(2 cwin))", KBits: b.SyndromeQueueBits() / 1000},
-		{Unit: "active node counter", Formula: "2d^2 log2 cwin", KBits: b.ActiveNodeCounterBits() / 1000},
-		{Unit: "matching queue", Formula: "2d^2 sqrt(cwin/2)", KBits: b.MatchingQueueBits() / 1000},
-		{Unit: "inst. hist. buffer", Formula: "negligible", KBits: 0},
-		{Unit: "expansion queue", Formula: "negligible", KBits: 0},
-		{Unit: "(baseline 2d^3 queue)", Formula: "2d^3", KBits: b.BaselineSyndromeQueueBits() / 1000},
-	}
+	return runTable3(DefaultOptions(), cfg)
+}
+
+// runTable3 evaluates the table on explicit options (the figure-job path
+// passes the job's engine and context so point progress attributes to it).
+func runTable3(o Options, cfg Table3Config) []Table3Row {
+	return o.runSweep(Table3Sweep(cfg)).Reduced.([]Table3Row)
 }
 
 // RenderTable3 prints the table.
@@ -54,8 +103,47 @@ func RenderTable3(w io.Writer, cfg Table3Config, rows []Table3Row) {
 	tw.Flush()
 }
 
+// Table4Sweep declares Table IV as a sweep over the FPGA configuration axis.
+func Table4Sweep() *sweep.Sweep {
+	all := hw.TableIV()
+	configs := make([]string, len(all))
+	for i, r := range all {
+		configs[i] = r.Config
+	}
+	return &sweep.Sweep{
+		Name: "table4", Kind: "table4",
+		Grid: sweep.Grid{Axes: []sweep.Axis{{Name: "config", Values: sweep.Values(configs...)}}},
+		Key: func(pt sweep.Point) (string, bool) {
+			return canonJSON(struct{ Config string }{pt.Str("config")}), true
+		},
+		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
+			want := pt.Str("config")
+			for _, r := range hw.TableIV() {
+				if r.Config == want {
+					return r, nil
+				}
+			}
+			return nil, fmt.Errorf("table4: unknown configuration %q", want)
+		},
+		Reduce: func(rs []sweep.PointResult) (any, error) {
+			rows := make([]hw.Row, 0, len(rs))
+			for _, r := range rs {
+				rows = append(rows, r.Value.(hw.Row))
+			}
+			return rows, nil
+		},
+	}
+}
+
 // RunTable4 evaluates the decoder-unit hardware model (experiment E7).
-func RunTable4() []hw.Row { return hw.TableIV() }
+func RunTable4() []hw.Row {
+	return runTable4(DefaultOptions())
+}
+
+// runTable4 evaluates the table on explicit options (see runTable3).
+func runTable4(o Options) []hw.Row {
+	return o.runSweep(Table4Sweep()).Reduced.([]hw.Row)
+}
 
 // RenderTable4 prints Table IV.
 func RenderTable4(w io.Writer, rows []hw.Row) {

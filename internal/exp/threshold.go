@@ -7,6 +7,7 @@ import (
 
 	"q3de/internal/lattice"
 	"q3de/internal/sim"
+	"q3de/internal/sweep"
 )
 
 // ThresholdConfig locates the surface-code threshold of a decoder and
@@ -41,36 +42,53 @@ type ThresholdResult struct {
 	CurvesD2 []Point
 }
 
+// sweep declares the grid — mbbe × {d1, d2} × rate — and the reducer that
+// interpolates the curve crossings with and without the anomalous region.
+func (cfg ThresholdConfig) sweep() *sweep.Sweep {
+	maxShots, maxFail := cfg.Budget.shots()
+	grid := sweep.Grid{Axes: []sweep.Axis{
+		{Name: "mbbe", Values: sweep.Values(false, true)},
+		{Name: "d", Values: sweep.Values(cfg.D1, cfg.D2)},
+		{Name: "p", Values: sweep.Values(cfg.Rates...)},
+	}}
+	cfgOf := func(pt sweep.Point) sim.MemoryConfig {
+		d, p := pt.Int("d"), pt.Float("p")
+		var box *lattice.Box
+		if pt.Bool("mbbe") {
+			b := lattice.New(d, d).CenteredBox(cfg.DAno)
+			box = &b
+		}
+		return sim.MemoryConfig{
+			D: d, P: p, Box: box, Pano: cfg.PAno,
+			Decoder: cfg.Decoder, MaxShots: maxShots, MaxFailures: maxFail,
+			Seed: cfg.Seed ^ uint64(d)<<20 ^ hashFloat(p), Workers: cfg.Workers,
+		}
+	}
+	reduce := func(rs []sweep.PointResult) (any, error) {
+		// curves[mbbe][d] is pShot per rate, in rate order.
+		curves := map[bool]map[int][]float64{
+			false: {cfg.D1: nil, cfg.D2: nil},
+			true:  {cfg.D1: nil, cfg.D2: nil},
+		}
+		for _, r := range rs {
+			mbbe, d := r.Point.Bool("mbbe"), r.Point.Int("d")
+			curves[mbbe][d] = append(curves[mbbe][d], memOf(r).PShot)
+		}
+		var res ThresholdResult
+		res.Clean, res.CleanOK = sim.ThresholdEstimate(cfg.Rates, curves[false][cfg.D1], curves[false][cfg.D2])
+		res.WithMBBE, res.MBBEOK = sim.ThresholdEstimate(cfg.Rates, curves[true][cfg.D1], curves[true][cfg.D2])
+		for i, p := range cfg.Rates {
+			res.CurvesD1 = append(res.CurvesD1, Point{X: p, Y: curves[false][cfg.D1][i]})
+			res.CurvesD2 = append(res.CurvesD2, Point{X: p, Y: curves[false][cfg.D2][i]})
+		}
+		return res, nil
+	}
+	return cfg.memorySweep("threshold", grid, cfgOf, reduce)
+}
+
 // RunThreshold sweeps the rates and interpolates the curve crossings.
 func RunThreshold(cfg ThresholdConfig) ThresholdResult {
-	maxShots, maxFail := cfg.Budget.shots()
-	measure := func(d int, box *lattice.Box) []float64 {
-		var out []float64
-		for _, p := range cfg.Rates {
-			r := cfg.runMemory(sim.MemoryConfig{
-				D: d, P: p, Box: box, Pano: cfg.PAno,
-				Decoder: cfg.Decoder, MaxShots: maxShots, MaxFailures: maxFail,
-				Seed: cfg.Seed ^ uint64(d)<<20 ^ hashFloat(p), Workers: cfg.Workers,
-			})
-			out = append(out, r.PShot)
-		}
-		return out
-	}
-	c1 := measure(cfg.D1, nil)
-	c2 := measure(cfg.D2, nil)
-	b1 := lattice.New(cfg.D1, cfg.D1).CenteredBox(cfg.DAno)
-	b2 := lattice.New(cfg.D2, cfg.D2).CenteredBox(cfg.DAno)
-	m1 := measure(cfg.D1, &b1)
-	m2 := measure(cfg.D2, &b2)
-
-	var res ThresholdResult
-	res.Clean, res.CleanOK = sim.ThresholdEstimate(cfg.Rates, c1, c2)
-	res.WithMBBE, res.MBBEOK = sim.ThresholdEstimate(cfg.Rates, m1, m2)
-	for i, p := range cfg.Rates {
-		res.CurvesD1 = append(res.CurvesD1, Point{X: p, Y: c1[i]})
-		res.CurvesD2 = append(res.CurvesD2, Point{X: p, Y: c2[i]})
-	}
-	return res
+	return cfg.runSweep(cfg.sweep()).Reduced.(ThresholdResult)
 }
 
 // RenderThreshold prints the crossings.

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sample is one (x, y) curve sample with uncertainty.
+type Sample struct {
+	X, Y, Err float64
+}
+
+// Series is a named curve: the reduced form of a sweep whose points share a
+// group identity and vary along one x axis.
+type Series struct {
+	Name   string
+	Points []Sample
+}
+
+// RenderSeries prints curves in a gnuplot-friendly layout (the harness text
+// format every figure renderer uses).
+func RenderSeries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "## %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%.6g\t%.6g\t%.3g\n", p.X, p.Y, p.Err)
+		}
+	}
+}
+
+// SeriesSpec is the declarative wire reducer: group the sweep's points by the
+// named axes, plot the X axis against a field of the point result.
+type SeriesSpec struct {
+	// X names the axis providing the x coordinate.
+	X string `json:"x"`
+	// Y names the result field providing the y coordinate (a top-level field
+	// of the point result's JSON form, e.g. "PL" for memory points). Default
+	// "PL".
+	Y string `json:"y,omitempty"`
+	// Err optionally names the result field providing the error bar (e.g.
+	// "StdErr"). Empty means no error bars.
+	Err string `json:"err,omitempty"`
+	// GroupBy names the axes whose values identify a series; points sharing
+	// the group land on one curve. Empty groups everything into one curve.
+	GroupBy []string `json:"group_by,omitempty"`
+}
+
+// Validate checks the spec against a grid: X and GroupBy must name axes.
+func (sp SeriesSpec) Validate(g Grid) error {
+	have := make(map[string]bool, len(g.Axes))
+	for _, a := range g.Axes {
+		have[a.Name] = true
+	}
+	if sp.X == "" {
+		return fmt.Errorf("series reducer needs an x axis")
+	}
+	if !have[sp.X] {
+		return fmt.Errorf("series x %q is not a sweep axis", sp.X)
+	}
+	for _, gby := range sp.GroupBy {
+		if !have[gby] {
+			return fmt.Errorf("series group_by %q is not a sweep axis", gby)
+		}
+	}
+	return nil
+}
+
+// BuildSeries folds point results into curves per the spec. Points keep grid
+// enumeration order within each curve; curves appear in first-seen order.
+func (sp SeriesSpec) BuildSeries(rs []PointResult) ([]Series, error) {
+	yField := sp.Y
+	if yField == "" {
+		yField = "PL"
+	}
+	var out []Series
+	index := map[string]int{}
+	for _, r := range rs {
+		var nameParts []string
+		for _, gby := range sp.GroupBy {
+			nameParts = append(nameParts, gby+"="+canonValue(r.Point[gby]))
+		}
+		name := strings.Join(nameParts, " ")
+		i, ok := index[name]
+		if !ok {
+			i = len(out)
+			index[name] = i
+			out = append(out, Series{Name: name})
+		}
+		y, err := extractField(r.Value, yField)
+		if err != nil {
+			return nil, fmt.Errorf("point %s: %w", r.Point.Canon(), err)
+		}
+		s := Sample{X: r.Point.Float(sp.X), Y: y}
+		if sp.Err != "" {
+			e, err := extractField(r.Value, sp.Err)
+			if err != nil {
+				return nil, fmt.Errorf("point %s: %w", r.Point.Canon(), err)
+			}
+			s.Err = e
+		}
+		out[i].Points = append(out[i].Points, s)
+	}
+	return out, nil
+}
+
+// extractField pulls a numeric top-level field out of a point result via its
+// JSON form, so the reducer works on any scenario's result type without the
+// sweep layer importing the simulator.
+func extractField(value any, field string) (float64, error) {
+	b, err := json.Marshal(value)
+	if err != nil {
+		return 0, fmt.Errorf("marshal point result: %w", err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return 0, fmt.Errorf("point result is not an object, cannot extract %q", field)
+	}
+	raw, ok := m[field]
+	if !ok {
+		return 0, fmt.Errorf("point result has no field %q", field)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return 0, fmt.Errorf("field %q is not numeric", field)
+	}
+	return f, nil
+}

@@ -1,0 +1,317 @@
+// Package sweep is the declarative parameter-grid layer of the harness: a
+// Sweep names an underlying scenario kind (memory / dual / stream / a custom
+// evaluator), a Grid of parameter overrides, and a reducer that folds the
+// per-point results into Series or tables. Everything figure-shaped in the
+// paper's evaluation — logical error rate vs (d, p), detector window vs
+// pano/p, throughput vs ray frequency — is a grid of independent points, so
+// the harness expresses them all as Sweeps and executes them through one
+// fan-out machine (the engine's KindSweep runner, or the serial Run fallback
+// in this package) instead of a bespoke loop per figure.
+//
+// Points are independent and deterministic by construction: a point's result
+// depends only on its resolved configuration (seed included), never on
+// evaluation order, concurrency, or cache state. Stateful scans that thread
+// an RNG across points (paper Fig. 7) declare Serial, which pins grid-order
+// one-at-a-time evaluation and opts out of result caching.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Axis is one named parameter dimension of a grid. Values are JSON scalars
+// (bool, number, string); the engine's wire sweeps overlay them onto the
+// scenario's base spec by field name.
+type Axis struct {
+	Name   string `json:"name"`
+	Values []any  `json:"values"`
+}
+
+// Values lifts a typed slice into axis values.
+func Values[T any](vs ...T) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// Point is one grid cell: the parameter overrides of a single evaluation.
+type Point map[string]any
+
+// Int reads an integer-valued parameter (tolerating the float64 or
+// json.Number that JSON decoding produces).
+func (p Point) Int(name string) int {
+	switch v := p[name].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	case json.Number:
+		if i, err := v.Int64(); err == nil {
+			return int(i)
+		}
+		f, _ := v.Float64()
+		return int(f)
+	}
+	return 0
+}
+
+// Float reads a numeric parameter.
+func (p Point) Float(name string) float64 {
+	switch v := p[name].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case json.Number:
+		f, _ := v.Float64()
+		return f
+	}
+	return 0
+}
+
+// Bool reads a boolean parameter.
+func (p Point) Bool(name string) bool {
+	v, _ := p[name].(bool)
+	return v
+}
+
+// Str reads a string parameter.
+func (p Point) Str(name string) string {
+	v, _ := p[name].(string)
+	return v
+}
+
+// Canon renders the point as a canonical "name=value" list sorted by name,
+// the display form used for progress reporting and custom cache keys.
+func (p Point) Canon() string {
+	names := make([]string, 0, len(p))
+	for n := range p {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]byte, 0, 16*len(names))
+	for i, n := range names {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, n...)
+		out = append(out, '=')
+		out = append(out, canonValue(p[n])...)
+	}
+	return string(out)
+}
+
+// canonValue renders one scalar deterministically.
+func canonValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(x)
+	case string:
+		return strconv.Quote(x)
+	case int:
+		return strconv.FormatInt(int64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case json.Number:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Grid is the cross product of its axes, first axis slowest. Keep optionally
+// drops cells from the product (in-process sweeps use it for figure panels
+// whose point sets are not full rectangles); it is not serialisable and wire
+// sweeps leave it nil.
+type Grid struct {
+	Axes []Axis
+	Keep func(Point) bool
+}
+
+// Size returns the cell count of the full cross product, before Keep,
+// saturating at math.MaxInt so a crafted submission cannot overflow the
+// product past a size cap (the engine rejects anything over its point
+// limit, and saturation keeps that comparison meaningful).
+func (g Grid) Size() int {
+	if len(g.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, a := range g.Axes {
+		if len(a.Values) == 0 {
+			return 0
+		}
+		if n > math.MaxInt/len(a.Values) {
+			return math.MaxInt
+		}
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Enumerate lists the grid's points in deterministic row-major order (first
+// axis slowest), applying Keep.
+func (g Grid) Enumerate() []Point {
+	total := g.Size()
+	if total == 0 {
+		return nil
+	}
+	// Callers cap the grid size before enumerating; bound the preallocation
+	// anyway so a huge product cannot allocate up front.
+	pts := make([]Point, 0, min(total, 4096))
+	idx := make([]int, len(g.Axes))
+	for {
+		pt := make(Point, len(g.Axes))
+		for ai, a := range g.Axes {
+			pt[a.Name] = a.Values[idx[ai]]
+		}
+		if g.Keep == nil || g.Keep(pt) {
+			pts = append(pts, pt)
+		}
+		// Odometer increment, last axis fastest.
+		ai := len(idx) - 1
+		for ; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(g.Axes[ai].Values) {
+				break
+			}
+			idx[ai] = 0
+		}
+		if ai < 0 {
+			return pts
+		}
+	}
+}
+
+// Validate checks the axes are well-formed: nonempty unique names, at least
+// one value each.
+func (g Grid) Validate() error {
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("sweep grid needs at least one axis")
+	}
+	seen := make(map[string]bool, len(g.Axes))
+	for _, a := range g.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("sweep axis needs a name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate sweep axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep axis %q needs at least one value", a.Name)
+		}
+	}
+	return nil
+}
+
+// Evaluator computes one grid point. The returned value must be immutable
+// once returned: cached points hand the same value to later sweeps.
+type Evaluator func(ctx context.Context, pt Point) (any, error)
+
+// Reducer folds the completed points (in grid order) into the sweep's output
+// — Series for the figures, rows for the tables.
+type Reducer func(rs []PointResult) (any, error)
+
+// Sweep is one declarative parameter study.
+type Sweep struct {
+	// Name labels the sweep for progress display.
+	Name string
+	// Kind names the underlying scenario ("memory", "dual", "stream", or a
+	// custom evaluator label). It namespaces custom cache keys.
+	Kind string
+	// Grid declares the points.
+	Grid Grid
+	// Serial pins one-at-a-time grid-order evaluation for stateful
+	// evaluators (a scan threading an RNG across points). Serial sweeps do
+	// not participate in the point cache: a cache hit would skip RNG draws
+	// and corrupt every later point.
+	Serial bool
+	// PointConcurrency bounds how many points evaluate at once on the
+	// engine; 0 picks the engine default. Ignored when Serial.
+	PointConcurrency int
+	// Key returns the canonical cache key of a point, and whether the point
+	// may be cached at all. A nil Key (or Serial) disables caching. The key
+	// must capture every input of the evaluation — the resolved simulator
+	// configuration including seed and budgets — so equal keys imply
+	// bit-identical results.
+	Key func(pt Point) (string, bool)
+	// Eval computes one point.
+	Eval Evaluator
+	// Reduce folds the point results; nil leaves Result.Reduced nil.
+	Reduce Reducer
+}
+
+// KeyFor resolves the cache key of a point under the sweep's caching policy.
+func (s *Sweep) KeyFor(pt Point) (string, bool) {
+	if s.Serial || s.Key == nil {
+		return "", false
+	}
+	key, ok := s.Key(pt)
+	if !ok {
+		return "", false
+	}
+	return s.Kind + "|" + key, true
+}
+
+// PointResult is one completed grid cell.
+type PointResult struct {
+	Index  int   // position in grid enumeration order
+	Point  Point // the parameter overrides
+	Value  any   // the evaluator's result
+	Cached bool  // served from the engine's point cache
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Points    []PointResult // in grid enumeration order
+	Reduced   any           // Reduce's output, nil without a reducer
+	CacheHits int           // points served from the point cache
+}
+
+// Run executes the sweep serially in-process: points evaluate one at a time
+// in grid order, with a cancellation check between points, and no caching.
+// It is the fallback executor for harness runs without an engine; the
+// engine's sweep runner adds bounded fan-out, the shared point cache,
+// progress and metrics on top of identical semantics.
+func Run(ctx context.Context, s *Sweep) (*Result, error) {
+	pts := s.Grid.Enumerate()
+	res := &Result{Points: make([]PointResult, len(pts))}
+	for i, pt := range pts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := s.Eval(ctx, pt)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s point %s: %w", s.Name, pt.Canon(), err)
+		}
+		res.Points[i] = PointResult{Index: i, Point: pt, Value: v}
+	}
+	if s.Reduce != nil {
+		reduced, err := s.Reduce(res.Points)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s reduce: %w", s.Name, err)
+		}
+		res.Reduced = reduced
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGridEnumerateRowMajor(t *testing.T) {
+	g := Grid{Axes: []Axis{
+		{Name: "d", Values: []any{3, 5}},
+		{Name: "p", Values: []any{0.1, 0.2, 0.3}},
+	}}
+	if g.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", g.Size())
+	}
+	pts := g.Enumerate()
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	// First axis slowest: d=3 pairs with all p first.
+	want := []struct {
+		d int
+		p float64
+	}{{3, 0.1}, {3, 0.2}, {3, 0.3}, {5, 0.1}, {5, 0.2}, {5, 0.3}}
+	for i, w := range want {
+		if pts[i].Int("d") != w.d || pts[i].Float("p") != w.p {
+			t.Errorf("point %d = %v, want d=%d p=%g", i, pts[i], w.d, w.p)
+		}
+	}
+}
+
+func TestGridKeepFilters(t *testing.T) {
+	g := Grid{
+		Axes: []Axis{
+			{Name: "d", Values: []any{3, 5, 7}},
+			{Name: "mbbe", Values: []any{false, true}},
+		},
+		Keep: func(pt Point) bool { return !(pt.Bool("mbbe") && pt.Int("d") == 7) },
+	}
+	pts := g.Enumerate()
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5 (one filtered)", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Bool("mbbe") && pt.Int("d") == 7 {
+			t.Errorf("kept filtered point %v", pt)
+		}
+	}
+}
+
+func TestGridSizeSaturatesInsteadOfOverflowing(t *testing.T) {
+	// 9 axes of 256 values: the true product is 2^72, which wraps an int64
+	// to a small (or negative) value if multiplied naively — and would then
+	// slip under the engine's point cap. Size must saturate instead.
+	vals := make([]any, 256)
+	for i := range vals {
+		vals[i] = i
+	}
+	var g Grid
+	for i := 0; i < 9; i++ {
+		g.Axes = append(g.Axes, Axis{Name: string(rune('a' + i)), Values: vals})
+	}
+	if got := g.Size(); got != int(^uint(0)>>1) {
+		t.Errorf("Size = %d, want saturation at MaxInt", got)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Grid
+		ok   bool
+	}{
+		{"empty", Grid{}, false},
+		{"unnamed axis", Grid{Axes: []Axis{{Values: []any{1}}}}, false},
+		{"empty values", Grid{Axes: []Axis{{Name: "d"}}}, false},
+		{"duplicate axis", Grid{Axes: []Axis{
+			{Name: "d", Values: []any{1}}, {Name: "d", Values: []any{2}},
+		}}, false},
+		{"good", Grid{Axes: []Axis{{Name: "d", Values: []any{3, 5}}}}, true},
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPointCanonDeterministic(t *testing.T) {
+	pt := Point{"p": 0.004, "d": 9, "decoder": "greedy", "aware": true}
+	want := `aware=true,d=9,decoder="greedy",p=0.004`
+	if got := pt.Canon(); got != want {
+		t.Errorf("Canon() = %q, want %q", got, want)
+	}
+	// JSON-decoded numbers (float64) canonicalise the same as exact floats.
+	pt2 := Point{"p": float64(0.004), "d": float64(9), "decoder": "greedy", "aware": true}
+	if pt2.Canon() != want {
+		t.Errorf("float64 Canon() = %q, want %q", pt2.Canon(), want)
+	}
+}
+
+func TestKeyForPolicy(t *testing.T) {
+	s := &Sweep{Kind: "memory", Key: func(pt Point) (string, bool) { return pt.Canon(), true }}
+	key, ok := s.KeyFor(Point{"d": 3})
+	if !ok || key != "memory|d=3" {
+		t.Errorf("KeyFor = %q, %v", key, ok)
+	}
+	s.Serial = true
+	if _, ok := s.KeyFor(Point{"d": 3}); ok {
+		t.Error("serial sweeps must not cache")
+	}
+	s.Serial = false
+	s.Key = nil
+	if _, ok := s.KeyFor(Point{"d": 3}); ok {
+		t.Error("keyless sweeps must not cache")
+	}
+}
+
+func TestRunSerialOrderAndReduce(t *testing.T) {
+	var order []int
+	s := &Sweep{
+		Name: "t",
+		Grid: Grid{Axes: []Axis{{Name: "i", Values: []any{0, 1, 2, 3}}}},
+		Eval: func(_ context.Context, pt Point) (any, error) {
+			i := pt.Int("i")
+			order = append(order, i)
+			return i * i, nil
+		},
+		Reduce: func(rs []PointResult) (any, error) {
+			sum := 0
+			for _, r := range rs {
+				sum += r.Value.(int)
+			}
+			return sum, nil
+		},
+	}
+	res, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("evaluation order %v not grid order", order)
+		}
+	}
+	if res.Reduced.(int) != 0+1+4+9 {
+		t.Errorf("Reduced = %v, want 14", res.Reduced)
+	}
+	if len(res.Points) != 4 || res.Points[2].Value.(int) != 4 {
+		t.Errorf("points malformed: %+v", res.Points)
+	}
+}
+
+func TestRunHonorsCancellationBetweenPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	s := &Sweep{
+		Grid: Grid{Axes: []Axis{{Name: "i", Values: []any{0, 1, 2}}}},
+		Eval: func(_ context.Context, pt Point) (any, error) {
+			evals++
+			cancel() // cancel mid-sweep: the next point must not start
+			return nil, nil
+		},
+	}
+	_, err := Run(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evals != 1 {
+		t.Errorf("evaluated %d points after cancellation, want 1", evals)
+	}
+}
+
+func TestRunPropagatesEvalError(t *testing.T) {
+	boom := errors.New("boom")
+	s := &Sweep{
+		Name: "x",
+		Grid: Grid{Axes: []Axis{{Name: "i", Values: []any{0, 1}}}},
+		Eval: func(_ context.Context, pt Point) (any, error) { return nil, boom },
+	}
+	_, err := Run(context.Background(), s)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestBuildSeriesGroupsAndExtracts(t *testing.T) {
+	type res struct {
+		PL     float64
+		StdErr float64
+	}
+	g := Grid{Axes: []Axis{
+		{Name: "d", Values: []any{3, 5}},
+		{Name: "p", Values: []any{0.01, 0.02}},
+	}}
+	var rs []PointResult
+	for i, pt := range g.Enumerate() {
+		rs = append(rs, PointResult{Index: i, Point: pt,
+			Value: res{PL: float64(i), StdErr: 0.5}})
+	}
+	spec := SeriesSpec{X: "p", Y: "PL", Err: "StdErr", GroupBy: []string{"d"}}
+	if err := spec.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	series, err := spec.BuildSeries(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	if series[0].Name != "d=3" || series[1].Name != "d=5" {
+		t.Errorf("names = %q, %q", series[0].Name, series[1].Name)
+	}
+	if series[1].Points[1].X != 0.02 || series[1].Points[1].Y != 3 || series[1].Points[1].Err != 0.5 {
+		t.Errorf("sample = %+v", series[1].Points[1])
+	}
+}
+
+func TestBuildSeriesValidation(t *testing.T) {
+	g := Grid{Axes: []Axis{{Name: "p", Values: []any{0.1}}}}
+	if err := (SeriesSpec{}).Validate(g); err == nil {
+		t.Error("missing x accepted")
+	}
+	if err := (SeriesSpec{X: "q"}).Validate(g); err == nil {
+		t.Error("unknown x accepted")
+	}
+	if err := (SeriesSpec{X: "p", GroupBy: []string{"z"}}).Validate(g); err == nil {
+		t.Error("unknown group_by accepted")
+	}
+	// Extraction errors surface with the point context.
+	rs := []PointResult{{Point: Point{"p": 0.1}, Value: struct{ PL string }{"nope"}}}
+	if _, err := (SeriesSpec{X: "p", Y: "PL"}).BuildSeries(rs); err == nil {
+		t.Error("non-numeric field extraction must fail")
+	}
+	if _, err := (SeriesSpec{X: "p", Y: "Missing"}).BuildSeries(rs); err == nil {
+		t.Error("missing field extraction must fail")
+	}
+}
+
+func TestRenderSeriesFormat(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSeries(&buf, "title", []Series{
+		{Name: "a", Points: []Sample{{X: 1, Y: 2.5, Err: 0.125}}},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "# title\n") || !strings.Contains(out, "## a\n") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "1\t2.5\t0.125\n") {
+		t.Errorf("missing sample line:\n%s", out)
+	}
+}
