@@ -11,9 +11,15 @@
 // per seed: the service returns exactly what `q3de` prints for the same
 // configuration.
 //
+// The service is fully observable (DESIGN.md §13): /metrics exports latency
+// summaries (p50/p90/p99/max) for job queue wait, shard duration, sweep
+// point duration, stream detection latency and per-endpoint request
+// duration; /v1/jobs/{id}/trace returns a job's per-shard execute spans; and
+// -pprof wires the net/http/pprof profiling handlers under /debug/pprof/.
+//
 // Usage:
 //
-//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N] [-point-cache N]
+//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N] [-point-cache N] [-pprof]
 //
 // API (see README.md for curl examples):
 //
@@ -21,9 +27,12 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + partial results
 //	GET    /v1/jobs/{id}/result final result
+//	GET    /v1/jobs/{id}/trace  per-job trace (queue wait + per-shard spans)
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /metrics             engine counters (Prometheus text format)
+//	GET    /v1/traces           recently finished job traces
+//	GET    /metrics             engine counters + latency summaries (Prometheus text format)
 //	GET    /healthz             liveness
+//	GET    /debug/pprof/        profiling handlers (only with -pprof)
 package main
 
 import (
@@ -32,13 +41,16 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"q3de/internal/engine"
 	"q3de/internal/exp"
+	"q3de/internal/obs"
 )
 
 func main() {
@@ -47,6 +59,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
 	cache := flag.Int("cache", 64, "workspace cache capacity (per-config lattices/metrics)")
 	pointCache := flag.Int("point-cache", 1024, "sweep point-result cache capacity")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
@@ -56,16 +69,17 @@ func main() {
 		PointCacheCapacity: *pointCache,
 	})
 	exp.RegisterJobs(eng)
+	registerBuildInfo(eng)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(engine.NewHandler(eng)),
+		Handler:           buildHandler(eng, *pprofFlag),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	go func() {
-		log.Printf("q3de-serve listening on %s (%d workers, %d job slots)",
-			*addr, eng.Workers(), *maxJobs)
+		log.Printf("q3de-serve listening on %s (%d workers, %d job slots, pprof %v)",
+			*addr, eng.Workers(), *maxJobs, *pprofFlag)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("listen: %v", err)
 		}
@@ -83,11 +97,54 @@ func main() {
 	eng.Close()
 }
 
-// logRequests is a minimal access log.
+// buildHandler assembles the service handler: the engine API behind the
+// access log, plus — opt-in, because the profiling endpoints expose heap and
+// goroutine internals — the net/http/pprof handlers on /debug/pprof/.
+func buildHandler(eng *engine.Engine, enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", engine.NewHandler(eng))
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return logRequests(mux)
+}
+
+// registerBuildInfo exports q3de_build_info on the engine's registry: a
+// constant 1-valued gauge whose labels carry the toolchain and VCS identity
+// of the running binary, so a fleet dashboard can tell which build each
+// instance runs.
+func registerBuildInfo(eng *engine.Engine) {
+	goVersion, revision, modified := "unknown", "unknown", ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		goVersion = info.GoVersion
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	eng.Registry().NewGaugeVec("q3de_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		"go_version", "revision", "modified").
+		With(goVersion, revision, modified).Set(1)
+}
+
+// logRequests is the access log. The ResponseWriter is wrapped so the log
+// carries what was actually sent — status code and response bytes — making
+// 4xx/5xx visible instead of logging only method/path/duration.
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := obs.NewResponseRecorder(w)
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %dB %v", r.Method, r.URL.Path, rec.Code, rec.Bytes,
+			time.Since(start).Round(time.Millisecond))
 	})
 }

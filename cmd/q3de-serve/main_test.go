@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"q3de/internal/engine"
+)
+
+// TestServePprofAndAccessLog is the -pprof/access-log smoke test CI runs
+// under -race: the profiling index must answer only when enabled, the access
+// log must carry status code and response bytes (a 404 used to be invisible),
+// and q3de_build_info must render on /metrics.
+func TestServePprofAndAccessLog(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	registerBuildInfo(eng)
+
+	var logBuf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(prev)
+
+	srv := httptest.NewServer(buildHandler(eng, true))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index with -pprof: status %d, want 200", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: status %d", code)
+	}
+	if code, _ := get("/v1/jobs/no-such-job"); code != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", code)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "q3de_build_info{") {
+		t.Errorf("metrics must carry q3de_build_info: status %d", code)
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "GET /v1/jobs/no-such-job 404") {
+		t.Errorf("access log must carry the status code:\n%s", logs)
+	}
+	if !strings.Contains(logs, "GET /healthz 200") {
+		t.Errorf("access log must carry 200s too:\n%s", logs)
+	}
+	// Response bytes: every logged line carries a <n>B field.
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		if strings.Contains(line, "GET /") && !strings.Contains(line, "B ") {
+			t.Errorf("access log line missing byte count: %s", line)
+		}
+	}
+
+	// Without -pprof the profiling surface must not exist.
+	off := httptest.NewServer(buildHandler(eng, false))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof index without -pprof: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/obs"
 	"q3de/internal/sim"
 )
 
@@ -76,6 +77,7 @@ type Engine struct {
 	cache   *workspaceCache
 	points  *pointCache
 	metrics metrics
+	obs     *engineObs
 }
 
 // ErrClosed is returned by submissions to a closed engine.
@@ -108,8 +110,10 @@ func New(cfg Config) *Engine {
 		runners:    make(map[string]RunnerFunc),
 		cache:      newWorkspaceCache(cfg.CacheCapacity),
 		points:     newPointCache(cfg.PointCacheCapacity),
+		obs:        newEngineObs(),
 	}
 	e.metrics.start = time.Now()
+	e.metrics.window = e.obs.window
 	for i := 0; i < cfg.Workers; i++ {
 		e.poolWG.Add(1)
 		go func() {
@@ -214,7 +218,7 @@ func (e *Engine) RunStream(ctx context.Context, cfg sim.StreamConfig) (sim.Strea
 // runMemory executes one memory configuration as a scenario sweep on the
 // shared pool and finishes it into a MemoryResult.
 func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.MemoryResult, error) {
-	results, err := e.runShards(ctx, cfg, sim.MemoryScenario{Config: cfg}, cfg.Plan(), false)
+	results, err := e.runShards(ctx, cfg, sim.MemoryScenario{Config: cfg}, cfg.Plan(), KindMemory)
 	if err != nil {
 		return sim.MemoryResult{}, err
 	}
@@ -228,8 +232,12 @@ func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.Memor
 // partition.
 func (e *Engine) runStream(ctx context.Context, cfg sim.StreamConfig) (sim.StreamResult, error) {
 	sc := sim.NewStreamScenario(cfg)
+	// Detection latencies stream into the engine-wide histogram as shots
+	// execute; the handle is shared by every runner and recording is
+	// RNG-free, so the result stays bit-identical to sim.RunStream.
+	sc.SetDetectionRecorder(e.obs.detLat)
 	cfg = sc.Config()
-	results, err := e.runShards(ctx, cfg.MemoryBase(), sc, cfg.Plan(), true)
+	results, err := e.runShards(ctx, cfg.MemoryBase(), sc, cfg.Plan(), KindStream)
 	if err != nil {
 		return sim.StreamResult{}, err
 	}
@@ -244,8 +252,12 @@ func (e *Engine) runStream(ctx context.Context, cfg sim.StreamConfig) (sim.Strea
 // prefix aggregation. Shot runners are pooled across the run's shards so a
 // pool worker that executes several of them reuses one scratch arena
 // (runners are per-goroutine, never shared concurrently: each task holds its
-// runner for the duration of the shard).
-func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.Scenario, plan sim.ShardPlan, stream bool) ([]sim.ShardResult, error) {
+// runner for the duration of the shard). kind is the scenario kind executing
+// (KindMemory or KindStream); the shard-duration histogram is labeled by the
+// owning job's kind when there is one, so a sweep's shards land under
+// "sweep" while a direct memory job's land under "memory".
+func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.Scenario, plan sim.ShardPlan, kind string) ([]sim.ShardResult, error) {
+	stream := kind == KindStream
 	ws, hit := e.cache.get(wsCfg)
 	if hit {
 		e.metrics.cacheHits.Add(1)
@@ -256,7 +268,11 @@ func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.S
 	job := jobFrom(ctx)
 	if job != nil {
 		job.addShardsTotal(shards)
+		kind = job.spec.Kind
 	}
+	// Resolve the histogram handle once per run — recording inside the shard
+	// tasks is then a few atomic adds, allocation-free.
+	shardDur := e.obs.shardDur.With(kind)
 
 	runners := sync.Pool{New: func() any { return sc.NewShotRunner(ws) }}
 
@@ -288,12 +304,18 @@ feed:
 				}
 			}()
 			runner := runners.Get().(sim.ShotRunner)
+			start := time.Now()
 			r := sim.RunShardWith(plan, i, runner)
 			runners.Put(runner)
 			failures.Add(r.Failures)
+			shardDur.Record(r.DecodeNs)
 			e.metrics.observeShard(r, stream)
 			if job != nil {
 				job.observeShard(r)
+				job.trace.AddSpan(obs.ShardSpan{
+					Shard: i, Seed: plan.Seed, Start: start,
+					DurationNs: r.DecodeNs, Shots: r.Shots, Failures: r.Failures,
+				})
 			}
 			mu.Lock()
 			results = append(results, r)
@@ -336,6 +358,7 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		state: StateQueued, created: time.Now(),
 		cancel: cancel, doneCh: make(chan struct{}),
 	}
+	job.trace = obs.NewTrace(id, spec.Kind, traceSpanCap, job.created)
 	job.ctx = context.WithValue(jobCtx, jobCtxKey{}, job)
 
 	e.mu.Lock()
@@ -356,6 +379,7 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 			return
 		}
 		job.setRunning()
+		e.obs.queueWait.With(spec.Kind).Record(time.Since(job.created).Nanoseconds())
 		result, err := func() (result any, err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -429,7 +453,8 @@ func (e *Engine) plan(spec JobSpec) (func(context.Context, *Job) (any, error), e
 	}
 }
 
-// finalize records the job outcome and bumps the counters.
+// finalize records the job outcome, bumps the counters and retires the job's
+// trace into the recent-traces ring.
 func (e *Engine) finalize(job *Job, result any, err error) {
 	switch {
 	case job.ctx.Err() != nil && (err == nil || errors.Is(err, context.Canceled) || job.cancelRequested.Load()):
@@ -442,6 +467,7 @@ func (e *Engine) finalize(job *Job, result any, err error) {
 		job.finish(StateDone, result, nil)
 		e.metrics.jobsDone.Add(1)
 	}
+	e.obs.traces.Push(job.TraceSnapshot())
 }
 
 // pruneLocked drops the oldest finished jobs once the registry exceeds the

@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"time"
+
+	"q3de/internal/obs"
 )
 
 // NewHandler exposes the engine over HTTP:
@@ -15,15 +19,39 @@ import (
 //	GET    /v1/jobs             list job statuses
 //	GET    /v1/jobs/{id}        status, including partial results while running
 //	GET    /v1/jobs/{id}/result final result (409 until the job is done)
+//	GET    /v1/jobs/{id}/trace  per-job trace: queue wait + per-shard spans
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /metrics             engine counters (Prometheus text format)
+//	GET    /v1/traces           traces of recently finished jobs, newest first
+//	GET    /metrics             engine counters + latency summaries (Prometheus text format)
 //	GET    /healthz             liveness
 //
-// See README.md for curl examples.
+// Every endpoint is instrumented: request durations land in the
+// q3de_http_request_duration_seconds summary and completions in the
+// q3de_http_requests_total counter, both labeled by route pattern (and status
+// class for the counter), so 4xx/5xx rates and endpoint tail latency are
+// visible on /metrics. See README.md for curl examples.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	reqs := e.obs.reg.NewCounterVec("q3de_http_requests_total",
+		"HTTP requests served, by route pattern and status class.", "route", "code")
+	durs := e.obs.reg.NewHistogramVec("q3de_http_request_duration_seconds",
+		"HTTP request duration by route pattern (summary quantiles; quantile=\"1\" is the max).", 1e-9, "route")
+
+	// handle wraps one route with the per-endpoint instrumentation; the
+	// duration handle is resolved once per route at registration.
+	handle := func(pattern string, fn http.HandlerFunc) {
+		dur := durs.With(pattern)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			rec := obs.NewResponseRecorder(w)
+			start := time.Now()
+			fn(rec, r)
+			dur.Record(time.Since(start).Nanoseconds())
+			reqs.With(pattern, strconv.Itoa(rec.Code/100)+"xx").Inc()
+		})
+	}
+
+	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -48,7 +76,7 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusAccepted, job.Status())
 	})
 
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := e.Jobs()
 		statuses := make([]JobStatus, 0, len(jobs))
 		for _, j := range jobs {
@@ -57,7 +85,7 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := e.Job(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, errors.New("no such job"))
@@ -66,7 +94,7 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, job.Status())
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := e.Job(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, errors.New("no such job"))
@@ -89,7 +117,20 @@ func NewHandler(e *Engine) http.Handler {
 		})
 	})
 
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.TraceSnapshot())
+	})
+
+	handle("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"traces": e.Traces()})
+	})
+
+	handle("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		// Look the job up exactly once and cancel through the reference:
 		// between a successful Cancel(id) and a second Job(id) lookup the
 		// bounded history may evict the (now terminal) job, which used to
@@ -103,12 +144,12 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, job.Status())
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		e.Metrics().WriteProm(w)
+		e.WriteProm(w)
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 

@@ -216,13 +216,17 @@ func TestHTTPStreamJobLifecycle(t *testing.T) {
 		"q3de_stream_rollbacks_total",
 		"q3de_stream_detections_total",
 		"q3de_stream_detection_latency_cycles_total",
-		"q3de_stream_mean_detection_latency_cycles",
+		// The mean-only latency gauge is gone; real quantiles replace it.
+		`q3de_stream_detection_latency_cycles{quantile="0.5"}`,
+		`q3de_stream_detection_latency_cycles{quantile="0.99"}`,
+		`q3de_stream_detection_latency_cycles{quantile="1"}`,
+		"q3de_stream_detection_latency_cycles_count",
 	} {
 		if !strings.Contains(body, wantLine) {
 			t.Errorf("metrics output missing %q", wantLine)
 		}
 	}
-	if m := e.Metrics(); m.StreamRollbacks <= 0 || m.StreamDetections <= 0 || m.MeanDetectionLatency <= 0 {
+	if m := e.Metrics(); m.StreamRollbacks <= 0 || m.StreamDetections <= 0 || m.StreamDetectionLatency <= 0 {
 		t.Errorf("stream metrics not populated: %+v", m)
 	}
 

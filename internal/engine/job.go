@@ -10,6 +10,7 @@ import (
 
 	"q3de/internal/burst"
 	"q3de/internal/lattice"
+	"q3de/internal/obs"
 	"q3de/internal/sim"
 )
 
@@ -318,6 +319,11 @@ type Job struct {
 	cancel          context.CancelFunc
 	cancelRequested atomic.Bool
 	doneCh          chan struct{}
+
+	// trace collects the job's lifecycle (submit → queue wait → per-shard
+	// execute spans → finalize); it has its own lock, so shard completions
+	// record spans without contending on mu.
+	trace *obs.Trace
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -389,9 +395,11 @@ func (j *Job) Status() JobStatus {
 // setRunning transitions queued -> running.
 func (j *Job) setRunning() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateRunning
 	j.started = time.Now()
+	at := j.started
+	j.mu.Unlock()
+	j.trace.Started(at)
 }
 
 // finish records the terminal state.
@@ -407,7 +415,17 @@ func (j *Job) finish(state JobState, result any, err error) {
 		j.err = err.Error()
 	}
 	j.finished = time.Now()
+	j.trace.Finished(j.finished)
 	close(j.doneCh)
+}
+
+// TraceSnapshot returns the job's trace — queue wait, per-shard execute
+// spans, finalize — annotated with the current lifecycle state. Valid at any
+// point in the job's life; a running job shows the spans completed so far.
+func (j *Job) TraceSnapshot() obs.TraceSnapshot {
+	snap := j.trace.Snapshot()
+	snap.State = string(j.State())
+	return snap
 }
 
 // observeShard accumulates shard completions into the progress counters.

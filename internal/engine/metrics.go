@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/obs"
 	"q3de/internal/sim"
 )
 
@@ -34,6 +35,10 @@ type metrics struct {
 	streamRollbacksAborted atomic.Int64
 	streamDetections       atomic.Int64
 	streamDetectionLatency atomic.Int64 // summed cycles over detected shots
+
+	// window tracks shots over the last ~60s so the snapshot can report
+	// current throughput alongside the lifetime average.
+	window *obs.Window
 }
 
 // observeShard folds one completed shard into the counters; stream marks
@@ -43,6 +48,7 @@ func (m *metrics) observeShard(r sim.ShardResult, stream bool) {
 	m.shardsExecuted.Add(1)
 	m.shotsExecuted.Add(r.Shots)
 	m.decodeNs.Add(r.DecodeNs)
+	m.window.Add(r.Shots)
 	if stream {
 		m.streamShots.Add(r.Shots)
 		m.streamRollbacks.Add(r.Stats.Rollbacks)
@@ -65,6 +71,11 @@ type MetricsSnapshot struct {
 	ShardsExecuted int64   `json:"shards_executed"`
 	ShotsExecuted  int64   `json:"shots_executed"`
 	ShotsPerSec    float64 `json:"shots_per_sec"`
+	// ShotsPerSec1m is throughput over the last ~60 seconds. Unlike the
+	// lifetime-average ShotsPerSec (which an idle night dilutes toward zero
+	// and an old burst props up forever), this gauge tracks what the engine
+	// is doing *now* — it is the throughput number to alert on.
+	ShotsPerSec1m float64 `json:"shots_per_sec_1m"`
 	// DecodeNs is the cumulative wall-clock time shard workers spent inside
 	// their sample-and-decode loops, summed across workers (so it can exceed
 	// uptime on a multi-worker engine). DecodeShotsPerSec is the decoder
@@ -88,16 +99,17 @@ type MetricsSnapshot struct {
 
 	// Streaming control counters: shots streamed through the Q3DE controller,
 	// Sec. VI-C rollback re-decodes triggered (and aborted), MBBE detections,
-	// and the cumulative detection latency in code cycles. The derived
-	// MeanDetectionLatency (cycles per detection) is the number a serving
-	// deployment alarms on: a climbing mean means the detector thresholds no
-	// longer fit the calibrated noise.
-	StreamShots            int64   `json:"stream_shots"`
-	StreamRollbacks        int64   `json:"stream_rollbacks"`
-	StreamRollbacksAborted int64   `json:"stream_rollbacks_aborted"`
-	StreamDetections       int64   `json:"stream_detections"`
-	StreamDetectionLatency int64   `json:"stream_detection_latency_cycles"`
-	MeanDetectionLatency   float64 `json:"stream_mean_detection_latency_cycles"`
+	// and the cumulative detection latency in code cycles. Detection-latency
+	// *quantiles* (p50/p90/p99/max) are exported separately as the
+	// q3de_stream_detection_latency_cycles summary: Q3DE's rollback buffer is
+	// sized by worst-case detection latency, so the tail is the number a
+	// serving deployment alarms on — a mean would hide exactly the excursions
+	// that matter.
+	StreamShots            int64 `json:"stream_shots"`
+	StreamRollbacks        int64 `json:"stream_rollbacks"`
+	StreamRollbacksAborted int64 `json:"stream_rollbacks_aborted"`
+	StreamDetections       int64 `json:"stream_detections"`
+	StreamDetectionLatency int64 `json:"stream_detection_latency_cycles"`
 }
 
 // Metrics snapshots the engine counters.
@@ -142,11 +154,9 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	if up > 0 {
 		snap.ShotsPerSec = float64(snap.ShotsExecuted) / up
 	}
+	snap.ShotsPerSec1m = e.metrics.window.Rate()
 	if snap.DecodeNs > 0 {
 		snap.DecodeShotsPerSec = float64(snap.ShotsExecuted) / (float64(snap.DecodeNs) / 1e9)
-	}
-	if snap.StreamDetections > 0 {
-		snap.MeanDetectionLatency = float64(snap.StreamDetectionLatency) / float64(snap.StreamDetections)
 	}
 	return snap
 }
@@ -171,7 +181,8 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("jobs_cancelled_total", s.JobsCancelled, "Jobs cancelled before completion.")
 	counter("shards_executed_total", s.ShardsExecuted, "Seed-sharded chunks executed.")
 	counter("shots_executed_total", s.ShotsExecuted, "Monte-Carlo shots executed.")
-	gauge("shots_per_second", s.ShotsPerSec, "Lifetime average decoding throughput.")
+	gauge("shots_per_second", s.ShotsPerSec, "Lifetime average decoding throughput (diluted by idle time; alert on shots_per_second_1m instead).")
+	gauge("shots_per_second_1m", s.ShotsPerSec1m, "Decoding throughput over the last ~60s — the throughput gauge to alert on.")
 	counter("decode_ns_total", s.DecodeNs, "Cumulative wall-clock nanoseconds spent in shard sample-and-decode loops (summed across workers).")
 	gauge("decode_shots_per_second", s.DecodeShotsPerSec, "Decoder throughput: shots per second of decode-loop time.")
 	counter("workspace_cache_hits_total", s.CacheHits, "Workspace cache hits.")
@@ -184,6 +195,5 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("stream_rollbacks_total", s.StreamRollbacks, "Rollback re-decodes triggered by MBBE detections.")
 	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")
 	counter("stream_detections_total", s.StreamDetections, "MBBE detections declared by the anomaly detection unit.")
-	counter("stream_detection_latency_cycles_total", s.StreamDetectionLatency, "Cumulative detection latency in code cycles over detected shots.")
-	gauge("stream_mean_detection_latency_cycles", s.MeanDetectionLatency, "Mean detection latency in code cycles per detection.")
+	counter("stream_detection_latency_cycles_total", s.StreamDetectionLatency, "Cumulative detection latency in code cycles over detected shots (quantiles: see the q3de_stream_detection_latency_cycles summary).")
 }

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"io"
+
+	"q3de/internal/obs"
+)
+
+// traceSpanCap bounds the per-shard spans retained in one job's trace ring: a
+// shot budget of 10^9 is ~2M shards, so traces keep the most recent spans
+// plus an exact drop count instead of growing with the budget.
+const traceSpanCap = 2048
+
+// engineObs bundles the engine's observability kit: the labeled registry
+// rendered on /metrics after the counter snapshot, the pre-allocated
+// histogram handles the hot paths record into, the sliding throughput
+// window, and the ring of recently finished job traces.
+//
+// The instrumentation invariant (DESIGN.md §13): recording sites never touch
+// the physics RNG stream and never allocate on the shard hot path — handles
+// are resolved once per run (runShards, runSweep, runStream) and threaded
+// through, so the determinism goldens and the zero-alloc decode guarantees
+// hold with instrumentation enabled.
+type engineObs struct {
+	reg *obs.Registry
+
+	// queueWait observes submit → run latency per job kind; shardDur observes
+	// each shard's sample-and-decode wall time per job kind; pointDur
+	// observes non-cached sweep point evaluations per scenario.
+	queueWait *obs.HistogramVec
+	shardDur  *obs.HistogramVec
+	pointDur  *obs.HistogramVec
+	// detLat observes one value per MBBE detection on the stream scenario:
+	// the detection latency in code cycles — the quantity Q3DE's rollback
+	// buffer (Sec. VI-C) is sized by, which means its p99/max matter and its
+	// mean does not.
+	detLat *obs.Histogram
+
+	window *obs.Window
+	traces *obs.TraceRing
+}
+
+func newEngineObs() *engineObs {
+	reg := obs.NewRegistry()
+	return &engineObs{
+		reg: reg,
+		queueWait: reg.NewHistogramVec("q3de_job_queue_wait_seconds",
+			"Submit-to-start latency per job kind (summary quantiles; quantile=\"1\" is the max).",
+			1e-9, "kind"),
+		shardDur: reg.NewHistogramVec("q3de_shard_duration_seconds",
+			"Per-shard sample-and-decode wall time per job kind (summary quantiles; quantile=\"1\" is the max).",
+			1e-9, "kind"),
+		pointDur: reg.NewHistogramVec("q3de_sweep_point_duration_seconds",
+			"Non-cached sweep grid point evaluation wall time per scenario (summary quantiles; quantile=\"1\" is the max).",
+			1e-9, "scenario"),
+		detLat: reg.NewHistogram("q3de_stream_detection_latency_cycles",
+			"MBBE detection latency in code cycles, one observation per detection (summary quantiles; quantile=\"1\" is the max).",
+			1),
+		window: obs.NewWindow(60),
+		traces: obs.NewTraceRing(256),
+	}
+}
+
+// Registry exposes the engine's metric registry so front-ends can attach
+// further series (q3de-serve registers q3de_build_info); everything in it
+// renders on /metrics alongside the engine counters.
+func (e *Engine) Registry() *obs.Registry { return e.obs.reg }
+
+// Traces returns the snapshots of recently finished jobs, newest first.
+func (e *Engine) Traces() []obs.TraceSnapshot { return e.obs.traces.Snapshots() }
+
+// WriteProm renders the full Prometheus exposition: the engine counter
+// snapshot followed by the registry families (latency summaries, HTTP
+// series, build info).
+func (e *Engine) WriteProm(w io.Writer) {
+	e.Metrics().WriteProm(w)
+	e.obs.reg.WriteProm(w)
+}

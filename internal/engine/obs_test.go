@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"q3de/internal/obs"
+)
+
+// waitDone polls a job's status endpoint until it reaches a terminal state.
+func waitDoneHTTP(t *testing.T, srv *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var st JobStatus
+	for {
+		if getJSON(t, srv.URL+"/v1/jobs/"+id, &st) != http.StatusOK {
+			t.Fatal("status endpoint failed")
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestObservabilitySmoke is the end-to-end check CI runs under -race: a small
+// stream job must light up the detection-latency quantile summary on /metrics
+// and leave a trace with per-shard execute spans behind.
+func TestObservabilitySmoke(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"stream","stream":{
+		"d":5,"rounds":40,"p":0.003,"d_ano":3,"onset":10,"p_ano":0.4,
+		"react":true,"max_shots":48,"seed":31}}`)
+	st = waitDoneHTTP(t, srv, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state=%s error=%q", st.State, st.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		`q3de_stream_detection_latency_cycles{quantile="0.5"}`,
+		`q3de_stream_detection_latency_cycles{quantile="0.9"}`,
+		`q3de_stream_detection_latency_cycles{quantile="0.99"}`,
+		`q3de_stream_detection_latency_cycles{quantile="1"}`,
+		`q3de_job_queue_wait_seconds{kind="stream",quantile="0.99"}`,
+		`q3de_shard_duration_seconds{kind="stream",quantile="0.99"}`,
+		`q3de_http_request_duration_seconds{route="POST /v1/jobs",quantile="1"}`,
+		`q3de_http_requests_total{route="POST /v1/jobs",code="2xx"}`,
+		"q3de_shots_per_second_1m",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// The per-job trace must carry the full lifecycle and per-shard spans.
+	var trace obs.TraceSnapshot
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/trace", &trace); code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	if trace.JobID != st.ID || trace.Kind != KindStream || trace.State != string(StateDone) {
+		t.Errorf("trace identity: %+v", trace)
+	}
+	if trace.SpansTotal == 0 || len(trace.Spans) == 0 {
+		t.Fatalf("trace has no shard spans: total=%d", trace.SpansTotal)
+	}
+	var shots int64
+	for _, sp := range trace.Spans {
+		if sp.DurationNs <= 0 {
+			t.Errorf("span %d has non-positive duration %d", sp.Shard, sp.DurationNs)
+		}
+		shots += sp.Shots
+	}
+	if trace.SpansDropped == 0 && shots != 48 {
+		t.Errorf("trace spans account for %d shots, want 48", shots)
+	}
+	if trace.QueueWaitNs < 0 || trace.TotalNs <= 0 {
+		t.Errorf("trace timing: queue=%d total=%d", trace.QueueWaitNs, trace.TotalNs)
+	}
+
+	// Finished jobs appear in the engine-wide trace ring, newest first.
+	var ring struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/traces", &ring); code != http.StatusOK {
+		t.Fatalf("traces: status %d", code)
+	}
+	if len(ring.Traces) != 1 || ring.Traces[0].JobID != st.ID {
+		t.Errorf("trace ring: %+v", ring.Traces)
+	}
+
+	// The unknown-trace path is a clean 404.
+	if code := getJSON(t, srv.URL+"/v1/jobs/job-999999/trace", nil); code != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d, want 404", code)
+	}
+}
+
+var (
+	promNameRe = regexp.MustCompile(`^q3de_[a-z0-9_]+$`)
+	// The label block is matched greedily: label VALUES may contain braces
+	// (route="GET /v1/jobs/{id}"), so the block ends at the last } before
+	// the sample value.
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? [^ ]+$`)
+)
+
+// TestMetricsExpositionConformance exercises every job kind so the full
+// /metrics surface renders, then checks the whole output against the
+// Prometheus text-format rules: each family declares HELP and TYPE before its
+// samples, names match q3de_[a-z0-9_]+, counters end in _total, and no family
+// or sample line appears twice.
+func TestMetricsExpositionConformance(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"kind":"memory","memory":{"d":3,"p":0.02,"max_shots":500,"seed":3}}`,
+		`{"kind":"stream","stream":{"d":5,"rounds":40,"p":0.003,"d_ano":3,"onset":10,"p_ano":0.4,"max_shots":32,"seed":8}}`,
+		`{"kind":"sweep","sweep":{"scenario":"memory","base":{"d":3,"p":0.05,"max_shots":500},"axes":[{"name":"seed","values":[1,2]}]}}`,
+	} {
+		st := postJob(t, srv, body)
+		if st = waitDoneHTTP(t, srv, st.ID); st.State != StateDone {
+			t.Fatalf("%s: state=%s error=%q", st.Kind, st.State, st.Error)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+
+	types := map[string]string{}  // family name → TYPE
+	helps := map[string]bool{}    // family name → saw HELP
+	samples := map[string]bool{}  // full sample line → seen
+	declared := map[string]bool{} // family → TYPE line seen (dup detection)
+	sampled := map[string]bool{}  // family → samples observed
+	var current string            // family whose declaration block is open
+
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Errorf("HELP line without text: %q", line)
+			}
+			helps[parts[0]] = true
+			current = parts[0]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if declared[name] {
+				t.Errorf("family %s declared twice", name)
+			}
+			declared[name] = true
+			if name != current {
+				t.Errorf("TYPE for %s not preceded by its HELP (current %s)", name, current)
+			}
+			switch typ {
+			case "counter", "gauge", "summary":
+			default:
+				t.Errorf("family %s has unexpected type %q", name, typ)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %s must end in _total", name)
+			}
+			types[name] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unexpected comment line: %q", line)
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("unparseable sample line: %q", line)
+				continue
+			}
+			name := m[1]
+			// Summary children render under <family>, <family>_sum and
+			// <family>_count; resolve back to the declared family.
+			family := name
+			if _, ok := types[family]; !ok {
+				trimmed := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+				if typ, ok := types[trimmed]; ok && typ == "summary" {
+					family = trimmed
+				}
+			}
+			typ, ok := types[family]
+			if !ok || !helps[family] {
+				t.Errorf("sample %s lacks a preceding HELP/TYPE declaration", name)
+				continue
+			}
+			if typ != "summary" && family != name {
+				t.Errorf("sample %s does not match its family %s", name, family)
+			}
+			if !promNameRe.MatchString(name) {
+				t.Errorf("metric name %q does not match q3de_[a-z0-9_]+", name)
+			}
+			if samples[line] {
+				t.Errorf("duplicate sample line: %q", line)
+			}
+			samples[line] = true
+			sampled[family] = true
+		}
+	}
+
+	if len(types) == 0 || len(samples) == 0 {
+		t.Fatal("no metrics parsed")
+	}
+	// Everything this PR promises must actually be on the page.
+	for _, want := range []string{
+		"q3de_job_queue_wait_seconds",
+		"q3de_shard_duration_seconds",
+		"q3de_sweep_point_duration_seconds",
+		"q3de_stream_detection_latency_cycles",
+		"q3de_http_request_duration_seconds",
+		"q3de_http_requests_total",
+	} {
+		if !sampled[want] {
+			t.Errorf("expected family %s to have samples", want)
+		}
+	}
+}

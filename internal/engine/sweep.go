@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"q3de/internal/sim"
 	"q3de/internal/sweep"
@@ -259,6 +260,14 @@ func (e *Engine) runSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, 
 	}
 	conc = max(1, min(conc, len(pts)))
 
+	// Pre-resolve the point-duration handle; only real evaluations record
+	// (a cache hit's ~0 duration would drag the quantiles to nothing).
+	scenario := sw.Kind
+	if scenario == "" {
+		scenario = "custom"
+	}
+	pointDur := e.obs.pointDur.With(scenario)
+
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -311,11 +320,13 @@ func (e *Engine) runSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, 
 						continue
 					}
 				}
+				start := time.Now()
 				v, err := evalPoint(sctx, sw, pt)
 				if err != nil {
 					fail(err)
 					return
 				}
+				pointDur.Record(time.Since(start).Nanoseconds())
 				if cacheable {
 					e.points.put(key, v)
 				}

@@ -1,0 +1,144 @@
+// Package obs is the repository's dependency-free observability kit: lock-free
+// log-bucketed streaming histograms (mergeable across shards and workers, with
+// p50/p90/p99/max export), a labeled metric registry rendering the Prometheus
+// text exposition format, per-job trace records retained in ring buffers, and
+// a sliding-window rate estimator.
+//
+// Everything here is built for the engine's hot paths: Record on a Histogram
+// is a handful of atomic adds — no locks, no allocation, no RNG — so
+// instrumentation can sit inside the shard loop and the streaming control
+// scenario without perturbing the physics RNG stream or the zero-allocation
+// guarantee of the decode hot path.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log-linear (HDR-style). Values 0..2m-1 get exact
+// unit buckets; beyond that each power-of-two octave is split into m linear
+// sub-buckets, so the relative bucket width — and therefore the worst-case
+// relative quantile error — is bounded by 1/m = 12.5%.
+const (
+	histSub = 3            // log2 of the linear sub-buckets per octave
+	histM   = 1 << histSub // sub-buckets per octave
+	// histBuckets covers every non-negative int64: the top value 2^63-1 lands
+	// in bucket 59*histM + 15 = 487 (see bucketIndex).
+	histBuckets = 488
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 2*histM {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSub - 1
+	return exp*histM + int(uint64(v)>>uint(exp))
+}
+
+// bucketUpper returns the largest value mapping to bucket i (the value a
+// quantile lookup reports, keeping estimates conservative).
+func bucketUpper(i int) int64 {
+	if i < 2*histM {
+		return int64(i)
+	}
+	exp := i/histM - 1
+	return (int64(i%histM+histM+1) << uint(exp)) - 1
+}
+
+// Histogram is a lock-free streaming histogram of non-negative int64
+// observations (negative values clamp to zero). All methods are safe for
+// concurrent use; Record never allocates, so handles can be threaded through
+// shard and per-shot hot paths. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Merge folds src's observations into h. Merging the per-shard histograms of
+// a run yields exactly the histogram of recording every observation into one:
+// buckets are positional, so merge is associative and order-independent.
+func (h *Histogram) Merge(src *Histogram) {
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	m := src.max.Load()
+	for {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a point-in-time copy for quantile queries and export.
+// Concurrent recording keeps the snapshot approximate (buckets are loaded one
+// by one) but never inconsistent beyond the in-flight records.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram's state.
+type HistSnapshot struct {
+	Count, Sum, Max int64
+	buckets         [histBuckets]int64
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]) of the
+// recorded observations: the true quantile lies in the reported value's
+// bucket, so the estimate is never below the true value and exceeds it by at
+// most one bucket width (≤ 12.5% relative, exact below 2·8). Returns 0 when
+// nothing has been recorded. Quantile(1) is the exact observed maximum.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, n := range s.buckets {
+		cum += n
+		if cum >= rank {
+			return min(bucketUpper(i), s.Max)
+		}
+	}
+	return s.Max
+}

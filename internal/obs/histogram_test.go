@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// exactQuantile mirrors HistSnapshot.Quantile's rank arithmetic on the raw
+// sorted observations.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int64(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int64(len(sorted)) {
+		rank = int64(len(sorted))
+	}
+	return sorted[rank-1]
+}
+
+// widthAt is the bucket width at value v: the worst-case overshoot of a
+// histogram quantile over the exact one.
+func widthAt(v int64) int64 {
+	if v < 2*histM {
+		return 0
+	}
+	return int64(1) << uint(bits.Len64(uint64(v))-histSub-1)
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and indices
+	// must be monotone in the value.
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketIndex(bucketUpper(i)); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1 << 20, 1<<40 + 12345, 1<<62 + 999, 1<<63 - 1} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %d above its bucket upper bound %d", v, up)
+		}
+		prev = i
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	// Property: for any recorded set, the histogram quantile is an upper
+	// bound on the exact quantile and overshoots by at most one bucket width
+	// (≤ 12.5% relative). Quantile(1) is exactly the max.
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(2000)
+		vals := make([]int64, n)
+		var h Histogram
+		for i := range vals {
+			// Mix magnitudes: exact small buckets through deep log range.
+			v := int64(rng.Uint64() >> uint(1+rng.IntN(60)))
+			vals[i] = v
+			h.Record(v)
+		}
+		slices.Sort(vals)
+		s := h.Snapshot()
+		if s.Count != int64(n) || s.Max != vals[n-1] {
+			t.Fatalf("snapshot count/max = %d/%d, want %d/%d", s.Count, s.Max, n, vals[n-1])
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			exact := exactQuantile(vals, q)
+			got := s.Quantile(q)
+			if got < exact {
+				t.Fatalf("q=%g: histogram quantile %d below exact %d", q, got, exact)
+			}
+			if got-exact > widthAt(got) {
+				t.Fatalf("q=%g: histogram quantile %d overshoots exact %d by more than bucket width %d",
+					q, got, exact, widthAt(got))
+			}
+		}
+		if s.Quantile(1) != vals[n-1] {
+			t.Fatalf("Quantile(1) = %d, want exact max %d", s.Quantile(1), vals[n-1])
+		}
+	}
+}
+
+func TestHistogramMergeEqualsWholeRun(t *testing.T) {
+	// Property: recording a stream split across per-shard histograms and
+	// merging equals recording the whole stream into one histogram — bucket
+	// for bucket, so every quantile agrees exactly.
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 20; trial++ {
+		shards := make([]Histogram, 1+rng.IntN(8))
+		var whole Histogram
+		for i := 0; i < 5000; i++ {
+			v := int64(rng.Uint64() >> uint(1+rng.IntN(56)))
+			whole.Record(v)
+			shards[rng.IntN(len(shards))].Record(v)
+		}
+		var merged Histogram
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		ws, ms := whole.Snapshot(), merged.Snapshot()
+		if ws != ms {
+			t.Fatalf("merged shard histograms differ from the whole-run histogram:\nwhole  %+v\nmerged %+v",
+				ws.Count, ms.Count)
+		}
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(3)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 3 || s.Quantile(0) != 0 {
+		t.Fatalf("negative record not clamped: %+v", s)
+	}
+}
+
+func TestHistogramConcurrentRecording(t *testing.T) {
+	// Run with -race in CI: concurrent Record/Merge/Snapshot must be clean,
+	// and the totals exact.
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(g*per + i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			_ = s.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Max != goroutines*per-1 {
+		t.Fatalf("max = %d, want %d", s.Max, goroutines*per-1)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "net/http"
+
+// ResponseRecorder wraps an http.ResponseWriter, capturing the status code
+// and the response body size so access logs and per-endpoint metrics can see
+// what was actually sent (a bare ResponseWriter exposes neither). Code
+// defaults to 200, matching net/http's implicit WriteHeader on first Write.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	Code  int
+	Bytes int64
+}
+
+// NewResponseRecorder wraps w.
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	return &ResponseRecorder{ResponseWriter: w, Code: http.StatusOK}
+}
+
+// WriteHeader records the status code.
+func (r *ResponseRecorder) WriteHeader(code int) {
+	r.Code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts the body bytes.
+func (r *ResponseRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.Bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// streamed responses keep working through the wrapper.
+func (r *ResponseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the Prometheus exposition type of a metric family.
+type MetricType string
+
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+	TypeSummary MetricType = "summary"
+)
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// summaryQuantiles are the quantiles every histogram family exports.
+// quantile="1" is the exact observed maximum.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99, 1}
+
+// Registry is an ordered collection of labeled metric families rendered in
+// the Prometheus text exposition format. Families are created once (creation
+// is idempotent: asking again for an existing family with the same shape
+// returns it; a shape mismatch panics — it is a programming error) and
+// children are created on first use of a label-value combination. Handles
+// returned by With are stable and safe to cache on hot paths.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type family struct {
+	name, help string
+	typ        MetricType
+	scale      float64 // summary export multiplier (e.g. 1e-9 for ns → s)
+	keys       []string
+
+	mu       sync.Mutex
+	order    []string
+	children map[string]*child
+}
+
+type child struct {
+	vals []string
+	num  atomic.Int64  // counter value
+	bits atomic.Uint64 // gauge float64 bits
+	hist Histogram
+}
+
+// family returns (creating if needed) the named family, enforcing shape
+// compatibility.
+func (r *Registry) family(name, help string, typ MetricType, scale float64, keys []string) *family {
+	if !metricNameRE.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	if typ == TypeCounter && !strings.HasSuffix(name, "_total") {
+		panic("obs: counter " + name + " must end in _total")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || len(f.keys) != len(keys) {
+			panic("obs: metric " + name + " re-registered with a different shape")
+		}
+		for i := range keys {
+			if f.keys[i] != keys[i] {
+				panic("obs: metric " + name + " re-registered with different labels")
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ, scale: scale,
+		keys:     append([]string(nil), keys...),
+		children: make(map[string]*child),
+	}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+func (f *family) child(vals []string) *child {
+	if len(vals) != len(f.keys) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label values, got %d", f.name, len(f.keys), len(vals)))
+	}
+	key := strings.Join(vals, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{vals: append([]string(nil), vals...)}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ c *child }
+
+// Add increments the counter by n (n must be non-negative).
+func (c Counter) Add(n int64) { c.c.num.Add(n) }
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.c.num.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() int64 { return c.c.num.Load() }
+
+// Gauge is a settable float metric.
+type Gauge struct{ c *child }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers (or returns) a counter family. The name must end in
+// "_total".
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, TypeCounter, 1, labels)}
+}
+
+// With returns the counter for the given label values, creating it on first
+// use. Handles are stable; cache them on hot paths.
+func (v *CounterVec) With(values ...string) Counter { return Counter{v.f.child(values)} }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers (or returns) a gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, TypeGauge, 1, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) Gauge { return Gauge{v.f.child(values)} }
+
+// HistogramVec is a family of streaming histograms partitioned by label
+// values, exported as a Prometheus summary (quantiles 0.5/0.9/0.99/1 plus
+// _sum and _count).
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers (or returns) a histogram family. Recorded values
+// are multiplied by scale at export time (record nanoseconds with scale 1e-9
+// to export seconds; use scale 1 for natural units such as cycles).
+func (r *Registry) NewHistogramVec(name, help string, scale float64, labels ...string) *HistogramVec {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &HistogramVec{r.family(name, help, TypeSummary, scale, labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return &v.f.child(values).hist }
+
+// NewHistogram registers (or returns) an unlabeled histogram family and
+// returns its single histogram.
+func (r *Registry) NewHistogram(name, help string, scale float64) *Histogram {
+	return r.NewHistogramVec(name, help, scale).With()
+}
+
+// labelString renders {k="v",...} for the fixed keys plus any extra pairs,
+// escaping backslashes, quotes and newlines per the exposition format.
+func labelString(keys, vals []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	put := func(k, v string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for i, k := range keys {
+		put(k, vals[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		put(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// WriteProm renders every family in registration order: one HELP/TYPE pair,
+// then the children in first-use order. Summary families render the quantile
+// samples (only once observations exist — an empty summary has no meaningful
+// quantiles) plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		children := make([]*child, len(order))
+		for i, k := range order {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for _, c := range children {
+			switch f.typ {
+			case TypeCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.keys, c.vals), c.num.Load())
+			case TypeGauge:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, labelString(f.keys, c.vals), math.Float64frombits(c.bits.Load()))
+			case TypeSummary:
+				s := c.hist.Snapshot()
+				if s.Count > 0 {
+					for _, q := range summaryQuantiles {
+						fmt.Fprintf(w, "%s%s %g\n", f.name,
+							labelString(f.keys, c.vals, "quantile", formatQuantile(q)),
+							float64(s.Quantile(q))*f.scale)
+					}
+				}
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, labelString(f.keys, c.vals), float64(s.Sum)*f.scale)
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.keys, c.vals), s.Count)
+			}
+		}
+	}
+}
+
+func formatQuantile(q float64) string {
+	s := fmt.Sprintf("%g", q)
+	return s
+}
+
+// SortedLabelPairs is a helper for tests: it renders a family's child label
+// sets deterministically.
+func (r *Registry) SortedLabelPairs(name string) []string {
+	r.mu.Lock()
+	f := r.byName[name]
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.children))
+	for _, c := range f.children {
+		out = append(out, labelString(f.keys, c.vals))
+	}
+	sort.Strings(out)
+	return out
+}

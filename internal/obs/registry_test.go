@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryRendersFamiliesWithLabels(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounterVec("q3de_http_requests_total", "Requests served.", "route", "code")
+	reqs.With("GET /metrics", "2xx").Add(3)
+	reqs.With("POST /v1/jobs", "4xx").Inc()
+	g := r.NewGaugeVec("q3de_build_info", "Build metadata.", "go_version")
+	g.With("go1.24").Set(1)
+	h := r.NewHistogramVec("q3de_shard_duration_seconds", "Shard wall time.", 1e-9, "kind")
+	h.With("memory").Record(2_000_000_000) // 2s in ns
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP q3de_http_requests_total Requests served.",
+		"# TYPE q3de_http_requests_total counter",
+		`q3de_http_requests_total{route="GET /metrics",code="2xx"} 3`,
+		`q3de_http_requests_total{route="POST /v1/jobs",code="4xx"} 1`,
+		`q3de_build_info{go_version="go1.24"} 1`,
+		"# TYPE q3de_shard_duration_seconds summary",
+		`q3de_shard_duration_seconds{kind="memory",quantile="0.5"}`,
+		`q3de_shard_duration_seconds{kind="memory",quantile="1"}`,
+		`q3de_shard_duration_seconds_sum{kind="memory"} 2`,
+		`q3de_shard_duration_seconds_count{kind="memory"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndShapeChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounterVec("q3de_things_total", "Things.", "kind")
+	b := r.NewCounterVec("q3de_things_total", "Things.", "kind")
+	a.With("x").Add(2)
+	if got := b.With("x").Value(); got != 2 {
+		t.Fatalf("re-registration did not return the same family: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	r.NewGaugeVec("q3de_things_total", "Things.", "kind")
+}
+
+func TestRegistryRejectsBadCounterName(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counter without _total suffix must panic")
+		}
+	}()
+	r.NewCounterVec("q3de_things", "Things.", "kind")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	s := labelString([]string{"k"}, []string{"a\"b\\c\nd"})
+	if s != `{k="a\"b\\c\nd"}` {
+		t.Fatalf("bad escaping: %s", s)
+	}
+}
+
+func TestTraceRingAndSpanRing(t *testing.T) {
+	sub := time.Unix(1000, 0)
+	tr := NewTrace("job-1", "memory", 4, sub)
+	tr.Started(sub.Add(50 * time.Millisecond))
+	for i := 0; i < 6; i++ {
+		tr.AddSpan(ShardSpan{Shard: i, Seed: 42, Shots: 512, DurationNs: int64(i) * 1000})
+	}
+	tr.Finished(sub.Add(time.Second))
+	s := tr.Snapshot()
+	if s.QueueWaitNs != 50*time.Millisecond.Nanoseconds() {
+		t.Errorf("queue wait = %d", s.QueueWaitNs)
+	}
+	if s.SpansTotal != 6 || s.SpansDropped != 2 || len(s.Spans) != 4 {
+		t.Fatalf("span ring: total=%d dropped=%d retained=%d", s.SpansTotal, s.SpansDropped, len(s.Spans))
+	}
+	// Oldest retained span first: shards 2,3,4,5.
+	for i, sp := range s.Spans {
+		if sp.Shard != i+2 {
+			t.Fatalf("span order: got shard %d at %d", sp.Shard, i)
+		}
+	}
+	if s.TotalNs != time.Second.Nanoseconds() {
+		t.Errorf("total = %d", s.TotalNs)
+	}
+
+	ring := NewTraceRing(2)
+	for _, id := range []string{"a", "b", "c"} {
+		ring.Push(TraceSnapshot{JobID: id})
+	}
+	got := ring.Snapshots()
+	if len(got) != 2 || got[0].JobID != "c" || got[1].JobID != "b" {
+		t.Fatalf("trace ring: %+v", got)
+	}
+}
+
+func TestWindowRate(t *testing.T) {
+	w := NewWindow(10)
+	now := time.Unix(5000, 500_000_000)
+	w.now = func() time.Time { return now }
+	w.Add(100)
+	now = now.Add(5 * time.Second)
+	w.Add(100)
+	if rate := w.Rate(); rate != 20 {
+		t.Fatalf("rate = %g, want 20 (200 events over a 10s window)", rate)
+	}
+	// Once the first burst ages out, only the second remains.
+	now = now.Add(9 * time.Second)
+	if rate := w.Rate(); rate != 10 {
+		t.Fatalf("rate after aging = %g, want 10", rate)
+	}
+	// Far future: everything aged out.
+	now = now.Add(time.Minute)
+	if rate := w.Rate(); rate != 0 {
+		t.Fatalf("rate after window = %g, want 0", rate)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ShardSpan is one per-shard execute span of a job trace: which shard ran,
+// which RNG stream it drew (the pair (Seed, Shard) names the stream
+// stats.WorkerRNG derives), when it started, how long its sample-and-decode
+// loop took, and what it produced.
+type ShardSpan struct {
+	Shard      int       `json:"shard"`
+	Seed       uint64    `json:"seed"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Shots      int64     `json:"shots"`
+	Failures   int64     `json:"failures"`
+}
+
+// Trace collects the lifecycle of one job: submit → queue wait → per-shard
+// execute spans → finalize. Spans land in a fixed-capacity ring, so a job
+// with millions of shards retains the most recent spans plus an exact drop
+// count instead of growing without bound. Safe for concurrent use; AddSpan
+// runs once per completed shard, never per shot.
+type Trace struct {
+	mu        sync.Mutex
+	jobID     string
+	kind      string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	spans     []ShardSpan
+	next      int // ring write cursor
+	total     int // spans ever recorded
+}
+
+// NewTrace starts a trace for one job. spanCap bounds the retained spans
+// (<= 0 means 2048).
+func NewTrace(jobID, kind string, spanCap int, submitted time.Time) *Trace {
+	if spanCap <= 0 {
+		spanCap = 2048
+	}
+	return &Trace{jobID: jobID, kind: kind, submitted: submitted, spans: make([]ShardSpan, 0, spanCap)}
+}
+
+// Started marks the submit → run transition; the queue wait is the span from
+// submission to this call.
+func (t *Trace) Started(at time.Time) {
+	t.mu.Lock()
+	t.started = at
+	t.mu.Unlock()
+}
+
+// Finished marks the terminal transition.
+func (t *Trace) Finished(at time.Time) {
+	t.mu.Lock()
+	t.finished = at
+	t.mu.Unlock()
+}
+
+// AddSpan records one completed shard span into the ring.
+func (t *Trace) AddSpan(s ShardSpan) {
+	t.mu.Lock()
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+	} else {
+		t.spans[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.spans)
+	t.total++
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the wire form of a trace. Spans appear in completion
+// order; SpansDropped counts ring overwrites (oldest spans lost first).
+type TraceSnapshot struct {
+	JobID        string      `json:"job_id"`
+	Kind         string      `json:"kind"`
+	State        string      `json:"state,omitempty"`
+	Submitted    time.Time   `json:"submitted"`
+	Started      *time.Time  `json:"started,omitempty"`
+	Finished     *time.Time  `json:"finished,omitempty"`
+	QueueWaitNs  int64       `json:"queue_wait_ns,omitempty"`
+	TotalNs      int64       `json:"total_ns,omitempty"`
+	SpansTotal   int         `json:"spans_total"`
+	SpansDropped int         `json:"spans_dropped,omitempty"`
+	Spans        []ShardSpan `json:"spans"`
+}
+
+// Snapshot captures the trace's current state.
+func (t *Trace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSnapshot{
+		JobID:      t.jobID,
+		Kind:       t.kind,
+		Submitted:  t.submitted,
+		SpansTotal: t.total,
+	}
+	if !t.started.IsZero() {
+		at := t.started
+		s.Started = &at
+		s.QueueWaitNs = t.started.Sub(t.submitted).Nanoseconds()
+	}
+	if !t.finished.IsZero() {
+		at := t.finished
+		s.Finished = &at
+		s.TotalNs = t.finished.Sub(t.submitted).Nanoseconds()
+	}
+	if dropped := t.total - len(t.spans); dropped > 0 {
+		s.SpansDropped = dropped
+	}
+	// Unroll the ring into completion order: oldest retained span first.
+	s.Spans = make([]ShardSpan, 0, len(t.spans))
+	if len(t.spans) == cap(t.spans) {
+		s.Spans = append(s.Spans, t.spans[t.next:]...)
+		s.Spans = append(s.Spans, t.spans[:t.next]...)
+	} else {
+		s.Spans = append(s.Spans, t.spans...)
+	}
+	return s
+}
+
+// TraceRing retains the snapshots of the most recently finished jobs.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring retaining up to capacity snapshots (<= 0 means
+// 256).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceRing{buf: make([]TraceSnapshot, capacity)}
+}
+
+// Push appends a finished trace, evicting the oldest once full.
+func (r *TraceRing) Push(t TraceSnapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshots returns the retained traces, newest first.
+func (r *TraceRing) Snapshots() []TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceSnapshot, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.next-1-i+len(r.buf)*2)%len(r.buf)])
+	}
+	return out
+}

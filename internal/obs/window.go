@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a sliding-window event-rate estimator: Add places counts into
+// per-second buckets and Rate averages the last `seconds` full buckets, so
+// the reported rate tracks *current* throughput instead of the lifetime
+// average (which an idle hour dilutes into meaninglessness). Precision is one
+// second; callers record at shard granularity, so the mutex is uncontended in
+// practice.
+type Window struct {
+	mu      sync.Mutex
+	seconds int64
+	now     func() time.Time // test hook
+	stamp   []int64          // unix second each bucket last belonged to
+	count   []int64
+}
+
+// NewWindow returns a window averaging over the given span (<= 0 means 60s).
+func NewWindow(seconds int) *Window {
+	if seconds <= 0 {
+		seconds = 60
+	}
+	n := seconds + 1 // one extra bucket so the in-progress second never evicts the oldest full one
+	return &Window{
+		seconds: int64(seconds),
+		now:     time.Now,
+		stamp:   make([]int64, n),
+		count:   make([]int64, n),
+	}
+}
+
+// Add records n events now.
+func (w *Window) Add(n int64) {
+	sec := w.now().Unix()
+	w.mu.Lock()
+	i := sec % int64(len(w.stamp))
+	if w.stamp[i] != sec {
+		w.stamp[i] = sec
+		w.count[i] = 0
+	}
+	w.count[i] += n
+	w.mu.Unlock()
+}
+
+// Rate returns events per second averaged over the window (including the
+// in-progress second, so a burst shows up immediately).
+func (w *Window) Rate() float64 {
+	sec := w.now().Unix()
+	w.mu.Lock()
+	var sum int64
+	for i := range w.stamp {
+		if w.stamp[i] > sec-w.seconds && w.stamp[i] <= sec {
+			sum += w.count[i]
+		}
+	}
+	w.mu.Unlock()
+	return float64(sum) / float64(w.seconds)
+}

@@ -45,6 +45,17 @@ type ShotRunner interface {
 	RunShot(rng *rand.Rand) (failure bool, stats ShotStats)
 }
 
+// Recorder consumes one observed value; *obs.Histogram satisfies it. The sim
+// package records observations through this interface instead of importing
+// the observability kit, keeping the physics layer dependency-free. The
+// contract mirrors the determinism rules above: a Recorder implementation
+// must not touch the shot RNG, must be safe for concurrent use (runners on
+// different workers share one handle), and must not allocate per call — the
+// shard hot path stays allocation-free with instrumentation enabled.
+type Recorder interface {
+	Record(v int64)
+}
+
 // ShotStats are the per-shot counters a scenario may report beyond the
 // failure bit. All fields are summable integers, so shard aggregation is
 // order-independent and the totals are bit-identical across worker counts.

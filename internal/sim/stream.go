@@ -142,7 +142,18 @@ func (c StreamConfig) ControlConfig() control.Config {
 type StreamScenario struct {
 	cfg StreamConfig
 	ctl control.Config
+	// latRec, when set, receives one observation per detection — the
+	// detection latency in code cycles — so a serving engine can export real
+	// latency quantiles instead of a mean. Recording happens outside the RNG
+	// stream and only on detections, so instrumented and uninstrumented runs
+	// are bit-identical.
+	latRec Recorder
 }
+
+// SetDetectionRecorder threads a pre-allocated latency recorder (e.g. an
+// engine-owned histogram) into every runner the scenario builds. Must be
+// called before NewShotRunner; the handle is shared by all workers.
+func (s *StreamScenario) SetDetectionRecorder(r Recorder) { s.latRec = r }
 
 // NewStreamScenario resolves the configuration (defaults + calibration) into
 // a runnable scenario.
@@ -161,9 +172,10 @@ func (s *StreamScenario) NewShotRunner(ws *Workspace) ShotRunner {
 		onset = max(0, s.cfg.Box.T0)
 	}
 	return &streamShotRunner{
-		model: ws.Model,
-		drv:   control.NewDriver(s.ctl, ws.L, s.cfg.Deform),
-		onset: onset,
+		model:  ws.Model,
+		drv:    control.NewDriver(s.ctl, ws.L, s.cfg.Deform),
+		onset:  onset,
+		latRec: s.latRec,
 	}
 }
 
@@ -171,10 +183,11 @@ func (s *StreamScenario) NewShotRunner(ws *Workspace) ShotRunner {
 // reusable driver (controller, detector, decoder arenas) plus the sample
 // buffer.
 type streamShotRunner struct {
-	model *noise.Model
-	drv   *control.Driver
-	s     noise.Sample
-	onset int // true burst onset cycle; 0 for clean streams
+	model  *noise.Model
+	drv    *control.Driver
+	s      noise.Sample
+	onset  int // true burst onset cycle; 0 for clean streams
+	latRec Recorder
 }
 
 // RunShot implements ShotRunner: draw one full-horizon error history, stream
@@ -189,8 +202,12 @@ func (r *streamShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
 	}
 	if out.DetectedAt >= 0 {
 		st.Detections = 1
-		if lat := out.DetectedAt - r.onset; lat > 0 {
+		lat := out.DetectedAt - r.onset
+		if lat > 0 {
 			st.DetectionLatencyCycles = int64(lat)
+		}
+		if r.latRec != nil {
+			r.latRec.Record(int64(max(lat, 0)))
 		}
 	}
 	return out.Failure, st
