@@ -1,0 +1,26 @@
+// Command q3de-lint runs the repo's custom static analyzers (DESIGN.md §14):
+// determinism, layering, hotpath, metricname and errchecklite — the
+// cross-PR invariants compiled into go/analysis-style checks.
+//
+// Standalone:
+//
+//	q3de-lint ./...
+//
+// As a go vet tool (the form CI runs):
+//
+//	go build -o /tmp/q3de-lint ./cmd/q3de-lint
+//	go vet -vettool=/tmp/q3de-lint ./...
+//
+// `q3de-lint help` lists the analyzers. Suppress an intentional finding with
+// `//lint:ignore <analyzer> <reason>` on the same or preceding line.
+package main
+
+import (
+	"os"
+
+	"q3de/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:]))
+}

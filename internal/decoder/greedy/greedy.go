@@ -68,6 +68,8 @@ func (g *Decoder) Name() string {
 // below both endpoints' boundary costs can never be applied, because by the
 // time the scan reaches it both endpoints have already seen their boundary
 // candidate.
+//
+//q3de:hotpath
 func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	n := len(defects)
 	res := decoder.Result{}
@@ -102,6 +104,7 @@ func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	slices.Sort(g.keys)
 
 	if cap(g.matched) < n {
+		//lint:ignore hotpath amortized grow to the high-water defect count; steady state reslices
 		g.matched = make([]bool, n)
 	}
 	matched := g.matched[:n]

@@ -69,6 +69,8 @@ func (d *Decoder) TableBytes() int { return len(d.table) }
 // Decode implements decoder.Decoder with a single table access. The Matches
 // field encodes only the parity (like the union-find decoder, the table does
 // not retain pairings).
+//
+//q3de:hotpath
 func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	mask := 0
 	for _, c := range defects {

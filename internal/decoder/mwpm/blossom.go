@@ -110,6 +110,7 @@ func (b *blossomSolver) reset(n int) {
 	}
 }
 
+//q3de:hotpath
 func (b *blossomSolver) eDelta(u, v int32) int64 {
 	return b.lab[b.gu[u][v]] + b.lab[b.gv[u][v]] - b.gw[u][v]*2
 }
@@ -338,6 +339,7 @@ func (b *blossomSolver) onFoundEdge(eu, ev int32) bool {
 
 // matchingPhase runs one phase: grow trees until an augmentation happens or
 // the duals prove no further matching exists.
+//q3de:hotpath
 func (b *blossomSolver) matchingPhase() bool {
 	for i := 0; i <= b.nx; i++ {
 		b.s[i] = -1

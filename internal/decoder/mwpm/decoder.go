@@ -74,6 +74,8 @@ func (d *Decoder) Name() string {
 }
 
 // Decode implements decoder.Decoder.
+//
+//q3de:hotpath
 func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	if len(defects) == 0 {
 		return decoder.Result{}
@@ -100,12 +102,15 @@ func (d *Decoder) sparseSupported() bool {
 }
 
 // decodeDense is the dense all-pairs virtual-mirror path.
+//
+//q3de:hotpath
 func (d *Decoder) decodeDense(defects []lattice.Coord) decoder.Result {
 	n := len(defects)
 	res := decoder.Result{Components: 1}
 
 	bCost, bLeft := d.boundaryCosts(defects)
 	if cap(d.done) < n {
+		//lint:ignore hotpath amortized grow to the high-water defect count; steady state reslices
 		d.done = make([]bool, n)
 	}
 	done := d.done[:n]

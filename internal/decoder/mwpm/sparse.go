@@ -62,6 +62,7 @@ const boxOrderShift = 24
 
 // decodeSparse runs the sparse pipeline. Preconditions (sparseSupported):
 // WN > 0, and WA >= 0 when the metric is weighted.
+//q3de:hotpath
 func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 	n := len(defects)
 	sp := &d.sp
@@ -83,6 +84,7 @@ func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 	sp.dist.Bind(d.M, defects)
 	words := (n*n + 63) / 64
 	if cap(sp.seen) < words {
+		//lint:ignore hotpath amortized grow to the high-water pair count; steady state reslices
 		sp.seen = make([]uint64, words)
 	}
 	sp.seen = sp.seen[:words]
@@ -93,6 +95,7 @@ func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 	// clique needs no per-pair evaluation: union its members in one pass,
 	// skip its pairs in both channels, and let the matrix fill price them 0.
 	if cap(sp.zero) < n {
+		//lint:ignore hotpath amortized grow to the high-water defect count; steady state reslices
 		sp.zero = make([]bool, n)
 	}
 	sp.zero = sp.zero[:n]

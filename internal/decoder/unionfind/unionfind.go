@@ -124,10 +124,21 @@ func (d *Decoder) union(a, b int32) {
 	d.touchB[ra] = d.touchB[ra] || d.touchB[rb]
 }
 
+// live reports whether the cluster containing node is live: odd defect
+// parity and no boundary contact. Nodes not yet absorbed are singleton
+// clusters with parity 0 and never live. A method rather than a closure in
+// Decode so the hot body stays free of per-call capture allocations.
+func (d *Decoder) live(node int32) bool {
+	r := d.find(node)
+	return d.parityD[r]%2 == 1 && !d.touchB[r]
+}
+
 // Decode implements decoder.Decoder. Union-find produces a correction
 // directly rather than a pairing, so Matches reports each defect as
 // boundary-matched with the overall parity carried by the first entry;
 // CutParity is the decoded correction parity.
+//
+//q3de:hotpath
 func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	if len(defects) == 0 {
 		return decoder.Result{}
@@ -156,17 +167,12 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 	slices.Sort(ids)
 
 	// Growth stage. An edge grows when either endpoint belongs to a live
-	// cluster (odd defect parity, no boundary contact). Nodes not yet
-	// absorbed are singleton clusters with parity 0 and never live.
-	live := func(node int32) bool {
-		r := d.find(node)
-		return d.parityD[r]%2 == 1 && !d.touchB[r]
-	}
+	// cluster (see Decoder.live).
 	maxIter := 4 * (d.L.D + d.L.Rounds)
 	for iter := 0; ; iter++ {
 		anyLive := false
 		for _, id := range ids {
-			if live(id) {
+			if d.live(id) {
 				anyLive = true
 				break
 			}
@@ -184,10 +190,10 @@ func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
 			}
 			e := d.L.Edges[ei]
 			g := uint8(0)
-			if live(e.A) {
+			if d.live(e.A) {
 				g++
 			}
-			if e.B >= 0 && live(e.B) {
+			if e.B >= 0 && d.live(e.B) {
 				g++
 			}
 			if g == 0 {

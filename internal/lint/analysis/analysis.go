@@ -1,0 +1,112 @@
+// Package analysis is a minimal, dependency-free core of the
+// golang.org/x/tools/go/analysis API: the Analyzer / Pass / Diagnostic
+// triple that q3de's custom vet checks are written against.
+//
+// The real x/tools module is deliberately not vendored — the repo builds
+// against the standard library only (README "no external dependencies").
+// This package keeps the same field names and call shapes as the upstream
+// API, so if the repo ever takes the dependency, the analyzers in
+// internal/lint port by changing one import line. Features the q3de suite
+// does not need (facts, requires-graph, suggested fixes) are intentionally
+// absent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, what it reports, and the run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the documentation shown by `q3de-lint help`.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an error only for internal failures (a nil
+	// TypesInfo, a malformed table) — never for findings.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass hands one type-checked package to an analyzer. Files holds only the
+// files to be analyzed (the drivers exclude _test.go files: runtime tests
+// legitimately use wall clocks and global randomness).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The drivers wrap it with the
+	// //lint:ignore directive filter.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // defaults to the analyzer name
+	Message  string
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves the object an expression refers to: the used or defined
+// object of an identifier, or the selected object of a selector expression
+// (method, field, or package member). Returns nil when unresolved.
+func (p *Pass) ObjectOf(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return p.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Name) has no Selection entry.
+		return p.TypesInfo.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return p.ObjectOf(e.X)
+	}
+	return nil
+}
+
+// Callee resolves the function or method a call invokes, or nil (builtin
+// calls, calls through function values, type conversions).
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	fn, _ := p.ObjectOf(ast.Unparen(call.Fun)).(*types.Func)
+	return fn
+}
+
+// PkgPathOf returns the import path of the package an object belongs to, or
+// "" for builtins and objects in the universe scope.
+func PkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

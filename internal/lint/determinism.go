@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"q3de/internal/lint/analysis"
+)
+
+// physicsPkgs are the packages whose outputs must be a pure function of
+// configuration: estimates are bit-identical across worker counts, CLI vs
+// HTTP, and batch vs cached-point paths (the cross-PR guarantee the
+// determinism goldens pin). Nothing in them may read a wall clock, an
+// entropy source, or the environment, and nothing may fold map-iteration
+// order into a result.
+var physicsPkgs = []string{
+	"q3de/internal/sim",
+	"q3de/internal/noise",
+	"q3de/internal/burst",
+	"q3de/internal/control",
+	"q3de/internal/decoder",
+	"q3de/internal/lattice",
+	"q3de/internal/anomaly",
+	"q3de/internal/deform",
+}
+
+func isPhysicsPkg(path string) bool {
+	for _, p := range physicsPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinism forbids nondeterminism sources in the physics packages:
+//
+//   - wall-clock reads (time.Now, time.Since),
+//   - the global math/rand and math/rand/v2 sources (explicitly seeded
+//     rand.New(rand.NewPCG(...)) streams are the sanctioned tool),
+//   - crypto/rand entirely,
+//   - environment reads (os.Getenv, os.LookupEnv, os.Environ),
+//   - `range` over a map whose body accumulates into floats or appends to a
+//     slice declared outside the loop: map iteration order is randomized, and
+//     float addition is not associative, so such loops drift run-to-run —
+//     the exact bug class the determinism goldens exist to catch, moved to
+//     compile time.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, global RNGs, env reads and order-dependent map iteration " +
+		"in the physics packages (q3de/internal/{sim,noise,burst,control,decoder,lattice,anomaly,deform})",
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand{,/v2} package functions that build
+// explicitly seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !isPhysicsPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if path, _ := strconv.Unquote(imp.Path.Value); path == "crypto/rand" {
+				pass.Reportf(imp.Pos(), "physics package imports crypto/rand: entropy sources break the pure-function-of-config guarantee")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkDeterminismCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions matter here; methods on *rand.Rand or
+	// time.Duration values are deterministic given their inputs.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch analysis.PkgPathOf(fn) {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "physics package reads the wall clock (time.%s): results must be a pure function of configuration", fn.Name())
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(call.Pos(), "physics package reads the environment (os.%s): configuration must arrive through explicit parameters", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "physics package draws from the global %s source (rand.%s): use an explicitly seeded generator (stats.NewRNG / rand.New(rand.NewPCG(...)))",
+				analysis.PkgPathOf(fn), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-dependent accumulation inside `range` over a
+// map. Integer accumulation is exact and commutative, so it is allowed;
+// float accumulation and slice building are not.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloat(pass.TypeOf(as.Lhs[0])) {
+				pass.Reportf(as.Pos(), "float accumulation inside range over map: iteration order is randomized and float addition is not associative, so the result drifts run-to-run; iterate sorted keys or accumulate into integers")
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if obj := lhsObject(pass, lhs); obj != nil {
+					if isFloat(obj.Type()) && referencesObject(pass, as.Rhs[i], obj) {
+						pass.Reportf(as.Pos(), "float accumulation inside range over map: iteration order is randomized and float addition is not associative, so the result drifts run-to-run; iterate sorted keys or accumulate into integers")
+					}
+					if isAppendTo(pass, as.Rhs[i], obj) && declaredOutside(pass, obj, rng) {
+						pass.Reportf(as.Pos(), "append to %s inside range over map: iteration order is randomized, so the slice order differs run-to-run; collect and sort the keys first", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func lhsObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return pass.TypesInfo.ObjectOf(id)
+	}
+	return nil
+}
+
+func referencesObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppendTo reports whether e is `append(obj, ...)`.
+func isAppendTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b == nil {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == obj
+}
+
+func declaredOutside(pass *analysis.Pass, obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}

@@ -1,0 +1,167 @@
+// Package driver loads type-checked packages and applies the q3de lint
+// suite (internal/lint) to them, in two modes:
+//
+//   - standalone: `q3de-lint ./...` shells out to `go list -export` for the
+//     build graph and analyzes every matched package;
+//   - vettool: `go vet -vettool=$(which q3de-lint) ./...` — cmd/go drives
+//     the analysis per compilation unit through the unitchecker .cfg
+//     protocol.
+//
+// Both modes type-check the unit's sources against compiler export data
+// (the same strategy as x/tools' unitchecker), so a whole-repo run costs
+// seconds, not a from-source re-typecheck of the world.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/analysis"
+)
+
+// unit is one type-checked package ready for analysis.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// typeCheck parses and type-checks one package from source files, resolving
+// imports through imp.
+func typeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, goVersion string) (*unit, error) {
+	// A test-variant unit reports its path as "pkg [pkg.test]"; the bare
+	// path is the one the analyzers' package tables key on.
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &unit{fset: fset, files: files, pkg: pkg, info: info}, nil
+}
+
+// runSuite applies every analyzer to the unit and returns the surviving
+// (non-ignored) diagnostics with their analyzer names.
+func runSuite(u *unit) ([]analysis.Diagnostic, error) {
+	var all []analysis.Diagnostic
+	for _, a := range lint.Suite() {
+		pass := &analysis.Pass{
+			Fset:      u.fset,
+			Files:     u.files,
+			Pkg:       u.pkg,
+			TypesInfo: u.info,
+		}
+		diags, err := lint.RunAnalyzer(a, pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+func printDiag(w io.Writer, fset *token.FileSet, d analysis.Diagnostic) {
+	fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Category, d.Message)
+}
+
+// exportImporter resolves imports from compiler export data files: the
+// .a files `go list -export` (standalone mode) or the vet .cfg's
+// PackageFile map (vettool mode) point at.
+type exportImporter struct {
+	importMap   map[string]string // import path as written → canonical
+	packageFile map[string]string // canonical path → export data file
+	gc          types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) *exportImporter {
+	e := &exportImporter{importMap: importMap, packageFile: packageFile}
+	e.gc = importer.ForCompiler(fset, "gc", e.lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	if f, ok := e.packageFile[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if canon, ok := e.importMap[path]; ok {
+		path = canon
+	}
+	return e.gc.Import(path)
+}
+
+// Main is the q3de-lint entry point; it returns the process exit code.
+func Main(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// The -vettool handshake: cmd/go fingerprints the tool by this
+			// line; the format mirrors x/tools' unitchecker.
+			fmt.Printf("%s version devel comments-go-here buildID=02ab032\n", progName())
+			return 0
+		case args[0] == "-flags":
+			// cmd/go asks which analyzer flags the tool supports before
+			// forwarding any; the suite has none.
+			fmt.Println("[]")
+			return 0
+		case args[0] == "help":
+			printDoc()
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0])
+		}
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return runStandalone(args)
+}
+
+func progName() string {
+	parts := strings.Split(os.Args[0], string(os.PathSeparator))
+	return parts[len(parts)-1]
+}
+
+func printDoc() {
+	fmt.Println("q3de-lint applies the q3de invariant suite (DESIGN.md §14):")
+	fmt.Println()
+	for _, a := range lint.Suite() {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("usage: q3de-lint [packages]          (standalone, defaults to ./...)")
+	fmt.Println("       go vet -vettool=$(which q3de-lint) ./...")
+	fmt.Println()
+	fmt.Println("suppress one finding: //lint:ignore <analyzer> <reason>")
+}

@@ -1,0 +1,95 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone analyzes the packages matching the patterns. It shells out
+// to `go list -e -json -export -deps`, which compiles (or reuses from the
+// build cache) export data for every dependency, then type-checks each
+// matched package from source against that export data and applies the
+// suite. Exit code: 0 clean, 1 findings or load errors.
+func runStandalone(patterns []string) int {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "q3de-lint: go list: %v\n", err)
+		return 1
+	}
+
+	packageFile := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "q3de-lint: decode go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	exit := 0
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, nil, packageFile)
+	for _, t := range targets {
+		if t.Error != nil {
+			fmt.Fprintf(os.Stderr, "q3de-lint: %s: %s\n", t.ImportPath, t.Error.Err)
+			exit = 1
+			continue
+		}
+		if len(t.GoFiles) == 0 || len(t.CgoFiles) > 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		u, err := typeCheck(fset, t.ImportPath, files, imp, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "q3de-lint: %v\n", err)
+			exit = 1
+			continue
+		}
+		diags, err := runSuite(u)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "q3de-lint: %s: %v\n", t.ImportPath, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			printDiag(os.Stderr, fset, d)
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,78 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+)
+
+// vetConfig is the compilation-unit description cmd/go hands a -vettool,
+// mirroring x/tools' unitchecker.Config (the *.cfg JSON protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit under `go vet -vettool=`. The
+// suite exports no facts, so the .vetx output cmd/go expects is written
+// empty, and dependency units (VetxOnly) return immediately — go vet visits
+// every transitive dependency for fact gathering, and skipping them keeps a
+// whole-repo vet run fast.
+func runVetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "q3de-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "q3de-lint: parse %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "q3de-lint: write vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	u, err := typeCheck(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "q3de-lint: %v\n", err)
+		return 1
+	}
+	diags, err := runSuite(u)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "q3de-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		printDiag(os.Stderr, fset, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"q3de/internal/lint/analysis"
+)
+
+// errcheckPkgs are the serving-edge packages where a dropped write error is
+// a silent wrong answer to a client (the PR-2 bug class: writeJSON swallowed
+// encode failures and clients saw empty 200s). The physics layer returns
+// values, not errors, so the check stays scoped to the edge.
+var errcheckPkgs = map[string]bool{
+	"q3de/internal/engine": true,
+	"q3de/cmd/q3de-serve":  true,
+}
+
+// errcheckNames are the callee names whose error results must not be
+// dropped when called as a bare statement: JSON encoders, closers, flushers
+// and response writers.
+var errcheckNames = map[string]bool{
+	"writeJSON": true,
+	"Encode":    true,
+	"Close":     true,
+	"Flush":     true,
+	"Write":     true,
+	"Shutdown":  true,
+}
+
+// Errchecklite flags statements in the serving edge that call an
+// error-returning Encode/Close/Flush/Write/Shutdown/writeJSON and drop the
+// result. Assigning to _ is an explicit, greppable acknowledgement and is
+// allowed; a bare call is not.
+var Errchecklite = &analysis.Analyzer{
+	Name: "errchecklite",
+	Doc:  "in internal/engine and cmd/q3de-serve, Encode/Close/Flush/Write/Shutdown/writeJSON error results must be handled (or explicitly discarded with _ =)",
+	Run:  runErrchecklite,
+}
+
+func runErrchecklite(pass *analysis.Pass) (any, error) {
+	if !errcheckPkgs[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "dropped"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "dropped by defer"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "dropped by go"
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := calleeName(call)
+			if !ok || !errcheckNames[name] {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s %s: handle it, or discard explicitly with `_ = ...` (silent write failures are the PR-2 writeJSON bug class)", name, how)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

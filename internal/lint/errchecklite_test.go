@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/linttest"
+)
+
+func TestErrchecklite(t *testing.T) {
+	linttest.Run(t, lint.Errchecklite, "errchecklite")
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"q3de/internal/lint/analysis"
+)
+
+// HotpathDirective marks a function whose whole body must be allocation-free
+// in steady state. It goes in the doc comment:
+//
+//	// Decode implements decoder.Decoder.
+//	//
+//	//q3de:hotpath
+//	func (g *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+//
+// PR 2 established the zero-alloc contract with testing.AllocsPerRun — a
+// sampled runtime assertion that sees only the inputs a test feeds it. The
+// hotpath analyzer turns the contract into a whole-body compile-time check.
+// Amortized grow paths (reslicing an arena to a new high-water mark) are the
+// sanctioned exception; they carry a //lint:ignore hotpath directive so every
+// allocation site inside a hot function is explicit and reviewed.
+const HotpathDirective = "//q3de:hotpath"
+
+// Hotpath flags constructs that allocate (or typically allocate) inside
+// functions marked //q3de:hotpath:
+//
+//   - make / new calls,
+//   - composite literals that escape: &T{...}, or slice/map/pointer-free
+//     literals of slice and map type,
+//   - function literals (closure capture allocates),
+//   - conversions of concrete values to interface types (boxing),
+//   - any call into package fmt (fmt always allocates, and Sprintf in a hot
+//     loop is the classic regression).
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs (make/new, escaping composite literals, closures, interface boxing, fmt) in functions marked //q3de:hotpath",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotpathDirective(fn) {
+				continue
+			}
+			checkHotBody(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	sig, _ := pass.TypeOf(fn.Name).(*types.Signature)
+	// addrTaken records composite literals already reported as &T{...} so the
+	// literal itself is not double-flagged.
+	addrTaken := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				addrTaken[lit] = true
+				pass.Reportf(n.Pos(), "hot path takes the address of a composite literal (heap allocation): reuse a scratch field instead")
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if addrTaken[n] || t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path builds a slice literal (heap allocation): reuse a scratch slice instead")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path builds a map literal (heap allocation): reuse a scratch map instead")
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path creates a closure (capture allocates): hoist it out of the hot function")
+			return false // the closure body is its own (cold) world
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n)
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, n, sig)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Builtins make/new.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path calls make (heap allocation): grow-to-high-water arenas belong behind an explicit //lint:ignore hotpath directive")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path calls new (heap allocation): reuse a scratch field instead")
+			}
+		}
+	}
+	// fmt calls.
+	if fn := pass.Callee(call); fn != nil && analysis.PkgPathOf(fn) == "fmt" {
+		pass.Reportf(call.Pos(), "hot path calls fmt.%s: fmt formats through reflection and always allocates", fn.Name())
+	}
+	// Concrete argument passed to an interface parameter (boxing). Skip type
+	// conversions and builtins, whose Fun is not of signature type.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, arg, pt, "passes", "argument")
+	}
+}
+
+func checkHotAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		if lt := pass.TypeOf(as.Lhs[i]); lt != nil {
+			checkBoxing(pass, as.Rhs[i], lt, "assigns", "target")
+		}
+	}
+}
+
+func checkHotReturn(pass *analysis.Pass, ret *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		checkBoxing(pass, res, sig.Results().At(i).Type(), "returns", "result")
+	}
+}
+
+// checkBoxing reports when a concrete (non-interface) value meets an
+// interface-typed slot: the conversion boxes the value on the heap unless
+// the compiler proves otherwise, which is exactly the sort of "usually fine,
+// occasionally a per-shot allocation" the hot path cannot afford.
+func checkBoxing(pass *analysis.Pass, expr ast.Expr, target types.Type, verb, slot string) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	at := pass.TypeOf(expr)
+	if at == nil {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		return // constant→interface is static data (e.g. panic("msg")), not a runtime allocation
+	}
+	if _, ok := at.Underlying().(*types.Interface); ok {
+		return // interface→interface, no boxing of a concrete value
+	}
+	pass.Reportf(expr.Pos(), "hot path %s a concrete %s to an interface %s (boxing allocates): pre-convert outside the hot function or keep the slot concrete", verb, at.String(), slot)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, lint.Hotpath, "hotpath")
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"q3de/internal/lint/analysis"
+)
+
+// PkgPolicy is one row of the layering table: which q3de packages a package
+// may import, and which standard-library packages it must not.
+type PkgPolicy struct {
+	// AllowInternal lists the q3de import paths the package may depend on.
+	// Empty means the package is q3de-leaf (stdlib-only with respect to the
+	// repo) — that is how "obs is stdlib-only" and "the physics leaves have
+	// no engine edge" are encoded.
+	AllowInternal []string
+
+	// ForbidStd lists standard-library imports the package must not take
+	// (e.g. sim must never grow an HTTP surface).
+	ForbidStd []string
+}
+
+// LayerTable is the repo's import DAG, declared. Every q3de package outside
+// examples/ must have a row (TestLayerTableCoversAllPackages enforces it),
+// and a package may import another q3de package only if its row lists it —
+// so the seams the architecture depends on (sim reaches observability only
+// through the tiny sim.Recorder interface, decoders never see the engine,
+// obs stays dependency-free) cannot erode silently.
+//
+// Rows are exact import paths; keep each AllowInternal list sorted.
+var LayerTable = map[string]PkgPolicy{
+	// Root package: doc only.
+	"q3de": {},
+
+	// ---- physics layer (leaves first) ----
+	"q3de/internal/stats":   {},
+	"q3de/internal/deform":  {},
+	"q3de/internal/lattice": {},
+	"q3de/internal/noise":   {AllowInternal: []string{"q3de/internal/lattice"}},
+	"q3de/internal/burst":   {AllowInternal: []string{"q3de/internal/lattice", "q3de/internal/stats"}},
+	"q3de/internal/anomaly": {AllowInternal: []string{"q3de/internal/stats"}},
+	"q3de/internal/scaling": {AllowInternal: []string{"q3de/internal/stats"}},
+
+	// Decoders are engine-free: lattice/decoder-core only, no engine, no obs,
+	// no sim.
+	"q3de/internal/decoder":           {AllowInternal: []string{"q3de/internal/lattice"}},
+	"q3de/internal/decoder/greedy":    {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
+	"q3de/internal/decoder/lookup":    {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
+	"q3de/internal/decoder/mwpm":      {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
+	"q3de/internal/decoder/unionfind": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
+
+	"q3de/internal/control": {AllowInternal: []string{
+		"q3de/internal/anomaly", "q3de/internal/decoder", "q3de/internal/decoder/greedy",
+		"q3de/internal/deform", "q3de/internal/lattice", "q3de/internal/noise",
+	}},
+
+	// sim is the top of the physics layer and must stay engine- and
+	// observability-free: instrumentation crosses only through the
+	// sim.Recorder seam (DESIGN.md §13), and an HTTP surface in sim would be
+	// a layering inversion — hence the explicit net/http ban.
+	"q3de/internal/sim": {
+		AllowInternal: []string{
+			"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/decoder/greedy",
+			"q3de/internal/decoder/mwpm", "q3de/internal/lattice", "q3de/internal/noise",
+			"q3de/internal/stats",
+		},
+		ForbidStd: []string{"net", "net/http"},
+	},
+
+	// ---- hardware / program layer ----
+	"q3de/internal/hw": {AllowInternal: []string{
+		"q3de/internal/decoder/greedy", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats",
+	}},
+	"q3de/internal/isa": {AllowInternal: []string{"q3de/internal/deform"}},
+
+	// ---- observability: stdlib-only, by construction ----
+	"q3de/internal/obs": {},
+
+	// ---- engine / serving layer ----
+	"q3de/internal/sweep": {},
+	"q3de/internal/engine": {AllowInternal: []string{
+		"q3de/internal/burst", "q3de/internal/lattice", "q3de/internal/obs",
+		"q3de/internal/sim", "q3de/internal/sweep",
+	}},
+	"q3de/internal/exp": {AllowInternal: []string{
+		"q3de/internal/anomaly", "q3de/internal/burst", "q3de/internal/control",
+		"q3de/internal/decoder", "q3de/internal/decoder/unionfind", "q3de/internal/deform",
+		"q3de/internal/engine", "q3de/internal/hw", "q3de/internal/isa", "q3de/internal/lattice",
+		"q3de/internal/noise", "q3de/internal/scaling", "q3de/internal/sim",
+		"q3de/internal/stats", "q3de/internal/sweep",
+	}},
+
+	// ---- auxiliary ----
+	"q3de/internal/core":        {AllowInternal: []string{"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/deform", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/sim", "q3de/internal/stats"}},
+	"q3de/internal/viz":         {AllowInternal: []string{"q3de/internal/deform", "q3de/internal/lattice"}},
+	"q3de/internal/benchmatrix": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/greedy", "q3de/internal/decoder/mwpm", "q3de/internal/decoder/unionfind", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
+
+	// ---- the lint suite itself ----
+	"q3de/internal/lint":          {AllowInternal: []string{"q3de/internal/lint/analysis"}},
+	"q3de/internal/lint/analysis": {},
+	"q3de/internal/lint/driver":   {AllowInternal: []string{"q3de/internal/lint", "q3de/internal/lint/analysis"}},
+	"q3de/internal/lint/linttest": {AllowInternal: []string{"q3de/internal/lint", "q3de/internal/lint/analysis"}},
+
+	// ---- commands ----
+	"q3de/cmd/q3de":           {AllowInternal: []string{"q3de/internal/engine", "q3de/internal/exp", "q3de/internal/sim", "q3de/internal/sweep"}},
+	"q3de/cmd/q3de-bench":     {AllowInternal: []string{"q3de/internal/benchmatrix"}},
+	"q3de/cmd/q3de-calibrate": {AllowInternal: []string{"q3de/internal/anomaly", "q3de/internal/control", "q3de/internal/hw", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
+	"q3de/cmd/q3de-serve":     {AllowInternal: []string{"q3de/internal/engine", "q3de/internal/exp", "q3de/internal/obs"}},
+	"q3de/cmd/q3de-lint":      {AllowInternal: []string{"q3de/internal/lint/driver"}},
+}
+
+// expDispatcher is the exp API surface commands may touch: the named-
+// experiment dispatcher and its option plumbing. Everything else in exp
+// (figure internals, reducers, series helpers) is off-limits to cmd/* — a
+// command that needs more should grow the dispatcher, not reach around it.
+var expDispatcher = map[string]bool{
+	"RunNamed":        true,
+	"RegisterJobs":    true,
+	"ExperimentNames": true,
+	"Options":         true,
+	"DefaultOptions":  true,
+	"Budget":          true,
+	"ParseBudget":     true,
+}
+
+// Layering enforces LayerTable: every q3de package must have a row, may
+// import only the q3de packages its row allows, must not import the listed
+// stdlib packages, and commands may use internal/exp only through the
+// dispatcher surface.
+var Layering = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "enforce the declared import DAG (LayerTable): q3de package imports must match the table; cmd/* may use internal/exp only via the dispatcher API",
+	Run:  runLayering,
+}
+
+func runLayering(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "q3de") || strings.HasPrefix(path, "q3de/examples/") {
+		return nil, nil // examples are demo code outside the DAG
+	}
+	policy, known := LayerTable[path]
+	allowed := map[string]bool{}
+	for _, p := range policy.AllowInternal {
+		allowed[p] = true
+	}
+	forbidden := map[string]bool{}
+	for _, p := range policy.ForbidStd {
+		forbidden[p] = true
+	}
+	reportedUnknown := false
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		if !known {
+			if !reportedUnknown {
+				pass.Reportf(file.Package, "package %s has no row in the layering table (internal/lint/layering.go): declare its allowed imports in LayerTable", path)
+				reportedUnknown = true
+			}
+			continue
+		}
+		for _, imp := range file.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(ipath, "q3de/") || ipath == "q3de":
+				if !allowed[ipath] {
+					pass.Reportf(imp.Pos(), "layering violation: %s may not import %s (allowed: %s)", path, ipath, allowListString(policy.AllowInternal))
+				}
+			case forbidden[ipath]:
+				pass.Reportf(imp.Pos(), "layering violation: %s must not import %s", path, ipath)
+			}
+		}
+		if strings.HasPrefix(path, "q3de/cmd/") {
+			checkExpDispatcher(pass, file)
+		}
+	}
+	return nil, nil
+}
+
+func allowListString(allow []string) string {
+	if len(allow) == 0 {
+		return "none — this package is q3de-leaf"
+	}
+	s := append([]string(nil), allow...)
+	sort.Strings(s)
+	return strings.Join(s, ", ")
+}
+
+// checkExpDispatcher flags commands referencing internal/exp symbols beyond
+// the dispatcher surface.
+func checkExpDispatcher(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "q3de/internal/exp" {
+			return true
+		}
+		if !expDispatcher[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "layering violation: commands may use internal/exp only through the dispatcher API (%s); exp.%s is an internal", dispatcherListString(), sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+func dispatcherListString() string {
+	names := make([]string, 0, len(expDispatcher))
+	for n := range expDispatcher {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/linttest"
+)
+
+func TestLayering(t *testing.T) {
+	linttest.Run(t, lint.Layering, "layering")
+}
+
+// TestLayerTableCoversAllPackages pins LayerTable to the tree in both
+// directions: every package with non-test Go files under the repo root,
+// internal/ and cmd/ must have a row (a new package cannot ship without
+// declaring its imports), and every row must name a package that still
+// exists (a deleted package cannot leave a stale grant behind).
+func TestLayerTableCoversAllPackages(t *testing.T) {
+	root := filepath.Join("..", "..")
+	onDisk := map[string]bool{}
+
+	addDir := func(dir string) error {
+		return filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(root, filepath.Dir(p))
+			if err != nil {
+				return err
+			}
+			path := "q3de"
+			if rel != "." {
+				path = "q3de/" + filepath.ToSlash(rel)
+			}
+			onDisk[path] = true
+			return nil
+		})
+	}
+	for _, top := range []string{".", "internal", "cmd"} {
+		dir := filepath.Join(root, top)
+		if top == "." {
+			// Root package only: don't recurse into examples/ etc.
+			entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range entries {
+				if !strings.HasSuffix(p, "_test.go") {
+					onDisk["q3de"] = true
+				}
+			}
+			continue
+		}
+		if err := addDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for path := range onDisk {
+		if _, ok := lint.LayerTable[path]; !ok {
+			t.Errorf("package %s has no LayerTable row: declare its allowed imports in internal/lint/layering.go", path)
+		}
+	}
+	for path := range lint.LayerTable {
+		if !onDisk[path] {
+			t.Errorf("LayerTable row %s has no package on disk: remove the stale row", path)
+		}
+	}
+}

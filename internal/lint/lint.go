@@ -1,0 +1,121 @@
+// Package lint holds q3de's custom static analyzers: the repo's cross-PR
+// invariants — deterministic physics, strict package layering, zero-alloc
+// hot paths, Prometheus metric-name conventions, and never-dropped I/O
+// errors on the serving edge — compiled into go/analysis-style checks that
+// run on every file at build time instead of only where a runtime test
+// happens to look (DESIGN.md §14).
+//
+// The suite is exposed as cmd/q3de-lint, a standalone binary that is also
+// `go vet -vettool` compatible:
+//
+//	go build -o /tmp/q3de-lint ./cmd/q3de-lint
+//	go vet -vettool=/tmp/q3de-lint ./...
+//
+// Escape hatch: a finding that is intentional (a cold grow path inside a
+// hot function, diagnostic-only wall-clock reads) is suppressed with an
+// explicit, reviewable directive on the preceding or same line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is inert.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"q3de/internal/lint/analysis"
+)
+
+// Suite returns the q3de analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		Layering,
+		Hotpath,
+		Metricname,
+		Errchecklite,
+	}
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file. Test files
+// are excluded from analysis: tests legitimately poll wall clocks, seed
+// global RNGs and import across layers.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreKey locates one suppressed (analyzer, file, line) triple.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreIndex answers "is this diagnostic suppressed by a //lint:ignore
+// directive?". A directive suppresses matching diagnostics on its own line
+// and on the line directly below it, so both trailing and preceding-line
+// placement work:
+//
+//	foo()           //lint:ignore determinism trailing form
+//	//lint:ignore hotpath preceding form
+//	bar()
+type ignoreIndex map[ignoreKey]bool
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					idx[ignoreKey{pos.Filename, pos.Line, name}] = true
+					idx[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(fset *token.FileSet, analyzer string, d analysis.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return idx[ignoreKey{pos.Filename, pos.Line, analyzer}]
+}
+
+// RunAnalyzer applies one analyzer to a type-checked unit and returns its
+// diagnostics after //lint:ignore filtering, sorted by position. Both the
+// q3de-lint drivers and the linttest fixture harness go through this
+// function, so the directive semantics under test are the ones shipped.
+func RunAnalyzer(a *analysis.Analyzer, pass *analysis.Pass) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass.Analyzer = a
+	pass.Report = func(d analysis.Diagnostic) {
+		if d.Category == "" {
+			d.Category = a.Name
+		}
+		diags = append(diags, d)
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	idx := buildIgnoreIndex(pass.Fset, pass.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(pass.Fset, a.Name, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

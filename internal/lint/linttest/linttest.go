@@ -1,0 +1,305 @@
+// Package linttest is the fixture harness for q3de's analyzers, modeled on
+// golang.org/x/tools/go/analysis/analysistest: fixture packages live under
+// testdata/<analyzer>/src/<importpath>/, expectations are written as
+// trailing `// want "regexp"` comments on the offending line, and the
+// harness fails the test for every unexpected diagnostic and every
+// expectation that produced none.
+//
+// Diagnostics flow through lint.RunAnalyzer — the same entry point both
+// q3de-lint drivers use — so the //lint:ignore suppression semantics are
+// under test too: a fixture line carrying a violation plus an ignore
+// directive simply has no want.
+//
+// Fixture imports resolve in three steps: sibling fixture directories first
+// (so fixtures can model cross-package rules like the layering table),
+// then a small set of stub standard-library paths (net, net/http,
+// crypto/rand — packages fixtures only ever blank-import to trigger
+// import-level checks, stubbed so the harness never type-checks the real
+// net stack), and finally the source importer for real standard-library
+// packages (time, os, fmt, math/rand/v2).
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/analysis"
+)
+
+// stubStd are standard-library import paths resolved as empty placeholder
+// packages: fixtures blank-import them to trigger import-path checks, and an
+// empty package satisfies a blank import without type-checking the real
+// thing.
+var stubStd = map[string]bool{
+	"net":         true,
+	"net/http":    true,
+	"crypto/rand": true,
+}
+
+// Run loads every fixture package under testdata/<fixture>/src, applies the
+// analyzer to each, and checks the diagnostics against the `// want`
+// expectations embedded in the fixture sources.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	srcRoot := filepath.Join("testdata", fixture, "src")
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		srcRoot:  srcRoot,
+		pkgs:     map[string]*fixturePkg{},
+		stubs:    map[string]*types.Package{},
+		loading:  map[string]bool{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	paths := fixturePaths(t, srcRoot)
+	if len(paths) == 0 {
+		t.Fatalf("no fixture packages under %s", srcRoot)
+	}
+	for _, path := range paths {
+		if _, err := ld.load(path); err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+	}
+
+	var wants []*want
+	var diags []diagAt
+	for _, path := range paths {
+		fp := ld.pkgs[path]
+		wants = append(wants, collectWants(t, ld.fset, fp.files)...)
+		pass := &analysis.Pass{
+			Fset:      ld.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+		}
+		ds, err := lint.RunAnalyzer(a, pass)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		for _, d := range ds {
+			pos := ld.fset.Position(d.Pos)
+			diags = append(diags, diagAt{pos.Filename, pos.Line, d.Message})
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+type diagAt struct {
+	file string
+	line int
+	msg  string
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches, and reports whether one was found.
+func claim(wants []*want, d diagAt) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.file && w.line == d.line && w.re.MatchString(d.msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantStringRE extracts the quoted patterns of a `// want "..." `+"`...`"+`
+// comment; both Go string forms are accepted so patterns may contain either
+// quotes or backslashes without double-escaping.
+var wantStringRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantStringRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// fixturePaths lists the import paths of every directory under srcRoot that
+// contains .go files.
+func fixturePaths(t *testing.T, srcRoot string) []string {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(srcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(srcRoot, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		path := filepath.ToSlash(rel)
+		for _, have := range paths {
+			if have == path {
+				return nil
+			}
+		}
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", srcRoot, err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader type-checks fixture packages on demand; it is the types.Importer
+// the checker calls back into for dependencies.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	pkgs     map[string]*fixturePkg
+	stubs    map[string]*types.Package
+	loading  map[string]bool
+	fallback types.Importer
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp.pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	if stubStd[path] {
+		if pkg, ok := l.stubs[path]; ok {
+			return pkg, nil
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		pkg := types.NewPackage(path, name)
+		pkg.MarkComplete()
+		l.stubs[path] = pkg
+		return pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	if l.loading[path] {
+		return nil, errImportCycle(path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+type errImportCycle string
+
+func (e errImportCycle) Error() string { return "fixture import cycle through " + string(e) }

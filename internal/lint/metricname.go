@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"q3de/internal/lint/analysis"
+)
+
+// metricNameRE is the exposition-name convention every q3de series follows
+// (the runtime conformance test checks the rendered /metrics output; this
+// analyzer checks the registration sites, so a bad name fails the build
+// instead of the first scrape).
+var metricNameRE = regexp.MustCompile(`^q3de_[a-z0-9_]+$`)
+
+// registryConstructors maps the obs.Registry constructor methods to whether
+// they register a counter family.
+var registryConstructors = map[string]bool{
+	"NewCounterVec":   true,
+	"NewGaugeVec":     false,
+	"NewHistogramVec": false,
+	"NewHistogram":    false,
+}
+
+// Metricname checks every string passed to an obs.Registry constructor:
+//
+//   - the name must be a compile-time constant — a name computed at runtime
+//     cannot be audited, collides silently, and defeats dashboard grep;
+//   - it must match q3de_[a-z0-9_]+ (the repo's namespace);
+//   - counter families must end in _total, non-counters must not (the
+//     Prometheus convention the registry also enforces at runtime — this
+//     moves the panic to compile time);
+//   - no name may be registered from two distinct call sites in a package:
+//     Registry creation is idempotent, so a duplicated name silently merges
+//     two series that were meant to be distinct.
+//
+// The obs package itself is exempt: its constructors forward names through
+// helper parameters by design.
+var Metricname = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs.Registry metric names must be q3de_[a-z0-9_]+ compile-time constants; counters end _total; no duplicate registrations",
+	Run:  runMetricname,
+}
+
+func runMetricname(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == "q3de/internal/obs" {
+		return nil, nil
+	}
+	seen := map[string]ast.Node{} // name → first registration site
+	for _, file := range pass.Files {
+		if IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			isCounter, ok := registryConstructors[sel.Sel.Name]
+			if !ok || !isObsRegistry(pass, sel.X) || len(call.Args) == 0 {
+				return true
+			}
+			nameArg := call.Args[0]
+			tv, found := pass.TypesInfo.Types[nameArg]
+			if !found || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(nameArg.Pos(), "metric name must be a compile-time constant string so the series inventory is auditable")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(nameArg.Pos(), "metric name %q does not match %s", name, metricNameRE.String())
+			}
+			switch {
+			case isCounter && !strings.HasSuffix(name, "_total"):
+				pass.Reportf(nameArg.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+			case !isCounter && strings.HasSuffix(name, "_total"):
+				pass.Reportf(nameArg.Pos(), "non-counter %q must not end in _total: the suffix marks counters", name)
+			}
+			if first, dup := seen[name]; dup {
+				pass.Reportf(nameArg.Pos(), "metric %q already registered at %s: registration is idempotent, so two sites silently share one series", name, pass.Fset.Position(first.Pos()))
+			} else {
+				seen[name] = call
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isObsRegistry reports whether e's type is (a pointer to)
+// q3de/internal/obs.Registry.
+func isObsRegistry(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && analysis.PkgPathOf(obj) == "q3de/internal/obs"
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"q3de/internal/lint"
+	"q3de/internal/lint/linttest"
+)
+
+func TestMetricname(t *testing.T) {
+	linttest.Run(t, lint.Metricname, "metricname")
+}

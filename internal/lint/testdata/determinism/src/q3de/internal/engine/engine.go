@@ -1,0 +1,7 @@
+// Package engine is outside lint.physicsPkgs: the engine layer legitimately
+// reads clocks for latency accounting, so nothing here is flagged.
+package engine
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }

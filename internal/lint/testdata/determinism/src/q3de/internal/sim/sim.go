@@ -1,0 +1,90 @@
+// Package sim is the determinism fixture: its import path is in
+// lint.physicsPkgs, so every nondeterminism source below must be flagged and
+// every sanctioned form must not.
+package sim
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+
+	_ "crypto/rand" // want `physics package imports crypto/rand`
+)
+
+// seeded uses the sanctioned tools: explicit constructors and methods on the
+// resulting generator are deterministic given their inputs.
+func seeded() uint64 {
+	r := rand.New(rand.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+func global() uint64 {
+	return rand.Uint64() // want `draws from the global math/rand/v2 source \(rand\.Uint64\)`
+}
+
+func clock() int64 {
+	t := time.Now() // want `reads the wall clock \(time\.Now\)`
+	return t.Unix()
+}
+
+func sinceEpoch(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `reads the wall clock \(time\.Since\)`
+}
+
+func env() string {
+	return os.Getenv("Q3DE_SEED") // want `reads the environment \(os\.Getenv\)`
+}
+
+// ignored shows the escape hatch: a diagnostic-only wall-clock read behind
+// //lint:ignore is suppressed, so the covered line carries no want.
+func ignored() int64 {
+	//lint:ignore determinism diagnostic-only timing fixture
+	t := time.Now()
+	return t.Unix()
+}
+
+func meanOverMap(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over map`
+	}
+	return sum / float64(len(m))
+}
+
+func assignForm(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+func keysOf(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// countOverMap accumulates integers: exact and commutative, so map order
+// cannot leak into the result.
+func countOverMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// overSlice ranges over a slice: iteration is ordered, so float accumulation
+// and appends are fine.
+func overSlice(xs []float64) ([]float64, float64) {
+	var out []float64
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+		out = append(out, v)
+	}
+	return out, sum
+}

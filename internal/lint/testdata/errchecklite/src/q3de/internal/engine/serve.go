@@ -1,0 +1,34 @@
+// Package engine is the errchecklite fixture serving edge: dropped error
+// results on the write/close surface are the PR-2 writeJSON bug class.
+package engine
+
+import "io"
+
+type conn struct{}
+
+func (conn) Close() error                { return nil }
+func (conn) Flush() error                { return nil }
+func (conn) Write(p []byte) (int, error) { return len(p), nil }
+
+type logSink struct{}
+
+// Close returning nothing is outside the contract: nothing to drop.
+func (logSink) Close() {}
+
+func writeJSON(w io.Writer, v any) error { return nil }
+
+func handler(w io.Writer) {
+	var c conn
+	c.Close()       // want `error result of Close dropped`
+	defer c.Close() // want `error result of Close dropped by defer`
+	go c.Flush()    // want `error result of Flush dropped by go`
+	writeJSON(w, 1) // want `error result of writeJSON dropped`
+	c.Write(nil)    // want `error result of Write dropped`
+
+	_ = c.Close() // explicit discard is greppable: allowed
+	if err := writeJSON(w, 2); err != nil {
+		_ = err
+	}
+	var s logSink
+	s.Close() // no error result: allowed
+}

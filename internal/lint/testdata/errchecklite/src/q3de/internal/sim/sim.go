@@ -1,0 +1,13 @@
+// Package sim is outside the serving edge: the physics layer returns values,
+// not client responses, so a dropped Close here is not the analyzer's
+// business.
+package sim
+
+type res struct{}
+
+func (res) Close() error { return nil }
+
+func run() {
+	var r res
+	r.Close()
+}

@@ -1,0 +1,64 @@
+// Package hot is the hotpath fixture: the analyzer fires only inside
+// functions whose doc comment carries //q3de:hotpath.
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+	out any
+}
+
+func sink(v any) {}
+
+//q3de:hotpath
+func (s *scratch) Decode(xs []int) any {
+	tmp := make([]int, len(xs)) // want `hot path calls make`
+	_ = tmp
+	p := new(scratch) // want `hot path calls new`
+	_ = p
+	q := &scratch{} // want `hot path takes the address of a composite literal`
+	_ = q
+	lit := []int{1, 2} // want `hot path builds a slice literal`
+	_ = lit
+	idx := map[int]bool{} // want `hot path builds a map literal`
+	_ = idx
+	f := func() { // want `hot path creates a closure`
+		_ = make([]int, 8) // closure bodies are cold: not reported
+	}
+	f()
+	fmt.Println() // want `hot path calls fmt\.Println`
+	n := len(xs)
+	sink(n) // want `passes a concrete int to an interface argument`
+	sink(nil)
+	sink(42)
+	s.out = n // want `assigns a concrete int to an interface target`
+	return n  // want `returns a concrete int to an interface result`
+}
+
+// Grow's arena reslice is the sanctioned amortized-allocation pattern: the
+// make sits behind the documented escape hatch and is not reported.
+//
+//q3de:hotpath
+func (s *scratch) Grow(n int) {
+	if cap(s.buf) < n {
+		//lint:ignore hotpath amortized grow to the high-water count
+		s.buf = make([]int, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// guard panics on a bound violation: a constant string converted to panic's
+// any parameter is static data, not a runtime allocation.
+//
+//q3de:hotpath
+func (s *scratch) guard(n int) {
+	if n > 1<<16 {
+		panic("hot: defect count exceeds the arena bound")
+	}
+}
+
+// cold carries no directive: allocation is unrestricted.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,10 @@
+// The serve command may import internal/exp, but only the dispatcher
+// surface: reaching past it couples the command to experiment internals.
+package main
+
+import "q3de/internal/exp"
+
+func main() {
+	_ = exp.RunNamed("fig9")
+	exp.SecretInternal() // want `exp\.SecretInternal is an internal`
+}

@@ -1,0 +1,6 @@
+// Package engine exists so the obs fixture has a concrete illegal import
+// target; it imports nothing itself.
+package engine
+
+// Engine keeps the package non-empty.
+type Engine struct{}

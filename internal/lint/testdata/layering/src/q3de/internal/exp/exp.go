@@ -1,0 +1,9 @@
+// Package exp models the experiment catalog: RunNamed is on the dispatcher
+// surface commands may call; SecretInternal stands for everything else.
+package exp
+
+// RunNamed is part of the dispatcher API.
+func RunNamed(name string) error { return nil }
+
+// SecretInternal models a non-dispatcher export.
+func SecretInternal() {}

@@ -1,0 +1,5 @@
+// Package lattice is a leaf fixture: sim's row allows importing it.
+package lattice
+
+// Coord keeps the package non-empty.
+type Coord struct{ X, Y, T int }

@@ -1,0 +1,1 @@
+package mystery // want `package q3de/internal/mystery has no row in the layering table`

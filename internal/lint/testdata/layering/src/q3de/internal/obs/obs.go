@@ -1,0 +1,7 @@
+// Package obs is stdlib-only by table decree (AllowInternal empty): any
+// q3de import is a layering violation.
+package obs
+
+import (
+	_ "q3de/internal/engine" // want `q3de/internal/obs may not import q3de/internal/engine`
+)

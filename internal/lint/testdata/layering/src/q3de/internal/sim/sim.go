@@ -1,0 +1,9 @@
+// Package sim may import the physics leaves its row allows, but never the
+// net stack: an HTTP surface in sim is a layering inversion.
+package sim
+
+import (
+	_ "net/http" // want `q3de/internal/sim must not import net/http`
+
+	_ "q3de/internal/lattice"
+)

@@ -1,0 +1,18 @@
+// Package engine registers metrics against the fixture registry; every
+// naming-convention violation must be caught at the registration site.
+package engine
+
+import "q3de/internal/obs"
+
+const latencyName = "q3de_decode_latency_seconds"
+
+func register(r *obs.Registry, dynamic string) {
+	r.NewCounterVec("q3de_jobs_completed_total", "jobs finished")
+	r.NewHistogram(latencyName, "decode latency")
+	r.NewCounterVec("q3de_jobs_completed", "jobs finished") // want `counter "q3de_jobs_completed" must end in _total`
+	r.NewGaugeVec("q3de_queue_depth_total", "queue depth")  // want `non-counter "q3de_queue_depth_total" must not end in _total`
+	r.NewHistogram("decode_latency_seconds", "latency")     // want `does not match`
+	r.NewHistogram(dynamic, "runtime-computed")             // want `must be a compile-time constant`
+	r.NewCounterVec("q3de_dup_total", "first site")
+	r.NewCounterVec("q3de_dup_total", "second site") // want `already registered`
+}

@@ -1,0 +1,22 @@
+// Package obs is the metricname fixture's stand-in registry: the analyzer
+// recognizes constructor calls by the Registry method set, so the fixture
+// only needs matching names and a string first parameter.
+package obs
+
+type Registry struct{}
+
+type CounterVec struct{}
+type GaugeVec struct{}
+type HistogramVec struct{}
+type Histogram struct{}
+
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec { return nil }
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec     { return nil }
+func (r *Registry) NewHistogramVec(name, help string, labels ...string) *HistogramVec {
+	return nil
+}
+func (r *Registry) NewHistogram(name, help string) *Histogram { return nil }
+
+// helper forwards a caller-supplied name: the obs package itself is exempt,
+// so the non-constant argument is not flagged here.
+func helper(r *Registry, name string) *Histogram { return r.NewHistogram(name, "forwarded") }

@@ -59,6 +59,8 @@ type Histogram struct {
 }
 
 // Record adds one observation.
+//
+//q3de:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0

@@ -125,6 +125,8 @@ func RunScenarioShard(ws *Workspace, sc Scenario, plan ShardPlan, shard int) Sha
 // RunShardWith is RunScenarioShard with a caller-supplied runner, so a worker
 // that executes many shards of one plan shares a single runner (and its
 // scratch arenas) across them.
+//
+//q3de:hotpath
 func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 	n := plan.withDefaults().ShardShots(shard)
 	res := ShardResult{Index: shard, Shots: n}
@@ -132,6 +134,10 @@ func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 		return res
 	}
 	rng := stats.WorkerRNG(plan.Seed, shard)
+	// The two wall-clock reads below time the shard loop for DecodeNs, which
+	// is diagnostic-only and explicitly excluded from the determinism
+	// guarantee (see AggregateScenarioShards): no estimate depends on it.
+	//lint:ignore determinism DecodeNs shard timing is diagnostic-only, excluded from the determinism guarantee
 	start := time.Now()
 	for i := int64(0); i < n; i++ {
 		fail, st := runner.RunShot(rng)
@@ -140,6 +146,7 @@ func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 		}
 		res.Stats.Add(st)
 	}
+	//lint:ignore determinism DecodeNs shard timing is diagnostic-only, excluded from the determinism guarantee
 	res.DecodeNs = time.Since(start).Nanoseconds()
 	return res
 }
