@@ -17,9 +17,19 @@
 // duration; /v1/jobs/{id}/trace returns a job's per-shard execute spans; and
 // -pprof wires the net/http/pprof profiling handlers under /debug/pprof/.
 //
+// With -journal the service is durable (DESIGN.md §15): accepted jobs and
+// per-shard/per-point checkpoints land in a segmented append-only journal,
+// and on startup the journal is replayed — the point cache is restored and
+// interrupted jobs resume under their original IDs, bit-identical to an
+// uninterrupted run. SIGTERM drains gracefully: /healthz flips to 503,
+// submissions are refused with Retry-After, in-flight jobs park at a
+// checkpoint boundary and resume on the next start.
+//
 // Usage:
 //
-//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-cache N] [-point-cache N] [-pprof]
+//	q3de-serve [-addr :8080] [-workers N] [-max-jobs N] [-max-queued N]
+//	           [-cache N] [-point-cache N] [-journal DIR]
+//	           [-drain-timeout 30s] [-pprof]
 //
 // API (see README.md for curl examples):
 //
@@ -51,25 +61,50 @@ import (
 	"q3de/internal/engine"
 	"q3de/internal/exp"
 	"q3de/internal/obs"
+	"q3de/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "shard worker pool size (0 = all cores)")
 	maxJobs := flag.Int("max-jobs", 4, "maximum concurrently running jobs")
+	maxQueued := flag.Int("max-queued", 256, "maximum jobs waiting for a run slot before submissions get 429 (0 = unbounded)")
 	cache := flag.Int("cache", 64, "workspace cache capacity (per-config lattices/metrics)")
 	pointCache := flag.Int("point-cache", 1024, "sweep point-result cache capacity")
+	journalDir := flag.String("journal", "", "journal directory for durable jobs and crash recovery (empty = volatile)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT before hard shutdown")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
+
+	var journal *store.Journal
+	if *journalDir != "" {
+		var err error
+		journal, err = store.Open(store.Options{Dir: *journalDir})
+		if err != nil {
+			log.Fatalf("open journal %s: %v", *journalDir, err)
+		}
+	}
 
 	eng := engine.New(engine.Config{
 		Workers:            *workers,
 		MaxJobs:            *maxJobs,
+		MaxQueued:          *maxQueued,
 		CacheCapacity:      *cache,
 		PointCacheCapacity: *pointCache,
+		Journal:            journal,
 	})
 	exp.RegisterJobs(eng)
 	registerBuildInfo(eng)
+	if journal != nil {
+		// Recover after RegisterJobs so journaled figure jobs can re-plan,
+		// and before serving traffic so resumed jobs keep their IDs ahead of
+		// new submissions.
+		resumed, err := eng.Recover()
+		if err != nil {
+			log.Fatalf("journal recovery: %v", err)
+		}
+		log.Printf("journal %s: resumed %d interrupted job(s)", *journalDir, resumed)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -88,13 +123,22 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful drain: flip /healthz unready and stop claiming work first,
+	// then stop accepting connections, then wait for running jobs to reach a
+	// checkpoint boundary and for the journal to flush. Interrupted jobs
+	// resume from their checkpoints on the next start.
+	log.Print("shutting down: draining")
+	eng.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	if err := eng.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
 	eng.Close()
+	log.Print("drained")
 }
 
 // buildHandler assembles the service handler: the engine API behind the

@@ -1,0 +1,535 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"q3de/internal/faultinject"
+	"q3de/internal/sim"
+	"q3de/internal/store"
+)
+
+// openTestJournal opens a journal in dir with the fast test policy (no
+// fsyncs — replay reads the file data regardless).
+func openTestJournal(t *testing.T, dir string, inj faultinject.Injector) *store.Journal {
+	t.Helper()
+	if inj == nil {
+		inj = faultinject.Nop()
+	}
+	j, err := store.Open(store.Options{Dir: dir, Policy: store.SyncNever, Inj: inj})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return j
+}
+
+// testSweepSpec is the crash-recovery workload: a 4-point memory sweep,
+// ~4 shards per point, cheap enough to run dozens of times.
+func testSweepSpec() JobSpec {
+	return JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		Scenario: KindMemory,
+		Base:     json.RawMessage(`{"p":0.01,"max_shots":2000,"seed":7}`),
+		Axes: []AxisSpec{
+			{Name: "d", Values: []any{3.0, 5.0}},
+			{Name: "p", Values: []any{0.01, 0.02}},
+		},
+	}}
+}
+
+// normalizeSweepJSON marshals a job result with execution metadata (point
+// cache hits) cleared: a resumed run legitimately serves restored points
+// from cache, and the determinism guarantee is about the physics values.
+func normalizeSweepJSON(t *testing.T, result any) []byte {
+	t.Helper()
+	res, ok := result.(SweepJobResult)
+	if !ok {
+		b, err := json.Marshal(result)
+		if err != nil {
+			t.Fatalf("marshal result: %v", err)
+		}
+		return b
+	}
+	res.CacheHits = 0
+	pts := make([]SweepPointResult, len(res.Points))
+	copy(pts, res.Points)
+	for i := range pts {
+		pts[i].Cached = false
+	}
+	res.Points = pts
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+func runToDone(t *testing.T, e *Engine, spec JobSpec) any {
+	t.Helper()
+	job, err := e.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, job)
+	if st := job.State(); st != StateDone {
+		t.Fatalf("job finished %s (err %q), want done", st, job.Err())
+	}
+	result, _ := job.Result()
+	return result
+}
+
+// goldenSweep computes the uninterrupted, journal-free reference result.
+func goldenSweep(t *testing.T) []byte {
+	t.Helper()
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	return normalizeSweepJSON(t, runToDone(t, e, testSweepSpec()))
+}
+
+func TestJournalRoundTripAndPointCacheRestore(t *testing.T) {
+	golden := goldenSweep(t)
+	dir := t.TempDir()
+
+	// First life: run the sweep to completion with a journal attached.
+	e := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+	first := normalizeSweepJSON(t, runToDone(t, e, testSweepSpec()))
+	if string(first) != string(golden) {
+		t.Fatalf("journaled run diverged from golden:\n%s\nvs\n%s", first, golden)
+	}
+	e.Close()
+
+	// Second life: the job is finished, so nothing resumes — but the point
+	// cache must be restored, and a re-submission of the same sweep must be
+	// served entirely from it, bit-identical.
+	e2 := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+	defer e2.Close()
+	resumed, err := e2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if resumed != 0 {
+		t.Fatalf("resumed %d jobs, want 0 (job finished before restart)", resumed)
+	}
+	result := runToDone(t, e2, testSweepSpec())
+	if got := normalizeSweepJSON(t, result); string(got) != string(golden) {
+		t.Fatalf("restored-cache run diverged from golden:\n%s\nvs\n%s", got, golden)
+	}
+	sweepRes := result.(SweepJobResult)
+	if sweepRes.CacheHits != len(sweepRes.Points) {
+		t.Fatalf("restored point cache served %d/%d points", sweepRes.CacheHits, len(sweepRes.Points))
+	}
+	if hits := e2.Metrics().SweepPointCacheHits; hits == 0 {
+		t.Fatal("q3de_sweep_point_cache_hits_total did not reflect restored points")
+	}
+	// The resumed job IDs must not collide with new submissions.
+	job, err := e2.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{D: 3, P: 0.01, MaxShots: 512}})
+	if err != nil {
+		t.Fatalf("submit after recover: %v", err)
+	}
+	if job.ID() == "job-000001" {
+		t.Fatalf("new job reused a journaled ID: %s", job.ID())
+	}
+}
+
+// readJournalBytes concatenates the journal's segment files in sequence
+// order — the byte stream the crash-recovery property test truncates.
+func readJournalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no journal segments in %s (err %v)", dir, err)
+	}
+	if len(names) > 1 {
+		t.Fatalf("property test assumes one segment, found %d", len(names))
+	}
+	b, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	return b
+}
+
+// TestCrashRecoveryProperty is the tentpole acceptance test: kill the
+// process at any journal offset — including mid-record torn writes —
+// restart, and the completed sweep must equal the uninterrupted golden.
+func TestCrashRecoveryProperty(t *testing.T) {
+	golden := goldenSweep(t)
+
+	// Reference life: one journaled run to completion, whose journal byte
+	// stream stands in for "the state on disk at the moment of the crash"
+	// (a crash at offset k leaves exactly the first k bytes).
+	refDir := t.TempDir()
+	e := New(Config{Workers: 2, Journal: openTestJournal(t, refDir, nil)})
+	runToDone(t, e, testSweepSpec())
+	e.Close()
+	whole := readJournalBytes(t, refDir)
+	segName := filepath.Base(func() string {
+		names, _ := filepath.Glob(filepath.Join(refDir, "*.wal"))
+		return names[0]
+	}())
+
+	offsets := faultinject.Offsets(42, 10, int64(len(whole)))
+	offsets = append(offsets, 0, int64(len(whole)))
+	for _, off := range offsets {
+		off := off
+		t.Run(fmt.Sprintf("offset=%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, segName), whole[:off], 0o644); err != nil {
+				t.Fatalf("write truncated journal: %v", err)
+			}
+			e := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+			defer e.Close()
+			resumed, err := e.Recover()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			var result any
+			switch resumed {
+			case 0:
+				// The crash predates the (synced) submission record, or
+				// postdates the finish record: the client re-submits.
+				result = runToDone(t, e, testSweepSpec())
+			case 1:
+				job, ok := e.Job("job-000001")
+				if !ok {
+					t.Fatal("resumed job not in registry")
+				}
+				st := job.Status()
+				if !st.Resumed {
+					t.Fatal("resumed job not flagged Resumed")
+				}
+				waitJob(t, job)
+				if s := job.State(); s != StateDone {
+					t.Fatalf("resumed job finished %s (err %q), want done", s, job.Err())
+				}
+				result, _ = job.Result()
+			default:
+				t.Fatalf("resumed %d jobs, want 0 or 1", resumed)
+			}
+			if got := normalizeSweepJSON(t, result); string(got) != string(golden) {
+				t.Fatalf("crash at offset %d diverged from golden:\n%s\nvs\n%s", off, got, golden)
+			}
+		})
+	}
+}
+
+func TestDrainInterruptsAndResumesBitIdentical(t *testing.T) {
+	golden := goldenSweep(t)
+	dir := t.TempDir()
+
+	// Every shard sleeps 5ms, so the 4-point sweep takes long enough to
+	// drain mid-run deterministically (the result is unchanged: delays are
+	// outside the physics).
+	slow := faultinject.NewSet(faultinject.Fault{Site: "engine.shard", Act: faultinject.Delay, Delay: 5 * time.Millisecond})
+	e := New(Config{Workers: 1, Journal: openTestJournal(t, dir, nil), Injector: slow})
+	job, err := e.Submit(testSweepSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Wait for the first grid point to land, then drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status().Progress.PointsDone == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no point completed before drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := job.State(); st != StateInterrupted && st != StateDone {
+		t.Fatalf("drained job state %s, want interrupted (or done if it outraced the drain)", st)
+	}
+	interrupted := job.State() == StateInterrupted
+	if interrupted && e.Metrics().JobsInterrupted == 0 {
+		t.Fatal("q3de_jobs_interrupted_total not bumped")
+	}
+	// Submissions during a drain are refused.
+	if _, err := e.Submit(testSweepSpec()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+	e.Close()
+
+	// Second life: the interrupted job resumes under its original ID and
+	// finishes bit-identical to the golden.
+	e2 := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+	defer e2.Close()
+	resumed, err := e2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if interrupted {
+		if resumed != 1 {
+			t.Fatalf("resumed %d jobs, want 1", resumed)
+		}
+		if e2.Metrics().JobsResumed != 1 {
+			t.Fatal("q3de_jobs_resumed_total not bumped")
+		}
+		rjob, ok := e2.Job(job.ID())
+		if !ok {
+			t.Fatalf("job %s not resumed under its ID", job.ID())
+		}
+		waitJob(t, rjob)
+		if s := rjob.State(); s != StateDone {
+			t.Fatalf("resumed job finished %s (err %q), want done", s, rjob.Err())
+		}
+		result, _ := rjob.Result()
+		if got := normalizeSweepJSON(t, result); string(got) != string(golden) {
+			t.Fatalf("resumed sweep diverged from golden:\n%s\nvs\n%s", got, golden)
+		}
+	} else if resumed != 0 {
+		t.Fatalf("resumed %d jobs after a completed run, want 0", resumed)
+	}
+}
+
+func TestShardRetryUnderInjectedFaultsBitIdentical(t *testing.T) {
+	cfg := testConfig(11)
+	ref := New(Config{Workers: 2})
+	want, err := ref.RunMemory(context.Background(), cfg)
+	ref.Close()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// A seed-derived schedule of panics and errors at the shard site; with
+	// retries enabled the run must survive and stay bit-identical.
+	faults := faultinject.Schedule(3, []string{"engine.shard"}, 4, 6,
+		faultinject.Panic, faultinject.Error)
+	e := New(Config{Workers: 2, Injector: faultinject.NewSet(faults...),
+		MaxShardRetries: 6, RetryBackoff: -1})
+	defer e.Close()
+	got, err := e.RunMemory(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("injected run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("injected run diverged: %+v vs %+v", got, want)
+	}
+	if e.Metrics().ShardRetries == 0 {
+		t.Fatal("q3de_shard_retries_total not bumped")
+	}
+}
+
+func TestJobRetryRecoversFromTransientPanic(t *testing.T) {
+	cfg := testConfig(13)
+	ref := New(Config{Workers: 2})
+	want, err := ref.RunMemory(context.Background(), cfg)
+	ref.Close()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Shard retries disabled: the hit-1 panic fails the whole first
+	// attempt, and the job-level retry must recover bit-identical.
+	inj := faultinject.NewSet(faultinject.Fault{Site: "engine.shard", Hit: 1, Act: faultinject.Panic})
+	e := New(Config{Workers: 2, Injector: inj,
+		MaxShardRetries: -1, MaxJobAttempts: 3, RetryBackoff: -1})
+	defer e.Close()
+	job, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{
+		D: cfg.D, P: cfg.P, MaxShots: cfg.MaxShots, Seed: cfg.Seed}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, job)
+	if st := job.State(); st != StateDone {
+		t.Fatalf("job finished %s (err %q), want done after retry", st, job.Err())
+	}
+	st := job.Status()
+	if st.Attempt < 2 {
+		t.Fatalf("attempt = %d, want >= 2", st.Attempt)
+	}
+	if st.Quarantined {
+		t.Fatal("recovered job must not be quarantined")
+	}
+	if frac := st.Progress.Fraction; frac > 1.0001 {
+		t.Fatalf("retry double-counted progress: fraction %g", frac)
+	}
+	result, _ := job.Result()
+	if result.(sim.MemoryResult) != want {
+		t.Fatalf("retried run diverged: %+v vs %+v", result, want)
+	}
+	if e.Metrics().JobRetries == 0 {
+		t.Fatal("q3de_job_retries_total not bumped")
+	}
+}
+
+func TestPoisonJobQuarantine(t *testing.T) {
+	// Every shard execution panics, on every attempt: the job must fail
+	// permanently instead of retrying forever — and with a journal
+	// attached, the failure is recorded so a restart does not resume it.
+	dir := t.TempDir()
+	inj := faultinject.NewSet(faultinject.Fault{Site: "engine.shard", Act: faultinject.Panic})
+	e := New(Config{Workers: 2, Injector: inj, Journal: openTestJournal(t, dir, nil),
+		MaxShardRetries: -1, MaxJobAttempts: 2, RetryBackoff: -1})
+	job, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{D: 3, P: 0.01, MaxShots: 512}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitJob(t, job)
+	if st := job.State(); st != StateFailed {
+		t.Fatalf("poison job finished %s, want failed", st)
+	}
+	st := job.Status()
+	if !st.Quarantined {
+		t.Fatal("poison job not quarantined")
+	}
+	if st.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2", st.Attempt)
+	}
+	m := e.Metrics()
+	if m.JobsQuarantined != 1 || m.JobRetries != 1 {
+		t.Fatalf("quarantined=%d retries=%d, want 1 and 1", m.JobsQuarantined, m.JobRetries)
+	}
+	e.Close()
+
+	e2 := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+	defer e2.Close()
+	resumed, err := e2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if resumed != 0 {
+		t.Fatalf("quarantined job resumed %d times, want 0 — a poison spec must not crash-loop restarts", resumed)
+	}
+}
+
+func TestQueueAdmissionBound(t *testing.T) {
+	block := make(chan struct{})
+	e := New(Config{Workers: 1, MaxJobs: 1, MaxQueued: 1})
+	defer e.Close()
+	defer close(block)
+	e.RegisterKind("block", func(ctx context.Context, _ *Engine, _ json.RawMessage, _ *Job) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "ok", nil
+	})
+
+	j1, err := e.Submit(JobSpec{Kind: "block"})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j1.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Submit(JobSpec{Kind: "block"}); err != nil {
+		t.Fatalf("submit 2 (fills the queue): %v", err)
+	}
+	if _, err := e.Submit(JobSpec{Kind: "block"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit 3: %v, want ErrQueueFull", err)
+	}
+	if e.Metrics().JobsRejected != 1 {
+		t.Fatalf("jobs_rejected = %d, want 1", e.Metrics().JobsRejected)
+	}
+}
+
+// TestConcurrentSubmitCancelDrain exercises the full lifecycle machinery
+// under -race: submitters, cancellers and history eviction all racing a
+// drain that lands mid-flight.
+func TestConcurrentSubmitCancelDrain(t *testing.T) {
+	dir := t.TempDir()
+	slow := faultinject.NewSet(faultinject.Fault{Site: "engine.shard", Act: faultinject.Delay, Delay: time.Millisecond})
+	e := New(Config{Workers: 2, MaxJobs: 2, MaxHistory: 8,
+		Journal: openTestJournal(t, dir, nil), Injector: slow})
+
+	var (
+		mu   sync.Mutex
+		jobs []*Job
+		wg   sync.WaitGroup
+	)
+	spec := JobSpec{Kind: KindMemory, Memory: &MemorySpec{D: 3, P: 0.01, MaxShots: 4096, Seed: 1}}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				j, err := e.Submit(spec)
+				if err != nil {
+					// Draining or closed: both are legitimate outcomes of
+					// the race; the submitter just stops.
+					return
+				}
+				mu.Lock()
+				jobs = append(jobs, j)
+				mu.Unlock()
+			}
+		}()
+	}
+	// Cancellers race job completion and history eviction.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				mu.Lock()
+				var j *Job
+				if len(jobs) > 0 {
+					j = jobs[(g*7+i)%len(jobs)]
+				}
+				mu.Unlock()
+				if j != nil {
+					e.CancelJob(j)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s not terminal after drain (state %s)", j.ID(), j.State())
+		}
+	}
+	e.Close()
+}
+
+func TestCanonConfigKeyErrorDoesNotPanic(t *testing.T) {
+	// A config that cannot marshal must surface as an error (the per-point
+	// error path), never a panic.
+	_, err := canonConfigKey(KindMemory, make(chan int))
+	if err == nil {
+		t.Fatal("canonConfigKey(chan) returned no error")
+	}
+	if _, ok := MemoryPointKey(sim.MemoryConfig{D: 3, P: 0.01}); !ok {
+		t.Fatal("MemoryPointKey rejected a plain config")
+	}
+}
+
+func TestJournalSubmissionFailureRefusesJob(t *testing.T) {
+	// An injected append failure on the submission record must refuse the
+	// submission (the client retries) rather than accept a job that would
+	// vanish on restart.
+	dir := t.TempDir()
+	inj := faultinject.NewSet(faultinject.Fault{Site: "store.append", Act: faultinject.Error})
+	e := New(Config{Workers: 1, Journal: openTestJournal(t, dir, inj)})
+	defer e.Close()
+	if _, err := e.Submit(JobSpec{Kind: KindMemory, Memory: &MemorySpec{D: 3, P: 0.01, MaxShots: 512}}); err == nil {
+		t.Fatal("submission with failing journal succeeded")
+	}
+	if got := len(e.Jobs()); got != 0 {
+		t.Fatalf("refused submission left %d jobs in the registry", got)
+	}
+}

@@ -16,13 +16,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/faultinject"
 	"q3de/internal/obs"
 	"q3de/internal/sim"
+	"q3de/internal/store"
 )
 
 // Config sizes an Engine.
@@ -46,6 +49,34 @@ type Config struct {
 	// queued jobs are never pruned, so a long-lived service cannot leak
 	// result payloads without bound.
 	MaxHistory int
+	// MaxQueued bounds jobs waiting for a run slot; 0 means unbounded
+	// (library use). When the bound is reached Submit returns ErrQueueFull,
+	// which the HTTP layer maps to 429 + Retry-After — backpressure instead
+	// of unbounded growth.
+	MaxQueued int
+	// Journal, when non-nil, makes the engine durable: submissions, shard
+	// checkpoints, sweep-point results and terminal states are appended to
+	// it, and Recover replays it on startup. The engine takes ownership and
+	// closes it in Close.
+	Journal *store.Journal
+	// Injector receives the engine's fault-injection sites ("engine.shard"
+	// fires before every shard execution); nil means none.
+	Injector faultinject.Injector
+	// MaxShardRetries bounds in-place re-executions of a shard whose run
+	// panicked or hit an injected fault; 0 means 2, negative means none.
+	// Retried shards re-run on a fresh runner, so a scratch arena corrupted
+	// by the panic is never reused.
+	MaxShardRetries int
+	// MaxJobAttempts bounds full executions of a job whose run panicked
+	// (shard retries exhausted); 0 means 2, negative or 1 means a single
+	// attempt. A job that panics on every attempt is quarantined: it
+	// finishes StateFailed with Quarantined set and is journaled as
+	// finished, so a poison spec cannot crash-loop the service across
+	// restarts.
+	MaxJobAttempts int
+	// RetryBackoff is the base delay between retry attempts (linear,
+	// attempt × backoff); 0 means 50ms, negative means none.
+	RetryBackoff time.Duration
 }
 
 // RunnerFunc executes one registered job kind. It receives the job's
@@ -78,10 +109,36 @@ type Engine struct {
 	points  *pointCache
 	metrics metrics
 	obs     *engineObs
+
+	// Durability + failure handling (DESIGN.md §15).
+	journal         *store.Journal
+	inj             faultinject.Injector
+	maxQueued       int
+	maxShardRetries int
+	maxJobAttempts  int
+	retryBackoff    time.Duration
+	queued          atomic.Int64 // jobs admitted but not yet holding a run slot
+	drainCh         chan struct{}
+	drainOnce       sync.Once
+	resume          resumeIndex // shard checkpoints replayed from the journal
 }
 
 // ErrClosed is returned by submissions to a closed engine.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrDraining is returned by submissions to a draining engine, and is the
+// run error of jobs interrupted by the drain. The HTTP layer maps it to
+// 503 + Retry-After.
+var ErrDraining = errors.New("engine: draining")
+
+// ErrQueueFull is returned when MaxQueued jobs are already waiting for a run
+// slot. The HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("engine: job queue full")
+
+// errPanic classifies run failures caused by a panic (or an injected shard
+// fault) — the retryable class: deterministic input errors are not retried,
+// crashes of unknown provenance are, boundedly.
+var errPanic = errors.New("engine: panic")
 
 // New starts an engine with its worker pool running.
 func New(cfg Config) *Engine {
@@ -97,20 +154,39 @@ func New(cfg Config) *Engine {
 	if cfg.MaxHistory <= 0 {
 		cfg.MaxHistory = 1024
 	}
+	if cfg.Injector == nil {
+		cfg.Injector = faultinject.Nop()
+	}
+	if cfg.MaxShardRetries == 0 {
+		cfg.MaxShardRetries = 2
+	}
+	if cfg.MaxJobAttempts == 0 {
+		cfg.MaxJobAttempts = 2
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		workers:    cfg.Workers,
-		maxJobs:    cfg.MaxJobs,
-		maxHistory: cfg.MaxHistory,
-		tasks:      make(chan func(), cfg.QueueDepth),
-		jobSem:     make(chan struct{}, cfg.MaxJobs),
-		baseCtx:    ctx,
-		stopAll:    cancel,
-		jobs:       make(map[string]*Job),
-		runners:    make(map[string]RunnerFunc),
-		cache:      newWorkspaceCache(cfg.CacheCapacity),
-		points:     newPointCache(cfg.PointCacheCapacity),
-		obs:        newEngineObs(),
+		workers:         cfg.Workers,
+		maxJobs:         cfg.MaxJobs,
+		maxHistory:      cfg.MaxHistory,
+		tasks:           make(chan func(), cfg.QueueDepth),
+		jobSem:          make(chan struct{}, cfg.MaxJobs),
+		baseCtx:         ctx,
+		stopAll:         cancel,
+		jobs:            make(map[string]*Job),
+		runners:         make(map[string]RunnerFunc),
+		cache:           newWorkspaceCache(cfg.CacheCapacity),
+		points:          newPointCache(cfg.PointCacheCapacity),
+		obs:             newEngineObs(),
+		journal:         cfg.Journal,
+		inj:             cfg.Injector,
+		maxQueued:       cfg.MaxQueued,
+		maxShardRetries: max(0, cfg.MaxShardRetries),
+		maxJobAttempts:  max(1, cfg.MaxJobAttempts),
+		retryBackoff:    max(0, cfg.RetryBackoff),
+		drainCh:         make(chan struct{}),
 	}
 	e.metrics.start = time.Now()
 	e.metrics.window = e.obs.window
@@ -141,7 +217,9 @@ func (e *Engine) RegisterKind(kind string, fn RunnerFunc) {
 }
 
 // Close cancels all jobs, drains the pool and releases the workers. Pending
-// and running jobs finish in the cancelled state.
+// and running jobs finish in the cancelled state (they are not journaled as
+// finished, so a journaled engine resumes them on the next start). The
+// journal, if any, is synced and closed last.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -154,6 +232,59 @@ func (e *Engine) Close() {
 	e.jobsWG.Wait()
 	close(e.tasks)
 	e.poolWG.Wait()
+	if e.journal != nil {
+		if err := e.journal.Close(); err != nil && !errors.Is(err, store.ErrClosed) {
+			log.Printf("engine: close journal: %v", err)
+		}
+	}
+}
+
+// BeginDrain flips the engine into draining mode without waiting: new
+// submissions are refused with ErrDraining, running jobs stop claiming new
+// shards and grid points at the next boundary and finish StateInterrupted.
+// Interrupted jobs keep their journal submission record, so a journaled
+// engine resumes them from their checkpoints on the next start. Idempotent.
+func (e *Engine) BeginDrain() {
+	e.drainOnce.Do(func() { close(e.drainCh) })
+}
+
+// Draining reports whether BeginDrain has been called.
+func (e *Engine) Draining() bool { return e.draining() }
+
+func (e *Engine) draining() bool {
+	select {
+	case <-e.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain gracefully stops the engine's work: it begins the drain, waits for
+// every job orchestrator to reach its terminal state (interrupted, at the
+// next shard/point boundary), and flushes the journal so no acknowledged
+// checkpoint is lost. Returns ctx.Err() if the deadline expires first — the
+// journal is still synced with whatever checkpoints landed. Close must still
+// be called to release the workers.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		e.jobsWG.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+	}
+	if e.journal != nil {
+		if err := e.journal.Sync(); err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("engine: drain sync: %w", err)
+		}
+	}
+	return waitErr
 }
 
 // register joins the engine's lifecycle; the returned release must be called
@@ -218,7 +349,8 @@ func (e *Engine) RunStream(ctx context.Context, cfg sim.StreamConfig) (sim.Strea
 // runMemory executes one memory configuration as a scenario sweep on the
 // shared pool and finishes it into a MemoryResult.
 func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.MemoryResult, error) {
-	results, err := e.runShards(ctx, cfg, sim.MemoryScenario{Config: cfg}, cfg.Plan(), KindMemory)
+	key, _ := MemoryPointKey(cfg)
+	results, err := e.runShards(ctx, cfg, sim.MemoryScenario{Config: cfg}, cfg.Plan(), KindMemory, key)
 	if err != nil {
 		return sim.MemoryResult{}, err
 	}
@@ -237,7 +369,8 @@ func (e *Engine) runStream(ctx context.Context, cfg sim.StreamConfig) (sim.Strea
 	// RNG-free, so the result stays bit-identical to sim.RunStream.
 	sc.SetDetectionRecorder(e.obs.detLat)
 	cfg = sc.Config()
-	results, err := e.runShards(ctx, cfg.MemoryBase(), sc, cfg.Plan(), KindStream)
+	key, _ := StreamPointKey(cfg)
+	results, err := e.runShards(ctx, cfg.MemoryBase(), sc, cfg.Plan(), KindStream, key)
 	if err != nil {
 		return sim.StreamResult{}, err
 	}
@@ -256,7 +389,12 @@ func (e *Engine) runStream(ctx context.Context, cfg sim.StreamConfig) (sim.Strea
 // (KindMemory or KindStream); the shard-duration histogram is labeled by the
 // owning job's kind when there is one, so a sweep's shards land under
 // "sweep" while a direct memory job's land under "memory".
-func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.Scenario, plan sim.ShardPlan, kind string) ([]sim.ShardResult, error) {
+// ckptKey is the run's canonical configuration key: completed shards are
+// checkpointed in the journal under it (when the run belongs to a job and a
+// journal is attached), and shards restored by Recover under the same key
+// short-circuit execution — their recorded result is reused, which is safe
+// because shard i is a pure function of (config, i).
+func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.Scenario, plan sim.ShardPlan, kind string, ckptKey string) ([]sim.ShardResult, error) {
 	stream := kind == KindStream
 	ws, hit := e.cache.get(wsCfg)
 	if hit {
@@ -282,6 +420,7 @@ func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.S
 		results  = make([]sim.ShardResult, 0, shards)
 		failures atomic.Int64
 		panicErr atomic.Value
+		drained  bool
 	)
 	stop := ctx.Done()
 feed:
@@ -292,21 +431,42 @@ feed:
 		if panicErr.Load() != nil {
 			break
 		}
+		// Shards restored from the journal short-circuit: the result is
+		// appended directly (still claimed in index order, preserving the
+		// contiguous prefix aggregation relies on) and counts into progress
+		// and the early-stop budget, but not into execution metrics — a
+		// resumed engine must not report phantom throughput.
+		if r, ok := e.resume.take(ckptKey, i); ok {
+			failures.Add(r.Failures)
+			if job != nil {
+				job.observeShard(r)
+			}
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+			continue
+		}
+		if e.draining() {
+			drained = true
+			break
+		}
 		i := i
 		task := func() {
 			defer taskWG.Done()
 			if ctx.Err() != nil {
 				return
 			}
-			defer func() {
-				if r := recover(); r != nil {
-					panicErr.CompareAndSwap(nil, fmt.Errorf("engine: shard %d panicked: %v", i, r))
+			r, start, err := e.execShard(plan, i, sc, &runners)
+			for attempt := 0; err != nil; attempt++ {
+				if attempt >= e.maxShardRetries || ctx.Err() != nil {
+					panicErr.CompareAndSwap(nil, fmt.Errorf("%w: shard %d failed after %d attempts: %v",
+						errPanic, i, attempt+1, err))
+					return
 				}
-			}()
-			runner := runners.Get().(sim.ShotRunner)
-			start := time.Now()
-			r := sim.RunShardWith(plan, i, runner)
-			runners.Put(runner)
+				e.metrics.shardRetries.Add(1)
+				e.backoff(ctx, attempt+1)
+				r, start, err = e.execShard(plan, i, sc, &runners)
+			}
 			failures.Add(r.Failures)
 			shardDur.Record(r.DecodeNs)
 			e.metrics.observeShard(r, stream)
@@ -316,6 +476,7 @@ feed:
 					Shard: i, Seed: plan.Seed, Start: start,
 					DurationNs: r.DecodeNs, Shots: r.Shots, Failures: r.Failures,
 				})
+				e.journalShard(job, ckptKey, i, r)
 			}
 			mu.Lock()
 			results = append(results, r)
@@ -327,6 +488,10 @@ feed:
 		case <-stop:
 			taskWG.Done()
 			break feed
+		case <-e.drainCh:
+			taskWG.Done()
+			drained = true
+			break feed
 		}
 	}
 	taskWG.Wait()
@@ -336,30 +501,100 @@ feed:
 	if err, _ := panicErr.Load().(error); err != nil {
 		return nil, err
 	}
+	if drained {
+		return nil, ErrDraining
+	}
 	return results, nil
 }
 
+// execShard runs one shard on a pooled runner, converting panics (and
+// injected "engine.shard" faults) into errors so the worker goroutine
+// survives. A runner that panicked is NOT returned to the pool: its scratch
+// arena may be mid-mutation, so the retry draws a fresh one.
+func (e *Engine) execShard(plan sim.ShardPlan, i int, sc sim.Scenario, runners *sync.Pool) (r sim.ShardResult, start time.Time, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("shard %d panicked: %v", i, rec)
+		}
+	}()
+	if err := e.inj.Fire("engine.shard"); err != nil {
+		return r, start, err
+	}
+	runner := runners.Get().(sim.ShotRunner)
+	start = time.Now()
+	r = sim.RunShardWith(plan, i, runner)
+	runners.Put(runner)
+	return r, start, nil
+}
+
+// backoff sleeps attempt × retryBackoff or until ctx is done.
+func (e *Engine) backoff(ctx context.Context, attempt int) {
+	d := time.Duration(attempt) * e.retryBackoff
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // Submit validates and enqueues a job, returning immediately. The job runs
-// as soon as a run slot frees up, in submission order.
+// as soon as a run slot frees up, in submission order. A draining engine
+// refuses with ErrDraining; once MaxQueued jobs are waiting for a slot it
+// refuses with ErrQueueFull. With a journal attached, the submission record
+// is durable (fsynced) before Submit returns.
 func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	return e.submit(spec, "", false)
+}
+
+// submit is the submission core shared by Submit and Recover. Resumed jobs
+// keep their original id, bypass admission control (they were admitted in a
+// previous life) and are not re-journaled.
+func (e *Engine) submit(spec JobSpec, id string, resumed bool) (*Job, error) {
+	if e.draining() {
+		return nil, ErrDraining
+	}
 	run, err := e.plan(spec)
 	if err != nil {
 		return nil, err
+	}
+	if !resumed && e.maxQueued > 0 && e.queued.Load() >= int64(e.maxQueued) {
+		e.metrics.jobsRejected.Add(1)
+		return nil, ErrQueueFull
 	}
 	release, err := e.register()
 	if err != nil {
 		return nil, err
 	}
 
-	id := fmt.Sprintf("job-%06d", e.nextID.Add(1))
+	if id == "" {
+		id = fmt.Sprintf("job-%06d", e.nextID.Add(1))
+	}
 	jobCtx, cancel := context.WithCancel(e.baseCtx)
 	job := &Job{
-		id: id, spec: spec,
+		id: id, spec: spec, resumed: resumed,
 		state: StateQueued, created: time.Now(),
 		cancel: cancel, doneCh: make(chan struct{}),
 	}
 	job.trace = obs.NewTrace(id, spec.Kind, traceSpanCap, job.created)
 	job.ctx = context.WithValue(jobCtx, jobCtxKey{}, job)
+
+	if e.journal != nil && !resumed {
+		specJSON, err := json.Marshal(spec)
+		if err == nil {
+			err = e.journal.Append(store.TJobSubmitted, store.JobSubmitted{ID: id, Spec: specJSON})
+		}
+		if err != nil {
+			// An unjournaled job would silently vanish on restart; refuse
+			// the submission instead so the client knows to retry.
+			release()
+			cancel()
+			return nil, fmt.Errorf("engine: journal submission: %w", err)
+		}
+	}
 
 	e.mu.Lock()
 	e.jobs[id] = job
@@ -367,36 +602,64 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	e.pruneLocked()
 	e.mu.Unlock()
 	e.metrics.jobsSubmitted.Add(1)
+	e.queued.Add(1)
 
 	go func() {
 		defer release()
 		defer cancel()
 		select {
 		case e.jobSem <- struct{}{}:
+			e.queued.Add(-1)
 			defer func() { <-e.jobSem }()
 		case <-job.ctx.Done():
+			e.queued.Add(-1)
 			e.finalize(job, nil, job.ctx.Err())
+			return
+		case <-e.drainCh:
+			e.queued.Add(-1)
+			e.finalize(job, nil, ErrDraining)
 			return
 		}
 		job.setRunning()
 		e.obs.queueWait.With(spec.Kind).Record(time.Since(job.created).Nanoseconds())
-		result, err := func() (result any, err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					// Cancellation may surface as a panic from deep inside a
-					// registered runner; keep it recognisable as such.
-					if perr, ok := r.(error); ok && (errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded)) {
-						err = perr
-						return
-					}
-					err = fmt.Errorf("job panicked: %v", r)
-				}
-			}()
-			return run(job.ctx, job)
-		}()
+		result, err := e.runAttempt(run, job)
+		// A panic-class failure re-runs the whole job, boundedly: shard
+		// results are deterministic, so a retry is safe, and completed
+		// shards are served from the journal's checkpoints. Deterministic
+		// input errors are not retried.
+		for attempt := 1; err != nil && errors.Is(err, errPanic) &&
+			job.ctx.Err() == nil && !e.draining(); attempt++ {
+			if attempt >= e.maxJobAttempts {
+				job.markQuarantined()
+				e.metrics.jobsQuarantined.Add(1)
+				err = fmt.Errorf("quarantined after %d attempts: %w", attempt, err)
+				break
+			}
+			e.metrics.jobRetries.Add(1)
+			job.nextAttempt()
+			e.backoff(job.ctx, attempt)
+			result, err = e.runAttempt(run, job)
+		}
 		e.finalize(job, result, err)
 	}()
 	return job, nil
+}
+
+// runAttempt executes one full run of the job, converting panics that escape
+// the shard layer into retryable errors.
+func (e *Engine) runAttempt(run func(context.Context, *Job) (any, error), job *Job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Cancellation may surface as a panic from deep inside a
+			// registered runner; keep it recognisable as such.
+			if perr, ok := r.(error); ok && (errors.Is(perr, context.Canceled) || errors.Is(perr, context.DeadlineExceeded)) {
+				err = perr
+				return
+			}
+			err = fmt.Errorf("%w: job panicked: %v", errPanic, r)
+		}
+	}()
+	return run(job.ctx, job)
 }
 
 // plan resolves the spec into an executable closure, validating it so bad
@@ -454,18 +717,37 @@ func (e *Engine) plan(spec JobSpec) (func(context.Context, *Job) (any, error), e
 }
 
 // finalize records the job outcome, bumps the counters and retires the job's
-// trace into the recent-traces ring.
+// trace into the recent-traces ring. Client-visible terminal states (done,
+// failed, client-requested cancel) are journaled so the job is not resumed
+// on restart; interrupted jobs and engine-shutdown cancellations keep their
+// submission record pending — those are exactly the jobs Recover resumes.
 func (e *Engine) finalize(job *Job, result any, err error) {
+	var journaled JobState
 	switch {
 	case job.ctx.Err() != nil && (err == nil || errors.Is(err, context.Canceled) || job.cancelRequested.Load()):
 		job.finish(StateCancelled, nil, context.Canceled)
 		e.metrics.jobsCancelled.Add(1)
+		if job.cancelRequested.Load() {
+			journaled = StateCancelled
+		}
+	case errors.Is(err, ErrDraining):
+		job.finish(StateInterrupted, nil, err)
+		e.metrics.jobsInterrupted.Add(1)
 	case err != nil:
 		job.finish(StateFailed, nil, err)
 		e.metrics.jobsFailed.Add(1)
+		journaled = StateFailed
 	default:
 		job.finish(StateDone, result, nil)
 		e.metrics.jobsDone.Add(1)
+		journaled = StateDone
+	}
+	if e.journal != nil && journaled != "" {
+		if jerr := e.journal.Append(store.TJobFinished, store.JobFinished{ID: job.id, State: string(journaled)}); jerr != nil {
+			// Worst case the job re-runs on restart; results are
+			// deterministic, so re-running is correct, just wasted work.
+			log.Printf("engine: journal finish of %s: %v", job.id, jerr)
+		}
 	}
 	e.obs.traces.Push(job.TraceSnapshot())
 }

@@ -13,6 +13,11 @@ import (
 	"q3de/internal/obs"
 )
 
+// MaxJobSpecBytes caps a POST /v1/jobs request body. The largest legitimate
+// specs (a full sweep grid with series reduction) are a few kilobytes; 1 MiB
+// leaves two orders of magnitude of headroom.
+const MaxJobSpecBytes = 1 << 20
+
 // NewHandler exposes the engine over HTTP:
 //
 //	POST   /v1/jobs             submit a job (202 + status)
@@ -53,20 +58,38 @@ func NewHandler(e *Engine) http.Handler {
 
 	handle("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
-		dec := json.NewDecoder(r.Body)
+		// Specs are small; a spec-shaped request anywhere near the cap is
+		// hostile or broken, and must not buffer unboundedly.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxJobSpecBytes))
 		dec.DisallowUnknownFields()
 		// UseNumber keeps sweep axis values exact: a seed axis above 2^53
 		// must not be rounded through float64 on its way into the merged
 		// point spec (typed fields are unaffected).
 		dec.UseNumber()
 		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("job spec exceeds the %d-byte limit", MaxJobSpecBytes))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
 		job, err := e.Submit(spec)
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrClosed) {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				// Backpressure, not failure: the client should retry once
+				// the queue moves.
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, ErrDraining):
+				// This instance is going away; retry against its successor.
+				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "5")
+			case errors.Is(err, ErrClosed):
 				code = http.StatusServiceUnavailable
 			}
 			httpError(w, code, err)
@@ -150,6 +173,13 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Draining() {
+			// Flip unready the moment the drain begins so load balancers
+			// stop routing here while in-flight jobs checkpoint.
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -404,5 +405,132 @@ func TestHTTPMetrics(t *testing.T) {
 	// positive and the implied throughput finite and positive.
 	if m := e.Metrics(); m.DecodeNs <= 0 || m.DecodeShotsPerSec <= 0 {
 		t.Errorf("decode metrics not populated: ns=%d shots/s=%g", m.DecodeNs, m.DecodeShotsPerSec)
+	}
+}
+
+func TestHTTPOversizeSpecRejected(t *testing.T) {
+	// Regression for the unbounded-body hole: before MaxBytesReader the
+	// decoder would buffer an arbitrarily large POST body. A body just over
+	// the cap must be a clean 400 naming the limit, not a 500 or an OOM.
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	body := `{"kind":"memory","pad":"` + strings.Repeat("x", MaxJobSpecBytes) + `"}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize spec: status %d, want 400", resp.StatusCode)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if !strings.Contains(out.Error, "exceeds") || !strings.Contains(out.Error, fmt.Sprint(MaxJobSpecBytes)) {
+		t.Errorf("error message should name the byte limit, got %q", out.Error)
+	}
+
+	// A legitimately sized spec on the same server still goes through.
+	st := postJob(t, srv, `{"kind":"memory","memory":{"d":3,"p":0.02,"max_shots":64,"seed":1}}`)
+	if j, ok := e.Job(st.ID); !ok {
+		t.Fatal("normal-size submit after oversize rejection failed")
+	} else {
+		<-j.Done()
+	}
+}
+
+func TestHTTPQueueFullBackpressure(t *testing.T) {
+	// With the run slot and the one queue slot both occupied, a third submit
+	// must be backpressure — 429 plus Retry-After — not a 400 or a hang.
+	block := make(chan struct{})
+	e := New(Config{Workers: 1, MaxJobs: 1, MaxQueued: 1})
+	defer e.Close()
+	defer close(block)
+	e.RegisterKind("block", func(ctx context.Context, _ *Engine, _ json.RawMessage, _ *Job) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return "ok", nil
+	})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	st := postJob(t, srv, `{"kind":"block"}`)
+	j, _ := e.Job(st.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, srv, `{"kind":"block"}`) // fills the single queue slot
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{"kind":"block"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response must carry Retry-After")
+	}
+}
+
+func TestHTTPDrainResponses(t *testing.T) {
+	// Once the drain begins, /healthz flips unready and submissions are
+	// refused with 503 + Retry-After so a load balancer fails over cleanly.
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz before drain: status %d, want 200", code)
+	}
+	e.BeginDrain()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Errorf("healthz during drain: status %d body %+v, want 503 draining", resp.StatusCode, health)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz must carry Retry-After")
+	}
+
+	presp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"memory","memory":{"d":3,"p":0.02,"max_shots":64,"seed":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain: status %d, want 503", presp.StatusCode)
+	}
+	if presp.Header.Get("Retry-After") == "" {
+		t.Error("draining submit refusal must carry Retry-After")
+	}
+
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("drain with no jobs in flight: %v", err)
 	}
 }

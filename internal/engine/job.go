@@ -33,11 +33,16 @@ const (
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	// StateInterrupted marks a job stopped at a shard/point boundary by a
+	// graceful drain. Terminal in this process, but not journaled as
+	// finished: a journaled engine resumes the job, under the same ID, from
+	// its checkpoints on the next start.
+	StateInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateInterrupted
 }
 
 // JobSpec is the submission payload. Exactly one parameter block applies:
@@ -298,6 +303,12 @@ type JobStatus struct {
 	Finished *time.Time       `json:"finished,omitempty"`
 	Progress Progress         `json:"progress"`
 	Partial  *PartialEstimate `json:"partial,omitempty"`
+	// Attempt counts full executions of the job (> 1 after panic retries);
+	// Quarantined marks a job that failed because every attempt panicked;
+	// Resumed marks a job restored from the journal after a restart.
+	Attempt     int  `json:"attempt,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
+	Resumed     bool `json:"resumed,omitempty"`
 }
 
 // Job is one scheduled unit of work. All fields behind mu; snapshots are
@@ -314,6 +325,10 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	progress Progress
+
+	attempt     int
+	quarantined bool
+	resumed     bool
 
 	ctx             context.Context
 	cancel          context.CancelFunc
@@ -367,12 +382,15 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		State:    j.state,
-		Error:    j.err,
-		Created:  j.created,
-		Progress: j.progress,
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		State:       j.state,
+		Error:       j.err,
+		Created:     j.created,
+		Progress:    j.progress,
+		Attempt:     j.attempt,
+		Quarantined: j.quarantined,
+		Resumed:     j.resumed,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -397,9 +415,29 @@ func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.attempt = 1
 	at := j.started
 	j.mu.Unlock()
 	j.trace.Started(at)
+}
+
+// nextAttempt resets the progress counters for a full re-run of the job
+// after a panic-class failure: the retry re-executes (or restores from
+// checkpoints) every shard and point, so accumulating across attempts would
+// report fractions above one.
+func (j *Job) nextAttempt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempt++
+	j.progress = Progress{}
+}
+
+// markQuarantined flags the job as a poison spec: every allowed attempt
+// panicked.
+func (j *Job) markQuarantined() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.quarantined = true
 }
 
 // finish records the terminal state.

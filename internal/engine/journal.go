@@ -1,0 +1,293 @@
+package engine
+
+// Durability wiring (DESIGN.md §15). The engine journals four record types:
+// job submissions (with the full spec), per-shard completion checkpoints
+// keyed by the run's canonical configuration, finished sweep-point results
+// for the built-in scenarios, and client-visible terminal states. Recover
+// replays them on startup: the point cache is restored, and every submitted
+// job without a finish record is resubmitted under its original ID with its
+// completed shards served from the checkpoint index — because shard i is a
+// pure function of (config, i), the resumed run is bit-identical to an
+// uninterrupted one.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+
+	"q3de/internal/sim"
+	"q3de/internal/store"
+)
+
+// resumeIndex holds shard checkpoints replayed from the journal, keyed by
+// canonical run configuration. Entries are consumed once: a shard taken by a
+// resumed run is removed, so a second run of the same configuration
+// re-executes it (deterministically identical, just not free).
+type resumeIndex struct {
+	mu     sync.Mutex
+	shards map[string]map[int]sim.ShardResult
+}
+
+func (x *resumeIndex) add(key string, shard int, r sim.ShardResult) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.shards == nil {
+		x.shards = make(map[string]map[int]sim.ShardResult)
+	}
+	m := x.shards[key]
+	if m == nil {
+		m = make(map[int]sim.ShardResult)
+		x.shards[key] = m
+	}
+	m[shard] = r
+}
+
+func (x *resumeIndex) take(key string, shard int) (sim.ShardResult, bool) {
+	if key == "" {
+		return sim.ShardResult{}, false
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	m := x.shards[key]
+	r, ok := m[shard]
+	if ok {
+		delete(m, shard)
+		if len(m) == 0 {
+			delete(x.shards, key)
+		}
+	}
+	return r, ok
+}
+
+// journalShard checkpoints one completed shard. Checkpoint loss is only
+// wasted recomputation (the journal counts its own errors), so append
+// failures never fail the run.
+func (e *Engine) journalShard(job *Job, key string, shard int, r sim.ShardResult) {
+	if e.journal == nil || key == "" {
+		return
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	// Append error intentionally dropped: see above.
+	_ = e.journal.Append(store.TShardDone, store.ShardDone{
+		Job: job.id, Key: key, Shard: shard, Result: raw,
+	})
+}
+
+// journalPoint records one finished sweep point for the built-in scenarios,
+// whose result types Recover knows how to restore. Custom evaluator kinds
+// are skipped — their runs still checkpoint at the shard level.
+func (e *Engine) journalPoint(kind, key string, v any) {
+	if e.journal == nil {
+		return
+	}
+	switch kind {
+	case KindMemory, KindDual, KindStream:
+	default:
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	// Best-effort, like shard checkpoints.
+	_ = e.journal.Append(store.TPointDone, store.PointDone{Kind: kind, Key: key, Value: raw})
+}
+
+// decodePointValue restores a journaled point result into the typed value
+// the evaluator would have produced, so a response assembled from restored
+// cache entries is byte-identical to one from live evaluations.
+func decodePointValue(kind string, raw json.RawMessage) (any, error) {
+	switch kind {
+	case KindMemory:
+		var v sim.MemoryResult
+		err := json.Unmarshal(raw, &v)
+		return v, err
+	case KindDual:
+		var v sim.DualResult
+		err := json.Unmarshal(raw, &v)
+		return v, err
+	case KindStream:
+		var v sim.StreamResult
+		err := json.Unmarshal(raw, &v)
+		return v, err
+	default:
+		return nil, fmt.Errorf("engine: unknown journaled point kind %q", kind)
+	}
+}
+
+// parseJobID extracts the sequence number of an engine-issued job ID.
+func parseJobID(id string) (uint64, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	return n, err == nil
+}
+
+// Recover replays the engine's journal: it restores the sweep point cache,
+// rebuilds the shard-checkpoint index for every submitted-but-unfinished
+// job, compacts the journal down to the still-live records, and resubmits
+// the unfinished jobs — in their original order, under their original IDs —
+// so they resume from the first unfinished shard or point. Call it once,
+// after registering custom kinds (q3de-serve: New → RegisterJobs → Recover)
+// and before serving traffic. Returns the number of jobs resumed.
+func (e *Engine) Recover() (int, error) {
+	if e.journal == nil {
+		return 0, nil
+	}
+	recs := e.journal.Replayed()
+	if len(recs) == 0 {
+		return 0, nil
+	}
+
+	// First pass: decode and classify. Undecodable payloads are dropped (a
+	// record that passed its CRC but does not parse is from a future or
+	// ancient schema — resuming without it is safe, just slower).
+	type subEntry struct {
+		rec store.JobSubmitted
+		raw store.Record
+	}
+	var subs []subEntry
+	subIdx := make(map[string]int)
+	finished := make(map[string]bool)
+	type shardEntry struct {
+		rec store.ShardDone
+		raw store.Record
+	}
+	var shards []shardEntry
+	var points []store.Record
+	var maxID uint64
+	for _, r := range recs {
+		switch r.Type {
+		case store.TJobSubmitted:
+			var p store.JobSubmitted
+			if r.As(&p) != nil {
+				continue
+			}
+			if i, ok := subIdx[p.ID]; ok {
+				subs[i] = subEntry{rec: p, raw: r}
+			} else {
+				subIdx[p.ID] = len(subs)
+				subs = append(subs, subEntry{rec: p, raw: r})
+			}
+			if n, ok := parseJobID(p.ID); ok && n > maxID {
+				maxID = n
+			}
+		case store.TJobFinished:
+			var p store.JobFinished
+			if r.As(&p) != nil {
+				continue
+			}
+			finished[p.ID] = true
+		case store.TShardDone:
+			var p store.ShardDone
+			if r.As(&p) != nil {
+				continue
+			}
+			shards = append(shards, shardEntry{rec: p, raw: r})
+		case store.TPointDone:
+			points = append(points, r)
+		}
+	}
+
+	// New IDs must never collide with resumed ones.
+	if maxID > e.nextID.Load() {
+		e.nextID.Store(maxID)
+	}
+
+	// Restore the point cache, typed.
+	for _, r := range points {
+		var p store.PointDone
+		if r.As(&p) != nil {
+			continue
+		}
+		v, err := decodePointValue(p.Kind, p.Value)
+		if err != nil {
+			continue
+		}
+		e.points.put(p.Key, v)
+	}
+
+	// Index the checkpoints of unfinished jobs.
+	live := func(id string) bool {
+		_, submitted := subIdx[id]
+		return submitted && !finished[id]
+	}
+	for _, s := range shards {
+		if !live(s.rec.Job) {
+			continue
+		}
+		var r sim.ShardResult
+		if json.Unmarshal(s.rec.Result, &r) != nil {
+			continue
+		}
+		e.resume.add(s.rec.Key, s.rec.Shard, r)
+	}
+
+	// Compact the journal down to what the next replay needs: every point
+	// record, plus the submissions and checkpoints of unfinished jobs.
+	// Finished jobs' records — and their finish markers — drop out.
+	keep := make([]store.Record, 0, len(points)+len(subs)+len(shards))
+	keep = append(keep, points...)
+	for _, s := range subs {
+		if !finished[s.rec.ID] {
+			keep = append(keep, s.raw)
+		}
+	}
+	for _, s := range shards {
+		if live(s.rec.Job) {
+			keep = append(keep, s.raw)
+		}
+	}
+	if err := e.journal.Compact(keep); err != nil {
+		return 0, fmt.Errorf("engine: compact journal: %w", err)
+	}
+
+	// Resubmit unfinished jobs in their original submission order.
+	resumed := 0
+	for _, s := range subs {
+		if finished[s.rec.ID] {
+			continue
+		}
+		var spec JobSpec
+		// UseNumber matches the HTTP decode path: a seed axis above 2^53
+		// must not round through float64 on its way back in.
+		dec := json.NewDecoder(bytes.NewReader(s.rec.Spec))
+		dec.UseNumber()
+		if err := dec.Decode(&spec); err != nil {
+			log.Printf("engine: drop unreadable journaled job %s: %v", s.rec.ID, err)
+			e.journalFinished(s.rec.ID, StateFailed)
+			continue
+		}
+		if _, err := e.submit(spec, s.rec.ID, true); err != nil {
+			// A spec this process cannot plan (e.g. its custom kind is no
+			// longer registered) would otherwise crash-loop the resume;
+			// mark it finished-failed and move on.
+			log.Printf("engine: cannot resume job %s: %v", s.rec.ID, err)
+			e.journalFinished(s.rec.ID, StateFailed)
+			continue
+		}
+		resumed++
+	}
+	e.metrics.jobsResumed.Add(int64(resumed))
+	return resumed, nil
+}
+
+// journalFinished writes a terminal marker outside the finalize path (used
+// when a journaled job cannot be resumed at all).
+func (e *Engine) journalFinished(id string, state JobState) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Append(store.TJobFinished, store.JobFinished{ID: id, State: string(state)}); err != nil {
+		log.Printf("engine: journal finish of %s: %v", id, err)
+	}
+}

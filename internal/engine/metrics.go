@@ -29,6 +29,16 @@ type metrics struct {
 	sweepPoints         atomic.Int64
 	sweepPointCacheHits atomic.Int64
 
+	// Robustness counters (DESIGN.md §15): shard/job re-executions after
+	// panics, poison jobs quarantined, jobs refused by admission control,
+	// jobs interrupted by a drain, and jobs resumed from the journal.
+	shardRetries    atomic.Int64
+	jobRetries      atomic.Int64
+	jobsQuarantined atomic.Int64
+	jobsRejected    atomic.Int64
+	jobsInterrupted atomic.Int64
+	jobsResumed     atomic.Int64
+
 	// Streaming control counters (kind "stream" shards only).
 	streamShots            atomic.Int64
 	streamRollbacks        atomic.Int64
@@ -97,6 +107,21 @@ type MetricsSnapshot struct {
 	SweepPointCacheHits int64 `json:"sweep_point_cache_hits"`
 	PointCacheEntries   int64 `json:"point_cache_entries"`
 
+	// Robustness counters: bounded-retry re-executions (shard-level and
+	// whole-job), poison jobs quarantined after exhausting their attempts,
+	// submissions refused by queue admission control, jobs interrupted by a
+	// graceful drain, and jobs resumed from the journal after a restart.
+	ShardRetries    int64 `json:"shard_retries"`
+	JobRetries      int64 `json:"job_retries"`
+	JobsQuarantined int64 `json:"jobs_quarantined"`
+	JobsRejected    int64 `json:"jobs_rejected"`
+	JobsInterrupted int64 `json:"jobs_interrupted"`
+	JobsResumed     int64 `json:"jobs_resumed"`
+
+	// Journal counters (present only when the engine runs with a journal):
+	// see store.Stats for semantics.
+	Journal *JournalMetrics `json:"journal,omitempty"`
+
 	// Streaming control counters: shots streamed through the Q3DE controller,
 	// Sec. VI-C rollback re-decodes triggered (and aborted), MBBE detections,
 	// and the cumulative detection latency in code cycles. Detection-latency
@@ -110,6 +135,18 @@ type MetricsSnapshot struct {
 	StreamRollbacksAborted int64 `json:"stream_rollbacks_aborted"`
 	StreamDetections       int64 `json:"stream_detections"`
 	StreamDetectionLatency int64 `json:"stream_detection_latency_cycles"`
+}
+
+// JournalMetrics is the wire form of the journal counters.
+type JournalMetrics struct {
+	Records        int64 `json:"records"`
+	Bytes          int64 `json:"bytes"`
+	Syncs          int64 `json:"syncs"`
+	Errors         int64 `json:"errors"`
+	Replayed       int64 `json:"replayed"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	Segments       int64 `json:"segments"`
+	SizeBytes      int64 `json:"size_bytes"`
 }
 
 // Metrics snapshots the engine counters.
@@ -145,6 +182,26 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		SweepPoints:         e.metrics.sweepPoints.Load(),
 		SweepPointCacheHits: e.metrics.sweepPointCacheHits.Load(),
 		PointCacheEntries:   int64(e.points.len()),
+
+		ShardRetries:    e.metrics.shardRetries.Load(),
+		JobRetries:      e.metrics.jobRetries.Load(),
+		JobsQuarantined: e.metrics.jobsQuarantined.Load(),
+		JobsRejected:    e.metrics.jobsRejected.Load(),
+		JobsInterrupted: e.metrics.jobsInterrupted.Load(),
+		JobsResumed:     e.metrics.jobsResumed.Load(),
+	}
+	if e.journal != nil {
+		js := e.journal.Stats()
+		snap.Journal = &JournalMetrics{
+			Records:        js.Appends,
+			Bytes:          js.Bytes,
+			Syncs:          js.Syncs,
+			Errors:         js.Errors,
+			Replayed:       js.Replayed,
+			TruncatedBytes: js.TruncatedBytes,
+			Segments:       js.Segments,
+			SizeBytes:      js.SizeBytes,
+		}
 	}
 	snap.StreamShots = e.metrics.streamShots.Load()
 	snap.StreamRollbacks = e.metrics.streamRollbacks.Load()
@@ -196,4 +253,20 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")
 	counter("stream_detections_total", s.StreamDetections, "MBBE detections declared by the anomaly detection unit.")
 	counter("stream_detection_latency_cycles_total", s.StreamDetectionLatency, "Cumulative detection latency in code cycles over detected shots (quantiles: see the q3de_stream_detection_latency_cycles summary).")
+	counter("shard_retries_total", s.ShardRetries, "Shard executions retried after a panic or injected fault.")
+	counter("job_retries_total", s.JobRetries, "Whole-job re-executions after a panic-class failure.")
+	counter("jobs_quarantined_total", s.JobsQuarantined, "Poison jobs failed permanently after exhausting their attempts.")
+	counter("jobs_rejected_total", s.JobsRejected, "Submissions refused by queue admission control (HTTP 429).")
+	counter("jobs_interrupted_total", s.JobsInterrupted, "Jobs stopped at a checkpoint boundary by a graceful drain.")
+	counter("jobs_resumed_total", s.JobsResumed, "Jobs resumed from the journal after a restart.")
+	if s.Journal != nil {
+		counter("journal_records_total", s.Journal.Records, "Records appended to the job journal this process.")
+		counter("journal_bytes_total", s.Journal.Bytes, "Bytes appended to the job journal this process.")
+		counter("journal_syncs_total", s.Journal.Syncs, "fsyncs issued by the job journal.")
+		counter("journal_errors_total", s.Journal.Errors, "Journal append/sync errors (checkpoint loss only costs recomputation).")
+		counter("journal_replayed_records_total", s.Journal.Replayed, "Records recovered by journal replay at startup.")
+		counter("journal_truncated_bytes_total", s.Journal.TruncatedBytes, "Torn-tail bytes discarded by journal replay at startup.")
+		gauge("journal_segments", float64(s.Journal.Segments), "Journal segment files currently on disk.")
+		gauge("journal_size_bytes", float64(s.Journal.SizeBytes), "Total journal bytes currently on disk.")
+	}
 }

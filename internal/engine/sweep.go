@@ -92,36 +92,40 @@ func mergePoint[T any](base json.RawMessage, pt sweep.Point) (*T, error) {
 // wire spec) normalises spelling — a field set to its default and an omitted
 // field key identically — and struct field order makes the rendering
 // deterministic.
-func canonConfigKey(kind string, cfg any) string {
+func canonConfigKey(kind string, cfg any) (string, error) {
 	b, err := json.Marshal(cfg)
 	if err != nil {
-		// Configs are plain data; a marshal failure is a programming error.
-		panic(fmt.Sprintf("engine: marshal %s point config: %v", kind, err))
+		// Configs are plain data, so this should not happen — but a broken
+		// config must fail its own point, not crash the engine.
+		return "", fmt.Errorf("engine: marshal %s point config: %w", kind, err)
 	}
-	return kind + "|" + string(b)
+	return kind + "|" + string(b), nil
 }
 
 // MemoryPointKey is the canonical point-cache key of one memory-scenario
 // evaluation. Workers is zeroed: results are bit-identical across worker
 // counts (the sharding is static), so the pool size must not fragment the
-// cache.
+// cache. The same key checkpoints the run's shards in the journal.
 func MemoryPointKey(cfg sim.MemoryConfig) (string, bool) {
 	cfg.Workers = 0
-	return canonConfigKey(KindMemory, cfg), true
+	k, err := canonConfigKey(KindMemory, cfg)
+	return k, err == nil
 }
 
 // DualPointKey is the canonical point-cache key of one dual-species
 // evaluation.
 func DualPointKey(cfg sim.MemoryConfig) (string, bool) {
 	cfg.Workers = 0
-	return canonConfigKey(KindDual, cfg), true
+	k, err := canonConfigKey(KindDual, cfg)
+	return k, err == nil
 }
 
 // StreamPointKey is the canonical point-cache key of one streaming-control
 // evaluation.
 func StreamPointKey(cfg sim.StreamConfig) (string, bool) {
 	cfg.Workers = 0
-	return canonConfigKey(KindStream, cfg), true
+	k, err := canonConfigKey(KindStream, cfg)
+	return k, err == nil
 }
 
 // planSweep validates a sweep spec into an executable sweep.Sweep. Every grid
@@ -158,9 +162,19 @@ func (e *Engine) planSweep(spec *SweepSpec) (*sweep.Sweep, error) {
 		PointConcurrency: spec.PointConcurrency,
 	}
 
+	// Point keys are resolved here, once, alongside the configs. A key that
+	// fails to render (config marshal failure) does not panic and does not
+	// fail the submission: the point is marked uncacheable and its stored
+	// error surfaces through the evaluator — the same path every other
+	// per-point failure takes.
 	switch scenario {
 	case KindMemory, KindDual:
-		cfgs := make(map[string]sim.MemoryConfig, grid.Size())
+		type memPoint struct {
+			cfg    sim.MemoryConfig
+			key    string
+			keyErr error
+		}
+		cells := make(map[string]memPoint, grid.Size())
 		for _, pt := range grid.Enumerate() {
 			ms, err := mergePoint[MemorySpec](spec.Base, pt)
 			if err != nil {
@@ -170,22 +184,33 @@ func (e *Engine) planSweep(spec *SweepSpec) (*sweep.Sweep, error) {
 			if err != nil {
 				return nil, fmt.Errorf("point %s: %w", pt.Canon(), err)
 			}
-			cfgs[pt.Canon()] = cfg
+			cell := memPoint{cfg: cfg}
+			keyCfg := cfg
+			keyCfg.Workers = 0
+			cell.key, cell.keyErr = canonConfigKey(scenario, keyCfg)
+			cells[pt.Canon()] = cell
 		}
-		keyOf := MemoryPointKey
-		if scenario == KindDual {
-			keyOf = DualPointKey
+		sw.Key = func(pt sweep.Point) (string, bool) {
+			cell := cells[pt.Canon()]
+			return cell.key, cell.keyErr == nil
 		}
-		sw.Key = func(pt sweep.Point) (string, bool) { return keyOf(cfgs[pt.Canon()]) }
 		sw.Eval = func(ctx context.Context, pt sweep.Point) (any, error) {
-			cfg := cfgs[pt.Canon()]
-			if scenario == KindDual {
-				return e.runDual(ctx, cfg)
+			cell := cells[pt.Canon()]
+			if cell.keyErr != nil {
+				return nil, fmt.Errorf("point %s: %w", pt.Canon(), cell.keyErr)
 			}
-			return e.runMemory(ctx, cfg)
+			if scenario == KindDual {
+				return e.runDual(ctx, cell.cfg)
+			}
+			return e.runMemory(ctx, cell.cfg)
 		}
 	case KindStream:
-		cfgs := make(map[string]sim.StreamConfig, grid.Size())
+		type streamPoint struct {
+			cfg    sim.StreamConfig
+			key    string
+			keyErr error
+		}
+		cells := make(map[string]streamPoint, grid.Size())
 		for _, pt := range grid.Enumerate() {
 			ss, err := mergePoint[StreamSpec](spec.Base, pt)
 			if err != nil {
@@ -195,11 +220,22 @@ func (e *Engine) planSweep(spec *SweepSpec) (*sweep.Sweep, error) {
 			if err != nil {
 				return nil, fmt.Errorf("point %s: %w", pt.Canon(), err)
 			}
-			cfgs[pt.Canon()] = cfg
+			cell := streamPoint{cfg: cfg}
+			keyCfg := cfg
+			keyCfg.Workers = 0
+			cell.key, cell.keyErr = canonConfigKey(KindStream, keyCfg)
+			cells[pt.Canon()] = cell
 		}
-		sw.Key = func(pt sweep.Point) (string, bool) { return StreamPointKey(cfgs[pt.Canon()]) }
+		sw.Key = func(pt sweep.Point) (string, bool) {
+			cell := cells[pt.Canon()]
+			return cell.key, cell.keyErr == nil
+		}
 		sw.Eval = func(ctx context.Context, pt sweep.Point) (any, error) {
-			return e.runStream(ctx, cfgs[pt.Canon()])
+			cell := cells[pt.Canon()]
+			if cell.keyErr != nil {
+				return nil, fmt.Errorf("point %s: %w", pt.Canon(), cell.keyErr)
+			}
+			return e.runStream(ctx, cell.cfg)
 		}
 	default:
 		return nil, fmt.Errorf("unknown sweep scenario %q (want %s, %s or %s)",
@@ -301,6 +337,13 @@ func (e *Engine) runSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, 
 				if i >= len(pts) || sctx.Err() != nil {
 					return
 				}
+				// A draining engine stops claiming new grid points; in-flight
+				// points are abandoned by runShards the same way. The job
+				// finishes interrupted and resumes from the journal on restart.
+				if e.draining() {
+					fail(ErrDraining)
+					return
+				}
 				pt := pts[i]
 				if job != nil {
 					job.startPoint(pt.Canon())
@@ -329,6 +372,7 @@ func (e *Engine) runSweep(ctx context.Context, sw *sweep.Sweep) (*sweep.Result, 
 				pointDur.Record(time.Since(start).Nanoseconds())
 				if cacheable {
 					e.points.put(key, v)
+					e.journalPoint(scenario, key, v)
 				}
 				results[i] = sweep.PointResult{Index: i, Point: pt, Value: v}
 				e.metrics.sweepPoints.Add(1)

@@ -1,0 +1,221 @@
+// Package faultinject is the repo's deterministic failure harness: a small
+// injector consulted at named sites in the store and engine layers, plus
+// seed-derived schedule generators, so crash-recovery and retry tests can
+// place faults ("panic the 3rd shard execution", "fail the 2nd journal
+// sync", "truncate the journal at byte 1234") reproducibly from a single
+// seed — the same discipline the physics layer uses for its RNG streams.
+//
+// The production configuration is Nop(): a no-op injector whose Fire is one
+// interface call returning nil, so instrumented sites cost nothing when no
+// harness is attached. Test configurations build a *Set from explicit Faults
+// or from Schedule (which derives a pseudo-random plan from a seed), hand it
+// to the component under test, and assert recovery.
+//
+// Sites are plain strings, namespaced by layer ("store.append",
+// "store.sync", "engine.shard"); the package does not register or validate
+// them — a schedule naming a site nothing fires is simply inert, which keeps
+// the harness decoupled from the components it prods.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Action is what an armed fault does when its site fires.
+type Action uint8
+
+const (
+	// None leaves the site untouched (an inert schedule entry).
+	None Action = iota
+	// Error makes Fire return the fault's Err (or a generic injected error).
+	Error
+	// Panic makes Fire panic with a *PanicError identifying the site and hit.
+	Panic
+	// Delay makes Fire sleep for the fault's Delay before returning nil.
+	Delay
+)
+
+// String names the action for schedule dumps and test failure messages.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Fault arms one action at the Hit-th firing (1-based) of Site.
+type Fault struct {
+	Site  string
+	Hit   uint64 // fire on the k-th Fire(Site) call; 0 means every call
+	Act   Action
+	Err   error         // returned for Error; nil uses a generic injected error
+	Delay time.Duration // slept for Delay
+}
+
+// PanicError is the value injected panics carry, so recovery paths and tests
+// can distinguish an injected fault from a genuine bug.
+type PanicError struct {
+	Site string
+	Hit  uint64
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", e.Site, e.Hit)
+}
+
+// InjectedError is the value Error faults return when the fault carries no
+// explicit Err.
+type InjectedError struct {
+	Site string
+	Hit  uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s (hit %d)", e.Site, e.Hit)
+}
+
+// Injector is consulted at named sites. Fire returns a non-nil error when an
+// Error fault is armed for this hit, panics with *PanicError for a Panic
+// fault, sleeps for a Delay fault, and otherwise returns nil. Implementations
+// must be safe for concurrent use: sites fire from shard workers and journal
+// appends concurrently.
+type Injector interface {
+	Fire(site string) error
+}
+
+// nop is the production injector: every site is a single nil-returning call.
+type nop struct{}
+
+func (nop) Fire(string) error { return nil }
+
+// Nop returns the no-op injector components default to.
+func Nop() Injector { return nop{} }
+
+// Set is a concrete injector armed with an explicit fault list. Hits are
+// counted per site across the Set's lifetime.
+type Set struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	faults map[string][]Fault
+}
+
+// NewSet builds an injector from explicit faults. Order within a site does
+// not matter; the first fault matching the current hit count fires.
+func NewSet(faults ...Fault) *Set {
+	s := &Set{
+		counts: make(map[string]uint64),
+		faults: make(map[string][]Fault),
+	}
+	for _, f := range faults {
+		s.faults[f.Site] = append(s.faults[f.Site], f)
+	}
+	return s
+}
+
+// Hits reports how many times the site has fired so far.
+func (s *Set) Hits(site string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[site]
+}
+
+// Fire implements Injector.
+func (s *Set) Fire(site string) error {
+	s.mu.Lock()
+	s.counts[site]++
+	hit := s.counts[site]
+	var armed *Fault
+	for i := range s.faults[site] {
+		f := &s.faults[site][i]
+		if f.Hit == 0 || f.Hit == hit {
+			armed = f
+			break
+		}
+	}
+	s.mu.Unlock()
+	if armed == nil {
+		return nil
+	}
+	switch armed.Act {
+	case Error:
+		if armed.Err != nil {
+			return armed.Err
+		}
+		return &InjectedError{Site: site, Hit: hit}
+	case Panic:
+		panic(&PanicError{Site: site, Hit: hit})
+	case Delay:
+		time.Sleep(armed.Delay)
+	}
+	return nil
+}
+
+// splitmix64 is the derivation hash: the same generator stats.WorkerRNG
+// builds its streams from, re-implemented here so the harness stays a leaf
+// package. Deterministic across platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// derive mixes the seed with a stream index into an independent value.
+func derive(seed uint64, i uint64) uint64 {
+	return splitmix64(seed ^ splitmix64(i))
+}
+
+// Schedule derives n faults from the seed, spreading them pseudo-randomly
+// across the sites and the given actions with hit counts in [1, maxHit].
+// The plan is a pure function of the arguments: the same seed replays the
+// same fault placement, so a failing crash-recovery case is reproducible
+// from its seed alone.
+func Schedule(seed uint64, sites []string, n int, maxHit uint64, actions ...Action) []Fault {
+	if len(sites) == 0 || len(actions) == 0 || n <= 0 {
+		return nil
+	}
+	if maxHit == 0 {
+		maxHit = 1
+	}
+	out := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		h := derive(seed, uint64(i))
+		out = append(out, Fault{
+			Site: sites[h%uint64(len(sites))],
+			Hit:  1 + (h>>16)%maxHit,
+			Act:  actions[(h>>40)%uint64(len(actions))],
+		})
+	}
+	return out
+}
+
+// Offsets derives n distinct byte offsets in [0, max), sorted ascending —
+// the kill-point sampler for torn-write recovery tests: truncate a journal
+// copy at each offset and assert replay recovers. Deterministic per seed;
+// when max is small the result may hold fewer than n offsets.
+func Offsets(seed uint64, n int, max int64) []int64 {
+	if n <= 0 || max <= 0 {
+		return nil
+	}
+	seen := make(map[int64]bool, n)
+	out := make([]int64, 0, n)
+	for i := 0; len(out) < n && i < 4*n; i++ {
+		off := int64(derive(seed, 0x0ff5e75^uint64(i)) % uint64(max))
+		if !seen[off] {
+			seen[off] = true
+			out = append(out, off)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

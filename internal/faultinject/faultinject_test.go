@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNopFiresNil(t *testing.T) {
+	inj := Nop()
+	for i := 0; i < 3; i++ {
+		if err := inj.Fire("any.site"); err != nil {
+			t.Fatalf("nop Fire returned %v", err)
+		}
+	}
+}
+
+func TestSetErrorFaultFiresOnExactHit(t *testing.T) {
+	want := errors.New("boom")
+	s := NewSet(Fault{Site: "store.append", Hit: 2, Act: Error, Err: want})
+	if err := s.Fire("store.append"); err != nil {
+		t.Fatalf("hit 1: got %v, want nil", err)
+	}
+	if err := s.Fire("store.append"); !errors.Is(err, want) {
+		t.Fatalf("hit 2: got %v, want %v", err, want)
+	}
+	if err := s.Fire("store.append"); err != nil {
+		t.Fatalf("hit 3: got %v, want nil", err)
+	}
+	if got := s.Hits("store.append"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestSetErrorFaultDefaultsToInjectedError(t *testing.T) {
+	s := NewSet(Fault{Site: "s", Hit: 1, Act: Error})
+	err := s.Fire("s")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "s" || ie.Hit != 1 {
+		t.Fatalf("got %v, want *InjectedError{s,1}", err)
+	}
+}
+
+func TestSetZeroHitFiresEveryCall(t *testing.T) {
+	s := NewSet(Fault{Site: "s", Act: Error})
+	for i := 0; i < 3; i++ {
+		if err := s.Fire("s"); err == nil {
+			t.Fatalf("call %d: want error every call", i)
+		}
+	}
+}
+
+func TestSetPanicFaultCarriesPanicError(t *testing.T) {
+	s := NewSet(Fault{Site: "engine.shard", Hit: 1, Act: Panic})
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Site != "engine.shard" || pe.Hit != 1 {
+			t.Fatalf("recovered %v, want *PanicError{engine.shard,1}", r)
+		}
+	}()
+	_ = s.Fire("engine.shard")
+	t.Fatal("Fire did not panic")
+}
+
+func TestSetDelayFaultSleeps(t *testing.T) {
+	s := NewSet(Fault{Site: "s", Hit: 1, Act: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := s.Fire("s"); err != nil {
+		t.Fatalf("delay fault returned %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 10ms", d)
+	}
+}
+
+func TestUnknownSiteIsInert(t *testing.T) {
+	s := NewSet(Fault{Site: "a", Hit: 1, Act: Error})
+	if err := s.Fire("b"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestScheduleIsDeterministicPerSeed(t *testing.T) {
+	sites := []string{"store.append", "store.sync", "engine.shard"}
+	a := Schedule(42, sites, 16, 8, Error, Panic)
+	b := Schedule(42, sites, 16, 8, Error, Panic)
+	if len(a) != 16 {
+		t.Fatalf("schedule length %d, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Schedule(43, sites, 16, 8, Error, Panic)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, f := range a {
+		if f.Hit < 1 || f.Hit > 8 {
+			t.Fatalf("hit %d out of [1,8]", f.Hit)
+		}
+		if f.Act != Error && f.Act != Panic {
+			t.Fatalf("unexpected action %v", f.Act)
+		}
+	}
+}
+
+func TestScheduleDegenerateInputs(t *testing.T) {
+	if s := Schedule(1, nil, 4, 1, Error); s != nil {
+		t.Fatalf("no sites: got %v", s)
+	}
+	if s := Schedule(1, []string{"a"}, 0, 1, Error); s != nil {
+		t.Fatalf("n=0: got %v", s)
+	}
+	if s := Schedule(1, []string{"a"}, 2, 0); s != nil {
+		t.Fatalf("no actions: got %v", s)
+	}
+}
+
+func TestOffsetsDeterministicSortedInRange(t *testing.T) {
+	a := Offsets(7, 25, 1000)
+	b := Offsets(7, 25, 1000)
+	if len(a) == 0 {
+		t.Fatal("no offsets derived")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offsets diverged at %d", i)
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("offset %d out of range", a[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("offsets not strictly ascending at %d", i)
+		}
+	}
+	if Offsets(7, 10, 0) != nil {
+		t.Fatal("max=0 should derive nothing")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for act, want := range map[Action]string{None: "none", Error: "error", Panic: "panic", Delay: "delay"} {
+		if got := act.String(); got != want {
+			t.Fatalf("Action(%d).String() = %q, want %q", act, got, want)
+		}
+	}
+}

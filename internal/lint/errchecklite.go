@@ -13,12 +13,14 @@ import (
 // values, not errors, so the check stays scoped to the edge.
 var errcheckPkgs = map[string]bool{
 	"q3de/internal/engine": true,
+	"q3de/internal/store":  true,
 	"q3de/cmd/q3de-serve":  true,
 }
 
 // errcheckNames are the callee names whose error results must not be
-// dropped when called as a bare statement: JSON encoders, closers, flushers
-// and response writers.
+// dropped when called as a bare statement: JSON encoders, closers, flushers,
+// response writers, and the journal's durability calls (a dropped Sync or
+// Append error is an acknowledged-but-lost record).
 var errcheckNames = map[string]bool{
 	"writeJSON": true,
 	"Encode":    true,
@@ -26,15 +28,17 @@ var errcheckNames = map[string]bool{
 	"Flush":     true,
 	"Write":     true,
 	"Shutdown":  true,
+	"Sync":      true,
+	"Append":    true,
 }
 
 // Errchecklite flags statements in the serving edge that call an
-// error-returning Encode/Close/Flush/Write/Shutdown/writeJSON and drop the
-// result. Assigning to _ is an explicit, greppable acknowledgement and is
-// allowed; a bare call is not.
+// error-returning Encode/Close/Flush/Write/Shutdown/Sync/Append/writeJSON
+// and drop the result. Assigning to _ is an explicit, greppable
+// acknowledgement and is allowed; a bare call is not.
 var Errchecklite = &analysis.Analyzer{
 	Name: "errchecklite",
-	Doc:  "in internal/engine and cmd/q3de-serve, Encode/Close/Flush/Write/Shutdown/writeJSON error results must be handled (or explicitly discarded with _ =)",
+	Doc:  "in internal/engine, internal/store and cmd/q3de-serve, Encode/Close/Flush/Write/Shutdown/Sync/Append/writeJSON error results must be handled (or explicitly discarded with _ =)",
 	Run:  runErrchecklite,
 }
 

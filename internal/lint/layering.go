@@ -80,11 +80,16 @@ var LayerTable = map[string]PkgPolicy{
 	// ---- observability: stdlib-only, by construction ----
 	"q3de/internal/obs": {},
 
+	// ---- durability / failure harness: leaves below the engine ----
+	"q3de/internal/faultinject": {},
+	"q3de/internal/store":       {AllowInternal: []string{"q3de/internal/faultinject"}},
+
 	// ---- engine / serving layer ----
 	"q3de/internal/sweep": {},
 	"q3de/internal/engine": {AllowInternal: []string{
-		"q3de/internal/burst", "q3de/internal/lattice", "q3de/internal/obs",
-		"q3de/internal/sim", "q3de/internal/sweep",
+		"q3de/internal/burst", "q3de/internal/faultinject", "q3de/internal/lattice",
+		"q3de/internal/obs", "q3de/internal/sim", "q3de/internal/store",
+		"q3de/internal/sweep",
 	}},
 	"q3de/internal/exp": {AllowInternal: []string{
 		"q3de/internal/anomaly", "q3de/internal/burst", "q3de/internal/control",
@@ -109,7 +114,7 @@ var LayerTable = map[string]PkgPolicy{
 	"q3de/cmd/q3de":           {AllowInternal: []string{"q3de/internal/engine", "q3de/internal/exp", "q3de/internal/sim", "q3de/internal/sweep"}},
 	"q3de/cmd/q3de-bench":     {AllowInternal: []string{"q3de/internal/benchmatrix"}},
 	"q3de/cmd/q3de-calibrate": {AllowInternal: []string{"q3de/internal/anomaly", "q3de/internal/control", "q3de/internal/hw", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
-	"q3de/cmd/q3de-serve":     {AllowInternal: []string{"q3de/internal/engine", "q3de/internal/exp", "q3de/internal/obs"}},
+	"q3de/cmd/q3de-serve":     {AllowInternal: []string{"q3de/internal/engine", "q3de/internal/exp", "q3de/internal/obs", "q3de/internal/store"}},
 	"q3de/cmd/q3de-lint":      {AllowInternal: []string{"q3de/internal/lint/driver"}},
 }
 

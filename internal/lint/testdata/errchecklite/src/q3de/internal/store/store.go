@@ -1,0 +1,23 @@
+// Package store is the errchecklite fixture for the journal's durability
+// surface: a dropped Sync or Append error is an acknowledged-but-lost
+// record, so bare calls are flagged like the engine's write surface.
+package store
+
+type journal struct{}
+
+func (journal) Append(t byte, payload any) error { return nil }
+func (journal) Sync() error                      { return nil }
+func (journal) Close() error                     { return nil }
+
+func checkpoint(j journal) {
+	j.Append(1, nil) // want `error result of Append dropped`
+	j.Sync()         // want `error result of Sync dropped`
+	defer j.Close()  // want `error result of Close dropped by defer`
+
+	// Explicit discard is the greppable acknowledgement for best-effort
+	// checkpoints: allowed.
+	_ = j.Append(2, nil)
+	if err := j.Sync(); err != nil {
+		_ = err
+	}
+}

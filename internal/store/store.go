@@ -1,0 +1,606 @@
+// Package store is the engine's durability layer: a segmented append-only
+// journal (a write-ahead log) that records job submissions, per-shard and
+// per-sweep-point completion checkpoints, and point-cache entries, so a
+// crash or deploy loses at most the shards in flight — everything else is
+// replayed on startup and the engine resumes from the first unfinished
+// shard or point, bit-identical to an uninterrupted run (shard and point
+// results are pure functions of their configuration).
+//
+// On-disk format (DESIGN.md §15): the journal directory holds numbered
+// segment files 00000001.wal, 00000002.wal, …; records append to the
+// highest segment and a new segment starts once the active one exceeds
+// SegmentBytes. Each record is framed
+//
+//	[4B little-endian length N] [4B CRC32-C of the body] [N-byte body]
+//
+// where the body is one type byte followed by the record's JSON payload.
+// Torn tails are expected — a crash can stop the kernel mid-record — so
+// Open truncates a partial or CRC-failing record at the tail of the *last*
+// segment and replays everything before it; the same damage in an earlier
+// segment is real corruption and fails Open. Compact rewrites a caller-
+// chosen keep-set into a fresh segment and deletes the older ones; a crash
+// mid-compact leaves both old and new segments on disk, which replay
+// tolerates because every record type is idempotent under re-application
+// (submissions key by job ID, checkpoints by (key, shard), cache entries by
+// key).
+//
+// Sync policy: job submissions and finishes are synced to disk before
+// Append returns (they are the records a client was told about); shard and
+// point checkpoints ride the configured policy — SyncInterval (default,
+// fsync at most once per Interval), SyncAlways, or SyncNever (tests).
+// Named fault-injection sites ("store.append", "store.sync", "store.rotate",
+// "store.compact") let the crash harness place write failures and panics
+// deterministically.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"q3de/internal/faultinject"
+)
+
+// RecordType tags a journal record's payload shape.
+type RecordType byte
+
+const (
+	// TJobSubmitted records an accepted job: its ID and full spec. Critical
+	// (synced before the submission is acknowledged).
+	TJobSubmitted RecordType = 1
+	// TJobFinished records a job reaching a client-visible terminal state.
+	// Critical. A submitted job with no finish record is resumed on replay.
+	TJobFinished RecordType = 2
+	// TShardDone checkpoints one completed shard of a run, keyed by the
+	// run's canonical configuration.
+	TShardDone RecordType = 3
+	// TPointDone checkpoints one completed sweep grid point with its result
+	// value, restoring the point cache across restarts.
+	TPointDone RecordType = 4
+)
+
+// critical reports whether the record type must be fsynced before Append
+// returns regardless of the interval policy (SyncNever still skips it).
+func (t RecordType) critical() bool {
+	return t == TJobSubmitted || t == TJobFinished
+}
+
+// JobSubmitted is the payload of TJobSubmitted.
+type JobSubmitted struct {
+	ID   string          `json:"id"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// JobFinished is the payload of TJobFinished.
+type JobFinished struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// ShardDone is the payload of TShardDone. Key is the canonical run
+// configuration (the engine uses its sweep point keys), so checkpoints are
+// valid for any job that executes the same run.
+type ShardDone struct {
+	Job    string          `json:"job"`
+	Key    string          `json:"key"`
+	Shard  int             `json:"shard"`
+	Result json.RawMessage `json:"result"`
+}
+
+// PointDone is the payload of TPointDone. Kind names the scenario whose
+// result type Value decodes into.
+type PointDone struct {
+	Kind  string          `json:"kind"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Record is one replayed journal entry.
+type Record struct {
+	Type    RecordType
+	Payload json.RawMessage
+}
+
+// As decodes the record payload into v.
+func (r Record) As(v any) error {
+	return json.Unmarshal(r.Payload, v)
+}
+
+// SyncPolicy selects when non-critical appends reach disk.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.Interval (default).
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs every append.
+	SyncAlways
+	// SyncNever leaves syncing to rotation and Close (tests, throwaway dirs).
+	SyncNever
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the journal directory; created if missing.
+	Dir string
+	// SegmentBytes caps a segment before rotation; 0 means 8 MiB.
+	SegmentBytes int64
+	// Policy selects the non-critical sync cadence.
+	Policy SyncPolicy
+	// Interval is the SyncInterval cadence; 0 means 100ms.
+	Interval time.Duration
+	// Inj receives the store's fault-injection sites; nil means none.
+	Inj faultinject.Injector
+}
+
+// Stats are the journal's monotonic counters and current-state gauges, all
+// safe to read concurrently with appends.
+type Stats struct {
+	Appends        int64 // records appended this process
+	Bytes          int64 // bytes appended this process
+	Syncs          int64 // fsyncs issued
+	Errors         int64 // append/sync errors (injected or real)
+	Replayed       int64 // records recovered by Open
+	TruncatedBytes int64 // torn-tail bytes discarded by Open
+	Segments       int64 // segment files currently on disk
+	SizeBytes      int64 // total bytes currently on disk
+}
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("store: journal closed")
+
+// ErrCorrupt wraps corruption detected outside the tail of the last segment.
+var ErrCorrupt = errors.New("store: journal corrupt")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordBytes bounds a frame header's claimed length so a corrupt header
+// cannot drive a giant allocation; anything larger is treated as a torn or
+// corrupt frame.
+const maxRecordBytes = 64 << 20
+
+const segSuffix = ".wal"
+
+// Journal is an open segmented journal. All methods are safe for concurrent
+// use.
+type Journal struct {
+	dir     string
+	segMax  int64
+	policy  SyncPolicy
+	every   time.Duration
+	inj     faultinject.Injector
+	recs    []Record // replayed at Open, consumed by the engine's Recover
+	sticky  error    // set once the active segment's state is unknown
+	mu      sync.Mutex
+	closed  bool
+	seq     uint64 // active segment sequence number
+	f       *os.File
+	size    int64 // active segment size
+	total   int64 // bytes across all retired segments
+	nseg    int64
+	last    time.Time // last sync
+	appends atomic.Int64
+	bytes   atomic.Int64
+	syncs   atomic.Int64
+	errs    atomic.Int64
+	replay  int64
+	trunc   int64
+}
+
+// Open opens (or creates) the journal at opts.Dir, replays every segment —
+// truncating a torn tail on the last one — and leaves the journal ready to
+// append. The replayed records are retained until Replayed is called.
+func Open(opts Options) (*Journal, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: journal dir required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if opts.Inj == nil {
+		opts.Inj = faultinject.Nop()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create journal dir: %w", err)
+	}
+	j := &Journal{
+		dir:    opts.Dir,
+		segMax: opts.SegmentBytes,
+		policy: opts.Policy,
+		every:  opts.Interval,
+		inj:    opts.Inj,
+		last:   time.Now(),
+	}
+	seqs, err := j.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	for i, seq := range seqs {
+		path := j.segPath(seq)
+		recs, good, err := readSegment(path)
+		if err != nil {
+			if i == len(seqs)-1 {
+				// Torn tail on the last segment: a crash mid-write. Truncate
+				// to the last whole record and carry on.
+				info, statErr := os.Stat(path)
+				if statErr != nil {
+					return nil, fmt.Errorf("store: stat %s: %w", path, statErr)
+				}
+				if terr := os.Truncate(path, good); terr != nil {
+					return nil, fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+				}
+				j.trunc += info.Size() - good
+			} else {
+				return nil, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, path, err)
+			}
+		}
+		j.recs = append(j.recs, recs...)
+		if i == len(seqs)-1 {
+			j.seq = seq
+			j.size = good
+		} else {
+			j.total += good
+		}
+	}
+	j.replay = int64(len(j.recs))
+	j.nseg = int64(len(seqs))
+	if len(seqs) == 0 {
+		j.seq = 1
+		j.nseg = 1
+		if err := j.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(j.segPath(j.seq), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: open active segment: %w", err)
+		}
+		j.f = f
+	}
+	return j, nil
+}
+
+// Replayed returns the records recovered by Open, oldest first, and releases
+// them (a second call returns nil).
+func (j *Journal) Replayed() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := j.recs
+	j.recs = nil
+	return recs
+}
+
+// Append marshals the payload and appends one framed record. Critical record
+// types (job submissions and finishes) are synced before Append returns;
+// others follow the sync policy. An error from the underlying file leaves
+// the journal sticky-failed: the segment's on-disk state is unknown, so
+// every later Append reports the same error rather than risking interleaved
+// half-records.
+func (j *Journal) Append(t RecordType, payload any) error {
+	body, err := encodeBody(t, payload)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.sticky != nil {
+		j.errs.Add(1)
+		return j.sticky
+	}
+	if err := j.inj.Fire("store.append"); err != nil {
+		// Injected before any byte is written: the segment is intact, so the
+		// failure is transient rather than sticky.
+		j.errs.Add(1)
+		return err
+	}
+	if j.size >= j.segMax {
+		if err := j.rotateLocked(); err != nil {
+			j.errs.Add(1)
+			return err
+		}
+	}
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	copy(frame[8:], body)
+	if _, err := j.f.Write(frame); err != nil {
+		j.sticky = fmt.Errorf("store: append: %w", err)
+		j.errs.Add(1)
+		return j.sticky
+	}
+	j.size += int64(len(frame))
+	j.appends.Add(1)
+	j.bytes.Add(int64(len(frame)))
+	switch {
+	case j.policy == SyncNever:
+	case j.policy == SyncAlways || t.critical():
+		return j.syncLocked()
+	case time.Since(j.last) >= j.every:
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.sticky != nil {
+		return j.sticky
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.inj.Fire("store.sync"); err != nil {
+		j.errs.Add(1)
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.sticky = fmt.Errorf("store: sync: %w", err)
+		j.errs.Add(1)
+		return j.sticky
+	}
+	j.syncs.Add(1)
+	j.last = time.Now()
+	return nil
+}
+
+// Close syncs and closes the active segment. Further operations return
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	if j.sticky == nil {
+		if err := j.f.Sync(); err != nil {
+			firstErr = err
+		} else {
+			j.syncs.Add(1)
+		}
+	}
+	if err := j.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Compact rewrites the journal to exactly the keep-set: the records are
+// written to a fresh segment chain, synced, and every older segment is
+// deleted. Called by the engine after replay so finished jobs' checkpoints
+// stop accumulating across restarts. A crash mid-compact is safe: replay
+// tolerates the resulting duplicate records because all record types are
+// idempotent.
+func (j *Journal) Compact(keep []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.sticky != nil {
+		return j.sticky
+	}
+	if err := j.inj.Fire("store.compact"); err != nil {
+		j.errs.Add(1)
+		return err
+	}
+	old, err := j.listSegments()
+	if err != nil {
+		return err
+	}
+	// Retire the active segment and start the keep-set on a fresh one; the
+	// old chain is deleted only after the new segment is durable.
+	if err := j.f.Sync(); err != nil {
+		j.sticky = fmt.Errorf("store: compact sync: %w", err)
+		return j.sticky
+	}
+	j.syncs.Add(1)
+	if err := j.f.Close(); err != nil {
+		j.sticky = fmt.Errorf("store: compact close: %w", err)
+		return j.sticky
+	}
+	j.seq++
+	j.size = 0
+	if err := j.createSegmentLocked(); err != nil {
+		j.sticky = err
+		return err
+	}
+	for _, r := range keep {
+		body := make([]byte, 1+len(r.Payload))
+		body[0] = byte(r.Type)
+		copy(body[1:], r.Payload)
+		frame := make([]byte, 8+len(body))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+		copy(frame[8:], body)
+		if _, err := j.f.Write(frame); err != nil {
+			j.sticky = fmt.Errorf("store: compact write: %w", err)
+			j.errs.Add(1)
+			return j.sticky
+		}
+		j.size += int64(len(frame))
+		j.appends.Add(1)
+		j.bytes.Add(int64(len(frame)))
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	for _, seq := range old {
+		if err := os.Remove(j.segPath(seq)); err != nil {
+			return fmt.Errorf("store: compact remove segment: %w", err)
+		}
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	j.total = 0
+	j.nseg = 1
+	return nil
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	segs, size, total := j.nseg, j.size, j.total
+	replay, trunc := j.replay, j.trunc
+	j.mu.Unlock()
+	return Stats{
+		Appends:        j.appends.Load(),
+		Bytes:          j.bytes.Load(),
+		Syncs:          j.syncs.Load(),
+		Errors:         j.errs.Load(),
+		Replayed:       replay,
+		TruncatedBytes: trunc,
+		Segments:       segs,
+		SizeBytes:      total + size,
+	}
+}
+
+// rotateLocked retires the active segment (flush + sync + close) and opens
+// the next one.
+func (j *Journal) rotateLocked() error {
+	if err := j.inj.Fire("store.rotate"); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.sticky = fmt.Errorf("store: rotate sync: %w", err)
+		return j.sticky
+	}
+	j.syncs.Add(1)
+	if err := j.f.Close(); err != nil {
+		j.sticky = fmt.Errorf("store: rotate close: %w", err)
+		return j.sticky
+	}
+	j.total += j.size
+	j.seq++
+	j.size = 0
+	j.nseg++
+	if err := j.createSegmentLocked(); err != nil {
+		j.sticky = err
+		return err
+	}
+	return nil
+}
+
+// createSegmentLocked creates the segment file for the current sequence
+// number and makes its directory entry durable.
+func (j *Journal) createSegmentLocked() error {
+	f, err := os.OpenFile(j.segPath(j.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	j.f = f
+	return j.syncDir()
+}
+
+// syncDir makes directory-entry changes (segment create/remove) durable.
+func (j *Journal) syncDir() error {
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("store: open journal dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: sync journal dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: close journal dir: %w", cerr)
+	}
+	return nil
+}
+
+func (j *Journal) segPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%08d%s", seq, segSuffix))
+}
+
+// listSegments returns the segment sequence numbers present, ascending.
+func (j *Journal) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read journal dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file; leave it alone
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] < seqs[k] })
+	return seqs, nil
+}
+
+// encodeBody renders one record body: the type byte followed by the JSON
+// payload.
+func encodeBody(t RecordType, payload any) ([]byte, error) {
+	pb, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal %d record: %w", t, err)
+	}
+	body := make([]byte, 1+len(pb))
+	body[0] = byte(t)
+	copy(body[1:], pb)
+	return body, nil
+}
+
+// readSegment decodes a segment file. It returns the whole records found,
+// the byte offset after the last whole record, and a non-nil error if the
+// file ends in (or contains) an undecodable frame — the caller decides
+// whether that is a truncatable torn tail (last segment) or corruption.
+func readSegment(path string) (recs []Record, good int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("read segment: %w", err)
+	}
+	off := int64(0)
+	for int64(len(data))-off > 0 {
+		if int64(len(data))-off < 8 {
+			return recs, off, fmt.Errorf("short frame header at offset %d", off)
+		}
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n < 1 || n > maxRecordBytes {
+			return recs, off, fmt.Errorf("implausible frame length %d at offset %d", n, off)
+		}
+		if int64(len(data))-off-8 < n {
+			return recs, off, fmt.Errorf("truncated frame body at offset %d", off)
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.Checksum(body, crcTable) != sum {
+			return recs, off, fmt.Errorf("CRC mismatch at offset %d", off)
+		}
+		payload := make(json.RawMessage, n-1)
+		copy(payload, body[1:])
+		recs = append(recs, Record{Type: RecordType(body[0]), Payload: payload})
+		off += 8 + n
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"q3de/internal/faultinject"
+)
+
+func openTest(t *testing.T, dir string, mut func(*Options)) *Journal {
+	t.Helper()
+	opts := Options{Dir: dir, Policy: SyncNever}
+	if mut != nil {
+		mut(&opts)
+	}
+	j, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := j.Append(TShardDone, ShardDone{Job: "job-000001", Key: "k", Shard: i})
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, nil)
+	if err := j.Append(TJobSubmitted, JobSubmitted{ID: "job-000001", Spec: json.RawMessage(`{"kind":"memory"}`)}); err != nil {
+		t.Fatalf("append submit: %v", err)
+	}
+	appendN(t, j, 3)
+	if err := j.Append(TJobFinished, JobFinished{ID: "job-000001", State: "done"}); err != nil {
+		t.Fatalf("append finish: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := openTest(t, dir, nil)
+	defer func() { _ = j2.Close() }()
+	recs := j2.Replayed()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	var sub JobSubmitted
+	if err := recs[0].As(&sub); err != nil || sub.ID != "job-000001" {
+		t.Fatalf("first record: %+v, %v", sub, err)
+	}
+	var sd ShardDone
+	if err := recs[2].As(&sd); err != nil || sd.Shard != 1 {
+		t.Fatalf("third record: %+v, %v", sd, err)
+	}
+	if recs[4].Type != TJobFinished {
+		t.Fatalf("last record type %d, want TJobFinished", recs[4].Type)
+	}
+	if j2.Replayed() != nil {
+		t.Fatal("second Replayed call should return nil")
+	}
+	if st := j2.Stats(); st.Replayed != 5 {
+		t.Fatalf("Stats.Replayed = %d, want 5", st.Replayed)
+	}
+}
+
+// journalBytes concatenates the on-disk segments in sequence order.
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, b...)
+	}
+	return all
+}
+
+func TestTornTailIsTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, nil)
+	appendN(t, j, 4)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop off its final byte, then mangle cases at
+	// every interesting boundary by reopening repeatedly.
+	path := filepath.Join(dir, "00000001.wal")
+	whole := journalBytes(t, dir)
+	for _, cut := range []int64{1, 5, 9, int64(len(whole)) - 1} {
+		if err := os.WriteFile(path, whole[:int64(len(whole))-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2 := openTest(t, dir, nil)
+		recs := j2.Replayed()
+		if len(recs) >= 4 {
+			t.Fatalf("cut %d: replayed %d records, want only whole ones", cut, len(recs))
+		}
+		st := j2.Stats()
+		if st.TruncatedBytes <= 0 {
+			t.Fatalf("cut %d: TruncatedBytes = %d, want > 0", cut, st.TruncatedBytes)
+		}
+		// The truncated journal must be appendable and replayable again.
+		if err := j2.Append(TShardDone, ShardDone{Key: "k", Shard: 99}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j3 := openTest(t, dir, nil)
+		recs3 := j3.Replayed()
+		if got, want := len(recs3), len(recs)+1; got != want {
+			t.Fatalf("cut %d: re-replayed %d records, want %d", cut, got, want)
+		}
+		if err := j3.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Restore the intact journal for the next cut.
+		if err := os.WriteFile(path, whole, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCRCMismatchMidFileIsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, nil)
+	appendN(t, j, 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "00000001.wal")
+	data := journalBytes(t, dir)
+	// Flip one payload byte of the second record: records after it are
+	// unreachable (framing is sequential), so replay keeps only record 1
+	// and truncates the rest as a torn tail.
+	n := binary.LittleEndian.Uint32(data[0:4])
+	second := int64(8 + n)
+	data[second+8+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTest(t, dir, nil)
+	defer func() { _ = j2.Close() }()
+	recs := j2.Replayed()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records past a CRC failure, want 1", len(recs))
+	}
+}
+
+func TestCorruptionInNonLastSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, func(o *Options) { o.SegmentBytes = 64 })
+	appendN(t, j, 10) // forces several rotations at 64-byte segments
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first segment (not the last): this is real damage, not a
+	// torn tail, and Open must refuse rather than silently drop records.
+	path := filepath.Join(dir, "00000001.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Policy: SyncNever}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on mid-chain corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentRotationAndReplayAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, func(o *Options) { o.SegmentBytes = 128 })
+	appendN(t, j, 20)
+	st := j.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want rotation to have happened", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTest(t, dir, nil)
+	defer func() { _ = j2.Close() }()
+	recs := j2.Replayed()
+	if len(recs) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(recs))
+	}
+	for i, r := range recs {
+		var sd ShardDone
+		if err := r.As(&sd); err != nil || sd.Shard != i {
+			t.Fatalf("record %d out of order: %+v, %v", i, sd, err)
+		}
+	}
+}
+
+func TestCompactRewritesKeepSetAndDeletesOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, func(o *Options) { o.SegmentBytes = 128 })
+	appendN(t, j, 20)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTest(t, dir, nil)
+	recs := j2.Replayed()
+	keep := recs[:3]
+	if err := j2.Compact(keep); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// The journal stays appendable after compaction.
+	if err := j2.Append(TPointDone, PointDone{Kind: "memory", Key: "pk", Value: json.RawMessage(`1`)}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	if st := j2.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments after compact = %d, want 1", st.Segments)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d segment files after compact, want 1", len(entries))
+	}
+
+	j3 := openTest(t, dir, nil)
+	defer func() { _ = j3.Close() }()
+	recs3 := j3.Replayed()
+	if len(recs3) != 4 {
+		t.Fatalf("replayed %d records after compact, want 4", len(recs3))
+	}
+	for i := range keep {
+		var a, b ShardDone
+		if err := keep[i].As(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := recs3[i].As(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Job != b.Job || a.Key != b.Key || a.Shard != b.Shard {
+			t.Fatalf("kept record %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+	if recs3[3].Type != TPointDone {
+		t.Fatalf("post-compact append lost: type %d", recs3[3].Type)
+	}
+}
+
+func TestInjectedAppendErrorIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.NewSet(faultinject.Fault{Site: "store.append", Hit: 2, Act: faultinject.Error})
+	j := openTest(t, dir, func(o *Options) { o.Inj = inj })
+	if err := j.Append(TShardDone, ShardDone{Shard: 0}); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	err := j.Append(TShardDone, ShardDone{Shard: 1})
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("append 2: %v, want injected error", err)
+	}
+	// Fired before any byte was written: the journal is intact, not sticky.
+	if err := j.Append(TShardDone, ShardDone{Shard: 2}); err != nil {
+		t.Fatalf("append 3 after injected error: %v", err)
+	}
+	if st := j.Stats(); st.Errors != 1 {
+		t.Fatalf("Stats.Errors = %d, want 1", st.Errors)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTest(t, dir, nil)
+	defer func() { _ = j2.Close() }()
+	if recs := j2.Replayed(); len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (the injected one never landed)", len(recs))
+	}
+}
+
+func TestInjectedSyncErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.NewSet(faultinject.Fault{Site: "store.sync", Act: faultinject.Error})
+	// SyncInterval (not the test default SyncNever): critical records must
+	// force a sync under it, so the injected failure has to surface.
+	j := openTest(t, dir, func(o *Options) { o.Inj = inj; o.Policy = SyncInterval })
+	defer func() { _ = j.Close() }()
+	if err := j.Sync(); err == nil {
+		t.Fatal("Sync with injected fault returned nil")
+	}
+	// Critical records force a sync and must surface its failure.
+	if err := j.Append(TJobSubmitted, JobSubmitted{ID: "j"}); err == nil {
+		t.Fatal("critical append with injected sync fault returned nil")
+	}
+}
+
+func TestClosedJournalRefusesOperations(t *testing.T) {
+	j := openTest(t, t.TempDir(), nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(TShardDone, ShardDone{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close: %v", err)
+	}
+	if err := j.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, func(o *Options) { o.Policy = SyncAlways })
+	appendN(t, j, 2)
+	if st := j.Stats(); st.Syncs < 2 {
+		t.Fatalf("SyncAlways issued %d syncs for 2 appends", st.Syncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTest(t, t.TempDir(), func(o *Options) { o.Policy = SyncInterval; o.Interval = 1 })
+	appendN(t, j2, 2)
+	if st := j2.Stats(); st.Syncs == 0 {
+		t.Fatal("SyncInterval with tiny interval never synced")
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCountersTrackAppends(t *testing.T) {
+	j := openTest(t, t.TempDir(), nil)
+	defer func() { _ = j.Close() }()
+	appendN(t, j, 5)
+	st := j.Stats()
+	if st.Appends != 5 {
+		t.Fatalf("Appends = %d, want 5", st.Appends)
+	}
+	if st.Bytes <= 0 || st.SizeBytes != st.Bytes {
+		t.Fatalf("Bytes = %d, SizeBytes = %d: want equal and positive", st.Bytes, st.SizeBytes)
+	}
+}
+
+// TestFrameCRCCoversTypeByte pins that the CRC covers the type byte, not
+// just the JSON payload: flipping the type must be detected.
+func TestFrameCRCCoversTypeByte(t *testing.T) {
+	dir := t.TempDir()
+	j := openTest(t, dir, nil)
+	appendN(t, j, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "00000001.wal")
+	data := journalBytes(t, dir)
+	data[8] = byte(TPointDone) // type byte lives right after the 8-byte header
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTest(t, dir, nil)
+	defer func() { _ = j2.Close() }()
+	if recs := j2.Replayed(); len(recs) != 0 {
+		t.Fatalf("type-flipped record replayed as %d records, want 0", len(recs))
+	}
+}

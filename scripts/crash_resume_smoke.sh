@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Crash-resume smoke: kill q3de-serve mid-sweep with SIGKILL and verify the
+# journal brings the job back.
+#
+#   1. Run a reference sweep on a journal-free server: the golden result.
+#   2. Start a journaled server, submit the same sweep, SIGKILL the process
+#      after the first grid points complete (no drain, no flush beyond the
+#      journal's own appends — the kernel keeps written page-cache data).
+#   3. Restart on the same journal directory and assert:
+#        - the interrupted job resumes under its original ID
+#          (q3de_jobs_resumed_total >= 1) and runs to done with the
+#          resumed flag set,
+#        - finished points were restored into the point cache
+#          (q3de_sweep_point_cache_hits_total > 0),
+#        - the final result is bit-identical to the reference once the
+#          cache-execution metadata (cached / cache_hits) is normalized out.
+#
+# Needs: go, curl, jq. Exits non-zero on any failed assertion.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+REF_ADDR=127.0.0.1:18321
+CRASH_ADDR=127.0.0.1:18322
+JOURNAL="$WORK/journal"
+
+# A 9-point memory sweep sized to run a few seconds on one worker: long
+# enough that the SIGKILL lands mid-run, cheap enough for CI.
+SPEC='{"kind":"sweep","sweep":{
+  "scenario":"memory",
+  "base":{"p":0.01,"max_shots":60000,"seed":7},
+  "axes":[{"name":"d","values":[3,5,7]},{"name":"p","values":[0.01,0.02,0.03]}]
+}}'
+
+echo "== build"
+go build -o "$WORK/q3de-serve" ./cmd/q3de-serve
+
+wait_ready() { # addr
+  for _ in $(seq 1 100); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server on $1 never became ready" >&2
+  return 1
+}
+
+submit() { # addr -> job id
+  curl -fsS -X POST "http://$1/v1/jobs" -d "$SPEC" | jq -r .id
+}
+
+wait_done() { # addr id
+  for _ in $(seq 1 600); do
+    state=$(curl -fsS "http://$1/v1/jobs/$2" | jq -r .state)
+    case "$state" in
+      done) return 0 ;;
+      failed|cancelled|interrupted) echo "job $2 ended $state" >&2; return 1 ;;
+    esac
+    sleep 0.2
+  done
+  echo "job $2 never finished" >&2
+  return 1
+}
+
+# normalize strips execution metadata that legitimately differs between a
+# live and a resumed run: restored points are served from the point cache.
+normalize() { # addr id -> normalized result JSON on stdout
+  curl -fsS "http://$1/v1/jobs/$2/result" |
+    jq -S '.result | .cache_hits = 0 | .points = [.points[] | .cached = false]'
+}
+
+metric() { # addr name -> value (0 if absent)
+  curl -fsS "http://$1/metrics" | awk -v m="$2" '$1 == m {print $2; f=1} END {if (!f) print 0}'
+}
+
+echo "== reference run (no journal)"
+"$WORK/q3de-serve" -addr "$REF_ADDR" &
+SERVER_PID=$!
+wait_ready "$REF_ADDR"
+REF_ID=$(submit "$REF_ADDR")
+wait_done "$REF_ADDR" "$REF_ID"
+normalize "$REF_ADDR" "$REF_ID" > "$WORK/ref.json"
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== first life: journaled server, SIGKILL mid-sweep"
+"$WORK/q3de-serve" -addr "$CRASH_ADDR" -workers 1 -journal "$JOURNAL" &
+SERVER_PID=$!
+wait_ready "$CRASH_ADDR"
+JOB_ID=$(submit "$CRASH_ADDR")
+
+for _ in $(seq 1 300); do
+  points_done=$(curl -fsS "http://$CRASH_ADDR/v1/jobs/$JOB_ID" | jq '.progress.points_done // 0')
+  [ "$points_done" -ge 1 ] && break
+  sleep 0.1
+done
+if [ "$points_done" -lt 1 ]; then
+  echo "FAIL: no sweep point finished before the kill window" >&2
+  exit 1
+fi
+state=$(curl -fsS "http://$CRASH_ADDR/v1/jobs/$JOB_ID" | jq -r .state)
+if [ "$state" != running ]; then
+  echo "FAIL: job already $state before SIGKILL — grow the sweep" >&2
+  exit 1
+fi
+echo "   killing with $points_done point(s) done"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== second life: restart on the same journal"
+"$WORK/q3de-serve" -addr "$CRASH_ADDR" -workers 1 -journal "$JOURNAL" &
+SERVER_PID=$!
+wait_ready "$CRASH_ADDR"
+
+resumed=$(metric "$CRASH_ADDR" q3de_jobs_resumed_total)
+if [ "${resumed%.*}" -lt 1 ]; then
+  echo "FAIL: q3de_jobs_resumed_total = $resumed, want >= 1" >&2
+  exit 1
+fi
+wait_done "$CRASH_ADDR" "$JOB_ID"
+
+resumed_flag=$(curl -fsS "http://$CRASH_ADDR/v1/jobs/$JOB_ID" | jq .resumed)
+if [ "$resumed_flag" != true ]; then
+  echo "FAIL: job $JOB_ID does not carry resumed=true" >&2
+  exit 1
+fi
+cache_hits=$(metric "$CRASH_ADDR" q3de_sweep_point_cache_hits_total)
+if [ "${cache_hits%.*}" -lt 1 ]; then
+  echo "FAIL: q3de_sweep_point_cache_hits_total = $cache_hits; restored points were not served from the cache" >&2
+  exit 1
+fi
+normalize "$CRASH_ADDR" "$JOB_ID" > "$WORK/resumed.json"
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+if ! diff -u "$WORK/ref.json" "$WORK/resumed.json"; then
+  echo "FAIL: resumed result differs from the uninterrupted reference" >&2
+  exit 1
+fi
+
+echo "PASS: job $JOB_ID resumed after SIGKILL ($points_done/9 points pre-crash," \
+     "$cache_hits cache hits) and finished bit-identical to the reference"
