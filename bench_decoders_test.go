@@ -4,7 +4,7 @@ package q3de
 // Monte-Carlo data point (one Decode per shot, ≥100k shots per
 // configuration), so these benchmarks pin its throughput and its
 // steady-state allocation behaviour at the paper's operating points.
-// The case matrix — 3 decoder families × d ∈ {5, 9, 13} × {clean, mbbe} —
+// The case matrix — 5 decoder families × d ∈ {5, 9, 13} × {clean, mbbe} —
 // is defined once in internal/benchmatrix and shared with
 // `go run ./cmd/q3de-bench`, which records the same cells to
 // BENCH_decoders.json for the perf trajectory (see README.md).
@@ -56,6 +56,11 @@ func BenchmarkDecodeGreedy(b *testing.B) { benchFamily(b, "greedy") }
 // BenchmarkDecodeUnionFind measures the union-find decoder.
 func BenchmarkDecodeUnionFind(b *testing.B) { benchFamily(b, "union-find") }
 
+// BenchmarkDecodeTiered measures the predecode escalation router: exact
+// sparse MWPM with zero-clique compression behind tier routing (weight-equal
+// to the mwpm row; the delta is pure performance).
+func BenchmarkDecodeTiered(b *testing.B) { benchFamily(b, "tiered") }
+
 // TestMWPMDecodeWallClock is the CI guard for the sparse pipeline's headline
 // win: 64 pre-drawn d=13 MBBE shots decode in ~50 ms sparse but ~4.4 s
 // through the dense construction (64 × ~68 ms/shot). The ceiling is generous
@@ -69,11 +74,29 @@ func TestMWPMDecodeWallClock(t *testing.T) {
 		// the dedicated un-instrumented CI step runs this test instead.
 		t.Skip("wall-clock ceiling runs in its own un-instrumented CI step")
 	}
-	const ceiling = 2 * time.Second
+	decodeWallClock(t, "mwpm", 2*time.Second,
+		"dense-shaped path reintroduced?")
+}
+
+// TestTieredDecodeWallClock pins the tiered router's headline win on the same
+// 64 d=13 MBBE shots: the zero-clique contraction decodes them in ~20 ms
+// (~0.3 ms/shot — ~9× the uncompressed sparse row), so the 500 ms ceiling is
+// ~25× slack for loaded runners while still catching a contraction
+// regression back toward the 170 ms+ plain-blossom cost.
+func TestTieredDecodeWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock ceiling runs in its own un-instrumented CI step")
+	}
+	decodeWallClock(t, "tiered", 500*time.Millisecond,
+		"zero-clique contraction regressed?")
+}
+
+func decodeWallClock(t *testing.T, family string, ceiling time.Duration, hint string) {
+	t.Helper()
 	c := benchmatrix.Case{D: 13, MBBE: true}
 	l, m, samples := c.Setup(64)
 	for _, fam := range benchmatrix.Families() {
-		if fam.Name != "mwpm" {
+		if fam.Name != family {
 			continue
 		}
 		dec := fam.New(l, m)
@@ -82,8 +105,8 @@ func TestMWPMDecodeWallClock(t *testing.T) {
 			dec.Decode(s)
 		}
 		if elapsed := time.Since(start); elapsed > ceiling {
-			t.Errorf("mwpm decoded %d d=13 MBBE shots in %v, ceiling %v — dense-shaped path reintroduced?",
-				len(samples), elapsed, ceiling)
+			t.Errorf("%s decoded %d d=13 MBBE shots in %v, ceiling %v — %s",
+				family, len(samples), elapsed, ceiling, hint)
 		}
 	}
 }

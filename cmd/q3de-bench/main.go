@@ -1,10 +1,11 @@
 // Command q3de-bench runs the decoder micro-benchmark matrix — the paper's
-// three decoder families plus the dense MWPM reference construction, at
-// d ∈ {5, 9, 13}, with and without an MBBE region — and writes the results
-// to BENCH_decoders.json so the repository's perf trajectory records
-// decoding throughput over time. The mwpm (sparse) and mwpm-dense rows are
-// weight-equivalent solvers (DESIGN.md §10); their ratio is the sparse
-// pipeline's recorded speedup.
+// three decoder families plus the dense MWPM reference construction and the
+// tiered escalation router, at d ∈ {5, 9, 13}, with and without an MBBE
+// region — and writes the results to BENCH_decoders.json so the repository's
+// perf trajectory records decoding throughput over time. The mwpm (sparse),
+// mwpm-dense and tiered rows are weight-equivalent solvers (DESIGN.md §10,
+// §16); their ratios are the sparse pipeline's and the zero-clique
+// contraction's recorded speedups.
 //
 // Usage:
 //
@@ -12,7 +13,7 @@
 //
 // The matrix definition lives in internal/benchmatrix and is shared with
 // the `go test -bench` suite (BenchmarkDecode{MWPM,MWPMDense,Greedy,
-// UnionFind} in bench_decoders_test.go), so the recorded trajectory
+// UnionFind,Tiered} in bench_decoders_test.go), so the recorded trajectory
 // measures exactly what the benchmarks run.
 package main
 

@@ -11,6 +11,7 @@ import (
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
 	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/tiered"
 	"q3de/internal/decoder/unionfind"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
@@ -77,15 +78,20 @@ type Family struct {
 }
 
 // Families returns the decoder families under benchmark: the paper's three
-// strategies plus the dense all-pairs MWPM construction, kept as the
-// reference row so BENCH_decoders.json records the sparse pipeline's speedup
-// against the exact solver it replaced (the two are weight-equivalent;
-// see mwpm.NewDense).
+// strategies, the dense all-pairs MWPM construction (kept as the reference
+// row so BENCH_decoders.json records the sparse pipeline's speedup against
+// the exact solver it replaced — the two are weight-equivalent; see
+// mwpm.NewDense), and the tiered escalation router (weight-equal to the
+// sparse mwpm row; its speedup comes from zero-clique compression plus
+// tier-routing, see DESIGN.md §16). The mwpm row deliberately stays the
+// uncompressed sparse pipeline, so the tiered/mwpm ratio measures exactly
+// what the router adds.
 func Families() []Family {
 	return []Family{
 		{"mwpm", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return mwpm.New(m) }},
 		{"mwpm-dense", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return mwpm.NewDense(m) }},
 		{"greedy", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return greedy.New(m) }},
 		{"union-find", func(l *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return unionfind.New(l, m) }},
+		{"tiered", func(_ *lattice.Lattice, m *lattice.Metric) decoder.Decoder { return tiered.New(m) }},
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"q3de/internal/anomaly"
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
+	"q3de/internal/decoder/tiered"
 	"q3de/internal/deform"
 	"q3de/internal/lattice"
 )
@@ -31,6 +32,26 @@ type Config struct {
 
 	// DanoGuess bounds the estimated anomalous-region size when reacting.
 	DanoGuess int
+
+	// Decoder selects the decoding unit: "" or "greedy" is the QECOOL-style
+	// greedy hardware decoder (the paper's control architecture); "tiered" is
+	// the predecode escalation router of DESIGN.md §16, which decodes with
+	// exact sparse MWPM routed through the cheapest sufficient tier and
+	// tallies per-tier counts into the controller's TierCounts sink. The
+	// choice applies to both the clean decoder and the post-detection
+	// anomaly-weighted decoder.
+	Decoder string
+
+	// Window bounds the sliding decoding window in code cycles. With a
+	// positive Window, rollback targets are clamped to reach back at most
+	// Window cycles from the current cycle and matching-queue batch records
+	// that fall out of the window are pruned, so per-reaction re-decode work
+	// and queue memory are bounded by the window rather than the shot
+	// horizon. 0 keeps the legacy whole-history behaviour, bit for bit. A
+	// finite window must be generous enough to contain the detection latency
+	// plus the decoding lookahead (about 2·Vth + Cbat + D cycles), or
+	// rollbacks get truncated and re-decode accuracy suffers.
+	Window int
 }
 
 // Controller is the streaming control-unit pipeline: syndrome layers flow in
@@ -68,6 +89,12 @@ type Controller struct {
 	// statistics
 	Rollbacks int
 	Aborted   int // rollbacks aborted because the CPU already read a result
+
+	// tiers is the cumulative per-tier decode tally sink the "tiered"
+	// decoding unit writes into (both the clean and the weighted instance
+	// share it). It deliberately survives Reset: it is a run statistic, not
+	// shot state, and consumers take per-shot deltas around RunShot.
+	tiers decoder.TierCounts
 }
 
 type batchRecord struct {
@@ -104,19 +131,38 @@ func NewControllerOn(cfg Config, lat *lattice.Lattice, sm *deform.StabilizerMap)
 		Alpha:     cfg.Alpha,
 		Nth:       cfg.Nth,
 	})
-	clean := greedy.New(lattice.NewMetric(cfg.D, cfg.P, cfg.P, nil))
 	c := &Controller{
 		cfg:        cfg,
 		lat:        lat,
 		detector:   det,
-		dec:        clean,
-		cleanDec:   clean,
 		deform:     sm,
 		DetectedAt: -1,
 		OnsetAt:    -1,
 	}
+	clean := c.newDecoder(lattice.NewMetric(cfg.D, cfg.P, cfg.P, nil))
+	c.dec, c.cleanDec = clean, clean
 	return c
 }
+
+// newDecoder builds a decoding unit on the metric per cfg.Decoder. Tiered
+// instances share the controller's cumulative tier sink, so the clean and
+// the post-detection weighted decoder tally into one place.
+func (c *Controller) newDecoder(m *lattice.Metric) decoder.Decoder {
+	switch c.cfg.Decoder {
+	case "", "greedy":
+		return greedy.New(m)
+	case "tiered":
+		return tiered.NewWithCounts(m, &c.tiers)
+	default:
+		panic(fmt.Sprintf("control: unknown decoder %q", c.cfg.Decoder))
+	}
+}
+
+// TierCounts reports the cumulative per-tier decode tallies of the "tiered"
+// decoding unit (all zero for other decoders). The counts survive Reset —
+// they are a run statistic, not shot state — so per-shot consumers snapshot
+// around each shot and take the difference.
+func (c *Controller) TierCounts() decoder.TierCounts { return c.tiers }
 
 // Reset returns the controller to its initial state for a fresh shot: the
 // detector window, the Pauli frame, the classical register, the instruction
@@ -171,6 +217,26 @@ func (c *Controller) Push(activePositions []int32) {
 	if c.cycle%c.cfg.Cbat == 0 {
 		c.commitThrough(c.cycle - c.cfg.D)
 	}
+	c.pruneBatches()
+}
+
+// pruneBatches drops matching-queue records that fell out of the sliding
+// window. Records are in endCycle order and rollbacks are clamped to the
+// window floor, so a record with endCycle <= cycle-Window can never be
+// undone again. The retained suffix is copied down in place so the backing
+// array keeps being reused.
+func (c *Controller) pruneBatches() {
+	if c.cfg.Window <= 0 {
+		return
+	}
+	floor := c.cycle - c.cfg.Window
+	i := 0
+	for i < len(c.batches) && c.batches[i].endCycle <= floor {
+		i++
+	}
+	if i > 0 {
+		c.batches = append(c.batches[:0], c.batches[i:]...)
+	}
 }
 
 // onDetection implements the reaction: estimate the region, roll back, switch
@@ -220,11 +286,17 @@ func (c *Controller) onDetection(det *anomaly.Detection) {
 		T1: c.lat.Rounds - 1,
 	}
 	c.box = &box
-	c.dec = greedy.New(lattice.NewMetric(c.cfg.D, c.cfg.P, c.cfg.PanoGuess, &box))
+	c.dec = c.newDecoder(lattice.NewMetric(c.cfg.D, c.cfg.P, c.cfg.PanoGuess, &box))
 
 	// Rollback to (t - clat - d): the estimated onset minus the decoding
-	// lookahead.
+	// lookahead. A finite sliding window clamps the target so the rollback
+	// never reaches past the window floor — batch records at or before it
+	// have been pruned and can no longer be undone; the clamp guarantees the
+	// undo loop below never needs them.
 	to := c.OnsetAt - c.cfg.D
+	if w := c.cfg.Window; w > 0 && to < c.cycle-w {
+		to = c.cycle - w
+	}
 	if err := c.Register.Rollback(to); err != nil {
 		c.Aborted++
 		return // per Sec. VI-C the rollback is aborted
@@ -268,7 +340,7 @@ func (c *Controller) commitThrough(before int) {
 	if before <= c.lastCommit || len(c.pool) == 0 {
 		return
 	}
-	res := c.dec.Decode(c.pool)
+	res := c.decodePool()
 	var committed []lattice.Coord
 	keep := c.pool[:0]
 	flip := false
@@ -304,12 +376,24 @@ func (c *Controller) commitThrough(before int) {
 // committed. It returns the final accumulated correction parity.
 func (c *Controller) Finish() bool {
 	if len(c.pool) > 0 {
-		res := c.dec.Decode(c.pool)
+		res := c.decodePool()
 		c.Frame.Apply(c.cycle, res.CutParity)
 		c.batches = append(c.batches, batchRecord{endCycle: c.cycle, flip: res.CutParity, defects: c.pool})
 		c.pool = nil
 	}
 	return c.Frame.Parity()
+}
+
+// decodePool decodes the whole deferred pool, routing through the decoder's
+// incremental path when it offers one: across consecutive commits most of
+// the pool is unchanged, so connected components untouched since the
+// previous decode replay their matching instead of being re-solved —
+// bit-identical to a fresh Decode by the decoder.Incremental contract.
+func (c *Controller) decodePool() decoder.Result {
+	if inc, ok := c.dec.(decoder.Incremental); ok {
+		return inc.DecodeIncremental(c.pool)
+	}
+	return c.dec.Decode(c.pool)
 }
 
 // MatchingQueueLen exposes the number of stored batch records.

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"q3de/internal/decoder"
 	"q3de/internal/deform"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
@@ -48,6 +49,10 @@ type ShotOutcome struct {
 	// an expanded distance at any point during the shot (always false without
 	// deformation).
 	Expanded bool
+	// Tiers is this shot's per-tier decode tally when the controller runs the
+	// "tiered" decoding unit (zero otherwise). The controller's counter is
+	// cumulative across shots, so the driver reports the per-shot delta.
+	Tiers decoder.TierCounts
 }
 
 // NewDriver builds a driver for the controller configuration on a shared
@@ -77,6 +82,7 @@ func (d *Driver) Patch() *deform.Patch { return d.patch }
 // distance and horizon.
 func (d *Driver) RunShot(s *noise.Sample) ShotOutcome {
 	d.ctrl.Reset()
+	tiersBefore := d.ctrl.TierCounts()
 	for i := range d.perLayer {
 		d.perLayer[i] = d.perLayer[i][:0]
 	}
@@ -102,5 +108,6 @@ func (d *Driver) RunShot(s *noise.Sample) ShotOutcome {
 		Rollbacks:  d.ctrl.Rollbacks,
 		Aborted:    d.ctrl.Aborted,
 		Expanded:   expanded,
+		Tiers:      d.ctrl.TierCounts().Sub(tiersBefore),
 	}
 }

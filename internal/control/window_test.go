@@ -1,0 +1,160 @@
+package control
+
+import (
+	"testing"
+
+	"q3de/internal/lattice"
+	"q3de/internal/noise"
+	"q3de/internal/stats"
+)
+
+// TestWindowLargerThanHorizonIsBitIdentical pins the Window=0 compatibility
+// contract: a sliding window wider than the shot horizon never clamps a
+// rollback and never prunes a reachable batch, so the windowed controller
+// must be outcome-identical to the whole-history one, shot for shot — under
+// both decoding units.
+func TestWindowLargerThanHorizonIsBitIdentical(t *testing.T) {
+	d, p := 9, 0.003
+	rounds := 150
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(4)
+	box.T0 = 60
+	model := noise.NewModel(l, p, &box, 0.4)
+	for _, dec := range []string{"greedy", "tiered"} {
+		whole := controllerConfig(d, p, true)
+		whole.Decoder = dec
+		windowed := whole
+		windowed.Window = rounds + 1
+		a := NewDriver(whole, l, false)
+		b := NewDriver(windowed, l, false)
+		rng := stats.NewRNG(93, 94)
+		var s noise.Sample
+		for i := 0; i < 25; i++ {
+			model.Draw(rng, &s)
+			oa, ob := a.RunShot(&s), b.RunShot(&s)
+			if oa != ob {
+				t.Fatalf("%s shot %d: whole-history %+v != windowed %+v", dec, i, oa, ob)
+			}
+		}
+	}
+}
+
+// TestWindowBoundsMatchingQueue checks the resource side of the sliding
+// window: on a clean stream the matching queue stays bounded by the window
+// (at most Window/Cbat+2 records at any cycle) instead of growing with the
+// horizon — and since rollback is the only consumer of batch records,
+// pruning must not change the decoded outcome at all.
+func TestWindowBoundsMatchingQueue(t *testing.T) {
+	d, p := 7, 0.01
+	rounds := 200
+	l := lattice.New(d, rounds)
+	model := noise.NewModel(l, p, nil, 0)
+	cfg := controllerConfig(d, p, false)
+	cfg.Window = 30
+	windowed := NewControllerOn(cfg, l, nil)
+	unbounded := NewControllerOn(controllerConfig(d, p, false), l, nil)
+
+	rng := stats.NewRNG(97, 98)
+	var s noise.Sample
+	model.Draw(rng, &s)
+	perLayer := make([][]int32, rounds)
+	cols := d - 1
+	for _, id := range s.Defects {
+		co := l.NodeCoord(id)
+		perLayer[co.T] = append(perLayer[co.T], int32(co.R*cols+co.C))
+	}
+	bound := cfg.Window/OptimalBatch(cfg.Cwin) + 2
+	maxQ := 0
+	for tt := 0; tt < rounds; tt++ {
+		windowed.Push(perLayer[tt])
+		unbounded.Push(perLayer[tt])
+		if q := windowed.MatchingQueueLen(); q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ > bound {
+		t.Errorf("windowed matching queue peaked at %d records, want <= %d", maxQ, bound)
+	}
+	if unbounded.MatchingQueueLen() <= bound {
+		t.Errorf("unbounded queue holds %d records — horizon too short for the bound to mean anything", unbounded.MatchingQueueLen())
+	}
+	if got, want := windowed.Finish(), unbounded.Finish(); got != want {
+		t.Errorf("pruning changed the clean-stream outcome: windowed parity %v, whole-history %v", got, want)
+	}
+}
+
+// TestWindowClampBoundsRollbackDepth injects an MBBE with a window tight
+// enough that the onset-based rollback target lies outside it: the clamp
+// must bind (RollbackDepth <= Window), the reaction must still complete
+// without touching pruned batches, and repeated runs must agree exactly.
+func TestWindowClampBoundsRollbackDepth(t *testing.T) {
+	d, p := 9, 0.003
+	rounds := 200
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(4)
+	box.T0 = 100
+	model := noise.NewModel(l, p, &box, 0.4)
+	cfg := controllerConfig(d, p, true)
+	cfg.Window = 25 // < climb estimate (2*Vth) + Cbat + D, so the clamp binds
+	rng := stats.NewRNG(83, 84)
+	var s noise.Sample
+	model.Draw(rng, &s)
+
+	run := func() (ShotOutcome, int) {
+		drv := NewDriver(cfg, l, false)
+		out := drv.RunShot(&s)
+		return out, drv.Controller().RollbackDepth
+	}
+	out, depth := run()
+	if out.DetectedAt < 0 {
+		t.Fatal("controller failed to detect the injected MBBE")
+	}
+	if out.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", out.Rollbacks)
+	}
+	if depth > cfg.Window {
+		t.Errorf("rollback depth %d exceeds window %d", depth, cfg.Window)
+	}
+	if depth <= 0 {
+		t.Errorf("rollback depth %d — the reaction did not re-decode anything", depth)
+	}
+	out2, depth2 := run()
+	if out != out2 || depth != depth2 {
+		t.Errorf("windowed reaction is not deterministic: %+v/%d vs %+v/%d", out, depth, out2, depth2)
+	}
+}
+
+// TestTieredControllerReportsTiersAndStaysResetClean extends the driver
+// reuse pin to the tiered decoding unit: reused and fresh drivers must agree
+// on every outcome including the per-shot tier deltas, and a stream of real
+// shots must actually tally decodes into the tier counters.
+func TestTieredControllerReportsTiersAndStaysResetClean(t *testing.T) {
+	d, p := 7, 0.01
+	rounds := 80
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(3)
+	box.T0 = 40
+	model := noise.NewModel(l, p, &box, 0.4)
+	rng := stats.NewRNG(91, 92)
+	cfg := controllerConfig(d, p, true)
+	cfg.Decoder = "tiered"
+	reused := NewDriver(cfg, l, true)
+	var s noise.Sample
+	var total int64
+	for i := 0; i < 25; i++ {
+		model.Draw(rng, &s)
+		got := reused.RunShot(&s)
+		want := NewDriver(cfg, l, true).RunShot(&s)
+		if got != want {
+			t.Fatalf("shot %d: reused tiered driver %+v != fresh %+v", i, got, want)
+		}
+		total += got.Tiers.Total()
+	}
+	if total == 0 {
+		t.Error("tiered controller never tallied a decode into the tier counters")
+	}
+	if reused.Controller().TierCounts().Total() != total {
+		t.Errorf("cumulative controller tally %d != summed per-shot deltas %d",
+			reused.Controller().TierCounts().Total(), total)
+	}
+}

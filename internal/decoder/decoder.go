@@ -64,6 +64,49 @@ type Decoder interface {
 	Name() string
 }
 
+// TierCounts tallies decodes by the tier of machinery they needed (DESIGN.md
+// §16): "lookup" — per-defect boundary lookups only (singleton components),
+// "unionfind" — the union-find component decomposition solved everything
+// closed-form (components of at most two defects, no matching solver), and
+// "mwpm" — at least one component required a blossom solve (or the dense
+// fallback ran). Counters are cumulative over the lifetime of the counting
+// decoder; callers wanting per-shot tiers difference two snapshots.
+type TierCounts struct {
+	Lookup    int64
+	UnionFind int64
+	MWPM      int64
+}
+
+// Total is the number of counted decodes.
+func (t TierCounts) Total() int64 { return t.Lookup + t.UnionFind + t.MWPM }
+
+// Sub returns the component-wise difference t - prev, i.e. the tiers counted
+// since the prev snapshot was taken.
+func (t TierCounts) Sub(prev TierCounts) TierCounts {
+	return TierCounts{
+		Lookup:    t.Lookup - prev.Lookup,
+		UnionFind: t.UnionFind - prev.UnionFind,
+		MWPM:      t.MWPM - prev.MWPM,
+	}
+}
+
+// TierReporter is implemented by decoders that classify their decodes into
+// escalation tiers (the tiered router). The returned snapshot is cumulative;
+// see TierCounts.
+type TierReporter interface {
+	TierCounts() TierCounts
+}
+
+// Incremental is implemented by decoders that can reuse work across
+// consecutive Decode calls whose defect sets largely overlap (the stream
+// path's rollback re-decodes and per-cycle commits). DecodeIncremental must
+// be bit-identical to Decode on the same input — reuse is an internal
+// speedup, never a behavioural difference — so callers may freely prefer it
+// whenever the assertion succeeds.
+type Incremental interface {
+	DecodeIncremental(defects []lattice.Coord) Result
+}
+
 // CutParityOf derives the correction's logical-cut parity from matches:
 // every left-boundary match crosses the cut exactly once and node-to-node
 // correction paths are internal.

@@ -478,7 +478,7 @@ type Matcher struct {
 // (see MinWeightPerfectMatching). The returned mate slice aliases the
 // Matcher's arena and is only valid until the next Solve call.
 func (m *Matcher) Solve(cost [][]int64) ([]int, int64) {
-	return m.solve(cost, false)
+	return m.solve(cost, false, nil)
 }
 
 // SolveJumpStart is Solve with a greedy tight-edge warm start: before the
@@ -490,10 +490,28 @@ func (m *Matcher) Solve(cost [][]int64) ([]int, int64) {
 // where most pairs cost exactly zero — this removes the vast majority of the
 // phases. Tie-breaks may differ from Solve, the total never does.
 func (m *Matcher) SolveJumpStart(cost [][]int64) ([]int, int64) {
-	return m.solve(cost, true)
+	return m.solve(cost, true, nil)
 }
 
-func (m *Matcher) solve(cost [][]int64, jumpStart bool) ([]int, int64) {
+// SolveWarm generalizes SolveJumpStart to delta-updates: hint[i] = j (with
+// hint[j] = i reciprocally) proposes carrying the pair (i, j) over from a
+// previous matching of a similar problem — the stream path's rollback
+// re-decodes and consecutive commit cycles differ by a few defects, so most
+// of the previous mate vector still names optimal pairs. A hinted pair is
+// pre-matched only when it is tight under the initial duals (its cost equals
+// the matrix minimum — the same validity rule SolveJumpStart's greedy start
+// relies on); everything else in the hint is ignored, and the greedy
+// tight-pair fill then completes the warm start. The result is therefore an
+// exact optimum regardless of the hint's quality: a stale, truncated or
+// adversarial hint can only cost speed, never weight
+// (TestSolveWarmMatchesSolve fuzzes this across insertions and removals).
+// Entries outside [0, n) and non-reciprocal entries are skipped; a nil hint
+// makes SolveWarm identical to SolveJumpStart.
+func (m *Matcher) SolveWarm(cost [][]int64, hint []int) ([]int, int64) {
+	return m.solve(cost, true, hint)
+}
+
+func (m *Matcher) solve(cost [][]int64, jumpStart bool, hint []int) ([]int, int64) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0
@@ -545,12 +563,31 @@ func (m *Matcher) solve(cost [][]int64, jumpStart bool) ([]int, int64) {
 	}
 	for u := 0; u <= n; u++ {
 		b.st[u] = int32(u)
-		b.flower[u] = nil
+		// Truncate rather than nil: a slot that served as a blossom in a
+		// previous (larger or smaller) problem keeps its capacity, so cycling
+		// across component sizes performs no steady-state allocation.
+		b.flower[u] = b.flower[u][:0]
 	}
 	for u := 1; u <= n; u++ {
 		b.lab[u] = wMax
 	}
 	if jumpStart {
+		// Hinted pairs first (SolveWarm): a carried-over pair is accepted only
+		// when tight under the initial duals, which keeps the warm start a
+		// valid primal-dual state no matter what the caller passes.
+		for u := 1; u <= n && hint != nil; u++ {
+			if b.match[u] != 0 || u > len(hint) {
+				continue
+			}
+			v := hint[u-1] + 1
+			if v <= u || v > n || b.match[v] != 0 || v > len(hint) || hint[v-1] != u-1 {
+				continue
+			}
+			if b.gw[u][v] == wMax {
+				b.match[u] = int32(v)
+				b.match[v] = int32(u)
+			}
+		}
 		// With lab[u] = wMax everywhere, edge (u,v) is tight exactly when its
 		// reflected weight is wMax, i.e. its cost is the matrix minimum.
 		// Greedily matching such pairs (in deterministic index order) is a

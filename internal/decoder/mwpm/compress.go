@@ -1,0 +1,272 @@
+package mwpm
+
+// Zero-clique contraction (DESIGN.md §16).
+//
+// With WA == 0, every pair of defects touching the anomaly box costs exactly
+// zero, so the sparse pipeline already unions them into one clique and prices
+// their pairs 0 — but the blossom still runs over the full clique, and on
+// MBBE syndromes the clique is almost the whole component. Zero float
+// distance collapses the clique's geometry entirely:
+//
+//   - NodeDist(u, z) is one value per external u, identical for every clique
+//     member z: the via-box path costs app(u) + 0·inside + 0 = app(u), and
+//     any direct path costs at least that (Manhattan(u, z) ≥ enter(u) − 1,
+//     and approachCost discounts the final anomalous hop), so u is
+//     equidistant from the whole clique.
+//   - BoundaryDist(z) is one value for every clique member z: a direct exit
+//     costs at least the box-routed exit, which is identical across members
+//     at mutual float distance 0, and the chosen side agrees too.
+//
+// The component therefore contracts exactly — no inequality on quantized
+// values needed — to a folded matching over the nn external members plus ONE
+// representative node R carrying the clique's pairing parity:
+//
+//   - Two externals can enter the clique as a pair (each matches a distinct
+//     member; the members' former zero-cost partners re-pair at 0): edge
+//     cost aE(u) + aE(v), aE being the external's uniform interface weight.
+//   - A lone (odd) entrant matches R at aE(u) plus the parity cost: the
+//     entrant flips the outside-matched member count, so one member must
+//     exit to the physical boundary exactly when the clique size is even.
+//   - R's own boundary cost is the complementary parity cost: with no odd
+//     entrant, one member exits exactly when the clique size is odd.
+//
+// Exactness: an optimal full matching sends at most one member to the
+// boundary (two members there would re-pair internally at 0 for no more)
+// and matches s ≤ nn members to externals, so whenever zz ≥ nn + 1 every
+// full optimum maps to a reduced solution of identical quantized weight and
+// every reduced solution expands back. Individual matches may land on
+// different members at equal weight — the tie class the sparse/dense
+// equivalence harness already sanctions. The interface-weight uniformity is
+// structural (DistBatch.NodeDist computes app(u) + inside·0 + 0 for every
+// member); the boundary-cost uniformity is verified at runtime when
+// decodeSparse arms the fast regime (sparseScratch.zeroFast), and any
+// violation falls back to full enumeration plus the plain blossom, so
+// exactness never rests on the metric derivation alone.
+
+import (
+	"q3de/internal/decoder"
+)
+
+// noInterfaceEdge marks an external with no kept clique edge: its only route
+// into the clique is the pruned boundary-sum price, which the folded matrix
+// already encodes, so the sentinel just has to lose every min comparison
+// without overflowing an int64 sum.
+const noInterfaceEdge = int64(1) << 62
+
+// compressScratch holds the contraction arenas, grown to high-water sizes and
+// reused across Decode calls.
+type compressScratch struct {
+	ext      []int32 // reduced index -> global defect index (externals, ascending)
+	zs       []int32 // clique member global defect indices, ascending
+	xIdx     []int32 // component-local position -> reduced external index, -1 for clique members
+	aE       []int64 // reduced external index -> uniform clique-interface weight, or noInterfaceEdge
+	entrants []int32 // externals matched into the clique, in reduced-index order
+}
+
+// solveCompressed attempts the zero-clique contraction on one component,
+// appending its matches and returning its weight. ok is false when the
+// component has no clique, the clique is too small for the contraction to be
+// exact (zz < nn+1), or a runtime uniformity check fails; the caller then
+// runs the plain blossom.
+//
+//q3de:hotpath
+func (d *Decoder) solveCompressed(id int, members []int32, bCost []int64, bLeft []bool) (int64, bool) {
+	sp, cp := &d.sp, &d.cp
+	k := len(members)
+
+	if cap(cp.xIdx) < k {
+		//lint:ignore hotpath amortized grow to the high-water component size
+		cp.xIdx = make([]int32, k)
+	}
+	cp.xIdx = cp.xIdx[:k]
+	cp.ext, cp.zs = cp.ext[:0], cp.zs[:0]
+	for a, g := range members {
+		if sp.zero[g] {
+			cp.xIdx[a] = -1
+			cp.zs = append(cp.zs, g)
+		} else {
+			cp.xIdx[a] = int32(len(cp.ext))
+			cp.ext = append(cp.ext, g)
+		}
+	}
+	zz, nn := len(cp.zs), len(cp.ext)
+	if zz == 0 {
+		return 0, false
+	}
+
+	if nn == 0 {
+		// The whole component is the zero clique: every internal pair costs
+		// exactly 0, so the folded matching is closed-form. Even k pairs all
+		// members internally at weight zero (no boundary match can improve on
+		// zero). Odd k must use the virtual boundary column exactly once, so
+		// the cheapest member by (boundary cost, index) takes it and the rest
+		// pair off. Weight-exact; the boundary pick ties only at equal
+		// weight.
+		d.stats.Compressed++
+		if k%2 == 1 {
+			best := 0
+			for a := 1; a < k; a++ {
+				if bCost[members[a]] < bCost[members[best]] {
+					best = a
+				}
+			}
+			prev := int32(-1)
+			for a, g := range members {
+				if a == best {
+					continue
+				}
+				if prev < 0 {
+					prev = g
+					continue
+				}
+				d.matches = append(d.matches, decoder.Match{A: int(prev), B: int(g)})
+				prev = -1
+			}
+			gb := members[best]
+			d.matches = append(d.matches, decoder.Match{A: int(gb), B: decoder.BoundaryPartner, Left: bLeft[gb]})
+			return bCost[gb], true
+		}
+		for a := 0; a < k; a += 2 {
+			d.matches = append(d.matches, decoder.Match{A: int(members[a]), B: int(members[a+1])})
+		}
+		return 0, true
+	}
+
+	if !sp.zeroFast {
+		// The fast regime declined this decode (non-uniform clique boundary
+		// costs): enumeration ran in full and the plain blossom is exact.
+		return 0, false
+	}
+
+	if zz < nn+1 {
+		// The contraction's expansion step needs a distinct member for every
+		// entrant plus the parity exit; with the clique in the minority the
+		// plain blossom on k ≤ 2nn+1 nodes is the safe (and cheap) route.
+		return 0, false
+	}
+
+	// The fast regime guarantees uniform member boundary costs and sides, and
+	// each external's interface weight is the analytic q(app(u)) — kept
+	// exactly when it beats the pruned boundary-sum price, which the folded
+	// matrix encodes anyway.
+	bZ, zLeft := bCost[cp.zs[0]], bLeft[cp.zs[0]]
+	if cap(cp.aE) < nn {
+		//lint:ignore hotpath amortized grow to the high-water external count
+		cp.aE = make([]int64, nn)
+	}
+	cp.aE = cp.aE[:nn]
+	for a, g := range cp.ext {
+		if w := d.quantize(sp.dist.ApproachCost(int(g))); w < bCost[g]+bZ {
+			cp.aE[a] = w
+		} else {
+			cp.aE[a] = noInterfaceEdge
+		}
+	}
+
+	// Parity costs: pcEdge rides on an odd entrant's match to R, pcBnd is
+	// R's own boundary price. Exactly one member exits to the boundary when
+	// the outside-matched count (entrants plus that exit) must flip the
+	// clique remainder even.
+	pcEdge, pcBnd := int64(0), bZ
+	if zz%2 == 0 {
+		pcEdge, pcBnd = bZ, 0
+	}
+
+	d.stats.BlossomSolves++
+	d.stats.Compressed++
+	rn := nn + 1 // externals plus the representative R at index nn
+	matSize := rn + (rn & 1)
+	cost := d.costMatrix(matSize)
+	for a := 0; a < nn; a++ {
+		ga := cp.ext[a]
+		row := cost[a]
+		for b := a + 1; b < nn; b++ {
+			w := bCost[ga] + bCost[cp.ext[b]]
+			if thr := cp.aE[a] + cp.aE[b]; cp.aE[a] != noInterfaceEdge && cp.aE[b] != noInterfaceEdge && thr < w {
+				w = thr
+			}
+			row[b], cost[b][a] = w, w
+		}
+		w := bCost[ga] + pcBnd
+		if thr := cp.aE[a] + pcEdge; cp.aE[a] != noInterfaceEdge && thr < w {
+			w = thr
+		}
+		row[nn], cost[nn][a] = w, w
+		if matSize > rn {
+			row[rn], cost[rn][a] = bCost[ga], bCost[ga]
+		}
+	}
+	if matSize > rn {
+		cost[nn][rn], cost[rn][nn] = pcBnd, pcBnd
+	}
+	// Overlay the externals' kept edges (in the fast regime compEdges holds
+	// nothing else), min'd against the through-clique price already in place.
+	for _, e := range sp.comps.compEdges(id) {
+		la := cp.xIdx[sp.comps.local[e.i]]
+		lb := cp.xIdx[sp.comps.local[e.j]]
+		if e.w < cost[la][lb] {
+			cost[la][lb], cost[lb][la] = e.w, e.w
+		}
+	}
+
+	mate, sub := d.matcher.SolveJumpStart(cost)
+
+	// Decode the reduced matching. Entrants collect in reduced-index order
+	// and draw distinct clique members after the boundary exit (if any)
+	// reserves the first; both assignments are deterministic, and uniformity
+	// makes every assignment weight-identical.
+	cp.entrants = cp.entrants[:0]
+	bnd := false // one clique member exits to the physical boundary
+	for a := 0; a < nn; a++ {
+		b := mate[a]
+		if b < a {
+			continue // emitted from the other side
+		}
+		ga := cp.ext[a]
+		switch {
+		case b == rn: // virtual boundary column
+			d.matches = append(d.matches, decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]})
+		case b == nn: // matched to the representative
+			if cp.aE[a] != noInterfaceEdge && cost[a][nn] == cp.aE[a]+pcEdge {
+				cp.entrants = append(cp.entrants, ga)
+				bnd = zz%2 == 0
+			} else {
+				d.matches = append(d.matches, decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]})
+				bnd = zz%2 == 1
+			}
+		case cp.aE[a] != noInterfaceEdge && cp.aE[b] != noInterfaceEdge && cost[a][b] == cp.aE[a]+cp.aE[b]:
+			// A through-clique pair: both endpoints enter the clique.
+			cp.entrants = append(cp.entrants, ga, cp.ext[b])
+		case cost[a][b] < bCost[ga]+bCost[cp.ext[b]]:
+			d.matches = append(d.matches, decoder.Match{A: int(ga), B: int(cp.ext[b])})
+		default:
+			// Pruned pair priced at the boundary-cost sum: two boundary matches.
+			gb := cp.ext[b]
+			d.matches = append(d.matches,
+				decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]},
+				decoder.Match{A: int(gb), B: decoder.BoundaryPartner, Left: bLeft[gb]})
+		}
+	}
+	if mate[nn] == rn {
+		// R idle (matched to the virtual column): no odd entrant, so the
+		// parity exit alone decides the boundary member.
+		bnd = zz%2 == 1
+	}
+
+	c := 0
+	if bnd {
+		gz := cp.zs[0]
+		d.matches = append(d.matches, decoder.Match{A: int(gz), B: decoder.BoundaryPartner, Left: zLeft})
+		c = 1
+	}
+	for _, gu := range cp.entrants {
+		d.matches = append(d.matches, decoder.Match{A: int(gu), B: int(cp.zs[c])})
+		c++
+	}
+	// The untouched remainder pairs internally, in index order, at exactly
+	// zero weight; the parity bookkeeping above guarantees it is even.
+	for ; c+1 < zz; c += 2 {
+		d.matches = append(d.matches, decoder.Match{A: int(cp.zs[c]), B: int(cp.zs[c+1])})
+	}
+	return sub, true
+}

@@ -1,0 +1,117 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// boxClusterDefects draws defect sets concentrated around the lattice centre
+// — where the metricShapes anomaly boxes sit — so a WA == 0 metric yields
+// large zero cliques, the workload the compression targets. A sprinkle of
+// uniform defects keeps mixed components (clique plus external members) in
+// the mix.
+func boxClusterDefects(rng *rand.Rand, l *lattice.Lattice, d, rounds, dense, sparse int) []lattice.Coord {
+	seen := make(map[int32]bool)
+	var out []lattice.Coord
+	add := func(co lattice.Coord) {
+		if !l.InBounds(co) {
+			return
+		}
+		if id := l.NodeID(co); !seen[id] {
+			seen[id] = true
+			out = append(out, co)
+		}
+	}
+	for i := 0; i < dense; i++ {
+		add(lattice.Coord{
+			R: d/2 + rng.IntN(7) - 3,
+			C: d/2 + rng.IntN(7) - 3,
+			T: rounds/2 + rng.IntN(7) - 3,
+		})
+	}
+	for i := 0; i < sparse; i++ {
+		add(l.NodeCoord(int32(rng.IntN(l.NumNodes()))))
+	}
+	return out
+}
+
+// TestCompressedWeightEqualsPlain is the compression property test: across
+// all metric shapes and many randomized defect sets — including box-centred
+// clusters that produce the large zero cliques the reduction targets — the
+// compressed pipeline's total matching weight must equal the plain sparse
+// pipeline's exactly, and its matching must partition the defects. Parity
+// disagreements must be demonstrated ties, exactly as in the sparse-vs-dense
+// harness.
+func TestCompressedWeightEqualsPlain(t *testing.T) {
+	for _, shape := range metricShapes() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(0xBEEF, 0xCAFE))
+			compressedHits := 0
+			for _, d := range []int{5, 7, 9} {
+				rounds := d
+				l := lattice.New(d, rounds)
+				m := shape.mk(d, rounds)
+				plain, comp := New(m), NewCompressed(m)
+				for trial := 0; trial < 60; trial++ {
+					var defects []lattice.Coord
+					switch trial % 3 {
+					case 0:
+						defects = boxClusterDefects(rng, l, d, rounds, 8+rng.IntN(20), rng.IntN(6))
+					case 1:
+						defects = clusteredDefects(rng, l, 1+rng.IntN(6), 2)
+					default:
+						defects = randomDefects(rng, l, rng.IntN(min(24, l.NumNodes())))
+					}
+					pres := plain.Decode(defects)
+					pMatches := append([]decoder.Match(nil), pres.Matches...)
+					cres := comp.Decode(defects)
+					compressedHits += comp.LastStats().Compressed
+					if cres.Weight != pres.Weight {
+						t.Fatalf("n=%d: compressed weight %v != plain %v\ndefects: %v\ncompressed: %v\nplain: %v",
+							len(defects), cres.Weight, pres.Weight, defects, cres.Matches, pMatches)
+					}
+					if !decoder.Validate(decoder.Result{Matches: cres.Matches}, len(defects)) {
+						t.Fatalf("n=%d: compressed matching is not a partition: %v", len(defects), cres.Matches)
+					}
+					if cres.CutParity != pres.CutParity && len(defects) <= 10 {
+						opt := bruteParityOptima(m, DefaultScale, defects)
+						if opt[0] != opt[1] {
+							t.Fatalf("n=%d: parity mismatch without a weight tie: optima %v, defects %v",
+								len(defects), opt, defects)
+						}
+					}
+				}
+			}
+			if shape.name == "mbbe-box" && compressedHits == 0 {
+				t.Fatal("WA == 0 box shape never exercised the compression path")
+			}
+			t.Logf("%d compressed component solves", compressedHits)
+		})
+	}
+}
+
+// TestCompressedMatchesDenseReference closes the loop to the ground-truth
+// construction: on the degenerate WA == 0 shape the compressed pipeline must
+// reproduce the dense blossom's total weight exactly.
+func TestCompressedMatchesDenseReference(t *testing.T) {
+	d, rounds := 7, 7
+	l := lattice.New(d, rounds)
+	box := l.CenteredBox(4)
+	m := lattice.NewMetric(d, 1e-2, 0.5, &box)
+	comp, dense := NewCompressed(m), NewDense(m)
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 40; trial++ {
+		defects := boxClusterDefects(rng, l, d, rounds, 6+rng.IntN(16), rng.IntN(5))
+		if !checkEquivalent(t, comp, dense, defects) {
+			if len(defects) <= 10 {
+				opt := bruteParityOptima(m, DefaultScale, defects)
+				if opt[0] != opt[1] {
+					t.Fatalf("parity mismatch without a weight tie: optima %v, defects %v", opt, defects)
+				}
+			}
+		}
+	}
+}

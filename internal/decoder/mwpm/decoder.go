@@ -34,7 +34,8 @@ type Decoder struct {
 	M     *lattice.Metric
 	Scale float64
 
-	dense bool
+	dense    bool
+	compress bool
 
 	matcher Matcher
 	costBuf []int64
@@ -44,8 +45,31 @@ type Decoder struct {
 	done    []bool
 	matches []decoder.Match
 
-	sp sparseScratch
+	stats SolveStats
+	sp    sparseScratch
+	cp    compressScratch
+	inc   incState
 }
+
+// SolveStats describes what machinery the last Decode (or DecodeIncremental)
+// call needed. The counts are a pure function of the defect set and the
+// metric for a given decoder configuration — reuse from the incremental cache
+// replays the original solve's classification — which is what makes tier
+// accounting built on them deterministic across worker counts (DESIGN.md
+// §16).
+type SolveStats struct {
+	Defects       int  // syndrome size
+	Components    int  // union-find components (the dense path counts one)
+	MaxComponent  int  // largest component size
+	BlossomSolves int  // components that needed a blossom solve
+	Compressed    int  // components solved through zero-clique compression
+	Reused        int  // components replayed from the incremental cache
+	Dense         bool // dense fallback construction ran
+}
+
+// LastStats returns the solve statistics of the most recent Decode or
+// DecodeIncremental call.
+func (d *Decoder) LastStats() SolveStats { return d.stats }
 
 // New returns an MWPM decoder over the metric, using the sparse
 // component-decomposed pipeline.
@@ -59,6 +83,19 @@ func New(m *lattice.Metric) *Decoder {
 // it exists as the cross-check reference and the benchmark baseline.
 func NewDense(m *lattice.Metric) *Decoder {
 	return &Decoder{M: m, Scale: DefaultScale, dense: true}
+}
+
+// NewCompressed returns a sparse MWPM decoder with zero-clique compression
+// enabled (compress.go): components dominated by a WA == 0 clique solve an
+// exactly-reduced matching over the clique's interface instead of the full
+// clique, collapsing the blossom size on MBBE syndromes. The total matching
+// weight is provably identical to New (property-tested); individual matches
+// may break exact-weight ties differently, the same latitude the sparse and
+// dense pipelines already have. It exists as a separate constructor so New
+// stays the uncompressed reference the benchmark matrix compares against —
+// the tiered router is its intended consumer.
+func NewCompressed(m *lattice.Metric) *Decoder {
+	return &Decoder{M: m, Scale: DefaultScale, compress: true}
 }
 
 // Name implements decoder.Decoder.
@@ -77,10 +114,15 @@ func (d *Decoder) Name() string {
 //
 //q3de:hotpath
 func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	d.stats = SolveStats{Defects: len(defects)}
 	if len(defects) == 0 {
 		return decoder.Result{}
 	}
 	if d.dense || !d.sparseSupported() {
+		d.stats.Dense = true
+		d.stats.Components = 1
+		d.stats.MaxComponent = len(defects)
+		d.stats.BlossomSolves = 1
 		return d.decodeDense(defects)
 	}
 	return d.decodeSparse(defects)

@@ -1,0 +1,107 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/lattice"
+)
+
+// mutateDefects applies a small insertion/removal/move delta, the shape of
+// consecutive stream decodes.
+func mutateDefects(rng *rand.Rand, l *lattice.Lattice, defects []lattice.Coord) []lattice.Coord {
+	out := slices.Clone(defects)
+	for ops := 1 + rng.IntN(3); ops > 0; ops-- {
+		switch {
+		case len(out) > 0 && rng.IntN(3) == 0:
+			i := rng.IntN(len(out))
+			out = append(out[:i], out[i+1:]...)
+		default:
+			co := l.NodeCoord(int32(rng.IntN(l.NumNodes())))
+			if !slices.Contains(out, co) {
+				out = append(out, co)
+			}
+		}
+	}
+	return out
+}
+
+// TestDecodeIncrementalBitIdentical is the incremental cache's contract test:
+// across metric shapes and fuzzed insertion/removal deltas,
+// DecodeIncremental must be bit-identical to a fresh Decode of the same
+// input — same matches in the same order, same weight, same parity, and the
+// same solve-machinery classification (cache reuse may not alter what a
+// syndrome "needed", or tier accounting would depend on decode history).
+func TestDecodeIncrementalBitIdentical(t *testing.T) {
+	for _, shape := range metricShapes() {
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(0xFACE, 0xFEED))
+			reused := 0
+			for _, compress := range []bool{false, true} {
+				for _, d := range []int{5, 9} {
+					rounds := d
+					l := lattice.New(d, rounds)
+					m := shape.mk(d, rounds)
+					mk := New
+					if compress {
+						mk = NewCompressed
+					}
+					inc, ref := mk(m), mk(m)
+					defects := clusteredDefects(rng, l, 2+rng.IntN(4), 2)
+					for step := 0; step < 50; step++ {
+						ires := inc.DecodeIncremental(defects)
+						istats := inc.LastStats()
+						iMatches := append([]decoder.Match(nil), ires.Matches...)
+						rres := ref.Decode(defects)
+						if ires.Weight != rres.Weight || ires.CutParity != rres.CutParity ||
+							ires.Components != rres.Components || !slices.Equal(iMatches, rres.Matches) {
+							t.Fatalf("step %d (compress=%v): incremental decode diverged\ndefects: %v\nincremental: %+v %v\nfresh: %+v %v",
+								step, compress, defects, ires, iMatches, rres, rres.Matches)
+						}
+						rstats := ref.LastStats()
+						reused += istats.Reused
+						istats.Reused = 0
+						if istats != rstats {
+							t.Fatalf("step %d: stats diverged under reuse: incremental %+v, fresh %+v", step, istats, rstats)
+						}
+						defects = mutateDefects(rng, l, defects)
+					}
+				}
+			}
+			if reused == 0 {
+				t.Fatal("delta sequence never hit the incremental cache")
+			}
+			t.Logf("%d component solves reused", reused)
+		})
+	}
+}
+
+// TestDecodeIncrementalFallbacks pins the paths below the component
+// machinery: empty and single-defect syndromes, and the dense fallback, must
+// route through plain Decode unchanged.
+func TestDecodeIncrementalFallbacks(t *testing.T) {
+	m := lattice.UniformMetric(9)
+	inc, ref := New(m), New(m)
+	for _, defects := range [][]lattice.Coord{
+		nil,
+		{{R: 4, C: 3, T: 2}},
+	} {
+		ires, rres := inc.DecodeIncremental(defects), ref.Decode(defects)
+		if ires.Weight != rres.Weight || ires.CutParity != rres.CutParity || len(ires.Matches) != len(rres.Matches) {
+			t.Errorf("n=%d: %+v != %+v", len(defects), ires, rres)
+		}
+	}
+
+	d := 7
+	box := lattice.New(d, d).CenteredBox(3)
+	wa := lattice.NewMetric(d, 1e-2, 0.8, &box) // WA < 0: dense fallback
+	incD, refD := New(wa), New(wa)
+	rng := rand.New(rand.NewPCG(3, 4))
+	defects := randomDefects(rng, lattice.New(d, d), 8)
+	ires, rres := incD.DecodeIncremental(defects), refD.Decode(defects)
+	if ires.Weight != rres.Weight || !incD.LastStats().Dense {
+		t.Errorf("dense fallback: %+v (stats %+v) != %+v", ires, incD.LastStats(), rres)
+	}
+}

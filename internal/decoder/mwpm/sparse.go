@@ -50,6 +50,9 @@ type sparseScratch struct {
 	near     []int32  // spatial-query result buffer
 	seen     []uint64 // pair-tested bitset (i*n+j), dedups the two channels
 	zero     []bool   // zero-clique membership (WA == 0 and touching the box)
+	zeroFast bool     // compression regime: clique excluded from enumeration, interface analytic
+	extIDs   []int32  // zeroFast: external defect indices, ascending
+	extCds   []lattice.Coord // zeroFast: their coordinates (the filtered index input)
 	edges    []candEdge
 	comps    components
 	boxOrder []int64 // packed (boxScore<<shift | defect) keys, sorted
@@ -70,6 +73,7 @@ func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 
 	// Single defect: straight to the boundary, no graphs, no blossom.
 	if n == 1 {
+		d.stats.Components, d.stats.MaxComponent = 1, 1
 		d.matches = append(d.matches[:0], decoder.Match{A: 0, B: decoder.BoundaryPartner, Left: bLeft[0]})
 		return decoder.Result{
 			Matches:    d.matches,
@@ -111,45 +115,101 @@ func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 		}
 	}
 
-	bMax := bCost[0]
-	for _, b := range bCost[1:] {
-		if b > bMax {
-			bMax = b
+	// Fast zero-clique regime (compression only): interface edges are
+	// analytic — NodeDist(u, z) is the uniform app(u) for every clique member
+	// z (DESIGN.md §16) — so when the clique's boundary costs and sides are
+	// uniform too, each external joins the clique component by one
+	// comparison, and the clique drops out of both enumeration channels
+	// entirely. The contraction (solveCompressed) and the plain-fallback
+	// matrix fill both reprice mixed pairs from the same analytic values, so
+	// no interface edge record is ever needed.
+	hasZero := first >= 0
+	sp.zeroFast = false
+	var bZ int64
+	if hasZero && d.compress {
+		sp.zeroFast = true
+		zl, seenZ := false, false
+		for i, z := range sp.zero {
+			if !z {
+				continue
+			}
+			if !seenZ {
+				bZ, zl, seenZ = bCost[i], bLeft[i], true
+				continue
+			}
+			if bCost[i] != bZ || bLeft[i] != zl {
+				sp.zeroFast = false
+				break
+			}
 		}
 	}
 
-	// Channel 1: direct paths. A pair can only beat its boundary-cost sum
-	// directly if Manhattan(i,j)*WN < bI+bJ (+ quantization slack), so
-	// enumerate neighbours within radius (bI+bMax)/(Scale*WN), rounded up.
-	// The radius bound is symmetric, so without a zero clique NearAfter's
-	// j>i half-enumeration visits every candidate pair once. With a zero
-	// clique, query only from non-clique defects: clique-internal pairs need
-	// no edge at all, and a mixed pair is always found from its non-clique
-	// endpoint (whose radius covers it, since bMax ≥ the clique member's
-	// boundary cost) — that skips the clique's O(|clique|·n) scan work, the
-	// bulk of the MBBE candidate phase.
-	sp.idx.Build(defects)
 	scaleWN := d.Scale * d.M.WN
-	hasZero := first >= 0
-	for i := 0; i < n; i++ {
-		if hasZero && sp.zero[i] {
-			continue
-		}
-		r := int((float64(bCost[i]+bMax) + 3) / scaleWN)
-		if hasZero {
-			sp.near = sp.idx.Near(sp.near[:0], i, r)
-			for _, j := range sp.near {
-				if int(j) < i {
-					d.tryEdge(bCost, j, int32(i))
-				} else {
-					d.tryEdge(bCost, int32(i), j)
-				}
+	if sp.zeroFast {
+		sp.extIDs, sp.extCds = sp.extIDs[:0], sp.extCds[:0]
+		bMaxX := int64(0)
+		for i := 0; i < n; i++ {
+			if sp.zero[i] {
+				continue
 			}
-			continue
+			if d.quantize(sp.dist.ApproachCost(i)) < bCost[i]+bZ {
+				sp.comps.uf.union(int32(i), first)
+			}
+			sp.extIDs = append(sp.extIDs, int32(i))
+			sp.extCds = append(sp.extCds, defects[i])
+			if bCost[i] > bMaxX {
+				bMaxX = bCost[i]
+			}
 		}
-		sp.near = sp.idx.NearAfter(sp.near[:0], i, r)
-		for _, j := range sp.near {
-			d.tryEdge(bCost, int32(i), j)
+		// Channel 1 over externals only: extIDs ascend, so NearAfter's j>i
+		// half-enumeration maps back to ordered global pairs.
+		sp.idx.Build(sp.extCds)
+		for p, g := range sp.extIDs {
+			r := int((float64(bCost[g]+bMaxX) + 3) / scaleWN)
+			sp.near = sp.idx.NearAfter(sp.near[:0], p, r)
+			for _, q := range sp.near {
+				d.tryEdge(bCost, g, sp.extIDs[q])
+			}
+		}
+	} else {
+		bMax := bCost[0]
+		for _, b := range bCost[1:] {
+			if b > bMax {
+				bMax = b
+			}
+		}
+
+		// Channel 1: direct paths. A pair can only beat its boundary-cost sum
+		// directly if Manhattan(i,j)*WN < bI+bJ (+ quantization slack), so
+		// enumerate neighbours within radius (bI+bMax)/(Scale*WN), rounded up.
+		// The radius bound is symmetric, so without a zero clique NearAfter's
+		// j>i half-enumeration visits every candidate pair once. With a zero
+		// clique, query only from non-clique defects: clique-internal pairs need
+		// no edge at all, and a mixed pair is always found from its non-clique
+		// endpoint (whose radius covers it, since bMax ≥ the clique member's
+		// boundary cost) — that skips the clique's O(|clique|·n) scan work, the
+		// bulk of the MBBE candidate phase.
+		sp.idx.Build(defects)
+		for i := 0; i < n; i++ {
+			if hasZero && sp.zero[i] {
+				continue
+			}
+			r := int((float64(bCost[i]+bMax) + 3) / scaleWN)
+			if hasZero {
+				sp.near = sp.idx.Near(sp.near[:0], i, r)
+				for _, j := range sp.near {
+					if int(j) < i {
+						d.tryEdge(bCost, j, int32(i))
+					} else {
+						d.tryEdge(bCost, int32(i), j)
+					}
+				}
+				continue
+			}
+			sp.near = sp.idx.NearAfter(sp.near[:0], i, r)
+			for _, j := range sp.near {
+				d.tryEdge(bCost, int32(i), j)
+			}
 		}
 	}
 
@@ -158,18 +218,23 @@ func (d *Decoder) decodeSparse(defects []lattice.Coord) decoder.Result {
 	// only pairs with (qBox(i)-bI)+(qBox(j)-bJ) below the quantization slack
 	// can beat the boundary sum through the box. Sorting defects by that
 	// score turns the candidate set into a prefix-bounded double loop with
-	// early exit.
+	// early exit. In the fast zero-clique regime only external pairs need
+	// the channel: the clique's interface is analytic.
 	if d.M.Weighted() {
 		sp.boxOrder = sp.boxOrder[:0]
 		for i := range defects {
+			if sp.zeroFast && sp.zero[i] {
+				continue
+			}
 			score := d.quantize(sp.dist.ApproachCost(i)) - bCost[i]
 			sp.boxOrder = append(sp.boxOrder, score<<boxOrderShift|int64(i))
 		}
 		slices.Sort(sp.boxOrder)
 		const slack = 4
-		for a := 0; a < n; a++ {
+		no := len(sp.boxOrder)
+		for a := 0; a < no; a++ {
 			sa := sp.boxOrder[a] >> boxOrderShift
-			for b := a + 1; b < n; b++ {
+			for b := a + 1; b < no; b++ {
 				if sa+(sp.boxOrder[b]>>boxOrderShift) >= slack {
 					break
 				}
@@ -214,82 +279,141 @@ func (d *Decoder) tryEdge(bCost []int64, i, j int32) {
 func (d *Decoder) solveComponents(defects []lattice.Coord, bCost []int64, bLeft []bool) decoder.Result {
 	sp := &d.sp
 	d.matches = d.matches[:0]
+	d.stats.Components = sp.comps.count
 	var total int64
 	for id := 0; id < sp.comps.count; id++ {
 		members := sp.comps.compMembers(id)
-		k := len(members)
-
-		if k == 1 {
-			g := members[0]
-			total += bCost[g]
-			d.matches = append(d.matches, decoder.Match{A: int(g), B: decoder.BoundaryPartner, Left: bLeft[g]})
+		if k := len(members); k > d.stats.MaxComponent {
+			d.stats.MaxComponent = k
+		}
+		if d.inc.active {
+			if w, ok := d.inc.tryReuse(d, defects, members); ok {
+				total += w
+				continue
+			}
+			mStart := len(d.matches)
+			blossomsBefore, compressedBefore := d.stats.BlossomSolves, d.stats.Compressed
+			w := d.solveComponent(id, members, bCost, bLeft)
+			total += w
+			d.inc.record(d, defects, members, mStart, w,
+				d.stats.BlossomSolves > blossomsBefore, d.stats.Compressed > compressedBefore)
 			continue
 		}
-
-		// Pair fast path: a two-defect component is connected by a kept edge
-		// or is a zero-clique pair; either way the pair match beats (or, at
-		// zero, costs no more than) the boundary sum.
-		edges := sp.comps.compEdges(id)
-		if k == 2 {
-			if len(edges) > 0 {
-				total += edges[0].w
-			} // else: zero-clique pair, weight 0
-			d.matches = append(d.matches, decoder.Match{A: int(members[0]), B: int(members[1])})
-			continue
-		}
-
-		matSize := k + (k & 1) // one virtual boundary node when k is odd
-		cost := d.costMatrix(matSize)
-		for a := 0; a < k; a++ {
-			ga := members[a]
-			row := cost[a]
-			za := sp.zero[ga]
-			for b := a + 1; b < k; b++ {
-				gb := members[b]
-				w := bCost[ga] + bCost[gb]
-				if za && sp.zero[gb] {
-					w = 0
-				}
-				row[b], cost[b][a] = w, w
-			}
-			if matSize > k {
-				row[k], cost[k][a] = bCost[ga], bCost[ga]
-			}
-		}
-		for _, e := range edges {
-			la, lb := sp.comps.local[e.i], sp.comps.local[e.j]
-			cost[la][lb], cost[lb][la] = e.w, e.w
-		}
-
-		mate, sub := d.matcher.SolveJumpStart(cost)
-		total += sub
-		for a := 0; a < k; a++ {
-			b := mate[a]
-			if b < a {
-				continue // emitted from the other side
-			}
-			ga := members[a]
-			switch {
-			case b == k: // virtual boundary node (odd component)
-				d.matches = append(d.matches, decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]})
-			case cost[a][b] < bCost[ga]+bCost[members[b]]:
-				// Strictly below the boundary-cost sum ⇔ a kept pair edge
-				// (pruned entries equal the sum exactly): an internal match.
-				d.matches = append(d.matches, decoder.Match{A: int(ga), B: int(members[b])})
-			default:
-				// Pruned pair priced at the boundary-cost sum: decode as two
-				// independent boundary matches.
-				gb := members[b]
-				d.matches = append(d.matches,
-					decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]},
-					decoder.Match{A: int(gb), B: decoder.BoundaryPartner, Left: bLeft[gb]})
-			}
-		}
+		total += d.solveComponent(id, members, bCost, bLeft)
 	}
 	return decoder.Result{
 		Matches:    d.matches,
 		CutParity:  decoder.CutParityOf(d.matches),
 		Weight:     float64(total) / d.Scale,
 		Components: sp.comps.count,
+	}
+}
+
+// solveComponent decodes one component, appends its matches and returns its
+// quantized weight contribution.
+func (d *Decoder) solveComponent(id int, members []int32, bCost []int64, bLeft []bool) int64 {
+	sp := &d.sp
+	k := len(members)
+
+	if k == 1 {
+		g := members[0]
+		d.matches = append(d.matches, decoder.Match{A: int(g), B: decoder.BoundaryPartner, Left: bLeft[g]})
+		return bCost[g]
+	}
+
+	// Pair fast path: a two-defect component is connected by a kept edge
+	// or is a zero-clique pair; either way the pair match beats (or, at
+	// zero, costs no more than) the boundary sum.
+	edges := sp.comps.compEdges(id)
+	if k == 2 {
+		d.matches = append(d.matches, decoder.Match{A: int(members[0]), B: int(members[1])})
+		if len(edges) > 0 {
+			return edges[0].w
+		}
+		if sp.zeroFast && sp.zero[members[0]] != sp.zero[members[1]] {
+			// Fast-regime mixed pair: joined analytically, no edge record;
+			// the pair costs the external's uniform interface weight.
+			ext := members[0]
+			if sp.zero[ext] {
+				ext = members[1]
+			}
+			return d.quantize(sp.dist.ApproachCost(int(ext)))
+		}
+		return 0 // zero-clique pair
+	}
+
+	if d.compress {
+		if w, ok := d.solveCompressed(id, members, bCost, bLeft); ok {
+			return w
+		}
+	}
+
+	d.stats.BlossomSolves++
+	matSize := k + (k & 1) // one virtual boundary node when k is odd
+	cost := d.costMatrix(matSize)
+	for a := 0; a < k; a++ {
+		ga := members[a]
+		row := cost[a]
+		za := sp.zero[ga]
+		for b := a + 1; b < k; b++ {
+			gb := members[b]
+			w := bCost[ga] + bCost[gb]
+			if za && sp.zero[gb] {
+				w = 0
+			} else if sp.zeroFast && (za || sp.zero[gb]) {
+				// Fast zero-clique regime: mixed pairs carry no edge record;
+				// their uniform interface weight q(app(external)) is repriced
+				// analytically (DESIGN.md §16).
+				ext := ga
+				if za {
+					ext = gb
+				}
+				if aq := d.quantize(sp.dist.ApproachCost(int(ext))); aq < w {
+					w = aq
+				}
+			}
+			row[b], cost[b][a] = w, w
+		}
+		if matSize > k {
+			row[k], cost[k][a] = bCost[ga], bCost[ga]
+		}
+	}
+	for _, e := range edges {
+		la, lb := sp.comps.local[e.i], sp.comps.local[e.j]
+		cost[la][lb], cost[lb][la] = e.w, e.w
+	}
+
+	mate, sub := d.matcher.SolveJumpStart(cost)
+	d.emitMate(members, mate, cost, bCost, bLeft)
+	return sub
+}
+
+// emitMate decodes a folded mate vector over the member list into matches:
+// the virtual column (index len(members)) is a boundary single, entries
+// strictly below the boundary-cost sum are kept pair edges, and pruned
+// entries decode as two independent boundary matches.
+func (d *Decoder) emitMate(members []int32, mate []int, cost [][]int64, bCost []int64, bLeft []bool) {
+	k := len(members)
+	for a := 0; a < k; a++ {
+		b := mate[a]
+		if b < a {
+			continue // emitted from the other side
+		}
+		ga := members[a]
+		switch {
+		case b == k: // virtual boundary node (odd component)
+			d.matches = append(d.matches, decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]})
+		case cost[a][b] < bCost[ga]+bCost[members[b]]:
+			// Strictly below the boundary-cost sum ⇔ a kept pair edge
+			// (pruned entries equal the sum exactly): an internal match.
+			d.matches = append(d.matches, decoder.Match{A: int(ga), B: int(members[b])})
+		default:
+			// Pruned pair priced at the boundary-cost sum: decode as two
+			// independent boundary matches.
+			gb := members[b]
+			d.matches = append(d.matches,
+				decoder.Match{A: int(ga), B: decoder.BoundaryPartner, Left: bLeft[ga]},
+				decoder.Match{A: int(gb), B: decoder.BoundaryPartner, Left: bLeft[gb]})
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package mwpm
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"q3de/internal/lattice"
+)
+
+// defectCostMatrix builds the folded component matrix the decoder would for
+// one all-in-one component: pairwise quantized NodeDist, padded to even size
+// with a virtual boundary column.
+func defectCostMatrix(m *lattice.Metric, defects []lattice.Coord) [][]int64 {
+	q := func(c float64) int64 { return int64(c*DefaultScale + 0.5) }
+	n := len(defects)
+	size := n + (n & 1)
+	cost := make([][]int64, size)
+	for i := range cost {
+		cost[i] = make([]int64, size)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := q(m.NodeDist(defects[i], defects[j]))
+			cost[i][j], cost[j][i] = w, w
+		}
+		if size > n {
+			b, _ := m.BoundaryDist(defects[i])
+			cost[i][size-1], cost[size-1][i] = q(b), q(b)
+		}
+	}
+	return cost
+}
+
+// TestSolveWarmMatchesSolve is the delta-update property test: across fuzzed
+// defect insertions and removals, SolveWarm seeded with the previous
+// problem's matching must return exactly the cold Solve total — the hint can
+// only change speed, never weight — including when the hint is stale,
+// truncated, or complete garbage.
+func TestSolveWarmMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xDECA, 0xF0))
+	for _, d := range []int{5, 9} {
+		l := lattice.New(d, d)
+		for _, m := range []*lattice.Metric{
+			lattice.UniformMetric(d),
+			lattice.NewMetric(d, 1e-2, 1e-3, nil),
+		} {
+			var warm, cold Matcher
+			defects := randomDefects(rng, l, 6+rng.IntN(8))
+			var prevMate []int
+			for step := 0; step < 40; step++ {
+				if len(defects) < 2 {
+					defects = randomDefects(rng, l, 4)
+				}
+				cost := defectCostMatrix(m, defects)
+				mate, warmTotal := warm.SolveWarm(cost, prevMate)
+				_, coldTotal := cold.Solve(cost)
+				if warmTotal != coldTotal {
+					t.Fatalf("d=%d step %d: warm total %d != cold total %d (n=%d, hint %v)",
+						d, step, warmTotal, coldTotal, len(cost), prevMate)
+				}
+				prevMate = slices.Clone(mate)
+				defects = mutateDefects(rng, l, defects)
+			}
+		}
+	}
+}
+
+// TestSolveWarmAdversarialHints drives SolveWarm with hostile hints — out of
+// range, self-referential, non-reciprocal — and checks it still returns the
+// exact optimum.
+func TestSolveWarmAdversarialHints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	l := lattice.New(7, 7)
+	m := lattice.UniformMetric(7)
+	var warm, cold Matcher
+	for trial := 0; trial < 30; trial++ {
+		defects := randomDefects(rng, l, 4+rng.IntN(10))
+		cost := defectCostMatrix(m, defects)
+		n := len(cost)
+		hint := make([]int, rng.IntN(2*n+1))
+		for i := range hint {
+			hint[i] = rng.IntN(3*n) - n
+		}
+		_, warmTotal := warm.SolveWarm(cost, hint)
+		_, coldTotal := cold.Solve(cost)
+		if warmTotal != coldTotal {
+			t.Fatalf("trial %d: warm total %d != cold total %d (n=%d, hint %v)", trial, warmTotal, coldTotal, n, hint)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package tiered implements the predecode escalation router (DESIGN.md §16)
+// — the paper's decoder-unit sizing argument in software: provision cheap
+// decode machinery for the common case and escalate to full matching only on
+// the dense or anomaly-flagged syndromes that need it.
+//
+// The router's density/locality scoring is the sparse MWPM pipeline's own
+// front half: the lattice.DefectIndex bucket enumeration plus union-find
+// component decomposition classifies every syndrome exactly — singleton
+// components need only a boundary lookup, components of at most two defects
+// are solved closed-form without any matching solver, and only larger
+// components escalate to a blossom solve (with zero-clique compression for
+// MBBE cliques). Because routing and solving share one exact pipeline, the
+// router is logical-outcome-equal to pure sparse MWPM by construction — the
+// same total matching weight on every syndrome, property-tested against the
+// uncompressed reference — rather than by a heuristic threshold that could
+// misroute.
+//
+// Each decode is tallied by the tier of machinery it actually needed
+// ("lookup", "unionfind", "mwpm"); the classification is a pure function of
+// the defect set and metric — incremental-cache reuse replays the original
+// solve's classification — so tier counters aggregate bit-identically across
+// worker counts.
+package tiered
+
+import (
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+)
+
+// Decoder routes each syndrome through the cheapest machinery that yields
+// the exact sparse-MWPM answer and counts which tier it needed. It follows
+// the decoder scratch-reuse convention and is not safe for concurrent use.
+type Decoder struct {
+	esc    *mwpm.Decoder
+	counts *decoder.TierCounts
+	own    decoder.TierCounts
+}
+
+// New returns a tiered router over the metric with its own tier counters.
+func New(m *lattice.Metric) *Decoder {
+	d := &Decoder{esc: mwpm.NewCompressed(m)}
+	d.counts = &d.own
+	return d
+}
+
+// NewWithCounts returns a tiered router that tallies into the caller's
+// counter block, letting several router instances (e.g. a controller's clean
+// and anomaly-aware decoders) share one cumulative count.
+func NewWithCounts(m *lattice.Metric, counts *decoder.TierCounts) *Decoder {
+	return &Decoder{esc: mwpm.NewCompressed(m), counts: counts}
+}
+
+// Name implements decoder.Decoder.
+func (d *Decoder) Name() string {
+	if d.esc.M.Weighted() {
+		return "tiered-weighted"
+	}
+	return "tiered"
+}
+
+// Decode implements decoder.Decoder.
+//
+//q3de:hotpath
+func (d *Decoder) Decode(defects []lattice.Coord) decoder.Result {
+	res := d.esc.Decode(defects)
+	d.classify()
+	return res
+}
+
+// DecodeIncremental implements decoder.Incremental: component-solution reuse
+// across overlapping calls, bit-identical to Decode (tier tally included).
+//
+//q3de:hotpath
+func (d *Decoder) DecodeIncremental(defects []lattice.Coord) decoder.Result {
+	res := d.esc.DecodeIncremental(defects)
+	d.classify()
+	return res
+}
+
+// classify tallies the finished decode by the machinery it needed: "mwpm"
+// when any component took a blossom solve, the zero-clique compression, or
+// the dense fallback; "unionfind" when the component decomposition solved
+// everything closed-form; "lookup" when only per-defect boundary lookups ran
+// (singleton components, including the empty syndrome).
+func (d *Decoder) classify() {
+	st := d.esc.LastStats()
+	switch {
+	case st.Dense || st.BlossomSolves > 0 || st.Compressed > 0:
+		d.counts.MWPM++
+	case st.MaxComponent >= 2:
+		d.counts.UnionFind++
+	default:
+		d.counts.Lookup++
+	}
+}
+
+// TierCounts implements decoder.TierReporter: the cumulative tier tallies of
+// this router (or of the shared counter block it was built with).
+func (d *Decoder) TierCounts() decoder.TierCounts { return *d.counts }

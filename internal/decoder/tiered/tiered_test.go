@@ -1,0 +1,148 @@
+package tiered
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"q3de/internal/decoder"
+	"q3de/internal/decoder/mwpm"
+	"q3de/internal/lattice"
+)
+
+func randomDefects(rng *rand.Rand, l *lattice.Lattice, n int) []lattice.Coord {
+	seen := make(map[int32]bool, n)
+	out := make([]lattice.Coord, 0, n)
+	for len(out) < n {
+		id := int32(rng.IntN(l.NumNodes()))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, l.NodeCoord(id))
+	}
+	return out
+}
+
+// goldenShapes mirrors the sparse equivalence harness: uniform, weighted,
+// and the degenerate WA == 0 MBBE box.
+func goldenShapes(d, rounds int) map[string]*lattice.Metric {
+	box := lattice.New(d, rounds).CenteredBox(min(4, d-1))
+	return map[string]*lattice.Metric{
+		"uniform":  lattice.UniformMetric(d),
+		"weighted": lattice.NewMetric(d, 1e-2, 1e-3, nil),
+		"mbbe-box": lattice.NewMetric(d, 1e-2, 0.5, &box),
+	}
+}
+
+// TestTieredLogicalOutcomeEqualsSparseMWPM is the router's golden-parity
+// property test: on seeded defect draws across the harness metric shapes,
+// the tiered router must report exactly the sparse MWPM reference's total
+// matching weight, and any cut-parity disagreement must be an exact-weight
+// tie of the underlying compressed pipeline — the same latitude the
+// sparse-vs-dense harness sanctions — which the mwpm package's brute-force
+// tie verification covers; here ties are bounded instead.
+func TestTieredLogicalOutcomeEqualsSparseMWPM(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 991, 992} { // the repo's golden seeds
+		for _, d := range []int{5, 9} {
+			rounds := d
+			l := lattice.New(d, rounds)
+			for name, m := range goldenShapes(d, rounds) {
+				rng := rand.New(rand.NewPCG(seed, 0x90D5))
+				router, ref := New(m), mwpm.New(m)
+				ties, trials := 0, 40
+				for trial := 0; trial < trials; trial++ {
+					defects := randomDefects(rng, l, rng.IntN(min(26, l.NumNodes())))
+					tres := router.Decode(defects)
+					tParity := tres.CutParity
+					tWeight := tres.Weight
+					if !decoder.Validate(decoder.Result{Matches: tres.Matches}, len(defects)) {
+						t.Fatalf("seed %d %s: tiered matching is not a partition", seed, name)
+					}
+					rres := ref.Decode(defects)
+					if tWeight != rres.Weight {
+						t.Fatalf("seed %d d=%d %s: tiered weight %v != sparse mwpm %v (n=%d)",
+							seed, d, name, tWeight, rres.Weight, len(defects))
+					}
+					if tParity != rres.CutParity {
+						ties++
+					}
+				}
+				if ties > trials/4 {
+					t.Errorf("seed %d d=%d %s: %d/%d parity tie-breaks diverged — more than degenerate ties explain",
+						seed, d, name, ties, trials)
+				}
+			}
+		}
+	}
+}
+
+// TestTierClassificationIsPureAndSane pins the tier semantics: the empty
+// syndrome and singletons are lookup-tier, a closed-form pair is
+// unionfind-tier, a dense clump escalates to mwpm-tier, and re-decoding the
+// same syndrome — through Decode or DecodeIncremental, in any order — always
+// yields the same tier, so counts are a pure function of the decoded
+// syndromes.
+func TestTierClassificationIsPureAndSane(t *testing.T) {
+	d := 9
+	m := lattice.UniformMetric(d)
+	router := New(m)
+
+	tierOf := func(decode func([]lattice.Coord) decoder.Result, defects []lattice.Coord) decoder.TierCounts {
+		before := router.TierCounts()
+		decode(defects)
+		return router.TierCounts().Sub(before)
+	}
+
+	empty := tierOf(router.Decode, nil)
+	single := tierOf(router.Decode, []lattice.Coord{{R: 4, C: 3, T: 2}})
+	pair := tierOf(router.Decode, []lattice.Coord{{R: 4, C: 3, T: 4}, {R: 4, C: 4, T: 4}})
+	clump := tierOf(router.Decode, []lattice.Coord{
+		{R: 3, C: 3, T: 4}, {R: 3, C: 4, T: 4}, {R: 4, C: 3, T: 4}, {R: 4, C: 4, T: 4}, {R: 3, C: 3, T: 5},
+	})
+	want := []struct {
+		name string
+		got  decoder.TierCounts
+		want decoder.TierCounts
+	}{
+		{"empty", empty, decoder.TierCounts{Lookup: 1}},
+		{"single", single, decoder.TierCounts{Lookup: 1}},
+		{"pair", pair, decoder.TierCounts{UnionFind: 1}},
+		{"clump", clump, decoder.TierCounts{MWPM: 1}},
+	}
+	for _, w := range want {
+		if w.got != w.want {
+			t.Errorf("%s: tier delta %+v, want %+v", w.name, w.got, w.want)
+		}
+	}
+
+	// Purity across decode modes and cache state.
+	rng := rand.New(rand.NewPCG(42, 42))
+	l := lattice.New(d, d)
+	for trial := 0; trial < 20; trial++ {
+		defects := randomDefects(rng, l, rng.IntN(16))
+		a := tierOf(router.Decode, defects)
+		b := tierOf(router.DecodeIncremental, defects)
+		c := tierOf(router.DecodeIncremental, defects) // full cache hit
+		if a != b || b != c {
+			t.Fatalf("trial %d: tier depends on decode mode or cache: %+v %+v %+v (n=%d)", trial, a, b, c, len(defects))
+		}
+	}
+
+	total := router.TierCounts()
+	if total.Total() != int64(4+3*20) {
+		t.Errorf("tier totals %+v do not sum to the %d decodes", total, 4+3*20)
+	}
+}
+
+// TestNewWithCountsShares pins the shared-sink constructor: two routers
+// built over one counter block tally into it jointly.
+func TestNewWithCountsShares(t *testing.T) {
+	var sink decoder.TierCounts
+	m := lattice.UniformMetric(5)
+	a, b := NewWithCounts(m, &sink), NewWithCounts(m, &sink)
+	a.Decode([]lattice.Coord{{R: 2, C: 2, T: 2}})
+	b.Decode(nil)
+	if got := a.TierCounts(); got != (decoder.TierCounts{Lookup: 2}) || got != b.TierCounts() {
+		t.Errorf("shared counts = %+v / %+v, want Lookup:2 in both", a.TierCounts(), b.TierCounts())
+	}
+}

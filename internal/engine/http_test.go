@@ -35,6 +35,18 @@ func postJob(t *testing.T, srv *httptest.Server, body string) JobStatus {
 	return st
 }
 
+// postRaw submits a job body and returns the raw status code (no decoding),
+// for asserting validation rejections.
+func postRaw(t *testing.T, srv *httptest.Server, body string) int {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
 func getJSON(t *testing.T, url string, v any) int {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -230,6 +242,72 @@ func TestHTTPStreamJobLifecycle(t *testing.T) {
 	if m := e.Metrics(); m.StreamRollbacks <= 0 || m.StreamDetections <= 0 || m.StreamDetectionLatency <= 0 {
 		t.Errorf("stream metrics not populated: %+v", m)
 	}
+
+	// A tiered windowed stream job on a fresh engine: the per-tier decode
+	// counts must flow scenario → shard stats → engine counters → /metrics,
+	// the escalation ratio must be consistent with them, and an invalid
+	// decoder name must be refused at submission.
+	t.Run("tiered", func(t *testing.T) {
+		e2 := New(Config{Workers: 4})
+		defer e2.Close()
+		srv2 := httptest.NewServer(NewHandler(e2))
+		defer srv2.Close()
+
+		tst := postJob(t, srv2, `{"kind":"stream","stream":{
+			"d":5,"rounds":50,"p":0.003,"d_ano":3,"onset":20,"p_ano":0.4,
+			"react":true,"decoder":"tiered","window":60,"max_shots":64,"seed":4242}}`)
+		tst = waitDoneHTTP(t, srv2, tst.ID)
+		if tst.State != StateDone {
+			t.Fatalf("state=%s error=%q", tst.State, tst.Error)
+		}
+		var tout struct {
+			Result sim.StreamResult `json:"result"`
+		}
+		if code := getJSON(t, srv2.URL+"/v1/jobs/"+tst.ID+"/result", &tout); code != http.StatusOK {
+			t.Fatalf("result: status %d", code)
+		}
+		s := tout.Result.Stats
+		if s.TierLookup+s.TierUnionFind+s.TierMWPM == 0 {
+			t.Fatal("tiered stream job reported no tier counts")
+		}
+		m := e2.Metrics()
+		if m.DecodeTierLookup != s.TierLookup || m.DecodeTierUnionFind != s.TierUnionFind || m.DecodeTierMWPM != s.TierMWPM {
+			t.Errorf("engine tier counters %d/%d/%d != job stats %d/%d/%d",
+				m.DecodeTierLookup, m.DecodeTierUnionFind, m.DecodeTierMWPM,
+				s.TierLookup, s.TierUnionFind, s.TierMWPM)
+		}
+		if m.DecodeTierMWPM == 0 {
+			t.Error("an MBBE stream should escalate to the mwpm tier at least once")
+		}
+		wantRatio := float64(m.DecodeTierMWPM) / float64(m.DecodeTierLookup+m.DecodeTierUnionFind+m.DecodeTierMWPM)
+		if m.DecodeEscalationRatio != wantRatio {
+			t.Errorf("escalation ratio %v, want %v", m.DecodeEscalationRatio, wantRatio)
+		}
+		mresp, err := http.Get(srv2.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mresp.Body.Close()
+		var mbuf bytes.Buffer
+		mbuf.ReadFrom(mresp.Body)
+		for _, wantLine := range []string{
+			`q3de_decode_tier_total{tier="lookup"}`,
+			`q3de_decode_tier_total{tier="unionfind"}`,
+			`q3de_decode_tier_total{tier="mwpm"}`,
+			"q3de_decode_escalation_ratio",
+		} {
+			if !strings.Contains(mbuf.String(), wantLine) {
+				t.Errorf("metrics output missing %q", wantLine)
+			}
+		}
+
+		if bad := postRaw(t, srv2, `{"kind":"stream","stream":{"d":5,"p":0.003,"decoder":"blossom"}}`); bad != http.StatusBadRequest {
+			t.Errorf("invalid stream decoder accepted: status %d", bad)
+		}
+		if bad := postRaw(t, srv2, `{"kind":"stream","stream":{"d":5,"p":0.003,"window":-1}}`); bad != http.StatusBadRequest {
+			t.Errorf("negative window accepted: status %d", bad)
+		}
+	})
 
 	// Delete is idempotent on a finished job.
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)

@@ -86,7 +86,7 @@ type MemorySpec struct {
 	Box         *BoxSpec `json:"box,omitempty"`
 	DAno        int      `json:"d_ano,omitempty"`
 	PAno        float64  `json:"p_ano,omitempty"`
-	Decoder     string   `json:"decoder,omitempty"` // greedy (default), mwpm, mwpm-dense, union-find
+	Decoder     string   `json:"decoder,omitempty"` // greedy (default), mwpm, mwpm-dense, union-find, tiered
 	Aware       bool     `json:"aware,omitempty"`
 	MaxShots    int64    `json:"max_shots,omitempty"`
 	MaxFailures int64    `json:"max_failures,omitempty"`
@@ -192,6 +192,13 @@ type StreamSpec struct {
 	Sigma      float64 `json:"sigma,omitempty"`
 	CalibShots int     `json:"calib_shots,omitempty"`
 
+	// Decoder selects the controller's decoding unit: "greedy" (default) or
+	// "tiered" (the predecode escalation router; its per-tier counts surface
+	// as q3de_decode_tier_total). Window bounds the controller's sliding
+	// decoding window in code cycles; 0 keeps whole-history decoding.
+	Decoder string `json:"decoder,omitempty"`
+	Window  int    `json:"window,omitempty"`
+
 	MaxShots    int64  `json:"max_shots,omitempty"`
 	MaxFailures int64  `json:"max_failures,omitempty"`
 	Seed        uint64 `json:"seed,omitempty"`
@@ -215,12 +222,21 @@ func (m *StreamSpec) Config() (sim.StreamConfig, error) {
 	if placements > 1 {
 		return cfg, fmt.Errorf("at most one of box, d_ano and burst may schedule the MBBE")
 	}
+	switch m.Decoder {
+	case "", "greedy", "tiered":
+	default:
+		return cfg, fmt.Errorf(`stream decoder must be "greedy" or "tiered", got %q`, m.Decoder)
+	}
+	if m.Window < 0 {
+		return cfg, fmt.Errorf("window must be >= 0, got %d", m.Window)
+	}
 	cfg = sim.StreamConfig{
 		D: m.D, Rounds: m.Rounds, P: m.P, Pano: m.PAno,
 		React: m.React, Deform: m.Deform,
 		PanoGuess: m.PanoGuess, DanoGuess: m.DanoGuess,
 		Cwin: m.Cwin, Cbat: m.Cbat, Alpha: m.Alpha, Nth: m.Nth,
 		Mu: m.Mu, Sigma: m.Sigma, CalibShots: m.CalibShots,
+		Decoder: m.Decoder, Window: m.Window,
 		MaxShots: m.MaxShots, MaxFailures: m.MaxFailures, Seed: m.Seed,
 	}
 	rounds := cfg.EffectiveRounds()

@@ -46,6 +46,13 @@ type metrics struct {
 	streamDetections       atomic.Int64
 	streamDetectionLatency atomic.Int64 // summed cycles over detected shots
 
+	// Tiered-decoding counters: decodes by the escalation tier they needed
+	// (DESIGN.md §16). Any job whose scenario runs the tiered router —
+	// memory or stream — feeds these; they stay zero otherwise.
+	decodeTierLookup    atomic.Int64
+	decodeTierUnionFind atomic.Int64
+	decodeTierMWPM      atomic.Int64
+
 	// window tracks shots over the last ~60s so the snapshot can report
 	// current throughput alongside the lifetime average.
 	window *obs.Window
@@ -59,6 +66,9 @@ func (m *metrics) observeShard(r sim.ShardResult, stream bool) {
 	m.shotsExecuted.Add(r.Shots)
 	m.decodeNs.Add(r.DecodeNs)
 	m.window.Add(r.Shots)
+	m.decodeTierLookup.Add(r.Stats.TierLookup)
+	m.decodeTierUnionFind.Add(r.Stats.TierUnionFind)
+	m.decodeTierMWPM.Add(r.Stats.TierMWPM)
 	if stream {
 		m.streamShots.Add(r.Shots)
 		m.streamRollbacks.Add(r.Stats.Rollbacks)
@@ -135,6 +145,16 @@ type MetricsSnapshot struct {
 	StreamRollbacksAborted int64 `json:"stream_rollbacks_aborted"`
 	StreamDetections       int64 `json:"stream_detections"`
 	StreamDetectionLatency int64 `json:"stream_detection_latency_cycles"`
+
+	// Tiered-decoding counters: decodes routed by the predecode escalation
+	// router, split by the tier of machinery each syndrome needed, plus the
+	// fraction that escalated all the way to a blossom solve. The ratio is the
+	// sizing number of the paper's decoder-unit argument: it says how rare the
+	// expensive tier actually is under the served workload.
+	DecodeTierLookup      int64   `json:"decode_tier_lookup"`
+	DecodeTierUnionFind   int64   `json:"decode_tier_unionfind"`
+	DecodeTierMWPM        int64   `json:"decode_tier_mwpm"`
+	DecodeEscalationRatio float64 `json:"decode_escalation_ratio"`
 }
 
 // JournalMetrics is the wire form of the journal counters.
@@ -208,6 +228,12 @@ func (e *Engine) Metrics() MetricsSnapshot {
 	snap.StreamRollbacksAborted = e.metrics.streamRollbacksAborted.Load()
 	snap.StreamDetections = e.metrics.streamDetections.Load()
 	snap.StreamDetectionLatency = e.metrics.streamDetectionLatency.Load()
+	snap.DecodeTierLookup = e.metrics.decodeTierLookup.Load()
+	snap.DecodeTierUnionFind = e.metrics.decodeTierUnionFind.Load()
+	snap.DecodeTierMWPM = e.metrics.decodeTierMWPM.Load()
+	if total := snap.DecodeTierLookup + snap.DecodeTierUnionFind + snap.DecodeTierMWPM; total > 0 {
+		snap.DecodeEscalationRatio = float64(snap.DecodeTierMWPM) / float64(total)
+	}
 	if up > 0 {
 		snap.ShotsPerSec = float64(snap.ShotsExecuted) / up
 	}
@@ -253,6 +279,13 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")
 	counter("stream_detections_total", s.StreamDetections, "MBBE detections declared by the anomaly detection unit.")
 	counter("stream_detection_latency_cycles_total", s.StreamDetectionLatency, "Cumulative detection latency in code cycles over detected shots (quantiles: see the q3de_stream_detection_latency_cycles summary).")
+	// The tier family is one metric with a tier label, so the HELP/TYPE
+	// header is written once and the three samples carry label blocks.
+	fmt.Fprintf(w, "# HELP q3de_decode_tier_total Decodes by the escalation tier the tiered router needed (lookup, unionfind, mwpm).\n# TYPE q3de_decode_tier_total counter\n")
+	fmt.Fprintf(w, "q3de_decode_tier_total{tier=\"lookup\"} %d\n", s.DecodeTierLookup)
+	fmt.Fprintf(w, "q3de_decode_tier_total{tier=\"unionfind\"} %d\n", s.DecodeTierUnionFind)
+	fmt.Fprintf(w, "q3de_decode_tier_total{tier=\"mwpm\"} %d\n", s.DecodeTierMWPM)
+	gauge("decode_escalation_ratio", s.DecodeEscalationRatio, "Fraction of tiered decodes escalated to a blossom solve (mwpm tier over all tiers; 0 until a tiered decode runs).")
 	counter("shard_retries_total", s.ShardRetries, "Shard executions retried after a panic or injected fault.")
 	counter("job_retries_total", s.JobRetries, "Whole-job re-executions after a panic-class failure.")
 	counter("jobs_quarantined_total", s.JobsQuarantined, "Poison jobs failed permanently after exhausting their attempts.")

@@ -134,8 +134,8 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	defer srv.Close()
 
 	for _, body := range []string{
-		`{"kind":"memory","memory":{"d":3,"p":0.02,"max_shots":500,"seed":3}}`,
-		`{"kind":"stream","stream":{"d":5,"rounds":40,"p":0.003,"d_ano":3,"onset":10,"p_ano":0.4,"max_shots":32,"seed":8}}`,
+		`{"kind":"memory","memory":{"d":3,"p":0.02,"decoder":"tiered","max_shots":500,"seed":3}}`,
+		`{"kind":"stream","stream":{"d":5,"rounds":40,"p":0.003,"d_ano":3,"onset":10,"p_ano":0.4,"decoder":"tiered","window":50,"max_shots":32,"seed":8}}`,
 		`{"kind":"sweep","sweep":{"scenario":"memory","base":{"d":3,"p":0.05,"max_shots":500},"axes":[{"name":"seed","values":[1,2]}]}}`,
 	} {
 		st := postJob(t, srv, body)
@@ -241,9 +241,26 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"q3de_stream_detection_latency_cycles",
 		"q3de_http_request_duration_seconds",
 		"q3de_http_requests_total",
+		"q3de_decode_tier_total",
+		"q3de_decode_escalation_ratio",
 	} {
 		if !sampled[want] {
 			t.Errorf("expected family %s to have samples", want)
+		}
+	}
+	// The tier family is labelled: all three tiers must render as samples of
+	// the single declared family.
+	for _, tier := range []string{"lookup", "unionfind", "mwpm"} {
+		want := `q3de_decode_tier_total{tier="` + tier + `"}`
+		found := false
+		for line := range samples {
+			if strings.HasPrefix(line, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing labelled sample %s", want)
 		}
 	}
 }

@@ -52,10 +52,15 @@ var LayerTable = map[string]PkgPolicy{
 	"q3de/internal/decoder/lookup":    {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
 	"q3de/internal/decoder/mwpm":      {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
 	"q3de/internal/decoder/unionfind": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/lattice"}},
+	// The tiered router composes decoder machinery and must stay engine-free:
+	// its row deliberately excludes engine, obs and sim, so a router-to-engine
+	// edge is a lint error (fixture-covered in the layering suite).
+	"q3de/internal/decoder/tiered": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/mwpm", "q3de/internal/lattice"}},
 
 	"q3de/internal/control": {AllowInternal: []string{
 		"q3de/internal/anomaly", "q3de/internal/decoder", "q3de/internal/decoder/greedy",
-		"q3de/internal/deform", "q3de/internal/lattice", "q3de/internal/noise",
+		"q3de/internal/decoder/tiered", "q3de/internal/deform", "q3de/internal/lattice",
+		"q3de/internal/noise",
 	}},
 
 	// sim is the top of the physics layer and must stay engine- and
@@ -65,8 +70,8 @@ var LayerTable = map[string]PkgPolicy{
 	"q3de/internal/sim": {
 		AllowInternal: []string{
 			"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/decoder/greedy",
-			"q3de/internal/decoder/mwpm", "q3de/internal/lattice", "q3de/internal/noise",
-			"q3de/internal/stats",
+			"q3de/internal/decoder/mwpm", "q3de/internal/decoder/tiered", "q3de/internal/lattice",
+			"q3de/internal/noise", "q3de/internal/stats",
 		},
 		ForbidStd: []string{"net", "net/http"},
 	},
@@ -102,7 +107,7 @@ var LayerTable = map[string]PkgPolicy{
 	// ---- auxiliary ----
 	"q3de/internal/core":        {AllowInternal: []string{"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/deform", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/sim", "q3de/internal/stats"}},
 	"q3de/internal/viz":         {AllowInternal: []string{"q3de/internal/deform", "q3de/internal/lattice"}},
-	"q3de/internal/benchmatrix": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/greedy", "q3de/internal/decoder/mwpm", "q3de/internal/decoder/unionfind", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
+	"q3de/internal/benchmatrix": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/greedy", "q3de/internal/decoder/mwpm", "q3de/internal/decoder/tiered", "q3de/internal/decoder/unionfind", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
 
 	// ---- the lint suite itself ----
 	"q3de/internal/lint":          {AllowInternal: []string{"q3de/internal/lint/analysis"}},

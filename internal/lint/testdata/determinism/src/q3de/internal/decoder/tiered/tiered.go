@@ -1,0 +1,83 @@
+// Package tiered models the escalation router in the determinism fixture:
+// q3de/internal/decoder is a physics prefix, so tier choice must be a pure
+// function of the syndrome (DESIGN.md §16) — bit-identical across worker
+// counts and replays. Clock-based escalation, global-RNG tie-breaks and
+// map-order tier tallies are exactly the bugs that would break that, so each
+// is flagged; the density rule and integer tallies are the sanctioned forms.
+package tiered
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// route is the sanctioned routing shape: the tier is computed from defect
+// counts alone, so identical syndromes take identical tiers everywhere.
+func route(defects, denseAt int) int {
+	if defects == 0 {
+		return 0
+	}
+	if defects < denseAt {
+		return 1
+	}
+	return 2
+}
+
+// deadlineRoute escalates when the decode budget runs out — a wall-clock
+// read, so a loaded host would route the same syndrome differently.
+func deadlineRoute(start time.Time, budget time.Duration) int {
+	if time.Since(start) > budget { // want `reads the wall clock \(time\.Since\)`
+		return 2
+	}
+	return 1
+}
+
+// coinRoute breaks a density tie by coin flip from the global source.
+func coinRoute(defects, denseAt int) int {
+	if defects == denseAt && rand.Uint64()%2 == 0 { // want `draws from the global math/rand/v2 source \(rand\.Uint64\)`
+		return 2
+	}
+	return route(defects, denseAt)
+}
+
+// escalationRatio folds per-tier float tallies in map order.
+func escalationRatio(tally map[string]float64) float64 {
+	total, esc := 0.0, 0.0
+	for tier, n := range tally {
+		total += n // want `float accumulation inside range over map`
+		if tier != "lookup" {
+			esc += n // want `float accumulation inside range over map`
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return esc / total
+}
+
+// tierOrder builds the report ordering from map iteration.
+func tierOrder(tally map[string]int, out []string) []string {
+	for tier := range tally {
+		out = append(out, tier) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// countEscalations accumulates integers over the tally: exact and
+// commutative, so map order cannot leak into the count.
+func countEscalations(tally map[string]int) int {
+	n := 0
+	for tier, c := range tally {
+		if tier != "lookup" {
+			n += c
+		}
+	}
+	return n
+}
+
+// jitteredProbe draws from an explicitly seeded stream: deterministic given
+// the seed, the sanctioned way to randomize a probe schedule.
+func jitteredProbe(seed uint64) uint64 {
+	r := rand.New(rand.NewPCG(seed, 0))
+	return r.Uint64()
+}

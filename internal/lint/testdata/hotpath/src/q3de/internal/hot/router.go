@@ -1,0 +1,60 @@
+// router.go models the tiered decode paths under //q3de:hotpath: the
+// per-shot router and the warm-start delta solve both run once per decoded
+// cycle, so their bodies must be allocation-free in steady state. Scratch
+// grows ride the sanctioned //lint:ignore hatch; per-call literals, closures
+// and tier-label boxing are the regressions the analyzer pins.
+package hot
+
+type routerScratch struct {
+	hint    []int
+	tally   [3]int
+	observe func(tier int)
+}
+
+// Route scores the syndrome and tallies the chosen tier; the counters are a
+// fixed array, so routing allocates nothing.
+//
+//q3de:hotpath
+func (r *routerScratch) Route(defects []int, denseAt int) int {
+	tier := 0
+	if len(defects) >= denseAt {
+		tier = 2
+	} else if len(defects) > 0 {
+		tier = 1
+	}
+	r.tally[tier]++
+	return tier
+}
+
+// SolveWarm reuses the previous matching as the hint arena, regrowing it
+// only at a new high-water defect count.
+//
+//q3de:hotpath
+func (r *routerScratch) SolveWarm(defects []int) []int {
+	if cap(r.hint) < len(defects) {
+		//lint:ignore hotpath amortized grow to the high-water defect count
+		r.hint = make([]int, len(defects))
+	}
+	r.hint = r.hint[:len(defects)]
+	for i := range defects {
+		r.hint[i] = -1
+	}
+	return r.hint
+}
+
+// routeLeaky is the regression shape: a fresh hint slice and tally map per
+// shot, an escalation closure, and the tier boxed into an any sink.
+//
+//q3de:hotpath
+func (r *routerScratch) routeLeaky(defects []int, denseAt int) any {
+	hint := make([]int, len(defects)) // want `hot path calls make`
+	_ = hint
+	tally := map[string]int{} // want `hot path builds a map literal`
+	_ = tally
+	escalate := func() int { // want `hot path creates a closure`
+		return 2
+	}
+	tier := escalate()
+	sink(tier) // want `passes a concrete int to an interface argument`
+	return tier // want `returns a concrete int to an interface result`
+}

@@ -1,0 +1,12 @@
+// Package tiered models the predecode escalation router in the layering
+// fixture: its LayerTable row grants decoder-core, mwpm and lattice only, so
+// the router stays engine-free — an engine edge (metrics, job specs,
+// anything serving-side) is a diagnostic, keeping escalation counters flowing
+// the other way, from the engine reading tiered.Stats.
+package tiered
+
+import (
+	_ "q3de/internal/engine" // want `layering violation: q3de/internal/decoder/tiered may not import q3de/internal/engine`
+
+	_ "q3de/internal/lattice"
+)

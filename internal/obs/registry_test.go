@@ -37,6 +37,59 @@ func TestRegistryRendersFamiliesWithLabels(t *testing.T) {
 	}
 }
 
+// TestTierFamilyExpositionConformance pins the exposition shape of the
+// decode-tier surface (DESIGN.md §16): a labelled counter family renders one
+// HELP and one TYPE header followed by exactly one sample per label value —
+// header first, samples contiguous, nothing repeated — and the escalation
+// ratio renders as a plain unlabelled gauge. The engine hand-writes the same
+// family on its /metrics page, so this block is the conformance reference the
+// manual writer must keep matching.
+func TestTierFamilyExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	tiers := r.NewCounterVec("q3de_decode_tier_total", "Decodes by escalation tier.", "tier")
+	tiers.With("lookup").Add(900)
+	tiers.With("unionfind").Add(90)
+	tiers.With("mwpm").Add(10)
+	ratio := r.NewGaugeVec("q3de_decode_escalation_ratio", "Fraction of decodes escalated to mwpm.")
+	ratio.With().Set(0.01)
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+
+	for _, header := range []string{
+		"# HELP q3de_decode_tier_total Decodes by escalation tier.\n",
+		"# TYPE q3de_decode_tier_total counter\n",
+		"# TYPE q3de_decode_escalation_ratio gauge\n",
+	} {
+		if n := strings.Count(out, header); n != 1 {
+			t.Errorf("header %q appears %d times, want exactly once", header, n)
+		}
+	}
+	for _, sample := range []string{
+		`q3de_decode_tier_total{tier="lookup"} 900` + "\n",
+		`q3de_decode_tier_total{tier="unionfind"} 90` + "\n",
+		`q3de_decode_tier_total{tier="mwpm"} 10` + "\n",
+		"q3de_decode_escalation_ratio 0.01\n",
+	} {
+		if n := strings.Count(out, sample); n != 1 {
+			t.Errorf("sample %q appears %d times, want exactly once", sample, n)
+		}
+	}
+	// The family block must be contiguous: every tier sample lies between the
+	// family's TYPE header and the next comment line.
+	typeAt := strings.Index(out, "# TYPE q3de_decode_tier_total counter\n")
+	block := out[typeAt:]
+	if next := strings.Index(block[1:], "# "); next >= 0 {
+		block = block[:next+1]
+	}
+	for _, tier := range []string{"lookup", "unionfind", "mwpm"} {
+		if !strings.Contains(block, `{tier="`+tier+`"}`) {
+			t.Errorf("tier %q sample not contiguous with its family header:\n%s", tier, out)
+		}
+	}
+}
+
 func TestRegistryIdempotentAndShapeChecked(t *testing.T) {
 	r := NewRegistry()
 	a := r.NewCounterVec("q3de_things_total", "Things.", "kind")

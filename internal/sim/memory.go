@@ -13,6 +13,7 @@ import (
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
 	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/tiered"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
 )
@@ -35,6 +36,11 @@ const (
 	// reference (it still reproduces the PR-1 decision goldens bit for bit),
 	// but O(n³) in the full defect count.
 	DecoderMWPMDense
+	// DecoderTiered is the predecode escalation router (decoder/tiered,
+	// DESIGN.md §16): exact sparse MWPM with zero-clique compression, routed
+	// through the cheapest sufficient machinery per syndrome and tallied by
+	// tier (lookup / union-find closed form / blossom escalation).
+	DecoderTiered
 )
 
 func (k DecoderKind) String() string {
@@ -47,6 +53,8 @@ func (k DecoderKind) String() string {
 		return "union-find"
 	case DecoderMWPMDense:
 		return "mwpm-dense"
+	case DecoderTiered:
+		return "tiered"
 	default:
 		return fmt.Sprintf("DecoderKind(%d)", int(k))
 	}
@@ -109,6 +117,8 @@ func ParseDecoderKind(name string) (DecoderKind, error) {
 		return DecoderUnionFind, nil
 	case "mwpm-dense":
 		return DecoderMWPMDense, nil
+	case "tiered":
+		return DecoderTiered, nil
 	default:
 		return 0, fmt.Errorf("unknown decoder %q", name)
 	}
@@ -130,6 +140,8 @@ func (c MemoryConfig) NewDecoder(l *lattice.Lattice) decoder.Decoder {
 		return mwpm.New(m)
 	case DecoderMWPMDense:
 		return mwpm.NewDense(m)
+	case DecoderTiered:
+		return tiered.New(m)
 	case DecoderUnionFind:
 		if UnionFindFactory == nil {
 			panic("sim: union-find decoder not linked in; call unionfind.Register first")
@@ -160,17 +172,27 @@ func (m MemoryScenario) NewShotRunner(ws *Workspace) ShotRunner {
 type memoryShotRunner struct {
 	model  *noise.Model
 	dec    decoder.Decoder
+	tiers  decoder.TierReporter // non-nil when dec reports escalation tiers
 	s      noise.Sample
 	coords []lattice.Coord
 }
 
 func newMemoryShotRunner(ws *Workspace, dec decoder.Decoder) *memoryShotRunner {
-	return &memoryShotRunner{model: ws.Model, dec: dec, coords: make([]lattice.Coord, 0, 64)}
+	r := &memoryShotRunner{model: ws.Model, dec: dec, coords: make([]lattice.Coord, 0, 64)}
+	r.tiers, _ = dec.(decoder.TierReporter)
+	return r
 }
 
 // RunShot implements ShotRunner.
 func (r *memoryShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
-	return DecodeShot(r.model, r.dec, rng, &r.s, &r.coords), ShotStats{}
+	var st ShotStats
+	if r.tiers == nil {
+		return DecodeShot(r.model, r.dec, rng, &r.s, &r.coords), st
+	}
+	before := r.tiers.TierCounts()
+	fail := DecodeShot(r.model, r.dec, rng, &r.s, &r.coords)
+	st.addTiers(r.tiers.TierCounts().Sub(before))
+	return fail, st
 }
 
 // RunMemory estimates the logical error rate for one configuration by

@@ -123,6 +123,42 @@ func TestMWPMBeatsGreedyNearThreshold(t *testing.T) {
 	}
 }
 
+func TestTieredMemoryMatchesMWPMRateAndTalliesTiers(t *testing.T) {
+	// The tiered router is weight-equal to sparse MWPM by construction, so at
+	// the memory-scenario layer its failure count may differ from the mwpm
+	// reference only by exact-weight parity ties — rare enough that the
+	// logical rates must agree closely — while the per-shot tier counters
+	// account for exactly the non-empty decoded syndromes.
+	base := MemoryConfig{D: 5, P: 0.02, MaxShots: 4000, Seed: 11, Workers: 2}
+	mwpmCfg, tierCfg := base, base
+	mwpmCfg.Decoder = DecoderMWPM
+	tierCfg.Decoder = DecoderTiered
+	m := RunMemory(mwpmCfg)
+	tr := RunMemory(tierCfg)
+	if diff := math.Abs(float64(m.Failures - tr.Failures)); diff > float64(m.Failures)/5+10 {
+		t.Errorf("tiered failures %d stray too far from mwpm %d", tr.Failures, m.Failures)
+	}
+	st := memoryTierStats(t, tierCfg)
+	total := st.TierLookup + st.TierUnionFind + st.TierMWPM
+	if total == 0 {
+		t.Fatal("tiered memory run tallied no decodes")
+	}
+	if st.TierLookup == 0 || st.TierUnionFind == 0 || st.TierMWPM == 0 {
+		t.Errorf("d=5 p=0.02 should exercise every tier: %+v", st)
+	}
+	if total > base.MaxShots {
+		t.Errorf("tier total %d exceeds the %d decode opportunities", total, base.MaxShots)
+	}
+}
+
+// memoryTierStats runs the scenario and returns its aggregated counters.
+func memoryTierStats(t *testing.T, cfg MemoryConfig) ShotStats {
+	t.Helper()
+	cfg = cfg.withShotDefaults()
+	ws := NewWorkspace(cfg)
+	return RunScenarioOn(ws, MemoryScenario{Config: cfg}, cfg.Plan(), cfg.Workers).Stats
+}
+
 func TestStdErrPropagation(t *testing.T) {
 	r := RunMemory(MemoryConfig{D: 3, P: 0.05, Decoder: DecoderGreedy, MaxShots: 5000, Seed: 9})
 	if r.PShot > 0 && r.StdErr <= 0 {

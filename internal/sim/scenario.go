@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"q3de/internal/decoder"
 	"q3de/internal/stats"
 )
 
@@ -71,6 +72,14 @@ type ShotStats struct {
 	// DetectionLatencyCycles sums, over detected shots, the code cycles
 	// between the true burst onset and the detection.
 	DetectionLatencyCycles int64 `json:"detection_latency_cycles,omitempty"`
+	// TierLookup/TierUnionFind/TierMWPM count decodes by the escalation tier
+	// they needed (DESIGN.md §16), reported by scenarios running a tiered
+	// router. Tier choice is a pure function of each decoded syndrome, so
+	// these aggregate bit-identically across worker counts like every other
+	// counter here.
+	TierLookup    int64 `json:"tier_lookup,omitempty"`
+	TierUnionFind int64 `json:"tier_unionfind,omitempty"`
+	TierMWPM      int64 `json:"tier_mwpm,omitempty"`
 }
 
 // Add accumulates counters from another report.
@@ -79,6 +88,16 @@ func (s *ShotStats) Add(o ShotStats) {
 	s.RollbacksAborted += o.RollbacksAborted
 	s.Detections += o.Detections
 	s.DetectionLatencyCycles += o.DetectionLatencyCycles
+	s.TierLookup += o.TierLookup
+	s.TierUnionFind += o.TierUnionFind
+	s.TierMWPM += o.TierMWPM
+}
+
+// addTiers folds a tier-count delta into the per-shot counters.
+func (s *ShotStats) addTiers(t decoder.TierCounts) {
+	s.TierLookup += t.Lookup
+	s.TierUnionFind += t.UnionFind
+	s.TierMWPM += t.MWPM
 }
 
 // ShardPlan is the sampling plan the shard machinery executes for any

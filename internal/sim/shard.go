@@ -4,6 +4,7 @@ import (
 	"q3de/internal/decoder"
 	"q3de/internal/decoder/greedy"
 	"q3de/internal/decoder/mwpm"
+	"q3de/internal/decoder/tiered"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
 	"q3de/internal/stats"
@@ -55,6 +56,8 @@ func (c MemoryConfig) NewDecoderOn(ws *Workspace) decoder.Decoder {
 		return mwpm.New(ws.Metric)
 	case DecoderMWPMDense:
 		return mwpm.NewDense(ws.Metric)
+	case DecoderTiered:
+		return tiered.New(ws.Metric)
 	case DecoderUnionFind:
 		if UnionFindFactory == nil {
 			panic("sim: union-find decoder not linked in; call unionfind.Register first")

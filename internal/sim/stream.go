@@ -50,6 +50,16 @@ type StreamConfig struct {
 	Mu, Sigma  float64
 	CalibShots int // calibration sample count; 0 means 300
 
+	// Decoder selects the controller's decoding unit: "" or "greedy" for the
+	// QECOOL-style hardware decoder, "tiered" for the predecode escalation
+	// router (DESIGN.md §16). Per-tier decode counts surface through the
+	// scenario's ShotStats.
+	Decoder string
+	// Window bounds the controller's sliding decoding window in code cycles
+	// (rollback clamp + matching-queue pruning, see control.Config.Window).
+	// 0 keeps the whole-history behaviour.
+	Window int
+
 	MaxShots    int64 // shot budget (default 1e5)
 	MaxFailures int64 // early stop (0 = none)
 	Seed        uint64
@@ -132,6 +142,7 @@ func (c StreamConfig) ControlConfig() control.Config {
 		Cwin: c.Cwin, Cbat: c.Cbat, Mu: mu, Sigma: sigma,
 		Alpha: c.Alpha, Nth: c.Nth,
 		React: c.React, DanoGuess: c.DanoGuess,
+		Decoder: c.Decoder, Window: c.Window,
 	}
 }
 
@@ -200,6 +211,7 @@ func (r *streamShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
 		Rollbacks:        int64(out.Rollbacks),
 		RollbacksAborted: int64(out.Aborted),
 	}
+	st.addTiers(out.Tiers)
 	if out.DetectedAt >= 0 {
 		st.Detections = 1
 		lat := out.DetectedAt - r.onset

@@ -153,3 +153,63 @@ func TestStreamReactionReducesFailures(t *testing.T) {
 		t.Errorf("blind stream rolled back %d times", b.Stats.Rollbacks)
 	}
 }
+
+func TestStreamWindowedMatchesWholeHistory(t *testing.T) {
+	// A sliding window wider than the shot horizon never clamps a rollback and
+	// never prunes a reachable batch record, so the windowed stream must
+	// reproduce the whole-history stream's every counter — under both the
+	// greedy hardware decoder and the tiered escalation router.
+	for _, dec := range []string{"greedy", "tiered"} {
+		cfg := streamMBBEConfig()
+		cfg.MaxShots = 128
+		cfg.Decoder = dec
+		whole := RunStream(cfg)
+		cfg.Window = cfg.EffectiveRounds() + 1
+		windowed := RunStream(cfg)
+		if whole.Failures != windowed.Failures || whole.Stats != windowed.Stats {
+			t.Errorf("%s: windowed %d/%+v != whole-history %d/%+v",
+				dec, windowed.Failures, windowed.Stats, whole.Failures, whole.Stats)
+		}
+	}
+}
+
+func TestStreamTinyWindowStaysDeterministic(t *testing.T) {
+	// A window tight enough to clamp rollbacks changes decisions, but they
+	// must remain a pure function of the plan: bit-identical across worker
+	// counts, with the reaction accounting still coherent.
+	cfg := streamMBBEConfig()
+	cfg.MaxShots = 2 * ShardSize
+	cfg.Window = 18
+	cfg.Workers = 1
+	want := RunStream(cfg)
+	if want.Stats.Detections == 0 {
+		t.Fatal("windowed stream detected nothing over an injected MBBE")
+	}
+	if want.Stats.Rollbacks+want.Stats.RollbacksAborted < want.Stats.Detections {
+		t.Errorf("every detection must attempt a rollback: %+v", want.Stats)
+	}
+	for _, w := range []int{3, 6} {
+		cfg.Workers = w
+		got := RunStream(cfg)
+		if got.Failures != want.Failures || got.Stats != want.Stats {
+			t.Errorf("workers=%d: %d/%+v, want %d/%+v", w, got.Failures, got.Stats, want.Failures, want.Stats)
+		}
+	}
+}
+
+func TestStreamTieredTalliesTiers(t *testing.T) {
+	// The tiered decoding unit's per-tier decode counts must surface through
+	// the scenario counters: an MBBE stream decodes plenty, and the burst
+	// guarantees at least some escalation beyond lookup.
+	cfg := streamMBBEConfig()
+	cfg.MaxShots = 96
+	cfg.Decoder = "tiered"
+	r := RunStream(cfg)
+	total := r.Stats.TierLookup + r.Stats.TierUnionFind + r.Stats.TierMWPM
+	if total == 0 {
+		t.Fatal("tiered stream tallied no decodes into the tier counters")
+	}
+	if r.Stats.TierUnionFind+r.Stats.TierMWPM == 0 {
+		t.Errorf("an MBBE stream should escalate past lookup at least once: %+v", r.Stats)
+	}
+}
