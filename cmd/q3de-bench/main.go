@@ -7,11 +7,18 @@
 // §16); their ratios are the sparse pipeline's and the zero-clique
 // contraction's recorded speedups.
 //
+// It also records the sampling-strategies matrix to BENCH_sampling.json:
+// the same sub-threshold memory points estimated under the fixed paper-scale
+// budget, under sequential stopping, and under importance sampling
+// (DESIGN.md §17), so the shots-to-target-CI saving is tracked alongside
+// decoder throughput. Those rows are fully seeded — unlike ns/op they are
+// bit-for-bit reproducible, and sampling_test.go pins the committed record.
+//
 // Usage:
 //
-//	go run ./cmd/q3de-bench [-o BENCH_decoders.json]
+//	go run ./cmd/q3de-bench [-o BENCH_decoders.json] [-sampling BENCH_sampling.json]
 //
-// The matrix definition lives in internal/benchmatrix and is shared with
+// The matrix definitions live in internal/benchmatrix and are shared with
 // the `go test -bench` suite (BenchmarkDecode{MWPM,MWPMDense,Greedy,
 // UnionFind,Tiered} in bench_decoders_test.go), so the recorded trajectory
 // measures exactly what the benchmarks run.
@@ -46,8 +53,30 @@ type benchFile struct {
 	Results   []benchResult `json:"results"`
 }
 
+// samplingCase is one committed row group of BENCH_sampling.json: the case
+// parameters plus every strategy's deterministic shots-to-CI record.
+type samplingCase struct {
+	Name      string                               `json:"name"`
+	D         int                                  `json:"d"`
+	P         float64                              `json:"p"`
+	Decoder   string                               `json:"decoder"`
+	MaxShots  int64                                `json:"max_shots"`
+	Seed      uint64                               `json:"seed"`
+	TargetRSE float64                              `json:"target_rse"`
+	TiltP     float64                              `json:"tilt_p,omitempty"`
+	Results   []benchmatrix.SamplingStrategyResult `json:"results"`
+}
+
+type samplingFile struct {
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go_version"`
+	GOARCH    string         `json:"goarch"`
+	Cases     []samplingCase `json:"cases"`
+}
+
 func main() {
-	out := flag.String("o", "BENCH_decoders.json", "output path")
+	out := flag.String("o", "BENCH_decoders.json", "decoder-matrix output path (empty disables)")
+	samplingOut := flag.String("sampling", "BENCH_sampling.json", "sampling-strategies output path (empty disables)")
 	flag.Parse()
 
 	file := benchFile{
@@ -55,39 +84,67 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 	}
-	for _, fam := range benchmatrix.Families() {
-		for _, c := range benchmatrix.Cases() {
-			l, m, samples := c.Setup(64)
-			dec := fam.New(l, m)
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					dec.Decode(samples[i%len(samples)])
+	if *out != "" {
+		for _, fam := range benchmatrix.Families() {
+			for _, c := range benchmatrix.Cases() {
+				l, m, samples := c.Setup(64)
+				dec := fam.New(l, m)
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						dec.Decode(samples[i%len(samples)])
+					}
+				})
+				ns := float64(r.NsPerOp())
+				res := benchResult{
+					Decoder: fam.Name, D: c.D, MBBE: c.MBBE,
+					NsPerOp:     ns,
+					ShotsPerSec: 1e9 / ns,
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
 				}
-			})
-			ns := float64(r.NsPerOp())
-			res := benchResult{
-				Decoder: fam.Name, D: c.D, MBBE: c.MBBE,
-				NsPerOp:     ns,
-				ShotsPerSec: 1e9 / ns,
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
+				file.Results = append(file.Results, res)
+				fmt.Fprintf(os.Stderr, "%-11s d=%-2d mbbe=%-5v %12.0f ns/op %10.0f shots/s %6d B/op %4d allocs/op\n",
+					fam.Name, c.D, c.MBBE, res.NsPerOp, res.ShotsPerSec, res.BytesPerOp, res.AllocsPerOp)
 			}
-			file.Results = append(file.Results, res)
-			fmt.Fprintf(os.Stderr, "%-11s d=%-2d mbbe=%-5v %12.0f ns/op %10.0f shots/s %6d B/op %4d allocs/op\n",
-				fam.Name, c.D, c.MBBE, res.NsPerOp, res.ShotsPerSec, res.BytesPerOp, res.AllocsPerOp)
 		}
+		writeJSON(*out, file)
 	}
 
-	buf, err := json.MarshalIndent(file, "", "  ")
+	if *samplingOut != "" {
+		sf := samplingFile{
+			Generated: file.Generated,
+			GoVersion: file.GoVersion,
+			GOARCH:    file.GOARCH,
+		}
+		for _, c := range benchmatrix.SamplingCases() {
+			rows := benchmatrix.RunSamplingCase(c)
+			rec := samplingCase{
+				Name: c.Name, D: c.Base.D, P: c.Base.P,
+				Decoder: c.Base.Decoder.String(), MaxShots: c.Base.MaxShots,
+				Seed: c.Base.Seed, TargetRSE: c.TargetRSE, TiltP: c.TiltP,
+				Results: rows,
+			}
+			sf.Cases = append(sf.Cases, rec)
+			for _, r := range rows {
+				fmt.Fprintf(os.Stderr, "%-22s %-10s %8d shots %5d fail  pl=%-12.5g rhw=%-7.4f ess=%-9.0f %6.1fx\n",
+					c.Name, r.Strategy, r.Shots, r.Failures, r.PL, r.RelHalfWidth, r.ESS, r.ShotsVsFixed)
+			}
+		}
+		writeJSON(*samplingOut, sf)
+	}
+}
+
+func writeJSON(path string, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "encode:", err)
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "write:", err)
 		os.Exit(1)
 	}
-	fmt.Println("wrote", *out)
+	fmt.Println("wrote", path)
 }

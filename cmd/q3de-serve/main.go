@@ -11,6 +11,15 @@
 // per seed: the service returns exactly what `q3de` prints for the same
 // configuration.
 //
+// Memory-family specs accept adaptive sampling fields (DESIGN.md §17):
+// "target_rse" runs the point under sequential stopping — shards execute
+// until the failure-rate CI's relative half-width reaches the target, capped
+// by max_shots, with the stopped prefix chosen deterministically so any
+// worker count reproduces the same estimate — and "tilt_p" switches the
+// point to importance sampling, drawing errors at the inflated rate with
+// exact likelihood-ratio reweighting (results report PLLo/PLHi bounds and
+// the effective sample size as ESS).
+//
 // The service is fully observable (DESIGN.md §13): /metrics exports latency
 // summaries (p50/p90/p99/max) for job queue wait, shard duration, sweep
 // point duration, stream detection latency and per-endpoint request

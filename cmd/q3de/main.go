@@ -8,8 +8,8 @@
 //	q3de sweep -scenario memory|dual|stream -base JSON -axis name=v1,v2,... [flags]
 //	q3de sweep -list
 //
-// Experiments: fig3, fig7, fig8, fig9, fig10, table3, table4, headline,
-// ablation, correlation, threshold, stream, all. The sweep verb runs an
+// Experiments: fig3, fig3-adaptive, fig7, fig8, fig9, fig10, table3, table4,
+// headline, ablation, correlation, threshold, stream, all. The sweep verb runs an
 // ad-hoc declarative parameter grid through the same engine machinery the
 // canned figures use (engine kind "sweep").
 package main
@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 20220101, "base RNG seed")
 	workers := flag.Int("workers", 0, "Monte-Carlo workers (0 = all cores)")
 	decoder := flag.String("decoder", "greedy", "memory-experiment decoder: greedy, mwpm or union-find")
+	targetRSE := flag.Float64("target-rse", 0, "adaptive stopping: run each memory point until the CI relative half-width reaches this (0 = fixed budgets)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -61,6 +62,10 @@ func main() {
 		fatalf("%v", err)
 	}
 	opts.Decoder = kind
+	if *targetRSE < 0 || *targetRSE >= 1 {
+		fatalf("-target-rse must lie in [0, 1), got %g", *targetRSE)
+	}
+	opts.TargetRSE = *targetRSE
 
 	// The batch CLI runs through the same execution engine as the serving
 	// path (cmd/q3de-serve): seed-sharded chunks on a bounded pool with the
@@ -252,6 +257,9 @@ usage: q3de [flags] <experiment>
 
 experiments:
   fig3      logical error rates with/without an MBBE (paper Fig. 3)
+  fig3-adaptive  Fig. 3 curves under sequential stopping: each point runs
+            until its CI is tight enough, with shots-used accounting
+            (DESIGN.md §17)
   fig7      anomaly detection window, latency, position error (Fig. 7)
   fig8      decoder re-execution: rates and distance reduction (Fig. 8)
   fig9      chip area vs qubit density scalability (Fig. 9)

@@ -1,0 +1,109 @@
+// Sampling-strategies matrix: the same sub-threshold memory points run under
+// the fixed paper-scale budget, under sequential stopping, and (where a tilt
+// is declared) under importance sampling — shared by the perf-trajectory
+// recorder (cmd/q3de-bench, BENCH_sampling.json) and the acceptance test
+// (sampling_test.go), so the committed shots-to-CI record measures exactly
+// the configurations the tests pin. Every strategy is seeded and
+// deterministic, so the recorded shots/estimates (unlike ns/op timings) are
+// reproducible bit for bit.
+package benchmatrix
+
+import (
+	"q3de/internal/sim"
+)
+
+// SamplingCase is one committed point of the sampling benchmark: one
+// sub-threshold memory configuration evaluated by each estimation strategy.
+type SamplingCase struct {
+	// Name labels the case in BENCH_sampling.json.
+	Name string
+	// Base is the fixed-budget declaration (the baseline the paper-scale
+	// evaluation would run): MaxShots is the full budget, no stopping rule.
+	Base sim.MemoryConfig
+	// TargetRSE is the relative CI half-width the adaptive strategies stop
+	// at. The fixed baseline over-samples past it; the ratio of the two shot
+	// counts is the recorded saving.
+	TargetRSE float64
+	// TiltP, when positive, adds an importance-sampled strategy drawing
+	// errors at this inflated rate with likelihood-ratio reweighting.
+	TiltP float64
+}
+
+// SamplingCases returns the committed matrix. The first case is the
+// acceptance point: deep enough below threshold that the fixed budget wastes
+// most of its shots, so sequential stopping at a 10% relative half-width
+// retires it with well over 10x fewer shots.
+func SamplingCases() []SamplingCase {
+	return []SamplingCase{
+		{
+			Name:      "subthreshold-d5-p0.02",
+			Base:      sim.MemoryConfig{D: 5, P: 0.02, Decoder: sim.DecoderGreedy, MaxShots: 100000, Seed: 20220101},
+			TargetRSE: 0.1,
+		},
+		{
+			// Rare enough (per-shot failure ~2e-3) that sequential stopping
+			// alone still needs ~220k shots: the 3x tilt concentrates the
+			// draw on failing configurations and retires the same target in
+			// ~50k, the importance-sampling row's recorded gain.
+			Name:      "rare-event-d5-p0.002",
+			Base:      sim.MemoryConfig{D: 5, P: 0.002, Decoder: sim.DecoderGreedy, MaxShots: 2000000, Seed: 20220101},
+			TargetRSE: 0.1,
+			TiltP:     0.006,
+		},
+	}
+}
+
+// SamplingStrategyResult is one strategy's record on one case.
+type SamplingStrategyResult struct {
+	Strategy     string  `json:"strategy"` // fixed, adaptive or importance
+	Shots        int64   `json:"shots"`
+	Failures     int64   `json:"failures"`
+	PL           float64 `json:"pl"`
+	PLLo         float64 `json:"pl_lo"`
+	PLHi         float64 `json:"pl_hi"`
+	ESS          float64 `json:"ess"`
+	RelHalfWidth float64 `json:"rel_half_width"`
+	// ShotsVsFixed is the fixed baseline's shot count over this strategy's —
+	// the headline saving (present on the non-fixed rows).
+	ShotsVsFixed float64 `json:"shots_vs_fixed,omitempty"`
+}
+
+// RunSamplingCase evaluates every strategy of one case: the fixed baseline,
+// sequential stopping at the case target, and (when TiltP is set) importance
+// sampling under the same stopping rule.
+func RunSamplingCase(c SamplingCase) []SamplingStrategyResult {
+	fixed := sim.RunMemory(c.Base)
+	out := []SamplingStrategyResult{strategyResult("fixed", fixed, 0)}
+
+	adaptCfg := c.Base
+	adaptCfg.TargetRSE = c.TargetRSE
+	adapt := sim.RunMemory(adaptCfg)
+	out = append(out, strategyResult("adaptive", adapt, fixed.Shots))
+
+	if c.TiltP > 0 {
+		isCfg := adaptCfg
+		isCfg.TiltP = c.TiltP
+		is := sim.RunMemory(isCfg)
+		out = append(out, strategyResult("importance", is, fixed.Shots))
+	}
+	return out
+}
+
+func strategyResult(name string, res sim.MemoryResult, fixedShots int64) SamplingStrategyResult {
+	r := SamplingStrategyResult{
+		Strategy: name,
+		Shots:    res.Shots,
+		Failures: res.Failures,
+		PL:       res.PL,
+		PLLo:     res.PLLo,
+		PLHi:     res.PLHi,
+		ESS:      res.ESS,
+	}
+	if res.PL > 0 {
+		r.RelHalfWidth = (res.PLHi - res.PLLo) / 2 / res.PL
+	}
+	if fixedShots > 0 && res.Shots > 0 {
+		r.ShotsVsFixed = float64(fixedShots) / float64(res.Shots)
+	}
+	return r
+}

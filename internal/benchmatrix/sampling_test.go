@@ -1,0 +1,103 @@
+package benchmatrix
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestSamplingAcceptance pins the PR's headline criterion on the committed
+// acceptance point: sequential stopping must retire the sub-threshold case
+// within its CI target using at least 10x fewer shots than the fixed
+// paper-scale budget, while both estimates agree (overlapping intervals).
+func TestSamplingAcceptance(t *testing.T) {
+	c := SamplingCases()[0]
+	rows := RunSamplingCase(c)
+	if len(rows) != 2 {
+		t.Fatalf("got %d strategy rows, want 2 (fixed, adaptive)", len(rows))
+	}
+	fixed, adapt := rows[0], rows[1]
+	t.Logf("fixed: %d shots, pl=%g [%g,%g] rhw=%.4f", fixed.Shots, fixed.PL, fixed.PLLo, fixed.PLHi, fixed.RelHalfWidth)
+	t.Logf("adaptive: %d shots, pl=%g [%g,%g] rhw=%.4f, %.1fx vs fixed", adapt.Shots, adapt.PL, adapt.PLLo, adapt.PLHi, adapt.RelHalfWidth, adapt.ShotsVsFixed)
+
+	// The stopping rule fires on the per-shot interval; the recorded width is
+	// per-cycle, a nonlinear (if nearly proportional) map, so allow 5% slack.
+	if adapt.RelHalfWidth > c.TargetRSE*1.05 {
+		t.Errorf("adaptive relative half-width %.4f missed the %.2f target", adapt.RelHalfWidth, c.TargetRSE)
+	}
+	if adapt.ShotsVsFixed < 10 {
+		t.Errorf("adaptive used %d shots vs fixed %d: %.1fx saving, want >= 10x",
+			adapt.Shots, fixed.Shots, adapt.ShotsVsFixed)
+	}
+	if adapt.PLLo > fixed.PLHi || fixed.PLLo > adapt.PLHi {
+		t.Errorf("adaptive CI [%g,%g] does not overlap fixed CI [%g,%g]",
+			adapt.PLLo, adapt.PLHi, fixed.PLLo, fixed.PLHi)
+	}
+}
+
+// TestSamplingRecordCommitted validates the committed BENCH_sampling.json:
+// the acceptance case's rows must match a fresh run bit for bit (every
+// strategy is seeded, so unlike ns/op timings the record is reproducible),
+// and the rare-event case's committed rows must show the importance-sampled
+// estimate agreeing with the direct one with a real ESS. The expensive
+// rare-event case is not re-run here; cmd/q3de-bench regenerates it.
+func TestSamplingRecordCommitted(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_sampling.json")
+	if err != nil {
+		t.Fatalf("read committed record (regenerate with `go run ./cmd/q3de-bench`): %v", err)
+	}
+	var file struct {
+		Cases []struct {
+			Name      string                   `json:"name"`
+			TargetRSE float64                  `json:"target_rse"`
+			Results   []SamplingStrategyResult `json:"results"`
+		} `json:"cases"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("decode BENCH_sampling.json: %v", err)
+	}
+	cases := SamplingCases()
+	if len(file.Cases) != len(cases) {
+		t.Fatalf("committed record has %d cases, matrix has %d", len(file.Cases), len(cases))
+	}
+
+	// Acceptance case: fresh run must equal the committed rows exactly.
+	got := RunSamplingCase(cases[0])
+	want := file.Cases[0].Results
+	if len(got) != len(want) {
+		t.Fatalf("case %s: %d rows, committed %d", cases[0].Name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("case %s row %s drifted from committed record:\n got %+v\nwant %+v",
+				cases[0].Name, got[i].Strategy, got[i], want[i])
+		}
+	}
+
+	// Rare-event case: the committed record itself must witness IS validity.
+	re := file.Cases[1]
+	byName := map[string]SamplingStrategyResult{}
+	for _, r := range re.Results {
+		byName[r.Strategy] = r
+	}
+	direct, adapt, is := byName["fixed"], byName["adaptive"], byName["importance"]
+	if is.Strategy == "" || direct.Strategy == "" || adapt.Strategy == "" {
+		t.Fatalf("case %s missing fixed/adaptive/importance rows: %+v", re.Name, re.Results)
+	}
+	if is.PLLo > direct.PLHi || direct.PLLo > is.PLHi {
+		t.Errorf("committed importance CI [%g,%g] does not overlap direct CI [%g,%g]",
+			is.PLLo, is.PLHi, direct.PLLo, direct.PLHi)
+	}
+	if !(is.ESS > 0 && is.ESS < float64(is.Shots)) {
+		t.Errorf("committed importance ESS %g not in (0, %d)", is.ESS, is.Shots)
+	}
+	if is.ShotsVsFixed < 10 {
+		t.Errorf("committed importance run used %d shots vs fixed %d: %.1fx, want >= 10x",
+			is.Shots, direct.Shots, is.ShotsVsFixed)
+	}
+	// The tilt must buy something over plain sequential stopping — that is
+	// the reason the importance strategy exists.
+	if is.Shots >= adapt.Shots {
+		t.Errorf("committed importance run (%d shots) did not beat plain adaptive (%d shots)", is.Shots, adapt.Shots)
+	}
+}

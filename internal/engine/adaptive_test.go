@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"q3de/internal/faultinject"
+	"q3de/internal/sim"
+)
+
+// adaptiveSweepSpec is the adaptive-sampling workload: a small d grid with a
+// sequential-stopping target, one column of which also runs importance-
+// sampled (tilt_p > 0), so a single sweep exercises the Wilson and the
+// weighted stopping rule plus the weighted journal round-trip.
+func adaptiveSweepSpec() JobSpec {
+	return JobSpec{Kind: KindSweep, Sweep: &SweepSpec{
+		Scenario: KindMemory,
+		Base:     json.RawMessage(`{"p":0.03,"max_shots":200000,"target_rse":0.15,"seed":7}`),
+		Axes: []AxisSpec{
+			{Name: "d", Values: []any{3.0, 5.0}},
+			{Name: "tilt_p", Values: []any{0.0, 0.06}},
+		},
+	}}
+}
+
+// TestAdaptiveSweepSmoke is the CI -race smoke step (named in
+// .github/workflows/ci.yml): an adaptive sweep must actually stop early on
+// every point, bank the saved shots in the metrics, and replay bit-identical
+// from the point cache on re-submission.
+func TestAdaptiveSweepSmoke(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	result := runToDone(t, e, adaptiveSweepSpec())
+	res, ok := result.(SweepJobResult)
+	if !ok {
+		t.Fatalf("result type %T, want SweepJobResult", result)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		mr, ok := pt.Result.(sim.MemoryResult)
+		if !ok {
+			t.Fatalf("point %v result type %T, want sim.MemoryResult", pt.Params, pt.Result)
+		}
+		if mr.Shots >= mr.Config.MaxShots {
+			t.Errorf("point %v ran the full %d-shot budget: adaptive stop never fired", pt.Params, mr.Shots)
+		}
+		if !(mr.PLLo <= mr.PL && mr.PL <= mr.PLHi) {
+			t.Errorf("point %v bounds [%v, %v] do not bracket pl=%v", pt.Params, mr.PLLo, mr.PLHi, mr.PL)
+		}
+		if mr.Config.TiltP > 0 && mr.ESS >= float64(mr.Shots) {
+			t.Errorf("tilted point %v reports ESS %v >= shots %d", pt.Params, mr.ESS, mr.Shots)
+		}
+	}
+	snap := e.Metrics()
+	if snap.SweepShots <= 0 {
+		t.Error("sweep_shots_total not incremented")
+	}
+	if snap.SweepShotsSaved <= 0 {
+		t.Error("sweep_shots_saved_total not incremented despite early stops")
+	}
+	if snap.SweepEffectiveSampleSize <= 0 {
+		t.Error("sweep_effective_sample_size gauge not set")
+	}
+
+	// Cached replay: the same sweep must be served from the point cache,
+	// bit-identical.
+	first := normalizeSweepJSON(t, result)
+	second := runToDone(t, e, adaptiveSweepSpec())
+	if got := normalizeSweepJSON(t, second); string(got) != string(first) {
+		t.Fatalf("cached adaptive replay diverged:\n%s\nvs\n%s", got, first)
+	}
+	res2 := second.(SweepJobResult)
+	if res2.CacheHits != len(res2.Points) {
+		t.Errorf("replay served %d/%d points from cache", res2.CacheHits, len(res2.Points))
+	}
+}
+
+// TestAdaptiveEngineMatchesSim pins the CLI-vs-HTTP guarantee for adaptive
+// and tilted runs: the engine's pooled executor and sim's local pool must
+// retain the identical stopped prefix and produce bit-identical estimates.
+func TestAdaptiveEngineMatchesSim(t *testing.T) {
+	for _, cfg := range []sim.MemoryConfig{
+		{D: 5, P: 0.03, MaxShots: 200000, TargetRSE: 0.12, Seed: 21},
+		{D: 5, P: 0.008, MaxShots: 30000, TiltP: 0.03, Seed: 22},
+		{D: 3, P: 0.03, MaxShots: 200000, TargetRSE: 0.12, TiltP: 0.06, Seed: 23},
+	} {
+		e := New(Config{Workers: 3})
+		got, err := e.RunMemory(context.Background(), cfg)
+		e.Close()
+		if err != nil {
+			t.Fatalf("engine run: %v", err)
+		}
+		want := sim.RunMemory(cfg)
+		if got.Shots != want.Shots || got.Failures != want.Failures ||
+			got.PL != want.PL || got.PLLo != want.PLLo || got.PLHi != want.PLHi || got.ESS != want.ESS {
+			t.Errorf("cfg %+v: engine %d/%d pl=%v [%v,%v] ess=%v != sim %d/%d pl=%v [%v,%v] ess=%v",
+				cfg, got.Failures, got.Shots, got.PL, got.PLLo, got.PLHi, got.ESS,
+				want.Failures, want.Shots, want.PL, want.PLLo, want.PLHi, want.ESS)
+		}
+	}
+}
+
+// TestAdaptiveCrashRecoveryProperty extends the PR-8 crash-resume property to
+// adaptive sampling: kill the journal at arbitrary offsets, restart, and the
+// completed adaptive sweep (weighted sums included) must equal the
+// uninterrupted golden bit for bit.
+func TestAdaptiveCrashRecoveryProperty(t *testing.T) {
+	golden := func() []byte {
+		e := New(Config{Workers: 2})
+		defer e.Close()
+		return normalizeSweepJSON(t, runToDone(t, e, adaptiveSweepSpec()))
+	}()
+
+	refDir := t.TempDir()
+	e := New(Config{Workers: 2, Journal: openTestJournal(t, refDir, nil)})
+	runToDone(t, e, adaptiveSweepSpec())
+	e.Close()
+	whole := readJournalBytes(t, refDir)
+	segName := filepath.Base(func() string {
+		names, _ := filepath.Glob(filepath.Join(refDir, "*.wal"))
+		return names[0]
+	}())
+
+	offsets := faultinject.Offsets(99, 6, int64(len(whole)))
+	offsets = append(offsets, 0, int64(len(whole)))
+	for _, off := range offsets {
+		off := off
+		t.Run(fmt.Sprintf("offset=%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, segName), whole[:off], 0o644); err != nil {
+				t.Fatalf("write truncated journal: %v", err)
+			}
+			e := New(Config{Workers: 2, Journal: openTestJournal(t, dir, nil)})
+			defer e.Close()
+			resumed, err := e.Recover()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			var result any
+			switch resumed {
+			case 0:
+				result = runToDone(t, e, adaptiveSweepSpec())
+			case 1:
+				job, ok := e.Job("job-000001")
+				if !ok {
+					t.Fatal("resumed job not in registry")
+				}
+				waitJob(t, job)
+				if s := job.State(); s != StateDone {
+					t.Fatalf("resumed job finished %s (err %q), want done", s, job.Err())
+				}
+				result, _ = job.Result()
+			default:
+				t.Fatalf("resumed %d jobs, want 0 or 1", resumed)
+			}
+			if got := normalizeSweepJSON(t, result); string(got) != string(golden) {
+				t.Fatalf("crash at offset %d diverged from golden:\n%s\nvs\n%s", off, got, golden)
+			}
+		})
+	}
+}
+
+// TestMemorySpecAdaptiveValidation pins the serving-edge bounds of the new
+// spec fields.
+func TestMemorySpecAdaptiveValidation(t *testing.T) {
+	base := MemorySpec{D: 3, P: 0.01}
+	for _, tc := range []struct {
+		name string
+		mut  func(*MemorySpec)
+		ok   bool
+	}{
+		{"zero is fixed-budget", func(m *MemorySpec) {}, true},
+		{"valid target_rse", func(m *MemorySpec) { m.TargetRSE = 0.1 }, true},
+		{"valid tilt_p", func(m *MemorySpec) { m.TiltP = 0.05 }, true},
+		{"negative target_rse", func(m *MemorySpec) { m.TargetRSE = -0.1 }, false},
+		{"target_rse at 1", func(m *MemorySpec) { m.TargetRSE = 1 }, false},
+		{"negative tilt_p", func(m *MemorySpec) { m.TiltP = -0.01 }, false},
+		{"tilt_p at 1", func(m *MemorySpec) { m.TiltP = 1 }, false},
+	} {
+		spec := base
+		tc.mut(&spec)
+		_, err := spec.Config()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"q3de/internal/faultinject"
 	"q3de/internal/obs"
+	"q3de/internal/sample"
 	"q3de/internal/sim"
 	"q3de/internal/store"
 )
@@ -354,7 +355,9 @@ func (e *Engine) runMemory(ctx context.Context, cfg sim.MemoryConfig) (sim.Memor
 	if err != nil {
 		return sim.MemoryResult{}, err
 	}
-	return sim.AggregateShards(cfg, results), nil
+	res := sim.AggregateShards(cfg, results)
+	e.metrics.observeSampling(res)
+	return res, nil
 }
 
 // runStream resolves the stream scenario (running the calibration pass if
@@ -414,6 +417,13 @@ func (e *Engine) runShards(ctx context.Context, wsCfg sim.MemoryConfig, sc sim.S
 
 	runners := sync.Pool{New: func() any { return sc.NewShotRunner(ws) }}
 
+	// The adaptive tracker mirrors the MaxFailures early stop: shards report
+	// their counts as they land (executed or journal-restored, in whatever
+	// order), the tracker folds the contiguous prefix, and the feed loop stops
+	// claiming once the CI-width rule fires. In-flight shards may overshoot;
+	// aggregation re-derives the exact stop prefix deterministically.
+	tracker := sample.NewTracker(plan.Adapt)
+
 	var (
 		taskWG   sync.WaitGroup
 		mu       sync.Mutex
@@ -428,6 +438,9 @@ feed:
 		if plan.MaxFailures > 0 && failures.Load() >= plan.MaxFailures {
 			break
 		}
+		if tracker.Stopped() {
+			break
+		}
 		if panicErr.Load() != nil {
 			break
 		}
@@ -438,6 +451,7 @@ feed:
 		// resumed engine must not report phantom throughput.
 		if r, ok := e.resume.take(ckptKey, i); ok {
 			failures.Add(r.Failures)
+			tracker.Observe(i, r.Counts())
 			if job != nil {
 				job.observeShard(r)
 			}
@@ -468,6 +482,7 @@ feed:
 				r, start, err = e.execShard(plan, i, sc, &runners)
 			}
 			failures.Add(r.Failures)
+			tracker.Observe(i, r.Counts())
 			shardDur.Record(r.DecodeNs)
 			e.metrics.observeShard(r, stream)
 			if job != nil {

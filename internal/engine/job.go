@@ -91,6 +91,12 @@ type MemorySpec struct {
 	MaxShots    int64    `json:"max_shots,omitempty"`
 	MaxFailures int64    `json:"max_failures,omitempty"`
 	Seed        uint64   `json:"seed,omitempty"`
+	// TargetRSE enables adaptive sequential stopping: run until the CI on the
+	// failure rate has relative half-width at most this, capped by max_shots.
+	TargetRSE float64 `json:"target_rse,omitempty"`
+	// TiltP importance-samples normal edges at this rate (> p) with exact
+	// likelihood-ratio weighting, for deep sub-threshold points.
+	TiltP float64 `json:"tilt_p,omitempty"`
 }
 
 // validateSampling checks the submission bounds shared by every scenario
@@ -127,10 +133,17 @@ func (m *MemorySpec) Config() (sim.MemoryConfig, error) {
 	if err != nil {
 		return cfg, err
 	}
+	if m.TargetRSE < 0 || m.TargetRSE >= 1 {
+		return cfg, fmt.Errorf("target_rse must lie in [0, 1), got %g", m.TargetRSE)
+	}
+	if m.TiltP < 0 || m.TiltP >= 1 {
+		return cfg, fmt.Errorf("tilt_p must lie in [0, 1), got %g", m.TiltP)
+	}
 	cfg = sim.MemoryConfig{
 		D: m.D, Rounds: m.Rounds, P: m.P,
 		Pano: m.PAno, Decoder: kind, Aware: m.Aware,
 		MaxShots: m.MaxShots, MaxFailures: m.MaxFailures, Seed: m.Seed,
+		TargetRSE: m.TargetRSE, TiltP: m.TiltP,
 	}
 	switch {
 	case m.Box != nil:

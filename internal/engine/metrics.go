@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,14 @@ type metrics struct {
 	// subset served from the point-result cache.
 	sweepPoints         atomic.Int64
 	sweepPointCacheHits atomic.Int64
+
+	// Adaptive-sampling counters: shots retained by finished memory points,
+	// shots the sequential stopping rule saved relative to each point's fixed
+	// MaxShots budget, and (as float bits) the most recent point's effective
+	// sample size.
+	sweepShots      atomic.Int64
+	sweepShotsSaved atomic.Int64
+	sweepESSBits    atomic.Uint64
 
 	// Robustness counters (DESIGN.md §15): shard/job re-executions after
 	// panics, poison jobs quarantined, jobs refused by admission control,
@@ -78,6 +87,21 @@ func (m *metrics) observeShard(r sim.ShardResult, stream bool) {
 	}
 }
 
+// observeSampling folds one finished memory point into the adaptive-sampling
+// counters. ShotsSaved compares the retained prefix against the point's fixed
+// budget, so fixed-budget points contribute zero and adaptive (or
+// MaxFailures-truncated) points contribute exactly what sequential stopping
+// avoided executing.
+func (m *metrics) observeSampling(res sim.MemoryResult) {
+	m.sweepShots.Add(res.Shots)
+	if budget := res.Config.Plan().MaxShots; res.Config.TargetRSE > 0 && budget > res.Shots {
+		m.sweepShotsSaved.Add(budget - res.Shots)
+	}
+	if res.ESS > 0 {
+		m.sweepESSBits.Store(math.Float64bits(res.ESS))
+	}
+}
+
 // MetricsSnapshot is the wire form of the engine counters.
 type MetricsSnapshot struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
@@ -116,6 +140,14 @@ type MetricsSnapshot struct {
 	SweepPoints         int64 `json:"sweep_points"`
 	SweepPointCacheHits int64 `json:"sweep_point_cache_hits"`
 	PointCacheEntries   int64 `json:"point_cache_entries"`
+
+	// Adaptive-sampling counters: shots retained by finished memory points,
+	// shots the sequential stopping rule saved against fixed budgets, and the
+	// most recent point's effective sample size (equals its shot count for
+	// direct Monte-Carlo; degrades below it under importance sampling).
+	SweepShots               int64   `json:"sweep_shots"`
+	SweepShotsSaved          int64   `json:"sweep_shots_saved"`
+	SweepEffectiveSampleSize float64 `json:"sweep_effective_sample_size"`
 
 	// Robustness counters: bounded-retry re-executions (shard-level and
 	// whole-job), poison jobs quarantined after exhausting their attempts,
@@ -203,6 +235,10 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		SweepPointCacheHits: e.metrics.sweepPointCacheHits.Load(),
 		PointCacheEntries:   int64(e.points.len()),
 
+		SweepShots:               e.metrics.sweepShots.Load(),
+		SweepShotsSaved:          e.metrics.sweepShotsSaved.Load(),
+		SweepEffectiveSampleSize: math.Float64frombits(e.metrics.sweepESSBits.Load()),
+
 		ShardRetries:    e.metrics.shardRetries.Load(),
 		JobRetries:      e.metrics.jobRetries.Load(),
 		JobsQuarantined: e.metrics.jobsQuarantined.Load(),
@@ -274,6 +310,9 @@ func (s MetricsSnapshot) WriteProm(w io.Writer) {
 	counter("sweep_points_total", s.SweepPoints, "Sweep grid points completed (point-cache hits included).")
 	counter("sweep_point_cache_hits_total", s.SweepPointCacheHits, "Sweep grid points served from the point-result cache.")
 	gauge("sweep_point_cache_entries", float64(s.PointCacheEntries), "Cached sweep point results.")
+	counter("sweep_shots_total", s.SweepShots, "Shots retained by finished memory points (adaptive prefixes included).")
+	counter("sweep_shots_saved_total", s.SweepShotsSaved, "Shots the sequential stopping rule saved against fixed per-point budgets.")
+	gauge("sweep_effective_sample_size", s.SweepEffectiveSampleSize, "Effective sample size of the most recent memory point (Kish's (sum w)^2/sum w^2 under importance sampling).")
 	counter("stream_shots_total", s.StreamShots, "Shots streamed through the Q3DE controller (kind \"stream\").")
 	counter("stream_rollbacks_total", s.StreamRollbacks, "Rollback re-decodes triggered by MBBE detections.")
 	counter("stream_rollbacks_aborted_total", s.StreamRollbacksAborted, "Rollbacks aborted because the host CPU had consumed a result.")

@@ -243,6 +243,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"q3de_http_requests_total",
 		"q3de_decode_tier_total",
 		"q3de_decode_escalation_ratio",
+		"q3de_sweep_shots_total",
+		"q3de_sweep_shots_saved_total",
+		"q3de_sweep_effective_sample_size",
 	} {
 		if !sampled[want] {
 			t.Errorf("expected family %s to have samples", want)

@@ -90,6 +90,13 @@ type Options struct {
 	Workers int
 	Decoder sim.DecoderKind // decoder for the memory experiments
 
+	// TargetRSE, when positive, runs every memory point adaptively: shards
+	// execute until the CI on the failure rate has relative half-width at
+	// most this, capped by the budget's MaxShots. Points that set their own
+	// TargetRSE keep it. 0 (the default) keeps the fixed budgets, so all
+	// existing experiment outputs are unchanged.
+	TargetRSE float64
+
 	// Engine executes the Monte-Carlo work. When nil a process-wide shared
 	// engine is used, so consecutive experiments reuse cached workspaces.
 	Engine *engine.Engine
@@ -137,6 +144,7 @@ func (o Options) ctx() context.Context {
 // Cancellation propagates as a panic that the engine's job runner converts
 // back into a cancelled job.
 func (o Options) runMemory(cfg sim.MemoryConfig) sim.MemoryResult {
+	cfg = o.applySampling(cfg)
 	// An explicit worker bound without an explicit engine runs direct: the
 	// shared default engine is sized at GOMAXPROCS and cannot honor it.
 	// Static sharding keeps the estimate identical either way.
@@ -218,16 +226,30 @@ func (o Options) runSweepDirect(sw *sweep.Sweep) *sweep.Result {
 // runShards/workspace-cache machinery and caches its result under the
 // canonical config.
 func (o Options) memorySweep(name string, grid sweep.Grid, cfgOf func(sweep.Point) sim.MemoryConfig, reduce sweep.Reducer) *sweep.Sweep {
+	// The harness-level sampling overlay must be visible to the cache key,
+	// not just execution: an adaptive point and a fixed-budget point of the
+	// same physics are different results and must not share a cache slot.
+	resolve := func(pt sweep.Point) sim.MemoryConfig { return o.applySampling(cfgOf(pt)) }
 	return &sweep.Sweep{
 		Name: name,
 		Kind: engine.KindMemory,
 		Grid: grid,
-		Key:  func(pt sweep.Point) (string, bool) { return engine.MemoryPointKey(cfgOf(pt)) },
+		Key:  func(pt sweep.Point) (string, bool) { return engine.MemoryPointKey(resolve(pt)) },
 		Eval: func(_ context.Context, pt sweep.Point) (any, error) {
-			return o.runMemory(cfgOf(pt)), nil
+			return o.runMemory(resolve(pt)), nil
 		},
 		Reduce: reduce,
 	}
+}
+
+// applySampling overlays the harness-level adaptive budget on a point
+// configuration that does not set its own. Idempotent, and the identity when
+// Options.TargetRSE is zero — fixed-budget experiments are untouched.
+func (o Options) applySampling(cfg sim.MemoryConfig) sim.MemoryConfig {
+	if o.TargetRSE > 0 && cfg.TargetRSE == 0 {
+		cfg.TargetRSE = o.TargetRSE
+	}
+	return cfg
 }
 
 // memOf extracts the memory result of one completed sweep point.

@@ -14,7 +14,7 @@ import (
 // ExperimentNames lists every named experiment of the harness, in the order
 // `q3de all` runs them.
 func ExperimentNames() []string {
-	return []string{"fig3", "fig7", "fig8", "fig9", "fig10",
+	return []string{"fig3", "fig3-adaptive", "fig7", "fig8", "fig9", "fig10",
 		"table3", "table4", "headline", "ablation", "correlation", "threshold",
 		"stream"}
 }
@@ -26,6 +26,9 @@ func RunNamed(w io.Writer, name string, opts Options) error {
 	switch name {
 	case "fig3":
 		RenderFig3(w, RunFig3(DefaultFig3(opts)))
+	case "fig3-adaptive":
+		cfg := DefaultFig3Adaptive(opts)
+		RenderFig3Adaptive(w, cfg, RunFig3Adaptive(cfg))
 	case "fig7":
 		RenderFig7(w, RunFig7(DefaultFig7(opts)))
 	case "fig8":

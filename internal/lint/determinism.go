@@ -25,6 +25,7 @@ var physicsPkgs = []string{
 	"q3de/internal/lattice",
 	"q3de/internal/anomaly",
 	"q3de/internal/deform",
+	"q3de/internal/sample",
 }
 
 func isPhysicsPkg(path string) bool {
@@ -51,7 +52,7 @@ func isPhysicsPkg(path string) bool {
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall clocks, global RNGs, env reads and order-dependent map iteration " +
-		"in the physics packages (q3de/internal/{sim,noise,burst,control,decoder,lattice,anomaly,deform})",
+		"in the physics packages (q3de/internal/{sim,noise,burst,control,decoder,lattice,anomaly,deform,sample})",
 	Run: runDeterminism,
 }
 

@@ -44,6 +44,9 @@ var LayerTable = map[string]PkgPolicy{
 	"q3de/internal/burst":   {AllowInternal: []string{"q3de/internal/lattice", "q3de/internal/stats"}},
 	"q3de/internal/anomaly": {AllowInternal: []string{"q3de/internal/stats"}},
 	"q3de/internal/scaling": {AllowInternal: []string{"q3de/internal/stats"}},
+	// The adaptive-sampling controller is engine-free by construction: it sees
+	// only cumulative counts, never shards or jobs.
+	"q3de/internal/sample": {AllowInternal: []string{"q3de/internal/stats"}},
 
 	// Decoders are engine-free: lattice/decoder-core only, no engine, no obs,
 	// no sim.
@@ -71,7 +74,7 @@ var LayerTable = map[string]PkgPolicy{
 		AllowInternal: []string{
 			"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/decoder/greedy",
 			"q3de/internal/decoder/mwpm", "q3de/internal/decoder/tiered", "q3de/internal/lattice",
-			"q3de/internal/noise", "q3de/internal/stats",
+			"q3de/internal/noise", "q3de/internal/sample", "q3de/internal/stats",
 		},
 		ForbidStd: []string{"net", "net/http"},
 	},
@@ -93,8 +96,8 @@ var LayerTable = map[string]PkgPolicy{
 	"q3de/internal/sweep": {},
 	"q3de/internal/engine": {AllowInternal: []string{
 		"q3de/internal/burst", "q3de/internal/faultinject", "q3de/internal/lattice",
-		"q3de/internal/obs", "q3de/internal/sim", "q3de/internal/store",
-		"q3de/internal/sweep",
+		"q3de/internal/obs", "q3de/internal/sample", "q3de/internal/sim",
+		"q3de/internal/store", "q3de/internal/sweep",
 	}},
 	"q3de/internal/exp": {AllowInternal: []string{
 		"q3de/internal/anomaly", "q3de/internal/burst", "q3de/internal/control",
@@ -107,7 +110,7 @@ var LayerTable = map[string]PkgPolicy{
 	// ---- auxiliary ----
 	"q3de/internal/core":        {AllowInternal: []string{"q3de/internal/control", "q3de/internal/decoder", "q3de/internal/deform", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/sim", "q3de/internal/stats"}},
 	"q3de/internal/viz":         {AllowInternal: []string{"q3de/internal/deform", "q3de/internal/lattice"}},
-	"q3de/internal/benchmatrix": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/greedy", "q3de/internal/decoder/mwpm", "q3de/internal/decoder/tiered", "q3de/internal/decoder/unionfind", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/stats"}},
+	"q3de/internal/benchmatrix": {AllowInternal: []string{"q3de/internal/decoder", "q3de/internal/decoder/greedy", "q3de/internal/decoder/mwpm", "q3de/internal/decoder/tiered", "q3de/internal/decoder/unionfind", "q3de/internal/lattice", "q3de/internal/noise", "q3de/internal/sim", "q3de/internal/stats"}},
 
 	// ---- the lint suite itself ----
 	"q3de/internal/lint":          {AllowInternal: []string{"q3de/internal/lint/analysis"}},

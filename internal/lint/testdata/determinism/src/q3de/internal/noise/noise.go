@@ -1,0 +1,55 @@
+// Package noise is the determinism fixture for the importance-sampling tilt
+// path: tilted draws are physics (their likelihood ratios feed estimates), so
+// the tilting code is bound by the same pure-function-of-config rules as the
+// nominal sampler — randomness only from the caller's seeded generator, no
+// wall clocks, no environment-derived tilt rates.
+package noise
+
+import (
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Tilt mirrors the real package's precomputed likelihood-ratio bookkeeping.
+type Tilt struct {
+	Q                float64
+	logFlip, logKeep float64
+	n                float64
+}
+
+// drawTilted is the sanctioned shape: all randomness flows from the
+// caller-supplied seeded generator, so the tilted stream stays a pure
+// function of (seed, shard) and the exact weight is reproducible.
+func drawTilted(rng *rand.Rand, t Tilt) float64 {
+	flips := 0.0
+	for rng.Float64() < t.Q {
+		flips++
+	}
+	return flips*t.logFlip + (t.n-flips)*t.logKeep
+}
+
+// globalTilt draws the tilted flips from the global source: two runs of the
+// same configuration would disagree on both the sample and its weight.
+func globalTilt(t Tilt) float64 {
+	flips := 0.0
+	for rand.Float64() < t.Q { // want `draws from the global math/rand/v2 source \(rand\.Float64\)`
+		flips++
+	}
+	return flips * t.logFlip
+}
+
+// clockSeededTilt derives the tilt rate from the wall clock — the same bug
+// class as seeding from time.Now, moved into the importance distribution.
+func clockSeededTilt() Tilt {
+	now := time.Now() // want `reads the wall clock \(time\.Now\)`
+	return Tilt{Q: float64(now.Unix()%100) / 1000}
+}
+
+// envTilt reads the tilt rate from the environment instead of the explicit
+// configuration surface.
+func envTilt() Tilt {
+	q, _ := strconv.ParseFloat(os.Getenv("Q3DE_TILT_P"), 64) // want `reads the environment \(os\.Getenv\)`
+	return Tilt{Q: q}
+}

@@ -58,6 +58,12 @@ type Sample struct {
 	// decoder's correction must reproduce this parity, otherwise the shot is
 	// a logical error.
 	CutParity bool
+	// LogWeight is the log likelihood ratio log(P(sample; nominal rates) /
+	// P(sample; sampling rates)) of this draw. Zero for Draw (the sampling
+	// distribution is the nominal one); DrawTilted sets it to the exact ratio
+	// of the tilted normal-group rate, so exp(LogWeight) is the importance
+	// weight that makes weighted averages unbiased under the nominal model.
+	LogWeight float64
 
 	// scratch reused across draws
 	parity  []bool
@@ -67,18 +73,78 @@ type Sample struct {
 // Draw samples a fresh error configuration. The scratch sample may be passed
 // back in to reuse allocations.
 func (m *Model) Draw(rng *rand.Rand, s *Sample) *Sample {
+	s = resetSample(s)
+	s.Flipped = appendFlips(rng, s.Flipped, m.normal, m.P)
+	if m.Box != nil {
+		s.Flipped = appendFlips(rng, s.Flipped, m.anomalous, m.Pano)
+	}
+	m.finishSample(s)
+	return s
+}
+
+// Tilt precomputes the likelihood-ratio bookkeeping for drawing the normal
+// edge group at rate Q instead of the model's P (importance sampling for the
+// deep sub-threshold regime, where failures at the nominal rate are too rare
+// to observe). Build one with Model.NewTilt and pass it to DrawTilted.
+type Tilt struct {
+	Q float64
+	// Per-edge log-likelihood-ratio terms: logFlip for a flipped normal edge,
+	// logKeep for an unflipped one, n the normal-group size. The per-shot
+	// ratio is exact: with F flips in the group,
+	// LogWeight = F·log(P/Q) + (n−F)·log((1−P)/(1−Q)).
+	logFlip, logKeep float64
+	n                float64
+}
+
+// NewTilt builds the tilt for sampling the normal group at rate q. The
+// anomalous group keeps its own rate (the MBBE region is already in the
+// high-rate regime; tilting it would only inflate weight variance).
+func (m *Model) NewTilt(q float64) Tilt {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("noise: tilt q=%v out of (0,1)", q))
+	}
+	if m.P <= 0 {
+		panic("noise: tilting a zero-rate model samples unreachable configurations")
+	}
+	return Tilt{
+		Q:       q,
+		logFlip: math.Log(m.P) - math.Log(q),
+		logKeep: math.Log1p(-m.P) - math.Log1p(-q),
+		n:       float64(len(m.normal)),
+	}
+}
+
+// DrawTilted samples an error configuration with the normal edge group
+// flipped at rate t.Q instead of m.P, leaving the anomalous group at its own
+// rate, and records the exact log likelihood ratio of the draw in
+// s.LogWeight. Consumes randomness only from rng, so tilted shard streams
+// stay a pure function of (seed, shard) like untilted ones.
+func (m *Model) DrawTilted(rng *rand.Rand, s *Sample, t Tilt) *Sample {
+	s = resetSample(s)
+	s.Flipped = appendFlips(rng, s.Flipped, m.normal, t.Q)
+	flips := float64(len(s.Flipped))
+	s.LogWeight = flips*t.logFlip + (t.n-flips)*t.logKeep
+	if m.Box != nil {
+		s.Flipped = appendFlips(rng, s.Flipped, m.anomalous, m.Pano)
+	}
+	m.finishSample(s)
+	return s
+}
+
+// resetSample clears a (possibly reused) sample's per-draw state.
+func resetSample(s *Sample) *Sample {
 	if s == nil {
 		s = &Sample{}
 	}
 	s.Flipped = s.Flipped[:0]
 	s.Defects = s.Defects[:0]
 	s.CutParity = false
+	s.LogWeight = 0
+	return s
+}
 
-	s.Flipped = appendFlips(rng, s.Flipped, m.normal, m.P)
-	if m.Box != nil {
-		s.Flipped = appendFlips(rng, s.Flipped, m.anomalous, m.Pano)
-	}
-
+// finishSample derives defects and the cut parity from the flipped edge set.
+func (m *Model) finishSample(s *Sample) {
 	// Defect parity per node, tracked in a dense scratch buffer so only
 	// touched entries need resetting and the defect order is deterministic.
 	if len(s.parity) < m.L.NumNodes() {
@@ -108,7 +174,6 @@ func (m *Model) Draw(rng *rand.Rand, s *Sample) *Sample {
 	// slices.Sort rather than sort.Slice: same order, but no per-draw
 	// comparator closure — the last allocation on the sampling hot path.
 	slices.Sort(s.Defects)
-	return s
 }
 
 // appendFlips flips each edge in group with probability p using geometric

@@ -1,0 +1,202 @@
+// Package sample implements adaptive shot budgets for the Monte-Carlo
+// machinery: a sequential stopping rule that ends a run once the confidence
+// interval on the estimated failure rate is tight enough, instead of burning
+// a static shots-per-point budget.
+//
+// Determinism contract. The shard machinery guarantees estimates are a pure
+// function of configuration — bit-identical across worker counts, CLI vs
+// HTTP, and fresh vs journal-resumed execution. A CI-based stopping rule is
+// NOT monotone the way the MaxFailures truncation is (more data can widen a
+// relative interval when failures arrive late), so the rule may only ever be
+// evaluated on the longest *contiguous completed prefix* of shard results,
+// folded in shard-index order:
+//
+//   - Tracker buffers out-of-order shard completions and extends the prefix
+//     as gaps fill, evaluating Budget.Done after each prefix extension. The
+//     first prefix length S at which Done holds is therefore a pure function
+//     of the deterministic shard results 0..S — independent of scheduling.
+//   - Executors use Tracker only to stop *claiming* new shards; they may
+//     overshoot S by whatever was already in flight. Aggregation re-derives
+//     the exact stopping index by folding shard results in index order and
+//     truncating at the first prefix where Done holds, so the retained
+//     totals are identical across worker counts and across executors that
+//     overshoot by different amounts.
+//
+// The same Counts carry the weighted sums of importance-sampled runs, so one
+// rule covers both the Wilson (unweighted) and the CLT (weighted) interval.
+package sample
+
+import (
+	"sync"
+
+	"q3de/internal/stats"
+)
+
+// Defaults applied by Budget.withDefaults. MinShots is two shards: a single
+// 512-shot shard estimates rates too coarsely to stop on. MinFailures keeps
+// the rule from stopping on a handful of lucky failures deep sub-threshold,
+// where the Wilson interval is narrow in absolute terms but the estimate is
+// still dominated by Poisson noise.
+const (
+	DefaultConfidence  = 0.95
+	DefaultMinShots    = 1024
+	DefaultMinFailures = 16
+)
+
+// Budget is a sequential stopping rule: keep executing shards until the
+// confidence interval's half-width falls below TargetRSE times the point
+// estimate. The zero value disables adaptive stopping entirely.
+type Budget struct {
+	// TargetRSE is the target relative half-width of the confidence interval
+	// (half-width / point estimate). 0 disables the rule.
+	TargetRSE float64
+	// Confidence is the two-sided CI level; 0 means DefaultConfidence.
+	Confidence float64
+	// MinShots and MinFailures are floors below which the rule never fires;
+	// 0 means the package defaults.
+	MinShots    int64
+	MinFailures int64
+}
+
+// Enabled reports whether the budget carries an active stopping rule.
+func (b Budget) Enabled() bool { return b.TargetRSE > 0 }
+
+func (b Budget) withDefaults() Budget {
+	if b.Confidence <= 0 || b.Confidence >= 1 {
+		b.Confidence = DefaultConfidence
+	}
+	if b.MinShots <= 0 {
+		b.MinShots = DefaultMinShots
+	}
+	if b.MinFailures <= 0 {
+		b.MinFailures = DefaultMinFailures
+	}
+	return b
+}
+
+// Z returns the normal quantile matching the budget's confidence level.
+func (b Budget) Z() float64 {
+	b = b.withDefaults()
+	return stats.NormalQuantile(1 - (1-b.Confidence)/2)
+}
+
+// Counts is the cumulative prefix state the stopping rule reads: raw shot and
+// failure totals, plus the weighted sums of importance-sampled runs (all zero
+// when sampling from the nominal distribution).
+type Counts struct {
+	Shots    int64
+	Failures int64
+	// Weighted sums over the per-shot likelihood-ratio weights w_i and
+	// failure indicators f_i (see stats.WeightedProportion).
+	WSum, W2Sum, WFSum, WF2Sum float64
+}
+
+// Add folds another counts block into c. Callers fold in shard-index order so
+// the float sums are bit-identical across worker counts.
+func (c *Counts) Add(o Counts) {
+	c.Shots += o.Shots
+	c.Failures += o.Failures
+	c.WSum += o.WSum
+	c.W2Sum += o.W2Sum
+	c.WFSum += o.WFSum
+	c.WF2Sum += o.WF2Sum
+}
+
+// Weighted reports whether the counts carry importance-sampling weights.
+func (c Counts) Weighted() bool { return c.W2Sum > 0 }
+
+// Done evaluates the stopping rule on a deterministic prefix's cumulative
+// counts: true once the CI half-width is within TargetRSE of the point
+// estimate. Unweighted runs use the Wilson interval (the right shape for
+// rare-event proportions); weighted runs use the CLT interval of the
+// Horvitz–Thompson estimator. Pure function of its inputs.
+func (b Budget) Done(c Counts) bool {
+	if !b.Enabled() {
+		return false
+	}
+	b = b.withDefaults()
+	if c.Shots < b.MinShots || c.Failures < b.MinFailures {
+		return false
+	}
+	z := b.Z()
+	if c.Weighted() {
+		w := stats.WeightedProportion{Shots: c.Shots, WSum: c.WSum, W2Sum: c.W2Sum, WFSum: c.WFSum, WF2Sum: c.WF2Sum}
+		m := w.Mean()
+		if m <= 0 {
+			return false
+		}
+		return z*w.StdErr() <= b.TargetRSE*m
+	}
+	p := stats.Proportion{Successes: c.Failures, Trials: c.Shots}
+	m := p.Mean()
+	if m <= 0 || m >= 1 {
+		return false
+	}
+	lo, hi := p.Wilson(z)
+	return (hi-lo)/2 <= b.TargetRSE*m
+}
+
+// Tracker folds shard completions into the longest contiguous completed
+// prefix and evaluates the stopping rule on it. Executors call Observe as
+// shards land (in any order) and consult Stopped before claiming the next
+// shard index. Safe for concurrent use.
+type Tracker struct {
+	budget  Budget
+	enabled bool
+
+	mu      sync.Mutex
+	next    int
+	pending map[int]Counts
+	cum     Counts
+	stopped bool
+}
+
+// NewTracker builds a tracker for the budget. A disabled budget yields a
+// tracker whose Observe is a cheap no-op and whose Stopped is always false.
+func NewTracker(b Budget) *Tracker {
+	t := &Tracker{budget: b, enabled: b.Enabled()}
+	if t.enabled {
+		t.pending = make(map[int]Counts)
+	}
+	return t
+}
+
+// Observe records the counts of completed shard index. When the observation
+// extends the contiguous prefix, the rule is re-evaluated at every prefix
+// length it unlocks — so the stop decision lands at the exact same prefix
+// regardless of the order completions arrive in.
+func (t *Tracker) Observe(index int, c Counts) {
+	if !t.enabled {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || index < t.next {
+		return
+	}
+	t.pending[index] = c
+	for {
+		nc, ok := t.pending[t.next]
+		if !ok {
+			return
+		}
+		delete(t.pending, t.next)
+		t.next++
+		t.cum.Add(nc)
+		if t.budget.Done(t.cum) {
+			t.stopped = true
+			t.pending = nil
+			return
+		}
+	}
+}
+
+// Stopped reports whether the contiguous completed prefix satisfies the rule.
+func (t *Tracker) Stopped() bool {
+	if !t.enabled {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stopped
+}

@@ -1,0 +1,132 @@
+package sample
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBudgetDisabled(t *testing.T) {
+	var b Budget
+	if b.Enabled() {
+		t.Fatal("zero budget must be disabled")
+	}
+	if b.Done(Counts{Shots: 1 << 40, Failures: 1 << 30}) {
+		t.Fatal("disabled budget must never stop")
+	}
+}
+
+func TestBudgetFloors(t *testing.T) {
+	b := Budget{TargetRSE: 0.5}
+	// Plenty tight already, but below the shot floor.
+	if b.Done(Counts{Shots: 100, Failures: 50}) {
+		t.Error("rule fired below MinShots")
+	}
+	// Above the shot floor but below the failure floor.
+	if b.Done(Counts{Shots: 100000, Failures: DefaultMinFailures - 1}) {
+		t.Error("rule fired below MinFailures")
+	}
+	if b.Done(Counts{Shots: 100000, Failures: 0}) {
+		t.Error("rule fired with zero failures")
+	}
+}
+
+func TestBudgetDoneConverges(t *testing.T) {
+	// With p ~ 0.1 the relative CI half-width shrinks like 1/sqrt(n·p), so a
+	// loose target fires on modest counts and a tight one needs far more.
+	loose := Budget{TargetRSE: 0.2}
+	if !loose.Done(Counts{Shots: 10000, Failures: 1000}) {
+		t.Error("loose target should stop at n=10000, p=0.1")
+	}
+	tight := Budget{TargetRSE: 0.001}
+	if tight.Done(Counts{Shots: 10000, Failures: 1000}) {
+		t.Error("tight target must not stop at n=10000, p=0.1")
+	}
+	if !tight.Done(Counts{Shots: 4_000_000_000, Failures: 400_000_000}) {
+		t.Error("tight target should stop eventually")
+	}
+}
+
+func TestBudgetDoneWeighted(t *testing.T) {
+	b := Budget{TargetRSE: 0.1}
+	// Uniform weights w=1: the weighted rule should behave like the
+	// unweighted one at the same counts (CLT vs Wilson differ slightly, but
+	// both are far inside the target at these counts).
+	n, f := int64(100000), int64(10000)
+	c := Counts{
+		Shots: n, Failures: f,
+		WSum: float64(n), W2Sum: float64(n),
+		WFSum: float64(f), WF2Sum: float64(f),
+	}
+	if !c.Weighted() {
+		t.Fatal("counts with W2Sum > 0 must report weighted")
+	}
+	if !b.Done(c) {
+		t.Error("weighted rule should stop at n=100000, p=0.1, w=1")
+	}
+	if b.Done(Counts{Shots: n, WSum: float64(n), W2Sum: float64(n)}) {
+		t.Error("weighted rule must not stop on a zero estimate")
+	}
+}
+
+// TestTrackerOrderInvariance is the core determinism property: the stop
+// decision depends only on the shard results, not on the order Observe sees
+// them, because the rule only ever evaluates the contiguous prefix.
+func TestTrackerOrderInvariance(t *testing.T) {
+	b := Budget{TargetRSE: 0.3, MinShots: 512, MinFailures: 4}
+	// Synthetic shard results: rates vary so the stop lands mid-sequence.
+	const shards = 64
+	counts := make([]Counts, shards)
+	rng := rand.New(rand.NewPCG(7, 11))
+	for i := range counts {
+		counts[i] = Counts{Shots: 512, Failures: int64(rng.IntN(40))}
+	}
+	// The canonical stop prefix: fold in index order, stop at the first
+	// prefix where the rule holds.
+	stopPrefix := 0
+	var cum Counts
+	for i := range counts {
+		cum.Add(counts[i])
+		if b.Done(cum) {
+			stopPrefix = i + 1
+			break
+		}
+	}
+	if stopPrefix == 0 || stopPrefix == shards {
+		t.Fatalf("fixture must stop mid-sequence, got prefix %d", stopPrefix)
+	}
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(shards)
+		tr := NewTracker(b)
+		for _, i := range perm {
+			tr.Observe(i, counts[i])
+		}
+		if !tr.Stopped() {
+			t.Fatalf("trial %d: shuffled delivery did not stop", trial)
+		}
+	}
+}
+
+func TestTrackerIgnoresPostStopObservations(t *testing.T) {
+	b := Budget{TargetRSE: 0.5, MinShots: 512, MinFailures: 4}
+	tr := NewTracker(b)
+	tr.Observe(0, Counts{Shots: 512, Failures: 256})
+	if !tr.Stopped() {
+		t.Fatal("expected stop on first shard")
+	}
+	// Overshooting shards must be absorbed without panicking on the nil map.
+	tr.Observe(1, Counts{Shots: 512, Failures: 1})
+	tr.Observe(5, Counts{Shots: 512})
+	if !tr.Stopped() {
+		t.Fatal("stop state must be sticky")
+	}
+}
+
+func TestDisabledTrackerIsNoop(t *testing.T) {
+	tr := NewTracker(Budget{})
+	for i := 0; i < 1000; i++ {
+		tr.Observe(i, Counts{Shots: 512, Failures: 500})
+	}
+	if tr.Stopped() {
+		t.Fatal("disabled tracker must never stop")
+	}
+}

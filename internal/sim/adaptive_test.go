@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestAdaptiveStoppingDeterministicAcrossWorkerCounts is the tentpole
+// determinism property: a sequentially-stopped run retains the exact same
+// shard prefix — hence bit-identical estimates — whatever the worker count,
+// because the stop decision is a pure function of the deterministic
+// shard-result prefix.
+func TestAdaptiveStoppingDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy,
+		MaxShots: 500000, TargetRSE: 0.1, Seed: 42}
+	want := RunMemory(withWorkers(base, 1))
+	if want.Shots >= base.MaxShots {
+		t.Fatalf("adaptive stop never fired: ran the full %d-shot budget", want.Shots)
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := RunMemory(withWorkers(base, w))
+		if got.Shots != want.Shots || got.Failures != want.Failures ||
+			got.PL != want.PL || got.PLLo != want.PLLo || got.PLHi != want.PLHi {
+			t.Errorf("workers=%d: %d/%d pl=%v [%v,%v], want %d/%d pl=%v [%v,%v]",
+				w, got.Failures, got.Shots, got.PL, got.PLLo, got.PLHi,
+				want.Failures, want.Shots, want.PL, want.PLLo, want.PLHi)
+		}
+	}
+}
+
+// TestAdaptiveStoppingMeetsTarget checks the rule actually delivered what it
+// promised: the retained interval has relative half-width at or under the
+// target, and with far fewer shots than the fixed budget.
+func TestAdaptiveStoppingMeetsTarget(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy,
+		MaxShots: 500000, TargetRSE: 0.1, Seed: 42, Workers: 4}
+	res := RunMemory(cfg)
+	if res.Shots >= cfg.MaxShots/10 {
+		t.Errorf("adaptive run used %d shots, want well under 10%% of the %d budget", res.Shots, cfg.MaxShots)
+	}
+	if res.PL <= 0 {
+		t.Fatalf("degenerate estimate: pl=%v", res.PL)
+	}
+	if half := (res.PLHi - res.PLLo) / 2; half > cfg.TargetRSE*res.PL*1.01 {
+		t.Errorf("CI half-width %v exceeds target %v", half, cfg.TargetRSE*res.PL)
+	}
+}
+
+func TestFixedBudgetUnchangedByAdaptiveMachinery(t *testing.T) {
+	// TargetRSE=0 must reproduce the plain fixed-budget path, Wilson bounds
+	// included, and an ESS equal to the shot count.
+	cfg := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy,
+		MaxShots: 6000, Seed: 99, Workers: 1}
+	res := RunMemory(cfg)
+	if res.Shots != cfg.MaxShots { // last shard is short: the budget is exact
+		t.Errorf("fixed budget ran %d shots, want %d", res.Shots, cfg.MaxShots)
+	}
+	if res.ESS != float64(res.Shots) {
+		t.Errorf("unweighted ESS = %v, want %v", res.ESS, res.Shots)
+	}
+	if !(res.PLLo < res.PL && res.PL < res.PLHi) {
+		t.Errorf("Wilson bounds [%v, %v] do not bracket pl=%v", res.PLLo, res.PLHi, res.PL)
+	}
+}
+
+// TestImportanceSamplingAgreesWithDirectMC is the estimator-validation
+// acceptance criterion: at a p where both converge, the tilted estimate and
+// the direct Monte-Carlo estimate must agree within overlapping confidence
+// intervals, and the tilted run must report a degraded but healthy ESS.
+func TestImportanceSamplingAgreesWithDirectMC(t *testing.T) {
+	direct := MemoryConfig{D: 5, P: 0.01, Decoder: DecoderGreedy,
+		MaxShots: 400000, Seed: 7, Workers: 4}
+	tilted := direct
+	tilted.TiltP = 0.03
+	tilted.MaxShots = 100000
+	dres := RunMemory(direct)
+	tres := RunMemory(tilted)
+	if dres.Failures == 0 || tres.Failures == 0 {
+		t.Fatalf("degenerate fixture: direct %d failures, tilted %d", dres.Failures, tres.Failures)
+	}
+	if tres.PLLo > dres.PLHi || dres.PLLo > tres.PLHi {
+		t.Errorf("intervals disjoint: direct [%v, %v] vs tilted [%v, %v]",
+			dres.PLLo, dres.PLHi, tres.PLLo, tres.PLHi)
+	}
+	if tres.ESS <= 0 || tres.ESS >= float64(tres.Shots) {
+		t.Errorf("tilted ESS = %v, want in (0, %d)", tres.ESS, tres.Shots)
+	}
+	if math.Abs(math.Log(tres.PL/dres.PL)) > math.Log(2) {
+		t.Errorf("estimates differ by more than 2x: direct %v vs tilted %v", dres.PL, tres.PL)
+	}
+}
+
+// TestImportanceSamplingDeterministicAcrossWorkerCounts extends the
+// bit-identity guarantee to the weighted sums: float folding happens in
+// shard-index order, so even the weighted CI bounds match exactly.
+func TestImportanceSamplingDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := MemoryConfig{D: 5, P: 0.005, Decoder: DecoderGreedy,
+		MaxShots: 20000, TiltP: 0.02, Seed: 13}
+	want := RunMemory(withWorkers(base, 1))
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := RunMemory(withWorkers(base, w))
+		if got.PL != want.PL || got.PLLo != want.PLLo || got.PLHi != want.PLHi ||
+			got.ESS != want.ESS || got.Shots != want.Shots {
+			t.Errorf("workers=%d: pl=%v [%v,%v] ess=%v, want pl=%v [%v,%v] ess=%v",
+				w, got.PL, got.PLLo, got.PLHi, got.ESS,
+				want.PL, want.PLLo, want.PLHi, want.ESS)
+		}
+	}
+}
+
+// TestAdaptiveAggregationTruncatesAtStopPrefix pins the overshoot semantics:
+// results beyond the prefix where the rule first fires are discarded however
+// many of them an executor produced.
+func TestAdaptiveAggregationTruncatesAtStopPrefix(t *testing.T) {
+	cfg := MemoryConfig{D: 5, P: 0.03, Decoder: DecoderGreedy,
+		MaxShots: 500000, TargetRSE: 0.1, Seed: 42}
+	ws := NewWorkspace(cfg)
+	stopped := RunMemoryOn(ws, cfg, 1)
+	// Execute well past the stop prefix and aggregate: the extra shards must
+	// not change the result.
+	extra := int(stopped.Shots/ShardSize) + 7
+	var shards []ShardResult
+	for i := 0; i < extra; i++ {
+		shards = append(shards, RunShard(ws, cfg, i))
+	}
+	over := AggregateShards(cfg, shards)
+	if over.Shots != stopped.Shots || over.Failures != stopped.Failures || over.PL != stopped.PL {
+		t.Errorf("overshoot aggregate %d/%d pl=%v != stopped run %d/%d pl=%v",
+			over.Failures, over.Shots, over.PL, stopped.Failures, stopped.Shots, stopped.PL)
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime"
 
@@ -82,6 +83,16 @@ type MemoryConfig struct {
 	MaxFailures int64 // stop early after this many failures (0 = no early stop)
 	Seed        uint64
 	Workers     int // 0 = GOMAXPROCS
+
+	// TargetRSE enables adaptive sequential stopping: the run ends once the
+	// confidence interval on the failure rate has relative half-width at most
+	// TargetRSE (see package sample). 0 keeps the fixed MaxShots budget.
+	TargetRSE float64
+	// TiltP, when positive, importance-samples the normal edge group at this
+	// physical rate instead of P, weighting each shot by the exact likelihood
+	// ratio so the estimate stays unbiased for rate P. Pick TiltP > P to make
+	// deep sub-threshold failures observable. 0 disables tilting.
+	TiltP float64
 }
 
 // MemoryResult is the estimate for one data point.
@@ -92,6 +103,15 @@ type MemoryResult struct {
 	PShot    float64 // logical failure probability per shot
 	PL       float64 // logical error rate per cycle
 	StdErr   float64 // standard error of PL
+	// PLLo and PLHi bound PL at the default 95% level: the Wilson interval of
+	// the raw proportion, or the CLT interval of the weighted estimate when
+	// importance sampling was active — so clients can tell a 3-failure
+	// estimate from a 30 000-failure one.
+	PLLo float64
+	PLHi float64
+	// ESS is the effective sample size: Shots for direct Monte-Carlo, Kish's
+	// (Σw)²/Σw² under importance sampling (the health gauge of the tilt).
+	ESS float64
 }
 
 // rounds returns the effective number of noisy rounds.
@@ -165,7 +185,21 @@ type MemoryScenario struct {
 // NewShotRunner implements Scenario: each worker gets its own decoder scratch
 // arena, sample buffer and coordinate buffer.
 func (m MemoryScenario) NewShotRunner(ws *Workspace) ShotRunner {
-	return newMemoryShotRunner(ws, m.Config.NewDecoderOn(ws))
+	return m.newRunner(ws, m.Config.NewDecoderOn(ws))
+}
+
+// newRunner builds the per-worker runner around a caller-supplied decoder.
+// Tilted configurations get the tiltedShotRunner wrapper — only that wrapper
+// satisfies ShotWeighter, so untilted runs never pay weight accumulation.
+func (m MemoryScenario) newRunner(ws *Workspace, dec decoder.Decoder) ShotRunner {
+	r := &memoryShotRunner{model: ws.Model, dec: dec, coords: make([]lattice.Coord, 0, 64)}
+	r.tiers, _ = dec.(decoder.TierReporter)
+	if m.Config.TiltP > 0 {
+		r.tilted = true
+		r.tilt = ws.Model.NewTilt(m.Config.TiltP)
+		return tiltedShotRunner{r}
+	}
+	return r
 }
 
 // memoryShotRunner is the per-worker state of the batch memory scenario.
@@ -175,22 +209,40 @@ type memoryShotRunner struct {
 	tiers  decoder.TierReporter // non-nil when dec reports escalation tiers
 	s      noise.Sample
 	coords []lattice.Coord
+
+	// Importance-sampling state: when tilted, each shot draws from the tilt
+	// distribution and records its likelihood-ratio weight.
+	tilted bool
+	tilt   noise.Tilt
+	weight float64
 }
 
-func newMemoryShotRunner(ws *Workspace, dec decoder.Decoder) *memoryShotRunner {
-	r := &memoryShotRunner{model: ws.Model, dec: dec, coords: make([]lattice.Coord, 0, 64)}
-	r.tiers, _ = dec.(decoder.TierReporter)
-	return r
+// tiltedShotRunner exposes the per-shot importance weight. It exists so that
+// only tilted configurations satisfy ShotWeighter; see MemoryScenario.newRunner.
+type tiltedShotRunner struct{ *memoryShotRunner }
+
+// ShotWeight implements ShotWeighter: the likelihood-ratio weight of the most
+// recent RunShot.
+func (r tiltedShotRunner) ShotWeight() float64 { return r.weight }
+
+// decodeOne draws (tilted or nominal) and decodes one shot.
+func (r *memoryShotRunner) decodeOne(rng *rand.Rand) bool {
+	if !r.tilted {
+		return DecodeShot(r.model, r.dec, rng, &r.s, &r.coords)
+	}
+	r.model.DrawTilted(rng, &r.s, r.tilt)
+	r.weight = math.Exp(r.s.LogWeight)
+	return DecodeDrawn(r.model, r.dec, &r.s, &r.coords)
 }
 
 // RunShot implements ShotRunner.
 func (r *memoryShotRunner) RunShot(rng *rand.Rand) (bool, ShotStats) {
 	var st ShotStats
 	if r.tiers == nil {
-		return DecodeShot(r.model, r.dec, rng, &r.s, &r.coords), st
+		return r.decodeOne(rng), st
 	}
 	before := r.tiers.TierCounts()
-	fail := DecodeShot(r.model, r.dec, rng, &r.s, &r.coords)
+	fail := r.decodeOne(rng)
 	st.addTiers(r.tiers.TierCounts().Sub(before))
 	return fail, st
 }
@@ -218,9 +270,7 @@ func RunMemory(cfg MemoryConfig) MemoryResult {
 func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 	cfg = cfg.withShotDefaults()
 	agg := RunScenarioOn(ws, MemoryScenario{Config: cfg}, cfg.Plan(), workers)
-	res := MemoryResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures}
-	finishMemoryResult(&res, cfg.rounds())
-	return res
+	return finishMemoryResult(cfg, agg)
 }
 
 // DecodeShot draws one error sample and decodes it, returning true on a
@@ -228,6 +278,13 @@ func RunMemoryOn(ws *Workspace, cfg MemoryConfig, workers int) MemoryResult {
 // sample and coordinate buffers are reused across calls.
 func DecodeShot(model *noise.Model, dec decoder.Decoder, rng *rand.Rand, s *noise.Sample, coords *[]lattice.Coord) bool {
 	model.Draw(rng, s)
+	return DecodeDrawn(model, dec, s, coords)
+}
+
+// DecodeDrawn decodes an already-drawn sample (from Draw or DrawTilted),
+// returning true on a logical failure. The coordinate buffer is reused
+// across calls.
+func DecodeDrawn(model *noise.Model, dec decoder.Decoder, s *noise.Sample, coords *[]lattice.Coord) bool {
 	// Empty-syndrome early-out: with no defects every decoder returns the
 	// identity correction (parity false), so the shot fails exactly when the
 	// error itself crossed the cut — skip the coordinate build and the

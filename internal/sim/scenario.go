@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"q3de/internal/decoder"
+	"q3de/internal/sample"
 	"q3de/internal/stats"
 )
 
@@ -44,6 +45,16 @@ type ShotRunner interface {
 	// RunShot draws and decodes one shot from rng, reporting whether it was a
 	// logical failure plus any per-shot counters.
 	RunShot(rng *rand.Rand) (failure bool, stats ShotStats)
+}
+
+// ShotWeighter is an optional ShotRunner extension for importance-sampled
+// scenarios: after every RunShot call, ShotWeight reports the likelihood-
+// ratio weight of that shot (exp of the draw's log weight). The shard loop
+// asserts the interface once per shard and accumulates the weighted sums on
+// ShardResult, so scenarios sampling from the nominal distribution — which
+// simply do not implement the interface — pay nothing.
+type ShotWeighter interface {
+	ShotWeight() float64
 }
 
 // Recorder consumes one observed value; *obs.Histogram satisfies it. The sim
@@ -102,12 +113,18 @@ func (s *ShotStats) addTiers(t decoder.TierCounts) {
 
 // ShardPlan is the sampling plan the shard machinery executes for any
 // scenario: a shot budget split into ShardSize chunks, a base seed the
-// per-shard RNG streams derive from, and an optional early stop applied on
-// the shard-index prefix.
+// per-shard RNG streams derive from, and optional early stops applied on the
+// shard-index prefix (a raw failure budget, and/or the adaptive CI-width rule
+// of sample.Budget).
 type ShardPlan struct {
 	MaxShots    int64 // total shot budget (default 1e5)
 	MaxFailures int64 // stop early after this many failures (0 = no early stop)
 	Seed        uint64
+	// Adapt, when enabled, stops the run once the confidence interval on the
+	// failure rate is tight enough (sequential stopping). Evaluated only on
+	// the contiguous completed shard prefix, so the stopped estimate is
+	// bit-identical across worker counts (see package sample).
+	Adapt sample.Budget
 }
 
 // withDefaults normalises the sampling budget.
@@ -153,6 +170,10 @@ func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 		return res
 	}
 	rng := stats.WorkerRNG(plan.Seed, shard)
+	// Importance-sampled runners expose their per-shot likelihood-ratio
+	// weight; assert once per shard so the common unweighted path stays a
+	// plain nil check in the loop.
+	weighter, _ := runner.(ShotWeighter)
 	// The two wall-clock reads below time the shard loop for DecodeNs, which
 	// is diagnostic-only and explicitly excluded from the determinism
 	// guarantee (see AggregateScenarioShards): no estimate depends on it.
@@ -164,6 +185,15 @@ func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 			res.Failures++
 		}
 		res.Stats.Add(st)
+		if weighter != nil {
+			w := weighter.ShotWeight()
+			res.WSum += w
+			res.W2Sum += w * w
+			if fail {
+				res.WFSum += w
+				res.WF2Sum += w * w
+			}
+		}
 	}
 	//lint:ignore determinism DecodeNs shard timing is diagnostic-only, excluded from the determinism guarantee
 	res.DecodeNs = time.Since(start).Nanoseconds()
@@ -172,12 +202,27 @@ func RunShardWith(plan ShardPlan, shard int, runner ShotRunner) ShardResult {
 
 // ScenarioResult is the aggregated outcome of one scenario sweep: the raw
 // counts the deterministic prefix retained, plus the cumulative decode-loop
-// time of every executed shard (diagnostic only).
+// time of every executed shard (diagnostic only). The weighted sums are zero
+// unless the scenario's runner implements ShotWeighter (importance sampling).
 type ScenarioResult struct {
 	Shots    int64     `json:"shots"`
 	Failures int64     `json:"failures"`
 	Stats    ShotStats `json:"stats"`
 	DecodeNs int64     `json:"decode_ns,omitempty"`
+	// Weighted importance-sampling sums (see stats.WeightedProportion),
+	// folded in shard-index order like the integer counters.
+	WSum   float64 `json:"w_sum,omitempty"`
+	W2Sum  float64 `json:"w2_sum,omitempty"`
+	WFSum  float64 `json:"wf_sum,omitempty"`
+	WF2Sum float64 `json:"wf2_sum,omitempty"`
+}
+
+// Counts projects the result onto the stopping rule's prefix state.
+func (r ScenarioResult) Counts() sample.Counts {
+	return sample.Counts{
+		Shots: r.Shots, Failures: r.Failures,
+		WSum: r.WSum, W2Sum: r.W2Sum, WFSum: r.WFSum, WF2Sum: r.WF2Sum,
+	}
 }
 
 // RunScenarioOn runs the sharded sweep on an existing workspace with a local
@@ -197,6 +242,7 @@ func RunScenarioOn(ws *Workspace, sc Scenario, plan ShardPlan, workers int) Scen
 		workers = shards
 	}
 	var next, failures atomic.Int64
+	tracker := sample.NewTracker(plan.Adapt)
 	results := make([]ShardResult, 0, shards)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -211,8 +257,13 @@ func RunScenarioOn(ws *Workspace, sc Scenario, plan ShardPlan, workers int) Scen
 			for {
 				// Shards are claimed in index order, so when claiming stops
 				// the completed set is a contiguous prefix and aggregation
-				// can truncate deterministically.
+				// can truncate deterministically. Both early stops only gate
+				// *claiming*: in-flight shards may overshoot, and
+				// AggregateScenarioShards re-derives the exact stop prefix.
 				if plan.MaxFailures > 0 && failures.Load() >= plan.MaxFailures {
+					return
+				}
+				if tracker.Stopped() {
 					return
 				}
 				i := int(next.Add(1) - 1)
@@ -221,6 +272,7 @@ func RunScenarioOn(ws *Workspace, sc Scenario, plan ShardPlan, workers int) Scen
 				}
 				r := RunShardWith(plan, i, runner)
 				failures.Add(r.Failures)
+				tracker.Observe(i, r.Counts())
 				mu.Lock()
 				results = append(results, r)
 				mu.Unlock()
@@ -232,10 +284,11 @@ func RunScenarioOn(ws *Workspace, sc Scenario, plan ShardPlan, workers int) Scen
 }
 
 // AggregateScenarioShards folds shard results deterministically: shards are
-// consumed in index order and, when MaxFailures is set, aggregation stops
-// after the first shard at which the cumulative failure count reaches the
-// budget — so the totals are identical even when the executing pool over-ran
-// the early-stop point before all workers noticed it. The slice may arrive in
+// consumed in index order and aggregation stops after the first shard at
+// which an early-stop rule fires — the MaxFailures budget, or the adaptive
+// CI-width rule of plan.Adapt evaluated on the cumulative prefix counts. The
+// totals are therefore identical even when the executing pool over-ran the
+// early-stop point before all workers noticed it. The slice may arrive in
 // any order but must contain a contiguous prefix of shard indices. DecodeNs
 // sums over every executed shard (it is diagnostic and excluded from the
 // determinism guarantee).
@@ -254,7 +307,14 @@ func AggregateScenarioShards(plan ShardPlan, shards []ShardResult) ScenarioResul
 		res.Shots += s.Shots
 		res.Failures += s.Failures
 		res.Stats.Add(s.Stats)
+		res.WSum += s.WSum
+		res.W2Sum += s.W2Sum
+		res.WFSum += s.WFSum
+		res.WF2Sum += s.WF2Sum
 		if plan.MaxFailures > 0 && res.Failures >= plan.MaxFailures {
+			break
+		}
+		if plan.Adapt.Done(res.Counts()) {
 			break
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"q3de/internal/decoder/tiered"
 	"q3de/internal/lattice"
 	"q3de/internal/noise"
+	"q3de/internal/sample"
 	"q3de/internal/stats"
 )
 
@@ -79,7 +80,12 @@ func (c MemoryConfig) withShotDefaults() MemoryConfig {
 // Plan returns the sampling plan the shard machinery executes for this
 // configuration.
 func (c MemoryConfig) Plan() ShardPlan {
-	return ShardPlan{MaxShots: c.MaxShots, MaxFailures: c.MaxFailures, Seed: c.Seed}.withDefaults()
+	return ShardPlan{
+		MaxShots:    c.MaxShots,
+		MaxFailures: c.MaxFailures,
+		Seed:        c.Seed,
+		Adapt:       sample.Budget{TargetRSE: c.TargetRSE},
+	}.withDefaults()
 }
 
 // NumShards returns the shard count for the configuration's shot budget.
@@ -102,6 +108,24 @@ type ShardResult struct {
 	// determinism — the engine surfaces the cumulative value in /metrics so
 	// serving deployments can watch decoder throughput directly).
 	DecodeNs int64 `json:"decode_ns,omitempty"`
+	// Weighted importance-sampling sums over the shard's shots (see
+	// stats.WeightedProportion); all zero — and omitted from journal JSON —
+	// unless the scenario's runner implements ShotWeighter. Old journals
+	// without the fields decode to zeros, i.e. unweighted, which is exactly
+	// what those runs were.
+	WSum   float64 `json:"w_sum,omitempty"`
+	W2Sum  float64 `json:"w2_sum,omitempty"`
+	WFSum  float64 `json:"wf_sum,omitempty"`
+	WF2Sum float64 `json:"wf2_sum,omitempty"`
+}
+
+// Counts projects the shard outcome onto the adaptive stopping rule's prefix
+// state (see package sample).
+func (r ShardResult) Counts() sample.Counts {
+	return sample.Counts{
+		Shots: r.Shots, Failures: r.Failures,
+		WSum: r.WSum, W2Sum: r.W2Sum, WFSum: r.WFSum, WF2Sum: r.WF2Sum,
+	}
 }
 
 // RunShard executes shard i of the configuration on the shared workspace,
@@ -116,7 +140,7 @@ func RunShard(ws *Workspace, cfg MemoryConfig, shard int) ShardResult {
 // allocating; see decoder.Decoder). The decoder must have been built for the
 // workspace's metric/lattice and must not be used concurrently.
 func RunShardOn(ws *Workspace, cfg MemoryConfig, shard int, dec decoder.Decoder) ShardResult {
-	return RunShardWith(cfg.Plan(), shard, newMemoryShotRunner(ws, dec))
+	return RunShardWith(cfg.Plan(), shard, MemoryScenario{Config: cfg}.newRunner(ws, dec))
 }
 
 // AggregateShards folds shard results into a MemoryResult with the
@@ -124,14 +148,37 @@ func RunShardOn(ws *Workspace, cfg MemoryConfig, shard int, dec decoder.Decoder)
 func AggregateShards(cfg MemoryConfig, shards []ShardResult) MemoryResult {
 	cfg = cfg.withShotDefaults()
 	agg := AggregateScenarioShards(cfg.Plan(), shards)
-	res := MemoryResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures}
-	finishMemoryResult(&res, cfg.rounds())
-	return res
+	return finishMemoryResult(cfg, agg)
 }
 
-// finishMemoryResult derives the rate estimates from the raw counts.
-func finishMemoryResult(res *MemoryResult, rounds int) {
-	res.PShot, res.PL, res.StdErr = rateEstimates(res.Failures, res.Shots, rounds)
+// finishMemoryResult derives the rate estimates and confidence bounds from
+// the aggregated counts. Unweighted runs get the Wilson interval of the raw
+// proportion; importance-sampled runs (non-zero weighted sums) get the
+// Horvitz–Thompson estimate with its CLT interval and effective sample size.
+// Every bound is mapped through the per-cycle transform so PLLo/PLHi bracket
+// PL the way clients plot it.
+func finishMemoryResult(cfg MemoryConfig, agg ScenarioResult) MemoryResult {
+	rounds := cfg.rounds()
+	res := MemoryResult{Config: cfg, Shots: agg.Shots, Failures: agg.Failures}
+	z := sample.Budget{}.Z() // default 95% level for the reported bounds
+	var lo, hi float64
+	if agg.W2Sum > 0 {
+		w := stats.WeightedProportion{Shots: agg.Shots, WSum: agg.WSum, W2Sum: agg.W2Sum, WFSum: agg.WFSum, WF2Sum: agg.WF2Sum}
+		res.PShot = w.Mean()
+		res.PL = stats.PerCycleRate(res.PShot, rounds)
+		res.StdErr = perCycleStdErr(w.StdErr(), res.PShot, res.PL, rounds)
+		res.ESS = w.ESS()
+		lo, hi = w.CI(z)
+	} else {
+		res.PShot, res.PL, res.StdErr = rateEstimates(res.Failures, res.Shots, rounds)
+		var prop stats.Proportion
+		prop.Add(res.Failures, res.Shots)
+		lo, hi = prop.Wilson(z)
+		res.ESS = float64(res.Shots)
+	}
+	res.PLLo = stats.PerCycleRate(lo, rounds)
+	res.PLHi = stats.PerCycleRate(hi, rounds)
+	return res
 }
 
 // rateEstimates converts raw failure counts into the per-shot and per-cycle
@@ -142,11 +189,15 @@ func rateEstimates(failures, shots int64, rounds int) (pShot, pL, stdErr float64
 	prop.Add(failures, shots)
 	pShot = prop.Mean()
 	pL = stats.PerCycleRate(pShot, rounds)
+	return pShot, pL, perCycleStdErr(prop.StdErr(), pShot, pL, rounds)
+}
+
+// perCycleStdErr propagates a per-shot standard error through the per-cycle
+// transform via its derivative at the point estimate.
+func perCycleStdErr(se, pShot, pL float64, rounds int) float64 {
 	if pShot > 0 && pShot < 1 {
 		deriv := (1 - pL) / (float64(rounds) * (1 - pShot))
-		stdErr = prop.StdErr() * deriv
-	} else {
-		stdErr = stats.PerCycleRate(prop.StdErr(), rounds)
+		return se * deriv
 	}
-	return pShot, pL, stdErr
+	return stats.PerCycleRate(se, rounds)
 }

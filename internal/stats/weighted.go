@@ -1,0 +1,88 @@
+package stats
+
+import "math"
+
+// WeightedProportion estimates a Bernoulli-type mean from weighted shots
+// (importance sampling): shot i carries a likelihood-ratio weight w_i and a
+// failure indicator f_i ∈ {0, 1}, and the Horvitz–Thompson estimate of the
+// failure probability under the nominal distribution is (1/n)·Σ w_i·f_i.
+// All fields are plain sums accumulated in a deterministic order (the shard
+// machinery sums per shard sequentially and folds shards in index order), so
+// the estimate is bit-identical across worker counts like its unweighted
+// counterpart Proportion.
+type WeightedProportion struct {
+	Shots  int64   // n: total draws, weighted or not
+	WSum   float64 // Σ w_i
+	W2Sum  float64 // Σ w_i²
+	WFSum  float64 // Σ w_i·f_i
+	WF2Sum float64 // Σ (w_i·f_i)²
+}
+
+// Add folds another accumulator into w. Order matters for bit-identity:
+// callers fold in shard-index order.
+func (w *WeightedProportion) Add(o WeightedProportion) {
+	w.Shots += o.Shots
+	w.WSum += o.WSum
+	w.W2Sum += o.W2Sum
+	w.WFSum += o.WFSum
+	w.WF2Sum += o.WF2Sum
+}
+
+// Mean returns the Horvitz–Thompson point estimate (1/n)·Σ w_i·f_i
+// (0 when no draws were recorded).
+func (w WeightedProportion) Mean() float64 {
+	if w.Shots == 0 {
+		return 0
+	}
+	return w.WFSum / float64(w.Shots)
+}
+
+// Variance returns the unbiased sample variance of the per-shot terms w_i·f_i.
+func (w WeightedProportion) Variance() float64 {
+	if w.Shots < 2 {
+		return 0
+	}
+	n := float64(w.Shots)
+	m := w.WFSum / n
+	v := (w.WF2Sum - n*m*m) / (n - 1)
+	if v < 0 {
+		return 0 // guard the cancellation error of near-constant terms
+	}
+	return v
+}
+
+// StdErr returns the standard error of the Horvitz–Thompson mean.
+func (w WeightedProportion) StdErr() float64 {
+	if w.Shots == 0 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.Shots))
+}
+
+// ESS returns Kish's effective sample size (Σw)²/Σw²: the number of unweighted
+// draws carrying the same estimator information as the weighted sample. It
+// degrades toward 0 as the tilt moves the sampling distribution away from the
+// nominal one, which makes it the health gauge of an importance-sampled run.
+func (w WeightedProportion) ESS() float64 {
+	if w.W2Sum <= 0 {
+		return 0
+	}
+	return w.WSum * w.WSum / w.W2Sum
+}
+
+// CI returns the normal-approximation confidence interval mean ± z·StdErr,
+// clamped to [0, 1]. Weighted estimates are not binomial, so the Wilson form
+// does not apply; the CLT interval over the per-shot terms is the standard
+// importance-sampling interval.
+func (w WeightedProportion) CI(z float64) (lo, hi float64) {
+	m := w.Mean()
+	half := z * w.StdErr()
+	lo, hi = m-half, m+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWeightedProportionUniformWeightsMatchProportion(t *testing.T) {
+	// With every weight 1 the weighted estimator must collapse to the plain
+	// proportion: same mean, same binomial-shaped variance, ESS = n.
+	rng := rand.New(rand.NewPCG(1, 2))
+	var w WeightedProportion
+	var p Proportion
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := rng.Float64() < 0.07
+		w.Shots++
+		w.WSum++
+		w.W2Sum++
+		if f {
+			w.WFSum++
+			w.WF2Sum++
+		}
+		if f {
+			p.Add(1, 1)
+		} else {
+			p.Add(0, 1)
+		}
+	}
+	if w.Mean() != p.Mean() {
+		t.Errorf("mean: weighted %v != proportion %v", w.Mean(), p.Mean())
+	}
+	if got := w.ESS(); got != n {
+		t.Errorf("ESS with unit weights = %v, want %v", got, n)
+	}
+	// Binomial SE uses p(1-p)/n; the sample variance differs by n/(n-1).
+	if rel := math.Abs(w.StdErr()-p.StdErr()) / p.StdErr(); rel > 1e-3 {
+		t.Errorf("stderr: weighted %v vs proportion %v (rel %v)", w.StdErr(), p.StdErr(), rel)
+	}
+}
+
+func TestWeightedProportionIsUnbiasedUnderTilt(t *testing.T) {
+	// Single Bernoulli edge: nominal flip rate p, sampled at q with exact
+	// likelihood-ratio weights. The weighted mean of the flip indicator must
+	// recover p within a few standard errors.
+	const pNom, q = 0.01, 0.10
+	rng := rand.New(rand.NewPCG(3, 4))
+	var w WeightedProportion
+	wFlip := pNom / q
+	wKeep := (1 - pNom) / (1 - q)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		flip := rng.Float64() < q
+		wt := wKeep
+		if flip {
+			wt = wFlip
+		}
+		w.Shots++
+		w.WSum += wt
+		w.W2Sum += wt * wt
+		if flip {
+			w.WFSum += wt
+			w.WF2Sum += wt * wt
+		}
+	}
+	if se := w.StdErr(); math.Abs(w.Mean()-pNom) > 4*se {
+		t.Errorf("weighted mean %v misses nominal %v by more than 4 SE (%v)", w.Mean(), pNom, se)
+	}
+	lo, hi := w.CI(1.96)
+	if lo > pNom || hi < pNom {
+		t.Errorf("95%% CI [%v, %v] excludes nominal %v", lo, hi, pNom)
+	}
+	// Tilting away from nominal must cost effective sample size.
+	if ess := w.ESS(); ess >= n || ess <= 0 {
+		t.Errorf("ESS = %v, want in (0, %d)", ess, n)
+	}
+}
+
+func TestWeightedProportionZeroValue(t *testing.T) {
+	var w WeightedProportion
+	if w.Mean() != 0 || w.StdErr() != 0 || w.Variance() != 0 || w.ESS() != 0 {
+		t.Error("zero accumulator must report zero estimates")
+	}
+	lo, hi := w.CI(1.96)
+	if lo != 0 || hi != 0 {
+		t.Errorf("zero accumulator CI = [%v, %v], want [0, 0]", lo, hi)
+	}
+}
+
+func TestWeightedProportionAddFoldsSums(t *testing.T) {
+	a := WeightedProportion{Shots: 3, WSum: 1, W2Sum: 2, WFSum: 0.5, WF2Sum: 0.25}
+	b := WeightedProportion{Shots: 2, WSum: 4, W2Sum: 8, WFSum: 1.5, WF2Sum: 2.25}
+	a.Add(b)
+	want := WeightedProportion{Shots: 5, WSum: 5, W2Sum: 10, WFSum: 2, WF2Sum: 2.5}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
